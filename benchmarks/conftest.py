@@ -1,0 +1,54 @@
+"""Benchmark fixtures.
+
+One full-sync trace pair is produced per session at the calibrated
+benchmark scale (a scaled-down analog of the paper's 1M-block window:
+~150 measured blocks over a state pre-populated by genesis allocation
+plus 60 warmup blocks).  Every table/figure bench analyzes this pair.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis import TraceAnalysis
+from repro.sync.driver import run_trace_pair
+from repro.workload.generator import WorkloadConfig
+
+BENCH_WORKLOAD = WorkloadConfig(
+    seed=2024,
+    initial_eoa_accounts=6000,
+    initial_contracts=700,
+    txs_per_block=24,
+)
+
+#: Distances used by the correlation figures (log-scale x-axis, 0..1024).
+DISTANCES = (0, 1, 4, 16, 64, 256, 1024)
+
+
+@pytest.fixture(scope="session")
+def bench_trace_pair():
+    return run_trace_pair(
+        BENCH_WORKLOAD, num_blocks=150, warmup_blocks=60, cache_bytes=256 * 1024
+    )
+
+
+@pytest.fixture(scope="session")
+def cache_analysis(bench_trace_pair):
+    cache_result, _ = bench_trace_pair
+    return TraceAnalysis(
+        "CacheTrace",
+        cache_result.records,
+        cache_result.store_snapshot,
+        correlation_distances=DISTANCES,
+    )
+
+
+@pytest.fixture(scope="session")
+def bare_analysis(bench_trace_pair):
+    _, bare_result = bench_trace_pair
+    return TraceAnalysis(
+        "BareTrace",
+        bare_result.records,
+        bare_result.store_snapshot,
+        correlation_distances=DISTANCES,
+    )

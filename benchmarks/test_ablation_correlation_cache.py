@@ -1,0 +1,82 @@
+"""Ablation B (§V) — correlation-aware caching vs LRU baselines.
+
+The paper's cache-management suggestions: (i) stop admitting never-read
+pairs on the write path (Findings 3+6); (ii) exploit read correlations
+with prefetch and group eviction (Findings 8-9).  This bench replays
+the BareTrace read stream (the cache-less capture — exactly what a
+cache in front of the store would see) against four policies at equal
+entry budgets, training the correlation table on a leading window.
+
+Checked shape: no-write-admission beats plain LRU; the correlation-
+aware cache achieves the highest hit rate of all policies.
+"""
+
+from __future__ import annotations
+
+from repro.cachesim import (
+    ARCPolicy,
+    CacheSimulator,
+    CorrelationAwareCache,
+    CorrelationTable,
+    LRUPolicy,
+    NoWriteAdmissionPolicy,
+    SegmentedLRUPolicy,
+)
+from repro.core.classes import WORLD_STATE_CLASSES, KVClass, classify_key
+from repro.core.trace import OpType
+
+CAPACITY = 2048
+TRAIN_FRACTION = 0.3
+
+
+def test_ablation_correlation_cache(benchmark, bench_trace_pair):
+    _, bare_result = bench_trace_pair
+    records = bare_result.records
+    classes = set(WORLD_STATE_CLASSES) | {KVClass.CODE}
+
+    train_reads = []
+    cutoff = int(len(records) * TRAIN_FRACTION)
+    for record in records[:cutoff]:
+        if record.op is OpType.READ and classify_key(record.key) in classes:
+            train_reads.append(record.key)
+
+    table = CorrelationTable(window=4, max_partners=3)
+    table.learn(train_reads)
+
+    reports = {}
+    for policy in (
+        LRUPolicy(CAPACITY),
+        NoWriteAdmissionPolicy(CAPACITY),
+        SegmentedLRUPolicy(CAPACITY),
+        ARCPolicy(CAPACITY),
+    ):
+        reports[policy.name] = CacheSimulator(policy).replay(records, classes=classes)
+
+    def run_correlation_aware():
+        policy = CorrelationAwareCache(CAPACITY, table)
+        return CacheSimulator(policy).replay(records, classes=classes)
+
+    reports["correlation-aware"] = benchmark.pedantic(
+        run_correlation_aware, rounds=1, iterations=1
+    )
+
+    print()
+    print(f"{'policy':<26} {'hit rate':>9} {'store reads':>12} {'prefetches':>11}")
+    for name, report in reports.items():
+        print(
+            f"{name:<26} {report.hit_rate:>9.3f} {report.store_reads:>12} "
+            f"{report.prefetches:>11}"
+        )
+    print(f"(learned correlated pairs: {table.num_correlated_pairs})")
+
+    lru = reports["lru"]
+    assert lru.reads > 10_000  # enough signal to compare policies
+
+    # Write-path admission filtering helps (Findings 3+6).
+    assert reports["lru-no-write-admission"].hit_rate >= lru.hit_rate
+
+    # Correlation-awareness wins on hit rate (Findings 8-9 exploited).
+    correlation = reports["correlation-aware"]
+    assert correlation.hit_rate > lru.hit_rate
+    assert correlation.hit_rate == max(r.hit_rate for r in reports.values())
+    assert correlation.prefetch_hits > 0

@@ -1,0 +1,78 @@
+"""Analyzer throughput benchmarks.
+
+The paper's full traces hold billions of operations; the analyses must
+stream.  These benches measure the per-record cost of each analyzer on
+the benchmark trace so regressions in the hot loops are visible:
+
+* classification + op-distribution accounting (Tables II/III);
+* trace (de)serialization round-trip (the binary format);
+* the vectorized correlation pair counter (Figures 4-7);
+* per-block statistics.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.core.blockstats import BlockStatsAnalyzer
+from repro.core.correlation import CorrelationAnalyzer, CorrelationConfig
+from repro.core.opdist import OpDistAnalyzer
+from repro.core.trace import OpType, TraceReader, TraceWriter, records_to_bytes
+
+
+def test_opdist_throughput(benchmark, bench_trace_pair):
+    _, bare_result = bench_trace_pair
+    records = bare_result.records
+
+    def analyze():
+        return OpDistAnalyzer(track_keys=False).consume(records).total_ops
+
+    total = benchmark(analyze)
+    assert total == len(records)
+    rate = len(records) / benchmark.stats.stats.mean
+    print(f"\nopdist: {rate / 1e6:.2f} M records/s over {len(records):,} records")
+    assert rate > 100_000  # floor: 100k records/s
+
+
+def test_trace_serialization_throughput(benchmark, bench_trace_pair):
+    _, bare_result = bench_trace_pair
+    records = bare_result.records
+
+    def roundtrip():
+        blob = records_to_bytes(records)
+        count = sum(1 for _ in TraceReader(io.BytesIO(blob)))
+        return count, len(blob)
+
+    count, size = benchmark(roundtrip)
+    assert count == len(records)
+    print(
+        f"\nserialization: {size / len(records):.1f} B/record, "
+        f"{len(records) / benchmark.stats.stats.mean / 1e6:.2f} M records/s round-trip"
+    )
+
+
+def test_correlation_throughput(benchmark, bench_trace_pair):
+    _, bare_result = bench_trace_pair
+    records = bare_result.records
+
+    def correlate():
+        analyzer = CorrelationAnalyzer(
+            CorrelationConfig(op=OpType.READ, distances=(0, 4, 64, 1024))
+        )
+        analyzer.consume(records)
+        results = analyzer.compute()
+        return sum(sum(r.class_pair_counts.values()) for r in results.values())
+
+    total = benchmark.pedantic(correlate, rounds=2, iterations=1)
+    assert total > 0
+
+
+def test_blockstats_throughput(benchmark, bench_trace_pair):
+    _, bare_result = bench_trace_pair
+    records = bare_result.records
+
+    def analyze():
+        return BlockStatsAnalyzer().consume(records).num_blocks
+
+    blocks = benchmark(analyze)
+    assert blocks >= 150

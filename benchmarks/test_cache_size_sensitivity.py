@@ -1,0 +1,88 @@
+"""Ablation E (Finding 6 extension) — cache-size sensitivity sweep.
+
+Finding 6 says caching helps the hottest keys but not the medium-
+frequency band.  A natural design question follows: does throwing more
+cache at the problem fix it?  This bench syncs the same workload under
+increasing cache budgets and measures how the world-state read traffic
+(the trace volume a cache absorbs) responds.
+
+Checked shape: read traffic decreases monotonically(ish) with cache
+size, with a knee where the hot working set starts to fit, and then a
+*plateau*: past the knee the remaining reads are the long Zipf tail of
+cold, once-read keys that no LRU capacity can anticipate — the paper's
+argument for smarter (correlation-aware, admission-filtered) caching
+over simply bigger caches (Findings 3 + 6).
+"""
+
+from __future__ import annotations
+
+from repro.core.classes import WORLD_STATE_CLASSES
+from repro.core.opdist import OpDistAnalyzer
+from repro.sync.driver import DBConfig, FullSyncDriver, SyncConfig
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+WORKLOAD = WorkloadConfig(
+    seed=23, initial_eoa_accounts=2500, initial_contracts=350, txs_per_block=18
+)
+CACHE_SIZES = (
+    32 * 1024,
+    128 * 1024,
+    512 * 1024,
+    2 * 1024 * 1024,
+    8 * 1024 * 1024,
+)
+BLOCKS = 80
+WARMUP = 40
+
+
+def run_with_cache(cache_bytes: int) -> int:
+    driver = FullSyncDriver(
+        SyncConfig(db=DBConfig.cache_trace_config(cache_bytes), warmup_blocks=WARMUP),
+        WorkloadGenerator(WORKLOAD),
+        name=f"cache-{cache_bytes}",
+    )
+    result = driver.run(BLOCKS)
+    opdist = OpDistAnalyzer(track_keys=False).consume(result.records)
+    return opdist.reads_in(WORLD_STATE_CLASSES)
+
+
+def test_cache_size_sensitivity(benchmark):
+    reads_by_size = {}
+    for cache_bytes in CACHE_SIZES[:-1]:
+        reads_by_size[cache_bytes] = run_with_cache(cache_bytes)
+
+    largest = CACHE_SIZES[-1]
+    reads_by_size[largest] = benchmark.pedantic(
+        run_with_cache, args=(largest,), rounds=1, iterations=1
+    )
+
+    print()
+    print(f"{'cache budget':>14} {'world-state reads':>18} {'reduction vs prev':>18}")
+    previous = None
+    for cache_bytes in CACHE_SIZES:
+        reads = reads_by_size[cache_bytes]
+        if previous is None:
+            delta = "-"
+        else:
+            delta = f"{100 * (previous - reads) / previous:.1f}%"
+        print(f"{cache_bytes:>14,} {reads:>18,} {delta:>18}")
+        previous = reads
+
+    sizes = list(CACHE_SIZES)
+    reads = [reads_by_size[s] for s in sizes]
+    # More cache never hurts much (allow 5% noise) ...
+    for smaller, larger in zip(reads, reads[1:]):
+        assert larger <= smaller * 1.05
+    # ... and helps substantially overall ...
+    assert reads[-1] < 0.8 * reads[0]
+    # ... with a knee-then-plateau shape: some middle step's relative
+    # reduction (the knee, where the hot set starts fitting) exceeds the
+    # final step's (the plateau, where only the cold Zipf tail remains).
+    steps = [
+        (reads[i] - reads[i + 1]) / reads[i] for i in range(len(reads) - 1)
+    ]
+    print("step reductions:", [f"{s:.3f}" for s in steps])
+    assert max(steps[:-1]) > steps[-1]
+    # Even an effectively unbounded cache cannot eliminate world-state
+    # reads: cold keys miss on first touch no matter the capacity.
+    assert reads[-1] > 0

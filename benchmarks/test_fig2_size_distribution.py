@@ -1,0 +1,56 @@
+"""Figure 2 — KV size distributions of the four dominant variable-size classes.
+
+Paper's shape: TrieNodeAccount/TrieNodeStorage peak at small sizes
+(113 B / 71 B) with long tails (to ~540/570 B); SnapshotAccount and
+SnapshotStorage are tighter with a few distinct modes and smaller
+maxima than the trie classes.
+"""
+
+from __future__ import annotations
+
+from repro.core.classes import KVClass
+from repro.core.report import render_size_distribution
+from repro.core.sizes import SizeAnalyzer
+
+PANELS = (
+    KVClass.TRIE_NODE_ACCOUNT,
+    KVClass.TRIE_NODE_STORAGE,
+    KVClass.SNAPSHOT_ACCOUNT,
+    KVClass.SNAPSHOT_STORAGE,
+)
+
+
+def test_fig2_size_distribution(benchmark, bench_trace_pair):
+    cache_result, _ = bench_trace_pair
+
+    def analyze():
+        analyzer = SizeAnalyzer()
+        analyzer.add_store_snapshot(cache_result.store_snapshot)
+        return {cls: analyzer.size_distribution(cls) for cls in PANELS}, analyzer
+
+    distributions, sizes = benchmark(analyze)
+    print()
+    for kv_class in PANELS:
+        print(render_size_distribution(sizes, kv_class, max_points=8))
+
+    for kv_class in PANELS:
+        points = distributions[kv_class]
+        assert len(points) > 3, f"{kv_class}: distribution has too few size points"
+
+    # Trie classes have long tails: max size far above the dominant mode.
+    for kv_class in (KVClass.TRIE_NODE_ACCOUNT, KVClass.TRIE_NODE_STORAGE):
+        mode = sizes.size_distribution_modes(kv_class, top=1)[0]
+        maximum = max(size for size, _ in distributions[kv_class])
+        assert maximum > 2 * mode, f"{kv_class}: no long tail"
+
+    # Snapshot classes are tighter: smaller maxima than their trie peers.
+    ts_max = max(s for s, _ in distributions[KVClass.TRIE_NODE_STORAGE])
+    ss_max = max(s for s, _ in distributions[KVClass.SNAPSHOT_STORAGE])
+    assert ss_max < ts_max
+    ta_max = max(s for s, _ in distributions[KVClass.TRIE_NODE_ACCOUNT])
+    sa_max = max(s for s, _ in distributions[KVClass.SNAPSHOT_ACCOUNT])
+    assert sa_max < ta_max
+
+    # Snapshot values are small and multi-modal (slim encoding).
+    sa_modes = sizes.size_distribution_modes(KVClass.SNAPSHOT_ACCOUNT, top=3)
+    assert all(mode < 120 for mode in sa_modes)

@@ -1,0 +1,79 @@
+"""Figure 6 — correlated-update counts vs distance.
+
+Paper's shape: the top cross-class correlated updates are between the
+head-pointer singletons (LastFast-LastHeader, LastBlock-LastFast),
+peaking at distance 0 with one occurrence per block and collapsing to
+zero within a few positions (batched once-per-block updates); intra-
+class updates concentrate in the world-state classes and decay with
+distance; updates cluster more tightly than reads.
+"""
+
+from __future__ import annotations
+
+from repro.core.classes import KVClass
+from repro.core.correlation import class_pair, format_class_pair
+from repro.core.report import render_correlation_distance_series
+from repro.core.trace import OpType
+
+HEAD_POINTERS = {
+    KVClass.LAST_FAST,
+    KVClass.LAST_HEADER,
+    KVClass.LAST_BLOCK,
+    KVClass.LAST_STATE_ID,
+}
+
+
+def test_fig6_update_correlation_distance(benchmark, bench_trace_pair, cache_analysis, bare_analysis):
+    def analyze():
+        return {
+            "cache": cache_analysis.correlation(OpType.UPDATE),
+            "bare": bare_analysis.correlation(OpType.UPDATE),
+        }
+
+    results = benchmark.pedantic(analyze, rounds=1, iterations=1)
+    cache_result, _ = bench_trace_pair
+    blocks = cache_result.blocks_processed
+
+    print()
+    for name in ("cache", "bare"):
+        res = results[name]
+        pairs = [p for p, _ in res[0].top_pairs(3, cross_class=True)]
+        pairs += [p for p, _ in res[0].top_pairs(3, cross_class=False)]
+        print(
+            render_correlation_distance_series(
+                res, pairs, f"Figure 6 analog — {name} (top cross + intra pairs)"
+            )
+        )
+
+    for name in ("cache", "bare"):
+        res = results[name]
+        top_cross = res[0].top_pairs(3, cross_class=True)
+        assert top_cross, name
+        # Head-pointer singleton pairs lead the cross-class ranking.
+        lead_pair, lead_count = top_cross[0]
+        assert lead_pair[0] in HEAD_POINTERS and lead_pair[1] in HEAD_POINTERS, (
+            name,
+            format_class_pair(lead_pair),
+        )
+        # One occurrence per block, at distance 0 (batched head update).
+        assert lead_count == blocks, (name, lead_count, blocks)
+        # ... and the pair vanishes within a few positions (paper: zero
+        # by distance 4).
+        lh_lf = class_pair(KVClass.LAST_HEADER, KVClass.LAST_FAST)
+        assert res[4].class_pair_counts.get(lh_lf, 0) == 0
+
+        # Intra-class updates concentrate in world-state classes.
+        top_intra = [p for p, _ in res[0].top_pairs(3, cross_class=False)]
+        world_state = {
+            KVClass.TRIE_NODE_ACCOUNT,
+            KVClass.TRIE_NODE_STORAGE,
+            KVClass.SNAPSHOT_ACCOUNT,
+            KVClass.SNAPSHOT_STORAGE,
+            KVClass.CODE,
+        }
+        assert any(p[0] in world_state for p in top_intra), name
+
+        # Decay with distance for the top intra pair.
+        pair, d0_count = res[0].top_pairs(1, cross_class=False)[0]
+        dmax = sorted(res)[-1]
+        assert d0_count >= res[dmax].class_pair_counts.get(pair, 0)

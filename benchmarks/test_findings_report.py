@@ -1,0 +1,20 @@
+"""End-to-end findings report — all 11 findings on the benchmark traces.
+
+This is the paper's summary deliverable: every finding's qualitative
+claim, checked against the synthetic CacheTrace/BareTrace pair, with
+the measured values printed next to the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from repro.core.findings import evaluate_findings
+
+
+def test_findings_report(benchmark, cache_analysis, bare_analysis):
+    report = benchmark.pedantic(
+        evaluate_findings, args=(cache_analysis, bare_analysis), rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+    failed = [f for f in report if not f.passed]
+    assert not failed, [f.summary_line() for f in failed]

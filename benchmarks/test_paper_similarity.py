@@ -1,0 +1,65 @@
+"""Quantified shape fidelity — measured tables vs the paper's tables.
+
+Turns "the shape should hold" into numbers: for every class the paper
+reports in Tables II and III, compute the total-variation distance
+between our measured operation mix and the published one (0 = same mix,
+1 = disjoint).  The share-weighted mean — dominated by the world-state
+classes — is the headline fidelity score.
+
+Checked shape: share-weighted mean mix distance under 0.25 in both
+capture modes, every dominant class under 0.35, and the structural
+facts (zero-read TxLookup/StateID, the scan-class set, pure-update head
+pointers) reproduced exactly.
+"""
+
+from __future__ import annotations
+
+from repro.core.classes import DOMINANT_CLASSES, KVClass
+from repro.core.opdist import OpDistAnalyzer
+from repro.core.paperdata import (
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    similarity_report,
+    weighted_mean_distance,
+)
+from repro.core.trace import OpType
+
+
+def test_paper_similarity(benchmark, bench_trace_pair):
+    cache_result, bare_result = bench_trace_pair
+
+    def build():
+        cache_ops = OpDistAnalyzer(track_keys=False).consume(cache_result.records)
+        bare_ops = OpDistAnalyzer(track_keys=False).consume(bare_result.records)
+        return {
+            "cache": (cache_ops, similarity_report(cache_ops, PAPER_TABLE2)),
+            "bare": (bare_ops, similarity_report(bare_ops, PAPER_TABLE3)),
+        }
+
+    results = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    print()
+    for name, paper_table in (("cache", PAPER_TABLE2), ("bare", PAPER_TABLE3)):
+        opdist, report = results[name]
+        mean = weighted_mean_distance(report, paper_table)
+        print(f"{name}: share-weighted mean op-mix distance = {mean:.3f}")
+        worst = sorted(report.items(), key=lambda kv: -kv[1])[:5]
+        for kv_class, distance in worst:
+            print(f"  worst: {kv_class.display_name:<22} {distance:.3f}")
+        assert mean < 0.25, (name, mean)
+        for kv_class in DOMINANT_CLASSES:
+            if kv_class in report:
+                assert report[kv_class] < 0.35, (name, kv_class, report[kv_class])
+
+    # Structural facts, exact.
+    cache_ops, _ = results["cache"]
+    assert cache_ops.distribution(KVClass.TX_LOOKUP).reads == 0
+    assert cache_ops.distribution(KVClass.STATE_ID).reads == 0
+    assert set(cache_ops.scanned_classes()) <= {
+        KVClass.SNAPSHOT_ACCOUNT,
+        KVClass.SNAPSHOT_STORAGE,
+        KVClass.BLOCK_HEADER,
+    }
+    for head in (KVClass.LAST_HEADER, KVClass.LAST_FAST):
+        dist = cache_ops.distribution(head)
+        assert dist.pct(OpType.UPDATE) == 100.0

@@ -1,0 +1,84 @@
+"""Ablation G (§II-A) — snap vs full synchronization traffic profiles.
+
+The paper measures full synchronization; new nodes default to snap
+sync.  This bench quantifies the contrast the paper's background
+describes: snap sync replaces per-block execution with a bulk ranged
+state download plus trie heal, then switches to full sync at the head.
+
+Checked shape: the snap trace is put-dominated while the full trace is
+read-dominated; the snap node's healed state root matches the peer's;
+after the switch, the snap node's tail blocks look like full sync
+(reads flow again).
+"""
+
+from __future__ import annotations
+
+from repro.core.opdist import OpDistAnalyzer
+from repro.core.trace import OpType
+from repro.sync.driver import DBConfig, FullSyncDriver, SyncConfig
+from repro.sync.snapsync import SnapSyncDriver
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+WORKLOAD = WorkloadConfig(
+    seed=47, initial_eoa_accounts=2000, initial_contracts=300, txs_per_block=16
+)
+
+
+def test_snap_vs_full(benchmark):
+    peer = FullSyncDriver(
+        SyncConfig(db=DBConfig.bare_trace_config(), warmup_blocks=20),
+        WorkloadGenerator(WORKLOAD),
+        name="peer",
+    )
+    full_result = peer.run(60)
+
+    def snap_sync():
+        snap = SnapSyncDriver(
+            SyncConfig(db=DBConfig.bare_trace_config(), warmup_blocks=0),
+            WORKLOAD,
+        )
+        return snap.sync_from_peer(peer, tail_blocks=12)
+
+    snap_result = benchmark.pedantic(snap_sync, rounds=1, iterations=1)
+
+    full_ops = OpDistAnalyzer(track_keys=False).consume(full_result.records)
+    snap_ops = OpDistAnalyzer(track_keys=False).consume(snap_result.records)
+
+    def profile(analyzer):
+        total = analyzer.total_ops
+        return (
+            total,
+            100 * analyzer.total_reads() / total,
+            100 * analyzer.total_puts() / total,
+        )
+
+    full_total, full_reads, full_puts = profile(full_ops)
+    snap_total, snap_reads, snap_puts = profile(snap_ops)
+    print()
+    print(f"{'mode':<10} {'ops':>9} {'reads %':>8} {'puts %':>8}")
+    print(f"{'full':<10} {full_total:>9,} {full_reads:>8.1f} {full_puts:>8.1f}")
+    print(f"{'snap':<10} {snap_total:>9,} {snap_reads:>8.1f} {snap_puts:>8.1f}")
+    print(
+        f"downloaded: {snap_result.accounts_downloaded:,} accounts, "
+        f"{snap_result.slots_downloaded:,} slots, "
+        f"{snap_result.codes_downloaded} bytecodes; "
+        f"root verified: {snap_result.state_root_matches}"
+    )
+
+    # Integrity: the healed state equals the peer's.
+    assert snap_result.state_root_matches
+
+    # Profile inversion: full sync reads more than it writes; snap sync
+    # writes more than it reads.
+    assert full_reads > full_puts
+    assert snap_puts > snap_reads
+
+    # The download covers the peer's full population.
+    assert snap_result.accounts_downloaded >= 2000 + 300
+
+    # After the pivot, the snap node behaves like a full-sync node.
+    tail = [r for r in snap_result.records if r.block > snap_result.pivot_number]
+    tail_reads = sum(1 for r in tail if r.op is OpType.READ)
+    tail_puts = sum(1 for r in tail if r.op in (OpType.WRITE, OpType.UPDATE))
+    print(f"tail profile: {tail_reads} reads vs {tail_puts} puts")
+    assert tail_reads > tail_puts

@@ -1,0 +1,46 @@
+"""Table I — class inventory of the KV store after CacheTrace.
+
+Paper's shape: five dominant classes (TrieNodeStorage, SnapshotStorage,
+TxLookup, TrieNodeAccount, SnapshotAccount) hold >99.2% of pairs with a
+small mean KV size (79.1 B); 15 classes are singletons; Code/BlockBody/
+BlockReceipts values are KiB-scale; 29 classes total.
+"""
+
+from __future__ import annotations
+
+from repro.core.classes import DOMINANT_CLASSES, KVClass
+from repro.core.report import render_table1
+from repro.core.sizes import SizeAnalyzer
+
+
+def test_table1_class_inventory(benchmark, bench_trace_pair):
+    cache_result, _ = bench_trace_pair
+
+    def analyze():
+        analyzer = SizeAnalyzer()
+        analyzer.add_store_snapshot(cache_result.store_snapshot)
+        return analyzer
+
+    sizes: SizeAnalyzer = benchmark(analyze)
+    print()
+    print(render_table1(sizes, "Table I analog (store after CacheTrace)"))
+    print(
+        f"dominant share = {sizes.dominant_share():.2f}% (paper: 99.2%)  "
+        f"dominant mean KV = {sizes.mean_kv_size(DOMINANT_CLASSES):.1f} B (paper: 79.1 B)  "
+        f"singletons = {len(sizes.singleton_classes())} (paper: 15)"
+    )
+
+    # Shape assertions (who dominates, by roughly what factor).
+    assert len(sizes.observed_classes()) == 29
+    assert sizes.dominant_share() > 90.0
+    assert len(sizes.singleton_classes()) >= 13
+    assert sizes.mean_kv_size(DOMINANT_CLASSES) < 200.0
+    ranked = sorted(
+        (cls for cls in sizes.observed_classes()),
+        key=lambda c: -sizes.stats_for(c).num_pairs,
+    )
+    assert set(ranked[:5]) == set(DOMINANT_CLASSES)
+    # Large-value classes are KiB-scale, orders above the dominant mean.
+    assert sizes.stats_for(KVClass.CODE).mean_kv_size > 1024
+    assert sizes.stats_for(KVClass.BLOCK_BODY).mean_kv_size > 1024
+    assert sizes.stats_for(KVClass.BLOCK_RECEIPTS).mean_kv_size > 1024

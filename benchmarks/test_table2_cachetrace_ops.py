@@ -1,0 +1,62 @@
+"""Table II — per-class operation distribution in CacheTrace.
+
+Paper's shape: TrieNodeStorage is the largest class of operations; the
+five dominant storage classes carry the vast majority of traffic;
+TxLookup is ~half writes / ~half deletes with zero reads; trie classes
+are update-dominated (updates > writes); Code is read-dominated;
+head pointers (LastHeader/LastFast) are pure updates.
+"""
+
+from __future__ import annotations
+
+from repro.core.classes import KVClass
+from repro.core.opdist import OpDistAnalyzer
+from repro.core.report import render_op_table
+from repro.core.trace import OpType
+
+
+def test_table2_cachetrace_ops(benchmark, bench_trace_pair):
+    cache_result, _ = bench_trace_pair
+
+    def analyze():
+        return OpDistAnalyzer(track_keys=False).consume(cache_result.records)
+
+    opdist: OpDistAnalyzer = benchmark(analyze)
+    print()
+    print(render_op_table(opdist, "Table II analog (CacheTrace)"))
+
+    # World-state + TxLookup classes dominate operations.
+    top_share = sum(
+        opdist.class_share(cls)
+        for cls in (
+            KVClass.TRIE_NODE_STORAGE,
+            KVClass.TRIE_NODE_ACCOUNT,
+            KVClass.SNAPSHOT_STORAGE,
+            KVClass.SNAPSHOT_ACCOUNT,
+            KVClass.TX_LOOKUP,
+        )
+    )
+    assert top_share > 80.0
+
+    txl = opdist.distribution(KVClass.TX_LOOKUP)
+    assert txl.reads == 0  # no app queries during sync (paper §IV-B)
+    assert 35 < txl.pct(OpType.DELETE) < 60  # paper: 48.0
+    assert 40 < txl.pct(OpType.WRITE) < 65  # paper: 52.0
+
+    for cls, paper_updates in (
+        (KVClass.TRIE_NODE_STORAGE, 50.9),
+        (KVClass.TRIE_NODE_ACCOUNT, 59.7),
+        (KVClass.SNAPSHOT_ACCOUNT, 64.9),
+    ):
+        dist = opdist.distribution(cls)
+        assert dist.pct(OpType.UPDATE) > dist.pct(OpType.WRITE), cls
+
+    code = opdist.distribution(KVClass.CODE)
+    assert code.pct(OpType.READ) > 70  # paper: 87.2
+
+    for cls in (KVClass.LAST_HEADER, KVClass.LAST_FAST):
+        dist = opdist.distribution(cls)
+        assert dist.pct(OpType.UPDATE) == 100.0  # paper: 100.0
+
+    state_id = opdist.distribution(KVClass.STATE_ID)
+    assert abs(state_id.pct(OpType.WRITE) - state_id.pct(OpType.DELETE)) < 5

@@ -1,0 +1,54 @@
+"""Table III — per-class operation distribution in BareTrace.
+
+Paper's shape: without caching/snapshot acceleration the trie classes
+become read-dominated (TrieNodeStorage 60.2% reads) and carry ~96% of
+all operations; the snapshot classes are absent entirely; TxLookup's
+write/delete split matches CacheTrace (the indexer is cache-agnostic).
+"""
+
+from __future__ import annotations
+
+from repro.core.classes import KVClass, SNAPSHOT_ONLY_CLASSES
+from repro.core.opdist import OpDistAnalyzer
+from repro.core.report import render_op_table
+from repro.core.trace import OpType
+
+
+def test_table3_baretrace_ops(benchmark, bench_trace_pair):
+    cache_result, bare_result = bench_trace_pair
+
+    def analyze():
+        return OpDistAnalyzer(track_keys=False).consume(bare_result.records)
+
+    opdist: OpDistAnalyzer = benchmark(analyze)
+    print()
+    print(render_op_table(opdist, "Table III analog (BareTrace)"))
+
+    # Snapshot classes never appear without snapshot acceleration.
+    observed = set(opdist.observed_classes())
+    assert not (observed & {KVClass.SNAPSHOT_ACCOUNT, KVClass.SNAPSHOT_STORAGE})
+
+    # Trie classes dominate and are read-heavy (no cache absorbs reads).
+    trie_share = opdist.class_share(KVClass.TRIE_NODE_STORAGE) + opdist.class_share(
+        KVClass.TRIE_NODE_ACCOUNT
+    )
+    assert trie_share > 70.0  # paper: 95.9
+    for cls in (KVClass.TRIE_NODE_STORAGE, KVClass.TRIE_NODE_ACCOUNT):
+        dist = opdist.distribution(cls)
+        assert dist.pct(OpType.READ) >= dist.pct(OpType.UPDATE) * 0.8, cls
+        assert dist.pct(OpType.READ) > 40, cls  # paper: 60.2 / 41.3
+
+    # BareTrace carries more total operations than CacheTrace.
+    cache_ops = len(cache_result.records)
+    assert opdist.total_ops > cache_ops
+
+    # TxLookup split is cache-independent.
+    txl = opdist.distribution(KVClass.TX_LOOKUP)
+    cache_txl = OpDistAnalyzer(track_keys=False).consume(
+        r for r in cache_result.records if r.key[:1] == b"l"
+    ).distribution(KVClass.TX_LOOKUP)
+    assert abs(txl.pct(OpType.DELETE) - cache_txl.pct(OpType.DELETE)) < 3
+
+    # BlockHeader keeps its scan share in both traces (paper: 5.47/5.63).
+    bh = opdist.distribution(KVClass.BLOCK_HEADER)
+    assert 1.0 < bh.pct(OpType.SCAN) < 15.0

@@ -1,0 +1,54 @@
+"""Table IV — read ratios of KV pairs in both traces.
+
+Paper's shape: only a small fraction of each world-state class's pairs
+is ever read (TrieNodeAccount 14.7%/13.0%, TrieNodeStorage 8.34%/6.59%,
+SnapshotAccount 11.0%, SnapshotStorage 12.0%); snapshot classes have no
+entries in BareTrace.  Our synthetic state is far smaller than
+mainnet's 3.94B pairs, so our absolute ratios sit higher; the *shape*
+(small minority read; TrieNodeStorage < TrieNodeAccount) must hold.
+"""
+
+from __future__ import annotations
+
+from repro.core.classes import KVClass
+from repro.core.report import render_read_ratio_table
+
+CLASSES = (
+    KVClass.SNAPSHOT_ACCOUNT,
+    KVClass.SNAPSHOT_STORAGE,
+    KVClass.TRIE_NODE_ACCOUNT,
+    KVClass.TRIE_NODE_STORAGE,
+)
+
+
+def test_table4_read_ratios(benchmark, cache_analysis, bare_analysis):
+    def analyze():
+        return {
+            "cache": {cls: cache_analysis.read_ratio(cls) for cls in CLASSES},
+            "bare": {cls: bare_analysis.read_ratio(cls) for cls in CLASSES},
+        }
+
+    ratios = benchmark(analyze)
+    print()
+    print(render_read_ratio_table(bare_analysis, cache_analysis, CLASSES))
+    print("(paper: TA 14.7/13.0, TS 8.34/6.59, SA -/11.0, SS -/12.0)")
+
+    # Most pairs are never read, in every class and both traces.
+    for trace in ("cache", "bare"):
+        for cls, ratio in ratios[trace].items():
+            assert ratio < 60.0, (trace, cls, ratio)
+
+    # TrieNodeStorage read ratio below TrieNodeAccount (paper ordering).
+    assert (
+        ratios["cache"][KVClass.TRIE_NODE_STORAGE]
+        < ratios["cache"][KVClass.TRIE_NODE_ACCOUNT]
+    )
+    assert (
+        ratios["bare"][KVClass.TRIE_NODE_STORAGE]
+        < ratios["bare"][KVClass.TRIE_NODE_ACCOUNT]
+    )
+
+    # Snapshot classes absent from BareTrace.
+    assert ratios["bare"][KVClass.SNAPSHOT_ACCOUNT] == 0.0
+    assert ratios["bare"][KVClass.SNAPSHOT_STORAGE] == 0.0
+    assert ratios["cache"][KVClass.SNAPSHOT_ACCOUNT] > 0.0

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Correlation-aware caching demo: the paper's §V cache design.
+
+Generates a BareTrace analog (the read stream a cache in front of the
+store would see), trains a correlation table on the first 30% of reads,
+then replays the trace against four cache policies at equal entry
+budgets and reports hit rates:
+
+* plain LRU (write-path admission) — Geth's baseline behaviour;
+* LRU without write-path admission — the paper's Finding 3+6 refinement;
+* segmented per-class LRU — Geth's actual multi-cache layout;
+* correlation-aware (prefetch + group eviction) — the paper's §V design.
+
+Usage::
+
+    python examples/correlation_cache_demo.py [--capacity N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro import WorkloadConfig
+from repro.cachesim import (
+    CacheSimulator,
+    CorrelationAwareCache,
+    CorrelationTable,
+    LRUPolicy,
+    NoWriteAdmissionPolicy,
+    SegmentedLRUPolicy,
+)
+from repro.core.classes import WORLD_STATE_CLASSES, KVClass, classify_key
+from repro.core.trace import OpType
+from repro.sync.driver import DBConfig, FullSyncDriver, SyncConfig
+from repro.workload.generator import WorkloadGenerator
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--capacity", type=int, default=2048, help="cache entries")
+    parser.add_argument("--blocks", type=int, default=120)
+    args = parser.parse_args()
+
+    workload = WorkloadConfig(
+        seed=31, initial_eoa_accounts=3000, initial_contracts=400, txs_per_block=20
+    )
+    print("Generating a BareTrace analog (cache-less read stream)...")
+    start = time.time()
+    driver = FullSyncDriver(
+        SyncConfig(db=DBConfig.bare_trace_config(), warmup_blocks=40),
+        WorkloadGenerator(workload),
+        name="BareTrace",
+    )
+    records = driver.run(args.blocks).records
+    print(f"  {len(records):,} KV operations in {time.time() - start:.1f}s")
+
+    classes = set(WORLD_STATE_CLASSES) | {KVClass.CODE}
+    cutoff = int(len(records) * 0.3)
+    train_reads = [
+        record.key
+        for record in records[:cutoff]
+        if record.op is OpType.READ and classify_key(record.key) in classes
+    ]
+    table = CorrelationTable(window=4, max_partners=3)
+    table.learn(train_reads)
+    print(
+        f"Trained correlation table on {len(train_reads):,} reads "
+        f"({table.num_correlated_pairs:,} correlated key pairs)."
+    )
+
+    policies = [
+        LRUPolicy(args.capacity),
+        NoWriteAdmissionPolicy(args.capacity),
+        SegmentedLRUPolicy(args.capacity),
+        CorrelationAwareCache(args.capacity, table),
+    ]
+    print()
+    print(f"{'policy':<26} {'hit rate':>9} {'store reads':>12} {'prefetches':>11}")
+    print("-" * 62)
+    for policy in policies:
+        report = CacheSimulator(policy).replay(records, classes=classes)
+        print(
+            f"{policy.name:<26} {report.hit_rate:>9.3f} "
+            f"{report.store_reads:>12,} {report.prefetches:>11,}"
+        )
+    print()
+    print(
+        "The correlation-aware policy converts correlated follow-up reads\n"
+        "into hits via prefetch (Findings 8-9); filtering write-path\n"
+        "admission keeps never-read pairs out of the cache (Findings 3+6)."
+    )
+
+
+if __name__ == "__main__":
+    main()

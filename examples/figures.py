@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Render the paper's Figures 2-7 as terminal (ASCII) charts.
+
+Each figure is drawn from the same analysis data the benchmark harness
+asserts on — log-log scatter plots for the size and frequency
+distributions, multi-series charts for the distance-based correlation
+curves.
+
+Usage::
+
+    python examples/figures.py [--blocks N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro import TraceAnalysis, WorkloadConfig, run_trace_pair
+from repro.core.asciiplot import multi_series, scatter
+from repro.core.classes import KVClass
+from repro.core.correlation import format_class_pair
+from repro.core.trace import OpType
+
+DISTANCES = (0, 1, 4, 16, 64, 256, 1024)
+
+
+def fig2(cache: TraceAnalysis) -> None:
+    for kv_class in (
+        KVClass.TRIE_NODE_ACCOUNT,
+        KVClass.TRIE_NODE_STORAGE,
+        KVClass.SNAPSHOT_ACCOUNT,
+        KVClass.SNAPSHOT_STORAGE,
+    ):
+        points = cache.sizes.size_distribution(kv_class)
+        print()
+        print(
+            scatter(
+                points,
+                title=f"Figure 2 — {kv_class.display_name} KV size distribution",
+                xlabel="KV size (bytes)",
+                ylabel="count",
+            )
+        )
+
+
+def fig3(cache: TraceAnalysis) -> None:
+    for kv_class in (KVClass.TRIE_NODE_STORAGE, KVClass.SNAPSHOT_STORAGE):
+        points = cache.opdist.activity(kv_class).frequency_distribution(OpType.READ)
+        print()
+        print(
+            scatter(
+                points,
+                title=f"Figure 3 — {kv_class.display_name} read frequency distribution",
+                xlabel="reads per key",
+                ylabel="#keys",
+            )
+        )
+
+
+def _correlation_chart(analysis: TraceAnalysis, op: OpType, figure: str) -> None:
+    results = analysis.correlation(op)
+    pairs = [p for p, _ in results[0].top_pairs(2, cross_class=True)]
+    pairs += [p for p, _ in results[0].top_pairs(2, cross_class=False)]
+    series = {}
+    for pair in pairs:
+        label = format_class_pair(pair)
+        series[label] = [
+            (d, max(1, results[d].class_pair_counts.get(pair, 0))) for d in DISTANCES
+        ]
+    print()
+    print(
+        multi_series(
+            series,
+            title=f"{figure} — {analysis.name} correlated {op.name.lower()}s vs distance",
+            xlabel="distance",
+        )
+    )
+
+
+def fig5_7(analysis: TraceAnalysis, op: OpType, figure: str) -> None:
+    results = analysis.correlation(op)
+    top = results[0].top_pairs(1, cross_class=False)
+    if not top:
+        return
+    pair = top[0][0]
+    histogram = results[0].frequency_histograms.get(pair, {})
+    points = sorted(histogram.items())
+    print()
+    print(
+        scatter(
+            points,
+            title=(
+                f"{figure} — {analysis.name} {format_class_pair(pair)} "
+                f"correlated-{op.name.lower()} frequencies at distance 0"
+            ),
+            xlabel="pair frequency",
+            ylabel="#pairs",
+        )
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--blocks", type=int, default=120)
+    args = parser.parse_args()
+
+    workload = WorkloadConfig(
+        seed=2024, initial_eoa_accounts=4000, initial_contracts=500, txs_per_block=20
+    )
+    print("Synchronizing both capture modes...")
+    start = time.time()
+    cache_result, bare_result = run_trace_pair(
+        workload, num_blocks=args.blocks, warmup_blocks=50, cache_bytes=256 * 1024
+    )
+    print(f"  done in {time.time() - start:.1f}s")
+    cache = TraceAnalysis(
+        "CacheTrace",
+        cache_result.records,
+        cache_result.store_snapshot,
+        correlation_distances=DISTANCES,
+    )
+    bare = TraceAnalysis(
+        "BareTrace",
+        bare_result.records,
+        bare_result.store_snapshot,
+        correlation_distances=DISTANCES,
+    )
+
+    fig2(cache)
+    fig3(cache)
+    _correlation_chart(cache, OpType.READ, "Figure 4(a,b)")
+    _correlation_chart(bare, OpType.READ, "Figure 4(c,d)")
+    fig5_7(bare, OpType.READ, "Figure 5")
+    _correlation_chart(cache, OpType.UPDATE, "Figure 6(a,b)")
+    _correlation_chart(bare, OpType.UPDATE, "Figure 6(c,d)")
+    fig5_7(bare, OpType.UPDATE, "Figure 7")
+
+
+if __name__ == "__main__":
+    main()

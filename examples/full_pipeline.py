@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Full analysis pipeline: every table and figure from one trace pair.
+
+Reproduces the complete analysis of the paper over a synthetic trace
+pair — Table I (class inventory), Figure 2 (size distributions),
+Tables II/III (operation distributions), Table IV (read ratios),
+Figure 3 (per-key frequency distributions), Figures 4-7 (read/update
+correlations) and the 11-findings summary — printing each in the
+paper's row/series structure.
+
+Usage::
+
+    python examples/full_pipeline.py [--blocks N] [--warmup N] [--accounts N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro import TraceAnalysis, WorkloadConfig, evaluate_findings, run_trace_pair
+from repro.core.classes import KVClass
+from repro.core.report import (
+    render_correlation_distance_series,
+    render_correlation_frequency,
+    render_frequency_distribution,
+    render_op_table,
+    render_read_ratio_table,
+    render_size_distribution,
+    render_table1,
+)
+from repro.core.trace import OpType
+
+WORLD_STATE_PANELS = (
+    KVClass.TRIE_NODE_ACCOUNT,
+    KVClass.TRIE_NODE_STORAGE,
+    KVClass.SNAPSHOT_ACCOUNT,
+    KVClass.SNAPSHOT_STORAGE,
+)
+
+
+def banner(text: str) -> None:
+    print()
+    print("=" * 78)
+    print(text)
+    print("=" * 78)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--blocks", type=int, default=150, help="measured blocks")
+    parser.add_argument("--warmup", type=int, default=60, help="untraced warmup blocks")
+    parser.add_argument("--accounts", type=int, default=6000, help="initial EOAs")
+    parser.add_argument("--contracts", type=int, default=700, help="initial contracts")
+    args = parser.parse_args()
+
+    workload = WorkloadConfig(
+        seed=2024,
+        initial_eoa_accounts=args.accounts,
+        initial_contracts=args.contracts,
+        txs_per_block=24,
+    )
+
+    start = time.time()
+    print("Synchronizing both capture modes...")
+    cache_result, bare_result = run_trace_pair(
+        workload,
+        num_blocks=args.blocks,
+        warmup_blocks=args.warmup,
+        cache_bytes=256 * 1024,
+    )
+    print(f"  done in {time.time() - start:.1f}s")
+
+    distances = (0, 1, 4, 16, 64, 256, 1024)
+    cache = TraceAnalysis(
+        "CacheTrace",
+        cache_result.records,
+        cache_result.store_snapshot,
+        correlation_distances=distances,
+    )
+    bare = TraceAnalysis(
+        "BareTrace",
+        bare_result.records,
+        bare_result.store_snapshot,
+        correlation_distances=distances,
+    )
+
+    banner("Table I — class inventory (store after CacheTrace)")
+    print(render_table1(cache.sizes))
+
+    banner("Figure 2 — KV size distributions")
+    for kv_class in WORLD_STATE_PANELS:
+        print(render_size_distribution(cache.sizes, kv_class, max_points=6))
+
+    banner("Table II — operation distribution (CacheTrace)")
+    print(render_op_table(cache.opdist, "Table II analog"))
+
+    banner("Table III — operation distribution (BareTrace)")
+    print(render_op_table(bare.opdist, "Table III analog"))
+
+    banner("Table IV — read ratios")
+    print(render_read_ratio_table(bare, cache, WORLD_STATE_PANELS))
+
+    banner("Figure 3 — per-key read frequency distributions (CacheTrace)")
+    for kv_class in WORLD_STATE_PANELS:
+        print(render_frequency_distribution(cache.opdist, kv_class, OpType.READ, 6))
+
+    banner("Figure 4 — read correlations vs distance")
+    for analysis in (cache, bare):
+        results = analysis.correlation(OpType.READ)
+        pairs = [p for p, _ in results[0].top_pairs(3, cross_class=True)]
+        pairs += [p for p, _ in results[0].top_pairs(3, cross_class=False)]
+        print(
+            render_correlation_distance_series(
+                results, pairs, f"{analysis.name}: top cross + intra class pairs"
+            )
+        )
+
+    banner("Figure 5 — correlated-read frequency distributions")
+    for analysis in (cache, bare):
+        results = analysis.correlation(OpType.READ)
+        pairs = [p for p, _ in results[0].top_pairs(3)]
+        print(
+            render_correlation_frequency(
+                results, pairs, [0, 1024], f"{analysis.name}", max_points=4
+            )
+        )
+
+    banner("Figure 6 — update correlations vs distance")
+    for analysis in (cache, bare):
+        results = analysis.correlation(OpType.UPDATE)
+        pairs = [p for p, _ in results[0].top_pairs(3, cross_class=True)]
+        pairs += [p for p, _ in results[0].top_pairs(3, cross_class=False)]
+        print(
+            render_correlation_distance_series(
+                results, pairs, f"{analysis.name}: top cross + intra class pairs"
+            )
+        )
+
+    banner("Figure 7 — intra-class correlated-update frequencies")
+    for analysis in (cache, bare):
+        results = analysis.correlation(OpType.UPDATE)
+        pairs = [p for p, _ in results[0].top_pairs(2, cross_class=False)]
+        print(
+            render_correlation_frequency(
+                results, pairs, [0, 1024], f"{analysis.name}", max_points=4
+            )
+        )
+
+    banner("Findings 1-11")
+    print(evaluate_findings(cache, bare).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Snap vs full synchronization: two very different KV workloads.
+
+The paper measures *full* synchronization (execute every block); new
+mainnet nodes default to *snap* synchronization (download the state by
+hashed ranges from peers, heal the trie, then follow the head).  This
+example runs both against the same chain and contrasts their KV traffic
+profiles — snap sync is a bulk-write workload with a thin read tail,
+full sync is the read-heavy transaction-processing workload the paper
+characterizes.
+
+Usage::
+
+    python examples/snap_sync_demo.py [--blocks N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.core.opdist import OpDistAnalyzer
+from repro.core.report import render_op_table
+from repro.core.trace import OpType
+from repro.sync import FullSyncDriver, SnapSyncDriver, SyncConfig
+from repro.sync.driver import DBConfig
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--blocks", type=int, default=80)
+    args = parser.parse_args()
+
+    workload = WorkloadConfig(
+        seed=13, initial_eoa_accounts=2000, initial_contracts=300, txs_per_block=16
+    )
+
+    print("Running the serving peer (full sync from genesis)...")
+    start = time.time()
+    peer = FullSyncDriver(
+        SyncConfig(db=DBConfig.bare_trace_config(), warmup_blocks=20),
+        WorkloadGenerator(workload),
+        name="peer",
+    )
+    peer_result = peer.run(args.blocks)
+    print(
+        f"  peer at head {peer_result.head_number} "
+        f"({len(peer_result.records):,} traced ops) in {time.time() - start:.1f}s"
+    )
+
+    print("Snap-syncing a fresh node from the peer...")
+    start = time.time()
+    snap = SnapSyncDriver(
+        SyncConfig(db=DBConfig.bare_trace_config(), warmup_blocks=0),
+        workload,
+    )
+    snap_result = snap.sync_from_peer(peer, tail_blocks=16)
+    print(
+        f"  downloaded {snap_result.accounts_downloaded:,} accounts, "
+        f"{snap_result.slots_downloaded:,} slots, "
+        f"{snap_result.codes_downloaded} bytecodes in {time.time() - start:.1f}s; "
+        f"state root verified: {snap_result.state_root_matches}"
+    )
+
+    full_ops = OpDistAnalyzer(track_keys=False).consume(peer_result.records)
+    snap_ops = OpDistAnalyzer(track_keys=False).consume(snap_result.records)
+
+    print()
+    print(render_op_table(snap_ops, "Snap sync (download + heal + tail)"))
+    print()
+
+    def mix(analyzer):
+        total = analyzer.total_ops
+        reads = analyzer.total_reads()
+        puts = analyzer.total_puts()
+        return total, 100 * reads / total, 100 * puts / total
+
+    full_total, full_reads, full_puts = mix(full_ops)
+    snap_total, snap_reads, snap_puts = mix(snap_ops)
+    print(f"{'mode':<12} {'KV ops':>10} {'reads %':>9} {'puts %':>8}")
+    print(f"{'full sync':<12} {full_total:>10,} {full_reads:>9.1f} {full_puts:>8.1f}")
+    print(f"{'snap sync':<12} {snap_total:>10,} {snap_reads:>9.1f} {snap_puts:>8.1f}")
+    print()
+    print(
+        "Snap sync inverts the profile: bulk state writes during the\n"
+        "ranged download and trie heal, with execution reads appearing\n"
+        "only once it switches to full sync at the head — which is why\n"
+        "the paper characterizes full synchronization."
+    )
+
+
+if __name__ == "__main__":
+    main()

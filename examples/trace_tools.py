@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Trace tooling demo: persist, reload, and slice traces.
+
+Shows the trace I/O surface a downstream user works with: collect a
+trace from a sync run, write it to disk (binary and text formats),
+stream it back, and compute per-block and per-class slices without
+holding everything in memory.
+
+Usage::
+
+    python examples/trace_tools.py [--outdir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+import time
+from collections import Counter
+from pathlib import Path
+
+from repro import WorkloadConfig
+from repro.core.classes import classify_key
+from repro.core.trace import (
+    OpType,
+    read_trace,
+    write_text_trace,
+    write_trace,
+)
+from repro.sync.driver import DBConfig, FullSyncDriver, SyncConfig
+from repro.workload.generator import WorkloadGenerator
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--outdir", type=Path, default=None)
+    args = parser.parse_args()
+    outdir = args.outdir if args.outdir is not None else Path(tempfile.mkdtemp())
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    workload = WorkloadConfig(
+        seed=5, initial_eoa_accounts=1000, initial_contracts=150, txs_per_block=12
+    )
+    print("Collecting a small CacheTrace analog...")
+    driver = FullSyncDriver(
+        SyncConfig(db=DBConfig.cache_trace_config(128 * 1024), warmup_blocks=20),
+        WorkloadGenerator(workload),
+        name="CacheTrace",
+    )
+    records = driver.run(60).records
+    print(f"  {len(records):,} records collected")
+
+    binary_path = outdir / "cache_trace.bin"
+    text_path = outdir / "cache_trace.txt"
+    start = time.time()
+    write_trace(binary_path, records)
+    write_text_trace(text_path, records[:1000])  # text sample
+    print(
+        f"Wrote {binary_path} ({binary_path.stat().st_size:,} bytes) and a "
+        f"1,000-line text sample in {time.time() - start:.2f}s"
+    )
+
+    # Stream the binary trace back and slice it without materializing.
+    ops_per_block: Counter = Counter()
+    reads_per_class: Counter = Counter()
+    for record in read_trace(binary_path):
+        ops_per_block[record.block] += 1
+        if record.op is OpType.READ:
+            reads_per_class[classify_key(record.key)] += 1
+
+    busiest = ops_per_block.most_common(3)
+    print()
+    print("Busiest blocks (ops):")
+    for block, count in busiest:
+        print(f"  block {block}: {count} KV operations")
+    print("Top read classes:")
+    for kv_class, count in reads_per_class.most_common(5):
+        print(f"  {kv_class.display_name:<20} {count:,} reads")
+
+    print()
+    print(f"Trace files left in {outdir}")
+
+
+if __name__ == "__main__":
+    main()

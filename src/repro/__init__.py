@@ -1,0 +1,53 @@
+"""repro — Ethereum KV-storage workload analysis (IISWC 2025 reproduction).
+
+Reproduces "An Analysis of Ethereum Workloads from a Key-Value Storage
+Perspective" (Ren, Zhao, Li, Lee — IISWC 2025) as a self-contained
+Python system:
+
+* a full simulation of Geth's data-management stack (tries, snapshot,
+  caches, freezer, indexers) over a synthetic mainnet-like workload,
+  traced at the KV-store interface;
+* the paper's trace-analysis framework (29-class taxonomy, size /
+  operation-distribution / correlation analyses, the 11-findings
+  engine);
+* the paper's proposed designs (hybrid KV storage, correlation-aware
+  caching) for ablation studies.
+
+Quickstart::
+
+    from repro import run_trace_pair, TraceAnalysis, evaluate_findings
+
+    cache, bare = run_trace_pair(num_blocks=100, warmup_blocks=50)
+    ca = TraceAnalysis("CacheTrace", cache.records, cache.store_snapshot)
+    ba = TraceAnalysis("BareTrace", bare.records, bare.store_snapshot)
+    print(evaluate_findings(ca, ba).render())
+"""
+
+from repro.core.analysis import TraceAnalysis
+from repro.core.classes import KVClass, classify_key
+from repro.core.findings import evaluate_findings
+from repro.core.trace import OpType, TraceReader, TraceRecord, TraceWriter
+from repro.gethdb.database import DBConfig
+from repro.sync.driver import FullSyncDriver, SyncConfig, SyncResult, run_trace_pair
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TraceAnalysis",
+    "KVClass",
+    "classify_key",
+    "evaluate_findings",
+    "OpType",
+    "TraceRecord",
+    "TraceReader",
+    "TraceWriter",
+    "DBConfig",
+    "SyncConfig",
+    "SyncResult",
+    "FullSyncDriver",
+    "run_trace_pair",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "__version__",
+]

@@ -1,0 +1,39 @@
+"""Cache policy simulation — the paper's correlation-aware caching.
+
+Replays traces against pluggable cache policies to quantify the paper's
+cache-management suggestions (§V):
+
+* :class:`LRUPolicy` — Geth's baseline per-key LRU;
+* :class:`SegmentedLRUPolicy` — Geth's actual design: one LRU per class
+  with a shared budget;
+* :class:`NoWriteAdmissionPolicy` — the paper's "exclude never-read
+  pairs from admission on the write path" refinement (Finding 3 + 6);
+* :class:`CorrelationAwareCache` — the paper's §V conceptual design:
+  learn correlated pairs from history, prefetch partners on a read,
+  and evict correlated groups together.
+
+:class:`CacheSimulator` replays a trace against a policy and reports
+hit rates and store-read counts overall and per class.
+"""
+
+from repro.cachesim.arc import ARCPolicy
+from repro.cachesim.policies import (
+    CachePolicy,
+    LRUPolicy,
+    NoWriteAdmissionPolicy,
+    SegmentedLRUPolicy,
+)
+from repro.cachesim.correlation_cache import CorrelationAwareCache, CorrelationTable
+from repro.cachesim.simulator import CacheSimulator, SimulationReport
+
+__all__ = [
+    "CachePolicy",
+    "LRUPolicy",
+    "SegmentedLRUPolicy",
+    "NoWriteAdmissionPolicy",
+    "ARCPolicy",
+    "CorrelationAwareCache",
+    "CorrelationTable",
+    "CacheSimulator",
+    "SimulationReport",
+]

@@ -1,0 +1,113 @@
+"""Adaptive Replacement Cache (ARC).
+
+A stronger baseline for the cache ablation than plain LRU.  ARC splits
+the cache between recency (T1: seen once) and frequency (T2: seen at
+least twice) lists and self-tunes the split using ghost lists (B1/B2)
+of recently evicted keys: a hit in B1 means recency deserved more
+space, a hit in B2 means frequency did.
+
+Interesting here because Ethereum's read stream is exactly the mixture
+ARC targets — a huge once-read tail (Finding 3) that floods an LRU, and
+a small repeatedly-read hot set — yet ARC, like every history-blind
+policy, still cannot anticipate *correlated* first reads the way the
+paper's prefetching design can (Ablation B).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.cachesim.policies import CachePolicy
+from repro.errors import CacheSimError
+
+
+class ARCPolicy(CachePolicy):
+    """ARC (Megiddo & Modha) over byte keys, entry-count capacity."""
+
+    name = "arc"
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 2:
+            raise CacheSimError("capacity must be >= 2")
+        self.capacity = capacity
+        #: target size of T1 (adapted online)
+        self.p = 0
+        self._t1: OrderedDict[bytes, None] = OrderedDict()  # recent, once
+        self._t2: OrderedDict[bytes, None] = OrderedDict()  # frequent
+        self._b1: OrderedDict[bytes, None] = OrderedDict()  # ghosts of T1
+        self._b2: OrderedDict[bytes, None] = OrderedDict()  # ghosts of T2
+
+    # ------------------------------------------------------------------
+
+    def on_read(self, key: bytes) -> bool:
+        # Case I: hit in T1 or T2 -> promote to MRU of T2.
+        if key in self._t1:
+            del self._t1[key]
+            self._t2[key] = None
+            return True
+        if key in self._t2:
+            self._t2.move_to_end(key)
+            return True
+
+        # Case II: ghost hit in B1 -> favor recency; fetch into T2.
+        if key in self._b1:
+            delta = max(1, len(self._b2) // max(1, len(self._b1)))
+            self.p = min(self.capacity, self.p + delta)
+            self._replace(in_b2=False)
+            del self._b1[key]
+            self._t2[key] = None
+            return False
+
+        # Case III: ghost hit in B2 -> favor frequency; fetch into T2.
+        if key in self._b2:
+            delta = max(1, len(self._b1) // max(1, len(self._b2)))
+            self.p = max(0, self.p - delta)
+            self._replace(in_b2=True)
+            del self._b2[key]
+            self._t2[key] = None
+            return False
+
+        # Case IV: full miss.
+        l1 = len(self._t1) + len(self._b1)
+        if l1 == self.capacity:
+            if len(self._t1) < self.capacity:
+                self._b1.popitem(last=False)
+                self._replace(in_b2=False)
+            else:
+                self._t1.popitem(last=False)
+        else:
+            total = l1 + len(self._t2) + len(self._b2)
+            if total >= self.capacity:
+                if total == 2 * self.capacity:
+                    self._b2.popitem(last=False)
+                self._replace(in_b2=False)
+        self._t1[key] = None
+        return False
+
+    def _replace(self, in_b2: bool) -> None:
+        """Evict from T1 or T2 into the matching ghost list."""
+        if self._t1 and (
+            len(self._t1) > self.p or (in_b2 and len(self._t1) == self.p)
+        ):
+            victim, _ = self._t1.popitem(last=False)
+            self._b1[victim] = None
+        elif self._t2:
+            victim, _ = self._t2.popitem(last=False)
+            self._b2[victim] = None
+
+    # ------------------------------------------------------------------
+
+    def on_write(self, key: bytes) -> None:
+        # Refresh a resident key; writes do not admit (Finding 3: most
+        # written pairs are never read — admitting them pollutes).
+        if key in self._t1:
+            self._t1.move_to_end(key)
+        elif key in self._t2:
+            self._t2.move_to_end(key)
+
+    def on_delete(self, key: bytes) -> None:
+        for store in (self._t1, self._t2, self._b1, self._b2):
+            store.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._t1) + len(self._t2)

@@ -1,0 +1,140 @@
+"""Correlation-aware caching — the paper's §V conceptual design.
+
+Two pieces:
+
+* :class:`CorrelationTable` — learns, from a history window of reads,
+  which keys are read near which (within ``window`` positions), and
+  keeps the strongest partners per key;
+* :class:`CorrelationAwareCache` — an LRU variant that on every read
+  *prefetches* the read key's learned partners into the cache and, when
+  evicting, evicts a victim's correlated group together (correlated
+  keys tend to be re-read together, so keeping half a group wastes
+  space).
+
+The simulator counts prefetches as store reads, so the reported I/O
+properly charges the prefetch traffic against the saved misses.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, OrderedDict, defaultdict
+from typing import Iterable, Optional
+
+from repro.cachesim.policies import CachePolicy
+from repro.errors import CacheSimError
+
+
+class CorrelationTable:
+    """Co-occurrence statistics over a read history."""
+
+    def __init__(
+        self,
+        window: int = 4,
+        max_partners: int = 3,
+        min_occurrence: int = 2,
+    ) -> None:
+        self.window = window
+        self.max_partners = max_partners
+        self.min_occurrence = min_occurrence
+        self._pair_counts: Counter = Counter()
+        self._partners: Optional[dict[bytes, tuple[bytes, ...]]] = None
+
+    def learn(self, reads: Iterable[bytes]) -> None:
+        """Accumulate co-occurrence counts from a read sequence."""
+        recent: list[bytes] = []
+        for key in reads:
+            for other in recent:
+                if other != key:
+                    pair = (key, other) if key <= other else (other, key)
+                    self._pair_counts[pair] += 1
+            recent.append(key)
+            if len(recent) > self.window:
+                recent.pop(0)
+        self._partners = None  # invalidate compiled table
+
+    def partners_of(self, key: bytes) -> tuple[bytes, ...]:
+        """The strongest learned partners of ``key`` (possibly empty)."""
+        if self._partners is None:
+            self._compile()
+        return self._partners.get(key, ())  # type: ignore[union-attr]
+
+    def _compile(self) -> None:
+        by_key: dict[bytes, list[tuple[int, bytes]]] = defaultdict(list)
+        for (a, b), count in self._pair_counts.items():
+            if count < self.min_occurrence:
+                continue
+            by_key[a].append((count, b))
+            by_key[b].append((count, a))
+        compiled: dict[bytes, tuple[bytes, ...]] = {}
+        for key, partners in by_key.items():
+            partners.sort(key=lambda cb: (-cb[0], cb[1]))
+            compiled[key] = tuple(p for _, p in partners[: self.max_partners])
+        self._partners = compiled
+
+    @property
+    def num_correlated_pairs(self) -> int:
+        return sum(1 for c in self._pair_counts.values() if c >= self.min_occurrence)
+
+
+class CorrelationAwareCache(CachePolicy):
+    """LRU + correlation-driven prefetch and group eviction."""
+
+    name = "correlation-aware"
+
+    def __init__(
+        self,
+        capacity: int,
+        table: CorrelationTable,
+        group_evict: bool = True,
+    ) -> None:
+        if capacity < 2:
+            raise CacheSimError("capacity must be >= 2")
+        self.capacity = capacity
+        self.table = table
+        self.group_evict = group_evict
+        self._entries: OrderedDict[bytes, None] = OrderedDict()
+        #: store reads issued for prefetching (charged as I/O)
+        self.prefetches = 0
+        #: prefetched keys that were later read while still cached
+        self.prefetch_hits = 0
+        self._prefetched: set[bytes] = set()
+
+    def _insert(self, key: bytes) -> None:
+        self._entries[key] = None
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            victim, _ = self._entries.popitem(last=False)
+            self._prefetched.discard(victim)
+            if self.group_evict:
+                for partner in self.table.partners_of(victim):
+                    if partner in self._entries:
+                        del self._entries[partner]
+                        self._prefetched.discard(partner)
+
+    def on_read(self, key: bytes) -> bool:
+        hit = key in self._entries
+        if hit:
+            self._entries.move_to_end(key)
+            if key in self._prefetched:
+                self.prefetch_hits += 1
+                self._prefetched.discard(key)
+        else:
+            self._insert(key)
+        # Prefetch learned partners not already cached.
+        for partner in self.table.partners_of(key):
+            if partner not in self._entries:
+                self.prefetches += 1
+                self._insert(partner)
+                self._prefetched.add(partner)
+        return hit
+
+    def on_write(self, key: bytes) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+
+    def on_delete(self, key: bytes) -> None:
+        self._entries.pop(key, None)
+        self._prefetched.discard(key)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,138 @@
+"""Baseline cache policies.
+
+All policies implement :class:`CachePolicy`: the simulator drives them
+with ``on_read`` / ``on_write`` / ``on_delete`` events and they answer
+whether each read hit.  Capacity is in entries (the simulator compares
+policies at equal entry budgets; byte-budget effects are covered by the
+live :mod:`repro.gethdb.caches` used in the sync stack).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import OrderedDict
+from typing import Optional
+
+from repro.core.classes import KVClass, classify_key
+from repro.errors import CacheSimError
+
+
+class CachePolicy(abc.ABC):
+    """Event-driven cache policy interface for trace replay."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def on_read(self, key: bytes) -> bool:
+        """Process a read; return True on hit.  Misses insert the key."""
+
+    @abc.abstractmethod
+    def on_write(self, key: bytes) -> None:
+        """Process a write/update of ``key``."""
+
+    @abc.abstractmethod
+    def on_delete(self, key: bytes) -> None:
+        """Process a deletion of ``key``."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Current number of cached entries."""
+
+
+class LRUPolicy(CachePolicy):
+    """Plain LRU over all classes with write-path admission (Geth-like)."""
+
+    name = "lru"
+
+    def __init__(self, capacity: int, admit_writes: bool = True) -> None:
+        if capacity < 1:
+            raise CacheSimError("capacity must be >= 1")
+        self.capacity = capacity
+        self.admit_writes = admit_writes
+        self._entries: OrderedDict[bytes, None] = OrderedDict()
+
+    def _touch(self, key: bytes) -> None:
+        self._entries[key] = None
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def on_read(self, key: bytes) -> bool:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return True
+        self._touch(key)
+        return False
+
+    def on_write(self, key: bytes) -> None:
+        if self.admit_writes or key in self._entries:
+            self._touch(key)
+
+    def on_delete(self, key: bytes) -> None:
+        self._entries.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class NoWriteAdmissionPolicy(LRUPolicy):
+    """LRU that never admits on the write path.
+
+    The paper's refinement (from Findings 3 and 6): most written pairs
+    are never read, so admitting them on write only pollutes the cache.
+    """
+
+    name = "lru-no-write-admission"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity, admit_writes=False)
+
+
+class SegmentedLRUPolicy(CachePolicy):
+    """One LRU per KV class, sharing a fixed total entry budget.
+
+    Mirrors Geth's per-class cache family.  Classes not listed in
+    ``fractions`` fall into a shared residual segment.
+    """
+
+    name = "segmented-lru"
+
+    DEFAULT_FRACTIONS = {
+        KVClass.TRIE_NODE_ACCOUNT: 0.25,
+        KVClass.TRIE_NODE_STORAGE: 0.25,
+        KVClass.SNAPSHOT_ACCOUNT: 0.20,
+        KVClass.SNAPSHOT_STORAGE: 0.20,
+    }
+
+    def __init__(
+        self,
+        capacity: int,
+        fractions: Optional[dict[KVClass, float]] = None,
+    ) -> None:
+        if capacity < len(self.DEFAULT_FRACTIONS) + 1:
+            raise CacheSimError("capacity too small to segment")
+        fractions = fractions if fractions is not None else self.DEFAULT_FRACTIONS
+        if sum(fractions.values()) > 1.0:
+            raise CacheSimError("segment fractions exceed 1.0")
+        self._segments: dict[KVClass, LRUPolicy] = {}
+        used = 0
+        for kv_class, fraction in fractions.items():
+            entries = max(1, int(capacity * fraction))
+            self._segments[kv_class] = LRUPolicy(entries)
+            used += entries
+        self._residual = LRUPolicy(max(1, capacity - used))
+
+    def _segment(self, key: bytes) -> LRUPolicy:
+        return self._segments.get(classify_key(key), self._residual)
+
+    def on_read(self, key: bytes) -> bool:
+        return self._segment(key).on_read(key)
+
+    def on_write(self, key: bytes) -> None:
+        self._segment(key).on_write(key)
+
+    def on_delete(self, key: bytes) -> None:
+        self._segment(key).on_delete(key)
+
+    def __len__(self) -> int:
+        return sum(len(seg) for seg in self._segments.values()) + len(self._residual)

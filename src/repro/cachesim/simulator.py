@@ -1,0 +1,98 @@
+"""Trace replay against cache policies."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.cachesim.correlation_cache import CorrelationAwareCache
+from repro.cachesim.policies import CachePolicy
+from repro.core.classes import KVClass, classify_key
+from repro.core.trace import OpType, TraceRecord
+
+
+@dataclass
+class SimulationReport:
+    """Outcome of replaying one trace against one policy."""
+
+    policy_name: str
+    reads: int = 0
+    hits: int = 0
+    #: reads issued to the backing store (misses + prefetch fetches)
+    store_reads: int = 0
+    prefetches: int = 0
+    prefetch_hits: int = 0
+    per_class_reads: Counter = field(default_factory=Counter)
+    per_class_hits: Counter = field(default_factory=Counter)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.reads if self.reads else 0.0
+
+    def class_hit_rate(self, kv_class: KVClass) -> float:
+        reads = self.per_class_reads.get(kv_class, 0)
+        if not reads:
+            return 0.0
+        return self.per_class_hits.get(kv_class, 0) / reads
+
+    def render(self) -> str:
+        lines = [
+            f"policy={self.policy_name}  reads={self.reads}  "
+            f"hit_rate={self.hit_rate:.3f}  store_reads={self.store_reads}"
+        ]
+        if self.prefetches:
+            lines.append(
+                f"  prefetches={self.prefetches}  prefetch_hits={self.prefetch_hits}"
+            )
+        for kv_class, reads in sorted(
+            self.per_class_reads.items(), key=lambda kv: -kv[1]
+        )[:6]:
+            lines.append(
+                f"  {kv_class.display_name:<20} reads={reads:<8} "
+                f"hit_rate={self.class_hit_rate(kv_class):.3f}"
+            )
+        return "\n".join(lines)
+
+
+class CacheSimulator:
+    """Replays KV traces against a cache policy."""
+
+    def __init__(self, policy: CachePolicy) -> None:
+        self.policy = policy
+
+    def replay(
+        self,
+        records: Iterable[TraceRecord],
+        classes: Optional[set[KVClass]] = None,
+    ) -> SimulationReport:
+        """Replay a trace; restrict accounting to ``classes`` if given.
+
+        Mutations still flow to the policy for all classes (they affect
+        residency); only reads outside ``classes`` are skipped entirely.
+        """
+        report = SimulationReport(policy_name=self.policy.name)
+        policy = self.policy
+        for record in records:
+            op = record.op
+            if op is OpType.READ:
+                kv_class = classify_key(record.key)
+                if classes is not None and kv_class not in classes:
+                    continue
+                hit = policy.on_read(record.key)
+                report.reads += 1
+                report.per_class_reads[kv_class] += 1
+                if hit:
+                    report.hits += 1
+                    report.per_class_hits[kv_class] += 1
+                else:
+                    report.store_reads += 1
+            elif op is OpType.DELETE:
+                policy.on_delete(record.key)
+            elif op is not OpType.SCAN:
+                policy.on_write(record.key)
+        if isinstance(policy, CorrelationAwareCache):
+            report.prefetches = policy.prefetches
+            report.prefetch_hits = policy.prefetch_hits
+            report.store_reads += policy.prefetches
+        return report

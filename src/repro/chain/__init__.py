@@ -1,0 +1,27 @@
+"""Blockchain substrate: the logical data model of an Ethereum chain.
+
+Defines the objects Geth persists — accounts, transactions, receipts,
+block headers/bodies, and log bloom filters — with RLP serialization
+that makes the stored value sizes mechanically realistic (headers a few
+hundred bytes, bodies/receipts tens of KiB for full blocks, accounts
+~70-110 bytes).
+"""
+
+from repro.chain.account import Account
+from repro.chain.blocks import Block, BlockBody, Header
+from repro.chain.bloom import Bloom
+from repro.chain.genesis import GenesisConfig, make_genesis
+from repro.chain.transactions import Log, Receipt, Transaction
+
+__all__ = [
+    "Account",
+    "Transaction",
+    "Receipt",
+    "Log",
+    "Header",
+    "BlockBody",
+    "Block",
+    "Bloom",
+    "GenesisConfig",
+    "make_genesis",
+]

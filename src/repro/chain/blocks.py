@@ -1,0 +1,101 @@
+"""Block headers, bodies, and assembled blocks."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro import rlp
+from repro.chain.bloom import Bloom
+from repro.chain.transactions import Receipt, Transaction
+
+
+@dataclass
+class Header:
+    """Block header (post-merge field set)."""
+
+    number: int
+    parent_hash: bytes
+    state_root: bytes
+    timestamp: int
+    gas_limit: int = 30_000_000
+    gas_used: int = 0
+    transactions_root: bytes = b"\x00" * 32
+    receipts_root: bytes = b"\x00" * 32
+    logs_bloom: bytes = b""
+    base_fee: int = 10_000_000_000
+    coinbase: bytes = b"\x00" * 20
+    extra_data: bytes = b""
+    mix_digest: bytes = b"\x00" * 32
+    withdrawals_root: bytes = b"\x00" * 32
+
+    def encode(self) -> bytes:
+        bloom = self.logs_bloom if self.logs_bloom else Bloom().to_bytes()
+        return rlp.encode(
+            [
+                self.parent_hash,
+                b"\x00" * 32,  # ommers hash (empty post-merge)
+                self.coinbase,
+                self.state_root,
+                self.transactions_root,
+                self.receipts_root,
+                bloom,
+                0,  # difficulty (zero post-merge)
+                self.number,
+                self.gas_limit,
+                self.gas_used,
+                self.timestamp,
+                self.extra_data,
+                self.mix_digest,
+                b"\x00" * 8,  # nonce
+                self.base_fee,
+                self.withdrawals_root,
+            ]
+        )
+
+    @property
+    def hash(self) -> bytes:
+        return hashlib.sha3_256(self.encode()).digest()
+
+
+@dataclass
+class BlockBody:
+    """Transactions (and post-merge withdrawals) of one block."""
+
+    transactions: list[Transaction] = field(default_factory=list)
+    withdrawals: list[tuple[int, bytes, int]] = field(default_factory=list)
+
+    def encode(self) -> bytes:
+        return rlp.encode(
+            [
+                [tx.encode() for tx in self.transactions],
+                [],  # ommers (empty post-merge)
+                [list(w) for w in self.withdrawals],
+            ]
+        )
+
+
+@dataclass
+class Block:
+    """Assembled block: header + body + execution receipts.
+
+    Receipts are produced by the state processor; workload-generated
+    blocks arrive with an empty receipt list that the sync driver fills.
+    """
+
+    header: Header
+    body: BlockBody
+    receipts: list[Receipt] = field(default_factory=list)
+
+    @property
+    def number(self) -> int:
+        return self.header.number
+
+    @property
+    def hash(self) -> bytes:
+        return self.header.hash
+
+    @property
+    def transactions(self) -> list[Transaction]:
+        return self.body.transactions

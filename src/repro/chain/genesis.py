@@ -1,0 +1,69 @@
+"""Genesis construction and chain configuration.
+
+The genesis block seeds the world state (pre-funded accounts) and
+determines the two ``ethereum-genesis-*`` / ``ethereum-config-*``
+singleton KV pairs Geth writes at database initialization.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro import rlp
+from repro.chain.blocks import Block, BlockBody, Header
+
+
+@dataclass
+class GenesisConfig:
+    """Parameters of the simulated network's genesis."""
+
+    chain_id: int = 1
+    #: number of pre-funded externally owned accounts
+    prefunded_accounts: int = 64
+    initial_balance: int = 10**21
+    timestamp: int = 1_438_269_973
+    #: synthetic genesis allocation payload size (the real mainnet
+    #: genesis state blob is ~0.68 MiB; Table I's Ethereum-genesis row)
+    alloc_blob_bytes: int = 710_909
+
+    def config_json(self) -> bytes:
+        """The chain-config value stored under ``ethereum-config-<hash>``."""
+        config = {
+            "chainId": self.chain_id,
+            "homesteadBlock": 0,
+            "byzantiumBlock": 0,
+            "constantinopleBlock": 0,
+            "petersburgBlock": 0,
+            "istanbulBlock": 0,
+            "berlinBlock": 0,
+            "londonBlock": 0,
+            "terminalTotalDifficulty": 0,
+            "shanghaiTime": 0,
+            "cancunTime": 0,
+        }
+        blob = json.dumps(config, separators=(",", ":")).encode()
+        # Pad to the observed mainnet config size (603 bytes) so the
+        # Ethereum-config singleton lands on Table I's value size.
+        if len(blob) < 603:
+            blob += b" " * (603 - len(blob))
+        return blob
+
+    def genesis_state_blob(self, state_root: bytes) -> bytes:
+        """Synthetic genesis allocation blob (size-faithful)."""
+        seed = hashlib.sha3_256(b"genesis-alloc" + state_root).digest()
+        repeats = self.alloc_blob_bytes // len(seed) + 1
+        return (seed * repeats)[: self.alloc_blob_bytes]
+
+
+def make_genesis(config: GenesisConfig, state_root: bytes) -> Block:
+    """Build the genesis block over an already-initialized state root."""
+    header = Header(
+        number=0,
+        parent_hash=b"\x00" * 32,
+        state_root=state_root,
+        timestamp=config.timestamp,
+        extra_data=b"repro-genesis",
+    )
+    return Block(header=header, body=BlockBody())

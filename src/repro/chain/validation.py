@@ -1,0 +1,118 @@
+"""Block validation.
+
+Full synchronization "reads KV pairs ... to verify downloaded blocks by
+processing their transactions" (paper §II-A).  This module implements
+the verification rules themselves:
+
+* **derived roots** — transactions_root and receipts_root are MPT roots
+  over RLP(index) -> encoded item, exactly the Yellow Paper's
+  construction (computed here over an in-memory trie);
+* **header-chain rules** — number/parent linkage, timestamp ordering,
+  gas accounting;
+* **post-execution checks** — the executed state root, receipts root,
+  and logs bloom must match what the header commits to.
+
+The sync driver stamps the derived roots into every block it builds and
+re-validates on import, so a corrupted block (tampered body, wrong
+state root) raises :class:`~repro.errors.InvalidBlockError` rather than
+silently entering the database.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import rlp
+from repro.chain.blocks import Block, Header
+from repro.chain.transactions import Receipt, block_bloom
+from repro.errors import InvalidBlockError
+from repro.trie.nibbles import Nibbles, bytes_to_nibbles
+from repro.trie.trie import NodeBackend, PathTrie
+
+
+class _EphemeralBackend(NodeBackend):
+    """Throwaway in-memory node store for derived-root computation."""
+
+    def __init__(self) -> None:
+        self._data: dict[Nibbles, bytes] = {}
+
+    def get(self, path: Nibbles) -> Optional[bytes]:
+        return self._data.get(path)
+
+    def peek(self, path: Nibbles) -> Optional[bytes]:
+        return self._data.get(path)
+
+    def put(self, path: Nibbles, blob: bytes) -> None:
+        self._data[path] = blob
+
+    def delete(self, path: Nibbles) -> None:
+        self._data.pop(path, None)
+
+
+def derive_list_root(items: list[bytes]) -> bytes:
+    """MPT root of ``RLP(index) -> item`` (tx/receipt root construction)."""
+    trie = PathTrie(_EphemeralBackend())
+    for index, item in enumerate(items):
+        key = bytes_to_nibbles(rlp.encode(index))
+        trie.update(key, item if item else b"\x80")
+    return trie.commit()
+
+
+def derive_transactions_root(block_or_body) -> bytes:
+    """transactions_root over the body's encoded transactions."""
+    transactions = getattr(block_or_body, "transactions", block_or_body)
+    return derive_list_root([tx.encode() for tx in transactions])
+
+
+def derive_receipts_root(receipts: list[Receipt]) -> bytes:
+    """receipts_root over the encoded receipts."""
+    return derive_list_root([receipt.encode() for receipt in receipts])
+
+
+def validate_header_chain(header: Header, parent: Header) -> None:
+    """Header-chain rules: linkage, ordering, gas accounting."""
+    if header.number != parent.number + 1:
+        raise InvalidBlockError(
+            f"block {header.number} does not extend parent {parent.number}"
+        )
+    if header.parent_hash != parent.hash:
+        raise InvalidBlockError(
+            f"block {header.number} parent hash mismatch: "
+            f"{header.parent_hash.hex()[:12]} != {parent.hash.hex()[:12]}"
+        )
+    if header.timestamp <= parent.timestamp:
+        raise InvalidBlockError(
+            f"block {header.number} timestamp {header.timestamp} not after "
+            f"parent's {parent.timestamp}"
+        )
+    if header.gas_used > header.gas_limit:
+        raise InvalidBlockError(
+            f"block {header.number} gas used {header.gas_used} exceeds "
+            f"limit {header.gas_limit}"
+        )
+
+
+def validate_body(block: Block) -> None:
+    """The body must match the header's transactions_root."""
+    derived = derive_transactions_root(block.body)
+    if derived != block.header.transactions_root:
+        raise InvalidBlockError(
+            f"block {block.number} transactions root mismatch: body does "
+            f"not match header commitment"
+        )
+
+
+def validate_execution_outcome(
+    block: Block, state_root: bytes, receipts: list[Receipt]
+) -> None:
+    """Post-execution checks: state root, receipts root, logs bloom."""
+    if state_root != block.header.state_root:
+        raise InvalidBlockError(
+            f"block {block.number} state root mismatch after execution"
+        )
+    derived = derive_receipts_root(receipts)
+    if derived != block.header.receipts_root:
+        raise InvalidBlockError(f"block {block.number} receipts root mismatch")
+    bloom = block_bloom(receipts).to_bytes()
+    if block.header.logs_bloom and block.header.logs_bloom != bloom:
+        raise InvalidBlockError(f"block {block.number} logs bloom mismatch")

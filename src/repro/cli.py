@@ -1,0 +1,254 @@
+"""Command-line interface.
+
+Mirrors the paper artifact's script surface as one CLI::
+
+    python -m repro findings  [--blocks N] [--json OUT]
+    python -m repro tables    [--blocks N]
+    python -m repro sync      --mode cache|bare --out TRACE.bin
+    python -m repro analyze   TRACE.bin [--correlate read|update]
+    python -m repro export    --outdir DIR [--blocks N]
+
+``sync`` collects a trace to disk; ``analyze`` re-reads any trace file
+(ours or one converted from the artifact's format) and prints the
+operation-distribution table, optionally with a correlation pass;
+``export`` writes the artifact-compatible output files plus CSV/JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.core.analysis import TraceAnalysis
+from repro.core.classes import KVClass
+from repro.core.findings import evaluate_findings
+from repro.core.opdist import OpDistAnalyzer
+from repro.core.report import (
+    render_op_table,
+    render_read_ratio_table,
+    render_table1,
+)
+from repro.core.trace import OpType, read_trace, write_trace
+from repro.gethdb.database import DBConfig
+from repro.sync.driver import FullSyncDriver, SyncConfig, run_trace_pair
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+
+def _workload_from_args(args: argparse.Namespace) -> WorkloadConfig:
+    return WorkloadConfig(
+        seed=args.seed,
+        initial_eoa_accounts=args.accounts,
+        initial_contracts=args.contracts,
+        txs_per_block=args.txs,
+    )
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--blocks", type=int, default=150, help="measured blocks")
+    parser.add_argument("--warmup", type=int, default=60, help="warmup blocks")
+    parser.add_argument("--accounts", type=int, default=6000)
+    parser.add_argument("--contracts", type=int, default=700)
+    parser.add_argument("--txs", type=int, default=24, help="mean txs per block")
+    parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument(
+        "--cache-bytes", type=int, default=256 * 1024, help="CacheTrace cache budget"
+    )
+
+
+def _run_pair(args: argparse.Namespace):
+    print("Synchronizing both capture modes...", file=sys.stderr)
+    start = time.time()
+    cache_result, bare_result = run_trace_pair(
+        _workload_from_args(args),
+        num_blocks=args.blocks,
+        warmup_blocks=args.warmup,
+        cache_bytes=args.cache_bytes,
+    )
+    print(f"  done in {time.time() - start:.1f}s", file=sys.stderr)
+    cache = TraceAnalysis(
+        "CacheTrace", cache_result.records, cache_result.store_snapshot
+    )
+    bare = TraceAnalysis("BareTrace", bare_result.records, bare_result.store_snapshot)
+    return cache, bare
+
+
+def cmd_findings(args: argparse.Namespace) -> int:
+    cache, bare = _run_pair(args)
+    report = evaluate_findings(cache, bare)
+    print(report.render())
+    if args.json:
+        from repro.core.export import findings_to_json
+
+        findings_to_json(report, args.json)
+        print(f"wrote {args.json}", file=sys.stderr)
+    return 0 if report.all_passed else 1
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    cache, bare = _run_pair(args)
+    print(render_table1(cache.sizes, "Table I analog"))
+    print()
+    print(render_op_table(cache.opdist, "Table II analog (CacheTrace)"))
+    print()
+    print(render_op_table(bare.opdist, "Table III analog (BareTrace)"))
+    print()
+    classes = (
+        KVClass.SNAPSHOT_ACCOUNT,
+        KVClass.SNAPSHOT_STORAGE,
+        KVClass.TRIE_NODE_ACCOUNT,
+        KVClass.TRIE_NODE_STORAGE,
+    )
+    print(render_read_ratio_table(bare, cache, classes))
+    return 0
+
+
+def cmd_sync(args: argparse.Namespace) -> int:
+    db_config = (
+        DBConfig.cache_trace_config(args.cache_bytes)
+        if args.mode == "cache"
+        else DBConfig.bare_trace_config()
+    )
+    driver = FullSyncDriver(
+        SyncConfig(db=db_config, warmup_blocks=args.warmup),
+        WorkloadGenerator(_workload_from_args(args)),
+        name=f"{args.mode}-trace",
+    )
+    print(f"Running {args.mode}-mode full sync...", file=sys.stderr)
+    result = driver.run(args.blocks)
+    count = write_trace(args.out, result.records)
+    print(
+        f"wrote {count:,} records to {args.out} "
+        f"({Path(args.out).stat().st_size:,} bytes); "
+        f"store holds {result.total_store_pairs:,} pairs"
+    )
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    print(f"Reading {args.trace}...", file=sys.stderr)
+    records = list(read_trace(args.trace))
+    opdist = OpDistAnalyzer().consume(records)
+    print(render_op_table(opdist, f"Operation distribution ({args.trace})"))
+    if args.correlate:
+        op = OpType.READ if args.correlate == "read" else OpType.UPDATE
+        analysis = TraceAnalysis("trace", records)
+        results = analysis.correlation(op)
+        from repro.core.report import render_correlation_distance_series
+
+        top = results[0].top_pairs(3, cross_class=True)
+        top += results[0].top_pairs(3, cross_class=False)
+        print()
+        print(
+            render_correlation_distance_series(
+                results,
+                [pair for pair, _ in top],
+                f"{args.correlate} correlations (top pairs)",
+            )
+        )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.core.compare import compare_traces
+
+    print(f"Reading {args.trace_a} and {args.trace_b}...", file=sys.stderr)
+    comparison = compare_traces(
+        read_trace(args.trace_a),
+        read_trace(args.trace_b),
+        name_a=args.trace_a.name,
+        name_b=args.trace_b.name,
+    )
+    print(comparison.render())
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    cache, bare = _run_pair(args)
+    outdir = Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    from repro.core.artifact import (
+        write_correlation_output,
+        write_kv_size_distribution,
+        write_op_distribution,
+    )
+    from repro.core.export import (
+        correlation_to_csv,
+        findings_to_json,
+        opdist_to_csv,
+        sizes_to_csv,
+    )
+
+    write_kv_size_distribution(cache.sizes, outdir / "kvSizeDistribution")
+    write_op_distribution(cache.opdist, outdir / "mergedKVOpDistribution")
+    write_correlation_output(
+        cache.correlation(OpType.READ), outdir / "readCorrelationOutput"
+    )
+    write_correlation_output(
+        cache.correlation(OpType.UPDATE), outdir / "updateCorrelationOutput"
+    )
+    sizes_to_csv(cache.sizes, outdir / "table1.csv")
+    opdist_to_csv(cache.opdist, outdir / "table2_cachetrace.csv")
+    opdist_to_csv(bare.opdist, outdir / "table3_baretrace.csv")
+    correlation_to_csv(cache.correlation(OpType.READ), outdir / "fig4_cache_reads.csv")
+    findings_to_json(evaluate_findings(cache, bare), outdir / "findings.json")
+    print(f"wrote artifact-compatible outputs under {outdir}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Ethereum KV workload analysis (IISWC 2025 repro)"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    p_findings = subparsers.add_parser(
+        "findings", help="run a trace pair and evaluate Findings 1-11"
+    )
+    _add_workload_args(p_findings)
+    p_findings.add_argument("--json", type=Path, help="also write findings JSON")
+    p_findings.set_defaults(func=cmd_findings)
+
+    p_tables = subparsers.add_parser("tables", help="print Tables I-IV analogs")
+    _add_workload_args(p_tables)
+    p_tables.set_defaults(func=cmd_tables)
+
+    p_sync = subparsers.add_parser("sync", help="run one sync and save the trace")
+    _add_workload_args(p_sync)
+    p_sync.add_argument("--mode", choices=("cache", "bare"), default="cache")
+    p_sync.add_argument("--out", type=Path, required=True, help="trace output path")
+    p_sync.set_defaults(func=cmd_sync)
+
+    p_analyze = subparsers.add_parser("analyze", help="analyze a saved trace file")
+    p_analyze.add_argument("trace", type=Path)
+    p_analyze.add_argument(
+        "--correlate", choices=("read", "update"), help="add a correlation pass"
+    )
+    p_analyze.set_defaults(func=cmd_analyze)
+
+    p_export = subparsers.add_parser(
+        "export", help="write artifact-compatible output files + CSV/JSON"
+    )
+    _add_workload_args(p_export)
+    p_export.add_argument("--outdir", type=Path, required=True)
+    p_export.set_defaults(func=cmd_export)
+
+    p_compare = subparsers.add_parser(
+        "compare", help="diff two saved traces' class distributions"
+    )
+    p_compare.add_argument("trace_a", type=Path)
+    p_compare.add_argument("trace_b", type=Path)
+    p_compare.set_defaults(func=cmd_compare)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,48 @@
+"""Core trace-analysis framework — the paper's primary contribution.
+
+This package defines:
+
+* the trace model (:mod:`repro.core.trace`): KV operation records as
+  captured at the KV-store interface, plus streaming readers/writers;
+* the class taxonomy (:mod:`repro.core.classes`): the 29 KV classes
+  identified from Geth's storage schema, and a prefix classifier;
+* size analysis (:mod:`repro.core.sizes`): Table I and Figure 2;
+* operation-distribution analysis (:mod:`repro.core.opdist`):
+  Tables II/III/IV and Figure 3;
+* correlation analysis (:mod:`repro.core.correlation`): Figures 4-7;
+* the findings engine (:mod:`repro.core.findings`): Findings 1-11;
+* report rendering (:mod:`repro.core.report`): paper-style tables.
+"""
+
+from repro.core.blockstats import BlockProfile, BlockStatsAnalyzer, slice_blocks
+from repro.core.classes import KVClass, classify_key
+from repro.core.compare import TraceComparison, compare_traces
+from repro.core.iostats import IOStatsAnalyzer
+from repro.core.correlation import CorrelationAnalyzer, CorrelationConfig
+from repro.core.findings import FindingsReport, evaluate_findings
+from repro.core.opdist import OperationDistribution, OpDistAnalyzer
+from repro.core.sizes import ClassSizeStats, SizeAnalyzer
+from repro.core.trace import OpType, TraceReader, TraceRecord, TraceWriter
+
+__all__ = [
+    "BlockProfile",
+    "BlockStatsAnalyzer",
+    "slice_blocks",
+    "TraceComparison",
+    "compare_traces",
+    "IOStatsAnalyzer",
+    "KVClass",
+    "classify_key",
+    "OpType",
+    "TraceRecord",
+    "TraceReader",
+    "TraceWriter",
+    "ClassSizeStats",
+    "SizeAnalyzer",
+    "OperationDistribution",
+    "OpDistAnalyzer",
+    "CorrelationAnalyzer",
+    "CorrelationConfig",
+    "FindingsReport",
+    "evaluate_findings",
+]

@@ -1,0 +1,88 @@
+"""One-stop trace analysis bundle.
+
+:class:`TraceAnalysis` runs every analyzer the findings engine needs
+over one trace (plus an optional end-of-run store snapshot) and caches
+the results.  The findings engine and report renderers consume two of
+these — one for the CacheTrace analog, one for the BareTrace analog.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.core.correlation import (
+    DEFAULT_DISTANCES,
+    CorrelationAnalyzer,
+    CorrelationConfig,
+    DistanceResult,
+)
+from repro.core.opdist import OpDistAnalyzer
+from repro.core.sizes import SizeAnalyzer
+from repro.core.trace import OpType, TraceRecord
+
+
+class TraceAnalysis:
+    """All analyses for one trace, computed in a single pass + on demand.
+
+    Attributes:
+        name: label for reports ("CacheTrace" / "BareTrace").
+        opdist: operation-distribution analyzer (Tables II/III/IV, Fig 3).
+        sizes: size analyzer over the end-of-run store snapshot
+            (Table I, Fig 2); populated when a snapshot is supplied.
+        records: the retained trace (needed for correlation passes).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        records: Sequence[TraceRecord],
+        store_snapshot: Optional[Iterable[tuple[bytes, bytes]]] = None,
+        correlation_distances: Sequence[int] = DEFAULT_DISTANCES,
+    ) -> None:
+        self.name = name
+        self.records = records
+        self.opdist = OpDistAnalyzer(track_keys=True).consume(records)
+        self.sizes = SizeAnalyzer()
+        if store_snapshot is not None:
+            self.sizes.add_store_snapshot(store_snapshot)
+        self._distances = tuple(correlation_distances)
+        self._correlations: dict[OpType, dict[int, DistanceResult]] = {}
+        self._analyzers: dict[OpType, CorrelationAnalyzer] = {}
+
+    def read_ratio(self, kv_class) -> float:
+        """Table IV read ratio: % of the class's KV pairs read >= once.
+
+        The denominator is the class's *store population* (all pairs in
+        the KV store, most of which predate the measurement window and
+        are never touched), matching the paper's definition — not just
+        the keys that appear in the trace.
+        """
+        activity = self.opdist.activity(kv_class)
+        read_keys = len(activity.read_counts)
+        population = self.sizes.stats_for(kv_class).num_pairs
+        denominator = max(population, len(activity.keys_seen))
+        if denominator == 0:
+            return 0.0
+        return 100.0 * read_keys / denominator
+
+    def correlation(self, op: OpType) -> dict[int, DistanceResult]:
+        """Distance-indexed correlation results for ``op`` (cached)."""
+        cached = self._correlations.get(op)
+        if cached is None:
+            analyzer = CorrelationAnalyzer(
+                CorrelationConfig(op=op, distances=self._distances)
+            )
+            analyzer.consume(self.records)
+            cached = analyzer.compute()
+            self._analyzers[op] = analyzer
+            self._correlations[op] = cached
+        return cached
+
+    def correlation_analyzer(self, op: OpType) -> CorrelationAnalyzer:
+        """The analyzer behind :meth:`correlation` (forces computation)."""
+        self.correlation(op)
+        return self._analyzers[op]
+
+    @property
+    def num_records(self) -> int:
+        return len(self.records)

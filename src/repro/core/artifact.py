@@ -1,0 +1,140 @@
+"""Artifact-compatible output writers.
+
+The paper's released analysis tools (github.com/adslabcuhk/geth_analysis)
+emit plain-text result files with specific names and layouts.  This
+module writes our analyses in the same formats, so downstream scripts
+written against the original artifact work unchanged:
+
+* ``kvSizeDistribution/<class>.txt`` — one ``<size> <count>`` line per
+  distinct KV size (the ``countKVSizeDistribution`` tool's output);
+* ``mergedKVOpDistribution/<class>_<op>_with_key_dis.txt`` — one
+  ``<hexkey> <count>`` line per key, for each class x operation type
+  (the ``kvOpDistributionAnalysis.sh`` output);
+* ``readCorrelationOutput`` / ``updateCorrelationOutput`` —
+  ``freq-category-<distance>.log`` (per class pair: total correlated
+  count), ``freq-sorted-<distance>.log`` (key pairs sorted by
+  frequency), and ``Dist-<distance>-<classA>-<classB>-freq.log``
+  (``<frequency> <num_key_pairs>`` histogram lines for one class pair).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.core.correlation import DistanceResult
+from repro.core.opdist import OpDistAnalyzer
+from repro.core.sizes import SizeAnalyzer
+from repro.core.trace import OpType
+
+_OP_NAMES = {
+    OpType.WRITE: "write",
+    OpType.UPDATE: "update",
+    OpType.READ: "read",
+    OpType.DELETE: "delete",
+    OpType.SCAN: "scan",
+}
+
+
+def write_kv_size_distribution(
+    sizes: SizeAnalyzer, outdir: Union[str, Path]
+) -> list[Path]:
+    """Write per-class ``<size> <count>`` files (kvSizeDistribution)."""
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for kv_class in sizes.observed_classes():
+        path = outdir / f"{kv_class.display_name}.txt"
+        with open(path, "w", encoding="ascii") as stream:
+            for size, count in sizes.size_distribution(kv_class):
+                stream.write(f"{size} {count}\n")
+        written.append(path)
+    return written
+
+
+def read_kv_size_distribution(path: Union[str, Path]) -> list[tuple[int, int]]:
+    """Parse one kvSizeDistribution file back into (size, count) points."""
+    points = []
+    with open(path, "r", encoding="ascii") as stream:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            size_str, count_str = line.split()
+            points.append((int(size_str), int(count_str)))
+    return points
+
+
+def write_op_distribution(
+    opdist: OpDistAnalyzer, outdir: Union[str, Path]
+) -> list[Path]:
+    """Write ``<class>_<op>_with_key_dis.txt`` files (mergedKVOpDistribution)."""
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for kv_class in opdist.observed_classes():
+        activity = opdist.activity(kv_class)
+        per_op = {
+            OpType.READ: activity.read_counts,
+            OpType.WRITE: activity.write_counts,
+            OpType.UPDATE: activity.update_counts,
+            OpType.DELETE: activity.delete_counts,
+        }
+        for op, counts in per_op.items():
+            if not counts:
+                continue
+            name = f"{kv_class.display_name}_{_OP_NAMES[op]}_with_key_dis.txt"
+            path = outdir / name
+            with open(path, "w", encoding="ascii") as stream:
+                for key, count in sorted(counts.items()):
+                    stream.write(f"{key.hex()} {count}\n")
+            written.append(path)
+    return written
+
+
+def write_correlation_output(
+    results: dict[int, DistanceResult], outdir: Union[str, Path]
+) -> list[Path]:
+    """Write the correlation tool's three file families."""
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for distance, result in sorted(results.items()):
+        # freq-category-<distance>.log: per class pair totals.
+        category_path = outdir / f"freq-category-{distance}.log"
+        with open(category_path, "w", encoding="ascii") as stream:
+            for pair, count in sorted(
+                result.class_pair_counts.items(), key=lambda kv: -kv[1]
+            ):
+                stream.write(
+                    f"{pair[0].display_name}-{pair[1].display_name} {count}\n"
+                )
+        written.append(category_path)
+
+        # freq-sorted-<distance>.log: class pairs sorted by max key-pair
+        # frequency (the artifact sorts correlated pairs by frequency).
+        sorted_path = outdir / f"freq-sorted-{distance}.log"
+        with open(sorted_path, "w", encoding="ascii") as stream:
+            ranked = sorted(
+                result.frequency_histograms.items(),
+                key=lambda kv: -max(kv[1]),
+            )
+            for pair, histogram in ranked:
+                stream.write(
+                    f"{pair[0].display_name}-{pair[1].display_name} "
+                    f"{max(histogram)}\n"
+                )
+        written.append(sorted_path)
+
+        # Dist-<d>-<classA>-<classB>-freq.log: frequency histograms.
+        for pair, histogram in result.frequency_histograms.items():
+            name = (
+                f"Dist-{distance}-{pair[0].display_name}-"
+                f"{pair[1].display_name}-freq.log"
+            )
+            path = outdir / name
+            with open(path, "w", encoding="ascii") as stream:
+                for frequency, num_pairs in sorted(histogram.items()):
+                    stream.write(f"{frequency} {num_pairs}\n")
+            written.append(path)
+    return written

@@ -1,0 +1,148 @@
+"""ASCII plotting for the paper's figures.
+
+The paper's figures are log-log scatter/series plots; this module
+renders the same data as terminal charts so the examples can *show*
+Figures 2-7 rather than only printing point lists.  No plotting
+dependency is needed — output is plain text.
+
+Two chart kinds:
+
+* :func:`scatter` — log-log point cloud (Figures 2/3/5/7 panels);
+* :func:`multi_series` — one symbol per labelled series over a shared
+  x-axis (Figures 4/6 distance curves).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional, Sequence
+
+_SERIES_SYMBOLS = "ox+*#@%&"
+
+
+def _log_position(value: float, low: float, high: float, cells: int) -> int:
+    """Map ``value`` into [0, cells) on a log scale (0 maps to cell 0)."""
+    if value <= 0:
+        return 0
+    log_low = math.log10(max(low, 0.5))
+    log_high = math.log10(max(high, 1.0))
+    if log_high <= log_low:
+        return 0
+    fraction = (math.log10(value) - log_low) / (log_high - log_low)
+    return min(cells - 1, max(0, int(fraction * (cells - 1) + 0.5)))
+
+
+def _axis_labels(low: float, high: float, width: int) -> str:
+    left = f"{low:g}"
+    right = f"{high:g}"
+    middle = f"{math.sqrt(max(low, 0.5) * max(high, 1.0)):.0f}"
+    pad = max(1, width - len(left) - len(middle) - len(right))
+    return left + " " * (pad // 2) + middle + " " * (pad - pad // 2) + right
+
+
+def scatter(
+    points: Sequence[tuple[float, float]],
+    title: str = "",
+    width: int = 64,
+    height: int = 16,
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render (x, y) points as a log-log ASCII scatter plot."""
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        column = _log_position(x, x_low, x_high, width)
+        row = _log_position(y, y_low, y_high, height)
+        grid[height - 1 - row][column] = "o"
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_high:g}"
+    bottom_label = f"{y_low:g}"
+    label_width = max(len(top_label), len(bottom_label), len(ylabel))
+    for index, row_cells in enumerate(grid):
+        if index == 0:
+            label = top_label
+        elif index == height - 1:
+            label = bottom_label
+        elif index == height // 2 and ylabel:
+            label = ylabel[:label_width]
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |" + "".join(row_cells))
+    lines.append(" " * label_width + " +" + "-" * width)
+    lines.append(" " * label_width + "  " + _axis_labels(x_low, x_high, width))
+    if xlabel:
+        lines.append(" " * label_width + "  " + xlabel.center(width))
+    return "\n".join(lines)
+
+
+def multi_series(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    title: str = "",
+    width: int = 64,
+    height: int = 16,
+    xlabel: str = "",
+    log_y: bool = True,
+) -> str:
+    """Render labelled series on shared axes, one symbol per series.
+
+    X positions use the rank of each x value (the paper's distance axes
+    are discrete: 0, 1, 4, ..., 1024); Y is log-scaled by default.
+    """
+    cleaned = {name: list(pts) for name, pts in series.items() if pts}
+    if not cleaned:
+        return f"{title}\n(no data)"
+    all_x = sorted({x for pts in cleaned.values() for x, _ in pts})
+    x_index = {x: i for i, x in enumerate(all_x)}
+    all_y = [y for pts in cleaned.values() for _, y in pts]
+    y_low, y_high = min(all_y), max(all_y)
+    grid = [[" "] * width for _ in range(height)]
+
+    symbol_of = {}
+    for index, name in enumerate(cleaned):
+        symbol_of[name] = _SERIES_SYMBOLS[index % len(_SERIES_SYMBOLS)]
+
+    for name, pts in cleaned.items():
+        symbol = symbol_of[name]
+        for x, y in pts:
+            column = (
+                x_index[x] * (width - 1) // max(1, len(all_x) - 1)
+                if len(all_x) > 1
+                else 0
+            )
+            if log_y:
+                row = _log_position(y, y_low, y_high, height)
+            else:
+                span = (y_high - y_low) or 1.0
+                row = min(height - 1, int((y - y_low) / span * (height - 1) + 0.5))
+            cell = grid[height - 1 - row][column]
+            grid[height - 1 - row][column] = "." if cell not in (" ", symbol) else symbol
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_high:g}"
+    bottom_label = f"{y_low:g}"
+    label_width = max(len(top_label), len(bottom_label))
+    for index, row_cells in enumerate(grid):
+        if index == 0:
+            label = top_label
+        elif index == height - 1:
+            label = bottom_label
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |" + "".join(row_cells))
+    lines.append(" " * label_width + " +" + "-" * width)
+    ticks = " ".join(f"{x:g}" for x in all_x)
+    lines.append(" " * label_width + "  x: " + ticks + (f"  ({xlabel})" if xlabel else ""))
+    legend = "   ".join(f"{symbol_of[name]} {name}" for name in cleaned)
+    lines.append(" " * label_width + "  " + legend + "  (. = overlap)")
+    return "\n".join(lines)

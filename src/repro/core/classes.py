@@ -1,0 +1,264 @@
+"""The 29 KV classes and the prefix classifier.
+
+The paper classifies every KV pair by its key prefix, following Geth's
+storage schema (``core/rawdb/schema.go``).  We reproduce that schema
+byte-for-byte: multi-pair classes use single-character prefixes (plus
+structured suffixes), while the 15 system-maintenance classes are
+literal singleton keys such as ``b"LastHeader"``.
+
+Classification order matters: several singleton keys share a first byte
+with a prefix class (e.g. ``b"LastHeader"`` vs the ``b"L"`` StateID
+prefix, ``b"SnapshotJournal"`` vs the ``b"S"`` SkeletonHeader prefix),
+so exact singleton keys and the two ``ethereum-*`` literal prefixes are
+matched before single-byte prefixes.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+
+class KVClass(enum.Enum):
+    """The 29 classes of KV pairs identified in the paper (Table I)."""
+
+    # --- multi-pair classes (14) ---
+    TRIE_NODE_STORAGE = "TrieNodeStorage"
+    SNAPSHOT_STORAGE = "SnapshotStorage"
+    TX_LOOKUP = "TxLookup"
+    TRIE_NODE_ACCOUNT = "TrieNodeAccount"
+    SNAPSHOT_ACCOUNT = "SnapshotAccount"
+    HEADER_NUMBER = "HeaderNumber"
+    BLOOM_BITS = "BloomBits"
+    CODE = "Code"
+    SKELETON_HEADER = "SkeletonHeader"
+    BLOCK_HEADER = "BlockHeader"
+    BLOCK_RECEIPTS = "BlockReceipts"
+    BLOCK_BODY = "BlockBody"
+    STATE_ID = "StateID"
+    BLOOM_BITS_INDEX = "BloomBitsIndex"
+    # --- singleton system-maintenance classes (15) ---
+    ETHEREUM_GENESIS = "Ethereum-genesis"
+    SNAPSHOT_JOURNAL = "SnapshotJournal"
+    ETHEREUM_CONFIG = "Ethereum-config"
+    LAST_STATE_ID = "LastStateID"
+    UNCLEAN_SHUTDOWN = "Unclean-shutdown"
+    SNAPSHOT_GENERATOR = "SnapshotGenerator"
+    TRIE_JOURNAL = "TrieJournal"
+    DATABASE_VERSION = "DatabaseVersion"
+    LAST_BLOCK = "LastBlock"
+    SNAPSHOT_ROOT = "SnapshotRoot"
+    SKELETON_SYNC_STATUS = "SkeletonSyncStatus"
+    LAST_HEADER = "LastHeader"
+    SNAPSHOT_RECOVERY = "SnapshotRecovery"
+    TRANSACTION_INDEX_TAIL = "TransactionIndexTail"
+    LAST_FAST = "LastFast"
+
+    # A key that matches no known schema entry (should not occur in a
+    # well-formed trace; kept so analyses never crash on foreign data).
+    UNKNOWN = "Unknown"
+
+    @property
+    def display_name(self) -> str:
+        """The class name as printed in the paper's tables."""
+        return self.value
+
+    @property
+    def is_singleton(self) -> bool:
+        """True for the 15 classes that hold exactly one KV pair."""
+        return self in SINGLETON_CLASSES
+
+    @property
+    def abbreviation(self) -> str:
+        """Figure-legend abbreviation (e.g. TrieNodeAccount -> 'TA')."""
+        return _ABBREVIATIONS.get(self, self.value)
+
+
+# Abbreviations used in the paper's figure legends (Figures 4-7).
+_ABBREVIATIONS = {
+    KVClass.TRIE_NODE_ACCOUNT: "TA",
+    KVClass.TRIE_NODE_STORAGE: "TS",
+    KVClass.SNAPSHOT_ACCOUNT: "SA",
+    KVClass.SNAPSHOT_STORAGE: "SS",
+    KVClass.BLOCK_HEADER: "BH",
+    KVClass.CODE: "C",
+    KVClass.LAST_FAST: "LF",
+    KVClass.LAST_HEADER: "LH",
+    KVClass.LAST_BLOCK: "LB",
+    KVClass.LAST_STATE_ID: "LS",
+}
+
+SINGLETON_CLASSES = frozenset(
+    {
+        KVClass.ETHEREUM_GENESIS,
+        KVClass.SNAPSHOT_JOURNAL,
+        KVClass.ETHEREUM_CONFIG,
+        KVClass.LAST_STATE_ID,
+        KVClass.UNCLEAN_SHUTDOWN,
+        KVClass.SNAPSHOT_GENERATOR,
+        KVClass.TRIE_JOURNAL,
+        KVClass.DATABASE_VERSION,
+        KVClass.LAST_BLOCK,
+        KVClass.SNAPSHOT_ROOT,
+        KVClass.SKELETON_SYNC_STATUS,
+        KVClass.LAST_HEADER,
+        KVClass.SNAPSHOT_RECOVERY,
+        KVClass.TRANSACTION_INDEX_TAIL,
+        KVClass.LAST_FAST,
+    }
+)
+
+#: The five classes the paper shows dominate KV storage (Finding 1).
+DOMINANT_CLASSES = (
+    KVClass.TRIE_NODE_STORAGE,
+    KVClass.SNAPSHOT_STORAGE,
+    KVClass.TX_LOOKUP,
+    KVClass.TRIE_NODE_ACCOUNT,
+    KVClass.SNAPSHOT_ACCOUNT,
+)
+
+#: World-state-related classes (Finding 7's read/write reduction scope).
+WORLD_STATE_CLASSES = frozenset(
+    {
+        KVClass.TRIE_NODE_ACCOUNT,
+        KVClass.TRIE_NODE_STORAGE,
+        KVClass.SNAPSHOT_ACCOUNT,
+        KVClass.SNAPSHOT_STORAGE,
+    }
+)
+
+#: Classes created only by snapshot acceleration (absent in BareTrace).
+SNAPSHOT_ONLY_CLASSES = frozenset(
+    {
+        KVClass.SNAPSHOT_ACCOUNT,
+        KVClass.SNAPSHOT_STORAGE,
+        KVClass.SNAPSHOT_JOURNAL,
+        KVClass.SNAPSHOT_GENERATOR,
+        KVClass.SNAPSHOT_ROOT,
+        KVClass.SNAPSHOT_RECOVERY,
+    }
+)
+
+# ---------------------------------------------------------------------------
+# Key schema (mirrors Geth's core/rawdb/schema.go)
+# ---------------------------------------------------------------------------
+
+#: Exact singleton keys, matched before any prefix.
+SINGLETON_KEYS: dict[bytes, KVClass] = {
+    b"SnapshotJournal": KVClass.SNAPSHOT_JOURNAL,
+    b"LastStateID": KVClass.LAST_STATE_ID,
+    b"unclean-shutdown": KVClass.UNCLEAN_SHUTDOWN,
+    b"SnapshotGenerator": KVClass.SNAPSHOT_GENERATOR,
+    b"TrieJournal": KVClass.TRIE_JOURNAL,
+    b"DatabaseVersion": KVClass.DATABASE_VERSION,
+    b"LastBlock": KVClass.LAST_BLOCK,
+    b"SnapshotRoot": KVClass.SNAPSHOT_ROOT,
+    b"SkeletonSyncStatus": KVClass.SKELETON_SYNC_STATUS,
+    b"LastHeader": KVClass.LAST_HEADER,
+    b"SnapshotRecovery": KVClass.SNAPSHOT_RECOVERY,
+    b"TransactionIndexTail": KVClass.TRANSACTION_INDEX_TAIL,
+    b"LastFast": KVClass.LAST_FAST,
+}
+
+#: Literal multi-byte prefixes for genesis/config entries (key includes
+#: the 32-byte genesis hash, so they are prefix classes that happen to
+#: hold one pair each).
+ETHEREUM_GENESIS_PREFIX = b"ethereum-genesis-"
+ETHEREUM_CONFIG_PREFIX = b"ethereum-config-"
+
+#: Chain-indexer table prefix for the bloombits indexer bookkeeping.
+BLOOM_BITS_INDEX_PREFIX = b"iB"
+
+#: Single-byte prefixes for the multi-pair classes.
+HEADER_PREFIX = b"h"  # BlockHeader: h + num(8) + hash(32) [+ 't'/'n' variants]
+HEADER_NUMBER_PREFIX = b"H"  # HeaderNumber: H + hash(32)
+BODY_PREFIX = b"b"  # BlockBody: b + num(8) + hash(32)
+RECEIPTS_PREFIX = b"r"  # BlockReceipts: r + num(8) + hash(32)
+TX_LOOKUP_PREFIX = b"l"  # TxLookup: l + txhash(32)
+BLOOM_BITS_PREFIX = b"B"  # BloomBits: B + bit(2) + section(8) + hash(32)
+SNAPSHOT_ACCOUNT_PREFIX = b"a"  # SnapshotAccount: a + account hash(32)
+SNAPSHOT_STORAGE_PREFIX = b"o"  # SnapshotStorage: o + acct hash(32) + slot hash(32)
+CODE_PREFIX = b"c"  # Code: c + code hash(32)
+SKELETON_HEADER_PREFIX = b"S"  # SkeletonHeader: S + num(8)
+TRIE_NODE_ACCOUNT_PREFIX = b"A"  # TrieNodeAccount: A + compact path
+TRIE_NODE_STORAGE_PREFIX = b"O"  # TrieNodeStorage: O + acct hash(32) + compact path
+STATE_ID_PREFIX = b"L"  # StateID: L + state root(32)
+
+_PREFIX_TABLE: dict[int, KVClass] = {
+    HEADER_PREFIX[0]: KVClass.BLOCK_HEADER,
+    HEADER_NUMBER_PREFIX[0]: KVClass.HEADER_NUMBER,
+    BODY_PREFIX[0]: KVClass.BLOCK_BODY,
+    RECEIPTS_PREFIX[0]: KVClass.BLOCK_RECEIPTS,
+    TX_LOOKUP_PREFIX[0]: KVClass.TX_LOOKUP,
+    BLOOM_BITS_PREFIX[0]: KVClass.BLOOM_BITS,
+    SNAPSHOT_ACCOUNT_PREFIX[0]: KVClass.SNAPSHOT_ACCOUNT,
+    SNAPSHOT_STORAGE_PREFIX[0]: KVClass.SNAPSHOT_STORAGE,
+    CODE_PREFIX[0]: KVClass.CODE,
+    SKELETON_HEADER_PREFIX[0]: KVClass.SKELETON_HEADER,
+    TRIE_NODE_ACCOUNT_PREFIX[0]: KVClass.TRIE_NODE_ACCOUNT,
+    TRIE_NODE_STORAGE_PREFIX[0]: KVClass.TRIE_NODE_STORAGE,
+    STATE_ID_PREFIX[0]: KVClass.STATE_ID,
+}
+
+
+def classify_key(key: bytes) -> KVClass:
+    """Map a raw KV key to its class via Geth's schema.
+
+    Exact singleton keys and the ``ethereum-*`` literals are checked
+    before single-byte prefixes because they collide on first bytes.
+    """
+    if not key:
+        return KVClass.UNKNOWN
+    cls = SINGLETON_KEYS.get(key)
+    if cls is not None:
+        return cls
+    if key.startswith(ETHEREUM_GENESIS_PREFIX):
+        return KVClass.ETHEREUM_GENESIS
+    if key.startswith(ETHEREUM_CONFIG_PREFIX):
+        return KVClass.ETHEREUM_CONFIG
+    if key.startswith(BLOOM_BITS_INDEX_PREFIX):
+        return KVClass.BLOOM_BITS_INDEX
+    return _PREFIX_TABLE.get(key[0], KVClass.UNKNOWN)
+
+
+def class_by_name(name: str) -> Optional[KVClass]:
+    """Look up a class by its paper display name (case-sensitive)."""
+    try:
+        return KVClass(name)
+    except ValueError:
+        return None
+
+
+#: Canonical ordering for report tables — the paper's Table I order
+#: (descending KV-pair count, singletons afterwards).
+TABLE_ORDER = (
+    KVClass.TRIE_NODE_STORAGE,
+    KVClass.SNAPSHOT_STORAGE,
+    KVClass.TX_LOOKUP,
+    KVClass.TRIE_NODE_ACCOUNT,
+    KVClass.SNAPSHOT_ACCOUNT,
+    KVClass.HEADER_NUMBER,
+    KVClass.BLOOM_BITS,
+    KVClass.CODE,
+    KVClass.SKELETON_HEADER,
+    KVClass.BLOCK_HEADER,
+    KVClass.BLOCK_RECEIPTS,
+    KVClass.BLOCK_BODY,
+    KVClass.STATE_ID,
+    KVClass.BLOOM_BITS_INDEX,
+    KVClass.ETHEREUM_GENESIS,
+    KVClass.SNAPSHOT_JOURNAL,
+    KVClass.ETHEREUM_CONFIG,
+    KVClass.LAST_STATE_ID,
+    KVClass.UNCLEAN_SHUTDOWN,
+    KVClass.SNAPSHOT_GENERATOR,
+    KVClass.TRIE_JOURNAL,
+    KVClass.DATABASE_VERSION,
+    KVClass.LAST_BLOCK,
+    KVClass.SNAPSHOT_ROOT,
+    KVClass.SKELETON_SYNC_STATUS,
+    KVClass.LAST_HEADER,
+    KVClass.SNAPSHOT_RECOVERY,
+    KVClass.TRANSACTION_INDEX_TAIL,
+    KVClass.LAST_FAST,
+)

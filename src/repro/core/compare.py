@@ -1,0 +1,133 @@
+"""Trace comparison.
+
+Side-by-side diffing of two traces' per-class distributions — the
+operation the paper performs informally every time it contrasts
+CacheTrace with BareTrace.  Useful downstream for comparing workload
+scenarios, cache configurations, or two versions of a storage stack.
+
+The headline metric is the **total variation distance** between the
+class-share distributions (0 = identical mixes, 1 = disjoint), plus
+per-class op-count deltas and the classes that appear in only one
+trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.classes import KVClass
+from repro.core.opdist import OpDistAnalyzer
+from repro.core.trace import OpType, TraceRecord
+
+
+@dataclass
+class ClassDelta:
+    """Per-class difference between two traces."""
+
+    kv_class: KVClass
+    share_a: float
+    share_b: float
+    ops_a: int
+    ops_b: int
+    #: op-mix change: sum of |pct_a - pct_b| over the five op types / 2
+    mix_shift: float
+
+    @property
+    def share_delta(self) -> float:
+        return self.share_b - self.share_a
+
+
+@dataclass
+class TraceComparison:
+    """Outcome of comparing trace A to trace B."""
+
+    name_a: str
+    name_b: str
+    total_ops_a: int
+    total_ops_b: int
+    deltas: list[ClassDelta] = field(default_factory=list)
+    only_in_a: list[KVClass] = field(default_factory=list)
+    only_in_b: list[KVClass] = field(default_factory=list)
+
+    @property
+    def total_variation_distance(self) -> float:
+        """TV distance between the two class-share distributions (0..1)."""
+        return sum(abs(d.share_a - d.share_b) for d in self.deltas) / 200.0
+
+    def largest_shifts(self, top: int = 5) -> list[ClassDelta]:
+        return sorted(self.deltas, key=lambda d: -abs(d.share_delta))[:top]
+
+    def render(self) -> str:
+        lines = [
+            f"Trace comparison: {self.name_a} ({self.total_ops_a:,} ops) vs "
+            f"{self.name_b} ({self.total_ops_b:,} ops)",
+            f"class-share TV distance: {self.total_variation_distance:.3f}",
+        ]
+        header = (
+            f"{'Class':<22} {'A %':>7} {'B %':>7} {'Δ share':>8} {'mix shift':>10}"
+        )
+        lines += [header, "-" * len(header)]
+        for delta in self.largest_shifts(8):
+            lines.append(
+                f"{delta.kv_class.display_name:<22} {delta.share_a:>7.2f} "
+                f"{delta.share_b:>7.2f} {delta.share_delta:>+8.2f} "
+                f"{delta.mix_shift:>10.3f}"
+            )
+        if self.only_in_a:
+            lines.append(
+                "only in A: " + ", ".join(c.display_name for c in self.only_in_a)
+            )
+        if self.only_in_b:
+            lines.append(
+                "only in B: " + ", ".join(c.display_name for c in self.only_in_b)
+            )
+        return "\n".join(lines)
+
+
+_OPS = (OpType.WRITE, OpType.UPDATE, OpType.READ, OpType.SCAN, OpType.DELETE)
+
+
+def compare_traces(
+    records_a: Iterable[TraceRecord],
+    records_b: Iterable[TraceRecord],
+    name_a: str = "A",
+    name_b: str = "B",
+    analyzers: Optional[tuple[OpDistAnalyzer, OpDistAnalyzer]] = None,
+) -> TraceComparison:
+    """Compare two traces' per-class operation distributions.
+
+    Pre-built analyzers can be supplied via ``analyzers`` to avoid
+    re-consuming large traces.
+    """
+    if analyzers is not None:
+        analyzer_a, analyzer_b = analyzers
+    else:
+        analyzer_a = OpDistAnalyzer(track_keys=False).consume(records_a)
+        analyzer_b = OpDistAnalyzer(track_keys=False).consume(records_b)
+
+    classes_a = set(analyzer_a.observed_classes())
+    classes_b = set(analyzer_b.observed_classes())
+    comparison = TraceComparison(
+        name_a=name_a,
+        name_b=name_b,
+        total_ops_a=analyzer_a.total_ops,
+        total_ops_b=analyzer_b.total_ops,
+        only_in_a=sorted(classes_a - classes_b, key=lambda c: c.value),
+        only_in_b=sorted(classes_b - classes_a, key=lambda c: c.value),
+    )
+    for kv_class in sorted(classes_a | classes_b, key=lambda c: c.value):
+        dist_a = analyzer_a.distribution(kv_class)
+        dist_b = analyzer_b.distribution(kv_class)
+        mix_shift = sum(abs(dist_a.pct(op) - dist_b.pct(op)) for op in _OPS) / 200.0
+        comparison.deltas.append(
+            ClassDelta(
+                kv_class=kv_class,
+                share_a=analyzer_a.class_share(kv_class),
+                share_b=analyzer_b.class_share(kv_class),
+                ops_a=dist_a.total,
+                ops_b=dist_b.total,
+                mix_shift=mix_shift,
+            )
+        )
+    return comparison

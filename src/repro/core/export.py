@@ -1,0 +1,121 @@
+"""CSV / JSON exporters for analysis results.
+
+Machine-readable companions to the paper-style text renderers in
+:mod:`repro.core.report`: a downstream user plots Figure 2 from the
+size CSV or diffs two runs' findings from the JSON.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.core.correlation import DistanceResult
+from repro.core.findings import FindingsReport
+from repro.core.opdist import OpDistAnalyzer
+from repro.core.sizes import SizeAnalyzer
+from repro.core.trace import OpType
+
+PathLike = Union[str, Path]
+
+
+def sizes_to_csv(sizes: SizeAnalyzer, path: PathLike) -> None:
+    """Table I as CSV: one row per class with counts and size stats."""
+    with open(path, "w", newline="", encoding="ascii") as stream:
+        writer = csv.writer(stream)
+        writer.writerow(
+            [
+                "class",
+                "num_pairs",
+                "pct_of_pairs",
+                "key_size_mean",
+                "key_size_ci95",
+                "value_size_mean",
+                "value_size_ci95",
+                "kv_size_min",
+                "kv_size_max",
+            ]
+        )
+        for kv_class in sizes.observed_classes():
+            stats = sizes.stats_for(kv_class)
+            histogram = stats.kv_size_histogram
+            writer.writerow(
+                [
+                    kv_class.display_name,
+                    stats.num_pairs,
+                    f"{sizes.percentage(kv_class):.6f}",
+                    f"{stats.key_size.mean:.3f}",
+                    f"{stats.key_size.ci95_half_width:.5f}",
+                    f"{stats.value_size.mean:.3f}",
+                    f"{stats.value_size.ci95_half_width:.5f}",
+                    min(histogram) if histogram else 0,
+                    max(histogram) if histogram else 0,
+                ]
+            )
+
+
+def opdist_to_csv(opdist: OpDistAnalyzer, path: PathLike) -> None:
+    """Tables II/III as CSV: per-class op counts and percentages."""
+    ops = (OpType.WRITE, OpType.UPDATE, OpType.READ, OpType.SCAN, OpType.DELETE)
+    with open(path, "w", newline="", encoding="ascii") as stream:
+        writer = csv.writer(stream)
+        header = ["class", "pct_of_all_ops", "total_ops"]
+        header += [f"{op.name.lower()}s" for op in ops]
+        header += [f"{op.name.lower()}_pct" for op in ops]
+        writer.writerow(header)
+        for kv_class in opdist.observed_classes():
+            dist = opdist.distribution(kv_class)
+            row = [
+                kv_class.display_name,
+                f"{opdist.class_share(kv_class):.6f}",
+                dist.total,
+            ]
+            row += [dist.count(op) for op in ops]
+            row += [f"{dist.pct(op):.4f}" for op in ops]
+            writer.writerow(row)
+
+
+def correlation_to_csv(results: dict[int, DistanceResult], path: PathLike) -> None:
+    """Figures 4/6 as CSV: (distance, classA, classB, count, max_freq)."""
+    with open(path, "w", newline="", encoding="ascii") as stream:
+        writer = csv.writer(stream)
+        writer.writerow(["distance", "class_a", "class_b", "count", "max_frequency"])
+        for distance in sorted(results):
+            result = results[distance]
+            for pair, count in sorted(
+                result.class_pair_counts.items(), key=lambda kv: -kv[1]
+            ):
+                writer.writerow(
+                    [
+                        distance,
+                        pair[0].display_name,
+                        pair[1].display_name,
+                        count,
+                        result.max_pair_frequency(pair),
+                    ]
+                )
+
+
+def findings_to_json(report: FindingsReport, path: PathLike) -> None:
+    """Findings 1-11 as JSON with metrics and paper values."""
+    payload = [
+        {
+            "number": finding.number,
+            "title": finding.title,
+            "passed": finding.passed,
+            "metrics": finding.metrics,
+            "paper_values": finding.paper_values,
+            "notes": finding.notes,
+        }
+        for finding in report
+    ]
+    with open(path, "w", encoding="ascii") as stream:
+        json.dump(payload, stream, indent=2)
+
+
+def findings_from_json(path: PathLike) -> list[dict]:
+    """Load a findings JSON back into plain dictionaries."""
+    with open(path, "r", encoding="ascii") as stream:
+        return json.load(stream)

@@ -1,0 +1,487 @@
+"""The findings engine — evaluates the paper's 11 findings.
+
+Each finding is checked *qualitatively*: the shape claims the paper
+makes (which classes dominate, which ratios are low/high, how counts
+decay with distance) are asserted against our synthetic traces, and the
+measured numbers are recorded next to the paper's values so
+EXPERIMENTS.md can report paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.analysis import TraceAnalysis
+from repro.core.classes import (
+    DOMINANT_CLASSES,
+    WORLD_STATE_CLASSES,
+    KVClass,
+)
+from repro.core.correlation import class_pair
+from repro.core.trace import OpType
+
+
+@dataclass
+class Finding:
+    """Outcome of checking one finding against the traces."""
+
+    number: int
+    title: str
+    passed: bool
+    #: measured values backing the verdict
+    metrics: dict[str, float] = field(default_factory=dict)
+    #: the paper's reported values, for side-by-side reporting
+    paper_values: dict[str, float] = field(default_factory=dict)
+    notes: str = ""
+
+    def summary_line(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return f"Finding {self.number:2d} [{status}] {self.title}"
+
+
+@dataclass
+class FindingsReport:
+    """All 11 findings plus convenience accessors."""
+
+    findings: list[Finding]
+
+    def __iter__(self):
+        return iter(self.findings)
+
+    def finding(self, number: int) -> Finding:
+        for f in self.findings:
+            if f.number == number:
+                return f
+        raise KeyError(f"no finding numbered {number}")
+
+    @property
+    def all_passed(self) -> bool:
+        return all(f.passed for f in self.findings)
+
+    def render(self) -> str:
+        lines = ["=" * 72, "Findings summary", "=" * 72]
+        for f in self.findings:
+            lines.append(f.summary_line())
+            for key, value in f.metrics.items():
+                paper = f.paper_values.get(key)
+                paper_str = f"  (paper: {paper:g})" if paper is not None else ""
+                lines.append(f"    {key} = {value:g}{paper_str}")
+            if f.notes:
+                lines.append(f"    note: {f.notes}")
+        return "\n".join(lines)
+
+
+def evaluate_findings(cache: TraceAnalysis, bare: TraceAnalysis) -> FindingsReport:
+    """Check Findings 1-11 against a CacheTrace/BareTrace analysis pair.
+
+    ``cache`` must carry a store snapshot in its size analyzer (the
+    paper extracts Table I / Figure 2 from the store after CacheTrace).
+    """
+    findings = [
+        _finding1_dominant_classes(cache),
+        _finding2_size_variation(cache),
+        _finding3_rarely_read(cache, bare),
+        _finding4_scans_rare(cache),
+        _finding5_deletions(cache, bare),
+        _finding6_caching_medium_frequency(cache, bare),
+        _finding7_snapshot_acceleration(cache, bare),
+        _finding8_read_correlation_clustering(cache, bare),
+        _finding9_read_correlation_skew(cache, bare),
+        _finding10_update_correlation_clustering(cache, bare),
+        _finding11_update_correlation_frequency(cache, bare),
+    ]
+    return FindingsReport(findings)
+
+
+# ---------------------------------------------------------------------------
+# KV storage management
+# ---------------------------------------------------------------------------
+
+
+def _finding1_dominant_classes(cache: TraceAnalysis) -> Finding:
+    """Five classes of KV pairs dominate KV storage."""
+    sizes = cache.sizes
+    dominant_share = sizes.dominant_share()
+    singletons = len(sizes.singleton_classes())
+    num_classes = len(sizes.observed_classes())
+    passed = dominant_share > 90.0 and singletons >= 10
+    return Finding(
+        number=1,
+        title="Five classes of KV pairs dominate KV storage",
+        passed=passed,
+        metrics={
+            "dominant_share_pct": dominant_share,
+            "singleton_classes": singletons,
+            "observed_classes": num_classes,
+        },
+        paper_values={
+            "dominant_share_pct": 99.2,
+            "singleton_classes": 15,
+            "observed_classes": 29,
+        },
+    )
+
+
+def _finding2_size_variation(cache: TraceAnalysis) -> Finding:
+    """KV sizes (per KV pair) vary across classes."""
+    sizes = cache.sizes
+    dominant_mean = sizes.mean_kv_size(DOMINANT_CLASSES)
+    code_mean = sizes.stats_for(KVClass.CODE).mean_kv_size
+    body_mean = sizes.stats_for(KVClass.BLOCK_BODY).mean_kv_size
+    receipts_mean = sizes.stats_for(KVClass.BLOCK_RECEIPTS).mean_kv_size
+    large = [m for m in (code_mean, body_mean, receipts_mean) if m > 0]
+    passed = dominant_mean < 200.0 and bool(large) and min(large) > 1024.0
+    return Finding(
+        number=2,
+        title="KV sizes vary across classes",
+        passed=passed,
+        metrics={
+            "dominant_mean_bytes": dominant_mean,
+            "code_mean_bytes": code_mean,
+            "block_body_mean_bytes": body_mean,
+            "block_receipts_mean_bytes": receipts_mean,
+        },
+        paper_values={
+            "dominant_mean_bytes": 79.1,
+            "code_mean_bytes": 6.61 * 1024,
+            "block_body_mean_bytes": 77.5 * 1024,
+            "block_receipts_mean_bytes": 74.2 * 1024,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# KV operation distribution
+# ---------------------------------------------------------------------------
+
+
+def _finding3_rarely_read(cache: TraceAnalysis, bare: TraceAnalysis) -> Finding:
+    """Most KV pairs are rarely or never read."""
+    cache_ta_ratio = cache.read_ratio(KVClass.TRIE_NODE_ACCOUNT)
+    cache_ts_ratio = cache.read_ratio(KVClass.TRIE_NODE_STORAGE)
+    bare_ta_ratio = bare.read_ratio(KVClass.TRIE_NODE_ACCOUNT)
+    read_once_ts = cache.opdist.activity(
+        KVClass.TRIE_NODE_STORAGE
+    ).fraction_with_frequency(OpType.READ, 1)
+    read_once_sa = cache.opdist.activity(
+        KVClass.SNAPSHOT_ACCOUNT
+    ).fraction_with_frequency(OpType.READ, 1)
+    passed = (
+        cache_ta_ratio < 60.0
+        and cache_ts_ratio < 60.0
+        and read_once_ts > 25.0
+    )
+    return Finding(
+        number=3,
+        title="Most KV pairs are rarely or never read",
+        passed=passed,
+        metrics={
+            "cache_trienodeaccount_read_ratio_pct": cache_ta_ratio,
+            "cache_trienodestorage_read_ratio_pct": cache_ts_ratio,
+            "bare_trienodeaccount_read_ratio_pct": bare_ta_ratio,
+            "cache_ts_read_once_pct": read_once_ts,
+            "cache_sa_read_once_pct": read_once_sa,
+        },
+        paper_values={
+            "cache_trienodeaccount_read_ratio_pct": 13.0,
+            "cache_trienodestorage_read_ratio_pct": 6.59,
+            "bare_trienodeaccount_read_ratio_pct": 14.7,
+            "cache_ts_read_once_pct": 63.1,
+            "cache_sa_read_once_pct": 71.5,
+        },
+        notes="read ratio = fraction of pairs ever present that are read >= once",
+    )
+
+
+_SCAN_ALLOWED = frozenset(
+    {KVClass.SNAPSHOT_ACCOUNT, KVClass.SNAPSHOT_STORAGE, KVClass.BLOCK_HEADER}
+)
+
+
+def _finding4_scans_rare(cache: TraceAnalysis) -> Finding:
+    """Scans are rare in Ethereum."""
+    scanned = set(cache.opdist.scanned_classes())
+    only_expected = scanned.issubset(_SCAN_ALLOWED)
+    bh_scan_pct = cache.opdist.distribution(KVClass.BLOCK_HEADER).pct(OpType.SCAN)
+    ss_scan_pct = cache.opdist.distribution(KVClass.SNAPSHOT_STORAGE).pct(OpType.SCAN)
+    total_scans = sum(
+        cache.opdist.distribution(c).scans for c in cache.opdist.observed_classes()
+    )
+    scan_share = 100.0 * total_scans / max(1, cache.opdist.total_ops)
+    passed = only_expected and scan_share < 1.0 and ss_scan_pct < 1.0
+    return Finding(
+        number=4,
+        title="Scans are rare in Ethereum",
+        passed=passed,
+        metrics={
+            "scanned_classes": len(scanned),
+            "scan_share_of_all_ops_pct": scan_share,
+            "blockheader_scan_pct": bh_scan_pct,
+            "snapshotstorage_scan_pct": ss_scan_pct,
+        },
+        paper_values={
+            "scanned_classes": 3,
+            "blockheader_scan_pct": 5.63,
+            "snapshotstorage_scan_pct": 0.002,
+        },
+        notes=f"classes with scans: {sorted(c.value for c in scanned)}",
+    )
+
+
+def _finding5_deletions(cache: TraceAnalysis, bare: TraceAnalysis) -> Finding:
+    """Deletions are significant, with some keys repeatedly deleted and reinserted."""
+    txl_del = cache.opdist.distribution(KVClass.TX_LOOKUP).pct(OpType.DELETE)
+    bh_del = cache.opdist.distribution(KVClass.BLOCK_HEADER).pct(OpType.DELETE)
+    ta_del = cache.opdist.distribution(KVClass.TRIE_NODE_ACCOUNT).pct(OpType.DELETE)
+    repeat_deleted = cache.opdist.activity(
+        KVClass.TRIE_NODE_STORAGE
+    ).keys_with_op_at_least(OpType.DELETE, 2)
+    passed = txl_del > 30.0 and bh_del > 5.0 and ta_del < 5.0 and repeat_deleted > 0
+    return Finding(
+        number=5,
+        title="Deletions are significant; some keys repeatedly deleted and reinserted",
+        passed=passed,
+        metrics={
+            "txlookup_delete_pct": txl_del,
+            "blockheader_delete_pct": bh_del,
+            "trienodeaccount_delete_pct": ta_del,
+            "ts_keys_deleted_2plus": repeat_deleted,
+        },
+        paper_values={
+            "txlookup_delete_pct": 48.0,
+            "blockheader_delete_pct": 16.9,
+            "trienodeaccount_delete_pct": 0.003,
+        },
+    )
+
+
+def _finding6_caching_medium_frequency(
+    cache: TraceAnalysis, bare: TraceAnalysis
+) -> Finding:
+    """Caching has limited effectiveness for medium-frequency KV pairs."""
+    reductions: dict[str, float] = {}
+    for cls, label in (
+        (KVClass.TRIE_NODE_ACCOUNT, "ta"),
+        (KVClass.TRIE_NODE_STORAGE, "ts"),
+    ):
+        top_keys = bare.opdist.top_read_keys(cls, fraction=0.001)
+        bare_top = bare.opdist.reads_to_keys(cls, top_keys)
+        cache_top = cache.opdist.reads_to_keys(cls, top_keys)
+        top_reduction = _reduction_pct(bare_top, cache_top)
+
+        bare_medium = bare.opdist.reads_to_band(cls, 10, 100)
+        medium_keys = [
+            key
+            for key, count in bare.opdist.activity(cls).read_counts.items()
+            if 10 <= count <= 100
+        ]
+        cache_medium = cache.opdist.reads_to_keys(cls, medium_keys)
+        medium_reduction = _reduction_pct(bare_medium, cache_medium)
+
+        reductions[f"{label}_top0.1pct_read_reduction_pct"] = top_reduction
+        reductions[f"{label}_medium_freq_read_reduction_pct"] = medium_reduction
+
+    passed = (
+        reductions["ta_top0.1pct_read_reduction_pct"]
+        > reductions["ta_medium_freq_read_reduction_pct"]
+        and reductions["ts_top0.1pct_read_reduction_pct"]
+        > reductions["ts_medium_freq_read_reduction_pct"]
+    )
+    return Finding(
+        number=6,
+        title="Caching has limited effectiveness for medium-frequency KV pairs",
+        passed=passed,
+        metrics=reductions,
+        paper_values={
+            "ta_top0.1pct_read_reduction_pct": 99.97,
+            "ts_top0.1pct_read_reduction_pct": 99.94,
+        },
+        notes="reduction compares reads to the same key set in BareTrace vs CacheTrace",
+    )
+
+
+def _reduction_pct(before: int, after: int) -> float:
+    if before <= 0:
+        return 0.0
+    return 100.0 * (before - after) / before
+
+
+def _finding7_snapshot_acceleration(
+    cache: TraceAnalysis, bare: TraceAnalysis
+) -> Finding:
+    """Snapshot acceleration cuts world-state reads/writes at a storage cost."""
+    trie_classes = (KVClass.TRIE_NODE_ACCOUNT, KVClass.TRIE_NODE_STORAGE)
+    bare_trie_reads = bare.opdist.reads_in(trie_classes)
+    cache_trie_reads = cache.opdist.reads_in(trie_classes)
+    trie_read_reduction = _reduction_pct(bare_trie_reads, cache_trie_reads)
+
+    bare_ws_reads = bare.opdist.reads_in(WORLD_STATE_CLASSES)
+    cache_ws_reads = cache.opdist.reads_in(WORLD_STATE_CLASSES)
+    ws_read_reduction = _reduction_pct(bare_ws_reads, cache_ws_reads)
+
+    bare_ws_puts = bare.opdist.puts_in(WORLD_STATE_CLASSES)
+    cache_ws_puts = cache.opdist.puts_in(WORLD_STATE_CLASSES)
+    ws_put_reduction = _reduction_pct(bare_ws_puts, cache_ws_puts)
+
+    passed = trie_read_reduction > 30.0 and ws_put_reduction > 0.0
+    return Finding(
+        number=7,
+        title="Snapshot acceleration reduces world-state reads/writes, costs storage",
+        passed=passed,
+        metrics={
+            "trie_read_reduction_pct": trie_read_reduction,
+            "world_state_read_reduction_pct": ws_read_reduction,
+            "world_state_put_reduction_pct": ws_put_reduction,
+        },
+        paper_values={
+            "world_state_read_reduction_pct": 79.7,
+            "world_state_put_reduction_pct": 64.2,
+        },
+        notes="storage-overhead side is checked by the Table I / Finding 1 snapshot share",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Read correlations
+# ---------------------------------------------------------------------------
+
+
+def _monotone_decay(series: list[tuple[int, int]]) -> bool:
+    """True when the first value dominates and the tail broadly decays."""
+    if not series:
+        return False
+    values = [count for _, count in series]
+    return values[0] > 0 and values[0] >= max(values) and values[-1] <= values[0]
+
+
+def _finding8_read_correlation_clustering(
+    cache: TraceAnalysis, bare: TraceAnalysis
+) -> Finding:
+    """Correlated reads are clustered in small regions."""
+    bare_results = bare.correlation(OpType.READ)
+    cache_results = cache.correlation(OpType.READ)
+    d0 = bare_results[0]
+    top_intra = d0.top_pairs(1, cross_class=False)
+    top_cross = d0.top_pairs(1, cross_class=True)
+    intra0 = top_intra[0][1] if top_intra else 0
+    cross0 = top_cross[0][1] if top_cross else 0
+
+    analyzer = bare.correlation_analyzer(OpType.READ)
+    decay_ok = True
+    if top_intra:
+        series = analyzer.series(bare_results, top_intra[0][0])
+        decay_ok = _monotone_decay(series)
+
+    cache_d0_total = sum(cache_results[0].class_pair_counts.values())
+    bare_d0_total = sum(bare_results[0].class_pair_counts.values())
+
+    passed = intra0 > cross0 and decay_ok and bare_d0_total >= cache_d0_total
+    return Finding(
+        number=8,
+        title="Correlated reads are clustered in small regions",
+        passed=passed,
+        metrics={
+            "bare_top_intra_d0": intra0,
+            "bare_top_cross_d0": cross0,
+            "bare_d0_total": bare_d0_total,
+            "cache_d0_total": cache_d0_total,
+        },
+        notes="intra-class > cross-class at distance 0; counts decay with distance; "
+        "BareTrace >= CacheTrace",
+    )
+
+
+def _finding9_read_correlation_skew(
+    cache: TraceAnalysis, bare: TraceAnalysis
+) -> Finding:
+    """Correlated reads are skewed in frequency."""
+    bare_results = bare.correlation(OpType.READ)
+    distances = sorted(bare_results)
+    d_min, d_max = distances[0], distances[-1]
+    ta_ta = class_pair(KVClass.TRIE_NODE_ACCOUNT, KVClass.TRIE_NODE_ACCOUNT)
+    max_freq_d0 = bare_results[d_min].max_pair_frequency(ta_ta)
+    max_freq_dmax = bare_results[d_max].max_pair_frequency(ta_ta)
+
+    cache_results = cache.correlation(OpType.READ)
+    cache_max_d0 = cache_results[d_min].max_pair_frequency(ta_ta)
+
+    passed = max_freq_d0 >= max_freq_dmax and max_freq_d0 >= cache_max_d0
+    return Finding(
+        number=9,
+        title="Correlated reads are skewed in frequency",
+        passed=passed,
+        metrics={
+            "bare_ta_ta_max_freq_d0": max_freq_d0,
+            "bare_ta_ta_max_freq_dmax": max_freq_dmax,
+            "cache_ta_ta_max_freq_d0": cache_max_d0,
+        },
+        notes="frequency at distance 0 dominates the largest distance; "
+        "caching reduces skew",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Update correlations
+# ---------------------------------------------------------------------------
+
+_HEAD_POINTER_CLASSES = frozenset(
+    {KVClass.LAST_FAST, KVClass.LAST_HEADER, KVClass.LAST_BLOCK, KVClass.LAST_STATE_ID}
+)
+
+
+def _finding10_update_correlation_clustering(
+    cache: TraceAnalysis, bare: TraceAnalysis
+) -> Finding:
+    """Correlated updates are clustered in small regions."""
+    results = cache.correlation(OpType.UPDATE)
+    d0 = results[0]
+    top_cross = d0.top_pairs(3, cross_class=True)
+    head_pointer_in_top = any(
+        pair[0] in _HEAD_POINTER_CLASSES and pair[1] in _HEAD_POINTER_CLASSES
+        for pair, _ in top_cross
+    )
+    analyzer = cache.correlation_analyzer(OpType.UPDATE)
+    decay_ok = True
+    if top_cross:
+        series = analyzer.series(results, top_cross[0][0])
+        decay_ok = _monotone_decay(series)
+    passed = head_pointer_in_top and decay_ok
+    return Finding(
+        number=10,
+        title="Correlated updates are clustered in small regions",
+        passed=passed,
+        metrics={
+            "top_cross_d0_count": top_cross[0][1] if top_cross else 0,
+            "head_pointer_pair_in_top3": float(head_pointer_in_top),
+        },
+        notes="top cross-class pairs are head-pointer classes (LastFast/LastHeader/"
+        "LastBlock), updated once per block in a batch",
+    )
+
+
+def _finding11_update_correlation_frequency(
+    cache: TraceAnalysis, bare: TraceAnalysis
+) -> Finding:
+    """Correlated updates have unique frequency distribution."""
+    results = cache.correlation(OpType.UPDATE)
+    distances = sorted(results)
+    d_min, d_max = distances[0], distances[-1]
+    ts_ts = class_pair(KVClass.TRIE_NODE_STORAGE, KVClass.TRIE_NODE_STORAGE)
+    code_code = class_pair(KVClass.CODE, KVClass.CODE)
+    ts_d0 = results[d_min].max_pair_frequency(ts_ts)
+    ts_dmax = results[d_max].max_pair_frequency(ts_ts)
+    code_d0 = results[d_min].class_pair_counts.get(code_code, 0)
+    passed = ts_d0 >= ts_dmax and ts_d0 > 0
+    return Finding(
+        number=11,
+        title="Correlated updates have unique frequency distribution",
+        passed=passed,
+        metrics={
+            "cache_ts_ts_max_freq_d0": ts_d0,
+            "cache_ts_ts_max_freq_dmax": ts_dmax,
+            "cache_code_code_d0_count": code_d0,
+        },
+        notes="TrieNodeStorage intra-class update frequency peaks at distance 0; "
+        "Code shows little/no intra-class update correlation",
+    )

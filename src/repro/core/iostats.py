@@ -1,0 +1,113 @@
+"""Byte-volume I/O analysis.
+
+The operation-distribution tables count *operations*; the paper's
+motivating concern is *I/O cost*, which also depends on how many bytes
+each operation moves.  This analyzer aggregates per-class byte volumes
+from the trace's value sizes:
+
+* bytes read / written / scanned per class;
+* the byte-weighted view of the dominant classes (small-value classes
+  like TxLookup shrink, large-value classes like BlockBody grow);
+* read/write byte ratios per class and trace-wide.
+
+Keys count toward moved bytes too (a put writes key+value; a read's
+request carries the key) so tiny-value classes are not free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.classes import KVClass, classify_key
+from repro.core.trace import OpType, TraceRecord
+
+
+@dataclass
+class ClassIOStats:
+    """Byte volumes for one class."""
+
+    kv_class: KVClass
+    bytes_read: int = 0
+    bytes_written: int = 0
+    bytes_deleted_keys: int = 0
+    bytes_scanned: int = 0
+    ops: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return (
+            self.bytes_read
+            + self.bytes_written
+            + self.bytes_deleted_keys
+            + self.bytes_scanned
+        )
+
+    @property
+    def mean_bytes_per_op(self) -> float:
+        return self.total_bytes / self.ops if self.ops else 0.0
+
+
+class IOStatsAnalyzer:
+    """Aggregates per-class byte volumes from a trace."""
+
+    def __init__(self) -> None:
+        self._stats: dict[KVClass, ClassIOStats] = {}
+
+    def consume(self, records: Iterable[TraceRecord]) -> "IOStatsAnalyzer":
+        for record in records:
+            kv_class = classify_key(record.key)
+            stats = self._stats.get(kv_class)
+            if stats is None:
+                stats = ClassIOStats(kv_class)
+                self._stats[kv_class] = stats
+            stats.ops += 1
+            key_len = len(record.key)
+            op = record.op
+            if op is OpType.READ:
+                stats.bytes_read += key_len + record.value_size
+            elif op is OpType.SCAN:
+                stats.bytes_scanned += key_len + record.value_size
+            elif op is OpType.DELETE:
+                stats.bytes_deleted_keys += key_len
+            else:  # write / update
+                stats.bytes_written += key_len + record.value_size
+        return self
+
+    def stats_for(self, kv_class: KVClass) -> ClassIOStats:
+        return self._stats.get(kv_class, ClassIOStats(kv_class))
+
+    def observed_classes(self) -> list[KVClass]:
+        return sorted(self._stats, key=lambda c: -self._stats[c].total_bytes)
+
+    def total_bytes(self) -> int:
+        return sum(stats.total_bytes for stats in self._stats.values())
+
+    def total_bytes_read(self) -> int:
+        return sum(stats.bytes_read for stats in self._stats.values())
+
+    def total_bytes_written(self) -> int:
+        return sum(stats.bytes_written for stats in self._stats.values())
+
+    def byte_share(self, kv_class: KVClass) -> float:
+        """Share (%) of all trace bytes moved by ``kv_class``."""
+        total = self.total_bytes()
+        if total == 0:
+            return 0.0
+        return 100.0 * self.stats_for(kv_class).total_bytes / total
+
+    def render(self, title: str = "Byte-volume I/O by class", top: int = 12) -> str:
+        total = self.total_bytes()
+        header = (
+            f"{'Class':<22} {'% bytes':>8} {'read MB':>9} {'write MB':>9} "
+            f"{'scan MB':>8} {'B/op':>8}"
+        )
+        lines = [f"{title}: {total / 1e6:.1f} MB moved", header, "-" * len(header)]
+        for kv_class in self.observed_classes()[:top]:
+            stats = self.stats_for(kv_class)
+            lines.append(
+                f"{kv_class.display_name:<22} {self.byte_share(kv_class):>8.2f} "
+                f"{stats.bytes_read / 1e6:>9.2f} {stats.bytes_written / 1e6:>9.2f} "
+                f"{stats.bytes_scanned / 1e6:>8.2f} {stats.mean_bytes_per_op:>8.1f}"
+            )
+        return "\n".join(lines)

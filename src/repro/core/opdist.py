@@ -1,0 +1,239 @@
+"""Operation-distribution analysis — Tables II/III/IV and Figure 3.
+
+Consumes a trace (iterable of :class:`~repro.core.trace.TraceRecord`)
+and produces, per class:
+
+* operation mix (% of writes/updates/reads/scans/deletes) — Tables II/III;
+* share of all KV operations — the tables' first column;
+* read ratio: the fraction of *pairs ever present* in the class that are
+  read at least once — Table IV;
+* per-key frequency distributions (reads/updates/deletes per key) —
+  Figure 3, including the "read exactly once" shares (Finding 3) and
+  repeated delete+reinsert detection (Finding 5).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.classes import KVClass, classify_key
+from repro.core.trace import OpType, TraceRecord
+
+
+@dataclass
+class OperationDistribution:
+    """Per-class operation counters (one row of Table II/III)."""
+
+    kv_class: KVClass
+    writes: int = 0
+    updates: int = 0
+    reads: int = 0
+    scans: int = 0
+    deletes: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.writes + self.updates + self.reads + self.scans + self.deletes
+
+    def count(self, op: OpType) -> int:
+        return {
+            OpType.WRITE: self.writes,
+            OpType.UPDATE: self.updates,
+            OpType.READ: self.reads,
+            OpType.SCAN: self.scans,
+            OpType.DELETE: self.deletes,
+        }[op]
+
+    def pct(self, op: OpType) -> float:
+        """Percentage of this class's operations that are ``op``."""
+        total = self.total
+        if total == 0:
+            return 0.0
+        return 100.0 * self.count(op) / total
+
+
+@dataclass
+class ClassKeyActivity:
+    """Per-class, per-key activity used for Table IV and Figure 3."""
+
+    kv_class: KVClass
+    #: per-key read counts (only keys read at least once appear)
+    read_counts: Counter = field(default_factory=Counter)
+    update_counts: Counter = field(default_factory=Counter)
+    delete_counts: Counter = field(default_factory=Counter)
+    write_counts: Counter = field(default_factory=Counter)
+    #: all keys that ever existed in this class during the trace window
+    keys_seen: set = field(default_factory=set)
+
+    def read_ratio(self) -> float:
+        """Fraction (%) of keys ever present that are read >= once (Table IV)."""
+        if not self.keys_seen:
+            return 0.0
+        return 100.0 * len(self.read_counts) / len(self.keys_seen)
+
+    def frequency_distribution(self, op: OpType) -> list[tuple[int, int]]:
+        """Sorted ``(frequency, num_keys)`` points for Figure 3 panels."""
+        counts = self._counter_for(op)
+        histogram = Counter(counts.values())
+        return sorted(histogram.items())
+
+    def fraction_with_frequency(self, op: OpType, frequency: int) -> float:
+        """Share (%) of op-touched keys having exactly ``frequency`` ops.
+
+        E.g. ``fraction_with_frequency(READ, 1)`` is the paper's
+        "% of read KV pairs read only once" (Finding 3).
+        """
+        counts = self._counter_for(op)
+        if not counts:
+            return 0.0
+        matching = sum(1 for c in counts.values() if c == frequency)
+        return 100.0 * matching / len(counts)
+
+    def keys_with_op_at_least(self, op: OpType, threshold: int) -> int:
+        """Number of keys with >= ``threshold`` operations of type ``op``."""
+        counts = self._counter_for(op)
+        return sum(1 for c in counts.values() if c >= threshold)
+
+    def _counter_for(self, op: OpType) -> Counter:
+        return {
+            OpType.READ: self.read_counts,
+            OpType.UPDATE: self.update_counts,
+            OpType.DELETE: self.delete_counts,
+            OpType.WRITE: self.write_counts,
+        }[op]
+
+
+class OpDistAnalyzer:
+    """Streaming analyzer over a trace for Tables II/III/IV and Figure 3.
+
+    ``track_keys`` controls whether per-key counters (needed for Table
+    IV and Figure 3) are maintained; disable for pure Table II/III runs
+    over very large traces.
+    """
+
+    def __init__(self, track_keys: bool = True) -> None:
+        self._dist: dict[KVClass, OperationDistribution] = {}
+        self._activity: dict[KVClass, ClassKeyActivity] = {}
+        self._track_keys = track_keys
+        self._total_ops = 0
+
+    def consume(self, records: Iterable[TraceRecord]) -> "OpDistAnalyzer":
+        for record in records:
+            self.add(record)
+        return self
+
+    def add(self, record: TraceRecord) -> None:
+        kv_class = classify_key(record.key)
+        dist = self._dist.get(kv_class)
+        if dist is None:
+            dist = OperationDistribution(kv_class)
+            self._dist[kv_class] = dist
+        self._total_ops += 1
+        op = record.op
+        if op is OpType.WRITE:
+            dist.writes += 1
+        elif op is OpType.UPDATE:
+            dist.updates += 1
+        elif op is OpType.READ:
+            dist.reads += 1
+        elif op is OpType.SCAN:
+            dist.scans += 1
+        else:
+            dist.deletes += 1
+
+        if not self._track_keys:
+            return
+        activity = self._activity.get(kv_class)
+        if activity is None:
+            activity = ClassKeyActivity(kv_class)
+            self._activity[kv_class] = activity
+        key = record.key
+        activity.keys_seen.add(key)
+        if op is OpType.READ:
+            activity.read_counts[key] += 1
+        elif op is OpType.UPDATE:
+            activity.update_counts[key] += 1
+        elif op is OpType.DELETE:
+            activity.delete_counts[key] += 1
+        elif op is OpType.WRITE:
+            activity.write_counts[key] += 1
+
+    # -- table accessors ------------------------------------------------
+
+    @property
+    def total_ops(self) -> int:
+        return self._total_ops
+
+    def distribution(self, kv_class: KVClass) -> OperationDistribution:
+        return self._dist.get(kv_class, OperationDistribution(kv_class))
+
+    def observed_classes(self) -> list[KVClass]:
+        return list(self._dist)
+
+    def class_share(self, kv_class: KVClass) -> float:
+        """Share (%) of all KV operations issued to ``kv_class``."""
+        if self._total_ops == 0:
+            return 0.0
+        return 100.0 * self.distribution(kv_class).total / self._total_ops
+
+    def total_reads(self) -> int:
+        return sum(d.reads for d in self._dist.values())
+
+    def total_puts(self) -> int:
+        """Writes + updates across all classes (Finding 7's write metric)."""
+        return sum(d.writes + d.updates for d in self._dist.values())
+
+    def reads_in(self, classes: Iterable[KVClass]) -> int:
+        return sum(self.distribution(c).reads for c in classes)
+
+    def puts_in(self, classes: Iterable[KVClass]) -> int:
+        return sum(
+            self.distribution(c).writes + self.distribution(c).updates for c in classes
+        )
+
+    def scanned_classes(self) -> list[KVClass]:
+        """Classes with at least one scan (Finding 4)."""
+        return [cls for cls, d in self._dist.items() if d.scans > 0]
+
+    # -- per-key accessors ------------------------------------------------
+
+    def activity(self, kv_class: KVClass) -> ClassKeyActivity:
+        if not self._track_keys:
+            raise ValueError("per-key tracking disabled for this analyzer")
+        return self._activity.get(kv_class, ClassKeyActivity(kv_class))
+
+    def read_ratio(self, kv_class: KVClass) -> float:
+        """Table IV entry for one class."""
+        return self.activity(kv_class).read_ratio()
+
+    def read_ratios(self, classes: Iterable[KVClass]) -> dict[KVClass, float]:
+        """Table IV rows."""
+        return {cls: self.read_ratio(cls) for cls in classes}
+
+    def top_read_keys(self, kv_class: KVClass, fraction: float) -> list[bytes]:
+        """The most-read ``fraction`` of read keys in a class (Finding 6)."""
+        counts = self.activity(kv_class).read_counts
+        if not counts:
+            return []
+        top_n = max(1, int(len(counts) * fraction))
+        ranked = sorted(counts.items(), key=lambda kv: -kv[1])
+        return [key for key, _ in ranked[:top_n]]
+
+    def reads_to_keys(self, kv_class: KVClass, keys: Iterable[bytes]) -> int:
+        """Total reads issued to the given keys in a class."""
+        counts = self.activity(kv_class).read_counts
+        return sum(counts.get(key, 0) for key in keys)
+
+    def reads_to_band(
+        self, kv_class: KVClass, low: int, high: Optional[int] = None
+    ) -> int:
+        """Total reads to keys whose read frequency is in [low, high].
+
+        The paper's "medium-frequency" band (Finding 6) is reads 10-100.
+        """
+        counts = self.activity(kv_class).read_counts
+        return sum(
+            c for c in counts.values() if c >= low and (high is None or c <= high)
+        )

@@ -1,0 +1,143 @@
+"""The paper's published numbers, machine-readable.
+
+Tables II/III (per-class operation mixes), Table IV (read ratios), and
+Table I's summary statistics, transcribed from the paper.  Together
+with :func:`mix_distance` these turn "the shape should hold" into a
+quantified similarity report (see ``benchmarks/test_paper_similarity``).
+
+Values are percentages exactly as printed; absent cells are 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.classes import KVClass
+from repro.core.opdist import OpDistAnalyzer, OperationDistribution
+from repro.core.trace import OpType
+
+
+@dataclass(frozen=True)
+class PaperOpRow:
+    """One row of Table II/III: class share + op-mix percentages."""
+
+    share: float
+    writes: float
+    updates: float
+    reads: float
+    scans: float
+    deletes: float
+
+    def pct(self, op: OpType) -> float:
+        return {
+            OpType.WRITE: self.writes,
+            OpType.UPDATE: self.updates,
+            OpType.READ: self.reads,
+            OpType.SCAN: self.scans,
+            OpType.DELETE: self.deletes,
+        }[op]
+
+
+#: Table II — CacheTrace per-class operation distribution.
+PAPER_TABLE2: dict[KVClass, PaperOpRow] = {
+    KVClass.TRIE_NODE_STORAGE: PaperOpRow(38.5, 8.51, 50.9, 35.7, 0.0, 4.87),
+    KVClass.SNAPSHOT_STORAGE: PaperOpRow(17.9, 14.3, 32.6, 45.0, 0.002, 8.09),
+    KVClass.TX_LOOKUP: PaperOpRow(11.1, 52.0, 0.0004, 0.0, 0.0, 48.0),
+    KVClass.TRIE_NODE_ACCOUNT: PaperOpRow(23.2, 2.32, 59.7, 38.0, 0.0, 0.003),
+    KVClass.SNAPSHOT_ACCOUNT: PaperOpRow(7.48, 7.20, 64.9, 27.9, 0.000001, 0.006),
+    KVClass.HEADER_NUMBER: PaperOpRow(0.05, 74.9, 0.0007, 25.1, 0.0, 0.0),
+    KVClass.BLOOM_BITS: PaperOpRow(0.02, 97.8, 0.0, 2.20, 0.0, 0.0),
+    KVClass.CODE: PaperOpRow(0.41, 1.11, 11.7, 87.2, 0.0, 0.0),
+    KVClass.SKELETON_HEADER: PaperOpRow(0.05, 16.4, 0.40, 83.2, 0.0, 0.0),
+    KVClass.BLOCK_HEADER: PaperOpRow(0.62, 16.9, 0.0002, 60.6, 5.63, 16.9),
+    KVClass.BLOCK_RECEIPTS: PaperOpRow(0.11, 32.1, 0.0003, 35.8, 0.0, 32.1),
+    KVClass.BLOCK_BODY: PaperOpRow(0.14, 24.2, 0.0002, 51.6, 0.0, 24.2),
+    KVClass.STATE_ID: PaperOpRow(0.07, 50.0, 0.0005, 0.0, 0.0, 50.0),
+    KVClass.BLOOM_BITS_INDEX: PaperOpRow(0.002, 0.55, 0.55, 98.9, 0.0, 0.0),
+    KVClass.LAST_STATE_ID: PaperOpRow(0.03, 0.0, 0.11, 99.9, 0.0, 0.0),
+    KVClass.UNCLEAN_SHUTDOWN: PaperOpRow(0.00004, 0.0, 50.0, 50.0, 0.0, 0.0),
+    KVClass.LAST_BLOCK: PaperOpRow(0.04, 0.0, 99.7, 0.28, 0.0, 0.0),
+    KVClass.SNAPSHOT_GENERATOR: PaperOpRow(0.0004, 0.0, 100.0, 0.0, 0.0, 0.0),
+    KVClass.SNAPSHOT_ROOT: PaperOpRow(0.0007, 0.0, 50.0, 0.0, 0.0, 50.0),
+    KVClass.SKELETON_SYNC_STATUS: PaperOpRow(0.009, 0.0, 99.8, 0.19, 0.0, 0.0),
+    KVClass.LAST_HEADER: PaperOpRow(0.03, 0.0, 100.0, 0.0, 0.0, 0.0),
+    KVClass.TRANSACTION_INDEX_TAIL: PaperOpRow(0.00009, 0.0, 59.9, 40.1, 0.0, 0.0),
+    KVClass.LAST_FAST: PaperOpRow(0.03, 0.0, 100.0, 0.0, 0.0, 0.0),
+}
+
+#: Table III — BareTrace per-class operation distribution.
+PAPER_TABLE3: dict[KVClass, PaperOpRow] = {
+    KVClass.TRIE_NODE_STORAGE: PaperOpRow(57.3, 1.96, 36.8, 60.2, 0.0, 1.10),
+    KVClass.TX_LOOKUP: PaperOpRow(3.46, 52.0, 0.0004, 0.0, 0.0, 48.0),
+    KVClass.TRIE_NODE_ACCOUNT: PaperOpRow(38.6, 0.62, 58.1, 41.3, 0.0, 0.0005),
+    KVClass.HEADER_NUMBER: PaperOpRow(0.03, 41.3, 0.0004, 58.7, 0.0, 0.0),
+    KVClass.BLOOM_BITS: PaperOpRow(0.006, 94.3, 0.0, 5.75, 0.0, 0.0),
+    KVClass.CODE: PaperOpRow(0.13, 1.11, 11.7, 87.2, 0.0, 0.0),
+    KVClass.SKELETON_HEADER: PaperOpRow(0.05, 4.57, 1.45, 75.6, 0.0, 18.4),
+    KVClass.BLOCK_HEADER: PaperOpRow(0.20, 16.4, 0.0002, 61.7, 5.47, 16.4),
+    KVClass.BLOCK_RECEIPTS: PaperOpRow(0.03, 32.1, 0.0003, 35.9, 0.0, 32.0),
+    KVClass.BLOCK_BODY: PaperOpRow(0.05, 23.2, 0.0002, 53.5, 0.0, 23.2),
+    KVClass.STATE_ID: PaperOpRow(0.02, 50.0, 0.0005, 0.0, 0.0, 50.0),
+    KVClass.BLOOM_BITS_INDEX: PaperOpRow(0.002, 0.15, 0.15, 99.7, 0.0, 0.0),
+    KVClass.LAST_STATE_ID: PaperOpRow(0.03, 0.0, 33.3, 66.7, 0.0, 0.0),
+    KVClass.UNCLEAN_SHUTDOWN: PaperOpRow(0.00005, 0.0, 50.0, 50.0, 0.0, 0.0),
+    KVClass.LAST_BLOCK: PaperOpRow(0.01, 0.0, 98.9, 1.05, 0.0, 0.0),
+    KVClass.SKELETON_SYNC_STATUS: PaperOpRow(0.003, 1.51, 97.7, 0.75, 0.0, 0.0),
+    KVClass.LAST_HEADER: PaperOpRow(0.01, 0.0, 100.0, 0.0, 0.0, 0.0),
+    KVClass.TRANSACTION_INDEX_TAIL: PaperOpRow(0.00003, 0.0, 55.3, 44.7, 0.0, 0.0),
+    KVClass.LAST_FAST: PaperOpRow(0.01, 0.0, 100.0, 0.0, 0.0, 0.0),
+}
+
+#: Table IV — read ratios (%); None where the class is absent.
+PAPER_TABLE4_BARE: dict[KVClass, float] = {
+    KVClass.TRIE_NODE_ACCOUNT: 14.7,
+    KVClass.TRIE_NODE_STORAGE: 8.34,
+}
+PAPER_TABLE4_CACHE: dict[KVClass, float] = {
+    KVClass.SNAPSHOT_ACCOUNT: 11.0,
+    KVClass.SNAPSHOT_STORAGE: 12.0,
+    KVClass.TRIE_NODE_ACCOUNT: 13.0,
+    KVClass.TRIE_NODE_STORAGE: 6.59,
+}
+
+#: Table I headline statistics.
+PAPER_TABLE1_SUMMARY = {
+    "num_classes": 29,
+    "singleton_classes": 15,
+    "dominant_share_pct": 99.2,
+    "dominant_mean_kv_bytes": 79.1,
+    "code_mean_value_bytes": 6732.7,
+    "large_pair_share_pct": 0.04,  # pairs over 1 KiB
+}
+
+_OPS = (OpType.WRITE, OpType.UPDATE, OpType.READ, OpType.SCAN, OpType.DELETE)
+
+
+def mix_distance(measured: OperationDistribution, paper: PaperOpRow) -> float:
+    """Total variation distance between two op mixes (0 = identical)."""
+    return sum(abs(measured.pct(op) - paper.pct(op)) for op in _OPS) / 200.0
+
+
+def similarity_report(
+    opdist: OpDistAnalyzer, paper_table: dict[KVClass, PaperOpRow]
+) -> dict[KVClass, float]:
+    """Per-class mix distance for every class the paper reports."""
+    report = {}
+    for kv_class, row in paper_table.items():
+        measured = opdist.distribution(kv_class)
+        if measured.total == 0:
+            report[kv_class] = 1.0  # class missing entirely
+        else:
+            report[kv_class] = mix_distance(measured, row)
+    return report
+
+
+def weighted_mean_distance(
+    report: dict[KVClass, float], paper_table: dict[KVClass, PaperOpRow]
+) -> float:
+    """Mean mix distance weighted by the paper's class shares."""
+    total_share = sum(row.share for row in paper_table.values())
+    return sum(
+        report[kv_class] * paper_table[kv_class].share
+        for kv_class in paper_table
+    ) / total_share

@@ -1,0 +1,194 @@
+"""Paper-style table and figure renderers.
+
+Each renderer takes analyzer outputs and returns the rows/series the
+paper reports, as plain text — the benchmark harness prints these so a
+reader can compare our measured shape against the published tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.core.classes import KVClass, TABLE_ORDER
+from repro.core.correlation import DistanceResult, format_class_pair
+from repro.core.opdist import OpDistAnalyzer
+from repro.core.sizes import SizeAnalyzer
+from repro.core.trace import OpType
+
+
+def _fmt_count(count: int) -> str:
+    """Render a pair count the way Table I does (millions, or raw if 1)."""
+    if count == 1:
+        return "1"
+    if count >= 1_000_000:
+        return f"{count / 1e6:.1f} M"
+    if count >= 1_000:
+        return f"{count / 1e3:.1f} K"
+    return str(count)
+
+
+def _fmt_pct(value: float) -> str:
+    """Render a percentage like the paper's tables ('-' for zero)."""
+    if value == 0:
+        return "-"
+    if value >= 0.01:
+        return f"{value:.4g}"
+    return f"{value:.2g}"
+
+
+def render_table1(sizes: SizeAnalyzer, title: str = "Table I") -> str:
+    """Class inventory: counts, share, key/value size mean±CI."""
+    total = sizes.total_pairs
+    header = (
+        f"{'Class':<22} {'# KV pairs':>14} {'%':>8} "
+        f"{'Key size':>16} {'Value size':>18}"
+    )
+    lines = [f"{title}: class inventory over {total} KV pairs", header, "-" * len(header)]
+    for kv_class in sizes.observed_classes():
+        stats = sizes.stats_for(kv_class)
+        pct = sizes.percentage(kv_class)
+        pct_str = "-" if stats.num_pairs == 1 else f"{pct:.4g}%"
+        lines.append(
+            f"{kv_class.display_name:<22} {_fmt_count(stats.num_pairs):>14} "
+            f"{pct_str:>8} {stats.key_size.format_mean_ci():>16} "
+            f"{stats.value_size.format_mean_ci():>18}"
+        )
+    return "\n".join(lines)
+
+
+_OP_COLUMNS = (
+    ("Writes", OpType.WRITE),
+    ("Updates", OpType.UPDATE),
+    ("Reads", OpType.READ),
+    ("Scans", OpType.SCAN),
+    ("Deletes", OpType.DELETE),
+)
+
+
+def render_op_table(
+    opdist: OpDistAnalyzer,
+    title: str,
+    class_order: Sequence[KVClass] = TABLE_ORDER,
+) -> str:
+    """Tables II/III: per-class operation mix percentages."""
+    header = f"{'Class':<22} {'% of ops':>9} " + " ".join(
+        f"{name:>9}" for name, _ in _OP_COLUMNS
+    )
+    lines = [f"{title}: {opdist.total_ops} KV operations", header, "-" * len(header)]
+    observed = set(opdist.observed_classes())
+    ordered = [c for c in class_order if c in observed]
+    ordered += [c for c in observed if c not in class_order]
+    for kv_class in ordered:
+        dist = opdist.distribution(kv_class)
+        if dist.total == 0:
+            continue
+        cells = " ".join(f"{_fmt_pct(dist.pct(op)):>9}" for _, op in _OP_COLUMNS)
+        lines.append(
+            f"{kv_class.display_name:<22} "
+            f"{_fmt_pct(opdist.class_share(kv_class)):>9} {cells}"
+        )
+    return "\n".join(lines)
+
+
+def render_read_ratio_table(
+    bare,
+    cache,
+    classes: Iterable[KVClass],
+    title: str = "Table IV",
+) -> str:
+    """Table IV: read ratios of KV pairs in both traces.
+
+    ``bare`` and ``cache`` are :class:`~repro.core.analysis.TraceAnalysis`
+    objects (the ratio's denominator needs their store populations).
+    """
+    header = f"{'Class':<20} {'BareTrace (%)':>14} {'CacheTrace (%)':>15}"
+    lines = [f"{title}: read ratios of KV pairs", header, "-" * len(header)]
+    for kv_class in classes:
+        bare_ratio = bare.read_ratio(kv_class)
+        cache_ratio = cache.read_ratio(kv_class)
+        bare_str = "-" if bare_ratio == 0 else f"{bare_ratio:.3g}"
+        cache_str = "-" if cache_ratio == 0 else f"{cache_ratio:.3g}"
+        lines.append(f"{kv_class.display_name:<20} {bare_str:>14} {cache_str:>15}")
+    return "\n".join(lines)
+
+
+def render_size_distribution(
+    sizes: SizeAnalyzer, kv_class: KVClass, max_points: Optional[int] = 20
+) -> str:
+    """Figure 2 panel: (size, count) scatter points for one class."""
+    points = sizes.size_distribution(kv_class)
+    stats = sizes.stats_for(kv_class)
+    lines = [
+        f"Figure 2 panel — {kv_class.display_name}: "
+        f"{stats.num_pairs} pairs, sizes "
+        f"{stats.kv_size_histogram and min(stats.kv_size_histogram)}.."
+        f"{stats.kv_size_histogram and max(stats.kv_size_histogram)} bytes, "
+        f"modes {sizes.size_distribution_modes(kv_class)}"
+    ]
+    shown = points if max_points is None else points[:max_points]
+    for size, count in shown:
+        lines.append(f"  size={size:>6}  count={count}")
+    if max_points is not None and len(points) > max_points:
+        lines.append(f"  ... ({len(points) - max_points} more sizes)")
+    return "\n".join(lines)
+
+
+def render_frequency_distribution(
+    opdist: OpDistAnalyzer, kv_class: KVClass, op: OpType, max_points: int = 15
+) -> str:
+    """Figure 3 panel: (frequency, #keys) points for one class/op."""
+    points = opdist.activity(kv_class).frequency_distribution(op)
+    lines = [f"Figure 3 panel — {kv_class.display_name} {op.name.lower()}s"]
+    for frequency, num_keys in points[:max_points]:
+        lines.append(f"  freq={frequency:>6}  keys={num_keys}")
+    if len(points) > max_points:
+        lines.append(f"  ... ({len(points) - max_points} more frequencies)")
+    return "\n".join(lines)
+
+
+def render_correlation_distance_series(
+    results: dict[int, DistanceResult],
+    pairs: Sequence[tuple[KVClass, KVClass]],
+    title: str,
+) -> str:
+    """Figures 4/6: correlated counts vs distance for selected class pairs."""
+    from repro.core.correlation import class_pair
+
+    distances = sorted(results)
+    header = f"{'pair':<10} " + " ".join(f"d={d:<9}" for d in distances)
+    lines = [title, header, "-" * len(header)]
+    for a, b in pairs:
+        pair = class_pair(a, b)
+        cells = " ".join(
+            f"{results[d].class_pair_counts.get(pair, 0):<11}" for d in distances
+        )
+        lines.append(f"{format_class_pair(pair):<10} {cells}")
+    return "\n".join(lines)
+
+
+def render_correlation_frequency(
+    results: dict[int, DistanceResult],
+    pairs: Sequence[tuple[KVClass, KVClass]],
+    distances: Sequence[int],
+    title: str,
+    max_points: int = 10,
+) -> str:
+    """Figures 5/7: key-pair frequency histograms at selected distances."""
+    from repro.core.correlation import class_pair
+
+    lines = [title]
+    for distance in distances:
+        result = results[distance]
+        lines.append(f" distance {distance}:")
+        for a, b in pairs:
+            pair = class_pair(a, b)
+            histogram = result.frequency_histograms.get(pair)
+            if not histogram:
+                lines.append(f"  {format_class_pair(pair):<10} (no correlated pairs)")
+                continue
+            points = sorted(histogram.items())[:max_points]
+            rendered = ", ".join(f"freq {f}: {n} pairs" for f, n in points)
+            lines.append(
+                f"  {format_class_pair(pair):<10} max_freq={max(histogram)}  {rendered}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,179 @@
+"""KV size analysis — Table I and Figure 2.
+
+Given a snapshot of the KV store contents (key/value byte sizes per
+pair), produce per-class statistics: pair counts, percentage of all
+pairs, mean key/value sizes with 95% confidence intervals (under the
+normal approximation, as the paper does), and full size histograms for
+the Figure 2 scatter distributions.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional
+
+from repro.core.classes import (
+    DOMINANT_CLASSES,
+    TABLE_ORDER,
+    KVClass,
+    classify_key,
+)
+
+#: z-score for a 95% confidence interval under the normal approximation.
+_Z95 = 1.959963984540054
+
+
+@dataclass
+class RunningStats:
+    """Streaming mean/variance (Welford) plus min/max."""
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+    minimum: Optional[int] = None
+    maximum: Optional[int] = None
+
+    def add(self, value: int) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def variance(self) -> float:
+        """Sample variance; zero when fewer than two observations."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def ci95_half_width(self) -> float:
+        """Half-width of the 95% CI of the mean (normal approximation)."""
+        if self.count < 2:
+            return 0.0
+        return _Z95 * self.stddev / math.sqrt(self.count)
+
+    def format_mean_ci(self, precision: int = 1) -> str:
+        """Render as the paper does: ``mean±hw`` or bare mean if constant."""
+        if self.count == 0:
+            return "-"
+        hw = self.ci95_half_width
+        if hw == 0:
+            if self.mean == int(self.mean):
+                return str(int(self.mean))
+            return f"{self.mean:.{precision}f}"
+        return f"{self.mean:.{precision}f}±{hw:.4g}"
+
+
+@dataclass
+class ClassSizeStats:
+    """Per-class KV pair population statistics (one row of Table I)."""
+
+    kv_class: KVClass
+    num_pairs: int = 0
+    key_size: RunningStats = field(default_factory=RunningStats)
+    value_size: RunningStats = field(default_factory=RunningStats)
+    #: histogram of total KV size (key+value) -> pair count, for Figure 2.
+    kv_size_histogram: Counter = field(default_factory=Counter)
+
+    def add_pair(self, key_len: int, value_len: int) -> None:
+        self.num_pairs += 1
+        self.key_size.add(key_len)
+        self.value_size.add(value_len)
+        self.kv_size_histogram[key_len + value_len] += 1
+
+    @property
+    def mean_kv_size(self) -> float:
+        """Mean total (key+value) size in bytes."""
+        if self.num_pairs == 0:
+            return 0.0
+        return self.key_size.mean + self.value_size.mean
+
+
+class SizeAnalyzer:
+    """Accumulates a KV-store snapshot into per-class size statistics.
+
+    Feed it ``(key, value_size)`` pairs — e.g. every pair left in the
+    store after a sync run — then read per-class stats, Table I rows,
+    and Figure 2 histograms.
+    """
+
+    def __init__(self) -> None:
+        self._stats: dict[KVClass, ClassSizeStats] = {}
+
+    def add_pair(self, key: bytes, value_size: int) -> None:
+        kv_class = classify_key(key)
+        stats = self._stats.get(kv_class)
+        if stats is None:
+            stats = ClassSizeStats(kv_class)
+            self._stats[kv_class] = stats
+        stats.add_pair(len(key), value_size)
+
+    def add_store_snapshot(self, pairs: Iterable[tuple[bytes, bytes]]) -> None:
+        """Consume ``(key, value)`` pairs from a store scan."""
+        for key, value in pairs:
+            self.add_pair(key, len(value))
+
+    @property
+    def total_pairs(self) -> int:
+        return sum(stats.num_pairs for stats in self._stats.values())
+
+    def stats_for(self, kv_class: KVClass) -> ClassSizeStats:
+        """Stats for a class (an empty stats object if never seen)."""
+        return self._stats.get(kv_class, ClassSizeStats(kv_class))
+
+    def observed_classes(self) -> list[KVClass]:
+        """Classes with at least one pair, in Table I order then extras."""
+        ordered = [cls for cls in TABLE_ORDER if cls in self._stats]
+        extras = [cls for cls in self._stats if cls not in TABLE_ORDER]
+        return ordered + extras
+
+    def percentage(self, kv_class: KVClass) -> float:
+        """Percentage of all KV pairs belonging to ``kv_class``."""
+        total = self.total_pairs
+        if total == 0:
+            return 0.0
+        return 100.0 * self.stats_for(kv_class).num_pairs / total
+
+    def dominant_share(self, classes: Iterable[KVClass] = DOMINANT_CLASSES) -> float:
+        """Combined pair share (%) of the given classes (Finding 1)."""
+        return sum(self.percentage(cls) for cls in classes)
+
+    def singleton_classes(self) -> list[KVClass]:
+        """Observed classes holding exactly one pair (Finding 1)."""
+        return [cls for cls, stats in self._stats.items() if stats.num_pairs == 1]
+
+    def mean_kv_size(self, classes: Iterable[KVClass]) -> float:
+        """Pair-weighted mean total KV size across the given classes."""
+        total_pairs = 0
+        total_bytes = 0.0
+        for cls in classes:
+            stats = self.stats_for(cls)
+            total_pairs += stats.num_pairs
+            total_bytes += stats.mean_kv_size * stats.num_pairs
+        if total_pairs == 0:
+            return 0.0
+        return total_bytes / total_pairs
+
+    def size_distribution(self, kv_class: KVClass) -> list[tuple[int, int]]:
+        """Sorted ``(kv_size, count)`` points for Figure 2 scatter plots."""
+        histogram = self.stats_for(kv_class).kv_size_histogram
+        return sorted(histogram.items())
+
+    def size_distribution_modes(self, kv_class: KVClass, top: int = 3) -> list[int]:
+        """The ``top`` most frequent KV sizes (the Figure 2 'peaks')."""
+        histogram = self.stats_for(kv_class).kv_size_histogram
+        return [size for size, _ in sorted(histogram.items(), key=lambda kv: -kv[1])[:top]]
+
+    def as_mapping(self) -> Mapping[KVClass, ClassSizeStats]:
+        return dict(self._stats)

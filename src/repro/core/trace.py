@@ -1,0 +1,251 @@
+"""KV operation trace model and streaming I/O.
+
+A trace is an ordered sequence of :class:`TraceRecord` objects, one per
+KV operation observed at the KV-store interface — the same capture point
+the paper instruments in Geth.  Each record carries the operation type,
+the key, the value size (values themselves are not retained; the
+analyses only need sizes), and the block height at which the operation
+was issued.
+
+Two persistent formats are provided:
+
+* **binary** (default): a compact length-prefixed format suitable for
+  multi-million-record traces;
+* **text**: one human-readable line per record, mirroring the format of
+  the paper's released ``geth-trace`` logs.
+
+Both support streaming: readers yield records lazily so analyses can run
+over traces larger than memory.
+"""
+
+from __future__ import annotations
+
+import enum
+import io
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Iterable, Iterator, Union
+
+from repro.errors import TraceFormatError
+
+
+class OpType(enum.IntEnum):
+    """KV operation types distinguished by the paper.
+
+    Geth itself does not distinguish writes from updates; following the
+    paper (§III-B) the tracing layer classifies a put as UPDATE when the
+    key already exists in the store and WRITE otherwise.  SCAN records
+    one range query (the paper counts a scan as a single operation).
+    """
+
+    WRITE = 0
+    UPDATE = 1
+    READ = 2
+    DELETE = 3
+    SCAN = 4
+
+    @property
+    def short_name(self) -> str:
+        return _SHORT_NAMES[self]
+
+    @classmethod
+    def from_short_name(cls, name: str) -> "OpType":
+        try:
+            return _FROM_SHORT[name]
+        except KeyError:
+            raise TraceFormatError(f"unknown operation short name: {name!r}") from None
+
+
+_SHORT_NAMES = {
+    OpType.WRITE: "W",
+    OpType.UPDATE: "U",
+    OpType.READ: "R",
+    OpType.DELETE: "D",
+    OpType.SCAN: "S",
+}
+_FROM_SHORT = {v: k for k, v in _SHORT_NAMES.items()}
+
+MUTATING_OPS = frozenset({OpType.WRITE, OpType.UPDATE, OpType.DELETE})
+PUT_OPS = frozenset({OpType.WRITE, OpType.UPDATE})
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """A single KV operation as observed at the store interface.
+
+    Attributes:
+        op: the operation type.
+        key: the full KV key, including its class prefix.
+        value_size: size in bytes of the value written/read; 0 for
+            deletes and for reads that missed.  For scans, the total
+            bytes returned by the range query.
+        block: block height being processed when the op was issued
+            (0 for operations outside block processing, e.g. startup).
+    """
+
+    op: OpType
+    key: bytes
+    value_size: int = 0
+    block: int = 0
+
+    def to_text(self) -> str:
+        """Render as one trace-log line: ``<op> <hexkey> <vsize> <block>``."""
+        return f"{self.op.short_name} {self.key.hex()} {self.value_size} {self.block}"
+
+    @classmethod
+    def from_text(cls, line: str) -> "TraceRecord":
+        parts = line.split()
+        if len(parts) != 4:
+            raise TraceFormatError(f"expected 4 fields, got {len(parts)}: {line!r}")
+        op = OpType.from_short_name(parts[0])
+        try:
+            key = bytes.fromhex(parts[1])
+            value_size = int(parts[2])
+            block = int(parts[3])
+        except ValueError as exc:
+            raise TraceFormatError(f"bad trace line {line!r}: {exc}") from exc
+        return cls(op=op, key=key, value_size=value_size, block=block)
+
+
+_BINARY_MAGIC = b"EKVT"
+_BINARY_VERSION = 1
+# Per-record header: op(u8), key_len(u16), value_size(u32), block(u32)
+_RECORD_HEADER = struct.Struct("<BHII")
+
+
+class TraceWriter:
+    """Streaming trace writer (binary format).
+
+    Usage::
+
+        with TraceWriter.open(path) as writer:
+            writer.append(record)
+    """
+
+    def __init__(self, stream: IO[bytes]) -> None:
+        self._stream = stream
+        self._count = 0
+        stream.write(_BINARY_MAGIC)
+        stream.write(bytes([_BINARY_VERSION]))
+
+    @classmethod
+    def open(cls, path: Union[str, Path]) -> "TraceWriter":
+        return cls(open(path, "wb"))
+
+    @property
+    def count(self) -> int:
+        """Number of records appended so far."""
+        return self._count
+
+    def append(self, record: TraceRecord) -> None:
+        if len(record.key) > 0xFFFF:
+            raise TraceFormatError(f"key too long for binary format: {len(record.key)}")
+        self._stream.write(
+            _RECORD_HEADER.pack(
+                int(record.op), len(record.key), record.value_size, record.block
+            )
+        )
+        self._stream.write(record.key)
+        self._count += 1
+
+    def extend(self, records: Iterable[TraceRecord]) -> None:
+        for record in records:
+            self.append(record)
+
+    def close(self) -> None:
+        self._stream.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class TraceReader:
+    """Streaming trace reader (binary format)."""
+
+    def __init__(self, stream: IO[bytes]) -> None:
+        self._stream = stream
+        magic = stream.read(4)
+        if magic != _BINARY_MAGIC:
+            raise TraceFormatError(f"bad trace magic: {magic!r}")
+        version = stream.read(1)
+        if not version or version[0] != _BINARY_VERSION:
+            raise TraceFormatError(f"unsupported trace version: {version!r}")
+
+    @classmethod
+    def open(cls, path: Union[str, Path]) -> "TraceReader":
+        return cls(open(path, "rb"))
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        read = self._stream.read
+        header_size = _RECORD_HEADER.size
+        unpack = _RECORD_HEADER.unpack
+        while True:
+            header = read(header_size)
+            if not header:
+                return
+            if len(header) != header_size:
+                raise TraceFormatError("truncated record header")
+            op, key_len, value_size, block = unpack(header)
+            key = read(key_len)
+            if len(key) != key_len:
+                raise TraceFormatError("truncated record key")
+            yield TraceRecord(OpType(op), key, value_size, block)
+
+    def close(self) -> None:
+        self._stream.close()
+
+    def __enter__(self) -> "TraceReader":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def write_trace(path: Union[str, Path], records: Iterable[TraceRecord]) -> int:
+    """Write all records to a binary trace file; return the record count."""
+    with TraceWriter.open(path) as writer:
+        writer.extend(records)
+        return writer.count
+
+
+def read_trace(path: Union[str, Path]) -> Iterator[TraceRecord]:
+    """Iterate records from a binary trace file (closes at exhaustion)."""
+    with TraceReader.open(path) as reader:
+        yield from reader
+
+
+def write_text_trace(path: Union[str, Path], records: Iterable[TraceRecord]) -> int:
+    """Write records as text lines (the paper's log-like format)."""
+    count = 0
+    with open(path, "w", encoding="ascii") as stream:
+        for record in records:
+            stream.write(record.to_text())
+            stream.write("\n")
+            count += 1
+    return count
+
+
+def read_text_trace(path: Union[str, Path]) -> Iterator[TraceRecord]:
+    """Iterate records from a text trace file, skipping blank lines."""
+    with open(path, "r", encoding="ascii") as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                yield TraceRecord.from_text(line)
+
+
+def records_to_bytes(records: Iterable[TraceRecord]) -> bytes:
+    """Serialize records to an in-memory binary trace blob."""
+    buffer = io.BytesIO()
+    writer = TraceWriter(buffer)
+    writer.extend(records)
+    return buffer.getvalue()
+
+
+def records_from_bytes(blob: bytes) -> Iterator[TraceRecord]:
+    """Deserialize records from an in-memory binary trace blob."""
+    return iter(TraceReader(io.BytesIO(blob)))

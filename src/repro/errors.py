@@ -1,0 +1,115 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type to handle all library failures.  Subsystem
+errors form a shallow tree mirroring the package layout.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class RLPError(ReproError):
+    """Malformed RLP input or an unencodable Python object."""
+
+
+class RLPDecodingError(RLPError):
+    """The byte string is not a valid RLP item."""
+
+
+class RLPEncodingError(RLPError):
+    """The Python object cannot be represented in RLP."""
+
+
+class KVStoreError(ReproError):
+    """Base class for key-value store failures."""
+
+
+class KeyNotFoundError(KVStoreError, KeyError):
+    """A get/delete targeted a key that is not in the store."""
+
+    def __init__(self, key: bytes) -> None:
+        super().__init__(key)
+        self.key = key
+
+    def __str__(self) -> str:
+        return f"key not found: {self.key.hex()}"
+
+
+class StoreClosedError(KVStoreError):
+    """An operation was issued to a store after close()."""
+
+
+class CorruptionError(KVStoreError):
+    """On-disk or in-memory structures failed an integrity check."""
+
+
+class TrieError(ReproError):
+    """Base class for Merkle Patricia Trie failures."""
+
+
+class MissingTrieNodeError(TrieError):
+    """A trie traversal referenced a node absent from backing storage."""
+
+    def __init__(self, node_ref: bytes, path: str = "") -> None:
+        super().__init__(node_ref, path)
+        self.node_ref = node_ref
+        self.path = path
+
+    def __str__(self) -> str:
+        return f"missing trie node {self.node_ref.hex()} at path {self.path!r}"
+
+
+class InvalidNibblesError(TrieError):
+    """A nibble sequence contained values outside 0..15."""
+
+
+class ChainError(ReproError):
+    """Base class for blockchain substrate failures."""
+
+
+class InvalidBlockError(ChainError):
+    """A block failed validation during synchronization."""
+
+
+class UnknownBlockError(ChainError):
+    """A block lookup (by hash or number) found nothing."""
+
+
+class GethDBError(ReproError):
+    """Base class for the Geth data-management layer."""
+
+
+class FreezerError(GethDBError):
+    """Freezer (ancient store) consistency violation."""
+
+
+class SnapshotError(GethDBError):
+    """Snapshot layer inconsistency (e.g. stale root, missing layer)."""
+
+
+class TraceError(ReproError):
+    """Base class for trace model / IO failures."""
+
+
+class TraceFormatError(TraceError):
+    """A serialized trace record could not be parsed."""
+
+
+class AnalysisError(ReproError):
+    """A trace analysis was configured or invoked incorrectly."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload generator configuration."""
+
+
+class CacheSimError(ReproError):
+    """Invalid cache simulation configuration."""
+
+
+class HybridStoreError(ReproError):
+    """Hybrid KV storage routing or consistency failure."""

@@ -1,0 +1,32 @@
+"""Geth's data-management layer over the KV store.
+
+Reimplements the subsystems whose KV traffic the paper characterizes:
+
+* :mod:`repro.gethdb.schema` — key construction for all 29 classes;
+* :mod:`repro.gethdb.caches` — Geth's per-class LRU caches;
+* :mod:`repro.gethdb.database` — the database facade combining the
+  traced KV store, caches, and per-block write batches;
+* :mod:`repro.gethdb.freezer` — the ancient store and the pruning
+  migration that deletes old block data from the KV store;
+* :mod:`repro.gethdb.snapshot` — snapshot acceleration (flat account /
+  storage representation of the current world state);
+* :mod:`repro.gethdb.txindexer` — TxLookup indexing and tail unindexing;
+* :mod:`repro.gethdb.bloombits` — the bloombits chain indexer;
+* :mod:`repro.gethdb.state` — the world-state StateDB over account and
+  storage tries, integrating the snapshot read path.
+"""
+
+from repro.gethdb.database import DBConfig, GethDatabase
+from repro.gethdb.freezer import Freezer
+from repro.gethdb.snapshot import SnapshotTree
+from repro.gethdb.state import StateDB
+from repro.gethdb.txindexer import TxIndexer
+
+__all__ = [
+    "DBConfig",
+    "GethDatabase",
+    "Freezer",
+    "SnapshotTree",
+    "StateDB",
+    "TxIndexer",
+]

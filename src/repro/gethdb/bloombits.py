@@ -1,0 +1,86 @@
+"""The bloombits chain indexer — BloomBits and BloomBitsIndex classes.
+
+Geth transposes the per-block header blooms of each *section* of blocks
+into per-bit rows ("bloombits"), so a log search for one topic reads a
+handful of row vectors instead of every header.  When a section
+completes, the indexer writes one BloomBits entry per tracked bit plus
+chain-indexer bookkeeping (BloomBitsIndex) for progress tracking.
+
+Mainnet uses sections of 4,096 blocks with 2,048 bit rows; both are
+scaled down here while preserving the rows/section ratio (~0.5 BloomBits
+writes per block) that puts the class at a fraction of a percent of all
+operations, as in Tables II/III.
+"""
+
+from __future__ import annotations
+
+from repro.chain.bloom import BLOOM_BITS, Bloom
+from repro.gethdb import schema
+from repro.gethdb.database import GethDatabase
+
+
+class BloomBitsIndexer:
+    """Section-based bloom transposition indexer."""
+
+    def __init__(
+        self,
+        db: GethDatabase,
+        section_size: int = 128,
+        tracked_bits: int = 64,
+    ) -> None:
+        """``section_size``: blocks per section; ``tracked_bits``: bloom
+        bit rows materialized per section (2,048 on mainnet; scaled).
+        """
+        self._db = db
+        self.section_size = section_size
+        self.tracked_bits = tracked_bits
+        self._pending_blooms: list[Bloom] = []
+        self._pending_head: bytes = b"\x00" * 32
+        self.sections_done = 0
+
+    def add_block(self, number: int, block_hash: bytes, bloom: Bloom) -> None:
+        """Feed one block's header bloom; completes a section when full."""
+        self._pending_blooms.append(bloom)
+        self._pending_head = block_hash
+        if len(self._pending_blooms) >= self.section_size:
+            self._process_section()
+
+    def _process_section(self) -> None:
+        section = self.sections_done
+        head_hash = self._pending_head
+        # Transpose: row b holds, for each block in the section, whether
+        # bloom bit b is set (bit-packed).
+        stride = BLOOM_BITS // self.tracked_bits
+        for row in range(self.tracked_bits):
+            bit_index = row * stride
+            packed = bytearray((self.section_size + 7) // 8)
+            for i, bloom in enumerate(self._pending_blooms):
+                if bloom.bit(bit_index):
+                    packed[i >> 3] |= 1 << (i & 7)
+            self._db.write(
+                schema.bloom_bits_key(bit_index, section, head_hash), bytes(packed)
+            )
+        # Chain-indexer bookkeeping (BloomBitsIndex class).
+        self._db.write(schema.bloom_bits_section_head_key(section), head_hash)
+        self._db.write(
+            schema.bloom_bits_index_key(b"count"),
+            (section + 1).to_bytes(8, "big"),
+        )
+        self._pending_blooms.clear()
+        self.sections_done += 1
+        # The indexer verifies a sample of the freshly written rows.
+        stride = BLOOM_BITS // self.tracked_bits
+        for row in range(0, self.tracked_bits, max(1, self.tracked_bits // 2)):
+            self.query_bit(row * stride, section, head_hash)
+
+    def query_bit(self, bit_index: int, section: int, head_hash: bytes) -> bytes:
+        """Read one bloombits row (log-search read path)."""
+        value = self._db.read_uncached(
+            schema.bloom_bits_key(bit_index, section, head_hash)
+        )
+        return value if value is not None else b""
+
+    def read_progress(self) -> int:
+        """Read the indexer progress record (BloomBitsIndex reads)."""
+        value = self._db.read_uncached(schema.bloom_bits_index_key(b"count"))
+        return int.from_bytes(value, "big") if value else 0

@@ -1,0 +1,188 @@
+"""The Geth database facade.
+
+Combines the traced KV store, the per-class LRU caches, and the
+per-block write batch, reproducing Geth's I/O discipline:
+
+* **reads** are issued on demand during block processing; with caching
+  enabled a hit is served from memory and never reaches the KV
+  interface (the CacheTrace/BareTrace difference);
+* **writes/updates/deletes** accumulate in a batch that is committed
+  once per block, so mutations appear in the trace as clustered bursts
+  in staging order (the source of the paper's update correlations);
+* batch reads-own-writes is deliberately *not* provided — Geth reads
+  through ``db.Get`` which does not see the open batch; subsystems keep
+  their own dirty state (trie overlay, snapshot diff layers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.core.classes import KVClass, classify_key
+from repro.gethdb.caches import CacheBudget, CacheSet
+from repro.kvstore.api import Batch, KVStore, prefix_upper_bound
+from repro.kvstore.memdb import MemoryKVStore
+from repro.kvstore.tracing import TraceCollector, TracingKVStore
+
+
+@dataclass(frozen=True)
+class DBConfig:
+    """Database configuration — the paper's two capture modes.
+
+    ``cache_trace_config()`` (caching + snapshot acceleration on)
+    produces the CacheTrace analog; ``bare_trace_config()`` produces
+    the BareTrace analog.  Snapshot acceleration is tied to caching in
+    Geth, and the paper captures them together.
+    """
+
+    caching_enabled: bool = True
+    snapshot_enabled: bool = True
+    cache_bytes: int = 64 * 1024 * 1024
+
+    @classmethod
+    def cache_trace_config(cls, cache_bytes: int = 64 * 1024 * 1024) -> "DBConfig":
+        return cls(caching_enabled=True, snapshot_enabled=True, cache_bytes=cache_bytes)
+
+    @classmethod
+    def bare_trace_config(cls) -> "DBConfig":
+        return cls(caching_enabled=False, snapshot_enabled=False, cache_bytes=0)
+
+
+class GethDatabase:
+    """Traced KV store + caches + per-block batch."""
+
+    def __init__(
+        self,
+        config: Optional[DBConfig] = None,
+        store: Optional[KVStore] = None,
+        collector: Optional[TraceCollector] = None,
+    ) -> None:
+        self.config = config if config is not None else DBConfig()
+        inner = store if store is not None else MemoryKVStore()
+        self.store = TracingKVStore(inner, collector)
+        self.caches = (
+            CacheSet(CacheBudget(self.config.cache_bytes))
+            if self.config.caching_enabled
+            else None
+        )
+        self._batch: Batch = self.store.write_batch()
+
+    # ------------------------------------------------------------------
+    # block lifecycle
+    # ------------------------------------------------------------------
+
+    def begin_block(self, number: int) -> None:
+        """Stamp subsequent trace records with ``number``."""
+        self.store.block_height = number
+
+    def commit_batch(self) -> None:
+        """Flush the open batch — Geth's once-per-block write burst."""
+        self._batch.commit()
+
+    @property
+    def pending_ops(self) -> int:
+        return len(self._batch)
+
+    def set_tracing(self, enabled: bool) -> None:
+        """Toggle trace capture (off during pre-population warmup)."""
+        self.store.enabled = enabled
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+
+    def read(self, key: bytes) -> Optional[bytes]:
+        """Cached read: cache hit is silent, miss goes to the traced store."""
+        cache = self._cache_for(key)
+        if cache is not None:
+            value = cache.get(key)
+            if value is not None:
+                return value
+        value = self.store.get_or_none(key)
+        if value is not None and cache is not None:
+            cache.put(key, value)
+        return value
+
+    def read_uncached(self, key: bytes) -> Optional[bytes]:
+        """Traced read that bypasses the caches (journal/marker records)."""
+        return self.store.get_or_none(key)
+
+    def peek(self, key: bytes) -> Optional[bytes]:
+        """Untraced read (internal bookkeeping, e.g. commit-time hashing).
+
+        Sees the open batch first: a staged put returns its value and a
+        staged delete returns None (the key is already logically gone).
+        """
+        ops = self._batch._ops  # noqa: SLF001 — deliberate friend access
+        if key in ops:
+            return ops[key]
+        cache = self._cache_for(key)
+        if cache is not None:
+            value = cache.get(key)
+            if value is not None:
+                return value
+        return self.store.inner.get_or_none(key)
+
+    def has(self, key: bytes) -> bool:
+        """Untraced existence probe."""
+        return self.store.has(key)
+
+    def scan_prefix(self, prefix: bytes) -> Iterator[tuple[bytes, bytes]]:
+        """Traced range scan over a key prefix (bypasses caches)."""
+        return self.store.scan(prefix, prefix_upper_bound(prefix))
+
+    def scan(self, start: bytes, end: Optional[bytes]) -> Iterator[tuple[bytes, bytes]]:
+        """Traced range scan."""
+        return self.store.scan(start, end)
+
+    # ------------------------------------------------------------------
+    # write path (batched)
+    # ------------------------------------------------------------------
+
+    def write(self, key: bytes, value: bytes) -> None:
+        """Stage a put in the block batch; write-through to the cache."""
+        self._batch.put(key, value)
+        cache = self._cache_for(key)
+        if cache is not None:
+            cache.put(key, value)
+
+    def delete(self, key: bytes) -> None:
+        """Stage a delete in the block batch; invalidate the cache."""
+        self._batch.delete(key)
+        cache = self._cache_for(key)
+        if cache is not None:
+            cache.invalidate(key)
+
+    def write_now(self, key: bytes, value: bytes) -> None:
+        """Unbatched put (startup records written before any block)."""
+        self.store.put(key, value)
+        cache = self._cache_for(key)
+        if cache is not None:
+            cache.put(key, value)
+
+    def delete_now(self, key: bytes) -> None:
+        """Unbatched delete."""
+        self.store.delete(key)
+        cache = self._cache_for(key)
+        if cache is not None:
+            cache.invalidate(key)
+
+    # ------------------------------------------------------------------
+
+    def _cache_for(self, key: bytes):
+        if self.caches is None:
+            return None
+        return self.caches.cache_for(classify_key(key))
+
+    def cache_stats(self) -> dict[KVClass, dict[str, float]]:
+        if self.caches is None:
+            return {}
+        return self.caches.stats()
+
+    @property
+    def collector(self) -> TraceCollector:
+        return self.store.collector
+
+    def __len__(self) -> int:
+        return len(self.store)

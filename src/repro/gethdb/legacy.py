@@ -1,0 +1,146 @@
+"""The legacy hash-keyed trie storage model (pre-path-based Geth).
+
+Earlier Geth versions stored every MPT node under its 32-byte content
+hash.  Because a node's hash changes on every modification, each block
+leaves behind the previous versions of every node along each dirty
+path; without reference-counted garbage collection (which mainline Geth
+never enabled by default due to its cost), stale nodes accumulate
+forever — the redundancy the path-based model eliminated (§II-A:
+"reduces redundant entries and recomputations").
+
+:class:`HashSchemeMirror` shadows a modern sync run: it receives every
+node blob the path scheme flushes and stores it hash-keyed, so after N
+blocks one can compare the two schemes' storage footprints directly.
+An optional mark-and-sweep GC (:meth:`collect_garbage`) measures what
+reclaiming the redundancy would cost — the recomputation/traversal
+overhead the path-based model avoids.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro import rlp
+from repro.trie.nodes import BranchNode, ExtensionNode, LeafNode, decode_node
+
+
+@dataclass
+class HashSchemeStats:
+    """Storage accounting for the hash-keyed mirror."""
+
+    nodes_written: int = 0
+    bytes_written: int = 0
+    duplicate_writes: int = 0  # identical (hash, blob) rewritten
+    live_nodes: int = 0
+    gc_runs: int = 0
+    gc_nodes_swept: int = 0
+    gc_nodes_traversed: int = 0
+
+
+class HashSchemeMirror:
+    """Hash-keyed node store shadowing a path-based sync run."""
+
+    def __init__(self, retain_roots: int = 128) -> None:
+        self._nodes: dict[bytes, bytes] = {}
+        self.stats = HashSchemeStats()
+        #: how many recent state roots stay live for GC marking
+        self.retain_roots = retain_roots
+        #: state roots considered live (the retention set for GC)
+        self._live_roots: list[bytes] = []
+
+    def observe_flush(self, blobs: Iterable[bytes]) -> None:
+        """Record the node blobs one flush/commit produced."""
+        for blob in blobs:
+            digest = hashlib.sha3_256(blob).digest()
+            self.stats.nodes_written += 1
+            if digest in self._nodes:
+                # Content-identical node re-created (e.g. a subtree that
+                # reverted to a previous value): hash-keying dedups it,
+                # which is the one storage advantage of the old scheme.
+                self.stats.duplicate_writes += 1
+                continue
+            self._nodes[digest] = blob
+            self.stats.bytes_written += 32 + len(blob)
+
+    def observe_root(self, root: bytes) -> None:
+        """Track a new state root; keeps the newest ``retain_roots`` live."""
+        self._live_roots.append(root)
+        if len(self._live_roots) > self.retain_roots:
+            self._live_roots = self._live_roots[-self.retain_roots :]
+
+    def set_retention(self, retain_roots: int) -> None:
+        """Shrink (or grow) the live-root window, trimming immediately."""
+        self.retain_roots = retain_roots
+        if len(self._live_roots) > retain_roots:
+            self._live_roots = self._live_roots[-retain_roots:]
+
+    @property
+    def total_nodes(self) -> int:
+        """All node versions currently stored (live + stale)."""
+        return len(self._nodes)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(32 + len(blob) for blob in self._nodes.values())
+
+    def get(self, digest: bytes) -> Optional[bytes]:
+        return self._nodes.get(digest)
+
+    # ------------------------------------------------------------------
+    # mark-and-sweep GC (the cost the path scheme avoids)
+    # ------------------------------------------------------------------
+
+    def collect_garbage(self) -> int:
+        """Mark from the live roots, sweep everything else.
+
+        Returns the number of stale node versions reclaimed.  The
+        traversal count recorded in the stats is the I/O bill the
+        hash-keyed scheme pays for pruning — per live root, every
+        reachable node must be walked.
+        """
+        marked: set[bytes] = set()
+        for root in self._live_roots:
+            self._mark(root, marked)
+        swept = 0
+        for digest in list(self._nodes):
+            if digest not in marked:
+                del self._nodes[digest]
+                swept += 1
+        self.stats.gc_runs += 1
+        self.stats.gc_nodes_swept += swept
+        self.stats.live_nodes = len(self._nodes)
+        return swept
+
+    def _mark(self, digest: bytes, marked: set[bytes]) -> None:
+        if digest in marked:
+            return
+        blob = self._nodes.get(digest)
+        if blob is None:
+            return
+        marked.add(digest)
+        self.stats.gc_nodes_traversed += 1
+        node = decode_node(blob)
+        if isinstance(node, LeafNode):
+            self._mark_embedded_root(node.value, marked)
+            return
+        if isinstance(node, ExtensionNode):
+            if len(node.child_hash) == 32:
+                self._mark(node.child_hash, marked)
+            return
+        if isinstance(node, BranchNode):
+            for child_hash in node.child_hashes:
+                if len(child_hash) == 32:
+                    self._mark(child_hash, marked)
+
+    def _mark_embedded_root(self, value: bytes, marked: set[bytes]) -> None:
+        """Account leaves embed a storage root; mark its subtree too."""
+        try:
+            fields = rlp.decode(value)
+        except Exception:
+            return
+        if isinstance(fields, list) and len(fields) == 4:
+            storage_root = fields[2]
+            if isinstance(storage_root, bytes) and len(storage_root) == 32:
+                self._mark(storage_root, marked)

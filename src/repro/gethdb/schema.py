@@ -1,0 +1,150 @@
+"""Key construction for every KV class (mirrors Geth's rawdb schema).
+
+Key layouts reproduce the byte structure behind Table I's key sizes:
+e.g. ``BloomBits`` keys are ``'B' + bit(2) + section(8) + head_hash(32)``
+= 43 bytes, ``BlockBody`` keys are ``'b' + number(8) + hash(32)`` = 41
+bytes, and the 15 singletons are literal strings.
+"""
+
+from __future__ import annotations
+
+from repro.core import classes as C
+from repro.trie.nibbles import Nibbles, compact_encode
+
+
+def _u64(value: int) -> bytes:
+    return value.to_bytes(8, "big")
+
+
+# --- block data -------------------------------------------------------------
+
+
+def header_key(number: int, block_hash: bytes) -> bytes:
+    """BlockHeader: ``h + num + hash``."""
+    return C.HEADER_PREFIX + _u64(number) + block_hash
+
+
+def header_td_key(number: int, block_hash: bytes) -> bytes:
+    """BlockHeader (total-difficulty variant): ``h + num + hash + t``."""
+    return C.HEADER_PREFIX + _u64(number) + block_hash + b"t"
+
+
+def canonical_hash_key(number: int) -> bytes:
+    """BlockHeader (canonical-hash variant): ``h + num + n``."""
+    return C.HEADER_PREFIX + _u64(number) + b"n"
+
+
+def header_number_key(block_hash: bytes) -> bytes:
+    """HeaderNumber: ``H + hash``."""
+    return C.HEADER_NUMBER_PREFIX + block_hash
+
+
+def body_key(number: int, block_hash: bytes) -> bytes:
+    """BlockBody: ``b + num + hash``."""
+    return C.BODY_PREFIX + _u64(number) + block_hash
+
+
+def receipts_key(number: int, block_hash: bytes) -> bytes:
+    """BlockReceipts: ``r + num + hash``."""
+    return C.RECEIPTS_PREFIX + _u64(number) + block_hash
+
+
+def header_range_start(number: int) -> bytes:
+    """Scan bound: all header keys for block ``number`` onwards."""
+    return C.HEADER_PREFIX + _u64(number)
+
+
+# --- transaction metadata ----------------------------------------------------
+
+
+def tx_lookup_key(tx_hash: bytes) -> bytes:
+    """TxLookup: ``l + txhash``."""
+    return C.TX_LOOKUP_PREFIX + tx_hash
+
+
+def bloom_bits_key(bit: int, section: int, head_hash: bytes) -> bytes:
+    """BloomBits: ``B + bit(2) + section(8) + head_hash``."""
+    return C.BLOOM_BITS_PREFIX + bit.to_bytes(2, "big") + _u64(section) + head_hash
+
+
+def bloom_bits_index_key(field: bytes) -> bytes:
+    """BloomBitsIndex: chain-indexer bookkeeping under the ``iB`` table."""
+    return C.BLOOM_BITS_INDEX_PREFIX + field
+
+
+def bloom_bits_section_head_key(section: int) -> bytes:
+    """BloomBitsIndex per-section head record."""
+    return C.BLOOM_BITS_INDEX_PREFIX + b"shead" + _u64(section)
+
+
+# --- world state -------------------------------------------------------------
+
+
+def snapshot_account_key(account_hash: bytes) -> bytes:
+    """SnapshotAccount: ``a + account_hash``."""
+    return C.SNAPSHOT_ACCOUNT_PREFIX + account_hash
+
+
+def snapshot_storage_key(account_hash: bytes, slot_hash: bytes) -> bytes:
+    """SnapshotStorage: ``o + account_hash + slot_hash``."""
+    return C.SNAPSHOT_STORAGE_PREFIX + account_hash + slot_hash
+
+
+def snapshot_storage_prefix(account_hash: bytes) -> bytes:
+    """Scan prefix covering all storage snapshot entries of one account."""
+    return C.SNAPSHOT_STORAGE_PREFIX + account_hash
+
+
+def code_key(code_hash: bytes) -> bytes:
+    """Code: ``c + code_hash``."""
+    return C.CODE_PREFIX + code_hash
+
+
+def account_trie_node_key(path: Nibbles) -> bytes:
+    """TrieNodeAccount: ``A + compact(path)`` (path-based model)."""
+    return C.TRIE_NODE_ACCOUNT_PREFIX + compact_encode(path, False)
+
+
+def storage_trie_node_key(account_hash: bytes, path: Nibbles) -> bytes:
+    """TrieNodeStorage: ``O + account_hash + compact(path)``."""
+    return C.TRIE_NODE_STORAGE_PREFIX + account_hash + compact_encode(path, False)
+
+
+def state_id_key(state_root: bytes) -> bytes:
+    """StateID: ``L + state_root``."""
+    return C.STATE_ID_PREFIX + state_root
+
+
+# --- sync bookkeeping ---------------------------------------------------------
+
+
+def skeleton_header_key(number: int) -> bytes:
+    """SkeletonHeader: ``S + num``."""
+    return C.SKELETON_HEADER_PREFIX + _u64(number)
+
+
+# --- singletons ----------------------------------------------------------------
+
+DATABASE_VERSION_KEY = b"DatabaseVersion"
+LAST_HEADER_KEY = b"LastHeader"
+LAST_BLOCK_KEY = b"LastBlock"
+LAST_FAST_KEY = b"LastFast"
+LAST_STATE_ID_KEY = b"LastStateID"
+TRIE_JOURNAL_KEY = b"TrieJournal"
+SNAPSHOT_JOURNAL_KEY = b"SnapshotJournal"
+SNAPSHOT_GENERATOR_KEY = b"SnapshotGenerator"
+SNAPSHOT_RECOVERY_KEY = b"SnapshotRecovery"
+SNAPSHOT_ROOT_KEY = b"SnapshotRoot"
+SKELETON_SYNC_STATUS_KEY = b"SkeletonSyncStatus"
+TRANSACTION_INDEX_TAIL_KEY = b"TransactionIndexTail"
+UNCLEAN_SHUTDOWN_KEY = b"unclean-shutdown"
+
+
+def ethereum_genesis_key(genesis_hash: bytes) -> bytes:
+    """Ethereum-genesis: ``ethereum-genesis- + hash``."""
+    return C.ETHEREUM_GENESIS_PREFIX + genesis_hash
+
+
+def ethereum_config_key(genesis_hash: bytes) -> bytes:
+    """Ethereum-config: ``ethereum-config- + hash``."""
+    return C.ETHEREUM_CONFIG_PREFIX + genesis_hash

@@ -1,0 +1,263 @@
+"""Snapshot acceleration — the flat world-state representation.
+
+Geth's snapshot layer keeps a flat copy of the current world state so
+account/slot lookups cost one KV read instead of an MPT traversal (up
+to 64 reads per lookup before snapshots).  New blocks produce in-memory
+*diff layers*; aggregated diffs flush to the on-disk flat layer
+periodically.  On shutdown the un-flushed diff stack is serialized into
+the SnapshotJournal singleton.
+
+This reproduces:
+
+* the SnapshotAccount / SnapshotStorage classes (only present when the
+  feature is on — the CacheTrace/BareTrace KV-pair-count difference in
+  Finding 7);
+* slim account encoding (small SnapshotAccount values, Table I);
+* storage-range scans on contract destruction (one of only three scan
+  sources — Finding 4);
+* SnapshotRoot / SnapshotGenerator / SnapshotRecovery marker traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.chain.account import Account
+from repro.gethdb import schema
+from repro.gethdb.database import GethDatabase
+
+
+@dataclass
+class DiffLayer:
+    """Per-block in-memory diff over the flat layer."""
+
+    root: bytes
+    accounts: dict[bytes, Optional[bytes]] = field(default_factory=dict)
+    storage: dict[tuple[bytes, bytes], Optional[bytes]] = field(default_factory=dict)
+
+    @property
+    def num_changes(self) -> int:
+        return len(self.accounts) + len(self.storage)
+
+
+class SnapshotTree:
+    """Diff-layer stack over the persisted flat snapshot."""
+
+    def __init__(
+        self, db: GethDatabase, flush_depth: int = 8, flush_interval: int = 16
+    ) -> None:
+        """``flush_depth``: diff layers kept in memory before the oldest
+        aggregates into the pending accumulator (Geth keeps 128);
+        ``flush_interval``: layers accumulated in the bottom-most
+        aggregator before being written out in bulk.  Aggregation
+        coalesces repeated updates to hot accounts/slots, so each key
+        reaches the KV interface once per flush, not once per block.
+        """
+        self._db = db
+        self._layers: list[DiffLayer] = []
+        self.flush_depth = flush_depth
+        self.flush_interval = flush_interval
+        self.enabled = db.config.snapshot_enabled
+        # Bottom-most accumulator: coalesced changes awaiting bulk write.
+        self._pending_accounts: dict[bytes, Optional[bytes]] = {}
+        self._pending_storage: dict[tuple[bytes, bytes], Optional[bytes]] = {}
+        self._accumulated_layers = 0
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+
+    def get_account(self, account_hash: bytes) -> Optional[bytes]:
+        """Slim-encoded account bytes, or None when absent/deleted."""
+        for layer in reversed(self._layers):
+            if account_hash in layer.accounts:
+                return layer.accounts[account_hash]
+        if account_hash in self._pending_accounts:
+            return self._pending_accounts[account_hash]
+        return self._db.read(schema.snapshot_account_key(account_hash))
+
+    def get_storage(self, account_hash: bytes, slot_hash: bytes) -> Optional[bytes]:
+        for layer in reversed(self._layers):
+            if (account_hash, slot_hash) in layer.storage:
+                return layer.storage[(account_hash, slot_hash)]
+        if (account_hash, slot_hash) in self._pending_storage:
+            return self._pending_storage[(account_hash, slot_hash)]
+        return self._db.read(schema.snapshot_storage_key(account_hash, slot_hash))
+
+    # ------------------------------------------------------------------
+    # update path
+    # ------------------------------------------------------------------
+
+    def update(
+        self,
+        root: bytes,
+        accounts: dict[bytes, Optional[Account]],
+        storage: dict[tuple[bytes, bytes], Optional[bytes]],
+    ) -> None:
+        """Push one block's state changes as a new diff layer.
+
+        ``None`` marks a deletion (destructed account / cleared slot).
+        """
+        layer = DiffLayer(root=root)
+        for account_hash, account in accounts.items():
+            layer.accounts[account_hash] = (
+                account.encode_slim() if account is not None else None
+            )
+        layer.storage.update(storage)
+        self._layers.append(layer)
+        if len(self._layers) > self.flush_depth:
+            self._flush_oldest()
+
+    def _flush_oldest(self) -> None:
+        """Fold the oldest diff layer into the pending accumulator.
+
+        Nothing reaches the KV interface here; the accumulator is
+        written out in bulk by :meth:`_flush_pending` once
+        ``flush_interval`` layers have been folded in, coalescing
+        repeated changes to the same key in between.
+        """
+        layer = self._layers.pop(0)
+        self._pending_accounts.update(layer.accounts)
+        self._pending_storage.update(layer.storage)
+        self._accumulated_layers += 1
+        if self._accumulated_layers >= self.flush_interval:
+            self._flush_pending()
+
+    def _flush_pending(self) -> None:
+        """Write the coalesced accumulator to the flat KV layer."""
+        for account_hash, slim in self._pending_accounts.items():
+            key = schema.snapshot_account_key(account_hash)
+            if slim is None:
+                self._destruct_account(account_hash, key)
+            else:
+                self._db.write(key, slim)
+        for (account_hash, slot_hash), value in self._pending_storage.items():
+            key = schema.snapshot_storage_key(account_hash, slot_hash)
+            if value is None:
+                self._db.delete(key)
+            else:
+                self._db.write(key, value)
+        self._pending_accounts.clear()
+        self._pending_storage.clear()
+        self._accumulated_layers = 0
+
+    def _destruct_account(self, account_hash: bytes, account_key: bytes) -> None:
+        """Remove a destructed account and *scan-delete* its storage.
+
+        The storage-range scan here is one of the paper's three scan
+        sources (SnapshotStorage, Finding 4).
+        """
+        self._db.delete(account_key)
+        prefix = schema.snapshot_storage_prefix(account_hash)
+        doomed = [key for key, _ in self._db.scan_prefix(prefix)]
+        for key in doomed:
+            self._db.delete(key)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def flush_all(self) -> None:
+        """Flush every pending diff layer (used at shutdown/tests)."""
+        while self._layers:
+            self._flush_oldest()
+        self._flush_pending()
+
+    def journal(self) -> None:
+        """Serialize the diff stack into the SnapshotJournal singleton.
+
+        The encoding round-trips through :meth:`load_journal`, so a
+        restarted node resumes with the exact in-memory snapshot state
+        it shut down with — the singleton's documented purpose
+        ("in-memory differential layers across system restarts").
+        """
+        self._db.write_now(schema.SNAPSHOT_JOURNAL_KEY, self.encode_journal())
+
+    def encode_journal(self) -> bytes:
+        """RLP journal: [pending_accounts, pending_storage, layers...]."""
+        from repro import rlp
+
+        def encode_account_map(mapping):
+            return [
+                [account_hash, slim if slim is not None else b"", 1 if slim is None else 0]
+                for account_hash, slim in sorted(mapping.items())
+            ]
+
+        def encode_storage_map(mapping):
+            return [
+                [
+                    account_hash + slot_hash,
+                    value if value is not None else b"",
+                    1 if value is None else 0,
+                ]
+                for (account_hash, slot_hash), value in sorted(mapping.items())
+            ]
+
+        layers = [
+            [layer.root, encode_account_map(layer.accounts), encode_storage_map(layer.storage)]
+            for layer in self._layers
+        ]
+        return rlp.encode(
+            [
+                encode_account_map(self._pending_accounts),
+                encode_storage_map(self._pending_storage),
+                self._accumulated_layers,
+                layers,
+            ]
+        )
+
+    def load_journal(self, blob: bytes) -> int:
+        """Restore the diff stack from a journal blob; returns #layers."""
+        from repro import rlp
+
+        def decode_account_map(items):
+            mapping = {}
+            for account_hash, slim, deleted in items:
+                mapping[account_hash] = None if rlp.decode_uint(deleted) else slim
+            return mapping
+
+        def decode_storage_map(items):
+            mapping = {}
+            for combined, value, deleted in items:
+                key = (combined[:32], combined[32:])
+                mapping[key] = None if rlp.decode_uint(deleted) else value
+            return mapping
+
+        pending_accounts, pending_storage, accumulated, layers = rlp.decode(blob)
+        self._pending_accounts = decode_account_map(pending_accounts)
+        self._pending_storage = decode_storage_map(pending_storage)
+        self._accumulated_layers = rlp.decode_uint(accumulated)
+        self._layers = [
+            DiffLayer(
+                root=root,
+                accounts=decode_account_map(accounts),
+                storage=decode_storage_map(storage),
+            )
+            for root, accounts, storage in layers
+        ]
+        return len(self._layers)
+
+    def write_generator_marker(self, done: bool) -> None:
+        """Persist the generation-progress marker (SnapshotGenerator)."""
+        self._db.write_now(schema.SNAPSHOT_GENERATOR_KEY, b"done" if done else b"gen")
+
+    def verify_startup(self) -> int:
+        """Startup consistency probe over the flat account layer.
+
+        Performs the one-off SnapshotAccount range scan the paper
+        observes (exactly two scans across the whole CacheTrace).
+        Returns the number of entries touched.
+        """
+        count = 0
+        from repro.core.classes import SNAPSHOT_ACCOUNT_PREFIX
+
+        for _ in self._db.scan_prefix(SNAPSHOT_ACCOUNT_PREFIX):
+            count += 1
+            if count >= 16:  # bounded probe, not a full iteration
+                break
+        return count
+
+    @property
+    def pending_layers(self) -> int:
+        return len(self._layers)

@@ -1,0 +1,67 @@
+"""Transaction indexing — the TxLookup class and its unindexing.
+
+Geth maintains ``txhash -> block number`` lookup entries for the most
+recent ``txlookuplimit`` blocks only (2,350,000 on mainnet).  As the
+head advances, transactions of blocks falling behind the limit are
+*unindexed*: their TxLookup entries are deleted and the
+TransactionIndexTail singleton advances.  Index writes and tail-driven
+deletes are produced at nearly the same rate once the window is full —
+the mechanism behind TxLookup's ~48% delete share (Finding 5).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro import rlp
+from repro.gethdb import schema
+from repro.gethdb.database import GethDatabase
+
+
+class TxIndexer:
+    """TxLookup writer + tail unindexer."""
+
+    def __init__(self, db: GethDatabase, lookup_limit: int = 64) -> None:
+        """``lookup_limit``: number of recent blocks whose transactions
+        stay indexed (scaled down from mainnet's 2.35M).
+        """
+        self._db = db
+        self.lookup_limit = lookup_limit
+        #: per-block transaction hashes, retained until unindexed
+        self._block_txs: dict[int, list[bytes]] = {}
+        self.tail = 0
+
+    def index_block(self, number: int, tx_hashes: Iterable[bytes]) -> None:
+        """Write one TxLookup entry per transaction in the block."""
+        hashes = list(tx_hashes)
+        self._block_txs[number] = hashes
+        encoded_number = rlp.encode_uint(number) or b"\x00"
+        for tx_hash in hashes:
+            self._db.write(schema.tx_lookup_key(tx_hash), encoded_number)
+
+    def unindex(self, head_number: int) -> int:
+        """Delete TxLookup entries for blocks behind the lookup window.
+
+        Returns the number of entries deleted; advances and persists the
+        TransactionIndexTail marker when anything was unindexed.
+        """
+        new_tail = head_number - self.lookup_limit + 1
+        if new_tail <= self.tail:
+            return 0
+        deleted = 0
+        for number in range(self.tail, new_tail):
+            for tx_hash in self._block_txs.pop(number, ()):
+                self._db.delete(schema.tx_lookup_key(tx_hash))
+                deleted += 1
+        self.tail = new_tail
+        if deleted:
+            # Geth reads the persisted tail before advancing it.
+            self._db.read_uncached(schema.TRANSACTION_INDEX_TAIL_KEY)
+            self._db.write(
+                schema.TRANSACTION_INDEX_TAIL_KEY, new_tail.to_bytes(8, "big")
+            )
+        return deleted
+
+    @property
+    def indexed_blocks(self) -> int:
+        return len(self._block_txs)

@@ -1,0 +1,43 @@
+"""Hybrid KV storage — the paper's §V design proposal.
+
+Routes each KV class to a structure matched to its access pattern:
+
+* **scan classes** (SnapshotAccount, SnapshotStorage, BlockHeader) keep
+  an ordered (LSM) store — they are the only classes issuing range
+  queries (Finding 4);
+* **high-delete classes** (TxLookup) and **immutable block data**
+  (BlockBody, BlockReceipts) go to append-only logs with hash indexes —
+  in-place deletes, no tombstones, no compaction (Finding 5);
+* **world-state classes** (TrieNodeAccount, TrieNodeStorage, Code) go
+  to a log-then-hash structure: writes append cheaply; a pair is
+  promoted to the read-optimized hash index only when it is actually
+  read — most never are (Finding 3);
+* everything else stays in the default LSM store.
+
+:class:`HybridKVStore` implements the standard store interface so a
+replayed trace can be compared 1:1 against a pure LSM baseline.
+"""
+
+from repro.hybrid.colocation import (
+    CorrelationLayout,
+    LayoutEvaluator,
+    LayoutReport,
+    hash_layout,
+    key_order_layout,
+)
+from repro.hybrid.logthenhash import LogThenHashStore
+from repro.hybrid.router import DEFAULT_ROUTING, Route, route_for_class
+from repro.hybrid.store import HybridKVStore
+
+__all__ = [
+    "HybridKVStore",
+    "LogThenHashStore",
+    "Route",
+    "DEFAULT_ROUTING",
+    "route_for_class",
+    "CorrelationLayout",
+    "LayoutEvaluator",
+    "LayoutReport",
+    "key_order_layout",
+    "hash_layout",
+]

@@ -1,0 +1,40 @@
+"""Class-to-structure routing policy."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.classes import KVClass
+
+
+class Route(enum.Enum):
+    """Storage structure a class is routed to."""
+
+    #: ordered LSM store — classes that need range scans
+    ORDERED = "ordered"
+    #: append-only log + hash index — delete-heavy / immutable data
+    HASH_LOG = "hash_log"
+    #: log-then-hash promotion — write-mostly, rarely-read world state
+    LOG_THEN_HASH = "log_then_hash"
+    #: default LSM residence for low-volume / unclassified data
+    DEFAULT = "default"
+
+
+#: The paper's §V routing: scans -> ordered; TxLookup and immutable
+#: block data -> hash log; world state -> log-then-hash.
+DEFAULT_ROUTING: dict[KVClass, Route] = {
+    KVClass.SNAPSHOT_ACCOUNT: Route.ORDERED,
+    KVClass.SNAPSHOT_STORAGE: Route.ORDERED,
+    KVClass.BLOCK_HEADER: Route.ORDERED,
+    KVClass.TX_LOOKUP: Route.HASH_LOG,
+    KVClass.BLOCK_BODY: Route.HASH_LOG,
+    KVClass.BLOCK_RECEIPTS: Route.HASH_LOG,
+    KVClass.TRIE_NODE_ACCOUNT: Route.LOG_THEN_HASH,
+    KVClass.TRIE_NODE_STORAGE: Route.LOG_THEN_HASH,
+    KVClass.CODE: Route.LOG_THEN_HASH,
+}
+
+
+def route_for_class(kv_class: KVClass, routing: dict[KVClass, Route] = DEFAULT_ROUTING) -> Route:
+    """The route a class takes under a routing table."""
+    return routing.get(kv_class, Route.DEFAULT)

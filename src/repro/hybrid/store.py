@@ -1,0 +1,96 @@
+"""The hybrid KV store: class-routed composite of specialized structures."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, Optional
+
+from repro.core.classes import classify_key
+from repro.errors import KeyNotFoundError
+from repro.hybrid.logthenhash import LogThenHashStore
+from repro.hybrid.router import DEFAULT_ROUTING, Route
+from repro.kvstore.api import KVStore
+from repro.kvstore.hashlog import HashLogStore
+from repro.kvstore.lsm import LSMConfig, LSMStore
+from repro.kvstore.metrics import StoreMetrics
+
+
+class HybridKVStore(KVStore):
+    """Routes each operation to the structure matched to its key's class.
+
+    Scans spanning multiple sub-stores are merged in key order, so the
+    composite behaves exactly like one ordered store at the interface.
+    """
+
+    def __init__(
+        self,
+        routing: Optional[dict] = None,
+        lsm_config: Optional[LSMConfig] = None,
+        ordered_structure: str = "lsm",
+    ) -> None:
+        """``ordered_structure``: the index behind the scan classes —
+        ``"lsm"`` or ``"btree"`` (the paper names both as suitable).
+        """
+        self.routing = dict(DEFAULT_ROUTING if routing is None else routing)
+        if ordered_structure == "lsm":
+            self.ordered: KVStore = LSMStore(lsm_config)
+        elif ordered_structure == "btree":
+            from repro.kvstore.btree import BPlusTreeStore
+
+            self.ordered = BPlusTreeStore()
+        else:
+            raise ValueError(
+                f"ordered_structure must be 'lsm' or 'btree', got {ordered_structure!r}"
+            )
+        self.hash_log = HashLogStore()
+        self.log_then_hash = LogThenHashStore()
+        self.default = LSMStore(lsm_config)
+        self._stores: dict[Route, KVStore] = {
+            Route.ORDERED: self.ordered,
+            Route.HASH_LOG: self.hash_log,
+            Route.LOG_THEN_HASH: self.log_then_hash,
+            Route.DEFAULT: self.default,
+        }
+
+    def _store_for(self, key: bytes) -> KVStore:
+        route = self.routing.get(classify_key(key), Route.DEFAULT)
+        return self._stores[route]
+
+    def get(self, key: bytes) -> bytes:
+        return self._store_for(key).get(key)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._store_for(key).put(key, value)
+
+    def delete(self, key: bytes) -> None:
+        self._store_for(key).delete(key)
+
+    def has(self, key: bytes) -> bool:
+        return self._store_for(key).has(key)
+
+    def scan(
+        self, start: bytes, end: Optional[bytes] = None
+    ) -> Iterator[tuple[bytes, bytes]]:
+        # Merge the per-store ordered streams (each already sorted).
+        iterators = [store.scan(start, end) for store in self._stores.values()]
+        yield from heapq.merge(*iterators, key=lambda kv: kv[0])
+
+    def __len__(self) -> int:
+        return sum(len(store) for store in self._stores.values())
+
+    # -- accounting ----------------------------------------------------------
+
+    def combined_metrics(self) -> StoreMetrics:
+        """Sum of the sub-stores' I/O counters."""
+        total = StoreMetrics()
+        for store in self._stores.values():
+            metrics: StoreMetrics = store.metrics  # type: ignore[attr-defined]
+            for name in total.__dataclass_fields__:
+                setattr(total, name, getattr(total, name) + getattr(metrics, name))
+        return total
+
+    def per_route_metrics(self) -> dict[Route, StoreMetrics]:
+        return {
+            route: store.metrics  # type: ignore[attr-defined]
+            for route, store in self._stores.items()
+        }

@@ -1,0 +1,37 @@
+"""Key-value store substrate.
+
+The paper instruments Geth at the KV-store interface (Pebble's API).
+This package provides that seam in Python:
+
+* :mod:`repro.kvstore.api` — the abstract store/batch/iterator protocol;
+* :mod:`repro.kvstore.memdb` — a sorted in-memory store (the reference
+  implementation the rest of the stack runs against);
+* :mod:`repro.kvstore.lsm` — a leveled LSM-tree store simulator
+  (memtable, WAL, SSTables, compaction, tombstones, block cache) with
+  read/write-amplification accounting for the ablation benches;
+* :mod:`repro.kvstore.hashlog` — an append-only log with a hash index
+  (the paper's suggested structure for high-delete classes);
+* :mod:`repro.kvstore.tracing` — the tracing wrapper that emits one
+  :class:`~repro.core.trace.TraceRecord` per operation crossing the
+  interface, classifying puts as WRITE vs UPDATE exactly as the paper
+  does (by key pre-existence).
+"""
+
+from repro.kvstore.api import Batch, KVStore
+from repro.kvstore.btree import BPlusTreeStore
+from repro.kvstore.hashlog import HashLogStore
+from repro.kvstore.lsm import LSMConfig, LSMStore
+from repro.kvstore.memdb import MemoryKVStore
+from repro.kvstore.tracing import TraceCollector, TracingKVStore
+
+__all__ = [
+    "KVStore",
+    "Batch",
+    "MemoryKVStore",
+    "LSMStore",
+    "LSMConfig",
+    "BPlusTreeStore",
+    "HashLogStore",
+    "TracingKVStore",
+    "TraceCollector",
+]

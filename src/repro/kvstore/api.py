@@ -1,0 +1,124 @@
+"""Abstract KV store interface.
+
+The interface mirrors the subset of Pebble's API that Geth uses:
+point gets/puts/deletes, range scans, and atomic write batches.
+All concrete stores in this package implement :class:`KVStore`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, Optional
+
+from repro.errors import KeyNotFoundError
+
+
+class KVStore(abc.ABC):
+    """A byte-keyed, byte-valued store with ordered scans and batches."""
+
+    @abc.abstractmethod
+    def get(self, key: bytes) -> bytes:
+        """Return the value for ``key``; raise :class:`KeyNotFoundError` if absent."""
+
+    @abc.abstractmethod
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite ``key`` with ``value``."""
+
+    @abc.abstractmethod
+    def delete(self, key: bytes) -> None:
+        """Remove ``key``.  Deleting an absent key is a no-op (Pebble semantics)."""
+
+    @abc.abstractmethod
+    def has(self, key: bytes) -> bool:
+        """Return whether ``key`` is present."""
+
+    @abc.abstractmethod
+    def scan(
+        self, start: bytes, end: Optional[bytes] = None
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Iterate ``(key, value)`` pairs with ``start <= key < end`` in key order.
+
+        ``end=None`` means "to the end of the keyspace".
+        """
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of live keys in the store."""
+
+    def get_or_none(self, key: bytes) -> Optional[bytes]:
+        """Return the value for ``key`` or ``None`` if absent."""
+        try:
+            return self.get(key)
+        except KeyNotFoundError:
+            return None
+
+    def scan_prefix(self, prefix: bytes) -> Iterator[tuple[bytes, bytes]]:
+        """Iterate all pairs whose key starts with ``prefix``."""
+        return self.scan(prefix, prefix_upper_bound(prefix))
+
+    def write_batch(self) -> "Batch":
+        """Create an atomic write batch against this store."""
+        return Batch(self)
+
+    def close(self) -> None:
+        """Release resources.  Default: no-op."""
+
+    def keys(self) -> Iterator[bytes]:
+        """Iterate all live keys in order."""
+        for key, _ in self.scan(b""):
+            yield key
+
+
+def prefix_upper_bound(prefix: bytes) -> Optional[bytes]:
+    """Smallest key greater than every key with the given prefix.
+
+    Returns ``None`` when the prefix is all ``0xff`` bytes (no upper
+    bound exists); an empty prefix also yields ``None`` (full range).
+    """
+    trimmed = prefix.rstrip(b"\xff")
+    if not trimmed:
+        return None
+    return trimmed[:-1] + bytes([trimmed[-1] + 1])
+
+
+class Batch:
+    """An atomic group of puts/deletes, applied on :meth:`commit`.
+
+    Mirrors Geth's use of Pebble batches: mutations accumulate in memory
+    and are applied in insertion order on commit.  Later operations on
+    the same key within one batch override earlier ones, matching
+    write-batch semantics of LSM stores.
+    """
+
+    def __init__(self, store: KVStore) -> None:
+        self._store = store
+        # key -> value bytes for put, None for delete; dict preserves
+        # insertion order and de-duplicates by key (last wins).
+        self._ops: dict[bytes, Optional[bytes]] = {}
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._ops[key] = value
+
+    def delete(self, key: bytes) -> None:
+        self._ops[key] = None
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate serialized size of the pending batch."""
+        return sum(len(k) + (len(v) if v is not None else 0) for k, v in self._ops.items())
+
+    def commit(self) -> None:
+        """Apply all pending operations to the store, then reset."""
+        for key, value in self._ops.items():
+            if value is None:
+                self._store.delete(key)
+            else:
+                self._store.put(key, value)
+        self._ops.clear()
+
+    def reset(self) -> None:
+        """Discard all pending operations."""
+        self._ops.clear()

@@ -1,0 +1,236 @@
+"""B+-tree KV store.
+
+The paper's hybrid-design recommendation names two ordered structures
+for the scan classes: "an LSM-tree or B+-tree index" (§V).  This is the
+B+-tree: sorted leaves linked for range scans, internal nodes holding
+separator keys, in-place updates (no tombstones, no compaction), with
+the write cost showing up as *page writes* instead.
+
+The I/O model charges one page write per dirtied node per operation and
+one page read per node descended, so the ablations can contrast its
+cost profile against the LSM (write-amplifying, scan-cheap) and the
+hash log (delete-cheap, scan-hostile) on equal terms.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, Optional
+
+from repro.errors import KeyNotFoundError
+from repro.kvstore.api import KVStore
+from repro.kvstore.metrics import StoreMetrics
+
+#: modeled page size for I/O accounting
+PAGE_BYTES = 4096
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next")
+
+    def __init__(self) -> None:
+        self.keys: list[bytes] = []
+        self.values: list[bytes] = []
+        self.next: Optional[_Leaf] = None
+
+
+class _Internal:
+    __slots__ = ("separators", "children")
+
+    def __init__(self) -> None:
+        # children[i] covers keys < separators[i]; the last child covers
+        # the rest.  len(children) == len(separators) + 1.
+        self.separators: list[bytes] = []
+        self.children: list = []
+
+
+class BPlusTreeStore(KVStore):
+    """In-memory B+-tree with page-level I/O accounting."""
+
+    def __init__(self, order: int = 32) -> None:
+        """``order``: max keys per node before it splits (>= 4)."""
+        if order < 4:
+            raise ValueError("order must be >= 4")
+        self.order = order
+        self._root = _Leaf()
+        self._size = 0
+        self.metrics = StoreMetrics()
+        self._height = 1
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+
+    def _descend(self, key: bytes) -> tuple[list, _Leaf]:
+        """Return (path of internal nodes with child indexes, leaf)."""
+        path = []
+        node = self._root
+        while isinstance(node, _Internal):
+            self.metrics.sstable_lookups += 1  # page read
+            index = bisect.bisect_right(node.separators, key)
+            path.append((node, index))
+            node = node.children[index]
+        self.metrics.sstable_lookups += 1  # leaf page read
+        return path, node
+
+    def get(self, key: bytes) -> bytes:
+        self.metrics.user_gets += 1
+        _, leaf = self._descend(key)
+        index = bisect.bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            value = leaf.values[index]
+            self.metrics.user_bytes_read += len(value)
+            return value
+        raise KeyNotFoundError(key)
+
+    def has(self, key: bytes) -> bool:
+        _, leaf = self._descend(key)
+        index = bisect.bisect_left(leaf.keys, key)
+        return index < len(leaf.keys) and leaf.keys[index] == key
+
+    # ------------------------------------------------------------------
+    # insert
+    # ------------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.metrics.user_puts += 1
+        self.metrics.user_bytes_written += len(key) + len(value)
+        path, leaf = self._descend(key)
+        index = bisect.bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            leaf.values[index] = value  # in-place update
+            self.metrics.flush_bytes_written += PAGE_BYTES
+            return
+        leaf.keys.insert(index, key)
+        leaf.values.insert(index, value)
+        self._size += 1
+        self.metrics.flush_bytes_written += PAGE_BYTES
+        if len(leaf.keys) > self.order:
+            self._split_leaf(path, leaf)
+
+    def _split_leaf(self, path: list, leaf: _Leaf) -> None:
+        middle = len(leaf.keys) // 2
+        right = _Leaf()
+        right.keys = leaf.keys[middle:]
+        right.values = leaf.values[middle:]
+        right.next = leaf.next
+        leaf.keys = leaf.keys[:middle]
+        leaf.values = leaf.values[:middle]
+        leaf.next = right
+        self.metrics.flush_bytes_written += 2 * PAGE_BYTES  # both halves
+        self._insert_separator(path, right.keys[0], right)
+
+    def _insert_separator(self, path: list, separator: bytes, right_child) -> None:
+        if not path:
+            new_root = _Internal()
+            new_root.separators = [separator]
+            new_root.children = [self._root, right_child]
+            self._root = new_root
+            self._height += 1
+            self.metrics.flush_bytes_written += PAGE_BYTES
+            return
+        parent, index = path[-1]
+        parent.separators.insert(index, separator)
+        parent.children.insert(index + 1, right_child)
+        self.metrics.flush_bytes_written += PAGE_BYTES
+        if len(parent.separators) > self.order:
+            self._split_internal(path[:-1], parent)
+
+    def _split_internal(self, path: list, node: _Internal) -> None:
+        middle = len(node.separators) // 2
+        promoted = node.separators[middle]
+        right = _Internal()
+        right.separators = node.separators[middle + 1 :]
+        right.children = node.children[middle + 1 :]
+        node.separators = node.separators[:middle]
+        node.children = node.children[: middle + 1]
+        self.metrics.flush_bytes_written += 2 * PAGE_BYTES
+        self._insert_separator(path, promoted, right)
+
+    # ------------------------------------------------------------------
+    # delete
+    # ------------------------------------------------------------------
+
+    def delete(self, key: bytes) -> None:
+        """In-place removal; underfull leaves are tolerated (lazy).
+
+        B+-trees delete without tombstones — the contrast with the LSM
+        the ablations measure.  Like many production trees (and unlike
+        textbook ones), underflow is handled lazily: pages are allowed
+        to run sparse and are only reclaimed when empty.
+        """
+        self.metrics.user_deletes += 1
+        path, leaf = self._descend(key)
+        index = bisect.bisect_left(leaf.keys, key)
+        if index >= len(leaf.keys) or leaf.keys[index] != key:
+            return  # blind delete of an absent key: no-op
+        leaf.keys.pop(index)
+        leaf.values.pop(index)
+        self._size -= 1
+        self.metrics.flush_bytes_written += PAGE_BYTES
+        if not leaf.keys and path:
+            self._drop_empty_leaf(path, leaf)
+
+    def _drop_empty_leaf(self, path: list, leaf: _Leaf) -> None:
+        parent, index = path[-1]
+        parent.children.pop(index)
+        if index < len(parent.separators):
+            parent.separators.pop(index)
+        elif parent.separators:
+            parent.separators.pop()
+        # Fix the leaf chain: predecessor (if any) skips the empty leaf.
+        previous = self._leftmost_leaf()
+        if previous is not leaf:
+            while previous is not None and previous.next is not leaf:
+                previous = previous.next
+            if previous is not None:
+                previous.next = leaf.next
+        self.metrics.flush_bytes_written += PAGE_BYTES
+        # Collapse single-child internals up the path.
+        for depth in range(len(path) - 1, -1, -1):
+            node, _ = path[depth]
+            if isinstance(node, _Internal) and len(node.children) == 1:
+                child = node.children[0]
+                if depth == 0:
+                    self._root = child
+                    self._height -= 1
+                else:
+                    grandparent, gp_index = path[depth - 1]
+                    grandparent.children[gp_index] = child
+                self.metrics.flush_bytes_written += PAGE_BYTES
+
+    # ------------------------------------------------------------------
+    # scan
+    # ------------------------------------------------------------------
+
+    def scan(
+        self, start: bytes, end: Optional[bytes] = None
+    ) -> Iterator[tuple[bytes, bytes]]:
+        self.metrics.user_scans += 1
+        _, leaf = self._descend(start)
+        index = bisect.bisect_left(leaf.keys, start)
+        while leaf is not None:
+            while index < len(leaf.keys):
+                key = leaf.keys[index]
+                if end is not None and key >= end:
+                    return
+                yield key, leaf.values[index]
+                index += 1
+            leaf = leaf.next
+            index = 0
+            if leaf is not None:
+                self.metrics.sstable_lookups += 1  # next page read
+
+    def _leftmost_leaf(self) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        return node
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Tree height in levels (1 = a single leaf)."""
+        return self._height

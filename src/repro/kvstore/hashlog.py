@@ -1,0 +1,152 @@
+"""Append-only log with a hash index.
+
+This is the storage shape the paper recommends (§V) for classes with
+heavy deletes and no scans (e.g. TxLookup): values are appended to an
+unsorted log, a hash index maps key -> log offset, deletes are in-place
+index removals (no tombstones), and garbage collection rewrites a log
+segment only when its dead ratio crosses a threshold.
+
+Scans are supported for interface completeness but cost a full sort —
+mirroring the real trade-off that motivates routing scan-free classes
+here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import KeyNotFoundError
+from repro.kvstore.api import KVStore
+from repro.kvstore.metrics import StoreMetrics
+
+#: Per-record log framing overhead (lengths + checksum), in bytes.
+RECORD_OVERHEAD = 12
+
+
+@dataclass
+class _Segment:
+    """One log segment with live/dead accounting."""
+
+    segment_id: int
+    records: dict[bytes, bytes]
+    dead_bytes: int = 0
+    total_bytes: int = 0
+
+
+class HashLogStore(KVStore):
+    """Hash-indexed append-only log store with threshold-based GC."""
+
+    def __init__(
+        self,
+        segment_bytes: int = 256 * 1024,
+        gc_dead_ratio: float = 0.5,
+    ) -> None:
+        self.metrics = StoreMetrics()
+        self._segment_bytes = segment_bytes
+        self._gc_dead_ratio = gc_dead_ratio
+        self._segments: list[_Segment] = [_Segment(0, {})]
+        # key -> segment_id holding the live copy
+        self._index: dict[bytes, int] = {}
+        self._by_id: dict[int, _Segment] = {0: self._segments[0]}
+        self._next_segment_id = 1
+
+    def _active(self) -> _Segment:
+        return self._segments[-1]
+
+    def _roll_segment(self) -> None:
+        segment = _Segment(self._next_segment_id, {})
+        self._next_segment_id += 1
+        self._segments.append(segment)
+        self._by_id[segment.segment_id] = segment
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.metrics.user_puts += 1
+        record_bytes = len(key) + len(value) + RECORD_OVERHEAD
+        self.metrics.user_bytes_written += len(key) + len(value)
+        self.metrics.wal_bytes_written += record_bytes  # the log *is* the WAL
+
+        old_segment_id = self._index.get(key)
+        if old_segment_id is not None:
+            self._kill_record(old_segment_id, key)
+
+        active = self._active()
+        if active.total_bytes + record_bytes > self._segment_bytes and active.records:
+            self._roll_segment()
+            active = self._active()
+        active.records[key] = value
+        active.total_bytes += record_bytes
+        self._index[key] = active.segment_id
+
+    def _kill_record(self, segment_id: int, key: bytes) -> None:
+        segment = self._by_id[segment_id]
+        value = segment.records.pop(key, None)
+        if value is not None:
+            segment.dead_bytes += len(key) + len(value) + RECORD_OVERHEAD
+            self._maybe_gc(segment)
+
+    def delete(self, key: bytes) -> None:
+        self.metrics.user_deletes += 1
+        segment_id = self._index.pop(key, None)
+        if segment_id is not None:
+            self._kill_record(segment_id, key)
+
+    def _maybe_gc(self, segment: _Segment) -> None:
+        if segment is self._active() or segment.total_bytes == 0:
+            return
+        if segment.dead_bytes / segment.total_bytes < self._gc_dead_ratio:
+            return
+        # Rewrite live records into the active segment; reclaim the rest.
+        self.metrics.gc_bytes_read += segment.total_bytes
+        live = list(segment.records.items())
+        segment.records = {}
+        segment.total_bytes = 0
+        segment.dead_bytes = 0
+        self._segments.remove(segment)
+        del self._by_id[segment.segment_id]
+        for key, value in live:
+            record_bytes = len(key) + len(value) + RECORD_OVERHEAD
+            self.metrics.gc_bytes_written += record_bytes
+            active = self._active()
+            if (
+                active.total_bytes + record_bytes > self._segment_bytes
+                and active.records
+            ):
+                self._roll_segment()
+                active = self._active()
+            active.records[key] = value
+            active.total_bytes += record_bytes
+            self._index[key] = active.segment_id
+
+    def get(self, key: bytes) -> bytes:
+        self.metrics.user_gets += 1
+        segment_id = self._index.get(key)
+        if segment_id is None:
+            raise KeyNotFoundError(key)
+        value = self._by_id[segment_id].records[key]
+        self.metrics.user_bytes_read += len(value)
+        return value
+
+    def has(self, key: bytes) -> bool:
+        return key in self._index
+
+    def scan(
+        self, start: bytes, end: Optional[bytes] = None
+    ) -> Iterator[tuple[bytes, bytes]]:
+        self.metrics.user_scans += 1
+        keys = sorted(k for k in self._index if k >= start and (end is None or k < end))
+        for key in keys:
+            yield key, self._by_id[self._index[key]].records[key]
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    @property
+    def log_bytes(self) -> int:
+        """Total bytes currently held across all segments (live + dead)."""
+        return sum(segment.total_bytes for segment in self._segments)
+
+    @property
+    def dead_bytes(self) -> int:
+        """Dead bytes awaiting GC across all segments."""
+        return sum(segment.dead_bytes for segment in self._segments)

@@ -1,0 +1,21 @@
+"""Leveled LSM-tree KV store simulator (Pebble-like).
+
+Structure mirrors a leveled LSM: a write-ahead log and an in-memory
+memtable absorb puts/deletes; full memtables flush to overlapping L0
+tables; deeper levels hold non-overlapping sorted runs with
+exponentially growing size budgets; background compaction merges runs
+downward, rewriting live data and eventually dropping tombstones at the
+bottom level.
+
+Everything is held in memory (the analyses need I/O *accounting*, not
+actual disk), but every byte that a real LSM would read or write is
+counted in :class:`~repro.kvstore.metrics.StoreMetrics` — that is what
+the paper's ablation arguments (tombstone cost, compaction overhead,
+scan-support tax) are about.
+"""
+
+from repro.kvstore.lsm.memtable import MemTable, TOMBSTONE
+from repro.kvstore.lsm.sstable import SSTable
+from repro.kvstore.lsm.store import LSMConfig, LSMStore
+
+__all__ = ["LSMStore", "LSMConfig", "MemTable", "SSTable", "TOMBSTONE"]

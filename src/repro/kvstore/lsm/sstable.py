@@ -1,0 +1,149 @@
+"""Immutable sorted string tables.
+
+An SSTable is a sorted, immutable run of entries (values or tombstones)
+with a smallest/largest key, a Bloom filter over its keys, and byte-size
+accounting.  Lookups bisect the in-memory entry list, standing in for
+the index-block + data-block path of a real table while preserving the
+costs the analyses care about.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from typing import Iterator, Optional
+
+from repro.kvstore.lsm.memtable import TOMBSTONE, Entry
+
+_table_ids = itertools.count(1)
+
+
+class BloomFilter:
+    """Small double-hashed Bloom filter over byte keys."""
+
+    def __init__(self, expected: int, bits_per_key: int = 10) -> None:
+        self._size = max(64, expected * bits_per_key)
+        self._num_hashes = max(1, int(bits_per_key * 0.69))
+        self._bits = bytearray((self._size + 7) // 8)
+
+    def _positions(self, key: bytes) -> Iterator[int]:
+        h1 = hash(key)
+        h2 = hash(key[::-1] + b"\x00")
+        for i in range(self._num_hashes):
+            yield (h1 + i * h2) % self._size
+
+    def add(self, key: bytes) -> None:
+        for pos in self._positions(key):
+            self._bits[pos >> 3] |= 1 << (pos & 7)
+
+    def may_contain(self, key: bytes) -> bool:
+        return all(self._bits[pos >> 3] & (1 << (pos & 7)) for pos in self._positions(key))
+
+
+class SSTable:
+    """Immutable sorted run with Bloom filter and size accounting."""
+
+    def __init__(self, entries: list[tuple[bytes, Entry]]) -> None:
+        """``entries`` must be sorted by key with no duplicates."""
+        self.table_id = next(_table_ids)
+        self._keys = [key for key, _ in entries]
+        self._entries = [entry for _, entry in entries]
+        self._bloom = BloomFilter(len(entries) or 1)
+        data_bytes = 0
+        tombstones = 0
+        for key, entry in entries:
+            self._bloom.add(key)
+            data_bytes += len(key)
+            if entry is TOMBSTONE:
+                tombstones += 1
+            else:
+                data_bytes += len(entry)  # type: ignore[arg-type]
+        self.data_bytes = data_bytes
+        self.num_tombstones = tombstones
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    @property
+    def smallest(self) -> Optional[bytes]:
+        return self._keys[0] if self._keys else None
+
+    @property
+    def largest(self) -> Optional[bytes]:
+        return self._keys[-1] if self._keys else None
+
+    def key_in_range(self, key: bytes) -> bool:
+        if not self._keys:
+            return False
+        return self._keys[0] <= key <= self._keys[-1]
+
+    def may_contain(self, key: bytes) -> bool:
+        """Bloom + range pre-check; False means definitely absent."""
+        return self.key_in_range(key) and self._bloom.may_contain(key)
+
+    def get(self, key: bytes) -> Optional[Entry]:
+        """Value bytes, TOMBSTONE, or None when absent from this table."""
+        index = bisect.bisect_left(self._keys, key)
+        if index < len(self._keys) and self._keys[index] == key:
+            return self._entries[index]
+        return None
+
+    def entries(self) -> Iterator[tuple[bytes, Entry]]:
+        return zip(self._keys, self._entries)
+
+    def iter_range(
+        self, start: bytes, end: Optional[bytes]
+    ) -> Iterator[tuple[bytes, Entry]]:
+        index = bisect.bisect_left(self._keys, start)
+        while index < len(self._keys):
+            key = self._keys[index]
+            if end is not None and key >= end:
+                return
+            yield key, self._entries[index]
+            index += 1
+
+    def overlaps(self, smallest: bytes, largest: bytes) -> bool:
+        """Whether this table's key range intersects [smallest, largest]."""
+        if not self._keys:
+            return False
+        return not (self._keys[-1] < smallest or self._keys[0] > largest)
+
+
+def merge_runs(
+    runs: list[Iterator[tuple[bytes, Entry]]],
+    drop_tombstones: bool,
+) -> tuple[list[tuple[bytes, Entry]], int, int]:
+    """K-way merge of sorted runs, newest run first.
+
+    For duplicate keys the entry from the earliest run in ``runs`` wins
+    (callers order runs newest-first).  Returns ``(entries,
+    tombstones_dropped, stale_dropped)``; tombstones are removed from
+    the output only when ``drop_tombstones`` (bottom-level compaction).
+    """
+    import heapq
+
+    heap: list[tuple[bytes, int, Entry]] = []
+    iters = [iter(run) for run in runs]
+    for run_index, it in enumerate(iters):
+        first = next(it, None)
+        if first is not None:
+            heapq.heappush(heap, (first[0], run_index, first[1]))
+
+    merged: list[tuple[bytes, Entry]] = []
+    tombstones_dropped = 0
+    stale_dropped = 0
+    current_key: Optional[bytes] = None
+    while heap:
+        key, run_index, entry = heapq.heappop(heap)
+        nxt = next(iters[run_index], None)
+        if nxt is not None:
+            heapq.heappush(heap, (nxt[0], run_index, nxt[1]))
+        if key == current_key:
+            stale_dropped += 1
+            continue
+        current_key = key
+        if entry is TOMBSTONE and drop_tombstones:
+            tombstones_dropped += 1
+            continue
+        merged.append((key, entry))
+    return merged, tombstones_dropped, stale_dropped

@@ -1,0 +1,86 @@
+"""I/O accounting for KV store implementations.
+
+The ablation benches (paper §V) compare storage designs by the I/O they
+generate: write amplification from compaction, tombstone overhead from
+deletes, and read amplification from multi-level lookups.  Every store
+that participates in an ablation carries a :class:`StoreMetrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StoreMetrics:
+    """Cumulative I/O counters for a store instance."""
+
+    user_bytes_written: int = 0
+    user_bytes_read: int = 0
+    user_puts: int = 0
+    user_gets: int = 0
+    user_deletes: int = 0
+    user_scans: int = 0
+
+    wal_bytes_written: int = 0
+    flush_bytes_written: int = 0
+    compaction_bytes_read: int = 0
+    compaction_bytes_written: int = 0
+    compactions: int = 0
+
+    tombstones_written: int = 0
+    tombstones_dropped: int = 0
+    stale_entries_dropped: int = 0
+
+    sstable_lookups: int = 0
+    bloom_filter_negatives: int = 0
+    block_cache_hits: int = 0
+    block_cache_misses: int = 0
+
+    gc_bytes_read: int = 0
+    gc_bytes_written: int = 0
+
+    def total_bytes_written(self) -> int:
+        """All physical bytes written (WAL + flush + compaction + GC)."""
+        return (
+            self.wal_bytes_written
+            + self.flush_bytes_written
+            + self.compaction_bytes_written
+            + self.gc_bytes_written
+        )
+
+    @property
+    def write_amplification(self) -> float:
+        """Physical bytes written per user byte written."""
+        if self.user_bytes_written == 0:
+            return 0.0
+        return self.total_bytes_written() / self.user_bytes_written
+
+    @property
+    def read_amplification(self) -> float:
+        """SSTable lookups per user get (1.0 means one table probed)."""
+        if self.user_gets == 0:
+            return 0.0
+        return self.sstable_lookups / self.user_gets
+
+    def snapshot(self) -> dict[str, float]:
+        """A plain-dict view for reports."""
+        result: dict[str, float] = {}
+        for name in self.__dataclass_fields__:
+            result[name] = getattr(self, name)
+        result["total_bytes_written"] = self.total_bytes_written()
+        result["write_amplification"] = self.write_amplification
+        result["read_amplification"] = self.read_amplification
+        return result
+
+
+@dataclass
+class LevelStats:
+    """Per-level occupancy for LSM introspection."""
+
+    level: int
+    num_tables: int = 0
+    data_bytes: int = 0
+    num_entries: int = 0
+    num_tombstones: int = 0
+    extra: dict[str, int] = field(default_factory=dict)

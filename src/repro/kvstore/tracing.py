@@ -1,0 +1,124 @@
+"""Tracing KV store wrapper — the paper's capture point.
+
+Wraps any :class:`~repro.kvstore.api.KVStore` and emits one
+:class:`~repro.core.trace.TraceRecord` per operation that crosses the
+interface.  Following the paper (§III-B), a put is recorded as UPDATE
+when the key already exists in the underlying store and WRITE otherwise;
+a scan is one SCAN record keyed by its start key.
+
+The wrapper also exposes a ``block_height`` attribute that the sync
+driver advances as it processes blocks, so every record carries the
+height at which it was issued — this is what the correlation analyses
+(Figures 4-7) and per-block reasoning rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional
+
+from repro.core.trace import OpType, TraceRecord
+from repro.kvstore.api import KVStore
+
+
+class TraceCollector:
+    """Accumulates trace records in memory, with optional spill callback.
+
+    For large runs a ``sink`` callable (e.g. ``TraceWriter.append``) can
+    be supplied; records are then forwarded instead of retained, keeping
+    memory bounded.
+    """
+
+    def __init__(self, sink: Optional[Callable[[TraceRecord], None]] = None) -> None:
+        self._records: List[TraceRecord] = []
+        self._sink = sink
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """Total records observed (retained or forwarded)."""
+        return self._count
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """Retained records (empty when a sink is configured)."""
+        return self._records
+
+    def emit(self, record: TraceRecord) -> None:
+        self._count += 1
+        if self._sink is not None:
+            self._sink(record)
+        else:
+            self._records.append(record)
+
+    def clear(self) -> None:
+        self._records.clear()
+        self._count = 0
+
+
+class TracingKVStore(KVStore):
+    """KV store decorator that records every operation at the interface."""
+
+    def __init__(self, inner: KVStore, collector: Optional[TraceCollector] = None) -> None:
+        self._inner = inner
+        self.collector = collector if collector is not None else TraceCollector()
+        #: Current block height; advanced by the sync driver.
+        self.block_height = 0
+        #: When False, operations pass through untraced (used for
+        #: pre-population before the measured window, mirroring the
+        #: paper's trace that only covers blocks 20.5M-21.5M while the
+        #: store already holds state for blocks 0-20.5M).
+        self.enabled = True
+
+    @property
+    def inner(self) -> KVStore:
+        return self._inner
+
+    def _emit(self, op: OpType, key: bytes, value_size: int) -> None:
+        if self.enabled:
+            self.collector.emit(
+                TraceRecord(op=op, key=key, value_size=value_size, block=self.block_height)
+            )
+
+    def get(self, key: bytes) -> bytes:
+        value = self._inner.get(key)
+        self._emit(OpType.READ, key, len(value))
+        return value
+
+    def get_or_none(self, key: bytes) -> Optional[bytes]:
+        value = self._inner.get_or_none(key)
+        self._emit(OpType.READ, key, len(value) if value is not None else 0)
+        return value
+
+    def put(self, key: bytes, value: bytes) -> None:
+        op = OpType.UPDATE if self._inner.has(key) else OpType.WRITE
+        self._inner.put(key, value)
+        self._emit(op, key, len(value))
+
+    def delete(self, key: bytes) -> None:
+        self._inner.delete(key)
+        self._emit(OpType.DELETE, key, 0)
+
+    def has(self, key: bytes) -> bool:
+        # Existence probes are not value reads; Geth's `Has` calls do not
+        # appear as reads in the paper's traces, so they are not traced.
+        return self._inner.has(key)
+
+    def scan(
+        self, start: bytes, end: Optional[bytes] = None
+    ) -> Iterator[tuple[bytes, bytes]]:
+        total = 0
+        try:
+            for key, value in self._inner.scan(start, end):
+                total += len(value)
+                yield key, value
+        finally:
+            # Emit even when the consumer stops early (bounded probes
+            # close the generator before exhaustion) — one SCAN record
+            # per range query, as the paper counts them.
+            self._emit(OpType.SCAN, start, total)
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    def close(self) -> None:
+        self._inner.close()

@@ -1,0 +1,26 @@
+"""Recursive Length Prefix (RLP) serialization.
+
+RLP is Ethereum's canonical wire/storage serialization.  It encodes two
+kinds of items: byte strings and (recursively) lists of items.  Geth
+stores block headers, bodies, receipts, accounts, and trie nodes as RLP
+blobs, so the value sizes observed at the KV interface are RLP sizes —
+this package makes the simulated value sizes mechanically realistic.
+
+Public API::
+
+    encode(item)          -> bytes
+    decode(blob)          -> item (bytes or nested lists of bytes)
+    encode_uint(n)        -> bytes   # big-endian minimal integer payload
+    decode_uint(payload)  -> int
+    length_of(item)       -> int     # encoded size without materializing
+"""
+
+from repro.rlp.codec import (
+    decode,
+    decode_uint,
+    encode,
+    encode_uint,
+    length_of,
+)
+
+__all__ = ["encode", "decode", "encode_uint", "decode_uint", "length_of"]

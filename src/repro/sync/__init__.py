@@ -1,0 +1,28 @@
+"""Full-synchronization driver.
+
+Replays a workload's blocks through the complete Geth data-management
+stack — state tries, snapshot, caches, freezer, tx indexer, bloombits
+indexer, skeleton bookkeeping — issuing KV operations with the same
+discipline as Geth: on-demand reads during execution, one batched write
+burst per block, and periodic background migrations.
+
+Running the same workload under :meth:`DBConfig.cache_trace_config` and
+:meth:`DBConfig.bare_trace_config` yields the CacheTrace / BareTrace
+analog pair the paper's analyses compare.
+"""
+
+from repro.sync.driver import FullSyncDriver, SyncConfig, SyncResult, run_trace_pair
+from repro.sync.recovery import RecoveryReport, regenerate_snapshot, resume
+from repro.sync.snapsync import SnapSyncDriver, SnapSyncResult
+
+__all__ = [
+    "FullSyncDriver",
+    "SyncConfig",
+    "SyncResult",
+    "run_trace_pair",
+    "SnapSyncDriver",
+    "SnapSyncResult",
+    "RecoveryReport",
+    "resume",
+    "regenerate_snapshot",
+]

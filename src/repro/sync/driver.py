@@ -1,0 +1,562 @@
+"""The full-sync driver: block import through the whole storage stack."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro import rlp
+from repro.chain.account import Account
+from repro.chain.blocks import Block
+from repro.chain.genesis import GenesisConfig
+from repro.chain.transactions import Receipt, block_bloom, encode_receipts
+from repro.core.trace import TraceRecord
+from repro.gethdb import schema
+from repro.gethdb.bloombits import BloomBitsIndexer
+from repro.gethdb.database import DBConfig, GethDatabase
+from repro.gethdb.freezer import Freezer
+from repro.gethdb.snapshot import SnapshotTree
+from repro.gethdb.state import StateDB, hash_address
+from repro.gethdb.txindexer import TxIndexer
+from repro.workload.generator import BlockPlan, WorkloadConfig, WorkloadGenerator
+
+
+@dataclass(frozen=True)
+class SyncConfig:
+    """Scaled-down analog of the paper's capture configuration.
+
+    Mainnet background cadences (freezer threshold 90k blocks, tx index
+    window 2.35M, bloom sections 4,096) are scaled so the same
+    *per-block op mix* emerges at simulation scale.
+    """
+
+    db: DBConfig = field(default_factory=DBConfig)
+    #: untraced blocks executed first, standing in for the 20.5M blocks
+    #: already synchronized before the paper's measurement window
+    warmup_blocks: int = 100
+    freezer_threshold: int = 64
+    freezer_batch: int = 4
+    txlookup_limit: int = 48
+    bloom_section_size: int = 64
+    bloom_tracked_bits: int = 32
+    #: StateID records kept before the oldest is deleted
+    stateid_retention: int = 32
+    #: blocks between LastStateID persistence (reads happen every block)
+    laststateid_flush_interval: int = 64
+    #: blocks between SkeletonSyncStatus updates
+    skeleton_status_interval: int = 4
+    #: ancestor headers re-read during verification of each block
+    header_verification_reads: int = 8
+    #: skeleton headers re-read while filling each block
+    skeleton_reads_per_block: int = 5
+    #: skeleton headers retained before deletion (0 disables cleanup)
+    skeleton_window: int = 256
+    #: blocks between SnapshotRoot marker rewrites
+    snapshot_root_interval: int = 100
+    #: blocks between chain-indexer progress reads (BloomBitsIndex)
+    bloom_progress_interval: int = 4
+    #: EIP-4444 history expiry bound in blocks (0 disables; the paper
+    #: cites the proposal as future work for bounding historical data)
+    history_expiry: int = 0
+    #: verify each imported block (header linkage, body/receipt roots,
+    #: executed state root) — the paper's "verify downloaded blocks"
+    validate_blocks: bool = True
+    #: blocks between storage-growth samples (0 disables sampling);
+    #: feeds the growth analysis behind the paper's "unbounded data
+    #: growth (~200 GiB annually)" motivation
+    growth_sample_interval: int = 0
+    #: shadow-store every flushed trie node under the legacy hash-keyed
+    #: scheme, for the path-vs-hash storage-model comparison (§II-A)
+    mirror_hash_scheme: bool = False
+    #: blocks between trie dirty-buffer flushes when caching is enabled:
+    #: hot interior nodes rewritten every block coalesce to one put per
+    #: flush window (the pathdb buffer's cross-block coalescing — the
+    #: larger half of Finding 7's world-state write reduction).
+    trie_flush_interval: int = 16
+    #: diff layers aggregated before the snapshot accumulator is written.
+    #: 1 = flat-snapshot writes land every block, which is what keeps
+    #: adjacent blocks' head-pointer updates far apart in the update
+    #: stream (Figure 6's collapse of LF-LH by distance four).
+    snapshot_flush_interval: int = 1
+    #: in BareTrace mode (no trie dirty cache) state commits flush every
+    #: ``bare_commit_txs`` transactions instead of once per block, so
+    #: interior trie nodes are rewritten several times per block — the
+    #: other half of BareTrace's higher world-state put traffic.
+    bare_commit_txs: int = 8
+    genesis: GenesisConfig = field(default_factory=GenesisConfig)
+
+
+@dataclass
+class GrowthSample:
+    """Storage footprint at one block height."""
+
+    block: int
+    kv_pairs: int
+    kv_bytes: int
+    frozen_blocks: int
+    ancient_bytes: int
+
+
+@dataclass
+class SyncResult:
+    """Everything a trace analysis needs from one sync run."""
+
+    name: str
+    records: list[TraceRecord]
+    #: (key, value) snapshot of the KV store after the run
+    store_snapshot: list[tuple[bytes, bytes]]
+    blocks_processed: int
+    head_number: int
+    cache_stats: dict
+    total_store_pairs: int
+    #: storage-growth samples (empty unless growth_sample_interval > 0)
+    growth_samples: list[GrowthSample] = field(default_factory=list)
+
+
+class FullSyncDriver:
+    """Imports workload blocks through the full storage stack."""
+
+    def __init__(
+        self,
+        sync_config: Optional[SyncConfig] = None,
+        workload: Optional[WorkloadGenerator] = None,
+        name: str = "trace",
+        database: Optional[GethDatabase] = None,
+    ) -> None:
+        """``database``: attach to an existing database instead of a
+        fresh one — the restart/recovery path (see repro.sync.recovery).
+        """
+        self.config = sync_config if sync_config is not None else SyncConfig()
+        self.workload = workload if workload is not None else WorkloadGenerator()
+        self.name = name
+        self.db = database if database is not None else GethDatabase(self.config.db)
+        self.snapshots = SnapshotTree(
+            self.db, flush_depth=2, flush_interval=self.config.snapshot_flush_interval
+        )
+        self.state = StateDB(self.db, self.snapshots)
+        self.freezer = Freezer(
+            self.db,
+            self.config.freezer_threshold,
+            self.config.freezer_batch,
+            history_expiry=self.config.history_expiry,
+        )
+        self.hash_scheme_mirror = None
+        if self.config.mirror_hash_scheme:
+            from repro.gethdb.legacy import HashSchemeMirror
+
+            self.hash_scheme_mirror = HashSchemeMirror()
+            self.state.node_store.flush_observer = self.hash_scheme_mirror.observe_flush
+        self.txindexer = TxIndexer(self.db, self.config.txlookup_limit)
+        self.bloombits = BloomBitsIndexer(
+            self.db, self.config.bloom_section_size, self.config.bloom_tracked_bits
+        )
+        self._head_number = 0
+        self._head_hash = b"\x00" * 32
+        self._blocks_run = 0
+        self._growth_samples: list[GrowthSample] = []
+        self._recent_hashes: dict[int, bytes] = {}
+        self._recent_roots: list[bytes] = []
+        self._snapshot_root_present = False
+        self._initialized = False
+
+    # ------------------------------------------------------------------
+    # genesis / startup
+    # ------------------------------------------------------------------
+
+    def initialize(self) -> None:
+        """Write genesis state and metadata (untraced, pre-window)."""
+        if self._initialized:
+            return
+        self.db.set_tracing(False)
+        self.db.begin_block(0)
+
+        cfg = self.config.genesis
+        for address in self.workload.eoa_addresses:
+            self.state.set_account(
+                address, Account(nonce=0, balance=cfg.initial_balance)
+            )
+        for contract in self.workload.contract_addresses:
+            code = self.workload.initial_code_for(contract)
+            code_hash = self.state.set_code(contract, code)
+            self.state.set_account(contract, Account(nonce=1, code_hash=code_hash))
+            for slot, value in self.workload.initial_slots_for(contract):
+                self.state.set_storage_hashed(contract, slot, value)
+        state_root = self.state.commit()
+
+        from repro.chain.genesis import make_genesis
+
+        genesis_block = make_genesis(cfg, state_root)
+        genesis_hash = genesis_block.hash
+        self._write_block_data(genesis_block)
+        self.db.write(schema.ethereum_genesis_key(genesis_hash), cfg.genesis_state_blob(state_root))
+        self.db.write(schema.ethereum_config_key(genesis_hash), cfg.config_json())
+        self.db.write(schema.DATABASE_VERSION_KEY, b"\x08")
+        self.db.write(schema.LAST_HEADER_KEY, genesis_hash)
+        self.db.write(schema.LAST_BLOCK_KEY, genesis_hash)
+        self.db.write(schema.LAST_FAST_KEY, genesis_hash)
+        self.db.write(schema.state_id_key(state_root), (1).to_bytes(8, "big"))
+        self.db.write(schema.LAST_STATE_ID_KEY, (1).to_bytes(8, "big"))
+        self.db.write(schema.UNCLEAN_SHUTDOWN_KEY, b"\x00" * 33)
+        self.db.write(schema.SKELETON_SYNC_STATUS_KEY, b"\x00" * 146)
+        self.db.write(schema.TRANSACTION_INDEX_TAIL_KEY, (0).to_bytes(8, "big"))
+        if self.db.config.snapshot_enabled:
+            self.snapshots.write_generator_marker(done=False)
+            self.db.write(schema.SNAPSHOT_ROOT_KEY, state_root)
+            self.db.write(schema.SNAPSHOT_RECOVERY_KEY, (0).to_bytes(8, "big"))
+            self._snapshot_root_present = True
+        self.db.commit_batch()
+
+        self._head_number = 0
+        self._head_hash = genesis_hash
+        self._recent_hashes[0] = genesis_hash
+        self._recent_roots.append(state_root)
+        self._initialized = True
+
+    def _startup_reads(self) -> None:
+        """The startup op burst (unclean-shutdown probe, head reads)."""
+        self.db.read_uncached(schema.UNCLEAN_SHUTDOWN_KEY)
+        self.db.write_now(schema.UNCLEAN_SHUTDOWN_KEY, b"\x01" + b"\x00" * 32)
+        self.db.read_uncached(schema.LAST_BLOCK_KEY)
+        self.db.read_uncached(schema.SKELETON_SYNC_STATUS_KEY)
+        if self.db.config.snapshot_enabled:
+            self.snapshots.verify_startup()
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def run(self, num_blocks: int, clean_shutdown: bool = True) -> SyncResult:
+        """Warm up untraced, then trace ``num_blocks`` of full sync.
+
+        ``clean_shutdown=False`` simulates a crash: the process stops
+        without journaling, leaving the unclean-shutdown marker dirty —
+        the state a restarted node must recover from.
+        """
+        self.initialize()
+        self.db.set_tracing(False)
+        for _ in range(self.config.warmup_blocks):
+            self._import_next_block()
+        self.db.set_tracing(True)
+        self._startup_reads()
+        for _ in range(num_blocks):
+            self._import_next_block()
+        self._blocks_run = self.config.warmup_blocks + num_blocks
+        if clean_shutdown:
+            self.shutdown()
+        snapshot = list(self.db.store.inner.scan(b""))
+        return SyncResult(
+            name=self.name,
+            records=self.db.collector.records,
+            store_snapshot=snapshot,
+            blocks_processed=num_blocks,
+            head_number=self._head_number,
+            cache_stats=self.db.cache_stats(),
+            total_store_pairs=len(self.db.store.inner),
+            growth_samples=list(self._growth_samples),
+        )
+
+    def _import_next_block(self) -> None:
+        plan = self.workload.make_block_plan(self._head_number + 1)
+        self.import_block(plan)
+
+    # ------------------------------------------------------------------
+    # block import
+    # ------------------------------------------------------------------
+
+    def import_block(self, plan: BlockPlan) -> Block:
+        """Run one block through download, verify, execute, and commit."""
+        number = plan.number
+        self.db.begin_block(number)
+
+        # -- download phase: skeleton bookkeeping --------------------------
+        self._skeleton_step(number)
+
+        # -- verification phase: on-demand reads ---------------------------
+        self._verify_ancestors(number)
+
+        # -- execution phase ------------------------------------------------
+        receipts = self._execute_transactions(plan)
+        state_root = self.state.commit()
+        if (
+            self.state.node_store.buffered
+            and number % self.config.trie_flush_interval == 0
+        ):
+            self.state.flush_trie_nodes()
+        if self.hash_scheme_mirror is not None:
+            self.hash_scheme_mirror.observe_root(state_root)
+        block = plan.build_block(self._head_hash, state_root, receipts)
+        if self.config.validate_blocks:
+            self._validate_block(block, state_root, receipts)
+
+        # -- write phase (all batched; flushed below in one burst) ----------
+        self._write_block_data(block)
+        self.db.write(
+            schema.receipts_key(number, block.hash), encode_receipts(receipts)
+        )
+        self.bloombits.add_block(number, block.hash, block_bloom(receipts))
+        self.txindexer.index_block(number, [tx.hash for tx in block.transactions])
+        self._advance_state_id(state_root)
+
+        # Head pointers last — adjacent staging means adjacent trace
+        # records at batch commit (the paper's Finding 10 clustering).
+        self.db.write(schema.LAST_HEADER_KEY, block.hash)
+        self.db.write(schema.LAST_FAST_KEY, block.hash)
+        self.db.write(schema.LAST_BLOCK_KEY, block.hash)
+
+        self.db.commit_batch()
+
+        # -- background maintenance ----------------------------------------
+        self._head_number = number
+        self._head_hash = block.hash
+        self._recent_hashes[number] = block.hash
+        self._recent_hashes.pop(number - 4 * self.config.freezer_threshold, None)
+        self.freezer.maybe_freeze(number)
+        self.txindexer.unindex(number)
+        self._snapshot_root_maintenance(number, state_root)
+        if number % self.config.bloom_progress_interval == 0:
+            self.bloombits.read_progress()
+        interval = self.config.growth_sample_interval
+        if interval > 0 and number % interval == 0:
+            self._sample_growth(number)
+        return block
+
+    def _sample_growth(self, number: int) -> None:
+        inner = self.db.store.inner
+        ancient_bytes = sum(
+            len(blob)
+            for table in (
+                self.freezer.tables.headers,
+                self.freezer.tables.bodies,
+                self.freezer.tables.receipts,
+            )
+            for blob in table.values()
+        )
+        self._growth_samples.append(
+            GrowthSample(
+                block=number,
+                kv_pairs=len(inner),
+                kv_bytes=getattr(inner, "approx_bytes", 0),
+                frozen_blocks=self.freezer.frozen_blocks,
+                ancient_bytes=ancient_bytes,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # phases
+    # ------------------------------------------------------------------
+
+    def _skeleton_step(self, number: int) -> None:
+        cfg = self.config
+        header_stub = hashlib.sha3_256(b"skeleton" + number.to_bytes(8, "big")).digest()
+        # Skeleton headers carry the downloaded header payload (~610B).
+        self.db.write(schema.skeleton_header_key(number), header_stub * 19)
+        for i in range(cfg.skeleton_reads_per_block):
+            target = max(1, number - (i * 7) % 16)
+            self.db.read_uncached(schema.skeleton_header_key(target))
+        if cfg.skeleton_window and number > cfg.skeleton_window:
+            self.db.delete(schema.skeleton_header_key(number - cfg.skeleton_window))
+        if number % cfg.skeleton_status_interval == 0:
+            self.db.write(
+                schema.SKELETON_SYNC_STATUS_KEY,
+                number.to_bytes(8, "big") + b"\x00" * 138,
+            )
+
+    def _verify_ancestors(self, number: int) -> None:
+        """Header-chain verification reads (parent + sampled ancestors)."""
+        parent_number = number - 1
+        parent_hash = self._recent_hashes.get(parent_number)
+        if parent_hash is not None:
+            # hash -> number lookup goes through the HeaderNumber cache.
+            self.db.read(schema.header_number_key(parent_hash))
+            self.db.read_uncached(schema.header_key(parent_number, parent_hash))
+            self.db.read_uncached(schema.body_key(parent_number, parent_hash))
+        floor = self.freezer.frozen_until
+        for i in range(self.config.header_verification_reads):
+            target = parent_number - 1 - (i * 3)
+            if target <= floor:
+                break
+            ancestor_hash = self._recent_hashes.get(target)
+            if ancestor_hash is None:
+                continue
+            self.db.read_uncached(schema.header_key(target, ancestor_hash))
+
+    def _execute_transactions(self, plan: BlockPlan) -> list[Receipt]:
+        receipts = []
+        cumulative_gas = 0
+        bare = not self.state.node_store.buffered
+        for index, tx_plan in enumerate(plan.tx_plans, start=1):
+            cumulative_gas += self._apply_tx(tx_plan)
+            receipts.append(
+                Receipt(
+                    status=1,
+                    cumulative_gas_used=cumulative_gas,
+                    logs=tx_plan.logs,
+                )
+            )
+            # Without the trie dirty cache, state changes flush to the
+            # store in small segments during the block: interior trie
+            # nodes get rewritten once per segment rather than once per
+            # block (BareTrace's higher world-state put traffic).
+            if bare and index % self.config.bare_commit_txs == 0:
+                self.state.commit()
+                self.db.commit_batch()
+        return receipts
+
+    def _apply_tx(self, tx_plan) -> int:
+        state = self.state
+        tx = tx_plan.tx
+        sender = state.get_account(tx_plan.sender) or Account()
+        sender.nonce += 1
+        sender.balance = max(0, sender.balance - tx.value - tx.gas_limit)
+        state.set_account(tx_plan.sender, sender)
+
+        if tx_plan.kind == "transfer":
+            recipient = state.get_account(tx_plan.recipient) or Account()
+            recipient.balance += tx.value
+            state.set_account(tx_plan.recipient, recipient)
+            return 21_000
+
+        if tx_plan.kind == "call":
+            contract = state.get_account(tx_plan.recipient)
+            if contract is None:
+                return 21_000
+            state.get_code(contract.code_hash)  # code fetch (Code reads)
+            for address, slot in tx_plan.slot_reads:
+                state.get_storage_hashed(address, slot)
+            for address, slot, value in tx_plan.slot_writes:
+                state.set_storage_hashed(address, slot, value)
+            state.set_account(tx_plan.recipient, contract)
+            return tx.gas_limit // 2
+
+        if tx_plan.kind == "create":
+            code_hash = state.set_code(tx_plan.recipient, tx_plan.deployed_code)
+            state.set_account(
+                tx_plan.recipient, Account(nonce=1, code_hash=code_hash)
+            )
+            for address, slot, value in tx_plan.slot_writes:
+                state.set_storage_hashed(address, slot, value)
+            return tx.gas_limit // 2
+
+        if tx_plan.kind == "destruct":
+            state.destruct_account(tx_plan.destruct_target)
+            return 50_000
+
+        raise ValueError(f"unknown tx kind {tx_plan.kind!r}")
+
+    def _validate_block(self, block: Block, state_root: bytes, receipts) -> None:
+        """Full block verification (header linkage + execution outcome)."""
+        from repro.chain.validation import (
+            validate_body,
+            validate_execution_outcome,
+            validate_header_chain,
+        )
+
+        parent_hash = self._recent_hashes.get(block.number - 1)
+        if parent_hash is not None and block.number > 1:
+            parent_blob = self.db.peek(
+                schema.header_key(block.number - 1, parent_hash)
+            )
+            if parent_blob is not None and block.header.parent_hash != parent_hash:
+                from repro.errors import InvalidBlockError
+
+                raise InvalidBlockError(
+                    f"block {block.number} does not link to canonical parent"
+                )
+        validate_body(block)
+        validate_execution_outcome(block, state_root, receipts)
+
+    def _write_block_data(self, block: Block) -> None:
+        number = block.number
+        block_hash = block.hash
+        header_blob = block.header.encode()
+        self.db.write(schema.header_key(number, block_hash), header_blob)
+        self.db.write(schema.header_td_key(number, block_hash), rlp.encode_uint(number + 1) or b"\x00")
+        self.db.write(schema.canonical_hash_key(number), block_hash)
+        self.db.write(schema.header_number_key(block_hash), number.to_bytes(8, "big"))
+        self.db.write(schema.body_key(number, block_hash), block.body.encode())
+
+    def _advance_state_id(self, state_root: bytes) -> None:
+        self._recent_roots.append(state_root)
+        self.db.write(
+            schema.state_id_key(state_root),
+            (len(self._recent_roots)).to_bytes(8, "big"),
+        )
+        if len(self._recent_roots) > self.config.stateid_retention:
+            old_root = self._recent_roots.pop(0)
+            self.db.delete(schema.state_id_key(old_root))
+        self.db.read_uncached(schema.LAST_STATE_ID_KEY)
+        if self._head_number % self.config.laststateid_flush_interval == 0:
+            self.db.write(
+                schema.LAST_STATE_ID_KEY, len(self._recent_roots).to_bytes(8, "big")
+            )
+
+    def _snapshot_root_maintenance(self, number: int, state_root: bytes) -> None:
+        if not self.db.config.snapshot_enabled:
+            return
+        interval = self.config.snapshot_root_interval
+        if interval <= 0 or number % interval != 0:
+            return
+        # Geth rewrites the root marker when persisting snapshot progress
+        # and deletes it while the generator is mid-rebuild.
+        if self._snapshot_root_present:
+            self.db.write_now(schema.SNAPSHOT_ROOT_KEY, state_root)
+            self.db.delete_now(schema.SNAPSHOT_ROOT_KEY)
+            self._snapshot_root_present = False
+        else:
+            self.db.write_now(schema.SNAPSHOT_ROOT_KEY, state_root)
+            self._snapshot_root_present = True
+
+    # ------------------------------------------------------------------
+    # shutdown
+    # ------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Persist journals and markers, as Geth does on clean exit."""
+        self.db.begin_block(self._head_number)
+        # Journal the un-flushed trie buffer (round-trippable; a restart
+        # resumes from it), then flush so the store snapshot is complete
+        # for the Table I analyses.  Mainnet's TrieJournal is ~336 MiB;
+        # ours scales with the same thing — recent state churn.
+        journal_blob = self.state.node_store.encode_journal()
+        self.state.flush_trie_nodes()
+        if self.db.config.snapshot_enabled:
+            self.snapshots.journal()
+            self.snapshots.write_generator_marker(done=True)
+        self.db.write_now(schema.TRIE_JOURNAL_KEY, journal_blob)
+        self.db.read_uncached(schema.UNCLEAN_SHUTDOWN_KEY)
+        self.db.write_now(schema.UNCLEAN_SHUTDOWN_KEY, b"\x00" * 33)
+        self.db.write_now(
+            schema.SKELETON_SYNC_STATUS_KEY,
+            self._head_number.to_bytes(8, "big") + b"\x00" * 138,
+        )
+        self.db.commit_batch()
+
+
+def run_trace_pair(
+    workload_config: Optional[WorkloadConfig] = None,
+    num_blocks: int = 200,
+    warmup_blocks: int = 100,
+    cache_bytes: int = 8 * 1024 * 1024,
+) -> tuple[SyncResult, SyncResult]:
+    """Run the same workload under both capture modes.
+
+    Returns ``(cache_result, bare_result)`` — the CacheTrace and
+    BareTrace analogs over identical block plans.
+    """
+    wl_config = workload_config if workload_config is not None else WorkloadConfig()
+
+    cache_sync = SyncConfig(
+        db=DBConfig.cache_trace_config(cache_bytes), warmup_blocks=warmup_blocks
+    )
+    cache_driver = FullSyncDriver(
+        cache_sync, WorkloadGenerator(wl_config), name="CacheTrace"
+    )
+    cache_result = cache_driver.run(num_blocks)
+
+    bare_sync = SyncConfig(db=DBConfig.bare_trace_config(), warmup_blocks=warmup_blocks)
+    bare_driver = FullSyncDriver(
+        bare_sync, WorkloadGenerator(wl_config), name="BareTrace"
+    )
+    bare_result = bare_driver.run(num_blocks)
+    return cache_result, bare_result

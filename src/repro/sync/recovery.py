@@ -1,0 +1,240 @@
+"""Restart and crash recovery.
+
+The 15 singleton KV classes exist almost entirely for this path: head
+pointers locate the chain position, the journals carry the in-memory
+layers across restarts, and the unclean-shutdown marker decides whether
+the snapshot can be trusted.
+
+Two entry points:
+
+* :func:`resume` — attach a new driver to an existing database and
+  restore its in-memory state: read the head pointers, load the trie
+  and snapshot journals, rewind the freezer/indexer cursors, and
+  fast-forward the workload generator to the head.  The reads issued
+  here are the startup burst visible in the traces (LastBlock reads,
+  the unclean-shutdown probe, journal reads).
+* :func:`regenerate_snapshot` — the crash path: when the journals are
+  missing or the unclean marker is dirty, Geth cannot trust the flat
+  snapshot and regenerates it by walking the account trie, guarded by
+  the SnapshotRecovery / SnapshotGenerator markers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.chain.account import Account
+from repro.errors import GethDBError
+from repro.gethdb import schema
+from repro.gethdb.database import GethDatabase
+from repro.sync.driver import FullSyncDriver, SyncConfig
+from repro.trie.nibbles import nibbles_to_bytes
+from repro.trie.trie import EMPTY_ROOT
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+
+@dataclass
+class RecoveryReport:
+    """What the restart had to do."""
+
+    head_number: int
+    clean_shutdown: bool
+    trie_journal_entries: int
+    snapshot_journal_layers: int
+    snapshot_regenerated: bool
+    regenerated_accounts: int
+    regenerated_slots: int
+    #: blocks rewound and re-executed because their trie changes were
+    #: only in the (lost) dirty buffer when the process died
+    blocks_reexecuted: int = 0
+
+
+def resume(
+    db: GethDatabase,
+    sync_config: SyncConfig,
+    workload_config: WorkloadConfig,
+    blocks_processed: int,
+    name: str = "resumed",
+) -> tuple[FullSyncDriver, RecoveryReport]:
+    """Attach a fresh driver to ``db`` and restore its runtime state.
+
+    ``blocks_processed``: how many blocks the previous incarnation
+    imported (warmup included) — needed to fast-forward the workload
+    generator so the chain continues deterministically.
+    """
+    workload = WorkloadGenerator(workload_config)
+    driver = FullSyncDriver(sync_config, workload, name=name, database=db)
+    db.set_tracing(True)
+
+    # -- locate the head -------------------------------------------------
+    head_hash = db.read_uncached(schema.LAST_BLOCK_KEY)
+    if head_hash is None:
+        raise GethDBError("no LastBlock record: database was never initialized")
+    number_blob = db.read(schema.header_number_key(head_hash))
+    if number_blob is None:
+        raise GethDBError("head block hash has no HeaderNumber mapping")
+    head_number = int.from_bytes(number_blob, "big")
+    if head_number != blocks_processed:
+        raise GethDBError(
+            f"database head {head_number} does not match the declared "
+            f"position {blocks_processed}; wrong blocks_processed?"
+        )
+    db.begin_block(head_number)
+    db.read_uncached(schema.LAST_HEADER_KEY)
+    db.read_uncached(schema.DATABASE_VERSION_KEY)
+
+    # -- shutdown cleanliness ---------------------------------------------
+    marker = db.read_uncached(schema.UNCLEAN_SHUTDOWN_KEY)
+    clean = marker is not None and marker[:1] == b"\x00"
+    db.write_now(schema.UNCLEAN_SHUTDOWN_KEY, b"\x01" + b"\x00" * 32)
+
+    # -- crash rewind --------------------------------------------------------
+    # A crash loses the un-flushed trie buffer: the persisted state trie
+    # is only current as of the last flush boundary.  Rewind the head
+    # there and re-execute the tail blocks (their plans regenerate
+    # deterministically), exactly as Geth rewinds to its persisted root.
+    resume_from = head_number
+    buffered = db.config.caching_enabled
+    if not clean and buffered:
+        interval = sync_config.trie_flush_interval
+        resume_from = (head_number // interval) * interval
+    workload.skip_blocks(resume_from)
+    resume_hash = (
+        head_hash
+        if resume_from == head_number
+        else db.peek(schema.canonical_hash_key(resume_from))
+    )
+    if resume_hash is None:
+        raise GethDBError(f"no canonical hash for rewind block {resume_from}")
+
+    # -- trie journal -------------------------------------------------------
+    trie_entries = 0
+    trie_journal = db.read_uncached(schema.TRIE_JOURNAL_KEY)
+    if clean and trie_journal is not None:
+        trie_entries = driver.state.node_store.load_journal(trie_journal)
+
+    # -- snapshot state -----------------------------------------------------
+    snapshot_layers = 0
+    regenerated = False
+    regenerated_accounts = regenerated_slots = 0
+    if db.config.snapshot_enabled:
+        snapshot_journal = db.read_uncached(schema.SNAPSHOT_JOURNAL_KEY)
+        if clean and snapshot_journal is not None:
+            snapshot_layers = driver.snapshots.load_journal(snapshot_journal)
+            db.read_uncached(schema.SNAPSHOT_ROOT_KEY)
+        else:
+            regenerated_accounts, regenerated_slots = regenerate_snapshot(driver)
+            regenerated = True
+
+    # -- runtime cursors -----------------------------------------------------
+    driver._initialized = True  # noqa: SLF001 — this is the restart path
+    driver._head_number = resume_from  # noqa: SLF001
+    driver._head_hash = resume_hash  # noqa: SLF001
+    driver._recent_hashes[resume_from] = resume_hash  # noqa: SLF001
+    driver._blocks_run = blocks_processed  # noqa: SLF001
+    root = driver.state._account_trie.root_hash()  # noqa: SLF001
+    driver._recent_roots.append(root)  # noqa: SLF001
+    _recover_recent_hashes(driver, resume_from)
+    _recover_freezer_cursor(driver)
+    _recover_txindex_cursor(driver, resume_from)
+
+    # -- re-execute the rewound tail ------------------------------------------
+    reexecuted = 0
+    while driver._head_number < head_number:  # noqa: SLF001
+        driver._import_next_block()  # noqa: SLF001
+        reexecuted += 1
+
+    report = RecoveryReport(
+        head_number=head_number,
+        clean_shutdown=clean,
+        trie_journal_entries=trie_entries,
+        snapshot_journal_layers=snapshot_layers,
+        snapshot_regenerated=regenerated,
+        regenerated_accounts=regenerated_accounts,
+        regenerated_slots=regenerated_slots,
+        blocks_reexecuted=reexecuted,
+    )
+    return driver, report
+
+
+def _recover_recent_hashes(driver: FullSyncDriver, head_number: int) -> None:
+    """Rebuild the number->hash map for recent canonical blocks."""
+    db = driver.db
+    for number in range(max(0, head_number - 2 * driver.config.freezer_threshold), head_number):
+        block_hash = db.peek(schema.canonical_hash_key(number))
+        if block_hash is not None:
+            driver._recent_hashes[number] = block_hash  # noqa: SLF001
+
+
+def _recover_freezer_cursor(driver: FullSyncDriver) -> None:
+    """The frozen boundary is the lowest header still in the KV store."""
+    store = driver.db.store.inner
+    for key, _ in store.scan(b"h", b"i"):
+        if len(key) >= 9:
+            driver.freezer.frozen_until = int.from_bytes(key[1:9], "big")
+            return
+
+
+def _recover_txindex_cursor(driver: FullSyncDriver, head_number: int) -> None:
+    tail_blob = driver.db.read_uncached(schema.TRANSACTION_INDEX_TAIL_KEY)
+    tail = int.from_bytes(tail_blob, "big") if tail_blob else 0
+    driver.txindexer.tail = max(tail, head_number - driver.config.txlookup_limit + 1, 0)
+
+
+def regenerate_snapshot(driver: FullSyncDriver) -> tuple[int, int]:
+    """Rebuild the flat snapshot by walking the state trie (crash path).
+
+    Writes the SnapshotRecovery marker, flips SnapshotGenerator to
+    in-progress, walks every account (and contract storage) out of the
+    tries into flat entries, then marks generation done.  Returns
+    ``(accounts, slots)`` written.
+    """
+    db = driver.db
+    state = driver.state
+    db.write_now(schema.SNAPSHOT_RECOVERY_KEY, (1).to_bytes(8, "big"))
+    driver.snapshots.write_generator_marker(done=False)
+    db.delete_now(schema.SNAPSHOT_ROOT_KEY)
+
+    # Wipe the stale flat snapshot first.  It may be *ahead* of the
+    # rewound trie (snapshot layers flush more often than the trie
+    # buffer), so keeping any of it would leak post-rewind state into
+    # the replay — e.g. a transfer applied twice.  Geth performs the
+    # same iterative wipe before regeneration.
+    from repro.core.classes import SNAPSHOT_ACCOUNT_PREFIX, SNAPSHOT_STORAGE_PREFIX
+    from repro.kvstore.api import prefix_upper_bound
+
+    wiped = 0
+    for prefix in (SNAPSHOT_ACCOUNT_PREFIX, SNAPSHOT_STORAGE_PREFIX):
+        doomed = [
+            key
+            for key, _ in db.store.inner.scan(prefix, prefix_upper_bound(prefix))
+        ]
+        for key in doomed:
+            db.delete(key)
+            wiped += 1
+            if wiped % 1024 == 0:
+                db.commit_batch()
+    db.commit_batch()
+
+    accounts = 0
+    slots = 0
+    for key_nibbles, blob in state._account_trie.items():  # noqa: SLF001
+        account_hash = nibbles_to_bytes(key_nibbles)
+        account = Account.decode(blob)
+        db.write(schema.snapshot_account_key(account_hash), account.encode_slim())
+        accounts += 1
+        if account.storage_root != EMPTY_ROOT:
+            storage_trie = state._storage_trie(account_hash)  # noqa: SLF001
+            for slot_nibbles, value in storage_trie.items():
+                slot_hash = nibbles_to_bytes(slot_nibbles)
+                db.write(schema.snapshot_storage_key(account_hash, slot_hash), value)
+                slots += 1
+        if accounts % 512 == 0:
+            db.commit_batch()
+    db.commit_batch()
+
+    root = state._account_trie.root_hash()  # noqa: SLF001
+    db.write_now(schema.SNAPSHOT_ROOT_KEY, root)
+    driver.snapshots.write_generator_marker(done=True)
+    return accounts, slots

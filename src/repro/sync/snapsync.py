@@ -1,0 +1,213 @@
+"""Snap synchronization.
+
+Full sync (the paper's measured mode) executes every block from
+genesis.  Snap sync — the default for new mainnet nodes (§II-A) —
+instead:
+
+1. picks a recent *pivot* block on a peer;
+2. downloads the world state *by hashed key ranges* from the peer's
+   flat snapshot (accounts, storage slots, contract bytecodes);
+3. *heals* the state trie locally — committing the downloaded ranges
+   rebuilds every trie node, a write-dominated burst of TrieNode*
+   traffic;
+4. switches to block-by-block full synchronization at the head.
+
+:class:`SnapSyncDriver` implements all four phases against a completed
+:class:`~repro.sync.driver.FullSyncDriver` acting as the serving peer.
+The KV traffic profile differs sharply from full sync — bulk writes
+with almost no reads during phases 2-3 — which is why the paper
+captures full sync for workload characterization; this module lets a
+user measure that contrast directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.chain.account import Account
+from repro.errors import ChainError
+from repro.gethdb import schema
+from repro.sync.driver import FullSyncDriver, SyncConfig
+from repro.trie.nibbles import nibbles_to_bytes
+from repro.trie.trie import EMPTY_ROOT
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+
+@dataclass
+class SnapSyncResult:
+    """Outcome of one snap sync run."""
+
+    pivot_number: int
+    accounts_downloaded: int
+    slots_downloaded: int
+    codes_downloaded: int
+    state_root_matches: bool
+    tail_blocks_processed: int
+    records: list
+    total_store_pairs: int
+
+
+class SnapSyncDriver:
+    """Snap-syncs a fresh node from a completed full-sync peer."""
+
+    def __init__(
+        self,
+        sync_config: Optional[SyncConfig] = None,
+        workload_config: Optional[WorkloadConfig] = None,
+        name: str = "SnapSync",
+        range_chunk: int = 256,
+    ) -> None:
+        """``range_chunk``: accounts per downloaded range (each range is
+        applied and committed as one batch, like a snap-sync response).
+        """
+        self.workload_config = (
+            workload_config if workload_config is not None else WorkloadConfig()
+        )
+        self.driver = FullSyncDriver(
+            sync_config, WorkloadGenerator(self.workload_config), name=name
+        )
+        self.range_chunk = range_chunk
+
+    # ------------------------------------------------------------------
+
+    def sync_from_peer(
+        self, peer: FullSyncDriver, tail_blocks: int = 16
+    ) -> SnapSyncResult:
+        """Run all four snap-sync phases against ``peer``.
+
+        The peer must have completed a run (its head state is the
+        pivot).  ``tail_blocks``: blocks of full sync processed after
+        the pivot (the "switch to full sync at the head" phase).
+        """
+        peer.db.set_tracing(False)  # the peer serves; we measure locally
+        driver = self.driver
+        db = driver.db
+        state = driver.state
+
+        pivot_number = peer._head_number  # noqa: SLF001 — peer introspection
+        pivot_hash = peer._head_hash  # noqa: SLF001
+        peer_root = peer.state._account_trie.root_hash()  # noqa: SLF001
+
+        db.set_tracing(True)
+        db.begin_block(pivot_number)
+
+        # -- phase 1: pivot bookkeeping ---------------------------------
+        db.write(schema.DATABASE_VERSION_KEY, b"\x08")
+        db.write(schema.skeleton_header_key(pivot_number), pivot_hash * 19)
+        db.write(
+            schema.SKELETON_SYNC_STATUS_KEY,
+            pivot_number.to_bytes(8, "big") + b"\x00" * 138,
+        )
+
+        # -- phase 2: ranged state download ------------------------------
+        accounts = self._download_accounts(peer)
+        codes = self._download_codes(peer, accounts)
+        slots = self._download_storage(peer, accounts)
+
+        downloaded_accounts = 0
+        downloaded_slots = 0
+        chunk_fill = 0
+        for account_hash, account in accounts:
+            state.set_account_hashed(account_hash, account)
+            downloaded_accounts += 1
+            chunk_fill += 1
+            for slot_hash, value in slots.get(account_hash, ()):
+                state.set_storage_by_hashes(account_hash, slot_hash, value)
+                downloaded_slots += 1
+            if chunk_fill >= self.range_chunk:
+                # Each range response is applied and flushed as a unit —
+                # the heal-phase trie writes happen here.
+                state.commit()
+                state.flush_trie_nodes()
+                db.commit_batch()
+                chunk_fill = 0
+        for code in codes:
+            state.set_code_blob(code)
+
+        # -- phase 3: final heal + root verification ---------------------
+        local_root = state.commit()
+        state.flush_trie_nodes()
+        db.commit_batch()
+        matches = local_root == peer_root
+        if not matches:
+            raise ChainError(
+                f"snap sync heal mismatch: local root {local_root.hex()} "
+                f"!= peer root {peer_root.hex()}"
+            )
+
+        # head pointers at the pivot
+        db.write(schema.LAST_HEADER_KEY, pivot_hash)
+        db.write(schema.LAST_FAST_KEY, pivot_hash)
+        db.write(schema.LAST_BLOCK_KEY, pivot_hash)
+        db.write(schema.state_id_key(local_root), (1).to_bytes(8, "big"))
+        db.write(schema.LAST_STATE_ID_KEY, (1).to_bytes(8, "big"))
+        db.commit_batch()
+
+        # -- phase 4: switch to full sync at the head ---------------------
+        driver._initialized = True  # noqa: SLF001 — state came from the peer
+        driver._head_number = pivot_number  # noqa: SLF001
+        driver._head_hash = pivot_hash  # noqa: SLF001
+        driver._recent_hashes[pivot_number] = pivot_hash  # noqa: SLF001
+        driver._recent_roots.append(local_root)  # noqa: SLF001
+        driver.freezer.frozen_until = max(
+            0, pivot_number - driver.config.freezer_threshold
+        )
+        driver.freezer.history_tail = driver.freezer.frozen_until
+        driver.txindexer.tail = pivot_number
+        # Fast-forward the workload generator to the pivot so the tail
+        # blocks continue the same logical chain the peer produced.
+        next_number = driver.workload.skip_blocks(
+            peer._blocks_run, start_number=1  # noqa: SLF001
+        )
+        assert next_number == pivot_number + 1
+        for _ in range(tail_blocks):
+            driver._import_next_block()  # noqa: SLF001
+
+        return SnapSyncResult(
+            pivot_number=pivot_number,
+            accounts_downloaded=downloaded_accounts,
+            slots_downloaded=downloaded_slots,
+            codes_downloaded=len(codes),
+            state_root_matches=matches,
+            tail_blocks_processed=tail_blocks,
+            records=db.collector.records,
+            total_store_pairs=len(db.store.inner),
+        )
+
+    # ------------------------------------------------------------------
+    # peer-side range serving (untraced reads of the peer's state)
+    # ------------------------------------------------------------------
+
+    def _download_accounts(self, peer: FullSyncDriver) -> list[tuple[bytes, Account]]:
+        accounts = []
+        trie = peer.state._account_trie  # noqa: SLF001
+        for key_nibbles, blob in trie.items():
+            account_hash = nibbles_to_bytes(key_nibbles)
+            accounts.append((account_hash, Account.decode(blob)))
+        accounts.sort(key=lambda pair: pair[0])  # ranges arrive in key order
+        return accounts
+
+    def _download_codes(self, peer: FullSyncDriver, accounts) -> list[bytes]:
+        codes = []
+        seen = set()
+        for _, account in accounts:
+            if account.is_contract and account.code_hash not in seen:
+                seen.add(account.code_hash)
+                blob = peer.db.peek(schema.code_key(account.code_hash))
+                if blob is not None:
+                    codes.append(blob)
+        return codes
+
+    def _download_storage(self, peer: FullSyncDriver, accounts):
+        slots: dict[bytes, list[tuple[bytes, bytes]]] = {}
+        for account_hash, account in accounts:
+            if account.storage_root == EMPTY_ROOT:
+                continue
+            trie = peer.state._storage_trie(account_hash)  # noqa: SLF001
+            entries = [
+                (nibbles_to_bytes(key), value) for key, value in trie.items()
+            ]
+            entries.sort()
+            slots[account_hash] = entries
+        return slots

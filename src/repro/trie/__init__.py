@@ -1,0 +1,45 @@
+"""Merkle Patricia Trie (MPT) with path-based storage.
+
+Ethereum's world state lives in MPTs: a single *account trie* maps
+hashed addresses to RLP-encoded accounts, and each contract has a
+*storage trie* mapping hashed slot keys to values.  Geth's modern
+path-based storage model keys each trie node by its traversal path
+(``A`` + compact path for account nodes, ``O`` + account hash + compact
+path for storage nodes), which is what gives the paper's
+TrieNodeAccount / TrieNodeStorage classes their key shapes.
+
+This package implements:
+
+* nibble-path utilities and hex-prefix (compact) encoding
+  (:mod:`repro.trie.nibbles`);
+* trie node types and their RLP codecs (:mod:`repro.trie.nodes`);
+* the path-addressed MPT with full insert/lookup/delete restructuring
+  and bottom-up commit hashing (:mod:`repro.trie.trie`).
+"""
+
+from repro.trie.nibbles import (
+    bytes_to_nibbles,
+    compact_decode,
+    compact_encode,
+    nibbles_to_bytes,
+)
+from repro.trie.nodes import BranchNode, ExtensionNode, LeafNode, decode_node, encode_node
+from repro.trie.proof import Proof, generate_proof, verify_proof
+from repro.trie.trie import NodeBackend, PathTrie
+
+__all__ = [
+    "Proof",
+    "generate_proof",
+    "verify_proof",
+    "bytes_to_nibbles",
+    "nibbles_to_bytes",
+    "compact_encode",
+    "compact_decode",
+    "LeafNode",
+    "ExtensionNode",
+    "BranchNode",
+    "encode_node",
+    "decode_node",
+    "PathTrie",
+    "NodeBackend",
+]

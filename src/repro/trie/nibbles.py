@@ -1,0 +1,77 @@
+"""Nibble paths and hex-prefix (compact) encoding.
+
+Trie keys are sequences of nibbles (4-bit values).  The hex-prefix
+encoding packs a nibble sequence into bytes with a flag nibble carrying
+(a) the parity of the sequence length and (b) whether the path
+terminates at a leaf — exactly the Yellow Paper's HP function, which is
+also what Geth's path-based storage model uses to build node keys.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidNibblesError
+
+Nibbles = tuple[int, ...]
+
+
+def bytes_to_nibbles(data: bytes) -> Nibbles:
+    """Expand bytes into their nibble sequence (big-endian within a byte)."""
+    nibbles = []
+    for byte in data:
+        nibbles.append(byte >> 4)
+        nibbles.append(byte & 0x0F)
+    return tuple(nibbles)
+
+
+def nibbles_to_bytes(nibbles: Nibbles) -> bytes:
+    """Pack an even-length nibble sequence back into bytes."""
+    if len(nibbles) % 2 != 0:
+        raise InvalidNibblesError(f"odd nibble count: {len(nibbles)}")
+    _validate(nibbles)
+    return bytes((nibbles[i] << 4) | nibbles[i + 1] for i in range(0, len(nibbles), 2))
+
+
+def _validate(nibbles: Nibbles) -> None:
+    for nibble in nibbles:
+        if not 0 <= nibble <= 0x0F:
+            raise InvalidNibblesError(f"nibble out of range: {nibble}")
+
+
+def compact_encode(nibbles: Nibbles, is_leaf: bool) -> bytes:
+    """Hex-prefix encode a nibble path.
+
+    The first nibble of the output encodes ``2*is_leaf + odd_length``;
+    odd-length paths pack their first nibble into the flag byte.
+    """
+    _validate(nibbles)
+    flag = 2 if is_leaf else 0
+    if len(nibbles) % 2 == 1:
+        prefixed = (flag + 1, *nibbles)
+    else:
+        prefixed = (flag, 0, *nibbles)
+    return nibbles_to_bytes(prefixed)
+
+
+def compact_decode(data: bytes) -> tuple[Nibbles, bool]:
+    """Inverse of :func:`compact_encode`; returns ``(nibbles, is_leaf)``."""
+    if not data:
+        raise InvalidNibblesError("empty compact encoding")
+    nibbles = bytes_to_nibbles(data)
+    flag = nibbles[0]
+    if flag > 3:
+        raise InvalidNibblesError(f"bad hex-prefix flag nibble: {flag}")
+    is_leaf = flag >= 2
+    if flag % 2 == 1:  # odd length: payload starts at nibble 1
+        return nibbles[1:], is_leaf
+    if nibbles[1] != 0:
+        raise InvalidNibblesError("even-length padding nibble must be zero")
+    return nibbles[2:], is_leaf
+
+
+def common_prefix_length(a: Nibbles, b: Nibbles) -> int:
+    """Length of the longest common prefix of two nibble sequences."""
+    limit = min(len(a), len(b))
+    for i in range(limit):
+        if a[i] != b[i]:
+            return i
+    return limit

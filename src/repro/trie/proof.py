@@ -1,0 +1,137 @@
+"""Merkle proofs over the path trie.
+
+The paper's background (§II-A) calls out proof generation as one of the
+MPT's deep-traversal costs.  This module implements both sides:
+
+* :func:`generate_proof` — walk the trie for a key and collect the
+  RLP-encoded nodes along the path (the classic ``eth_getProof`` node
+  list);
+* :func:`verify_proof` — check a proof against a state root *without
+  any trie access*: each node must hash-link to its parent, and the
+  walk must terminate in the claimed value (inclusion) or in a
+  demonstrable dead end (exclusion).
+
+Proof node counting also quantifies the traversal depth the snapshot
+layer short-circuits ("up to 64 requests per lookup" before snapshot
+acceleration, per the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import TrieError
+from repro.trie.nibbles import Nibbles
+from repro.trie.nodes import BranchNode, ExtensionNode, LeafNode, decode_node, encode_node
+from repro.trie.trie import EMPTY_ROOT, PathTrie, node_hash
+
+
+@dataclass(frozen=True)
+class Proof:
+    """A Merkle proof: the node blobs from the root toward the key."""
+
+    key: Nibbles
+    #: RLP-encoded nodes, root first
+    nodes: tuple[bytes, ...]
+    #: the proven value, or None for an exclusion proof
+    value: Optional[bytes]
+
+    @property
+    def depth(self) -> int:
+        """Traversal depth — the read cost the proof witnesses."""
+        return len(self.nodes)
+
+
+def generate_proof(trie: PathTrie, key: Nibbles) -> Proof:
+    """Collect the proof node list for ``key`` (inclusion or exclusion).
+
+    The trie must be committed (proofs are against a root hash).
+    """
+    nodes: list[bytes] = []
+    path: Nibbles = ()
+    remaining = key
+    value: Optional[bytes] = None
+    while True:
+        node = trie._resolve_untraced(path)  # noqa: SLF001 — proof needs raw nodes
+        if node is None:
+            break
+        nodes.append(encode_node(node))
+        if isinstance(node, LeafNode):
+            if node.suffix == remaining:
+                value = node.value
+            break
+        if isinstance(node, ExtensionNode):
+            n = len(node.suffix)
+            if remaining[:n] != node.suffix:
+                break
+            path = path + node.suffix
+            remaining = remaining[n:]
+            continue
+        # branch
+        if not remaining:
+            value = node.value
+            break
+        nibble = remaining[0]
+        if not node.children[nibble]:
+            break
+        path = path + (nibble,)
+        remaining = remaining[1:]
+    return Proof(key=key, nodes=tuple(nodes), value=value)
+
+
+def verify_proof(root: bytes, proof: Proof) -> bool:
+    """Verify a proof against ``root`` using only the supplied nodes.
+
+    Returns True when the node chain is hash-consistent with the root
+    and the walk supports the claim (``proof.value`` present at the key,
+    or a dead end proving absence).  Raises nothing on malformed input;
+    any inconsistency simply yields False.
+    """
+    if not proof.nodes:
+        # Only the empty trie proves absence with zero nodes.
+        return root == EMPTY_ROOT and proof.value is None
+    try:
+        return _verify_chain(root, proof)
+    except (TrieError, IndexError, ValueError):
+        return False
+
+
+def _verify_chain(root: bytes, proof: Proof) -> bool:
+    expected_hash = root
+    remaining = proof.key
+    nodes = proof.nodes
+    for index, blob in enumerate(nodes):
+        if node_hash(blob) != expected_hash:
+            return False
+        node = decode_node(blob)
+        is_last = index == len(nodes) - 1
+        if isinstance(node, LeafNode):
+            if not is_last:
+                return False  # nothing may follow a leaf
+            if node.suffix == remaining:
+                return proof.value == node.value
+            return proof.value is None  # mismatched leaf proves absence
+        if isinstance(node, ExtensionNode):
+            n = len(node.suffix)
+            if remaining[:n] != node.suffix:
+                return is_last and proof.value is None
+            remaining = remaining[n:]
+            expected_hash = node.child_hash
+            if is_last:
+                # Chain stops inside the trie: proves nothing.
+                return False
+            continue
+        # branch
+        if not remaining:
+            if not is_last:
+                return False
+            return proof.value == node.value
+        nibble = remaining[0]
+        if not node.children[nibble]:
+            return is_last and proof.value is None
+        expected_hash = node.child_hashes[nibble]
+        remaining = remaining[1:]
+        if is_last:
+            return False
+    return False

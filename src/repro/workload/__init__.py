@@ -1,0 +1,25 @@
+"""Synthetic Ethereum workload generation.
+
+The paper's traces come from replaying 1M mainnet blocks; without
+network access we generate blocks whose *logical event mix* matches
+mainnet transaction processing: mostly transfers and contract calls
+over a Zipf-skewed account/contract population, a trickle of contract
+creations (frequently re-deploying popular code templates, e.g.
+proxies) and rare self-destructs.  The storage findings depend on this
+event mix plus Geth's storage semantics, not on specific mainnet
+values.
+"""
+
+from repro.workload.generator import BlockPlan, TxPlan, WorkloadConfig, WorkloadGenerator
+from repro.workload.sampler import ZipfSampler
+from repro.workload.scenarios import SCENARIOS, scenario
+
+__all__ = [
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "BlockPlan",
+    "TxPlan",
+    "ZipfSampler",
+    "SCENARIOS",
+    "scenario",
+]

@@ -1,0 +1,399 @@
+"""Block and transaction plan generation.
+
+A :class:`TxPlan` pairs a wire-format transaction with its *semantic
+effects* — which accounts it touches, which storage slots it reads and
+writes, what code it deploys — standing in for EVM execution.  The sync
+driver applies these effects to the StateDB, so the KV traffic emerges
+from real storage-layer mechanics; only the computation inside the EVM
+is skipped.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.chain.blocks import Block, BlockBody, Header
+from repro.chain.transactions import Log, Transaction
+from repro.errors import WorkloadError
+from repro.workload.sampler import ZipfSampler
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Knobs of the synthetic transaction mix.
+
+    Defaults approximate the mainnet mix during the paper's window:
+    roughly half simple transfers, most of the rest contract calls,
+    a ~1-2% trickle of creations, and rare self-destructs.
+    """
+
+    seed: int = 2024
+    initial_eoa_accounts: int = 2000
+    initial_contracts: int = 300
+    txs_per_block: int = 24
+    #: transaction-kind mix (must sum to <= 1; remainder = transfers)
+    contract_call_fraction: float = 0.55
+    creation_fraction: float = 0.015
+    destruct_fraction: float = 0.003
+    #: probability a transfer recipient is a brand-new account
+    new_account_fraction: float = 0.06
+    #: Zipf exponents for account and contract popularity
+    account_zipf_s: float = 0.9
+    contract_zipf_s: float = 1.05
+    #: storage slots read / written per contract call (means)
+    slots_read_per_call: int = 8
+    slots_written_per_call: int = 5
+    #: per-contract storage footprint for slot locality
+    slots_per_contract: int = 64
+    #: probability a slot write clears the slot (value -> empty), e.g.
+    #: allowance resets and reentrancy locks; cleared slots are deleted
+    #: from the storage trie and snapshot, and often reinserted later —
+    #: the paper's repeated delete+reinsert pattern (Finding 5)
+    slot_clear_fraction: float = 0.18
+    #: contract code size model (lognormal-ish around the paper's 6.6 KiB)
+    code_size_mean: int = 6600
+    code_size_jitter: int = 5000
+    #: probability a creation re-deploys an existing code template
+    code_reuse_fraction: float = 0.90
+    logs_per_call_mean: float = 1.8
+    calldata_mean: int = 180
+
+    def __post_init__(self) -> None:
+        total = (
+            self.contract_call_fraction
+            + self.creation_fraction
+            + self.destruct_fraction
+        )
+        if total > 1.0:
+            raise WorkloadError(f"tx kind fractions sum to {total} > 1")
+
+
+@dataclass
+class TxPlan:
+    """A transaction plus the state effects its execution produces."""
+
+    tx: Transaction
+    kind: str  # "transfer" | "call" | "create" | "destruct"
+    sender: bytes
+    recipient: Optional[bytes]
+    #: (contract_address, slot) storage reads
+    slot_reads: list[tuple[bytes, bytes]] = field(default_factory=list)
+    #: (contract_address, slot, value) storage writes
+    slot_writes: list[tuple[bytes, bytes, bytes]] = field(default_factory=list)
+    #: code deployed by a creation (None = not a creation)
+    deployed_code: Optional[bytes] = None
+    #: address being self-destructed
+    destruct_target: Optional[bytes] = None
+    logs: list[Log] = field(default_factory=list)
+
+
+@dataclass
+class BlockPlan:
+    """One block's transactions with their effect plans.
+
+    The header is partially filled: ``state_root`` is stamped by the
+    sync driver after execution.
+    """
+
+    number: int
+    timestamp: int
+    tx_plans: list[TxPlan]
+
+    def build_block(
+        self,
+        parent_hash: bytes,
+        state_root: bytes,
+        receipts: Optional[list] = None,
+    ) -> Block:
+        """Assemble the block; with ``receipts`` the header commits to the
+        derived transactions/receipts roots and logs bloom (validatable
+        via :mod:`repro.chain.validation`)."""
+        body = BlockBody(transactions=[plan.tx for plan in self.tx_plans])
+        header = Header(
+            number=self.number,
+            parent_hash=parent_hash,
+            state_root=state_root,
+            timestamp=self.timestamp,
+            gas_used=sum(p.tx.gas_limit for p in self.tx_plans) // 2,
+        )
+        if receipts is not None:
+            from repro.chain.transactions import block_bloom
+            from repro.chain.validation import (
+                derive_receipts_root,
+                derive_transactions_root,
+            )
+
+            header.transactions_root = derive_transactions_root(body)
+            header.receipts_root = derive_receipts_root(receipts)
+            header.logs_bloom = block_bloom(receipts).to_bytes()
+        return Block(header=header, body=body, receipts=list(receipts or ()))
+
+
+def _address(kind: bytes, index: int) -> bytes:
+    return hashlib.sha3_256(kind + index.to_bytes(8, "big")).digest()[:20]
+
+
+class WorkloadGenerator:
+    """Generates a deterministic stream of :class:`BlockPlan` objects.
+
+    Two generators constructed with the same config produce identical
+    plans — the property that lets the CacheTrace and BareTrace runs
+    replay the *same* logical workload.
+    """
+
+    def __init__(self, config: Optional[WorkloadConfig] = None) -> None:
+        self.config = config if config is not None else WorkloadConfig()
+        self._rng = random.Random(self.config.seed)
+        self._eoas: list[bytes] = [
+            _address(b"eoa", i) for i in range(self.config.initial_eoa_accounts)
+        ]
+        self._contracts: list[bytes] = [
+            _address(b"contract", i) for i in range(self.config.initial_contracts)
+        ]
+        self._code_templates: list[bytes] = []
+        self._nonces: dict[bytes, int] = {}
+        self._next_eoa = self.config.initial_eoa_accounts
+        self._next_contract = self.config.initial_contracts
+        self._account_sampler = ZipfSampler(
+            len(self._eoas), self.config.account_zipf_s, self._rng
+        )
+        self._contract_sampler = ZipfSampler(
+            len(self._contracts), self.config.contract_zipf_s, self._rng
+        )
+        # Seed a pool of code templates that creations mostly reuse.
+        for i in range(max(8, self.config.initial_contracts // 10)):
+            self._code_templates.append(self._make_code(i))
+
+    # -- population accessors (used by the driver for genesis) -------------
+
+    @property
+    def eoa_addresses(self) -> list[bytes]:
+        return list(self._eoas)
+
+    @property
+    def contract_addresses(self) -> list[bytes]:
+        return list(self._contracts)
+
+    def initial_code_for(self, contract: bytes) -> bytes:
+        """Deterministic code blob for a genesis contract."""
+        index = int.from_bytes(contract[:4], "big") % max(1, len(self._code_templates))
+        return self._code_templates[index]
+
+    def initial_slots_for(self, contract: bytes) -> list[tuple[bytes, bytes]]:
+        """Deterministic initial storage for a genesis contract.
+
+        Most of the contract's slot range is pre-populated: mainnet
+        contracts at block 20.5M have years of accumulated storage, so
+        slot writes during the measured window overwhelmingly hit
+        existing slots (updates, not writes — Table II's TrieNodeStorage
+        split).
+        """
+        count = max(1, int(self.config.slots_per_contract * 0.85))
+        slots = []
+        for i in range(count):
+            slot = hashlib.sha3_256(contract + b"slot" + i.to_bytes(4, "big")).digest()
+            value = hashlib.sha3_256(slot).digest()[: 8 + i % 24]
+            slots.append((slot, value))
+        return slots
+
+    # -- block generation -----------------------------------------------------
+
+    def skip_blocks(self, count: int, start_number: int = 1) -> int:
+        """Fast-forward past ``count`` blocks, discarding their plans.
+
+        A snap-syncing node joins mid-chain: it needs the generator's
+        RNG state advanced to the pivot so the blocks it *does* process
+        match what a full-syncing peer produced for those heights.
+        Returns the next block number to generate.
+        """
+        number = start_number
+        for _ in range(count):
+            self.make_block_plan(number)
+            number += 1
+        return number
+
+    def make_block_plan(self, number: int) -> BlockPlan:
+        rng = self._rng
+        count = max(1, int(rng.gauss(self.config.txs_per_block, self.config.txs_per_block * 0.2)))
+        plans = [self._make_tx() for _ in range(count)]
+        return BlockPlan(
+            number=number,
+            timestamp=1_723_000_000 + number * 12,
+            tx_plans=plans,
+        )
+
+    def _make_tx(self) -> TxPlan:
+        rng = self._rng
+        roll = rng.random()
+        cfg = self.config
+        if roll < cfg.destruct_fraction and len(self._contracts) > cfg.initial_contracts // 2:
+            return self._make_destruct()
+        roll -= cfg.destruct_fraction
+        if roll < cfg.creation_fraction:
+            return self._make_creation()
+        roll -= cfg.creation_fraction
+        if roll < cfg.contract_call_fraction:
+            return self._make_call()
+        return self._make_transfer()
+
+    def _pick_eoa(self) -> bytes:
+        return self._eoas[self._account_sampler.sample()]
+
+    def _pick_contract(self) -> bytes:
+        # The sampler's support only grows; destructions shrink the list,
+        # so clamp the sampled rank to the live population.
+        rank = self._contract_sampler.sample()
+        return self._contracts[min(rank, len(self._contracts) - 1)]
+
+    def _next_nonce(self, sender: bytes) -> int:
+        nonce = self._nonces.get(sender, 0)
+        self._nonces[sender] = nonce + 1
+        return nonce
+
+    def _make_transfer(self) -> TxPlan:
+        rng = self._rng
+        sender = self._pick_eoa()
+        if rng.random() < self.config.new_account_fraction:
+            recipient = _address(b"eoa", self._next_eoa)
+            self._next_eoa += 1
+            self._eoas.append(recipient)
+            self._account_sampler.grow(len(self._eoas))
+        else:
+            recipient = self._pick_eoa()
+        tx = Transaction(
+            nonce=self._next_nonce(sender),
+            sender=sender,
+            to=recipient,
+            value=rng.randrange(1, 10**18),
+            gas_limit=21_000,
+        )
+        return TxPlan(tx=tx, kind="transfer", sender=sender, recipient=recipient)
+
+    def _make_call(self) -> TxPlan:
+        rng = self._rng
+        sender = self._pick_eoa()
+        contract = self._pick_contract()
+        calldata = rng.randbytes(max(4, int(rng.gauss(self.config.calldata_mean, 80))))
+        tx = Transaction(
+            nonce=self._next_nonce(sender),
+            sender=sender,
+            to=contract,
+            value=0,
+            gas_limit=rng.randrange(60_000, 400_000),
+            data=calldata,
+        )
+        reads = self._sample_slots(contract, self.config.slots_read_per_call)
+        writes = []
+        for addr, slot in self._sample_slots(
+            contract, self.config.slots_written_per_call
+        ):
+            if rng.random() < self.config.slot_clear_fraction:
+                writes.append((addr, slot, b""))  # slot clear -> delete
+            else:
+                writes.append((addr, slot, rng.randbytes(rng.randrange(1, 32))))
+        logs = []
+        for _ in range(self._poissonish(self.config.logs_per_call_mean)):
+            logs.append(
+                Log(
+                    address=contract,
+                    topics=[rng.randbytes(32) for _ in range(rng.randrange(1, 4))],
+                    data=rng.randbytes(rng.randrange(0, 128)),
+                )
+            )
+        return TxPlan(
+            tx=tx,
+            kind="call",
+            sender=sender,
+            recipient=contract,
+            slot_reads=reads,
+            slot_writes=writes,
+            logs=logs,
+        )
+
+    def _sample_slots(self, contract: bytes, mean: int) -> list[tuple[bytes, bytes]]:
+        rng = self._rng
+        count = max(1, int(rng.gauss(mean, mean * 0.5)))
+        slots = []
+        for _ in range(count):
+            index = rng.randrange(self.config.slots_per_contract)
+            slot = hashlib.sha3_256(
+                contract + b"slot" + index.to_bytes(4, "big")
+            ).digest()
+            slots.append((contract, slot))
+        return slots
+
+    def _make_creation(self) -> TxPlan:
+        rng = self._rng
+        sender = self._pick_eoa()
+        if rng.random() < self.config.code_reuse_fraction and self._code_templates:
+            code = rng.choice(self._code_templates)
+        else:
+            code = self._make_code(len(self._code_templates))
+            self._code_templates.append(code)
+        new_contract = _address(b"contract", self._next_contract)
+        self._next_contract += 1
+        self._contracts.append(new_contract)
+        self._contract_sampler.grow(len(self._contracts))
+        tx = Transaction(
+            nonce=self._next_nonce(sender),
+            sender=sender,
+            to=None,
+            value=0,
+            gas_limit=1_500_000,
+            data=code[: min(len(code), 2048)],
+        )
+        writes = [
+            (new_contract, slot, hashlib.sha3_256(slot).digest()[:16])
+            for _, slot in self._sample_slots(new_contract, 2)
+        ]
+        return TxPlan(
+            tx=tx,
+            kind="create",
+            sender=sender,
+            recipient=new_contract,
+            deployed_code=code,
+            slot_writes=writes,
+        )
+
+    def _make_destruct(self) -> TxPlan:
+        rng = self._rng
+        sender = self._pick_eoa()
+        # Destruct a cold contract (hot ones survive on mainnet too).
+        index = len(self._contracts) - 1 - rng.randrange(len(self._contracts) // 4)
+        target = self._contracts.pop(index)
+        tx = Transaction(
+            nonce=self._next_nonce(sender),
+            sender=sender,
+            to=target,
+            value=0,
+            gas_limit=100_000,
+            data=b"\xff",
+        )
+        return TxPlan(
+            tx=tx,
+            kind="destruct",
+            sender=sender,
+            recipient=target,
+            destruct_target=target,
+        )
+
+    def _make_code(self, index: int) -> bytes:
+        rng = self._rng
+        size = max(
+            128, int(rng.gauss(self.config.code_size_mean, self.config.code_size_jitter))
+        )
+        seed = hashlib.sha3_256(b"code" + index.to_bytes(8, "big")).digest()
+        return (seed * (size // len(seed) + 1))[:size]
+
+    def _poissonish(self, mean: float) -> int:
+        # Cheap Poisson stand-in adequate for log counts.
+        value = 0
+        remaining = mean
+        while remaining > 0:
+            if self._rng.random() < min(1.0, remaining):
+                value += 1
+            remaining -= 1.0
+        return value

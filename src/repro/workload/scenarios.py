@@ -1,0 +1,86 @@
+"""Named workload scenarios.
+
+The paper's introduction motivates the analysis with the application
+classes blockchains serve — payments, smart contracts, DeFi.  These
+presets configure the generator toward those mixes so downstream users
+can ask "does the storage shape change under a DeFi-heavy epoch?"
+without hand-tuning a dozen knobs.
+
+All presets share the calibrated structural parameters (slot footprint,
+code sizes, clear fraction); they differ in the *traffic mix*.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workload.generator import WorkloadConfig
+
+#: The calibrated default — a mainnet-like blend during the paper's
+#: capture window (half transfers, ~42-55% contract calls, a trickle of
+#: deployments and self-destructs).
+MAINNET = WorkloadConfig(seed=2024)
+
+#: DeFi-heavy epoch: almost all traffic is contract calls against a
+#: small, very hot contract set (DEX routers, stablecoins), touching
+#: many storage slots per call with frequent allowance-style clears.
+DEFI = WorkloadConfig(
+    seed=2024,
+    contract_call_fraction=0.85,
+    creation_fraction=0.01,
+    destruct_fraction=0.001,
+    contract_zipf_s=1.3,
+    slots_read_per_call=12,
+    slots_written_per_call=7,
+    slot_clear_fraction=0.25,
+    logs_per_call_mean=3.0,
+)
+
+#: Payments epoch: dominated by plain value transfers between EOAs with
+#: steady new-account creation (onboarding), barely touching contract
+#: storage.
+PAYMENTS = WorkloadConfig(
+    seed=2024,
+    contract_call_fraction=0.10,
+    creation_fraction=0.002,
+    destruct_fraction=0.0,
+    new_account_fraction=0.15,
+    account_zipf_s=0.7,
+)
+
+#: NFT-mint epoch: bursts of contract creations deploying near-identical
+#: code (the paper's Code-update mechanism) plus call traffic writing
+#: fresh slots (mint -> new token ids -> new storage).
+NFT_MINT = WorkloadConfig(
+    seed=2024,
+    contract_call_fraction=0.60,
+    creation_fraction=0.08,
+    destruct_fraction=0.001,
+    code_reuse_fraction=0.97,
+    slots_written_per_call=6,
+    slot_clear_fraction=0.05,
+)
+
+SCENARIOS: dict[str, WorkloadConfig] = {
+    "mainnet": MAINNET,
+    "defi": DEFI,
+    "payments": PAYMENTS,
+    "nft-mint": NFT_MINT,
+}
+
+
+def scenario(name: str, **overrides) -> WorkloadConfig:
+    """Look up a preset by name, optionally overriding fields.
+
+    >>> cfg = scenario("defi", seed=7, txs_per_block=32)
+    """
+    try:
+        base = SCENARIOS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        ) from None
+    if not overrides:
+        return base
+    from dataclasses import replace
+
+    return replace(base, **overrides)

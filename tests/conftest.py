@@ -1,0 +1,52 @@
+"""Shared fixtures.
+
+The expensive artifact — a CacheTrace/BareTrace pair from a full sync
+run — is produced once per session at a small scale and shared by the
+integration-level tests (findings, analysis, reports).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis import TraceAnalysis
+from repro.sync.driver import run_trace_pair
+from repro.workload.generator import WorkloadConfig
+
+
+SMALL_WORKLOAD = WorkloadConfig(
+    seed=1234,
+    initial_eoa_accounts=1500,
+    initial_contracts=250,
+    txs_per_block=16,
+)
+
+
+@pytest.fixture(scope="session")
+def trace_pair():
+    """(cache_result, bare_result) from one small full-sync pair."""
+    return run_trace_pair(
+        SMALL_WORKLOAD, num_blocks=80, warmup_blocks=40, cache_bytes=128 * 1024
+    )
+
+
+@pytest.fixture(scope="session")
+def cache_analysis(trace_pair):
+    cache_result, _ = trace_pair
+    return TraceAnalysis(
+        "CacheTrace",
+        cache_result.records,
+        cache_result.store_snapshot,
+        correlation_distances=(0, 1, 4, 16, 64, 256, 1024),
+    )
+
+
+@pytest.fixture(scope="session")
+def bare_analysis(trace_pair):
+    _, bare_result = trace_pair
+    return TraceAnalysis(
+        "BareTrace",
+        bare_result.records,
+        bare_result.store_snapshot,
+        correlation_distances=(0, 1, 4, 16, 64, 256, 1024),
+    )

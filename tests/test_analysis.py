@@ -1,0 +1,67 @@
+"""TraceAnalysis bundle tests."""
+
+from __future__ import annotations
+
+from repro.core.analysis import TraceAnalysis
+from repro.core.classes import KVClass
+from repro.core.trace import OpType, TraceRecord
+
+
+def _records():
+    return [
+        TraceRecord(OpType.WRITE, b"A\x01", 100, 1),
+        TraceRecord(OpType.READ, b"A\x01", 100, 1),
+        TraceRecord(OpType.READ, b"A\x02", 100, 1),
+        TraceRecord(OpType.UPDATE, b"A\x01", 100, 2),
+        TraceRecord(OpType.READ, b"A\x01", 100, 2),
+    ]
+
+
+def _snapshot():
+    # Store holds 10 TrieNodeAccount pairs; trace only touches 2.
+    return [(b"A" + bytes([i]), b"node") for i in range(10)]
+
+
+class TestTraceAnalysis:
+    def test_opdist_populated(self):
+        analysis = TraceAnalysis("t", _records(), _snapshot())
+        assert analysis.opdist.total_ops == 5
+        assert analysis.num_records == 5
+
+    def test_sizes_from_snapshot(self):
+        analysis = TraceAnalysis("t", _records(), _snapshot())
+        assert analysis.sizes.stats_for(KVClass.TRIE_NODE_ACCOUNT).num_pairs == 10
+
+    def test_sizes_empty_without_snapshot(self):
+        analysis = TraceAnalysis("t", _records())
+        assert analysis.sizes.total_pairs == 0
+
+    def test_read_ratio_uses_store_population(self):
+        analysis = TraceAnalysis("t", _records(), _snapshot())
+        # 2 of 10 stored pairs were read -> 20%, not 100% of trace keys.
+        assert analysis.read_ratio(KVClass.TRIE_NODE_ACCOUNT) == 20.0
+
+    def test_read_ratio_falls_back_to_keys_seen(self):
+        analysis = TraceAnalysis("t", _records())
+        assert analysis.read_ratio(KVClass.TRIE_NODE_ACCOUNT) == 100.0
+
+    def test_read_ratio_unseen_class(self):
+        analysis = TraceAnalysis("t", _records(), _snapshot())
+        assert analysis.read_ratio(KVClass.CODE) == 0.0
+
+    def test_correlation_cached(self):
+        analysis = TraceAnalysis("t", _records(), correlation_distances=(0, 1))
+        first = analysis.correlation(OpType.READ)
+        second = analysis.correlation(OpType.READ)
+        assert first is second
+
+    def test_correlation_analyzer_access(self):
+        analysis = TraceAnalysis("t", _records(), correlation_distances=(0,))
+        analyzer = analysis.correlation_analyzer(OpType.READ)
+        assert analyzer.num_ops == 3
+
+    def test_separate_ops_separate_results(self):
+        analysis = TraceAnalysis("t", _records(), correlation_distances=(0,))
+        reads = analysis.correlation(OpType.READ)
+        updates = analysis.correlation(OpType.UPDATE)
+        assert reads is not updates

@@ -1,0 +1,105 @@
+"""Artifact-compatible output writer tests."""
+
+from __future__ import annotations
+
+from repro.core.artifact import (
+    read_kv_size_distribution,
+    write_correlation_output,
+    write_kv_size_distribution,
+    write_op_distribution,
+)
+from repro.core.correlation import CorrelationAnalyzer, CorrelationConfig
+from repro.core.opdist import OpDistAnalyzer
+from repro.core.sizes import SizeAnalyzer
+from repro.core.trace import OpType, TraceRecord
+
+
+def _sizes():
+    analyzer = SizeAnalyzer()
+    analyzer.add_pair(b"A\x01", 98)
+    analyzer.add_pair(b"A\x02", 98)
+    analyzer.add_pair(b"A\x03", 198)
+    analyzer.add_pair(b"LastFast", 32)
+    return analyzer
+
+
+def _records():
+    ta1, ta2 = b"A\x01", b"A\x02"
+    return [
+        TraceRecord(OpType.READ, ta1, 100, 1),
+        TraceRecord(OpType.READ, ta2, 100, 1),
+        TraceRecord(OpType.READ, ta1, 100, 1),
+        TraceRecord(OpType.READ, ta2, 100, 1),
+        TraceRecord(OpType.WRITE, ta1, 100, 1),
+        TraceRecord(OpType.DELETE, ta2, 0, 1),
+    ]
+
+
+class TestSizeDistributionFiles:
+    def test_writes_one_file_per_class(self, tmp_path):
+        written = write_kv_size_distribution(_sizes(), tmp_path)
+        names = {p.name for p in written}
+        assert "TrieNodeAccount.txt" in names
+        assert "LastFast.txt" in names
+
+    def test_file_format_roundtrip(self, tmp_path):
+        write_kv_size_distribution(_sizes(), tmp_path)
+        points = read_kv_size_distribution(tmp_path / "TrieNodeAccount.txt")
+        assert points == [(100, 2), (200, 1)]
+
+    def test_lines_are_size_count(self, tmp_path):
+        write_kv_size_distribution(_sizes(), tmp_path)
+        content = (tmp_path / "LastFast.txt").read_text()
+        assert content == "40 1\n"  # key 8 + value 32
+
+
+class TestOpDistributionFiles:
+    def test_per_class_per_op_files(self, tmp_path):
+        opdist = OpDistAnalyzer().consume(_records())
+        written = write_op_distribution(opdist, tmp_path)
+        names = {p.name for p in written}
+        assert "TrieNodeAccount_read_with_key_dis.txt" in names
+        assert "TrieNodeAccount_write_with_key_dis.txt" in names
+        assert "TrieNodeAccount_delete_with_key_dis.txt" in names
+
+    def test_key_count_lines(self, tmp_path):
+        opdist = OpDistAnalyzer().consume(_records())
+        write_op_distribution(opdist, tmp_path)
+        lines = (
+            (tmp_path / "TrieNodeAccount_read_with_key_dis.txt")
+            .read_text()
+            .strip()
+            .splitlines()
+        )
+        parsed = {line.split()[0]: int(line.split()[1]) for line in lines}
+        assert parsed == {"4101": 2, "4102": 2}
+
+
+class TestCorrelationFiles:
+    def _results(self):
+        analyzer = CorrelationAnalyzer(CorrelationConfig(distances=(0, 4)))
+        analyzer.consume(_records())
+        return analyzer.compute()
+
+    def test_category_and_sorted_logs(self, tmp_path):
+        written = write_correlation_output(self._results(), tmp_path)
+        names = {p.name for p in written}
+        assert "freq-category-0.log" in names
+        assert "freq-sorted-0.log" in names
+        assert "freq-category-4.log" in names
+
+    def test_pair_histogram_files(self, tmp_path):
+        write_correlation_output(self._results(), tmp_path)
+        matches = list(tmp_path.glob("Dist-0-*-freq.log"))
+        assert matches
+        lines = matches[0].read_text().strip().splitlines()
+        for line in lines:
+            frequency, num_pairs = line.split()
+            assert int(frequency) >= 2 and int(num_pairs) >= 1
+
+    def test_category_totals_match_analyzer(self, tmp_path):
+        results = self._results()
+        write_correlation_output(results, tmp_path)
+        lines = (tmp_path / "freq-category-0.log").read_text().strip().splitlines()
+        total = sum(int(line.split()[-1]) for line in lines)
+        assert total == sum(results[0].class_pair_counts.values())

@@ -1,0 +1,67 @@
+"""ASCII plot renderer tests."""
+
+from __future__ import annotations
+
+from repro.core.asciiplot import multi_series, scatter
+
+
+class TestScatter:
+    def test_empty(self):
+        assert "(no data)" in scatter([], title="t")
+
+    def test_title_and_axes_present(self):
+        chart = scatter([(1, 1), (100, 1000)], title="Figure X", xlabel="size")
+        assert "Figure X" in chart
+        assert "size" in chart
+        assert "o" in chart
+
+    def test_extremes_land_on_opposite_corners(self):
+        chart = scatter([(1, 1), (1000, 1000)], width=20, height=6)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        # max y -> top row, min y -> bottom row
+        assert "o" in rows[0]
+        assert "o" in rows[-1]
+        # min x -> first column after the axis, max x -> last column
+        assert rows[-1].split("|")[1][0] == "o"
+        assert rows[0].split("|")[1].rstrip()[-1] == "o"
+
+    def test_single_point(self):
+        chart = scatter([(5, 5)])
+        assert chart.count("o") == 1
+
+    def test_zero_values_handled(self):
+        chart = scatter([(0, 0), (10, 10)])
+        assert "o" in chart  # no crash on log of zero
+
+
+class TestMultiSeries:
+    def test_empty(self):
+        assert "(no data)" in multi_series({}, title="t")
+
+    def test_legend_symbols(self):
+        chart = multi_series(
+            {"TA-TA": [(0, 100), (4, 10)], "TS-TS": [(0, 50), (4, 5)]}
+        )
+        assert "o TA-TA" in chart
+        assert "x TS-TS" in chart
+
+    def test_x_ticks_listed(self):
+        chart = multi_series({"s": [(0, 1), (4, 2), (1024, 3)]}, xlabel="distance")
+        assert "x: 0 4 1024" in chart
+        assert "distance" in chart
+
+    def test_overlap_marker(self):
+        chart = multi_series({"a": [(0, 10)], "b": [(0, 10)]})
+        assert "." in chart.splitlines()[-1]  # legend explains overlap
+
+    def test_decay_shape_visible(self):
+        # A decaying series should put its first point above its last.
+        chart = multi_series({"decay": [(0, 1000), (1024, 1)]}, width=30, height=8)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        first_row_with_symbol = next(i for i, r in enumerate(rows) if "o" in r)
+        last_row_with_symbol = max(i for i, r in enumerate(rows) if "o" in r)
+        assert first_row_with_symbol < last_row_with_symbol
+
+    def test_linear_scale_option(self):
+        chart = multi_series({"s": [(0, 1), (1, 2)]}, log_y=False)
+        assert "o" in chart

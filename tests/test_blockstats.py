@@ -1,0 +1,123 @@
+"""Per-block statistics tests."""
+
+from __future__ import annotations
+
+from repro.core.blockstats import BlockProfile, BlockStatsAnalyzer, slice_blocks
+from repro.core.trace import OpType, TraceRecord
+
+
+def R(op, block, key=b"A\x01"):
+    return TraceRecord(op, key, 10, block)
+
+
+class TestBlockProfile:
+    def test_phase_separation_perfect(self):
+        analyzer = BlockStatsAnalyzer().consume(
+            [R(OpType.READ, 1), R(OpType.READ, 1), R(OpType.WRITE, 1)]
+        )
+        assert analyzer.profile(1).phase_separation == 1.0
+
+    def test_phase_separation_interleaved(self):
+        analyzer = BlockStatsAnalyzer().consume(
+            [R(OpType.READ, 1), R(OpType.WRITE, 1), R(OpType.READ, 1)]
+        )
+        assert analyzer.profile(1).phase_separation == 0.5
+
+    def test_no_reads_is_fully_separated(self):
+        analyzer = BlockStatsAnalyzer().consume([R(OpType.WRITE, 1)])
+        assert analyzer.profile(1).phase_separation == 1.0
+
+    def test_counts_by_kind(self):
+        analyzer = BlockStatsAnalyzer().consume(
+            [
+                R(OpType.READ, 2),
+                R(OpType.WRITE, 2),
+                R(OpType.UPDATE, 2),
+                R(OpType.DELETE, 2),
+                R(OpType.SCAN, 2),
+            ]
+        )
+        profile = analyzer.profile(2)
+        assert profile.reads == 1
+        assert profile.puts == 2
+        assert profile.deletes == 1
+        assert profile.scans == 1
+        assert profile.total == 5
+
+    def test_deletes_count_as_mutation_for_phasing(self):
+        analyzer = BlockStatsAnalyzer().consume(
+            [R(OpType.DELETE, 3), R(OpType.READ, 3)]
+        )
+        assert analyzer.profile(3).phase_separation == 0.0
+
+
+class TestAnalyzer:
+    def test_blocks_ordered(self):
+        analyzer = BlockStatsAnalyzer().consume(
+            [R(OpType.READ, 5), R(OpType.READ, 2), R(OpType.READ, 9)]
+        )
+        assert [p.block for p in analyzer.profiles()] == [2, 5, 9]
+
+    def test_means(self):
+        analyzer = BlockStatsAnalyzer().consume(
+            [R(OpType.READ, 1)] * 4 + [R(OpType.WRITE, 2)] * 2
+        )
+        assert analyzer.mean_ops_per_block() == 3.0
+        assert analyzer.num_blocks == 2
+
+    def test_unknown_block_empty_profile(self):
+        analyzer = BlockStatsAnalyzer()
+        assert analyzer.profile(7).total == 0
+
+    def test_read_share_distribution(self):
+        analyzer = BlockStatsAnalyzer().consume(
+            [R(OpType.READ, 1), R(OpType.WRITE, 1)]  # 50% reads
+            + [R(OpType.READ, 2)]  # 100% reads
+        )
+        histogram = analyzer.read_share_distribution()
+        assert histogram[5] == 1
+        assert histogram[9] == 1
+
+    def test_busiest_blocks(self):
+        analyzer = BlockStatsAnalyzer().consume(
+            [R(OpType.READ, 1)] * 5 + [R(OpType.READ, 2)] * 2
+        )
+        busiest = analyzer.busiest_blocks(1)
+        assert busiest[0].block == 1
+
+    def test_render(self):
+        analyzer = BlockStatsAnalyzer().consume([R(OpType.READ, 1)])
+        assert "1 blocks" in analyzer.render()
+
+
+class TestSliceBlocks:
+    def test_half_open_range(self):
+        records = [R(OpType.READ, b) for b in range(10)]
+        window = slice_blocks(records, 3, 6)
+        assert [r.block for r in window] == [3, 4, 5]
+
+    def test_empty_range(self):
+        records = [R(OpType.READ, b) for b in range(5)]
+        assert slice_blocks(records, 7, 9) == []
+
+
+class TestOnRealTrace:
+    """Geth's I/O discipline shows up in the generated traces."""
+
+    def test_blocks_are_two_phase(self, trace_pair):
+        cache_result, _ = trace_pair
+        analyzer = BlockStatsAnalyzer().consume(cache_result.records)
+        # Reads mostly precede the write burst within a block; the
+        # residue comes from background work trailing the batch commit
+        # (freezer reads/scans), which is genuinely interleaved in Geth
+        # too (it runs in background goroutines).
+        assert analyzer.mean_phase_separation() > 0.6
+        # The median block is cleanly two-phase.
+        separations = sorted(p.phase_separation for p in analyzer.profiles() if p.reads)
+        assert separations[len(separations) // 2] > 0.8
+
+    def test_every_measured_block_present(self, trace_pair):
+        cache_result, _ = trace_pair
+        analyzer = BlockStatsAnalyzer().consume(cache_result.records)
+        # 80 measured blocks (+ the startup/shutdown pseudo-blocks).
+        assert analyzer.num_blocks >= cache_result.blocks_processed

@@ -1,0 +1,167 @@
+"""B+-tree store tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import KeyNotFoundError
+from repro.kvstore.btree import BPlusTreeStore
+
+
+class TestBasics:
+    def test_roundtrip(self):
+        store = BPlusTreeStore(order=4)
+        store.put(b"k", b"v")
+        assert store.get(b"k") == b"v"
+        assert store.has(b"k")
+        assert len(store) == 1
+
+    def test_missing_raises(self):
+        with pytest.raises(KeyNotFoundError):
+            BPlusTreeStore().get(b"nope")
+
+    def test_overwrite_in_place(self):
+        store = BPlusTreeStore(order=4)
+        store.put(b"k", b"v1")
+        store.put(b"k", b"v2")
+        assert store.get(b"k") == b"v2"
+        assert len(store) == 1
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            BPlusTreeStore(order=2)
+
+
+class TestStructure:
+    def test_splits_grow_height(self):
+        store = BPlusTreeStore(order=4)
+        assert store.height == 1
+        for i in range(100):
+            store.put(b"key%03d" % i, b"v")
+        assert store.height >= 3
+        for i in range(100):
+            assert store.get(b"key%03d" % i) == b"v"
+
+    def test_random_insert_order(self):
+        store = BPlusTreeStore(order=4)
+        keys = [b"key%03d" % i for i in range(200)]
+        rng = random.Random(8)
+        shuffled = keys[:]
+        rng.shuffle(shuffled)
+        for key in shuffled:
+            store.put(key, key[::-1])
+        assert [k for k, _ in store.scan(b"")] == sorted(keys)
+
+    def test_no_tombstones_ever(self):
+        store = BPlusTreeStore(order=4)
+        for i in range(50):
+            store.put(b"key%02d" % i, b"v")
+        for i in range(50):
+            store.delete(b"key%02d" % i)
+        assert store.metrics.tombstones_written == 0
+        assert len(store) == 0
+
+    def test_delete_absent_is_noop(self):
+        store = BPlusTreeStore(order=4)
+        store.delete(b"ghost")
+        assert len(store) == 0
+
+    def test_read_cost_is_tree_height(self):
+        store = BPlusTreeStore(order=4)
+        for i in range(200):
+            store.put(b"key%03d" % i, b"v")
+        store.metrics.sstable_lookups = 0
+        store.metrics.user_gets = 0
+        store.get(b"key050")
+        assert store.metrics.sstable_lookups == store.height
+
+
+class TestScans:
+    def _store(self, n=100, order=4):
+        store = BPlusTreeStore(order=order)
+        for i in range(n):
+            store.put(b"k%03d" % i, b"v%d" % i)
+        return store
+
+    def test_full_scan_sorted(self):
+        store = self._store()
+        keys = [k for k, _ in store.scan(b"")]
+        assert keys == sorted(keys)
+        assert len(keys) == 100
+
+    def test_range_scan(self):
+        store = self._store()
+        got = [k for k, _ in store.scan(b"k010", b"k020")]
+        assert got == [b"k%03d" % i for i in range(10, 20)]
+
+    def test_scan_after_deletes(self):
+        store = self._store()
+        for i in range(0, 100, 2):
+            store.delete(b"k%03d" % i)
+        got = [k for k, _ in store.scan(b"")]
+        assert got == [b"k%03d" % i for i in range(1, 100, 2)]
+
+    def test_scan_from_middle_of_leaf(self):
+        store = self._store()
+        got = [k for k, _ in store.scan(b"k0505")]  # between keys
+        assert got[0] == b"k051"
+
+
+class TestDictEquivalence:
+    def test_randomized(self):
+        rng = random.Random(77)
+        store = BPlusTreeStore(order=6)
+        model = {}
+        for step in range(4000):
+            key = b"key%03d" % rng.randrange(300)
+            action = rng.random()
+            if action < 0.55:
+                value = b"val%d" % step
+                store.put(key, value)
+                model[key] = value
+            elif action < 0.85:
+                store.delete(key)
+                model.pop(key, None)
+            else:
+                assert store.get_or_none(key) == model.get(key)
+        assert dict(store.scan(b"")) == model
+        assert len(store) == len(model)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.booleans(),
+                st.integers(min_value=0, max_value=40),
+                st.binary(min_size=1, max_size=12),
+            ),
+            max_size=200,
+        ),
+        st.sampled_from([4, 6, 16]),
+    )
+    def test_property(self, ops, order):
+        store = BPlusTreeStore(order=order)
+        model = {}
+        for is_put, key_index, value in ops:
+            key = b"key%02d" % key_index
+            if is_put:
+                store.put(key, value)
+                model[key] = value
+            else:
+                store.delete(key)
+                model.pop(key, None)
+        assert dict(store.scan(b"")) == model
+        assert len(store) == len(model)
+
+
+class TestCostProfile:
+    def test_no_compaction_channel(self):
+        store = BPlusTreeStore(order=8)
+        for i in range(500):
+            store.put(b"key%04d" % i, b"v" * 30)
+        assert store.metrics.compactions == 0
+        assert store.metrics.compaction_bytes_written == 0
+        assert store.metrics.flush_bytes_written > 0  # page writes instead

@@ -1,0 +1,119 @@
+"""LRU cache and per-class cache-set tests."""
+
+from __future__ import annotations
+
+from repro.core.classes import KVClass
+from repro.gethdb.caches import CACHE_ENTRY_OVERHEAD, CacheBudget, CacheSet, LRUCache
+
+
+class TestLRUCache:
+    def test_hit_after_put(self):
+        cache = LRUCache(4096)
+        cache.put(b"k", b"v")
+        assert cache.get(b"k") == b"v"
+        assert cache.hits == 1
+
+    def test_miss_counts(self):
+        cache = LRUCache(4096)
+        assert cache.get(b"absent") is None
+        assert cache.misses == 1
+
+    def test_eviction_order_is_lru(self):
+        entry = CACHE_ENTRY_OVERHEAD + 2  # 1-byte key + 1-byte value
+        cache = LRUCache(entry * 2)
+        cache.put(b"a", b"1")
+        cache.put(b"b", b"2")
+        cache.get(b"a")  # a becomes most-recent
+        cache.put(b"c", b"3")  # evicts b
+        assert cache.get(b"b") is None
+        assert cache.get(b"a") == b"1"
+        assert cache.evictions == 1
+
+    def test_byte_budget_respected(self):
+        cache = LRUCache(1000)
+        for i in range(100):
+            cache.put(b"key%02d" % i, b"v" * 20)
+        assert cache.used_bytes <= 1000
+
+    def test_oversized_entry_not_admitted(self):
+        cache = LRUCache(64)
+        cache.put(b"k", b"v" * 1000)
+        assert cache.get(b"k") is None
+        assert len(cache) == 0
+
+    def test_overwrite_adjusts_usage(self):
+        cache = LRUCache(4096)
+        cache.put(b"k", b"v" * 100)
+        used_large = cache.used_bytes
+        cache.put(b"k", b"v")
+        assert cache.used_bytes < used_large
+        assert len(cache) == 1
+
+    def test_invalidate(self):
+        cache = LRUCache(4096)
+        cache.put(b"k", b"v")
+        cache.invalidate(b"k")
+        assert cache.get(b"k") is None
+        assert cache.used_bytes == 0
+
+    def test_zero_capacity_never_stores(self):
+        cache = LRUCache(0)
+        cache.put(b"k", b"v")
+        assert cache.get(b"k") is None
+
+    def test_hit_rate(self):
+        cache = LRUCache(4096)
+        cache.put(b"k", b"v")
+        cache.get(b"k")
+        cache.get(b"absent")
+        assert cache.hit_rate == 0.5
+
+
+class TestCacheSet:
+    def test_cached_classes(self):
+        cache_set = CacheSet(CacheBudget(1024 * 1024))
+        for kv_class in (
+            KVClass.TRIE_NODE_ACCOUNT,
+            KVClass.TRIE_NODE_STORAGE,
+            KVClass.SNAPSHOT_ACCOUNT,
+            KVClass.SNAPSHOT_STORAGE,
+            KVClass.HEADER_NUMBER,
+        ):
+            assert cache_set.cache_for(kv_class) is not None
+
+    def test_uncached_classes(self):
+        cache_set = CacheSet(CacheBudget(1024 * 1024))
+        # Per the paper's traces, Code and block data reads are not
+        # absorbed by caching (same absolute counts in both traces).
+        for kv_class in (
+            KVClass.CODE,
+            KVClass.BLOCK_HEADER,
+            KVClass.BLOCK_BODY,
+            KVClass.TX_LOOKUP,
+            KVClass.LAST_HEADER,
+        ):
+            assert cache_set.cache_for(kv_class) is None
+
+    def test_budget_split(self):
+        total = 1000 * 1000
+        cache_set = CacheSet(CacheBudget(total))
+        capacities = sum(
+            cache.capacity_bytes
+            for cache in (
+                cache_set.cache_for(KVClass.TRIE_NODE_ACCOUNT),
+                cache_set.cache_for(KVClass.TRIE_NODE_STORAGE),
+                cache_set.cache_for(KVClass.SNAPSHOT_ACCOUNT),
+                cache_set.cache_for(KVClass.SNAPSHOT_STORAGE),
+                cache_set.cache_for(KVClass.HEADER_NUMBER),
+            )
+        )
+        assert capacities <= total
+
+    def test_stats_shape(self):
+        cache_set = CacheSet(CacheBudget(64 * 1024))
+        cache = cache_set.cache_for(KVClass.TRIE_NODE_ACCOUNT)
+        cache.put(b"A\x01", b"node")
+        cache.get(b"A\x01")
+        stats = cache_set.stats()
+        assert stats[KVClass.TRIE_NODE_ACCOUNT]["hits"] == 1
+        assert stats[KVClass.TRIE_NODE_ACCOUNT]["entries"] == 1

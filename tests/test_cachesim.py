@@ -1,0 +1,189 @@
+"""Cache policy simulation tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cachesim import (
+    CacheSimulator,
+    CorrelationAwareCache,
+    CorrelationTable,
+    LRUPolicy,
+    NoWriteAdmissionPolicy,
+    SegmentedLRUPolicy,
+)
+from repro.core.classes import KVClass
+from repro.core.trace import OpType, TraceRecord
+from repro.errors import CacheSimError
+
+
+def R(key, op=OpType.READ):
+    return TraceRecord(op, key, 10, 0)
+
+
+class TestLRUPolicy:
+    def test_hit_after_miss(self):
+        policy = LRUPolicy(4)
+        assert not policy.on_read(b"k")
+        assert policy.on_read(b"k")
+
+    def test_capacity_eviction(self):
+        policy = LRUPolicy(2)
+        policy.on_read(b"a")
+        policy.on_read(b"b")
+        policy.on_read(b"c")  # evicts a
+        assert not policy.on_read(b"a")
+
+    def test_write_admission(self):
+        policy = LRUPolicy(4, admit_writes=True)
+        policy.on_write(b"k")
+        assert policy.on_read(b"k")
+
+    def test_delete_removes(self):
+        policy = LRUPolicy(4)
+        policy.on_read(b"k")
+        policy.on_delete(b"k")
+        assert not policy.on_read(b"k")
+
+    def test_invalid_capacity(self):
+        with pytest.raises(CacheSimError):
+            LRUPolicy(0)
+
+
+class TestNoWriteAdmission:
+    def test_writes_not_admitted(self):
+        policy = NoWriteAdmissionPolicy(4)
+        policy.on_write(b"k")
+        assert not policy.on_read(b"k")
+
+    def test_written_key_already_cached_is_refreshed(self):
+        policy = NoWriteAdmissionPolicy(2)
+        policy.on_read(b"k")
+        policy.on_write(b"k")  # stays cached
+        assert policy.on_read(b"k")
+
+    def test_beats_lru_on_write_heavy_trace(self):
+        # Many never-read writes pollute the plain LRU.
+        trace = []
+        rng = random.Random(7)
+        hot = [b"hot%d" % i for i in range(4)]
+        for step in range(2000):
+            trace.append(R(b"w%d" % step, OpType.WRITE))
+            trace.append(R(hot[rng.randrange(4)]))
+        lru = CacheSimulator(LRUPolicy(8)).replay(trace)
+        nwa = CacheSimulator(NoWriteAdmissionPolicy(8)).replay(trace)
+        assert nwa.hit_rate > lru.hit_rate
+
+
+class TestSegmentedLRU:
+    def test_classes_do_not_evict_each_other(self):
+        policy = SegmentedLRUPolicy(40)
+        ta_keys = [b"A%d" % i for i in range(3)]
+        for key in ta_keys:
+            policy.on_read(key)
+        # Flood a different class; TA segment must survive.
+        for i in range(500):
+            policy.on_read(b"o" + bytes([i % 256]) * 64)
+        assert all(policy.on_read(key) for key in ta_keys)
+
+    def test_capacity_validation(self):
+        with pytest.raises(CacheSimError):
+            SegmentedLRUPolicy(2)
+
+    def test_fraction_validation(self):
+        with pytest.raises(CacheSimError):
+            SegmentedLRUPolicy(100, {KVClass.CODE: 0.9, KVClass.TX_LOOKUP: 0.5})
+
+
+class TestCorrelationTable:
+    def test_learns_adjacent_pairs(self):
+        table = CorrelationTable(window=2, min_occurrence=2)
+        table.learn([b"a", b"b", b"a", b"b", b"a", b"b"])
+        assert b"b" in table.partners_of(b"a")
+        assert b"a" in table.partners_of(b"b")
+
+    def test_one_off_pairs_ignored(self):
+        table = CorrelationTable(window=2, min_occurrence=2)
+        table.learn([b"a", b"b"])
+        assert table.partners_of(b"a") == ()
+
+    def test_max_partners_bound(self):
+        table = CorrelationTable(window=6, max_partners=2)
+        sequence = []
+        for _ in range(10):
+            sequence += [b"hub", b"p1", b"hub", b"p2", b"hub", b"p3"]
+        table.learn(sequence)
+        assert len(table.partners_of(b"hub")) <= 2
+
+    def test_num_correlated_pairs(self):
+        table = CorrelationTable(window=2)
+        table.learn([b"a", b"b"] * 3)
+        assert table.num_correlated_pairs == 1
+
+
+class TestCorrelationAwareCache:
+    def _correlated_trace(self, pairs=30, steps=1500, seed=3):
+        rng = random.Random(seed)
+        keys = [b"A%02d" % i for i in range(pairs)]
+        partner = {k: b"O" + k for k in keys}
+        trace = []
+        for _ in range(steps):
+            key = keys[rng.randrange(pairs)]
+            trace.append(R(key))
+            trace.append(R(partner[key]))
+        return trace
+
+    def test_prefetch_converts_misses(self):
+        trace = self._correlated_trace()
+        table = CorrelationTable(window=1)
+        table.learn([r.key for r in trace[:600]])
+        cache = CorrelationAwareCache(16, table)
+        report = CacheSimulator(cache).replay(trace)
+        assert report.prefetches > 0
+        assert report.prefetch_hits > 0
+
+    def test_beats_lru_on_correlated_trace(self):
+        trace = self._correlated_trace()
+        lru = CacheSimulator(LRUPolicy(16)).replay(trace)
+        table = CorrelationTable(window=1)
+        table.learn([r.key for r in trace[:600]])
+        corr = CacheSimulator(CorrelationAwareCache(16, table)).replay(trace)
+        assert corr.hit_rate > lru.hit_rate
+
+    def test_capacity_validation(self):
+        with pytest.raises(CacheSimError):
+            CorrelationAwareCache(1, CorrelationTable())
+
+    def test_delete_evicts(self):
+        cache = CorrelationAwareCache(8, CorrelationTable())
+        cache.on_read(b"k")
+        cache.on_delete(b"k")
+        assert not cache.on_read(b"k")
+
+
+class TestSimulator:
+    def test_report_counts(self):
+        trace = [R(b"A1"), R(b"A1"), R(b"A2")]
+        report = CacheSimulator(LRUPolicy(8)).replay(trace)
+        assert report.reads == 3 and report.hits == 1
+        assert report.store_reads == 2
+        assert report.hit_rate == pytest.approx(1 / 3)
+
+    def test_per_class_accounting(self):
+        trace = [R(b"A1"), R(b"A1"), R(b"l" + b"\x01" * 32)]
+        report = CacheSimulator(LRUPolicy(8)).replay(trace)
+        assert report.per_class_reads[KVClass.TRIE_NODE_ACCOUNT] == 2
+        assert report.class_hit_rate(KVClass.TRIE_NODE_ACCOUNT) == 0.5
+
+    def test_class_filter(self):
+        trace = [R(b"A1"), R(b"l" + b"\x01" * 32)]
+        report = CacheSimulator(LRUPolicy(8)).replay(
+            trace, classes={KVClass.TRIE_NODE_ACCOUNT}
+        )
+        assert report.reads == 1
+
+    def test_render_smoke(self):
+        report = CacheSimulator(LRUPolicy(8)).replay([R(b"A1")])
+        assert "hit_rate" in report.render()

@@ -1,0 +1,135 @@
+"""Class taxonomy and prefix classifier tests."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.core.classes import (
+    DOMINANT_CLASSES,
+    SINGLETON_CLASSES,
+    SINGLETON_KEYS,
+    TABLE_ORDER,
+    KVClass,
+    class_by_name,
+    classify_key,
+)
+from repro.gethdb import schema
+
+
+class TestTaxonomy:
+    def test_29_classes_plus_unknown(self):
+        assert len(KVClass) == 30  # 29 paper classes + UNKNOWN
+
+    def test_table_order_covers_all_29(self):
+        assert len(TABLE_ORDER) == 29
+        assert len(set(TABLE_ORDER)) == 29
+        assert KVClass.UNKNOWN not in TABLE_ORDER
+
+    def test_15_singletons(self):
+        assert len(SINGLETON_CLASSES) == 15
+
+    def test_five_dominant_classes(self):
+        assert len(DOMINANT_CLASSES) == 5
+
+    def test_abbreviations(self):
+        assert KVClass.TRIE_NODE_ACCOUNT.abbreviation == "TA"
+        assert KVClass.SNAPSHOT_STORAGE.abbreviation == "SS"
+        assert KVClass.LAST_FAST.abbreviation == "LF"
+        assert KVClass.CODE.abbreviation == "C"
+
+    def test_class_by_name(self):
+        assert class_by_name("TxLookup") is KVClass.TX_LOOKUP
+        assert class_by_name("NoSuchClass") is None
+
+
+class TestClassifier:
+    def test_every_singleton_key(self):
+        for key, expected in SINGLETON_KEYS.items():
+            assert classify_key(key) is expected
+
+    def test_schema_key_constructors_classify_correctly(self):
+        h = b"\x11" * 32
+        cases = [
+            (schema.header_key(5, h), KVClass.BLOCK_HEADER),
+            (schema.header_td_key(5, h), KVClass.BLOCK_HEADER),
+            (schema.canonical_hash_key(5), KVClass.BLOCK_HEADER),
+            (schema.header_number_key(h), KVClass.HEADER_NUMBER),
+            (schema.body_key(5, h), KVClass.BLOCK_BODY),
+            (schema.receipts_key(5, h), KVClass.BLOCK_RECEIPTS),
+            (schema.tx_lookup_key(h), KVClass.TX_LOOKUP),
+            (schema.bloom_bits_key(3, 1, h), KVClass.BLOOM_BITS),
+            (schema.bloom_bits_index_key(b"count"), KVClass.BLOOM_BITS_INDEX),
+            (schema.snapshot_account_key(h), KVClass.SNAPSHOT_ACCOUNT),
+            (schema.snapshot_storage_key(h, h), KVClass.SNAPSHOT_STORAGE),
+            (schema.code_key(h), KVClass.CODE),
+            (schema.account_trie_node_key((1, 2)), KVClass.TRIE_NODE_ACCOUNT),
+            (schema.storage_trie_node_key(h, (3,)), KVClass.TRIE_NODE_STORAGE),
+            (schema.state_id_key(h), KVClass.STATE_ID),
+            (schema.skeleton_header_key(5), KVClass.SKELETON_HEADER),
+            (schema.ethereum_genesis_key(h), KVClass.ETHEREUM_GENESIS),
+            (schema.ethereum_config_key(h), KVClass.ETHEREUM_CONFIG),
+        ]
+        for key, expected in cases:
+            assert classify_key(key) is expected, (key, expected)
+
+    def test_singletons_beat_prefix_collisions(self):
+        # 'LastHeader' starts with 'L' (the StateID prefix);
+        # 'SnapshotJournal' starts with 'S' (the SkeletonHeader prefix).
+        assert classify_key(b"LastHeader") is KVClass.LAST_HEADER
+        assert classify_key(b"LastBlock") is KVClass.LAST_BLOCK
+        assert classify_key(b"SnapshotJournal") is KVClass.SNAPSHOT_JOURNAL
+        assert classify_key(b"L" + b"\x00" * 32) is KVClass.STATE_ID
+        assert classify_key(b"S" + b"\x00" * 8) is KVClass.SKELETON_HEADER
+
+    def test_unknown_keys(self):
+        assert classify_key(b"") is KVClass.UNKNOWN
+        assert classify_key(b"\xfe unknown") is KVClass.UNKNOWN
+
+    @given(st.binary(min_size=1, max_size=64))
+    def test_total_function(self, key):
+        # Every byte string classifies to exactly one class, no crash.
+        assert isinstance(classify_key(key), KVClass)
+
+
+class TestKeySizes:
+    """Key layouts must land on Table I's reported key sizes."""
+
+    def test_fixed_key_sizes_match_table1(self):
+        h = b"\x22" * 32
+        assert len(schema.snapshot_storage_key(h, h)) == 65
+        assert len(schema.tx_lookup_key(h)) == 33
+        assert len(schema.snapshot_account_key(h)) == 33
+        assert len(schema.header_number_key(h)) == 33
+        assert len(schema.bloom_bits_key(0, 0, h)) == 43
+        assert len(schema.code_key(h)) == 33
+        assert len(schema.skeleton_header_key(1)) == 9
+        assert len(schema.receipts_key(1, h)) == 41
+        assert len(schema.body_key(1, h)) == 41
+        assert len(schema.state_id_key(h)) == 33
+        assert len(schema.ethereum_genesis_key(h)) == 49
+        assert len(schema.ethereum_config_key(h)) == 48
+
+    def test_singleton_key_sizes_match_table1(self):
+        expected = {
+            b"SnapshotJournal": 15,
+            b"LastStateID": 11,
+            b"unclean-shutdown": 16,
+            b"SnapshotGenerator": 17,
+            b"TrieJournal": 11,
+            b"DatabaseVersion": 15,
+            b"LastBlock": 9,
+            b"SnapshotRoot": 12,
+            b"SkeletonSyncStatus": 18,
+            b"LastHeader": 10,
+            b"SnapshotRecovery": 16,
+            b"TransactionIndexTail": 20,
+            b"LastFast": 8,
+        }
+        for key, size in expected.items():
+            assert len(key) == size
+
+    def test_header_key_variants(self):
+        h = b"\x33" * 32
+        assert len(schema.header_key(7, h)) == 41
+        assert len(schema.header_td_key(7, h)) == 42
+        assert len(schema.canonical_hash_key(7)) == 10

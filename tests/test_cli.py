@@ -1,0 +1,86 @@
+"""CLI tests (fast paths: sync + analyze; parser construction)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        actions = {
+            action.dest: action
+            for action in parser._actions
+            if action.dest == "command"
+        }
+        choices = set(actions["command"].choices)
+        assert choices == {
+            "findings",
+            "tables",
+            "sync",
+            "analyze",
+            "export",
+            "compare",
+        }
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_sync_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sync"])
+
+
+@pytest.fixture(scope="module")
+def synced_trace(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "trace.bin"
+    code = main(
+        [
+            "sync",
+            "--mode",
+            "bare",
+            "--out",
+            str(path),
+            "--blocks",
+            "20",
+            "--warmup",
+            "8",
+            "--accounts",
+            "400",
+            "--contracts",
+            "60",
+            "--txs",
+            "8",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestSyncAndAnalyze:
+    def test_sync_writes_trace(self, synced_trace):
+        assert synced_trace.exists()
+        assert synced_trace.stat().st_size > 1000
+
+    def test_analyze_prints_table(self, synced_trace, capsys):
+        code = main(["analyze", str(synced_trace)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Operation distribution" in out
+        assert "TrieNodeAccount" in out
+
+    def test_analyze_with_correlation(self, synced_trace, capsys):
+        code = main(["analyze", str(synced_trace), "--correlate", "update"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "update correlations" in out
+        assert "d=0" in out
+
+    def test_compare_trace_with_itself(self, synced_trace, capsys):
+        code = main(["compare", str(synced_trace), str(synced_trace)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TV distance: 0.000" in out

@@ -1,0 +1,114 @@
+"""Correlation-aware co-location layout tests."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.cachesim.correlation_cache import CorrelationTable
+from repro.errors import HybridStoreError
+from repro.hybrid import (
+    CorrelationLayout,
+    LayoutEvaluator,
+    hash_layout,
+    key_order_layout,
+)
+
+
+def correlated_access_sequence(pairs=40, steps=2000, seed=6):
+    """Accesses where key i is always followed by its partner."""
+    rng = random.Random(seed)
+    keys = [b"A%02d" % i for i in range(pairs)]
+    # Partners deliberately far away in key order so key-order packing
+    # splits every correlated pair across regions.
+    partner = {k: b"z" + k for k in keys}
+    sequence = []
+    for _ in range(steps):
+        key = keys[rng.randrange(pairs)]
+        sequence.append(key)
+        sequence.append(partner[key])
+    return sequence
+
+
+class TestCorrelationLayout:
+    def _built_layout(self, sequence, capacity=8):
+        table = CorrelationTable(window=1)
+        table.learn(sequence[: len(sequence) // 2])
+        layout = CorrelationLayout(region_capacity=capacity)
+        layout.build(table, sequence, Counter(sequence))
+        return layout
+
+    def test_partners_share_regions(self):
+        sequence = correlated_access_sequence()
+        layout = self._built_layout(sequence)
+        for key in set(sequence):
+            if key.startswith(b"A"):
+                assert layout.region_of(key) == layout.region_of(b"z" + key), key
+
+    def test_region_capacity_respected(self):
+        sequence = correlated_access_sequence()
+        layout = self._built_layout(sequence, capacity=4)
+        per_region = Counter(layout._region_of.values())
+        assert max(per_region.values()) <= 4
+
+    def test_unknown_key_gets_some_region(self):
+        layout = CorrelationLayout()
+        region = layout.region_of(b"never-seen")
+        assert isinstance(region, int)
+        assert layout.region_of(b"never-seen") == region  # stable
+
+    def test_capacity_validation(self):
+        with pytest.raises(HybridStoreError):
+            CorrelationLayout(region_capacity=1)
+
+
+class TestBaselines:
+    def test_key_order_layout_packs_sorted(self):
+        keys = [b"c", b"a", b"b", b"d"]
+        placement = key_order_layout(keys, region_capacity=2)
+        assert placement[b"a"] == placement[b"b"] == 0
+        assert placement[b"c"] == placement[b"d"] == 1
+
+    def test_hash_layout_bounds_regions(self):
+        placement = hash_layout([bytes([i]) for i in range(100)], num_regions=7)
+        assert set(placement.values()) <= set(range(7))
+
+
+class TestEvaluator:
+    def test_switch_counting(self):
+        evaluator = LayoutEvaluator()
+        placement = {b"a": 0, b"b": 0, b"c": 1}
+        report = evaluator.evaluate("t", [b"a", b"b", b"c", b"a"], placement)
+        assert report.accesses == 4
+        assert report.region_switches == 2  # 0->1, 1->0
+        assert report.regions_used == 2
+        assert report.switch_rate == 0.5
+
+    def test_empty_sequence(self):
+        report = LayoutEvaluator().evaluate("t", [], {})
+        assert report.switch_rate == 0.0
+
+    def test_correlation_layout_beats_baselines(self):
+        """The §V co-location claim: fewer region switches than the
+        layouts real stores give for free."""
+        sequence = correlated_access_sequence()
+        table = CorrelationTable(window=1)
+        table.learn(sequence[: len(sequence) // 2])
+        layout = CorrelationLayout(region_capacity=8)
+        layout.build(table, sequence, Counter(sequence))
+
+        evaluator = LayoutEvaluator()
+        correlated = evaluator.evaluate("correlation", sequence, layout.region_of)
+        key_order = evaluator.evaluate(
+            "key-order", sequence, key_order_layout(sequence, 8)
+        )
+        hashed = evaluator.evaluate(
+            "hash", sequence, hash_layout(sequence, max(1, len(set(sequence)) // 8))
+        )
+        assert correlated.switch_rate < key_order.switch_rate
+        assert correlated.switch_rate < hashed.switch_rate
+        # Every correlated pair co-resides: at most every other access
+        # switches regions.
+        assert correlated.switch_rate <= 0.55

@@ -1,0 +1,99 @@
+"""Trace comparison tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classes import KVClass
+from repro.core.compare import compare_traces
+from repro.core.trace import OpType, TraceRecord
+
+
+def R(key, op=OpType.READ):
+    return TraceRecord(op, key, 10, 0)
+
+
+TA = b"A\x01"
+TXL = b"l" + b"\x01" * 32
+SA = b"a" + b"\x02" * 32
+
+
+class TestCompare:
+    def test_identical_traces_zero_distance(self):
+        trace = [R(TA), R(TXL, OpType.WRITE)] * 5
+        comparison = compare_traces(trace, list(trace), "x", "y")
+        assert comparison.total_variation_distance == pytest.approx(0.0)
+        assert not comparison.only_in_a and not comparison.only_in_b
+
+    def test_disjoint_classes_max_distance(self):
+        comparison = compare_traces([R(TA)] * 4, [R(TXL)] * 4)
+        assert comparison.total_variation_distance == pytest.approx(1.0)
+        assert comparison.only_in_a == [KVClass.TRIE_NODE_ACCOUNT]
+        assert comparison.only_in_b == [KVClass.TX_LOOKUP]
+
+    def test_share_deltas(self):
+        a = [R(TA)] * 3 + [R(SA)] * 1  # TA 75%, SA 25%
+        b = [R(TA)] * 1 + [R(SA)] * 3  # TA 25%, SA 75%
+        comparison = compare_traces(a, b)
+        ta = next(d for d in comparison.deltas if d.kv_class is KVClass.TRIE_NODE_ACCOUNT)
+        assert ta.share_a == 75.0 and ta.share_b == 25.0
+        assert ta.share_delta == -50.0
+        assert comparison.total_variation_distance == pytest.approx(0.5)
+
+    def test_mix_shift_detects_op_type_change(self):
+        a = [R(TA, OpType.READ)] * 10
+        b = [R(TA, OpType.UPDATE)] * 10
+        comparison = compare_traces(a, b)
+        ta = comparison.deltas[0]
+        assert ta.share_delta == 0.0  # same class share...
+        assert ta.mix_shift == pytest.approx(1.0)  # ...entirely different ops
+
+    def test_largest_shifts_ordering(self):
+        a = [R(TA)] * 8 + [R(SA)] * 1 + [R(TXL)] * 1
+        b = [R(TA)] * 1 + [R(SA)] * 8 + [R(TXL)] * 1
+        comparison = compare_traces(a, b)
+        top = comparison.largest_shifts(2)
+        assert {d.kv_class for d in top} == {
+            KVClass.TRIE_NODE_ACCOUNT,
+            KVClass.SNAPSHOT_ACCOUNT,
+        }
+
+    def test_render(self):
+        comparison = compare_traces([R(TA)], [R(TXL)], "CacheTrace", "BareTrace")
+        rendered = comparison.render()
+        assert "CacheTrace" in rendered and "BareTrace" in rendered
+        assert "TV distance" in rendered
+
+    def test_prebuilt_analyzers(self):
+        from repro.core.opdist import OpDistAnalyzer
+
+        analyzer_a = OpDistAnalyzer(track_keys=False).consume([R(TA)])
+        analyzer_b = OpDistAnalyzer(track_keys=False).consume([R(TA)])
+        comparison = compare_traces(
+            None, None, analyzers=(analyzer_a, analyzer_b)
+        )
+        assert comparison.total_variation_distance == 0.0
+
+
+class TestOnRealTraces:
+    def test_cache_vs_bare_signature(self, trace_pair):
+        cache_result, bare_result = trace_pair
+        comparison = compare_traces(
+            cache_result.records,
+            bare_result.records,
+            "CacheTrace",
+            "BareTrace",
+        )
+        # The capture modes differ substantially but share most classes.
+        assert 0.05 < comparison.total_variation_distance < 0.8
+        # Snapshot classes exist only in CacheTrace.
+        assert KVClass.SNAPSHOT_ACCOUNT in comparison.only_in_a
+        assert KVClass.SNAPSHOT_STORAGE in comparison.only_in_a
+        # The largest share shifts involve the world-state classes.
+        top_classes = {d.kv_class for d in comparison.largest_shifts(4)}
+        assert top_classes & {
+            KVClass.TRIE_NODE_ACCOUNT,
+            KVClass.TRIE_NODE_STORAGE,
+            KVClass.SNAPSHOT_ACCOUNT,
+            KVClass.SNAPSHOT_STORAGE,
+        }

@@ -1,0 +1,196 @@
+"""Distance-based correlation analysis tests (Figures 4-7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classes import KVClass
+from repro.core.correlation import (
+    CorrelationAnalyzer,
+    CorrelationConfig,
+    class_pair,
+    correlation_summary,
+    format_class_pair,
+)
+from repro.core.trace import OpType, TraceRecord
+
+
+def reads(keys):
+    return [TraceRecord(OpType.READ, k, 10, i) for i, k in enumerate(keys)]
+
+
+TA1 = b"A\x01"
+TA2 = b"A\x02"
+TS1 = b"O" + b"\x01" * 32 + b"\x05"
+CODE1 = b"c" + b"\x01" * 32
+
+
+class TestConfig:
+    def test_scan_correlation_rejected(self):
+        with pytest.raises(ValueError):
+            CorrelationConfig(op=OpType.SCAN)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            CorrelationConfig(distances=(-1,))
+
+    def test_min_occurrence_validated(self):
+        with pytest.raises(ValueError):
+            CorrelationConfig(min_occurrence=0)
+
+
+class TestClassPair:
+    def test_canonical_ordering(self):
+        pair1 = class_pair(KVClass.TRIE_NODE_ACCOUNT, KVClass.CODE)
+        pair2 = class_pair(KVClass.CODE, KVClass.TRIE_NODE_ACCOUNT)
+        assert pair1 == pair2
+
+    def test_format_uses_abbreviations(self):
+        pair = class_pair(KVClass.TRIE_NODE_ACCOUNT, KVClass.TRIE_NODE_STORAGE)
+        assert format_class_pair(pair) == "TA-TS"
+
+
+class TestDistanceCounting:
+    def test_adjacent_pair_at_distance_zero(self):
+        # (TA1, TA2) adjacent twice -> qualifies with count 2.
+        analyzer = CorrelationAnalyzer(CorrelationConfig(distances=(0,)))
+        analyzer.consume(reads([TA1, TA2, TA1, TA2]))
+        result = analyzer.compute()[0]
+        pair = class_pair(KVClass.TRIE_NODE_ACCOUNT, KVClass.TRIE_NODE_ACCOUNT)
+        # pairs at d0: (TA1,TA2), (TA2,TA1), (TA1,TA2) -> key pair count 3
+        assert result.class_pair_counts[pair] == 3
+
+    def test_min_occurrence_filters_one_offs(self):
+        analyzer = CorrelationAnalyzer(CorrelationConfig(distances=(0,)))
+        analyzer.consume(reads([TA1, TS1]))  # single co-occurrence
+        result = analyzer.compute()[0]
+        assert result.class_pair_counts == {}
+
+    def test_distance_one_skips_one_read(self):
+        # sequence TA1 X TA2, TA1 Y TA2: (TA1, TA2) at distance 1 twice.
+        analyzer = CorrelationAnalyzer(CorrelationConfig(distances=(1,)))
+        analyzer.consume(reads([TA1, CODE1, TA2, TA1, CODE1, TA2]))
+        result = analyzer.compute()[1]
+        pair = class_pair(KVClass.TRIE_NODE_ACCOUNT, KVClass.TRIE_NODE_ACCOUNT)
+        assert result.count_for(KVClass.TRIE_NODE_ACCOUNT, KVClass.TRIE_NODE_ACCOUNT) >= 2
+        assert pair in result.class_pair_counts
+
+    def test_cross_class_pairs(self):
+        analyzer = CorrelationAnalyzer(CorrelationConfig(distances=(0,)))
+        analyzer.consume(reads([TA1, TS1, TA1, TS1, TA1]))
+        result = analyzer.compute()[0]
+        cross = result.count_for(KVClass.TRIE_NODE_ACCOUNT, KVClass.TRIE_NODE_STORAGE)
+        assert cross == 4  # all four adjacencies are (TA1,TS1) unordered
+
+    def test_self_pair_same_key(self):
+        # The same key adjacent to itself (head-pointer style).
+        analyzer = CorrelationAnalyzer(
+            CorrelationConfig(op=OpType.UPDATE, distances=(0,))
+        )
+        records = [TraceRecord(OpType.UPDATE, b"LastHeader", 8, i) for i in range(5)]
+        analyzer.consume(records)
+        result = analyzer.compute()[0]
+        pair = class_pair(KVClass.LAST_HEADER, KVClass.LAST_HEADER)
+        assert result.class_pair_counts[pair] == 4
+
+    def test_only_configured_op_considered(self):
+        analyzer = CorrelationAnalyzer(CorrelationConfig(op=OpType.READ, distances=(0,)))
+        mixed = [
+            TraceRecord(OpType.READ, TA1, 1, 0),
+            TraceRecord(OpType.UPDATE, TS1, 1, 0),
+            TraceRecord(OpType.READ, TA2, 1, 0),
+        ] * 2
+        analyzer.consume(mixed)
+        assert analyzer.num_ops == 4  # only the reads
+
+    def test_max_ops_cap(self):
+        analyzer = CorrelationAnalyzer(
+            CorrelationConfig(distances=(0,), max_ops=3)
+        )
+        analyzer.consume(reads([TA1] * 10))
+        assert analyzer.num_ops == 3
+
+
+class TestResultAccessors:
+    def _result(self):
+        analyzer = CorrelationAnalyzer(CorrelationConfig(distances=(0, 4)))
+        # strong intra-TA signal + weaker TA-TS cross signal
+        seq = [TA1, TA2] * 6 + [TA1, TS1] * 3
+        analyzer.consume(reads(seq))
+        return analyzer, analyzer.compute()
+
+    def test_top_pairs_ranking(self):
+        _, results = self._result()
+        top = results[0].top_pairs(2)
+        assert top[0][0] == class_pair(
+            KVClass.TRIE_NODE_ACCOUNT, KVClass.TRIE_NODE_ACCOUNT
+        )
+
+    def test_top_pairs_cross_filter(self):
+        _, results = self._result()
+        cross = results[0].top_pairs(3, cross_class=True)
+        assert all(a is not b for (a, b), _ in cross)
+        intra = results[0].top_pairs(3, cross_class=False)
+        assert all(a is b for (a, b), _ in intra)
+
+    def test_series(self):
+        analyzer, results = self._result()
+        pair = class_pair(KVClass.TRIE_NODE_ACCOUNT, KVClass.TRIE_NODE_ACCOUNT)
+        series = analyzer.series(results, pair)
+        assert [d for d, _ in series] == [0, 4]
+        assert series[0][1] >= series[1][1]  # decays with distance
+
+    def test_frequency_histogram(self):
+        analyzer = CorrelationAnalyzer(CorrelationConfig(distances=(0,)))
+        analyzer.consume(reads([TA1, TA2] * 5))
+        result = analyzer.compute()[0]
+        pair = class_pair(KVClass.TRIE_NODE_ACCOUNT, KVClass.TRIE_NODE_ACCOUNT)
+        histogram = result.frequency_histograms[pair]
+        assert histogram == {9: 1}  # one key pair occurring 9 times
+        assert result.max_pair_frequency(pair) == 9
+
+    def test_max_frequency_missing_pair_is_zero(self):
+        _, results = self._result()
+        pair = class_pair(KVClass.CODE, KVClass.CODE)
+        assert results[0].max_pair_frequency(pair) == 0
+
+
+class TestConvenience:
+    def test_correlation_summary(self):
+        results = correlation_summary(reads([TA1, TA2] * 4), distances=(0, 1))
+        assert set(results) == {0, 1}
+
+
+class TestVectorizedEquivalence:
+    """The numpy pair counter must match the reference loop exactly."""
+
+    def _analyzer(self, seed: int, n: int):
+        import random
+
+        rng = random.Random(seed)
+        pool = [b"A" + bytes([i]) for i in range(40)]
+        pool += [b"O" + b"\x01" * 32 + bytes([i]) for i in range(20)]
+        pool += [b"c" + bytes([i]) * 32 for i in range(5)]
+        analyzer = CorrelationAnalyzer(
+            CorrelationConfig(distances=(0, 1, 4, 16))
+        )
+        analyzer.consume(reads([rng.choice(pool) for _ in range(n)]))
+        return analyzer
+
+    def test_equivalence_random_trace(self):
+        analyzer = self._analyzer(seed=3, n=2000)
+        for distance in (0, 1, 4, 16):
+            fast = analyzer._compute_distance_vectorized(distance)
+            slow = analyzer._compute_distance_reference(distance)
+            assert fast.class_pair_counts == slow.class_pair_counts
+            assert fast.frequency_histograms == slow.frequency_histograms
+
+    def test_large_traces_use_vectorized_path(self):
+        analyzer = self._analyzer(seed=4, n=CorrelationAnalyzer.VECTORIZE_THRESHOLD + 10)
+        result = analyzer.compute_distance(0)
+        assert sum(result.class_pair_counts.values()) > 0
+
+    def test_gap_exceeding_trace_is_empty(self):
+        analyzer = self._analyzer(seed=5, n=5000)
+        result = analyzer._compute_distance_vectorized(10_000)
+        assert result.class_pair_counts == {}

@@ -1,0 +1,142 @@
+"""GethDatabase facade tests: caching, batching, tracing interplay."""
+
+from __future__ import annotations
+
+from repro.core.trace import OpType
+from repro.gethdb import schema
+from repro.gethdb.database import DBConfig, GethDatabase
+
+
+def trie_key(i: int) -> bytes:
+    return schema.account_trie_node_key((i % 16, (i // 16) % 16))
+
+
+class TestConfigs:
+    def test_cache_trace_config(self):
+        config = DBConfig.cache_trace_config()
+        assert config.caching_enabled and config.snapshot_enabled
+
+    def test_bare_trace_config(self):
+        config = DBConfig.bare_trace_config()
+        assert not config.caching_enabled and not config.snapshot_enabled
+        assert config.cache_bytes == 0
+
+    def test_bare_database_has_no_caches(self):
+        assert GethDatabase(DBConfig.bare_trace_config()).caches is None
+
+
+class TestReadPath:
+    def test_cached_read_hits_silently(self):
+        db = GethDatabase(DBConfig.cache_trace_config())
+        db.write_now(trie_key(1), b"node")
+        db.collector.clear()
+        assert db.read(trie_key(1)) == b"node"  # write-through -> hit
+        assert db.collector.count == 0
+
+    def test_cache_miss_is_traced(self):
+        db = GethDatabase(DBConfig.cache_trace_config())
+        db.store.inner.put(trie_key(2), b"cold")  # store only, no cache
+        db.collector.clear()
+        assert db.read(trie_key(2)) == b"cold"
+        assert db.collector.count == 1
+        assert db.collector.records[0].op is OpType.READ
+
+    def test_miss_populates_cache(self):
+        db = GethDatabase(DBConfig.cache_trace_config())
+        db.store.inner.put(trie_key(3), b"cold")
+        db.read(trie_key(3))
+        db.collector.clear()
+        db.read(trie_key(3))
+        assert db.collector.count == 0
+
+    def test_bare_mode_always_traced(self):
+        db = GethDatabase(DBConfig.bare_trace_config())
+        db.write_now(trie_key(4), b"node")
+        db.collector.clear()
+        db.read(trie_key(4))
+        db.read(trie_key(4))
+        assert db.collector.count == 2
+
+    def test_read_uncached_bypasses_cache(self):
+        db = GethDatabase(DBConfig.cache_trace_config())
+        db.write_now(trie_key(5), b"node")
+        db.collector.clear()
+        db.read_uncached(trie_key(5))
+        assert db.collector.count == 1
+
+    def test_peek_is_never_traced(self):
+        db = GethDatabase(DBConfig.cache_trace_config())
+        db.write_now(trie_key(6), b"node")
+        db.collector.clear()
+        assert db.peek(trie_key(6)) == b"node"
+        assert db.peek(b"missing") is None
+        assert db.collector.count == 0
+
+    def test_peek_sees_pending_batch(self):
+        db = GethDatabase(DBConfig.bare_trace_config())
+        db.write(trie_key(7), b"staged")
+        assert db.peek(trie_key(7)) == b"staged"
+
+
+class TestWritePath:
+    def test_writes_are_batched_until_commit(self):
+        db = GethDatabase(DBConfig.bare_trace_config())
+        db.write(b"k", b"v")
+        assert db.collector.count == 0
+        assert not db.has(b"k")
+        db.commit_batch()
+        assert db.has(b"k")
+        assert db.collector.count == 1
+
+    def test_batch_commit_preserves_staging_order(self):
+        db = GethDatabase(DBConfig.bare_trace_config())
+        db.write(schema.LAST_HEADER_KEY, b"h")
+        db.write(schema.LAST_FAST_KEY, b"f")
+        db.write(schema.LAST_BLOCK_KEY, b"b")
+        db.commit_batch()
+        keys = [r.key for r in db.collector.records]
+        assert keys == [b"LastHeader", b"LastFast", b"LastBlock"]
+
+    def test_delete_invalidates_cache(self):
+        db = GethDatabase(DBConfig.cache_trace_config())
+        db.write_now(trie_key(8), b"node")
+        db.delete(trie_key(8))
+        db.commit_batch()
+        db.collector.clear()
+        assert db.read(trie_key(8)) is None
+        assert db.collector.count == 1  # miss went to the store
+
+    def test_write_now_is_immediate(self):
+        db = GethDatabase(DBConfig.bare_trace_config())
+        db.write_now(b"k", b"v")
+        assert db.has(b"k")
+        assert db.collector.records[0].op is OpType.WRITE
+
+    def test_update_classification_at_commit_time(self):
+        db = GethDatabase(DBConfig.bare_trace_config())
+        db.write(b"k", b"v1")
+        db.commit_batch()
+        db.write(b"k", b"v2")
+        db.commit_batch()
+        ops = [r.op for r in db.collector.records]
+        assert ops == [OpType.WRITE, OpType.UPDATE]
+
+
+class TestBlockStamping:
+    def test_begin_block_stamps_records(self):
+        db = GethDatabase(DBConfig.bare_trace_config())
+        db.begin_block(42)
+        db.write_now(b"k", b"v")
+        assert db.collector.records[0].block == 42
+
+
+class TestScans:
+    def test_scan_prefix_traced_once(self):
+        db = GethDatabase(DBConfig.bare_trace_config())
+        db.write_now(schema.snapshot_account_key(b"\x01" * 32), b"a")
+        db.write_now(schema.snapshot_account_key(b"\x02" * 32), b"b")
+        db.collector.clear()
+        results = list(db.scan_prefix(b"a"))
+        assert len(results) == 2
+        scans = [r for r in db.collector.records if r.op is OpType.SCAN]
+        assert len(scans) == 1

@@ -1,0 +1,47 @@
+"""Exception hierarchy tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is errors.ReproError:
+                    continue
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_subsystem_groupings(self):
+        assert issubclass(errors.RLPDecodingError, errors.RLPError)
+        assert issubclass(errors.RLPEncodingError, errors.RLPError)
+        assert issubclass(errors.KeyNotFoundError, errors.KVStoreError)
+        assert issubclass(errors.MissingTrieNodeError, errors.TrieError)
+        assert issubclass(errors.InvalidBlockError, errors.ChainError)
+        assert issubclass(errors.FreezerError, errors.GethDBError)
+        assert issubclass(errors.SnapshotError, errors.GethDBError)
+        assert issubclass(errors.TraceFormatError, errors.TraceError)
+
+    def test_key_not_found_is_also_keyerror(self):
+        # Callers using dict idioms (except KeyError) keep working.
+        assert issubclass(errors.KeyNotFoundError, KeyError)
+
+    def test_key_not_found_message(self):
+        error = errors.KeyNotFoundError(b"\xde\xad")
+        assert "dead" in str(error)
+        assert error.key == b"\xde\xad"
+
+    def test_missing_trie_node_message(self):
+        error = errors.MissingTrieNodeError(b"\x01" * 4, path="0a0b")
+        assert "01010101" in str(error)
+        assert "0a0b" in str(error)
+
+    def test_catch_all_boundary(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.WorkloadError("bad config")
+        with pytest.raises(errors.ReproError):
+            raise errors.HybridStoreError("bad routing")

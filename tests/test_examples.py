@@ -1,0 +1,74 @@
+"""Smoke tests for the runnable examples.
+
+Each example is executed as a subprocess with its smallest sensible
+arguments; the assertion is that it exits cleanly and prints its
+headline output.  These guard the user-facing entry points against
+API drift.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    process = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert process.returncode == 0, process.stderr[-2000:]
+    return process.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "findings reproduced" in out
+
+    def test_trace_tools(self, tmp_path):
+        out = run_example("trace_tools.py", "--outdir", str(tmp_path))
+        assert "Busiest blocks" in out
+        assert (tmp_path / "cache_trace.bin").exists()
+
+    def test_scenario_comparison(self):
+        out = run_example("scenario_comparison.py", "--blocks", "30")
+        assert "Share of all KV operations" in out
+        assert "defi" in out
+
+    def test_snap_sync_demo(self):
+        out = run_example("snap_sync_demo.py", "--blocks", "30")
+        assert "state root verified: True" in out
+        assert "snap sync" in out
+
+    def test_restart_recovery(self):
+        out = run_example("restart_recovery.py")
+        assert "clean shutdown detected: True" in out
+        assert "snapshot REGENERATED" in out
+
+    def test_hybrid_ablation(self):
+        out = run_example("hybrid_ablation.py", "--blocks", "30")
+        assert "write amplification" in out
+
+    def test_correlation_cache_demo(self):
+        out = run_example("correlation_cache_demo.py", "--blocks", "30")
+        assert "correlation-aware" in out
+
+    def test_figures(self):
+        out = run_example("figures.py", "--blocks", "30")
+        assert "Figure 2" in out and "Figure 7" in out
+
+    def test_full_pipeline(self):
+        out = run_example(
+            "full_pipeline.py", "--blocks", "40", "--warmup", "20", "--accounts", "1500"
+        )
+        assert "Table I" in out
+        assert "Findings 1-11" in out

@@ -1,0 +1,101 @@
+"""CSV/JSON exporter tests."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+from repro.core.correlation import CorrelationAnalyzer, CorrelationConfig
+from repro.core.export import (
+    correlation_to_csv,
+    findings_from_json,
+    findings_to_json,
+    opdist_to_csv,
+    sizes_to_csv,
+)
+from repro.core.findings import Finding, FindingsReport
+from repro.core.opdist import OpDistAnalyzer
+from repro.core.sizes import SizeAnalyzer
+from repro.core.trace import OpType, TraceRecord
+
+
+def _read_csv(path):
+    with open(path, newline="") as stream:
+        return list(csv.DictReader(stream))
+
+
+class TestSizesCsv:
+    def test_rows_and_fields(self, tmp_path):
+        analyzer = SizeAnalyzer()
+        analyzer.add_pair(b"A\x01", 98)
+        analyzer.add_pair(b"c" + b"\x01" * 32, 7000)
+        path = tmp_path / "sizes.csv"
+        sizes_to_csv(analyzer, path)
+        rows = _read_csv(path)
+        assert {row["class"] for row in rows} == {"TrieNodeAccount", "Code"}
+        code_row = next(r for r in rows if r["class"] == "Code")
+        assert float(code_row["value_size_mean"]) == 7000.0
+        assert int(code_row["kv_size_max"]) == 7033
+
+
+class TestOpdistCsv:
+    def test_counts_and_percentages(self, tmp_path):
+        records = [
+            TraceRecord(OpType.WRITE, b"l" + b"\x01" * 32, 4, 1),
+            TraceRecord(OpType.DELETE, b"l" + b"\x01" * 32, 0, 2),
+        ]
+        path = tmp_path / "ops.csv"
+        opdist_to_csv(OpDistAnalyzer().consume(records), path)
+        rows = _read_csv(path)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["class"] == "TxLookup"
+        assert int(row["writes"]) == 1 and int(row["deletes"]) == 1
+        assert float(row["write_pct"]) == 50.0
+
+
+class TestCorrelationCsv:
+    def test_rows_per_distance_and_pair(self, tmp_path):
+        records = [
+            TraceRecord(OpType.READ, b"A\x01", 1, 0),
+            TraceRecord(OpType.READ, b"A\x02", 1, 0),
+        ] * 3
+        analyzer = CorrelationAnalyzer(CorrelationConfig(distances=(0, 1)))
+        analyzer.consume(records)
+        path = tmp_path / "corr.csv"
+        correlation_to_csv(analyzer.compute(), path)
+        rows = _read_csv(path)
+        assert rows
+        for row in rows:
+            assert row["distance"] in ("0", "1")
+            assert int(row["count"]) >= 2
+
+
+class TestFindingsJson:
+    def test_roundtrip(self, tmp_path):
+        report = FindingsReport(
+            [
+                Finding(
+                    number=1,
+                    title="Test finding",
+                    passed=True,
+                    metrics={"x": 1.5},
+                    paper_values={"x": 2.0},
+                    notes="note",
+                )
+            ]
+        )
+        path = tmp_path / "findings.json"
+        findings_to_json(report, path)
+        loaded = findings_from_json(path)
+        assert loaded[0]["number"] == 1
+        assert loaded[0]["passed"] is True
+        assert loaded[0]["metrics"]["x"] == 1.5
+
+    def test_json_is_valid(self, tmp_path):
+        report = FindingsReport([Finding(number=2, title="t", passed=False)])
+        path = tmp_path / "f.json"
+        findings_to_json(report, path)
+        with open(path) as stream:
+            payload = json.load(stream)
+        assert payload[0]["passed"] is False

@@ -1,0 +1,127 @@
+"""Findings engine integration tests over the session trace pair."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classes import KVClass
+from repro.core.findings import Finding, FindingsReport, evaluate_findings
+from repro.core.trace import OpType
+
+
+@pytest.fixture(scope="module")
+def report(cache_analysis, bare_analysis):
+    return evaluate_findings(cache_analysis, bare_analysis)
+
+
+class TestReportStructure:
+    def test_eleven_findings(self, report):
+        assert len(report.findings) == 11
+        assert [f.number for f in report.findings] == list(range(1, 12))
+
+    def test_lookup_by_number(self, report):
+        assert report.finding(5).number == 5
+        with pytest.raises(KeyError):
+            report.finding(99)
+
+    def test_render_contains_all(self, report):
+        rendered = report.render()
+        for number in range(1, 12):
+            assert f"Finding {number:2d}" in rendered
+
+    def test_summary_line_format(self):
+        finding = Finding(number=3, title="Test", passed=True)
+        assert "Finding  3 [PASS] Test" == finding.summary_line()
+
+    def test_all_passed_property(self, report):
+        assert report.all_passed == all(f.passed for f in report)
+
+
+class TestIndividualFindings:
+    """Each finding's qualitative claim holds on the synthetic traces."""
+
+    def test_finding1_dominance(self, report):
+        finding = report.finding(1)
+        assert finding.passed, finding.metrics
+        assert finding.metrics["dominant_share_pct"] > 90
+
+    def test_finding2_size_variation(self, report):
+        finding = report.finding(2)
+        assert finding.passed, finding.metrics
+        assert finding.metrics["code_mean_bytes"] > finding.metrics["dominant_mean_bytes"]
+
+    def test_finding3_rarely_read(self, report):
+        finding = report.finding(3)
+        assert finding.passed, finding.metrics
+        assert finding.metrics["cache_ts_read_once_pct"] > 25
+
+    def test_finding4_scans_rare(self, report):
+        finding = report.finding(4)
+        assert finding.passed, finding.metrics
+        assert finding.metrics["scanned_classes"] <= 3
+
+    def test_finding5_deletions(self, report):
+        finding = report.finding(5)
+        assert finding.passed, finding.metrics
+        assert 30 < finding.metrics["txlookup_delete_pct"] < 60
+
+    def test_finding6_medium_frequency(self, report):
+        finding = report.finding(6)
+        assert finding.passed, finding.metrics
+
+    def test_finding7_snapshot_tradeoff(self, report):
+        finding = report.finding(7)
+        assert finding.passed, finding.metrics
+        assert finding.metrics["trie_read_reduction_pct"] > 30
+
+    def test_finding8_read_clustering(self, report):
+        finding = report.finding(8)
+        assert finding.passed, finding.metrics
+        assert finding.metrics["bare_top_intra_d0"] > finding.metrics["bare_top_cross_d0"]
+
+    def test_finding9_read_skew(self, report):
+        finding = report.finding(9)
+        assert finding.passed, finding.metrics
+
+    def test_finding10_update_clustering(self, report):
+        finding = report.finding(10)
+        assert finding.passed, finding.metrics
+        assert finding.metrics["head_pointer_pair_in_top3"] == 1.0
+
+    def test_finding11_update_frequency(self, report):
+        finding = report.finding(11)
+        assert finding.passed, finding.metrics
+
+
+class TestCrossTraceShape:
+    """Direct shape assertions the findings rely on."""
+
+    def test_cache_trace_smaller_than_bare(self, cache_analysis, bare_analysis):
+        assert cache_analysis.num_records < bare_analysis.num_records
+
+    def test_blockheader_scans_both_traces(self, cache_analysis, bare_analysis):
+        for analysis in (cache_analysis, bare_analysis):
+            dist = analysis.opdist.distribution(KVClass.BLOCK_HEADER)
+            assert 1.0 < dist.pct(OpType.SCAN) < 15.0
+
+    def test_code_read_dominated(self, cache_analysis, bare_analysis):
+        for analysis in (cache_analysis, bare_analysis):
+            dist = analysis.opdist.distribution(KVClass.CODE)
+            assert dist.pct(OpType.READ) > 70
+
+    def test_code_reads_not_absorbed_by_cache(self, cache_analysis, bare_analysis):
+        cache_reads = cache_analysis.opdist.distribution(KVClass.CODE).reads
+        bare_reads = bare_analysis.opdist.distribution(KVClass.CODE).reads
+        assert cache_reads == pytest.approx(bare_reads, rel=0.1)
+
+    def test_world_state_read_ratios_below_population(self, cache_analysis):
+        for kv_class in (KVClass.TRIE_NODE_ACCOUNT, KVClass.TRIE_NODE_STORAGE):
+            assert cache_analysis.read_ratio(kv_class) < 80.0
+
+    def test_update_correlation_head_pointer_count_equals_blocks(self, cache_analysis):
+        from repro.core.correlation import class_pair
+
+        results = cache_analysis.correlation(OpType.UPDATE)
+        pair = class_pair(KVClass.LAST_HEADER, KVClass.LAST_FAST)
+        # One LH-LF adjacency per block (80 measured blocks).
+        assert results[0].class_pair_counts.get(pair, 0) == 80

@@ -1,0 +1,93 @@
+"""Freezer (ancient store) tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classes import KVClass, classify_key
+from repro.core.trace import OpType
+from repro.errors import FreezerError
+from repro.gethdb import schema
+from repro.gethdb.database import DBConfig, GethDatabase
+from repro.gethdb.freezer import Freezer
+
+
+def write_block(db: GethDatabase, number: int) -> bytes:
+    block_hash = bytes([number % 256]) * 32
+    db.write_now(schema.header_key(number, block_hash), b"header%d" % number)
+    db.write_now(schema.header_td_key(number, block_hash), b"td")
+    db.write_now(schema.canonical_hash_key(number), block_hash)
+    db.write_now(schema.body_key(number, block_hash), b"body%d" % number)
+    db.write_now(schema.receipts_key(number, block_hash), b"receipts%d" % number)
+    return block_hash
+
+
+class TestFreezer:
+    def test_nothing_frozen_below_threshold(self):
+        db = GethDatabase(DBConfig.bare_trace_config())
+        freezer = Freezer(db, threshold=16)
+        for number in range(10):
+            write_block(db, number)
+        assert freezer.maybe_freeze(head_number=10) == 0
+        assert freezer.frozen_blocks == 0
+
+    def test_migration_moves_and_deletes(self):
+        db = GethDatabase(DBConfig.bare_trace_config())
+        freezer = Freezer(db, threshold=4, batch_blocks=100)
+        hashes = {n: write_block(db, n) for n in range(12)}
+        migrated = freezer.maybe_freeze(head_number=12)
+        db.commit_batch()
+        assert migrated == 8  # blocks 0..7 fall past the threshold
+        for number in range(8):
+            assert freezer.ancient_header(number) == b"header%d" % number
+            assert freezer.ancient_body(number) == b"body%d" % number
+            assert freezer.ancient_receipts(number) == b"receipts%d" % number
+            assert not db.has(schema.header_key(number, hashes[number]))
+            assert not db.has(schema.body_key(number, hashes[number]))
+            assert not db.has(schema.receipts_key(number, hashes[number]))
+        for number in range(8, 12):
+            assert db.has(schema.header_key(number, hashes[number]))
+
+    def test_batch_limit_respected(self):
+        db = GethDatabase(DBConfig.bare_trace_config())
+        freezer = Freezer(db, threshold=2, batch_blocks=3)
+        for number in range(20):
+            write_block(db, number)
+        assert freezer.maybe_freeze(head_number=20) == 3
+        assert freezer.maybe_freeze(head_number=20) == 3
+        assert freezer.frozen_until == 6
+
+    def test_emits_scan_and_deletes(self):
+        db = GethDatabase(DBConfig.bare_trace_config())
+        freezer = Freezer(db, threshold=1, batch_blocks=1)
+        write_block(db, 0)
+        db.collector.clear()
+        freezer.maybe_freeze(head_number=2)
+        db.commit_batch()
+        records = db.collector.records
+        scans = [r for r in records if r.op is OpType.SCAN]
+        deletes = [r for r in records if r.op is OpType.DELETE]
+        assert len(scans) == 1
+        assert classify_key(scans[0].key) is KVClass.BLOCK_HEADER
+        # 3 header-class keys + body + receipts
+        assert len(deletes) == 5
+
+    def test_skips_missing_blocks(self):
+        db = GethDatabase(DBConfig.bare_trace_config())
+        freezer = Freezer(db, threshold=1, batch_blocks=10)
+        # No block data written at all.
+        assert freezer.maybe_freeze(head_number=5) == 4
+        assert freezer.frozen_blocks == 0  # nothing to move, no crash
+
+    def test_invalid_threshold(self):
+        db = GethDatabase(DBConfig.bare_trace_config())
+        with pytest.raises(FreezerError):
+            Freezer(db, threshold=0)
+
+    def test_idempotent_when_caught_up(self):
+        db = GethDatabase(DBConfig.bare_trace_config())
+        freezer = Freezer(db, threshold=2, batch_blocks=10)
+        for number in range(6):
+            write_block(db, number)
+        freezer.maybe_freeze(head_number=6)
+        assert freezer.maybe_freeze(head_number=6) == 0

@@ -1,0 +1,129 @@
+"""Hash-indexed append-only log store tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import KeyNotFoundError
+from repro.kvstore.hashlog import HashLogStore
+
+
+class TestHashLogStore:
+    def test_roundtrip(self):
+        store = HashLogStore()
+        store.put(b"k", b"v")
+        assert store.get(b"k") == b"v"
+        assert store.has(b"k")
+        assert len(store) == 1
+
+    def test_missing_raises(self):
+        with pytest.raises(KeyNotFoundError):
+            HashLogStore().get(b"missing")
+
+    def test_delete_is_immediate_no_tombstone(self):
+        store = HashLogStore()
+        store.put(b"k", b"v")
+        store.delete(b"k")
+        assert not store.has(b"k")
+        # No tombstones ever written: that's the whole point.
+        assert store.metrics.tombstones_written == 0
+
+    def test_delete_missing_is_noop(self):
+        store = HashLogStore()
+        store.delete(b"never")
+        assert store.metrics.user_deletes == 1
+
+    def test_overwrite_marks_old_record_dead(self):
+        store = HashLogStore(segment_bytes=10**9)  # never GC
+        store.put(b"k", b"v" * 50)
+        store.put(b"k", b"w" * 10)
+        assert store.get(b"k") == b"w" * 10
+        assert store.dead_bytes > 0
+
+    def test_gc_reclaims_dead_segments(self):
+        store = HashLogStore(segment_bytes=1024, gc_dead_ratio=0.4)
+        keys = [b"key%03d" % i for i in range(200)]
+        for key in keys:
+            store.put(key, b"v" * 20)
+        before = store.log_bytes
+        for key in keys[:150]:
+            store.delete(key)
+        assert store.metrics.gc_bytes_read > 0
+        assert store.log_bytes < before
+        for key in keys[150:]:
+            assert store.get(key) == b"v" * 20
+
+    def test_gc_rewrites_live_records_intact(self):
+        store = HashLogStore(segment_bytes=512, gc_dead_ratio=0.3)
+        for i in range(100):
+            store.put(b"key%03d" % i, b"value%03d" % i)
+        for i in range(0, 100, 2):
+            store.delete(b"key%03d" % i)
+        for i in range(1, 100, 2):
+            assert store.get(b"key%03d" % i) == b"value%03d" % i
+
+    def test_scan_is_sorted(self):
+        store = HashLogStore()
+        for byte in (9, 2, 7, 4):
+            store.put(bytes([byte]), b"v")
+        keys = [k for k, _ in store.scan(b"")]
+        assert keys == sorted(keys)
+
+    def test_scan_range(self):
+        store = HashLogStore()
+        for byte in range(10):
+            store.put(bytes([byte]), bytes([byte]))
+        got = [k[0] for k, _ in store.scan(bytes([2]), bytes([6]))]
+        assert got == [2, 3, 4, 5]
+
+    def test_write_amplification_no_deletes_is_log_only(self):
+        store = HashLogStore(segment_bytes=10**9)
+        for i in range(100):
+            store.put(b"key%03d" % i, b"v" * 50)
+        # Only log framing overhead; no compaction rewrites.
+        assert store.metrics.gc_bytes_written == 0
+        assert store.metrics.write_amplification < 1.5
+
+    def test_dict_equivalence_randomized(self):
+        rng = random.Random(5)
+        store = HashLogStore(segment_bytes=2048, gc_dead_ratio=0.5)
+        model = {}
+        for step in range(2500):
+            key = b"key%03d" % rng.randrange(300)
+            if rng.random() < 0.6:
+                value = b"val%d" % step
+                store.put(key, value)
+                model[key] = value
+            else:
+                store.delete(key)
+                model.pop(key, None)
+        assert dict(store.scan(b"")) == model
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.booleans(),
+            st.integers(min_value=0, max_value=30),
+            st.binary(min_size=1, max_size=24),
+        ),
+        max_size=120,
+    )
+)
+def test_hashlog_matches_dict_property(ops):
+    store = HashLogStore(segment_bytes=512, gc_dead_ratio=0.4)
+    model = {}
+    for is_put, key_index, value in ops:
+        key = b"key%02d" % key_index
+        if is_put:
+            store.put(key, value)
+            model[key] = value
+        else:
+            store.delete(key)
+            model.pop(key, None)
+    assert dict(store.scan(b"")) == model
+    assert len(store) == len(model)

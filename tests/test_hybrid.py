@@ -1,0 +1,270 @@
+"""Hybrid KV store tests: routing, interface equivalence, I/O accounting."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.classes import KVClass
+from repro.errors import KeyNotFoundError
+from repro.hybrid import (
+    DEFAULT_ROUTING,
+    HybridKVStore,
+    LogThenHashStore,
+    Route,
+    route_for_class,
+)
+from repro.kvstore.lsm import LSMConfig, LSMStore
+
+
+class TestRouting:
+    def test_scan_classes_go_ordered(self):
+        for kv_class in (
+            KVClass.SNAPSHOT_ACCOUNT,
+            KVClass.SNAPSHOT_STORAGE,
+            KVClass.BLOCK_HEADER,
+        ):
+            assert route_for_class(kv_class) is Route.ORDERED
+
+    def test_delete_heavy_classes_go_hash_log(self):
+        assert route_for_class(KVClass.TX_LOOKUP) is Route.HASH_LOG
+        assert route_for_class(KVClass.BLOCK_BODY) is Route.HASH_LOG
+
+    def test_world_state_goes_log_then_hash(self):
+        for kv_class in (
+            KVClass.TRIE_NODE_ACCOUNT,
+            KVClass.TRIE_NODE_STORAGE,
+            KVClass.CODE,
+        ):
+            assert route_for_class(kv_class) is Route.LOG_THEN_HASH
+
+    def test_unlisted_class_defaults(self):
+        assert route_for_class(KVClass.LAST_HEADER) is Route.DEFAULT
+        assert route_for_class(KVClass.UNKNOWN) is Route.DEFAULT
+
+
+class TestLogThenHashStore:
+    def test_roundtrip(self):
+        store = LogThenHashStore()
+        store.put(b"k", b"v")
+        assert store.get(b"k") == b"v"
+        assert store.has(b"k")
+
+    def test_missing_raises(self):
+        with pytest.raises(KeyNotFoundError):
+            LogThenHashStore().get(b"missing")
+
+    def test_promotion_on_first_read(self):
+        store = LogThenHashStore()
+        for i in range(10):
+            store.put(b"key%d" % i, b"v%d" % i)
+        assert store.promotions == 0
+        store.get(b"key3")
+        assert store.promotions == 1
+        assert store.promoted_fraction == pytest.approx(0.1)
+
+    def test_unread_keys_never_promoted(self):
+        store = LogThenHashStore()
+        for i in range(100):
+            store.put(b"key%d" % i, b"v")
+        assert store.promoted_fraction == 0.0
+
+    def test_promoted_copy_tracks_updates(self):
+        store = LogThenHashStore()
+        store.put(b"k", b"v1")
+        store.get(b"k")  # promote
+        store.put(b"k", b"v2")
+        assert store.get(b"k") == b"v2"
+
+    def test_delete_demotes(self):
+        store = LogThenHashStore()
+        store.put(b"k", b"v")
+        store.get(b"k")
+        store.delete(b"k")
+        assert not store.has(b"k")
+        with pytest.raises(KeyNotFoundError):
+            store.get(b"k")
+
+    def test_gc_preserves_live_records(self):
+        store = LogThenHashStore(segment_bytes=512, gc_dead_ratio=0.3)
+        for i in range(100):
+            store.put(b"key%03d" % i, b"value" * 4)
+        for i in range(0, 100, 2):
+            store.delete(b"key%03d" % i)
+        for i in range(1, 100, 2):
+            assert store.get(b"key%03d" % i) == b"value" * 4
+
+    def test_no_tombstones_ever(self):
+        store = LogThenHashStore()
+        store.put(b"k", b"v")
+        store.delete(b"k")
+        assert store.metrics.tombstones_written == 0
+
+    def test_scan_sorted(self):
+        store = LogThenHashStore()
+        for byte in (8, 1, 5):
+            store.put(bytes([byte]), b"v")
+        keys = [k for k, _ in store.scan(b"")]
+        assert keys == sorted(keys)
+
+
+def _sample_keys():
+    """Keys spanning all four routes."""
+    return {
+        "ordered": b"a" + b"\x01" * 32,  # SnapshotAccount
+        "hash_log": b"l" + b"\x02" * 32,  # TxLookup
+        "log_then_hash": b"A\x03\x04",  # TrieNodeAccount
+        "default": b"LastHeader",  # singleton
+    }
+
+
+class TestHybridStore:
+    def test_operations_route_to_expected_substores(self):
+        store = HybridKVStore()
+        keys = _sample_keys()
+        for key in keys.values():
+            store.put(key, b"v:" + key[:1])
+        assert store.ordered.has(keys["ordered"])
+        assert store.hash_log.has(keys["hash_log"])
+        assert store.log_then_hash.has(keys["log_then_hash"])
+        assert store.default.has(keys["default"])
+
+    def test_interface_roundtrip_all_routes(self):
+        store = HybridKVStore()
+        for key in _sample_keys().values():
+            store.put(key, b"value-" + key[:2])
+            assert store.get(key) == b"value-" + key[:2]
+            store.delete(key)
+            assert not store.has(key)
+
+    def test_scan_merges_all_substores_in_order(self):
+        store = HybridKVStore()
+        keys = sorted(_sample_keys().values())
+        for key in keys:
+            store.put(key, b"v")
+        got = [k for k, _ in store.scan(b"")]
+        assert got == keys
+
+    def test_len_sums_substores(self):
+        store = HybridKVStore()
+        for key in _sample_keys().values():
+            store.put(key, b"v")
+        assert len(store) == 4
+
+    def test_combined_metrics(self):
+        store = HybridKVStore()
+        for key in _sample_keys().values():
+            store.put(key, b"v")
+        metrics = store.combined_metrics()
+        assert metrics.user_puts == 4
+
+    def test_per_route_metrics(self):
+        store = HybridKVStore()
+        store.put(b"l" + b"\x01" * 32, b"v")
+        per_route = store.per_route_metrics()
+        assert per_route[Route.HASH_LOG].user_puts == 1
+        assert per_route[Route.ORDERED].user_puts == 0
+
+    def test_btree_ordered_structure(self):
+        store = HybridKVStore(ordered_structure="btree")
+        from repro.kvstore.btree import BPlusTreeStore
+
+        assert isinstance(store.ordered, BPlusTreeStore)
+        key = b"a" + b"\x01" * 32  # SnapshotAccount -> ordered route
+        store.put(key, b"acct")
+        assert store.get(key) == b"acct"
+        assert [k for k, _ in store.scan(key[:1])] == [key]
+
+    def test_btree_variant_matches_lsm_variant(self):
+        rng = random.Random(21)
+        lsm_variant = HybridKVStore(ordered_structure="lsm")
+        btree_variant = HybridKVStore(ordered_structure="btree")
+        keys = [b"a" + bytes([i]) * 32 for i in range(40)]
+        keys += [b"h" + bytes(8) + bytes([i]) * 32 for i in range(20)]
+        for step in range(800):
+            key = rng.choice(keys)
+            if rng.random() < 0.7:
+                value = b"v%d" % step
+                lsm_variant.put(key, value)
+                btree_variant.put(key, value)
+            else:
+                lsm_variant.delete(key)
+                btree_variant.delete(key)
+        assert dict(lsm_variant.scan(b"")) == dict(btree_variant.scan(b""))
+
+    def test_invalid_ordered_structure(self):
+        with pytest.raises(ValueError):
+            HybridKVStore(ordered_structure="skiplist")
+
+    def test_custom_routing(self):
+        routing = dict(DEFAULT_ROUTING)
+        routing[KVClass.TX_LOOKUP] = Route.ORDERED
+        store = HybridKVStore(routing=routing)
+        store.put(b"l" + b"\x01" * 32, b"v")
+        assert store.ordered.has(b"l" + b"\x01" * 32)
+
+    def test_tombstone_avoidance_vs_lsm(self):
+        """Delete-heavy TxLookup traffic: hybrid writes no tombstones."""
+        lsm = LSMStore(LSMConfig(memtable_bytes=2048))
+        hybrid = HybridKVStore(
+            lsm_config=LSMConfig(memtable_bytes=2048)
+        )
+        keys = [b"l" + bytes([i % 256, i // 256]) + b"\x00" * 30 for i in range(400)]
+        for store in (lsm, hybrid):
+            for key in keys:
+                store.put(key, b"blocknum")
+            for key in keys[:300]:
+                store.delete(key)
+        assert lsm.metrics.tombstones_written == 300
+        assert hybrid.combined_metrics().tombstones_written == 0
+
+    def test_dict_equivalence_randomized(self):
+        rng = random.Random(12)
+        store = HybridKVStore()
+        model = {}
+        key_pool = list(_sample_keys().values()) + [
+            b"A" + bytes([i]) for i in range(20)
+        ] + [b"l" + bytes([i]) * 32 for i in range(20)]
+        for step in range(1500):
+            key = rng.choice(key_pool)
+            action = rng.random()
+            if action < 0.6:
+                value = b"v%d" % step
+                store.put(key, value)
+                model[key] = value
+            elif action < 0.85:
+                store.delete(key)
+                model.pop(key, None)
+            else:
+                got = store.get_or_none(key)
+                assert got == model.get(key)
+        assert dict(store.scan(b"")) == model
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.booleans(),
+            st.sampled_from(
+                [b"A\x01", b"l" + b"\x01" * 32, b"a" + b"\x02" * 32, b"LastFast", b"c" + b"\x03" * 32]
+            ),
+            st.binary(min_size=1, max_size=16),
+        ),
+        max_size=100,
+    )
+)
+def test_hybrid_matches_dict_property(ops):
+    store = HybridKVStore()
+    model = {}
+    for is_put, key, value in ops:
+        if is_put:
+            store.put(key, value)
+            model[key] = value
+        else:
+            store.delete(key)
+            model.pop(key, None)
+    assert dict(store.scan(b"")) == model
+    assert len(store) == len(model)

@@ -1,0 +1,146 @@
+"""TxIndexer and BloomBitsIndexer tests."""
+
+from __future__ import annotations
+
+from repro.chain.bloom import Bloom
+from repro.core.classes import KVClass, classify_key
+from repro.core.trace import OpType
+from repro.gethdb import schema
+from repro.gethdb.bloombits import BloomBitsIndexer
+from repro.gethdb.database import DBConfig, GethDatabase
+from repro.gethdb.txindexer import TxIndexer
+
+
+def make_db():
+    return GethDatabase(DBConfig.bare_trace_config())
+
+
+def tx_hashes(block: int, count: int):
+    return [bytes([block, i]) + b"\x00" * 30 for i in range(count)]
+
+
+class TestTxIndexer:
+    def test_index_block_writes_lookups(self):
+        db = make_db()
+        indexer = TxIndexer(db, lookup_limit=4)
+        hashes = tx_hashes(1, 3)
+        indexer.index_block(1, hashes)
+        db.commit_batch()
+        for tx_hash in hashes:
+            assert db.has(schema.tx_lookup_key(tx_hash))
+
+    def test_unindex_before_window_full_is_noop(self):
+        db = make_db()
+        indexer = TxIndexer(db, lookup_limit=10)
+        indexer.index_block(1, tx_hashes(1, 2))
+        assert indexer.unindex(head_number=5) == 0
+
+    def test_unindex_deletes_old_entries(self):
+        db = make_db()
+        indexer = TxIndexer(db, lookup_limit=3)
+        all_hashes = {}
+        for number in range(1, 8):
+            hashes = tx_hashes(number, 2)
+            all_hashes[number] = hashes
+            indexer.index_block(number, hashes)
+            indexer.unindex(number)
+            db.commit_batch()
+        # Window covers blocks 5..7; 1..4 unindexed.
+        for number in range(1, 5):
+            for tx_hash in all_hashes[number]:
+                assert not db.has(schema.tx_lookup_key(tx_hash))
+        for number in range(5, 8):
+            for tx_hash in all_hashes[number]:
+                assert db.has(schema.tx_lookup_key(tx_hash))
+        assert indexer.tail == 5
+
+    def test_unindex_updates_tail_record(self):
+        db = make_db()
+        indexer = TxIndexer(db, lookup_limit=2)
+        for number in range(1, 6):
+            indexer.index_block(number, tx_hashes(number, 1))
+            indexer.unindex(number)
+            db.commit_batch()
+        tail_value = db.store.inner.get(schema.TRANSACTION_INDEX_TAIL_KEY)
+        assert int.from_bytes(tail_value, "big") == indexer.tail
+
+    def test_write_delete_balance_at_steady_state(self):
+        db = make_db()
+        indexer = TxIndexer(db, lookup_limit=3)
+        for number in range(1, 30):
+            indexer.index_block(number, tx_hashes(number, 2))
+            indexer.unindex(number)
+            db.commit_batch()
+        records = [
+            r
+            for r in db.collector.records
+            if classify_key(r.key) is KVClass.TX_LOOKUP
+        ]
+        writes = sum(1 for r in records if r.op is OpType.WRITE)
+        deletes = sum(1 for r in records if r.op is OpType.DELETE)
+        # At steady state deletions track insertions (Finding 5: ~48/52).
+        assert deletes > 0
+        assert abs(writes - deletes) <= 2 * 3  # bounded by the window
+
+
+class TestBloomBitsIndexer:
+    def _bloom(self, seed: int) -> Bloom:
+        bloom = Bloom()
+        bloom.add(bytes([seed]) * 20)
+        return bloom
+
+    def test_section_completion_writes_rows(self):
+        db = make_db()
+        indexer = BloomBitsIndexer(db, section_size=4, tracked_bits=8)
+        for number in range(4):
+            indexer.add_block(number, bytes([number]) * 32, self._bloom(number))
+        db.commit_batch()
+        assert indexer.sections_done == 1
+        bloom_writes = [
+            r
+            for r in db.collector.records
+            if classify_key(r.key) is KVClass.BLOOM_BITS
+            and r.op in (OpType.WRITE, OpType.UPDATE)
+        ]
+        assert len(bloom_writes) == 8
+
+    def test_incomplete_section_writes_nothing(self):
+        db = make_db()
+        indexer = BloomBitsIndexer(db, section_size=10, tracked_bits=4)
+        for number in range(9):
+            indexer.add_block(number, bytes([number]) * 32, self._bloom(number))
+        assert indexer.sections_done == 0
+        assert db.pending_ops == 0
+
+    def test_progress_record(self):
+        db = make_db()
+        indexer = BloomBitsIndexer(db, section_size=2, tracked_bits=2)
+        for number in range(6):
+            indexer.add_block(number, bytes([number]) * 32, self._bloom(number))
+        db.commit_batch()
+        assert indexer.sections_done == 3
+        assert indexer.read_progress() == 3
+
+    def test_query_bit_roundtrip(self):
+        db = make_db()
+        indexer = BloomBitsIndexer(db, section_size=2, tracked_bits=2)
+        head = b"\xaa" * 32
+        bloom = Bloom()
+        bloom.add(b"element")
+        indexer.add_block(0, b"\x00" * 32, bloom)
+        indexer.add_block(1, head, bloom)
+        db.commit_batch()
+        row = indexer.query_bit(0, 0, head)
+        assert isinstance(row, bytes) and len(row) == 1
+
+    def test_bookkeeping_classified_as_bloom_bits_index(self):
+        db = make_db()
+        indexer = BloomBitsIndexer(db, section_size=1, tracked_bits=1)
+        indexer.add_block(0, b"\x01" * 32, self._bloom(1))
+        db.commit_batch()
+        index_records = [
+            r
+            for r in db.collector.records
+            if classify_key(r.key) is KVClass.BLOOM_BITS_INDEX
+        ]
+        assert index_records

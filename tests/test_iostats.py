@@ -1,0 +1,97 @@
+"""Byte-volume I/O analyzer tests."""
+
+from __future__ import annotations
+
+from repro.core.classes import KVClass
+from repro.core.iostats import IOStatsAnalyzer
+from repro.core.trace import OpType, TraceRecord
+
+TXL = b"l" + b"\x01" * 32  # 33-byte key
+BODY = b"b" + b"\x00" * 8 + b"\x02" * 32  # 41-byte key
+
+
+class TestAccounting:
+    def test_read_bytes_include_key_and_value(self):
+        analyzer = IOStatsAnalyzer().consume(
+            [TraceRecord(OpType.READ, BODY, 1000, 1)]
+        )
+        assert analyzer.stats_for(KVClass.BLOCK_BODY).bytes_read == 41 + 1000
+
+    def test_write_bytes(self):
+        analyzer = IOStatsAnalyzer().consume(
+            [
+                TraceRecord(OpType.WRITE, TXL, 4, 1),
+                TraceRecord(OpType.UPDATE, TXL, 4, 1),
+            ]
+        )
+        assert analyzer.stats_for(KVClass.TX_LOOKUP).bytes_written == 2 * (33 + 4)
+
+    def test_delete_moves_only_key(self):
+        analyzer = IOStatsAnalyzer().consume([TraceRecord(OpType.DELETE, TXL, 0, 1)])
+        stats = analyzer.stats_for(KVClass.TX_LOOKUP)
+        assert stats.bytes_deleted_keys == 33
+        assert stats.bytes_written == 0
+
+    def test_scan_bytes(self):
+        analyzer = IOStatsAnalyzer().consume([TraceRecord(OpType.SCAN, b"a", 500, 1)])
+        assert analyzer.stats_for(KVClass.SNAPSHOT_ACCOUNT).bytes_scanned == 1 + 500
+
+    def test_totals_and_shares(self):
+        analyzer = IOStatsAnalyzer().consume(
+            [
+                TraceRecord(OpType.READ, BODY, 959, 1),  # 1000 bytes
+                TraceRecord(OpType.WRITE, TXL, 967, 1),  # 1000 bytes
+            ]
+        )
+        assert analyzer.total_bytes() == 2000
+        assert analyzer.byte_share(KVClass.BLOCK_BODY) == 50.0
+        assert analyzer.total_bytes_read() == 1000
+        assert analyzer.total_bytes_written() == 1000
+
+    def test_mean_bytes_per_op(self):
+        analyzer = IOStatsAnalyzer().consume(
+            [
+                TraceRecord(OpType.READ, TXL, 7, 1),
+                TraceRecord(OpType.READ, TXL, 27, 1),
+            ]
+        )
+        # (33+7 + 33+27) / 2 ops = 50 bytes per op
+        assert analyzer.stats_for(KVClass.TX_LOOKUP).mean_bytes_per_op == 50.0
+
+    def test_observed_ordering_by_bytes(self):
+        analyzer = IOStatsAnalyzer().consume(
+            [
+                TraceRecord(OpType.READ, TXL, 10, 1),
+                TraceRecord(OpType.READ, BODY, 100_000, 1),
+            ]
+        )
+        assert analyzer.observed_classes()[0] is KVClass.BLOCK_BODY
+
+    def test_render(self):
+        analyzer = IOStatsAnalyzer().consume([TraceRecord(OpType.READ, TXL, 10, 1)])
+        rendered = analyzer.render()
+        assert "TxLookup" in rendered and "MB moved" in rendered
+
+    def test_empty(self):
+        analyzer = IOStatsAnalyzer()
+        assert analyzer.total_bytes() == 0
+        assert analyzer.byte_share(KVClass.CODE) == 0.0
+
+
+class TestOnRealTrace:
+    def test_byte_view_reweights_classes(self, trace_pair):
+        """Per the paper's size findings: block data moves outsized bytes
+        relative to its op count, TxLookup the opposite."""
+        cache_result, _ = trace_pair
+        from repro.core.opdist import OpDistAnalyzer
+
+        iostats = IOStatsAnalyzer().consume(cache_result.records)
+        opdist = OpDistAnalyzer(track_keys=False).consume(cache_result.records)
+
+        body_ops = opdist.class_share(KVClass.BLOCK_BODY)
+        body_bytes = iostats.byte_share(KVClass.BLOCK_BODY)
+        assert body_bytes > 2 * body_ops
+
+        txl_ops = opdist.class_share(KVClass.TX_LOOKUP)
+        txl_bytes = iostats.byte_share(KVClass.TX_LOOKUP)
+        assert txl_bytes < txl_ops

@@ -1,0 +1,198 @@
+"""KV store interface, memdb, and batch tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import KeyNotFoundError, StoreClosedError
+from repro.kvstore.api import Batch, prefix_upper_bound
+from repro.kvstore.memdb import MemoryKVStore
+
+
+class TestMemoryKVStore:
+    def test_put_get(self):
+        store = MemoryKVStore()
+        store.put(b"k", b"v")
+        assert store.get(b"k") == b"v"
+
+    def test_get_missing_raises(self):
+        store = MemoryKVStore()
+        with pytest.raises(KeyNotFoundError):
+            store.get(b"missing")
+
+    def test_get_or_none(self):
+        store = MemoryKVStore()
+        assert store.get_or_none(b"x") is None
+        store.put(b"x", b"1")
+        assert store.get_or_none(b"x") == b"1"
+
+    def test_overwrite(self):
+        store = MemoryKVStore()
+        store.put(b"k", b"v1")
+        store.put(b"k", b"v2")
+        assert store.get(b"k") == b"v2"
+        assert len(store) == 1
+
+    def test_delete(self):
+        store = MemoryKVStore()
+        store.put(b"k", b"v")
+        store.delete(b"k")
+        assert not store.has(b"k")
+        assert len(store) == 0
+
+    def test_delete_missing_is_noop(self):
+        store = MemoryKVStore()
+        store.delete(b"never")  # no exception
+
+    def test_scan_ordering(self):
+        store = MemoryKVStore()
+        for byte in (5, 1, 9, 3):
+            store.put(bytes([byte]), b"v")
+        keys = [k for k, _ in store.scan(b"")]
+        assert keys == sorted(keys)
+
+    def test_scan_range_bounds(self):
+        store = MemoryKVStore()
+        for byte in range(10):
+            store.put(bytes([byte]), bytes([byte]))
+        got = [k[0] for k, _ in store.scan(bytes([3]), bytes([7]))]
+        assert got == [3, 4, 5, 6]
+
+    def test_scan_prefix(self):
+        store = MemoryKVStore()
+        store.put(b"aa1", b"1")
+        store.put(b"aa2", b"2")
+        store.put(b"ab1", b"3")
+        got = [k for k, _ in store.scan_prefix(b"aa")]
+        assert got == [b"aa1", b"aa2"]
+
+    def test_scan_sees_interleaved_deletes(self):
+        store = MemoryKVStore()
+        for byte in range(5):
+            store.put(bytes([byte]), b"v")
+        result = []
+        for key, _ in store.scan(b""):
+            result.append(key)
+            store.delete(bytes([3]))
+        assert bytes([3]) not in result or result.index(bytes([3])) < 3
+
+    def test_closed_store_raises(self):
+        store = MemoryKVStore()
+        store.close()
+        with pytest.raises(StoreClosedError):
+            store.put(b"k", b"v")
+
+    def test_keys_iteration(self):
+        store = MemoryKVStore()
+        store.put(b"b", b"2")
+        store.put(b"a", b"1")
+        assert list(store.keys()) == [b"a", b"b"]
+
+
+class TestPrefixUpperBound:
+    def test_simple(self):
+        assert prefix_upper_bound(b"abc") == b"abd"
+
+    def test_trailing_ff_carries(self):
+        assert prefix_upper_bound(b"a\xff") == b"b"
+
+    def test_all_ff_unbounded(self):
+        assert prefix_upper_bound(b"\xff\xff") is None
+
+    def test_empty_prefix_unbounded(self):
+        assert prefix_upper_bound(b"") is None
+
+    @given(st.binary(min_size=1, max_size=8), st.binary(max_size=8))
+    def test_bound_property(self, prefix, suffix):
+        upper = prefix_upper_bound(prefix)
+        key = prefix + suffix
+        if upper is not None:
+            assert prefix <= key < upper
+
+
+class TestBatch:
+    def test_commit_applies_all(self):
+        store = MemoryKVStore()
+        batch = Batch(store)
+        batch.put(b"a", b"1")
+        batch.put(b"b", b"2")
+        batch.delete(b"c")
+        store.put(b"c", b"3")
+        batch.commit()
+        assert store.get(b"a") == b"1"
+        assert store.get(b"b") == b"2"
+        assert not store.has(b"c")
+
+    def test_nothing_applied_before_commit(self):
+        store = MemoryKVStore()
+        batch = Batch(store)
+        batch.put(b"a", b"1")
+        assert not store.has(b"a")
+
+    def test_last_write_wins_within_batch(self):
+        store = MemoryKVStore()
+        batch = Batch(store)
+        batch.put(b"k", b"old")
+        batch.delete(b"k")
+        batch.commit()
+        assert not store.has(b"k")
+        assert len(batch) == 0  # commit resets
+
+    def test_put_after_delete_within_batch(self):
+        store = MemoryKVStore()
+        batch = Batch(store)
+        batch.delete(b"k")
+        batch.put(b"k", b"new")
+        batch.commit()
+        assert store.get(b"k") == b"new"
+
+    def test_reset_discards(self):
+        store = MemoryKVStore()
+        batch = Batch(store)
+        batch.put(b"a", b"1")
+        batch.reset()
+        batch.commit()
+        assert not store.has(b"a")
+
+    def test_size_bytes(self):
+        batch = Batch(MemoryKVStore())
+        batch.put(b"ab", b"cdef")
+        batch.delete(b"gh")
+        assert batch.size_bytes == 2 + 4 + 2
+
+    def test_write_batch_factory(self):
+        store = MemoryKVStore()
+        batch = store.write_batch()
+        batch.put(b"z", b"9")
+        batch.commit()
+        assert store.get(b"z") == b"9"
+
+
+class TestDictEquivalence:
+    """MemoryKVStore behaves like a plain dict under random ops."""
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["put", "delete", "get"]),
+                st.binary(min_size=1, max_size=4),
+                st.binary(max_size=8),
+            ),
+            max_size=200,
+        )
+    )
+    def test_random_ops(self, ops):
+        store = MemoryKVStore()
+        model: dict[bytes, bytes] = {}
+        for action, key, value in ops:
+            if action == "put":
+                store.put(key, value)
+                model[key] = value
+            elif action == "delete":
+                store.delete(key)
+                model.pop(key, None)
+            else:
+                assert store.get_or_none(key) == model.get(key)
+        assert dict(store.scan(b"")) == model
+        assert len(store) == len(model)

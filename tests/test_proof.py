@@ -1,0 +1,157 @@
+"""Merkle proof tests."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trie import NodeBackend, PathTrie, bytes_to_nibbles
+from repro.trie.proof import Proof, generate_proof, verify_proof
+from repro.trie.trie import EMPTY_ROOT
+
+
+class MemBackend(NodeBackend):
+    def __init__(self):
+        self.data = {}
+
+    def get(self, path):
+        return self.data.get(path)
+
+    def peek(self, path):
+        return self.data.get(path)
+
+    def put(self, path, blob):
+        self.data[path] = blob
+
+    def delete(self, path):
+        self.data.pop(path, None)
+
+
+def key_of(index: int):
+    return bytes_to_nibbles(hashlib.sha3_256(b"pk%d" % index).digest())
+
+
+@pytest.fixture()
+def populated():
+    trie = PathTrie(MemBackend())
+    for i in range(60):
+        trie.update(key_of(i), b"value%d" % i)
+    root = trie.commit()
+    return trie, root
+
+
+class TestInclusionProofs:
+    def test_every_key_provable(self, populated):
+        trie, root = populated
+        for i in range(60):
+            proof = generate_proof(trie, key_of(i))
+            assert proof.value == b"value%d" % i
+            assert verify_proof(root, proof)
+
+    def test_proof_depth_matches_traversal(self, populated):
+        trie, root = populated
+        proof = generate_proof(trie, key_of(0))
+        assert 1 <= proof.depth <= 8  # shallow trie: a few levels
+
+    def test_proof_is_self_contained(self, populated):
+        """Verification uses only the proof nodes, not the trie."""
+        trie, root = populated
+        proof = generate_proof(trie, key_of(5))
+        del trie  # gone; verify must still work
+        assert verify_proof(root, proof)
+
+
+class TestExclusionProofs:
+    def test_absent_key_proves_absence(self, populated):
+        trie, root = populated
+        proof = generate_proof(trie, key_of(10_000))
+        assert proof.value is None
+        assert verify_proof(root, proof)
+
+    def test_empty_trie_absence(self):
+        trie = PathTrie(MemBackend())
+        root = trie.commit()
+        proof = generate_proof(trie, key_of(1))
+        assert proof.nodes == ()
+        assert verify_proof(root, proof)
+        assert root == EMPTY_ROOT
+
+
+class TestForgeryResistance:
+    def test_wrong_root_rejected(self, populated):
+        trie, root = populated
+        proof = generate_proof(trie, key_of(3))
+        assert not verify_proof(b"\x00" * 32, proof)
+
+    def test_tampered_value_rejected(self, populated):
+        trie, root = populated
+        proof = generate_proof(trie, key_of(3))
+        forged = Proof(key=proof.key, nodes=proof.nodes, value=b"forged")
+        assert not verify_proof(root, forged)
+
+    def test_claiming_absence_of_present_key_rejected(self, populated):
+        trie, root = populated
+        proof = generate_proof(trie, key_of(3))
+        forged = Proof(key=proof.key, nodes=proof.nodes, value=None)
+        assert not verify_proof(root, forged)
+
+    def test_tampered_node_rejected(self, populated):
+        trie, root = populated
+        proof = generate_proof(trie, key_of(3))
+        tampered_nodes = list(proof.nodes)
+        tampered_nodes[-1] = tampered_nodes[-1] + b"\x00"
+        forged = Proof(key=proof.key, nodes=tuple(tampered_nodes), value=proof.value)
+        assert not verify_proof(root, forged)
+
+    def test_truncated_proof_rejected(self, populated):
+        trie, root = populated
+        proof = generate_proof(trie, key_of(3))
+        if len(proof.nodes) > 1:
+            truncated = Proof(
+                key=proof.key, nodes=proof.nodes[:-1], value=proof.value
+            )
+            assert not verify_proof(root, truncated)
+
+    def test_garbage_nodes_rejected_not_crashing(self, populated):
+        trie, root = populated
+        forged = Proof(key=key_of(1), nodes=(b"\xde\xad\xbe\xef",), value=b"x")
+        assert not verify_proof(root, forged)
+
+    def test_proof_for_different_key_rejected(self, populated):
+        trie, root = populated
+        proof = generate_proof(trie, key_of(3))
+        other = Proof(key=key_of(4), nodes=proof.nodes, value=proof.value)
+        assert not verify_proof(root, other)
+
+
+class TestProofsAfterMutation:
+    def test_old_proof_fails_against_new_root(self, populated):
+        trie, root = populated
+        proof = generate_proof(trie, key_of(3))
+        trie.update(key_of(3), b"changed")
+        new_root = trie.commit()
+        assert not verify_proof(new_root, proof)
+        fresh = generate_proof(trie, key_of(3))
+        assert fresh.value == b"changed"
+        assert verify_proof(new_root, fresh)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.dictionaries(
+        st.integers(min_value=0, max_value=40),
+        st.binary(min_size=1, max_size=20),
+        max_size=30,
+    ),
+    st.integers(min_value=0, max_value=60),
+)
+def test_proof_roundtrip_property(entries, probe):
+    trie = PathTrie(MemBackend())
+    for index, value in entries.items():
+        trie.update(key_of(index), value)
+    root = trie.commit()
+    proof = generate_proof(trie, key_of(probe))
+    assert proof.value == entries.get(probe)
+    assert verify_proof(root, proof)

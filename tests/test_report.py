@@ -1,0 +1,119 @@
+"""Report renderer tests (table/figure text output)."""
+
+from __future__ import annotations
+
+from repro.core.classes import KVClass
+from repro.core.correlation import class_pair
+from repro.core.opdist import OpDistAnalyzer
+from repro.core.report import (
+    render_correlation_distance_series,
+    render_correlation_frequency,
+    render_frequency_distribution,
+    render_op_table,
+    render_read_ratio_table,
+    render_size_distribution,
+    render_table1,
+)
+from repro.core.sizes import SizeAnalyzer
+from repro.core.trace import OpType, TraceRecord
+
+
+def _size_analyzer():
+    analyzer = SizeAnalyzer()
+    for i in range(5):
+        analyzer.add_pair(b"A" + bytes([i]), 100)
+    analyzer.add_pair(b"LastHeader", 32)
+    analyzer.add_pair(b"c" + b"\x01" * 32, 7000)
+    return analyzer
+
+
+def _opdist():
+    records = [
+        TraceRecord(OpType.WRITE, b"l" + b"\x01" * 32, 4, 1),
+        TraceRecord(OpType.DELETE, b"l" + b"\x01" * 32, 0, 2),
+        TraceRecord(OpType.READ, b"A\x01", 100, 1),
+        TraceRecord(OpType.READ, b"A\x01", 100, 2),
+        TraceRecord(OpType.SCAN, b"a", 500, 2),
+    ]
+    return OpDistAnalyzer().consume(records)
+
+
+class TestTable1:
+    def test_contains_class_rows(self):
+        rendered = render_table1(_size_analyzer())
+        assert "TrieNodeAccount" in rendered
+        assert "LastHeader" in rendered
+        assert "Code" in rendered
+
+    def test_singleton_percentage_dashed(self):
+        rendered = render_table1(_size_analyzer())
+        header_row = [l for l in rendered.splitlines() if l.startswith("LastHeader")][0]
+        assert " - " in header_row or header_row.rstrip().split()[2] == "-"
+
+    def test_total_in_header(self):
+        rendered = render_table1(_size_analyzer())
+        assert "7 KV pairs" in rendered
+
+
+class TestOpTable:
+    def test_structure(self):
+        rendered = render_op_table(_opdist(), "Table II analog")
+        assert "Table II analog" in rendered
+        assert "TxLookup" in rendered
+        assert "Writes" in rendered and "Deletes" in rendered
+
+    def test_zero_cells_dashed(self):
+        rendered = render_op_table(_opdist(), "t")
+        txl_row = [l for l in rendered.splitlines() if l.startswith("TxLookup")][0]
+        assert "-" in txl_row  # TxLookup has no reads/scans
+
+    def test_percentages_sum_sensibly(self):
+        rendered = render_op_table(_opdist(), "t")
+        txl_row = [l for l in rendered.splitlines() if l.startswith("TxLookup")][0]
+        assert "50" in txl_row  # 50% writes / 50% deletes
+
+
+class TestReadRatioTable:
+    def test_renders_both_columns(self, cache_analysis, bare_analysis):
+        rendered = render_read_ratio_table(
+            bare_analysis,
+            cache_analysis,
+            [KVClass.TRIE_NODE_ACCOUNT, KVClass.SNAPSHOT_ACCOUNT],
+        )
+        assert "BareTrace" in rendered and "CacheTrace" in rendered
+        assert "TrieNodeAccount" in rendered
+
+    def test_bare_snapshot_ratio_dashed(self, cache_analysis, bare_analysis):
+        rendered = render_read_ratio_table(
+            bare_analysis, cache_analysis, [KVClass.SNAPSHOT_ACCOUNT]
+        )
+        row = [l for l in rendered.splitlines() if l.startswith("SnapshotAccount")][0]
+        assert row.split()[1] == "-"  # class absent from BareTrace
+
+
+class TestFigureRenderers:
+    def test_size_distribution_panel(self):
+        rendered = render_size_distribution(_size_analyzer(), KVClass.TRIE_NODE_ACCOUNT)
+        assert "Figure 2 panel" in rendered
+        assert "size=" in rendered
+
+    def test_frequency_distribution_panel(self):
+        rendered = render_frequency_distribution(
+            _opdist(), KVClass.TRIE_NODE_ACCOUNT, OpType.READ
+        )
+        assert "freq=" in rendered and "keys=1" in rendered
+
+    def test_correlation_distance_series(self, cache_analysis):
+        results = cache_analysis.correlation(OpType.READ)
+        pairs = [(KVClass.TRIE_NODE_ACCOUNT, KVClass.TRIE_NODE_ACCOUNT)]
+        rendered = render_correlation_distance_series(results, pairs, "Figure 4 analog")
+        assert "TA-TA" in rendered
+        assert "d=0" in rendered
+
+    def test_correlation_frequency(self, cache_analysis):
+        results = cache_analysis.correlation(OpType.READ)
+        pairs = [(KVClass.TRIE_NODE_ACCOUNT, KVClass.TRIE_NODE_ACCOUNT)]
+        rendered = render_correlation_frequency(
+            results, pairs, [0, 1024], "Figure 5 analog"
+        )
+        assert "distance 0" in rendered and "distance 1024" in rendered

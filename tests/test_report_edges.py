@@ -1,0 +1,101 @@
+"""Edge-case tests for report rendering and size statistics."""
+
+from __future__ import annotations
+
+from repro.core.classes import KVClass
+from repro.core.opdist import OpDistAnalyzer
+from repro.core.report import (
+    _fmt_count,
+    _fmt_pct,
+    render_frequency_distribution,
+    render_op_table,
+    render_size_distribution,
+    render_table1,
+)
+from repro.core.sizes import SizeAnalyzer
+from repro.core.trace import OpType, TraceRecord
+
+
+class TestFormatters:
+    def test_count_units(self):
+        assert _fmt_count(1) == "1"
+        assert _fmt_count(999) == "999"
+        assert _fmt_count(1_500) == "1.5 K"
+        assert _fmt_count(2_500_000) == "2.5 M"
+
+    def test_pct_dash_for_zero(self):
+        assert _fmt_pct(0) == "-"
+
+    def test_pct_small_values(self):
+        assert _fmt_pct(0.002) == "0.002"
+        rendered = _fmt_pct(0.000001)
+        assert "1" in rendered and rendered != "-"
+
+
+class TestEmptyInputs:
+    def test_empty_table1(self):
+        rendered = render_table1(SizeAnalyzer())
+        assert "0 KV pairs" in rendered
+
+    def test_empty_op_table(self):
+        rendered = render_op_table(OpDistAnalyzer(), "empty")
+        assert "0 KV operations" in rendered
+
+    def test_size_distribution_unseen_class(self):
+        rendered = render_size_distribution(SizeAnalyzer(), KVClass.CODE)
+        assert "Code" in rendered  # header renders, no crash
+
+    def test_frequency_distribution_unseen_class(self):
+        rendered = render_frequency_distribution(
+            OpDistAnalyzer(), KVClass.CODE, OpType.READ
+        )
+        assert "Code" in rendered
+
+
+class TestTruncation:
+    def test_size_distribution_truncates(self):
+        analyzer = SizeAnalyzer()
+        for size in range(100):
+            analyzer.add_pair(b"A" + bytes([size]), size)
+        rendered = render_size_distribution(
+            analyzer, KVClass.TRIE_NODE_ACCOUNT, max_points=5
+        )
+        assert "more sizes" in rendered
+        assert rendered.count("size=") == 5
+
+    def test_size_distribution_untruncated(self):
+        analyzer = SizeAnalyzer()
+        analyzer.add_pair(b"A\x01", 10)
+        rendered = render_size_distribution(
+            analyzer, KVClass.TRIE_NODE_ACCOUNT, max_points=None
+        )
+        assert "more sizes" not in rendered
+
+    def test_frequency_distribution_truncates(self):
+        records = []
+        for frequency in range(1, 40):
+            key = b"A" + bytes([frequency])
+            records += [TraceRecord(OpType.READ, key, 1, 0)] * frequency
+        analyzer = OpDistAnalyzer().consume(records)
+        rendered = render_frequency_distribution(
+            analyzer, KVClass.TRIE_NODE_ACCOUNT, OpType.READ, max_points=5
+        )
+        assert "more frequencies" in rendered
+
+
+class TestTable1ConfidenceIntervals:
+    def test_variable_sizes_show_ci(self):
+        analyzer = SizeAnalyzer()
+        analyzer.add_pair(b"A\x01", 50)
+        analyzer.add_pair(b"A\x02\x03", 150)
+        rendered = render_table1(analyzer)
+        row = [l for l in rendered.splitlines() if l.startswith("TrieNodeAccount")][0]
+        assert "±" in row
+
+    def test_constant_sizes_no_ci(self):
+        analyzer = SizeAnalyzer()
+        analyzer.add_pair(b"l" + b"\x01" * 32, 4)
+        analyzer.add_pair(b"l" + b"\x02" * 32, 4)
+        rendered = render_table1(analyzer)
+        row = [l for l in rendered.splitlines() if l.startswith("TxLookup")][0]
+        assert "±" not in row

@@ -1,0 +1,92 @@
+"""Scale-stability tests.
+
+The whole reproduction argument rests on distributional *shape*
+stabilizing well below mainnet scale.  These tests run the same
+workload at two sizes and assert that the headline statistics move
+only modestly — i.e., the benchmark scale sits on the stable plateau,
+not in a transient.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classes import DOMINANT_CLASSES, KVClass
+from repro.core.opdist import OpDistAnalyzer
+from repro.core.sizes import SizeAnalyzer
+from repro.core.trace import OpType
+from repro.sync.driver import DBConfig, FullSyncDriver, SyncConfig
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+WORKLOAD = WorkloadConfig(
+    seed=59, initial_eoa_accounts=1500, initial_contracts=220, txs_per_block=14
+)
+
+
+def run_cache(measured: int, warmup: int):
+    driver = FullSyncDriver(
+        SyncConfig(db=DBConfig.cache_trace_config(192 * 1024), warmup_blocks=warmup),
+        WorkloadGenerator(WORKLOAD),
+        name=f"scale-{measured}",
+    )
+    return driver.run(measured)
+
+
+@pytest.mark.slow
+class TestScaleStability:
+    @pytest.fixture(scope="class")
+    def two_scales(self):
+        small = run_cache(measured=60, warmup=30)
+        large = run_cache(measured=180, warmup=30)
+        return small, large
+
+    def test_dominant_share_stable(self, two_scales):
+        small, large = two_scales
+        shares = []
+        for result in two_scales:
+            sizes = SizeAnalyzer()
+            sizes.add_store_snapshot(result.store_snapshot)
+            shares.append(sizes.dominant_share())
+        assert all(share > 95 for share in shares)
+        assert abs(shares[0] - shares[1]) < 3.0
+
+    def test_txlookup_delete_share_converges(self, two_scales):
+        small, large = two_scales
+        shares = []
+        for result in two_scales:
+            opdist = OpDistAnalyzer(track_keys=False).consume(result.records)
+            shares.append(
+                opdist.distribution(KVClass.TX_LOOKUP).pct(OpType.DELETE)
+            )
+        # Both near parity; the larger run at least as close to 50%.
+        assert all(40 < share < 60 for share in shares)
+        assert abs(shares[1] - 50) <= abs(shares[0] - 50) + 2
+
+    def test_class_shares_stable(self, two_scales):
+        share_maps = []
+        for result in two_scales:
+            opdist = OpDistAnalyzer(track_keys=False).consume(result.records)
+            share_maps.append(
+                {cls: opdist.class_share(cls) for cls in DOMINANT_CLASSES}
+            )
+        small_shares, large_shares = share_maps
+        # The top op-volume class agrees across scales...
+        top = lambda shares: max(shares, key=shares.get)  # noqa: E731
+        assert top(small_shares) == top(large_shares)
+        # ...and no dominant class's share moves more than a few points
+        # (nearby classes may swap exact ranks; their shares may not jump).
+        for cls in DOMINANT_CLASSES:
+            assert abs(small_shares[cls] - large_shares[cls]) < 4.0, cls
+
+    def test_op_mix_shift_small_across_scales(self, two_scales):
+        from repro.core.compare import compare_traces
+
+        small, large = two_scales
+        comparison = compare_traces(
+            small.records, large.records, "small", "large"
+        )
+        # Same workload at 3x length: class mixes nearly identical.
+        assert comparison.total_variation_distance < 0.08
+        for delta in comparison.deltas:
+            if delta.ops_a > 500:  # ignore tiny-class noise
+                assert delta.mix_shift < 0.15, delta.kv_class

@@ -1,0 +1,79 @@
+"""Workload scenario preset tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload import SCENARIOS, WorkloadGenerator, scenario
+
+
+class TestScenarioLookup:
+    def test_all_presets_construct_generators(self):
+        for name in SCENARIOS:
+            WorkloadGenerator(scenario(name))  # no exception
+
+    def test_unknown_scenario(self):
+        with pytest.raises(WorkloadError):
+            scenario("casino")
+
+    def test_overrides_applied(self):
+        config = scenario("defi", seed=7, txs_per_block=40)
+        assert config.seed == 7
+        assert config.txs_per_block == 40
+        assert config.contract_call_fraction == SCENARIOS["defi"].contract_call_fraction
+
+    def test_no_override_returns_preset(self):
+        assert scenario("mainnet") is SCENARIOS["mainnet"]
+
+
+class TestScenarioCharacter:
+    """Each preset's mix must actually skew the generated traffic."""
+
+    def _kind_counts(self, name: str, blocks: int = 60):
+        from collections import Counter
+
+        generator = WorkloadGenerator(
+            scenario(name, initial_eoa_accounts=400, initial_contracts=60, txs_per_block=20)
+        )
+        kinds = Counter()
+        for number in range(1, blocks):
+            for plan in generator.make_block_plan(number).tx_plans:
+                kinds[plan.kind] += 1
+        return kinds
+
+    def test_defi_is_call_dominated(self):
+        kinds = self._kind_counts("defi")
+        total = sum(kinds.values())
+        assert kinds["call"] / total > 0.7
+
+    def test_payments_is_transfer_dominated(self):
+        kinds = self._kind_counts("payments")
+        total = sum(kinds.values())
+        assert kinds["transfer"] / total > 0.75
+
+    def test_nft_mint_creates_more_than_mainnet(self):
+        nft = self._kind_counts("nft-mint")
+        mainnet = self._kind_counts("mainnet")
+        nft_rate = nft["create"] / sum(nft.values())
+        mainnet_rate = mainnet["create"] / sum(mainnet.values())
+        assert nft_rate > 2 * mainnet_rate
+
+    def test_defi_touches_more_slots_per_call(self):
+        defi_gen = WorkloadGenerator(
+            scenario("defi", initial_eoa_accounts=400, initial_contracts=60)
+        )
+        mainnet_gen = WorkloadGenerator(
+            scenario("mainnet", initial_eoa_accounts=400, initial_contracts=60)
+        )
+
+        def mean_slots(generator):
+            slots = calls = 0
+            for number in range(1, 40):
+                for plan in generator.make_block_plan(number).tx_plans:
+                    if plan.kind == "call":
+                        calls += 1
+                        slots += len(plan.slot_reads) + len(plan.slot_writes)
+            return slots / max(1, calls)
+
+        assert mean_slots(defi_gen) > 1.5 * mean_slots(mainnet_gen)

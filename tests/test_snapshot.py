@@ -1,0 +1,135 @@
+"""Snapshot acceleration layer tests."""
+
+from __future__ import annotations
+
+from repro.chain.account import Account
+from repro.core.classes import KVClass, classify_key
+from repro.core.trace import OpType
+from repro.gethdb import schema
+from repro.gethdb.database import DBConfig, GethDatabase
+from repro.gethdb.snapshot import SnapshotTree
+
+
+def make_tree(flush_depth=2, flush_interval=2):
+    db = GethDatabase(DBConfig.cache_trace_config())
+    return db, SnapshotTree(db, flush_depth=flush_depth, flush_interval=flush_interval)
+
+
+ROOT = b"\x42" * 32
+A1 = b"\x01" * 32
+A2 = b"\x02" * 32
+SLOT = b"\x0a" * 32
+
+
+class TestDiffLayers:
+    def test_read_through_diff_layers(self):
+        db, tree = make_tree()
+        account = Account(nonce=1, balance=100)
+        tree.update(ROOT, {A1: account}, {})
+        assert tree.get_account(A1) == account.encode_slim()
+
+    def test_newest_layer_wins(self):
+        db, tree = make_tree(flush_depth=10)
+        tree.update(ROOT, {A1: Account(nonce=1)}, {})
+        tree.update(ROOT, {A1: Account(nonce=2)}, {})
+        assert Account.decode_slim(tree.get_account(A1)).nonce == 2
+
+    def test_deletion_marker_shadows_older(self):
+        db, tree = make_tree(flush_depth=10)
+        tree.update(ROOT, {A1: Account(nonce=1)}, {})
+        tree.update(ROOT, {A1: None}, {})
+        assert tree.get_account(A1) is None
+
+    def test_storage_lookup(self):
+        db, tree = make_tree(flush_depth=10)
+        tree.update(ROOT, {}, {(A1, SLOT): b"value"})
+        assert tree.get_storage(A1, SLOT) == b"value"
+        assert tree.get_storage(A2, SLOT) is None
+
+    def test_layer_depth_bounded(self):
+        db, tree = make_tree(flush_depth=3)
+        for i in range(10):
+            tree.update(ROOT, {A1: Account(nonce=i)}, {})
+        assert tree.pending_layers <= 3
+
+
+class TestFlushing:
+    def test_aggregation_coalesces_hot_keys(self):
+        db, tree = make_tree(flush_depth=1, flush_interval=4)
+        for i in range(5):
+            tree.update(ROOT, {A1: Account(nonce=i)}, {})
+        db.commit_batch()
+        writes = [
+            r
+            for r in db.collector.records
+            if r.op in (OpType.WRITE, OpType.UPDATE)
+            and classify_key(r.key) is KVClass.SNAPSHOT_ACCOUNT
+        ]
+        # 4 layers coalesce into one flat write, not four.
+        assert len(writes) == 1
+
+    def test_flush_all_persists_everything(self):
+        db, tree = make_tree(flush_depth=8, flush_interval=100)
+        tree.update(ROOT, {A1: Account(nonce=5)}, {(A2, SLOT): b"sv"})
+        tree.flush_all()
+        db.commit_batch()
+        assert db.has(schema.snapshot_account_key(A1))
+        assert db.has(schema.snapshot_storage_key(A2, SLOT))
+        assert tree.pending_layers == 0
+
+    def test_read_through_pending_accumulator(self):
+        db, tree = make_tree(flush_depth=1, flush_interval=100)
+        tree.update(ROOT, {A1: Account(nonce=7)}, {})
+        tree.update(ROOT, {A2: Account(nonce=8)}, {})  # pushes A1 to accumulator
+        assert Account.decode_slim(tree.get_account(A1)).nonce == 7
+
+    def test_destruct_scan_deletes_storage(self):
+        db, tree = make_tree(flush_depth=1, flush_interval=1)
+        # Populate flat storage for A1.
+        tree.update(ROOT, {A1: Account(nonce=1)}, {(A1, SLOT): b"v", (A1, b"\x0b" * 32): b"w"})
+        tree.update(ROOT, {}, {})
+        db.commit_batch()
+        assert db.has(schema.snapshot_storage_key(A1, SLOT))
+        db.collector.clear()
+        # Destruct A1: account delete + storage range scan-delete.
+        tree.update(ROOT, {A1: None}, {})
+        tree.update(ROOT, {}, {})
+        db.commit_batch()
+        assert not db.has(schema.snapshot_account_key(A1))
+        assert not db.has(schema.snapshot_storage_key(A1, SLOT))
+        scans = [r for r in db.collector.records if r.op is OpType.SCAN]
+        assert len(scans) == 1
+        assert classify_key(scans[0].key) is KVClass.SNAPSHOT_STORAGE
+
+
+class TestLifecycle:
+    def test_journal_writes_singleton(self):
+        db, tree = make_tree(flush_depth=10)
+        tree.update(ROOT, {A1: Account(nonce=1)}, {})
+        tree.journal()
+        assert db.has(schema.SNAPSHOT_JOURNAL_KEY)
+
+    def test_generator_marker(self):
+        db, tree = make_tree()
+        tree.write_generator_marker(done=False)
+        assert db.store.inner.get(schema.SNAPSHOT_GENERATOR_KEY) == b"gen"
+        tree.write_generator_marker(done=True)
+        assert db.store.inner.get(schema.SNAPSHOT_GENERATOR_KEY) == b"done"
+
+    def test_verify_startup_emits_one_scan(self):
+        db, tree = make_tree(flush_depth=1, flush_interval=1)
+        for i in range(3):
+            tree.update(ROOT, {bytes([i]) * 32: Account(nonce=i)}, {})
+        tree.update(ROOT, {}, {})
+        db.commit_batch()
+        db.collector.clear()
+        touched = tree.verify_startup()
+        assert touched >= 1
+        scans = [r for r in db.collector.records if r.op is OpType.SCAN]
+        assert len(scans) == 1
+        assert classify_key(scans[0].key) is KVClass.SNAPSHOT_ACCOUNT
+
+    def test_disabled_tree_flag(self):
+        db = GethDatabase(DBConfig.bare_trace_config())
+        tree = SnapshotTree(db)
+        assert not tree.enabled

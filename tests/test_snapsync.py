@@ -1,0 +1,105 @@
+"""Snap synchronization tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classes import KVClass, classify_key
+from repro.core.trace import OpType
+from repro.sync.driver import DBConfig, FullSyncDriver, SyncConfig
+from repro.sync.snapsync import SnapSyncDriver
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+WORKLOAD = WorkloadConfig(
+    seed=55, initial_eoa_accounts=300, initial_contracts=50, txs_per_block=8
+)
+
+
+@pytest.fixture(scope="module")
+def peer():
+    """A completed full-sync node acting as the serving peer."""
+    driver = FullSyncDriver(
+        SyncConfig(db=DBConfig.bare_trace_config(), warmup_blocks=8),
+        WorkloadGenerator(WORKLOAD),
+        name="peer",
+    )
+    driver.run(24)
+    return driver
+
+
+@pytest.fixture(scope="module")
+def snap_run(peer):
+    snap = SnapSyncDriver(
+        SyncConfig(db=DBConfig.bare_trace_config(), warmup_blocks=0),
+        WORKLOAD,
+        range_chunk=64,
+    )
+    result = snap.sync_from_peer(peer, tail_blocks=10)
+    return snap, result
+
+
+class TestStateDownload:
+    def test_state_root_heals_to_peer_root(self, snap_run):
+        _, result = snap_run
+        assert result.state_root_matches
+
+    def test_downloads_cover_peer_population(self, snap_run):
+        _, result = snap_run
+        # All genesis accounts plus any created during the peer's run.
+        assert result.accounts_downloaded >= 300 + 50
+        assert result.slots_downloaded > 100
+        assert result.codes_downloaded >= 8
+
+    def test_state_matches_peer_at_pivot(self, peer):
+        # A tail-less snap run leaves the local state exactly at the
+        # pivot, so point lookups must agree with the peer everywhere.
+        snap = SnapSyncDriver(
+            SyncConfig(db=DBConfig.bare_trace_config(), warmup_blocks=0),
+            WORKLOAD,
+            range_chunk=64,
+        )
+        snap.sync_from_peer(peer, tail_blocks=0)
+        for address in peer.workload.eoa_addresses[:20]:
+            assert snap.driver.state.get_account(address) == peer.state.get_account(
+                address
+            )
+        contract = peer.workload.contract_addresses[0]
+        slot, _ = peer.workload.initial_slots_for(contract)[0]
+        assert snap.driver.state.get_storage_hashed(
+            contract, slot
+        ) == peer.state.get_storage_hashed(contract, slot)
+
+
+class TestTrafficProfile:
+    def test_download_phase_is_write_dominated(self, snap_run):
+        _, result = snap_run
+        pivot_records = [r for r in result.records if r.block == result.pivot_number]
+        puts = sum(
+            1 for r in pivot_records if r.op in (OpType.WRITE, OpType.UPDATE)
+        )
+        reads = sum(1 for r in pivot_records if r.op is OpType.READ)
+        # Snap download/heal writes state; reads come only from the heal
+        # phase re-resolving upper trie nodes between range commits.
+        assert puts > 1.5 * max(1, reads)
+
+    def test_heal_writes_trie_nodes(self, snap_run):
+        _, result = snap_run
+        trie_writes = sum(
+            1
+            for r in result.records
+            if r.op is OpType.WRITE
+            and classify_key(r.key)
+            in (KVClass.TRIE_NODE_ACCOUNT, KVClass.TRIE_NODE_STORAGE)
+        )
+        assert trie_writes > 300
+
+    def test_tail_blocks_continue_the_chain(self, peer, snap_run):
+        snap, result = snap_run
+        assert result.tail_blocks_processed == 10
+        assert snap.driver._head_number == result.pivot_number + 10
+
+    def test_tail_execution_reads_downloaded_state(self, snap_run):
+        _, result = snap_run
+        tail_records = [r for r in result.records if r.block > result.pivot_number]
+        tail_reads = sum(1 for r in tail_records if r.op is OpType.READ)
+        assert tail_reads > 50  # full-sync behaviour resumed

@@ -1,0 +1,276 @@
+"""StateDB tests: world-state access over tries + snapshot integration."""
+
+from __future__ import annotations
+
+from repro.chain.account import Account
+from repro.core.classes import KVClass, classify_key
+from repro.core.trace import OpType
+from repro.gethdb import schema
+from repro.gethdb.database import DBConfig, GethDatabase
+from repro.gethdb.snapshot import SnapshotTree
+from repro.gethdb.state import StateDB, TrieNodeStore, hash_address
+from repro.trie.trie import EMPTY_ROOT
+
+ADDR1 = b"\x11" * 20
+ADDR2 = b"\x22" * 20
+SLOT = b"\x05" * 32
+
+
+def bare_state():
+    db = GethDatabase(DBConfig.bare_trace_config())
+    return db, StateDB(db)
+
+
+def snap_state():
+    db = GethDatabase(DBConfig.cache_trace_config())
+    snaps = SnapshotTree(db, flush_depth=1, flush_interval=1)
+    return db, snaps, StateDB(db, snaps)
+
+
+class TestAccounts:
+    def test_missing_account_is_none(self):
+        _, state = bare_state()
+        assert state.get_account(ADDR1) is None
+
+    def test_set_then_get_before_commit(self):
+        _, state = bare_state()
+        state.set_account(ADDR1, Account(nonce=3))
+        assert state.get_account(ADDR1).nonce == 3
+
+    def test_commit_persists_via_trie(self):
+        db, state = bare_state()
+        state.set_account(ADDR1, Account(nonce=1, balance=9))
+        root = state.commit()
+        db.commit_batch()
+        assert root != EMPTY_ROOT
+        fresh = StateDB(db)
+        account = fresh.get_account(ADDR1)
+        assert account.nonce == 1 and account.balance == 9
+
+    def test_commit_root_changes_with_state(self):
+        db, state = bare_state()
+        state.set_account(ADDR1, Account(nonce=1))
+        root1 = state.commit()
+        db.commit_batch()
+        state.set_account(ADDR1, Account(nonce=2))
+        root2 = state.commit()
+        assert root1 != root2
+
+    def test_destruct_removes_account(self):
+        db, state = bare_state()
+        state.set_account(ADDR1, Account(nonce=1))
+        state.commit()
+        db.commit_batch()
+        state.destruct_account(ADDR1)
+        state.commit()
+        db.commit_batch()
+        assert StateDB(db).get_account(ADDR1) is None
+
+
+class TestStorage:
+    def test_missing_slot_is_empty(self):
+        _, state = bare_state()
+        assert state.get_storage(ADDR1, SLOT) == b""
+
+    def test_storage_roundtrip_through_commit(self):
+        db, state = bare_state()
+        state.set_account(ADDR1, Account(nonce=1))
+        state.set_storage(ADDR1, SLOT, b"stored")
+        state.commit()
+        db.commit_batch()
+        assert StateDB(db).get_storage(ADDR1, SLOT) == b"stored"
+
+    def test_storage_updates_account_root(self):
+        db, state = bare_state()
+        state.set_account(ADDR1, Account(nonce=1))
+        state.commit()
+        db.commit_batch()
+        state.set_storage(ADDR1, SLOT, b"v")
+        state.commit()
+        db.commit_batch()
+        account = StateDB(db).get_account(ADDR1)
+        assert account.storage_root != EMPTY_ROOT
+
+    def test_clearing_slot_deletes_from_trie(self):
+        db, state = bare_state()
+        state.set_account(ADDR1, Account(nonce=1))
+        state.set_storage(ADDR1, SLOT, b"v")
+        state.commit()
+        db.commit_batch()
+        state.set_storage(ADDR1, SLOT, b"")
+        state.commit()
+        db.commit_batch()
+        fresh = StateDB(db)
+        assert fresh.get_storage(ADDR1, SLOT) == b""
+        assert fresh.get_account(ADDR1).storage_root == EMPTY_ROOT
+
+    def test_destruct_deletes_storage_trie_nodes(self):
+        db, state = bare_state()
+        state.set_account(ADDR1, Account(nonce=1))
+        for i in range(5):
+            state.set_storage(ADDR1, bytes([i]) * 32, b"v%d" % i)
+        state.commit()
+        db.commit_batch()
+        account_hash = hash_address(ADDR1)
+        prefix = b"O" + account_hash
+        assert any(k.startswith(prefix) for k in db.store.inner.keys())
+        state.destruct_account(ADDR1)
+        state.commit()
+        db.commit_batch()
+        assert not any(k.startswith(prefix) for k in db.store.inner.keys())
+
+
+class TestCode:
+    def test_set_and_get_code(self):
+        db, state = bare_state()
+        code_hash = state.set_code(ADDR1, b"\x60\x60bytecode")
+        assert state.get_code(code_hash) == b"\x60\x60bytecode"
+        state.commit()
+        db.commit_batch()
+        assert db.has(schema.code_key(code_hash))
+
+    def test_empty_code_hash_shortcut(self):
+        from repro.chain.account import EMPTY_CODE_HASH
+
+        db, state = bare_state()
+        db.collector.clear()
+        assert state.get_code(EMPTY_CODE_HASH) == b""
+        assert db.collector.count == 0  # no KV read for empty code
+
+    def test_code_reads_are_traced_even_with_caching(self):
+        db, snaps, state = snap_state()
+        code_hash = state.set_code(ADDR1, b"contractcode")
+        state.commit()
+        db.commit_batch()
+        state2 = StateDB(db, snaps)
+        db.collector.clear()
+        state2.get_code(code_hash)
+        state2.get_code(code_hash)
+        code_reads = [
+            r
+            for r in db.collector.records
+            if r.op is OpType.READ and classify_key(r.key) is KVClass.CODE
+        ]
+        assert len(code_reads) == 2
+
+
+class TestSnapshotIntegration:
+    def test_account_reads_served_by_snapshot(self):
+        db, snaps, state = snap_state()
+        state.set_account(ADDR1, Account(nonce=4))
+        state.commit()
+        state.flush_trie_nodes()
+        db.commit_batch()
+        fresh = StateDB(db, snaps)
+        account = fresh.get_account(ADDR1)
+        assert account.nonce == 4
+
+    def test_no_trie_reads_when_snapshot_enabled(self):
+        db, snaps, state = snap_state()
+        state.set_account(ADDR1, Account(nonce=4))
+        state.commit()
+        snaps.flush_all()
+        state.flush_trie_nodes()
+        db.commit_batch()
+        fresh = StateDB(db, snaps)
+        db.collector.clear()
+        fresh.get_account(ADDR1)
+        trie_reads = [
+            r
+            for r in db.collector.records
+            if classify_key(r.key) is KVClass.TRIE_NODE_ACCOUNT
+        ]
+        assert trie_reads == []
+
+    def test_snapshot_and_trie_agree(self):
+        db, snaps, state = snap_state()
+        state.set_account(ADDR1, Account(nonce=9, balance=77))
+        state.set_storage(ADDR1, SLOT, b"both")
+        state.commit()
+        snaps.flush_all()
+        state.flush_trie_nodes()
+        db.commit_batch()
+        via_snapshot = StateDB(db, snaps)
+        via_trie = StateDB(db)  # no snapshot -> trie path
+        assert via_snapshot.get_account(ADDR1).balance == 77
+        assert via_trie.get_account(ADDR1).balance == 77
+        assert via_snapshot.get_storage(ADDR1, SLOT) == b"both"
+        assert via_trie.get_storage(ADDR1, SLOT) == b"both"
+
+
+class TestLookupDepths:
+    def test_trie_lookups_record_traversal_depth(self):
+        db, state = bare_state()
+        for i in range(64):
+            state.set_account(bytes([i]) * 20, Account(nonce=i))
+        state.commit()
+        db.commit_batch()
+        fresh = StateDB(db)
+        for i in range(64):
+            fresh.get_account(bytes([i]) * 20)
+        assert sum(fresh.lookup_depths.values()) == 64
+        # 64 accounts force a branch at the root: depth >= 2 somewhere.
+        assert max(fresh.lookup_depths) >= 2
+
+    def test_snapshot_lookups_cost_one_request(self):
+        db, snaps, state = snap_state()
+        for i in range(16):
+            state.set_account(bytes([i]) * 20, Account(nonce=i))
+        state.commit()
+        snaps.flush_all()
+        state.flush_trie_nodes()
+        db.commit_batch()
+        fresh = StateDB(db, snaps)
+        for i in range(16):
+            fresh.get_account(bytes([i]) * 20)
+        # Snapshot acceleration: every lookup is a single request —
+        # the paper's "from up to 64 requests per lookup to one".
+        assert set(fresh.lookup_depths) == {1}
+        assert fresh.lookup_depths[1] == 16
+
+
+class TestTrieNodeStore:
+    def test_unbuffered_passthrough(self):
+        db = GethDatabase(DBConfig.bare_trace_config())
+        nodes = TrieNodeStore(db, buffered=False)
+        nodes.put(b"A\x01", b"node")
+        db.commit_batch()
+        assert db.has(b"A\x01")
+
+    def test_buffered_coalesces_rewrites(self):
+        db = GethDatabase(DBConfig.cache_trace_config())
+        nodes = TrieNodeStore(db, buffered=True)
+        for i in range(10):
+            nodes.put(b"A\x01", b"version%d" % i)
+        assert nodes.pending_nodes == 1
+        flushed = nodes.flush()
+        db.commit_batch()
+        assert flushed == 1
+        assert db.store.inner.get(b"A\x01") == b"version9"
+
+    def test_buffered_create_then_delete_never_hits_store(self):
+        db = GethDatabase(DBConfig.cache_trace_config())
+        nodes = TrieNodeStore(db, buffered=True)
+        nodes.put(b"A\x02", b"ephemeral")
+        nodes.delete(b"A\x02")
+        db.collector.clear()
+        nodes.flush()
+        db.commit_batch()
+        assert db.collector.count == 0
+
+    def test_buffered_delete_of_persisted_key(self):
+        db = GethDatabase(DBConfig.cache_trace_config())
+        db.write_now(b"A\x03", b"old")
+        nodes = TrieNodeStore(db, buffered=True)
+        nodes.delete(b"A\x03")
+        nodes.flush()
+        db.commit_batch()
+        assert not db.has(b"A\x03")
+
+    def test_get_sees_buffer(self):
+        db = GethDatabase(DBConfig.cache_trace_config())
+        nodes = TrieNodeStore(db, buffered=True)
+        nodes.put(b"A\x04", b"buffered")
+        db.collector.clear()
+        assert nodes.get(b"A\x04") == b"buffered"
+        assert db.collector.count == 0  # memory hit, untraced

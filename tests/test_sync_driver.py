@@ -1,0 +1,223 @@
+"""Full-sync driver integration tests.
+
+These run small dedicated syncs (separate from the session fixture) to
+check mechanics; the fixture-based tests in test_findings.py cover the
+statistical shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classes import KVClass, classify_key
+from repro.core.opdist import OpDistAnalyzer
+from repro.core.trace import OpType
+from repro.gethdb import schema
+from repro.gethdb.database import DBConfig
+from repro.sync.driver import FullSyncDriver, SyncConfig
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+TINY = WorkloadConfig(
+    seed=77, initial_eoa_accounts=200, initial_contracts=40, txs_per_block=8
+)
+
+
+def small_driver(cache: bool, **sync_kwargs):
+    db_config = (
+        DBConfig.cache_trace_config(64 * 1024) if cache else DBConfig.bare_trace_config()
+    )
+    # Scale background cadences down so they all fire within tiny runs.
+    sync_kwargs.setdefault("bloom_section_size", 16)
+    sync_kwargs.setdefault("bloom_tracked_bits", 8)
+    config = SyncConfig(db=db_config, warmup_blocks=10, **sync_kwargs)
+    return FullSyncDriver(config, WorkloadGenerator(TINY), name="test")
+
+
+@pytest.fixture(scope="module")
+def cache_run():
+    driver = small_driver(cache=True)
+    result = driver.run(30)
+    return driver, result
+
+
+@pytest.fixture(scope="module")
+def bare_run():
+    driver = small_driver(cache=False)
+    result = driver.run(30)
+    return driver, result
+
+
+class TestRunMechanics:
+    def test_processes_requested_blocks(self, cache_run):
+        driver, result = cache_run
+        assert result.blocks_processed == 30
+        assert result.head_number == 40  # warmup 10 + 30 measured
+
+    def test_warmup_is_untraced(self, cache_run):
+        _, result = cache_run
+        blocks = {r.block for r in result.records}
+        # Blocks 1..9 are warmup-only; the startup burst is stamped with
+        # the last warmup height (10), measured blocks are 11..40.
+        assert min(b for b in blocks if b > 0) >= 10
+
+    def test_records_nonempty_and_stamped(self, cache_run):
+        _, result = cache_run
+        assert len(result.records) > 1000
+        assert all(r.block <= 40 for r in result.records)
+
+    def test_store_snapshot_matches_store(self, cache_run):
+        _, result = cache_run
+        assert len(result.store_snapshot) == result.total_store_pairs
+
+    def test_initialize_idempotent(self):
+        driver = small_driver(cache=False)
+        driver.initialize()
+        pairs = len(driver.db.store.inner)
+        driver.initialize()
+        assert len(driver.db.store.inner) == pairs
+
+
+class TestTraceContent:
+    def test_all_29_classes_present_in_cache_store(self, cache_run):
+        _, result = cache_run
+        observed = {classify_key(key) for key, _ in result.store_snapshot}
+        observed.discard(KVClass.UNKNOWN)
+        assert len(observed) == 29
+
+    def test_bare_store_has_no_snapshot_classes(self, bare_run):
+        _, result = bare_run
+        observed = {classify_key(key) for key, _ in result.store_snapshot}
+        assert KVClass.SNAPSHOT_ACCOUNT not in observed
+        assert KVClass.SNAPSHOT_STORAGE not in observed
+
+    def test_no_unknown_keys_in_trace(self, cache_run):
+        _, result = cache_run
+        unknown = [
+            r.key for r in result.records if classify_key(r.key) is KVClass.UNKNOWN
+        ]
+        assert unknown == []
+
+    def test_head_pointers_updated_every_block(self, cache_run):
+        _, result = cache_run
+        updates = sum(
+            1
+            for r in result.records
+            if r.key == schema.LAST_BLOCK_KEY and r.op is OpType.UPDATE
+        )
+        assert updates == 30
+
+    def test_head_pointer_updates_adjacent(self, cache_run):
+        _, result = cache_run
+        mutations = [
+            r for r in result.records if r.op in (OpType.WRITE, OpType.UPDATE)
+        ]
+        for index, record in enumerate(mutations):
+            if record.key == schema.LAST_HEADER_KEY:
+                assert mutations[index + 1].key == schema.LAST_FAST_KEY
+                assert mutations[index + 2].key == schema.LAST_BLOCK_KEY
+
+    def test_txlookup_writes_match_tx_count(self, cache_run):
+        _, result = cache_run
+        writes = sum(
+            1
+            for r in result.records
+            if classify_key(r.key) is KVClass.TX_LOOKUP and r.op is OpType.WRITE
+        )
+        assert writes > 30  # at least one tx per block
+
+    def test_txlookup_never_read(self, cache_run):
+        _, result = cache_run
+        reads = [
+            r
+            for r in result.records
+            if classify_key(r.key) is KVClass.TX_LOOKUP and r.op is OpType.READ
+        ]
+        assert reads == []
+
+    def test_freezer_produced_deletes(self, cache_run):
+        driver, result = cache_run
+        # threshold 64 > 40 head: nothing frozen in this tiny run
+        assert driver.freezer.frozen_blocks == 0
+
+    def test_cache_reduces_trace_volume(self, cache_run, bare_run):
+        _, cache_result = cache_run
+        _, bare_result = bare_run
+        analyzer_cache = OpDistAnalyzer(track_keys=False).consume(cache_result.records)
+        analyzer_bare = OpDistAnalyzer(track_keys=False).consume(bare_result.records)
+        trie = (KVClass.TRIE_NODE_ACCOUNT, KVClass.TRIE_NODE_STORAGE)
+        assert analyzer_cache.reads_in(trie) < analyzer_bare.reads_in(trie)
+
+    def test_snapshot_inflates_pair_count(self, cache_run, bare_run):
+        _, cache_result = cache_run
+        _, bare_result = bare_run
+        assert cache_result.total_store_pairs > bare_result.total_store_pairs
+
+
+class TestBackgroundProcesses:
+    def test_freezer_runs_with_low_threshold(self):
+        driver = small_driver(cache=False, freezer_threshold=8, freezer_batch=4)
+        result = driver.run(30)
+        assert driver.freezer.frozen_blocks > 0
+        deletes = [
+            r
+            for r in result.records
+            if classify_key(r.key) is KVClass.BLOCK_HEADER and r.op is OpType.DELETE
+        ]
+        assert deletes
+
+    def test_unindexing_runs(self):
+        driver = small_driver(cache=False, txlookup_limit=5)
+        result = driver.run(30)
+        deletes = [
+            r
+            for r in result.records
+            if classify_key(r.key) is KVClass.TX_LOOKUP and r.op is OpType.DELETE
+        ]
+        assert deletes
+        assert driver.txindexer.tail > 0
+
+    def test_bloombits_sections_complete(self):
+        driver = small_driver(cache=False, bloom_section_size=8, bloom_tracked_bits=4)
+        result = driver.run(30)
+        assert driver.bloombits.sections_done >= 4
+        bloom_writes = [
+            r
+            for r in result.records
+            if classify_key(r.key) is KVClass.BLOOM_BITS
+        ]
+        assert bloom_writes
+
+    def test_stateid_retention_window(self):
+        driver = small_driver(cache=False, stateid_retention=4)
+        result = driver.run(30)
+        writes = sum(
+            1
+            for r in result.records
+            if classify_key(r.key) is KVClass.STATE_ID and r.op is OpType.WRITE
+        )
+        deletes = sum(
+            1
+            for r in result.records
+            if classify_key(r.key) is KVClass.STATE_ID and r.op is OpType.DELETE
+        )
+        assert writes == 30
+        assert deletes == 30  # window already full after warmup
+
+
+class TestShutdown:
+    def test_journals_written(self, cache_run):
+        driver, _ = cache_run
+        assert driver.db.has(schema.TRIE_JOURNAL_KEY)
+        assert driver.db.has(schema.SNAPSHOT_JOURNAL_KEY)
+
+    def test_bare_shutdown_skips_snapshot_journal(self, bare_run):
+        driver, _ = bare_run
+        assert driver.db.has(schema.TRIE_JOURNAL_KEY)
+        assert not driver.db.has(schema.SNAPSHOT_JOURNAL_KEY)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        result1 = small_driver(cache=False).run(10)
+        result2 = small_driver(cache=False).run(10)
+        assert result1.records == result2.records

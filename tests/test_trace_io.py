@@ -1,0 +1,132 @@
+"""Trace model and I/O tests."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.trace import (
+    OpType,
+    TraceReader,
+    TraceRecord,
+    TraceWriter,
+    read_text_trace,
+    read_trace,
+    records_from_bytes,
+    records_to_bytes,
+    write_text_trace,
+    write_trace,
+)
+from repro.errors import TraceFormatError
+
+
+def _sample_records():
+    return [
+        TraceRecord(OpType.WRITE, b"lABCDEF", 100, 1),
+        TraceRecord(OpType.READ, b"A\x00\x12", 42, 2),
+        TraceRecord(OpType.DELETE, b"h" + b"\x01" * 40, 0, 3),
+        TraceRecord(OpType.SCAN, b"a", 12345, 4),
+        TraceRecord(OpType.UPDATE, b"LastHeader", 32, 5),
+    ]
+
+
+class TestOpType:
+    def test_short_names_roundtrip(self):
+        for op in OpType:
+            assert OpType.from_short_name(op.short_name) is op
+
+    def test_unknown_short_name(self):
+        with pytest.raises(TraceFormatError):
+            OpType.from_short_name("X")
+
+
+class TestTextFormat:
+    def test_roundtrip(self):
+        for record in _sample_records():
+            assert TraceRecord.from_text(record.to_text()) == record
+
+    def test_bad_field_count(self):
+        with pytest.raises(TraceFormatError):
+            TraceRecord.from_text("R deadbeef 100")
+
+    def test_bad_hex(self):
+        with pytest.raises(TraceFormatError):
+            TraceRecord.from_text("R zz 100 1")
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        records = _sample_records()
+        assert write_text_trace(path, records) == len(records)
+        assert list(read_text_trace(path)) == records
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("\nR 6c41 5 1\n\n")
+        records = list(read_text_trace(path))
+        assert len(records) == 1
+        assert records[0].key == b"lA"
+
+
+class TestBinaryFormat:
+    def test_roundtrip_via_file(self, tmp_path):
+        path = tmp_path / "trace.bin"
+        records = _sample_records()
+        assert write_trace(path, records) == len(records)
+        assert list(read_trace(path)) == records
+
+    def test_roundtrip_via_bytes(self):
+        records = _sample_records()
+        assert list(records_from_bytes(records_to_bytes(records))) == records
+
+    def test_empty_trace(self):
+        assert list(records_from_bytes(records_to_bytes([]))) == []
+
+    def test_bad_magic(self):
+        with pytest.raises(TraceFormatError):
+            TraceReader(io.BytesIO(b"XXXX\x01"))
+
+    def test_bad_version(self):
+        with pytest.raises(TraceFormatError):
+            TraceReader(io.BytesIO(b"EKVT\x99"))
+
+    def test_truncated_header(self):
+        blob = records_to_bytes(_sample_records())
+        with pytest.raises(TraceFormatError):
+            list(records_from_bytes(blob[:-3]))
+
+    def test_truncated_key(self):
+        blob = records_to_bytes([TraceRecord(OpType.READ, b"abcdef", 1, 1)])
+        with pytest.raises(TraceFormatError):
+            list(records_from_bytes(blob[:-2]))
+
+    def test_oversized_key_rejected(self):
+        writer = TraceWriter(io.BytesIO())
+        with pytest.raises(TraceFormatError):
+            writer.append(TraceRecord(OpType.READ, b"x" * 70000, 0, 0))
+
+    def test_writer_counts(self):
+        buffer = io.BytesIO()
+        writer = TraceWriter(buffer)
+        writer.extend(_sample_records())
+        assert writer.count == len(_sample_records())
+
+
+record_strategy = st.builds(
+    TraceRecord,
+    op=st.sampled_from(list(OpType)),
+    key=st.binary(min_size=1, max_size=64),
+    value_size=st.integers(min_value=0, max_value=2**32 - 1),
+    block=st.integers(min_value=0, max_value=2**32 - 1),
+)
+
+
+class TestProperties:
+    @given(st.lists(record_strategy, max_size=50))
+    def test_binary_roundtrip(self, records):
+        assert list(records_from_bytes(records_to_bytes(records))) == records
+
+    @given(record_strategy)
+    def test_text_roundtrip(self, record):
+        assert TraceRecord.from_text(record.to_text()) == record

@@ -1,0 +1,130 @@
+"""Tracing wrapper tests: the capture-point semantics the paper defines."""
+
+from __future__ import annotations
+
+from repro.core.trace import OpType, TraceRecord
+from repro.kvstore.memdb import MemoryKVStore
+from repro.kvstore.tracing import TraceCollector, TracingKVStore
+
+
+def make_store():
+    return TracingKVStore(MemoryKVStore())
+
+
+class TestWriteUpdateClassification:
+    def test_first_put_is_write(self):
+        store = make_store()
+        store.put(b"k", b"v")
+        assert store.collector.records[0].op is OpType.WRITE
+
+    def test_second_put_is_update(self):
+        store = make_store()
+        store.put(b"k", b"v1")
+        store.put(b"k", b"v2")
+        assert store.collector.records[1].op is OpType.UPDATE
+
+    def test_put_after_delete_is_write_again(self):
+        store = make_store()
+        store.put(b"k", b"v1")
+        store.delete(b"k")
+        store.put(b"k", b"v2")
+        ops = [r.op for r in store.collector.records]
+        assert ops == [OpType.WRITE, OpType.DELETE, OpType.WRITE]
+
+
+class TestReadTracing:
+    def test_get_records_value_size(self):
+        store = make_store()
+        store.put(b"k", b"v" * 17)
+        store.get(b"k")
+        read = store.collector.records[-1]
+        assert read.op is OpType.READ and read.value_size == 17
+
+    def test_get_or_none_miss_records_zero(self):
+        store = make_store()
+        assert store.get_or_none(b"missing") is None
+        read = store.collector.records[-1]
+        assert read.op is OpType.READ and read.value_size == 0
+
+    def test_has_is_untraced(self):
+        store = make_store()
+        store.has(b"k")
+        assert store.collector.count == 0
+
+
+class TestScanTracing:
+    def test_full_scan_one_record(self):
+        store = make_store()
+        store.put(b"a1", b"xx")
+        store.put(b"a2", b"yyy")
+        store.collector.clear()
+        results = list(store.scan(b"a"))
+        assert len(results) == 2
+        records = store.collector.records
+        assert len(records) == 1
+        assert records[0].op is OpType.SCAN
+        assert records[0].key == b"a"
+        assert records[0].value_size == 5
+
+    def test_early_terminated_scan_still_recorded(self):
+        store = make_store()
+        for i in range(10):
+            store.put(b"k%d" % i, b"v")
+        store.collector.clear()
+        for index, _ in enumerate(store.scan(b"k")):
+            if index == 2:
+                break
+        scans = [r for r in store.collector.records if r.op is OpType.SCAN]
+        assert len(scans) == 1
+
+
+class TestBlockStamping:
+    def test_records_carry_block_height(self):
+        store = make_store()
+        store.block_height = 7
+        store.put(b"k", b"v")
+        store.block_height = 8
+        store.get(b"k")
+        blocks = [r.block for r in store.collector.records]
+        assert blocks == [7, 8]
+
+
+class TestEnableToggle:
+    def test_disabled_suppresses_records(self):
+        store = make_store()
+        store.enabled = False
+        store.put(b"k", b"v")
+        store.get(b"k")
+        assert store.collector.count == 0
+        store.enabled = True
+        store.get(b"k")
+        assert store.collector.count == 1
+
+
+class TestCollectorSink:
+    def test_sink_forwards_instead_of_retaining(self):
+        forwarded: list[TraceRecord] = []
+        collector = TraceCollector(sink=forwarded.append)
+        store = TracingKVStore(MemoryKVStore(), collector)
+        store.put(b"k", b"v")
+        assert collector.records == []
+        assert collector.count == 1
+        assert len(forwarded) == 1
+
+    def test_clear_resets(self):
+        collector = TraceCollector()
+        collector.emit(TraceRecord(OpType.READ, b"k", 0, 0))
+        collector.clear()
+        assert collector.count == 0 and collector.records == []
+
+
+class TestBatchThroughTracing:
+    def test_batch_commit_traces_in_staging_order(self):
+        store = make_store()
+        batch = store.write_batch()
+        batch.put(b"b", b"2")
+        batch.put(b"a", b"1")
+        batch.delete(b"c")
+        batch.commit()
+        keys = [r.key for r in store.collector.records]
+        assert keys == [b"b", b"a", b"c"]  # staging order, not key order

@@ -1,0 +1,162 @@
+"""Block validation tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import rlp
+from repro.chain.blocks import Block, BlockBody, Header
+from repro.chain.transactions import Log, Receipt, Transaction, block_bloom
+from repro.chain.validation import (
+    derive_list_root,
+    derive_receipts_root,
+    derive_transactions_root,
+    validate_body,
+    validate_execution_outcome,
+    validate_header_chain,
+)
+from repro.errors import InvalidBlockError
+
+
+def _tx(nonce: int) -> Transaction:
+    return Transaction(nonce, b"\xaa" * 20, b"\xbb" * 20, nonce * 10, 21000)
+
+
+def _header(number=2, parent=None, **kwargs):
+    defaults = dict(
+        number=number,
+        parent_hash=parent.hash if parent else b"\x01" * 32,
+        state_root=b"\x02" * 32,
+        timestamp=1_700_000_000 + number * 12,
+    )
+    defaults.update(kwargs)
+    return Header(**defaults)
+
+
+class TestDerivedRoots:
+    def test_empty_list_root_is_empty_trie(self):
+        from repro.trie.trie import EMPTY_ROOT
+
+        assert derive_list_root([]) == EMPTY_ROOT
+
+    def test_root_depends_on_content(self):
+        assert derive_list_root([b"a"]) != derive_list_root([b"b"])
+
+    def test_root_depends_on_order(self):
+        assert derive_list_root([b"a", b"b"]) != derive_list_root([b"b", b"a"])
+
+    def test_deterministic(self):
+        items = [rlp.encode([i, b"payload"]) for i in range(20)]
+        assert derive_list_root(items) == derive_list_root(items)
+
+    def test_transactions_root_over_body(self):
+        body = BlockBody(transactions=[_tx(1), _tx(2)])
+        root = derive_transactions_root(body)
+        assert root == derive_list_root([tx.encode() for tx in body.transactions])
+
+    def test_receipts_root(self):
+        receipts = [Receipt(1, 21000), Receipt(1, 42000)]
+        assert derive_receipts_root(receipts) == derive_list_root(
+            [r.encode() for r in receipts]
+        )
+
+
+class TestHeaderChain:
+    def test_valid_chain_passes(self):
+        parent = _header(number=1)
+        child = _header(number=2, parent=parent)
+        validate_header_chain(child, parent)
+
+    def test_wrong_number(self):
+        parent = _header(number=1)
+        child = _header(number=5, parent=parent)
+        with pytest.raises(InvalidBlockError, match="does not extend"):
+            validate_header_chain(child, parent)
+
+    def test_wrong_parent_hash(self):
+        parent = _header(number=1)
+        child = _header(number=2)  # random parent hash
+        with pytest.raises(InvalidBlockError, match="parent hash"):
+            validate_header_chain(child, parent)
+
+    def test_timestamp_must_advance(self):
+        parent = _header(number=1, timestamp=1000)
+        child = _header(number=2, parent=parent, timestamp=1000)
+        with pytest.raises(InvalidBlockError, match="timestamp"):
+            validate_header_chain(child, parent)
+
+    def test_gas_over_limit(self):
+        parent = _header(number=1)
+        child = _header(number=2, parent=parent, gas_used=40_000_000)
+        with pytest.raises(InvalidBlockError, match="gas"):
+            validate_header_chain(child, parent)
+
+
+class TestBodyAndExecution:
+    def _block(self):
+        body = BlockBody(transactions=[_tx(1), _tx(2)])
+        receipts = [
+            Receipt(1, 21000, [Log(b"\xcc" * 20, [b"\x01" * 32])]),
+            Receipt(1, 42000),
+        ]
+        header = _header(
+            transactions_root=derive_transactions_root(body),
+            receipts_root=derive_receipts_root(receipts),
+            logs_bloom=block_bloom(receipts).to_bytes(),
+        )
+        return Block(header=header, body=body, receipts=receipts), receipts
+
+    def test_valid_block_passes(self):
+        block, receipts = self._block()
+        validate_body(block)
+        validate_execution_outcome(block, block.header.state_root, receipts)
+
+    def test_tampered_body_rejected(self):
+        block, receipts = self._block()
+        block.body.transactions.append(_tx(99))
+        with pytest.raises(InvalidBlockError, match="transactions root"):
+            validate_body(block)
+
+    def test_wrong_state_root_rejected(self):
+        block, receipts = self._block()
+        with pytest.raises(InvalidBlockError, match="state root"):
+            validate_execution_outcome(block, b"\xee" * 32, receipts)
+
+    def test_tampered_receipts_rejected(self):
+        block, receipts = self._block()
+        forged = receipts[:-1] + [Receipt(0, 42000)]
+        with pytest.raises(InvalidBlockError, match="receipts root"):
+            validate_execution_outcome(block, block.header.state_root, forged)
+
+
+class TestDriverIntegration:
+    def test_driver_builds_self_validating_blocks(self):
+        from repro.sync.driver import DBConfig, FullSyncDriver, SyncConfig
+        from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+        workload = WorkloadConfig(
+            seed=3, initial_eoa_accounts=200, initial_contracts=30, txs_per_block=6
+        )
+        driver = FullSyncDriver(
+            SyncConfig(db=DBConfig.bare_trace_config(), warmup_blocks=4),
+            WorkloadGenerator(workload),
+        )
+        # validate_blocks defaults True: a full run IS the assertion.
+        result = driver.run(10)
+        assert result.blocks_processed == 10
+
+    def test_validation_can_be_disabled(self):
+        from repro.sync.driver import DBConfig, FullSyncDriver, SyncConfig
+        from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+        workload = WorkloadConfig(
+            seed=3, initial_eoa_accounts=200, initial_contracts=30, txs_per_block=6
+        )
+        driver = FullSyncDriver(
+            SyncConfig(
+                db=DBConfig.bare_trace_config(), warmup_blocks=2, validate_blocks=False
+            ),
+            WorkloadGenerator(workload),
+        )
+        result = driver.run(4)
+        assert result.blocks_processed == 4

@@ -1,0 +1,157 @@
+"""Workload generator and Zipf sampler tests."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+from repro.workload.sampler import ZipfSampler
+
+
+class TestZipfSampler:
+    def test_rank_bounds(self):
+        sampler = ZipfSampler(100, s=1.0, rng=random.Random(1))
+        for _ in range(1000):
+            assert 0 <= sampler.sample() < 100
+
+    def test_skew_head_is_hot(self):
+        sampler = ZipfSampler(1000, s=1.1, rng=random.Random(2))
+        counts = Counter(sampler.sample() for _ in range(5000))
+        head = sum(counts[i] for i in range(10))
+        tail = sum(counts[i] for i in range(500, 510))
+        assert head > 5 * max(1, tail)
+
+    def test_growth_extends_support(self):
+        sampler = ZipfSampler(10, rng=random.Random(3))
+        sampler.grow(1000)
+        seen = {sampler.sample() for _ in range(3000)}
+        assert max(seen) >= 10  # new cold ranks are reachable
+
+    def test_growth_is_monotonic_noop_on_shrink(self):
+        sampler = ZipfSampler(100)
+        sampler.grow(50)
+        assert sampler.population == 100
+
+    def test_invalid_config(self):
+        with pytest.raises(WorkloadError):
+            ZipfSampler(0)
+        with pytest.raises(WorkloadError):
+            ZipfSampler(10, s=0)
+
+    def test_sample_many(self):
+        sampler = ZipfSampler(10, rng=random.Random(4))
+        assert len(sampler.sample_many(25)) == 25
+
+
+class TestWorkloadConfig:
+    def test_fraction_validation(self):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(contract_call_fraction=0.9, creation_fraction=0.2)
+
+    def test_defaults_valid(self):
+        WorkloadConfig()  # no exception
+
+
+class TestWorkloadGenerator:
+    def _gen(self, **kwargs):
+        defaults = dict(
+            seed=11, initial_eoa_accounts=300, initial_contracts=50, txs_per_block=20
+        )
+        defaults.update(kwargs)
+        return WorkloadGenerator(WorkloadConfig(**defaults))
+
+    def test_determinism(self):
+        gen1, gen2 = self._gen(), self._gen()
+        for number in range(1, 6):
+            plan1 = gen1.make_block_plan(number)
+            plan2 = gen2.make_block_plan(number)
+            assert [p.tx.hash for p in plan1.tx_plans] == [
+                p.tx.hash for p in plan2.tx_plans
+            ]
+
+    def test_different_seeds_differ(self):
+        plan1 = self._gen(seed=1).make_block_plan(1)
+        plan2 = self._gen(seed=2).make_block_plan(1)
+        assert [p.tx.hash for p in plan1.tx_plans] != [
+            p.tx.hash for p in plan2.tx_plans
+        ]
+
+    def test_tx_count_near_target(self):
+        gen = self._gen(txs_per_block=20)
+        counts = [len(gen.make_block_plan(n).tx_plans) for n in range(1, 30)]
+        assert 14 <= sum(counts) / len(counts) <= 26
+
+    def test_kind_mix_roughly_matches_config(self):
+        gen = self._gen(txs_per_block=30)
+        kinds = Counter()
+        for number in range(1, 120):
+            for plan in gen.make_block_plan(number).tx_plans:
+                kinds[plan.kind] += 1
+        total = sum(kinds.values())
+        call_fraction = kinds["call"] / total
+        assert 0.40 <= call_fraction <= 0.70
+        assert kinds["transfer"] > 0
+        assert kinds["create"] < total * 0.1
+
+    def test_call_plans_have_slots(self):
+        gen = self._gen()
+        for number in range(1, 30):
+            for plan in gen.make_block_plan(number).tx_plans:
+                if plan.kind == "call":
+                    assert plan.slot_reads and plan.slot_writes
+                    for addr, _slot in plan.slot_reads:
+                        assert addr == plan.recipient
+
+    def test_creation_plans_have_code(self):
+        gen = self._gen(creation_fraction=0.3, contract_call_fraction=0.3)
+        created = []
+        for number in range(1, 40):
+            created += [
+                p for p in gen.make_block_plan(number).tx_plans if p.kind == "create"
+            ]
+        assert created
+        for plan in created:
+            assert plan.deployed_code and plan.tx.is_creation
+
+    def test_code_reuse_dominates_creations(self):
+        gen = self._gen(
+            creation_fraction=0.4, contract_call_fraction=0.2, code_reuse_fraction=0.9
+        )
+        codes = []
+        for number in range(1, 60):
+            codes += [
+                p.deployed_code
+                for p in gen.make_block_plan(number).tx_plans
+                if p.kind == "create"
+            ]
+        assert len(codes) > len(set(codes))  # re-deployments happened
+
+    def test_initial_population_accessors(self):
+        gen = self._gen()
+        assert len(gen.eoa_addresses) == 300
+        assert len(gen.contract_addresses) == 50
+        contract = gen.contract_addresses[0]
+        assert gen.initial_code_for(contract) == gen.initial_code_for(contract)
+        slots = gen.initial_slots_for(contract)
+        assert len(slots) >= 1
+        assert len({slot for slot, _ in slots}) == len(slots)
+
+    def test_slot_clears_present(self):
+        gen = self._gen(slot_clear_fraction=0.5)
+        cleared = 0
+        for number in range(1, 40):
+            for plan in gen.make_block_plan(number).tx_plans:
+                cleared += sum(1 for _, _, v in plan.slot_writes if v == b"")
+        assert cleared > 0
+
+    def test_block_plan_builds_block(self):
+        gen = self._gen()
+        plan = gen.make_block_plan(5)
+        block = plan.build_block(b"\x01" * 32, b"\x02" * 32)
+        assert block.number == 5
+        assert block.header.parent_hash == b"\x01" * 32
+        assert len(block.transactions) == len(plan.tx_plans)
