@@ -24,13 +24,14 @@ from pathlib import Path
 from repro.core.analysis import TraceAnalysis
 from repro.core.classes import KVClass
 from repro.core.findings import evaluate_findings
-from repro.core.opdist import OpDistAnalyzer
 from repro.core.report import (
     render_op_table,
     render_read_ratio_table,
     render_table1,
 )
-from repro.core.trace import OpType, read_trace, write_trace
+from repro.core.columnar import DEFAULT_CHUNK_SIZE
+from repro.core.parallel import analyze_trace
+from repro.core.trace import OpType, read_trace, write_trace, write_trace_v2
 from repro.gethdb.database import DBConfig
 from repro.sync.driver import FullSyncDriver, SyncConfig, run_trace_pair
 from repro.workload.generator import WorkloadConfig, WorkloadGenerator
@@ -117,7 +118,10 @@ def cmd_sync(args: argparse.Namespace) -> int:
     )
     print(f"Running {args.mode}-mode full sync...", file=sys.stderr)
     result = driver.run(args.blocks)
-    count = write_trace(args.out, result.records)
+    if args.format == "v1":
+        count = write_trace(args.out, result.records)
+    else:
+        count = write_trace_v2(args.out, result.records, chunk_size=args.chunk_size)
     print(
         f"wrote {count:,} records to {args.out} "
         f"({Path(args.out).stat().st_size:,} bytes); "
@@ -128,12 +132,31 @@ def cmd_sync(args: argparse.Namespace) -> int:
 
 def cmd_analyze(args: argparse.Namespace) -> int:
     print(f"Reading {args.trace}...", file=sys.stderr)
-    records = list(read_trace(args.trace))
-    opdist = OpDistAnalyzer().consume(records)
+    start = time.time()
+    analysis = None
+    if args.correlate:
+        # The correlation passes retain the columnar trace, so build the
+        # full bundle once and reuse its opdist.
+        analysis = TraceAnalysis("trace", args.trace, chunk_size=args.chunk_size)
+        opdist = analysis.opdist
+    else:
+        opdist = analyze_trace(
+            args.trace,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            analyzers=("opdist",),
+        )["opdist"]
+    elapsed = time.time() - start
+    if elapsed > 0:
+        print(
+            f"  {opdist.total_ops:,} records in {elapsed:.2f}s "
+            f"({opdist.total_ops / elapsed / 1e6:.2f} M records/s, "
+            f"workers={args.workers})",
+            file=sys.stderr,
+        )
     print(render_op_table(opdist, f"Operation distribution ({args.trace})"))
     if args.correlate:
         op = OpType.READ if args.correlate == "read" else OpType.UPDATE
-        analysis = TraceAnalysis("trace", records)
         results = analysis.correlation(op)
         from repro.core.report import render_correlation_distance_series
 
@@ -219,12 +242,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_args(p_sync)
     p_sync.add_argument("--mode", choices=("cache", "bare"), default="cache")
     p_sync.add_argument("--out", type=Path, required=True, help="trace output path")
+    p_sync.add_argument(
+        "--format",
+        choices=("v1", "v2"),
+        default="v2",
+        help="trace file format: v2 = chunked columnar (default), v1 = legacy",
+    )
+    p_sync.add_argument(
+        "--chunk-size",
+        type=int,
+        default=DEFAULT_CHUNK_SIZE,
+        help="records per columnar chunk (v2 format)",
+    )
     p_sync.set_defaults(func=cmd_sync)
 
     p_analyze = subparsers.add_parser("analyze", help="analyze a saved trace file")
     p_analyze.add_argument("trace", type=Path)
     p_analyze.add_argument(
         "--correlate", choices=("read", "update"), help="add a correlation pass"
+    )
+    p_analyze.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the sharded analysis (1 = in-process)",
+    )
+    p_analyze.add_argument(
+        "--chunk-size",
+        type=int,
+        default=DEFAULT_CHUNK_SIZE,
+        help="records per columnar chunk",
     )
     p_analyze.set_defaults(func=cmd_analyze)
 

@@ -4,12 +4,20 @@
 over one trace (plus an optional end-of-run store snapshot) and caches
 the results.  The findings engine and report renderers consume two of
 these — one for the CacheTrace analog, one for the BareTrace analog.
+
+The trace is held internally as a :class:`~repro.core.columnar.ColumnarTrace`
+— compact numpy columns instead of millions of Python record objects —
+so the input may equally be a record sequence/iterable, a pre-built
+columnar trace, or a path to a saved trace file (binary v1 or v2).
+Only the columnar chunks are retained for the lazy correlation passes.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
 
+from repro.core.columnar import DEFAULT_CHUNK_SIZE, ColumnarTrace
 from repro.core.correlation import (
     DEFAULT_DISTANCES,
     CorrelationAnalyzer,
@@ -20,6 +28,8 @@ from repro.core.opdist import OpDistAnalyzer
 from repro.core.sizes import SizeAnalyzer
 from repro.core.trace import OpType, TraceRecord
 
+TraceInput = Union[str, Path, ColumnarTrace, Sequence[TraceRecord], Iterable[TraceRecord]]
+
 
 class TraceAnalysis:
     """All analyses for one trace, computed in a single pass + on demand.
@@ -29,19 +39,26 @@ class TraceAnalysis:
         opdist: operation-distribution analyzer (Tables II/III/IV, Fig 3).
         sizes: size analyzer over the end-of-run store snapshot
             (Table I, Fig 2); populated when a snapshot is supplied.
-        records: the retained trace (needed for correlation passes).
+        trace: the retained columnar trace (feeds the correlation passes).
     """
 
     def __init__(
         self,
         name: str,
-        records: Sequence[TraceRecord],
+        trace: TraceInput,
         store_snapshot: Optional[Iterable[tuple[bytes, bytes]]] = None,
         correlation_distances: Sequence[int] = DEFAULT_DISTANCES,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
     ) -> None:
         self.name = name
-        self.records = records
-        self.opdist = OpDistAnalyzer(track_keys=True).consume(records)
+        if isinstance(trace, (str, Path)):
+            columnar = ColumnarTrace.from_file(trace, chunk_size=chunk_size)
+        elif isinstance(trace, ColumnarTrace):
+            columnar = trace
+        else:
+            columnar = ColumnarTrace.from_records(trace, chunk_size=chunk_size)
+        self.trace = columnar
+        self.opdist = OpDistAnalyzer(track_keys=True).consume_chunks(columnar.chunks)
         self.sizes = SizeAnalyzer()
         if store_snapshot is not None:
             self.sizes.add_store_snapshot(store_snapshot)
@@ -72,7 +89,7 @@ class TraceAnalysis:
             analyzer = CorrelationAnalyzer(
                 CorrelationConfig(op=op, distances=self._distances)
             )
-            analyzer.consume(self.records)
+            analyzer.consume_chunks(self.trace.chunks)
             cached = analyzer.compute()
             self._analyzers[op] = analyzer
             self._correlations[op] = cached
@@ -84,5 +101,10 @@ class TraceAnalysis:
         return self._analyzers[op]
 
     @property
+    def records(self) -> list[TraceRecord]:
+        """The trace as record objects (materialized on demand)."""
+        return list(self.trace.iter_records())
+
+    @property
     def num_records(self) -> int:
-        return len(self.records)
+        return len(self.trace)

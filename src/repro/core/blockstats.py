@@ -16,9 +16,14 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
 
 from repro.core.trace import MUTATING_OPS, OpType, TraceRecord
+
+if TYPE_CHECKING:
+    from repro.core.columnar import TraceChunk
 
 
 @dataclass
@@ -76,6 +81,83 @@ class BlockStatsAnalyzer:
             else:
                 profile.puts += 1
                 profile._saw_put = True
+        return self
+
+    def consume_chunk(self, chunk: "TraceChunk") -> "BlockStatsAnalyzer":
+        """Columnar equivalent of :meth:`consume` for one chunk.
+
+        Records are grouped per block with a stable argsort (so
+        within-block trace order is preserved even if blocks interleave)
+        and each block's counters are reduced with numpy.  Chunks must
+        be fed in trace order for ``reads_after_first_put`` to match the
+        record-at-a-time path.
+        """
+        if len(chunk) == 0:
+            return self
+        blocks = chunk.blocks
+        ops = chunk.ops
+        order = np.argsort(blocks, kind="stable")
+        sorted_blocks = blocks[order]
+        cuts = np.nonzero(np.diff(sorted_blocks))[0] + 1
+        starts = np.concatenate(([0], cuts))
+        ends = np.concatenate((cuts, [len(sorted_blocks)]))
+        for start, end in zip(starts.tolist(), ends.tolist()):
+            indices = order[start:end]
+            block = int(sorted_blocks[start])
+            ops_seg = ops[indices]
+            reads = int(np.count_nonzero(ops_seg == OpType.READ))
+            scans = int(np.count_nonzero(ops_seg == OpType.SCAN))
+            deletes = int(np.count_nonzero(ops_seg == OpType.DELETE))
+            puts = int(
+                np.count_nonzero(
+                    (ops_seg == OpType.WRITE) | (ops_seg == OpType.UPDATE)
+                )
+            )
+            mutating = puts + deletes > 0
+            profile = self._profiles.get(block)
+            if profile is None:
+                profile = BlockProfile(block)
+                self._profiles[block] = profile
+            if profile._saw_put:
+                reads_after = reads
+            elif mutating:
+                mut_seg = ops_seg != OpType.READ
+                mut_seg &= ops_seg != OpType.SCAN
+                first_put = int(np.argmax(mut_seg))
+                reads_after = int(
+                    np.count_nonzero(ops_seg[first_put + 1 :] == OpType.READ)
+                )
+            else:
+                reads_after = 0
+            profile.reads += reads
+            profile.puts += puts
+            profile.deletes += deletes
+            profile.scans += scans
+            profile.reads_after_first_put += reads_after
+            if mutating:
+                profile._saw_put = True
+        return self
+
+    def merge(self, other: "BlockStatsAnalyzer") -> "BlockStatsAnalyzer":
+        """Fold a partial covering a *later* trace shard into this one.
+
+        Shards must be merged in trace order: if this analyzer already
+        saw a put for a block, every read the later shard attributes to
+        that block occurred after the block's first put.
+        """
+        for block, theirs in other._profiles.items():
+            profile = self._profiles.get(block)
+            if profile is None:
+                profile = BlockProfile(block)
+                self._profiles[block] = profile
+            profile.reads_after_first_put += (
+                theirs.reads if profile._saw_put else theirs.reads_after_first_put
+            )
+            profile.reads += theirs.reads
+            profile.puts += theirs.puts
+            profile.deletes += theirs.deletes
+            profile.scans += theirs.scans
+            profile._saw_put = profile._saw_put or theirs._saw_put
         return self
 
     def profiles(self) -> list[BlockProfile]:

@@ -221,6 +221,39 @@ def classify_key(key: bytes) -> KVClass:
     return _PREFIX_TABLE.get(key[0], KVClass.UNKNOWN)
 
 
+# ---------------------------------------------------------------------------
+# Dense class ids (columnar fast paths)
+# ---------------------------------------------------------------------------
+
+#: First bytes that a single-byte prefix lookup cannot decide on its own:
+#: exact singleton keys and the multi-byte literal prefixes collide with
+#: (or shadow) prefix classes on these bytes, so keys starting with them
+#: must go through :func:`classify_key`.
+AMBIGUOUS_FIRST_BYTES = frozenset(
+    {key[0] for key in SINGLETON_KEYS}
+    | {
+        ETHEREUM_GENESIS_PREFIX[0],
+        ETHEREUM_CONFIG_PREFIX[0],
+        BLOOM_BITS_INDEX_PREFIX[0],
+    }
+)
+
+
+def class_id_for_key(key: bytes) -> int:
+    """Dense class id for a key via the first-byte fast path.
+
+    Equivalent to ``CLASS_IDS[classify_key(key)]``: only keys whose first
+    byte is in :data:`AMBIGUOUS_FIRST_BYTES` pay for the exact match.
+    """
+    if not key:
+        return UNKNOWN_CLASS_ID
+    first = key[0]
+    if first in AMBIGUOUS_FIRST_BYTES:
+        return CLASS_IDS[classify_key(key)]
+    cls = _PREFIX_TABLE.get(first)
+    return UNKNOWN_CLASS_ID if cls is None else CLASS_IDS[cls]
+
+
 def class_by_name(name: str) -> Optional[KVClass]:
     """Look up a class by its paper display name (case-sensitive)."""
     try:
@@ -261,4 +294,20 @@ TABLE_ORDER = (
     KVClass.SNAPSHOT_RECOVERY,
     KVClass.TRANSACTION_INDEX_TAIL,
     KVClass.LAST_FAST,
+)
+
+#: Dense id space for the columnar fast paths: Table I order, then
+#: UNKNOWN.  Ids index :data:`CLASS_LIST`; the mapping is stable within a
+#: process but is NOT part of the on-disk trace format (class ids are
+#: always recomputed from keys on load).
+CLASS_LIST: tuple[KVClass, ...] = TABLE_ORDER + (KVClass.UNKNOWN,)
+CLASS_IDS: dict[KVClass, int] = {cls: i for i, cls in enumerate(CLASS_LIST)}
+NUM_CLASSES = len(CLASS_LIST)
+UNKNOWN_CLASS_ID = CLASS_IDS[KVClass.UNKNOWN]
+
+#: Class id for each possible first byte when that byte is unambiguous
+#: (i.e. not in AMBIGUOUS_FIRST_BYTES); UNKNOWN elsewhere.
+PREFIX_CLASS_ID_TABLE: tuple[int, ...] = tuple(
+    CLASS_IDS[_PREFIX_TABLE[b]] if b in _PREFIX_TABLE else UNKNOWN_CLASS_ID
+    for b in range(256)
 )

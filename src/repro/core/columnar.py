@@ -1,0 +1,281 @@
+"""Columnar (structure-of-arrays) trace chunks.
+
+The paper's traces hold billions of KV operations; consuming them one
+Python :class:`~repro.core.trace.TraceRecord` at a time caps every
+analyzer at interpreter speed.  This module holds a trace as a sequence
+of fixed-size **chunks**, each a structure of numpy arrays:
+
+* ``ops``         — ``u8``  operation codes (:class:`OpType` values);
+* ``value_sizes`` — ``u32`` per-record value sizes;
+* ``blocks``      — ``u32`` per-record block heights;
+* ``key_ids``     — ``u32`` indices into the chunk's interned key table.
+
+Keys are interned per chunk: the table holds each distinct key once,
+together with its length and its dense class id (see
+:data:`repro.core.classes.CLASS_LIST`).  Class ids are assigned by a
+vectorized prefix classifier — a 256-entry first-byte table decides all
+unambiguous prefixes in one ``np.take``; only keys whose first byte
+collides with a singleton/literal schema entry fall back to the exact
+:func:`~repro.core.classes.classify_key`.
+
+Analyzers consume chunks through ``consume_chunk`` fast paths (bincount
+reductions over these arrays) and stay bit-identical to the
+record-at-a-time reference path; ``tests/test_parallel.py`` asserts the
+equivalence.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Iterator, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.classes import (
+    AMBIGUOUS_FIRST_BYTES,
+    CLASS_IDS,
+    PREFIX_CLASS_ID_TABLE,
+    UNKNOWN_CLASS_ID,
+    classify_key,
+)
+from repro.core.trace import OpType, TraceRecord
+from repro.errors import TraceFormatError
+
+#: Default number of records per chunk.  64Ki records keep each chunk's
+#: arrays ~1MB — large enough to amortize numpy dispatch, small enough
+#: to stream and to give the parallel scheduler scheduling granularity.
+DEFAULT_CHUNK_SIZE = 65536
+
+#: Maximum key length representable in chunk key tables (u16 on disk,
+#: same limit as trace format v1).
+MAX_KEY_LEN = 0xFFFF
+
+_PREFIX_ID_ARRAY = np.array(PREFIX_CLASS_ID_TABLE, dtype=np.uint8)
+_AMBIGUOUS_MASK = np.zeros(256, dtype=bool)
+for _b in AMBIGUOUS_FIRST_BYTES:
+    _AMBIGUOUS_MASK[_b] = True
+
+
+def class_ids_for_keys(keys: Sequence[bytes]) -> np.ndarray:
+    """Vectorized prefix classifier: dense class id per key.
+
+    Unambiguous first bytes resolve through one table lookup
+    (``np.take``); ambiguous ones (singleton keys, ``ethereum-*``/``iB``
+    literals) fall back to the exact classifier.  Equivalent to
+    ``[CLASS_IDS[classify_key(k)] for k in keys]``.
+    """
+    n = len(keys)
+    if n == 0:
+        return np.zeros(0, dtype=np.uint8)
+    firsts = np.fromiter(
+        (key[0] if key else 0 for key in keys), dtype=np.uint8, count=n
+    )
+    ids = _PREFIX_ID_ARRAY[firsts]
+    for i in np.nonzero(_AMBIGUOUS_MASK[firsts])[0].tolist():
+        ids[i] = CLASS_IDS[classify_key(keys[i])]
+    for i in np.nonzero(firsts == 0)[0].tolist():
+        if not keys[i]:
+            ids[i] = UNKNOWN_CLASS_ID
+    return ids
+
+
+class TraceChunk:
+    """One columnar slab of trace records (structure of arrays)."""
+
+    __slots__ = (
+        "ops",
+        "value_sizes",
+        "blocks",
+        "key_ids",
+        "keys",
+        "key_lens",
+        "key_class_ids",
+        "_class_ids",
+    )
+
+    def __init__(
+        self,
+        ops: np.ndarray,
+        value_sizes: np.ndarray,
+        blocks: np.ndarray,
+        key_ids: np.ndarray,
+        keys: Sequence[bytes],
+        key_class_ids: Optional[np.ndarray] = None,
+    ) -> None:
+        n = len(ops)
+        if not (len(value_sizes) == len(blocks) == len(key_ids) == n):
+            raise ValueError("column arrays must have equal length")
+        self.ops = np.ascontiguousarray(ops, dtype=np.uint8)
+        self.value_sizes = np.ascontiguousarray(value_sizes, dtype=np.uint32)
+        self.blocks = np.ascontiguousarray(blocks, dtype=np.uint32)
+        self.key_ids = np.ascontiguousarray(key_ids, dtype=np.uint32)
+        self.keys = list(keys)
+        self.key_lens = np.fromiter(
+            (len(key) for key in self.keys), dtype=np.uint32, count=len(self.keys)
+        )
+        if key_class_ids is None:
+            key_class_ids = class_ids_for_keys(self.keys)
+        self.key_class_ids = np.ascontiguousarray(key_class_ids, dtype=np.uint8)
+        if len(self.key_class_ids) != len(self.keys):
+            raise ValueError("key_class_ids must match key table length")
+        self._class_ids: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    @property
+    def num_keys(self) -> int:
+        return len(self.keys)
+
+    @property
+    def class_ids(self) -> np.ndarray:
+        """Per-record dense class ids (``u8``), computed once per chunk."""
+        if self._class_ids is None:
+            self._class_ids = np.take(self.key_class_ids, self.key_ids)
+        return self._class_ids
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate in-memory footprint of the array columns."""
+        return (
+            self.ops.nbytes
+            + self.value_sizes.nbytes
+            + self.blocks.nbytes
+            + self.key_ids.nbytes
+            + self.key_lens.nbytes
+            + self.key_class_ids.nbytes
+            + sum(self.key_lens.tolist())
+        )
+
+    @classmethod
+    def from_records(cls, records: Iterable[TraceRecord]) -> "TraceChunk":
+        builder = ChunkBuilder()
+        for record in records:
+            builder.append(record)
+        return builder.build()
+
+    def to_records(self) -> Iterator[TraceRecord]:
+        keys = self.keys
+        for op, kid, value_size, block in zip(
+            self.ops.tolist(),
+            self.key_ids.tolist(),
+            self.value_sizes.tolist(),
+            self.blocks.tolist(),
+        ):
+            yield TraceRecord(OpType(op), keys[kid], value_size, block)
+
+    def record(self, index: int) -> TraceRecord:
+        return TraceRecord(
+            OpType(int(self.ops[index])),
+            self.keys[int(self.key_ids[index])],
+            int(self.value_sizes[index]),
+            int(self.blocks[index]),
+        )
+
+
+class ChunkBuilder:
+    """Accumulates records into one :class:`TraceChunk` (interns keys)."""
+
+    def __init__(self) -> None:
+        self._ops: list[int] = []
+        self._value_sizes: list[int] = []
+        self._blocks: list[int] = []
+        self._key_ids: list[int] = []
+        self._keys: list[bytes] = []
+        self._id_of: dict[bytes, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def append(self, record: TraceRecord) -> None:
+        key = record.key
+        key_id = self._id_of.get(key)
+        if key_id is None:
+            if len(key) > MAX_KEY_LEN:
+                raise TraceFormatError(f"key too long for chunk key table: {len(key)}")
+            key_id = len(self._keys)
+            self._id_of[key] = key_id
+            self._keys.append(key)
+        self._ops.append(int(record.op))
+        self._value_sizes.append(record.value_size)
+        self._blocks.append(record.block)
+        self._key_ids.append(key_id)
+
+    def build(self) -> TraceChunk:
+        n = len(self._ops)
+        return TraceChunk(
+            ops=np.array(self._ops, dtype=np.uint8),
+            value_sizes=np.array(self._value_sizes, dtype=np.uint32),
+            blocks=np.array(self._blocks, dtype=np.uint32),
+            key_ids=np.array(self._key_ids, dtype=np.uint32),
+            keys=self._keys,
+        ) if n else _empty_chunk()
+
+    def reset(self) -> None:
+        self.__init__()
+
+
+def _empty_chunk() -> TraceChunk:
+    zero = np.zeros(0, dtype=np.uint32)
+    return TraceChunk(
+        ops=np.zeros(0, dtype=np.uint8),
+        value_sizes=zero,
+        blocks=zero,
+        key_ids=zero,
+        keys=[],
+    )
+
+
+def chunk_records(
+    records: Iterable[TraceRecord], chunk_size: int = DEFAULT_CHUNK_SIZE
+) -> Iterator[TraceChunk]:
+    """Batch a record stream into columnar chunks of ``chunk_size``."""
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    builder = ChunkBuilder()
+    for record in records:
+        builder.append(record)
+        if len(builder) >= chunk_size:
+            yield builder.build()
+            builder = ChunkBuilder()
+    if len(builder):
+        yield builder.build()
+
+
+class ColumnarTrace:
+    """A whole trace held as a list of columnar chunks."""
+
+    def __init__(self, chunks: Sequence[TraceChunk]) -> None:
+        self.chunks: list[TraceChunk] = list(chunks)
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Iterable[TraceRecord],
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> "ColumnarTrace":
+        return cls(list(chunk_records(records, chunk_size)))
+
+    @classmethod
+    def from_file(
+        cls, path: Union[str, os.PathLike], chunk_size: int = DEFAULT_CHUNK_SIZE
+    ) -> "ColumnarTrace":
+        """Load any trace file (format v1 or v2) as columnar chunks."""
+        from repro.core.trace import ColumnarTraceReader
+
+        with ColumnarTraceReader.open(path, chunk_size=chunk_size) as reader:
+            return cls(list(reader.chunks()))
+
+    def __len__(self) -> int:
+        return sum(len(chunk) for chunk in self.chunks)
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self.chunks)
+
+    def iter_chunks(self) -> Iterator[TraceChunk]:
+        return iter(self.chunks)
+
+    def iter_records(self) -> Iterator[TraceRecord]:
+        for chunk in self.chunks:
+            yield from chunk.to_records()

@@ -135,6 +135,31 @@ class CorrelationAnalyzer:
                     break
         return self
 
+    def consume_chunk(self, chunk) -> "CorrelationAnalyzer":
+        """Chunk-batched ingest: one mask per chunk instead of a Python
+        test per record.  Appends references to the chunk's interned key
+        bytes (no copies); equivalent to :meth:`consume` over the same
+        records, including the ``max_ops`` cutoff.
+        """
+        keys = self._keys
+        max_ops = self.config.max_ops
+        if max_ops is not None and len(keys) >= max_ops:
+            return self
+        mask = chunk.ops == int(self.config.op)
+        if not mask.any():
+            return self
+        matched = chunk.key_ids[mask].tolist()
+        if max_ops is not None:
+            matched = matched[: max_ops - len(keys)]
+        table = chunk.keys
+        keys.extend(table[key_id] for key_id in matched)
+        return self
+
+    def consume_chunks(self, chunks: Iterable) -> "CorrelationAnalyzer":
+        for chunk in chunks:
+            self.consume_chunk(chunk)
+        return self
+
     @property
     def num_ops(self) -> int:
         """Number of operations of the configured kind consumed."""

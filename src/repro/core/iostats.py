@@ -17,10 +17,15 @@ request carries the key) so tiny-value classes are not free.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
-from repro.core.classes import KVClass, classify_key
+import numpy as np
+
+from repro.core.classes import CLASS_LIST, NUM_CLASSES, KVClass, classify_key
 from repro.core.trace import OpType, TraceRecord
+
+if TYPE_CHECKING:
+    from repro.core.columnar import TraceChunk
 
 
 @dataclass
@@ -72,6 +77,66 @@ class IOStatsAnalyzer:
                 stats.bytes_deleted_keys += key_len
             else:  # write / update
                 stats.bytes_written += key_len + record.value_size
+        return self
+
+    def consume_chunk(self, chunk: "TraceChunk") -> "IOStatsAnalyzer":
+        """Columnar equivalent of :meth:`consume` for one chunk.
+
+        Byte volumes are reduced with class-id ``bincount``s (weighted
+        by key+value sizes); exact integer results because all sums stay
+        far below 2**53.
+        """
+        if len(chunk) == 0:
+            return self
+        class_ids = chunk.class_ids.astype(np.int64)
+        ops = chunk.ops
+        key_lens = chunk.key_lens.astype(np.int64)[chunk.key_ids]
+        moved = key_lens + chunk.value_sizes.astype(np.int64)
+
+        ops_per_class = np.bincount(class_ids, minlength=NUM_CLASSES)
+        read_mask = ops == OpType.READ
+        scan_mask = ops == OpType.SCAN
+        delete_mask = ops == OpType.DELETE
+        put_mask = (ops == OpType.WRITE) | (ops == OpType.UPDATE)
+        bytes_read = np.bincount(
+            class_ids[read_mask], weights=moved[read_mask], minlength=NUM_CLASSES
+        )
+        bytes_scanned = np.bincount(
+            class_ids[scan_mask], weights=moved[scan_mask], minlength=NUM_CLASSES
+        )
+        bytes_deleted = np.bincount(
+            class_ids[delete_mask],
+            weights=key_lens[delete_mask],
+            minlength=NUM_CLASSES,
+        )
+        bytes_written = np.bincount(
+            class_ids[put_mask], weights=moved[put_mask], minlength=NUM_CLASSES
+        )
+        for cid in np.nonzero(ops_per_class)[0].tolist():
+            kv_class = CLASS_LIST[cid]
+            stats = self._stats.get(kv_class)
+            if stats is None:
+                stats = ClassIOStats(kv_class)
+                self._stats[kv_class] = stats
+            stats.ops += int(ops_per_class[cid])
+            stats.bytes_read += int(bytes_read[cid])
+            stats.bytes_scanned += int(bytes_scanned[cid])
+            stats.bytes_deleted_keys += int(bytes_deleted[cid])
+            stats.bytes_written += int(bytes_written[cid])
+        return self
+
+    def merge(self, other: "IOStatsAnalyzer") -> "IOStatsAnalyzer":
+        """Fold another analyzer's partial byte volumes into this one."""
+        for kv_class, theirs in other._stats.items():
+            stats = self._stats.get(kv_class)
+            if stats is None:
+                stats = ClassIOStats(kv_class)
+                self._stats[kv_class] = stats
+            stats.ops += theirs.ops
+            stats.bytes_read += theirs.bytes_read
+            stats.bytes_written += theirs.bytes_written
+            stats.bytes_deleted_keys += theirs.bytes_deleted_keys
+            stats.bytes_scanned += theirs.bytes_scanned
         return self
 
     def stats_for(self, kv_class: KVClass) -> ClassIOStats:

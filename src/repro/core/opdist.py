@@ -16,10 +16,17 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Optional
 
-from repro.core.classes import KVClass, classify_key
+import numpy as np
+
+from repro.core.classes import CLASS_LIST, NUM_CLASSES, KVClass, classify_key
 from repro.core.trace import OpType, TraceRecord
+
+if TYPE_CHECKING:
+    from repro.core.columnar import TraceChunk
+
+_NUM_OPS = len(OpType)
 
 
 @dataclass
@@ -159,6 +166,111 @@ class OpDistAnalyzer:
             activity.delete_counts[key] += 1
         elif op is OpType.WRITE:
             activity.write_counts[key] += 1
+
+    # -- columnar fast path ---------------------------------------------
+
+    def consume_chunk(self, chunk: "TraceChunk") -> "OpDistAnalyzer":
+        """Columnar equivalent of :meth:`consume` for one chunk.
+
+        Reduces the chunk's (class id, op) pairs with one ``bincount``
+        instead of per-record Python dispatch; per-key activity is
+        accumulated per *unique* key via a (key id, op) bincount.
+        Produces results identical to the record-at-a-time path.
+        """
+        n = len(chunk)
+        if n == 0:
+            return self
+        self._total_ops += n
+        ops = chunk.ops
+        combined = chunk.class_ids.astype(np.int64) * _NUM_OPS + ops
+        counts = np.bincount(combined, minlength=NUM_CLASSES * _NUM_OPS).reshape(
+            NUM_CLASSES, _NUM_OPS
+        )
+        for cid in np.nonzero(counts.sum(axis=1))[0].tolist():
+            kv_class = CLASS_LIST[cid]
+            dist = self._dist.get(kv_class)
+            if dist is None:
+                dist = OperationDistribution(kv_class)
+                self._dist[kv_class] = dist
+            row = counts[cid]
+            dist.writes += int(row[OpType.WRITE])
+            dist.updates += int(row[OpType.UPDATE])
+            dist.reads += int(row[OpType.READ])
+            dist.scans += int(row[OpType.SCAN])
+            dist.deletes += int(row[OpType.DELETE])
+
+        if not self._track_keys:
+            return self
+        num_keys = chunk.num_keys
+        kcombined = chunk.key_ids.astype(np.int64) * _NUM_OPS + ops
+        kcounts = np.bincount(kcombined, minlength=num_keys * _NUM_OPS).reshape(
+            num_keys, _NUM_OPS
+        )
+        totals = kcounts.sum(axis=1)
+        reads_col = kcounts[:, OpType.READ].tolist()
+        updates_col = kcounts[:, OpType.UPDATE].tolist()
+        deletes_col = kcounts[:, OpType.DELETE].tolist()
+        writes_col = kcounts[:, OpType.WRITE].tolist()
+        keys = chunk.keys
+        key_class_ids = chunk.key_class_ids.tolist()
+        activity_by_cid: dict[int, ClassKeyActivity] = {}
+        for kid in np.nonzero(totals)[0].tolist():
+            cid = key_class_ids[kid]
+            activity = activity_by_cid.get(cid)
+            if activity is None:
+                kv_class = CLASS_LIST[cid]
+                activity = self._activity.get(kv_class)
+                if activity is None:
+                    activity = ClassKeyActivity(kv_class)
+                    self._activity[kv_class] = activity
+                activity_by_cid[cid] = activity
+            key = keys[kid]
+            activity.keys_seen.add(key)
+            if reads_col[kid]:
+                activity.read_counts[key] += reads_col[kid]
+            if updates_col[kid]:
+                activity.update_counts[key] += updates_col[kid]
+            if deletes_col[kid]:
+                activity.delete_counts[key] += deletes_col[kid]
+            if writes_col[kid]:
+                activity.write_counts[key] += writes_col[kid]
+        return self
+
+    def consume_chunks(self, chunks: Iterable["TraceChunk"]) -> "OpDistAnalyzer":
+        for chunk in chunks:
+            self.consume_chunk(chunk)
+        return self
+
+    def merge(self, other: "OpDistAnalyzer") -> "OpDistAnalyzer":
+        """Fold another analyzer's partial aggregates into this one.
+
+        Both analyzers must have been created with the same
+        ``track_keys`` setting; ``other`` is left untouched.
+        """
+        if self._track_keys != other._track_keys:
+            raise ValueError("cannot merge analyzers with different track_keys")
+        self._total_ops += other._total_ops
+        for kv_class, theirs in other._dist.items():
+            dist = self._dist.get(kv_class)
+            if dist is None:
+                dist = OperationDistribution(kv_class)
+                self._dist[kv_class] = dist
+            dist.writes += theirs.writes
+            dist.updates += theirs.updates
+            dist.reads += theirs.reads
+            dist.scans += theirs.scans
+            dist.deletes += theirs.deletes
+        for kv_class, theirs in other._activity.items():
+            activity = self._activity.get(kv_class)
+            if activity is None:
+                activity = ClassKeyActivity(kv_class)
+                self._activity[kv_class] = activity
+            activity.keys_seen |= theirs.keys_seen
+            activity.read_counts.update(theirs.read_counts)
+            activity.update_counts.update(theirs.update_counts)
+            activity.delete_counts.update(theirs.delete_counts)
+            activity.write_counts.update(theirs.write_counts)
+        return self
 
     # -- table accessors ------------------------------------------------
 

@@ -1,0 +1,185 @@
+"""Process-parallel sharded trace analysis.
+
+The per-class aggregations behind Tables II-IV and the per-block/byte
+statistics are embarrassingly parallel: every analyzer in
+:data:`ANALYZER_FACTORIES` exposes a ``consume_chunk`` fast path and a
+``merge`` reduction, so a trace can be split into contiguous shards of
+columnar chunks, analyzed in worker processes, and reduced in shard
+order (ordering matters only for
+:class:`~repro.core.blockstats.BlockStatsAnalyzer`, whose
+``reads_after_first_put`` accounting is order-sensitive).
+
+Sharding strategies, picked automatically by :func:`analyze_trace`:
+
+* **file shards** — for v2 traces with a footer, workers receive
+  ``(path, chunk offsets)`` and read their chunks straight from disk
+  (no pickling of trace data);
+* **chunk shards** — in-memory chunks are pickled to the pool (used for
+  v1 files, record iterables and :class:`ColumnarTrace` inputs);
+* **in-process fallback** — ``workers=1`` consumes the chunk stream
+  lazily on the calling process, with no multiprocessing involved.
+
+All three produce results identical to the sequential record-at-a-time
+reference path (asserted in ``tests/test_parallel.py``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, Optional, Sequence, Union
+
+from repro.core.blockstats import BlockStatsAnalyzer
+from repro.core.columnar import DEFAULT_CHUNK_SIZE, ColumnarTrace, TraceChunk, chunk_records
+from repro.core.iostats import IOStatsAnalyzer
+from repro.core.opdist import OpDistAnalyzer
+from repro.core.trace import (
+    TraceRecord,
+    open_trace_chunks,
+    read_chunk_at,
+    read_trace_footer,
+)
+from repro.errors import TraceFormatError
+
+#: Analyzer names accepted by :func:`analyze_trace`; each factory takes
+#: ``track_keys`` (ignored by analyzers that have no per-key state).
+ANALYZER_FACTORIES: Dict[str, Callable[[bool], object]] = {
+    "opdist": lambda track_keys: OpDistAnalyzer(track_keys=track_keys),
+    "blockstats": lambda track_keys: BlockStatsAnalyzer(),
+    "iostats": lambda track_keys: IOStatsAnalyzer(),
+}
+
+DEFAULT_ANALYZERS = ("opdist", "blockstats", "iostats")
+
+TraceSource = Union[str, Path, ColumnarTrace, Iterable[TraceRecord]]
+
+
+def _make_analyzers(names: Sequence[str], track_keys: bool) -> Dict[str, object]:
+    unknown = [name for name in names if name not in ANALYZER_FACTORIES]
+    if unknown:
+        raise ValueError(f"unknown analyzers: {unknown}")
+    return {name: ANALYZER_FACTORIES[name](track_keys) for name in names}
+
+
+def analyze_chunks(
+    chunks: Iterable[TraceChunk],
+    analyzers: Sequence[str] = DEFAULT_ANALYZERS,
+    track_keys: bool = True,
+) -> Dict[str, object]:
+    """Sequential chunked analysis (the ``workers=1`` fallback)."""
+    built = _make_analyzers(analyzers, track_keys)
+    consumers = list(built.values())
+    for chunk in chunks:
+        for analyzer in consumers:
+            analyzer.consume_chunk(chunk)
+    return built
+
+
+def _analyze_shard(args) -> Dict[str, object]:
+    """Pool worker: analyze one shard (inline chunks or file offsets)."""
+    names, track_keys, chunks, path, offsets = args
+    if chunks is None:
+        chunks = (read_chunk_at(path, offset) for offset in offsets)
+    return analyze_chunks(chunks, analyzers=names, track_keys=track_keys)
+
+
+def _split_shards(items: Sequence, shards: int) -> list[Sequence]:
+    """Split into up to ``shards`` contiguous, near-equal slices."""
+    shards = min(shards, len(items))
+    if shards <= 0:
+        return []
+    base, extra = divmod(len(items), shards)
+    out = []
+    start = 0
+    for index in range(shards):
+        size = base + (1 if index < extra else 0)
+        out.append(items[start : start + size])
+        start += size
+    return out
+
+
+def _merge_in_order(partials: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    merged = partials[0]
+    for partial in partials[1:]:
+        for name, analyzer in merged.items():
+            analyzer.merge(partial[name])
+    return merged
+
+
+def analyze_trace(
+    source: TraceSource,
+    *,
+    workers: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    analyzers: Sequence[str] = DEFAULT_ANALYZERS,
+    track_keys: bool = True,
+) -> Dict[str, object]:
+    """Run the mergeable analyzers over a trace, optionally in parallel.
+
+    ``source`` may be a trace file path (v1 or v2), a
+    :class:`ColumnarTrace`, or any iterable of records.  Returns a dict
+    mapping analyzer name to the fully reduced analyzer instance.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+
+    path: Optional[str] = None
+    if isinstance(source, (str, Path)):
+        path = str(source)
+
+    if workers == 1:
+        if path is not None:
+            return analyze_chunks(
+                open_trace_chunks(path, chunk_size=chunk_size),
+                analyzers=analyzers,
+                track_keys=track_keys,
+            )
+        chunks = (
+            source.chunks
+            if isinstance(source, ColumnarTrace)
+            else chunk_records(source, chunk_size)
+        )
+        return analyze_chunks(chunks, analyzers=analyzers, track_keys=track_keys)
+
+    names = tuple(analyzers)
+    _make_analyzers(names, track_keys)  # validate names before forking
+
+    shard_args = None
+    if path is not None:
+        try:
+            footer = read_trace_footer(path)
+        except TraceFormatError:
+            footer = None
+        if footer is not None:
+            offsets = [offset for offset, _ in footer.chunks]
+            shard_args = [
+                (names, track_keys, None, path, shard)
+                for shard in _split_shards(offsets, workers)
+            ]
+        else:
+            chunks = list(open_trace_chunks(path, chunk_size=chunk_size))
+    elif isinstance(source, ColumnarTrace):
+        chunks = source.chunks
+    else:
+        chunks = list(chunk_records(source, chunk_size))
+
+    if shard_args is None:
+        shard_args = [
+            (names, track_keys, shard, None, None)
+            for shard in _split_shards(chunks, workers)
+        ]
+
+    if not shard_args:
+        return _make_analyzers(names, track_keys)
+    if len(shard_args) == 1:
+        return _analyze_shard(shard_args[0])
+
+    with multiprocessing.get_context().Pool(len(shard_args)) as pool:
+        partials = pool.map(_analyze_shard, shard_args)
+    return _merge_in_order(partials)
+
+
+def default_workers() -> int:
+    """A reasonable worker count for the current machine."""
+    return max(1, os.cpu_count() or 1)

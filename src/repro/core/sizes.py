@@ -12,9 +12,12 @@ from __future__ import annotations
 import math
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Optional
+from typing import Iterable, Mapping, Optional, Sequence
+
+import numpy as np
 
 from repro.core.classes import (
+    CLASS_LIST,
     DOMINANT_CLASSES,
     TABLE_ORDER,
     KVClass,
@@ -44,6 +47,52 @@ class RunningStats:
             self.minimum = value
         if self.maximum is None or value > self.maximum:
             self.maximum = value
+
+    def add_batch(self, values: "np.ndarray") -> None:
+        """Fold a whole array of observations in (parallel-merge update).
+
+        Uses the pairwise/Chan combination of (count, mean, M2), the
+        batch counterpart of Welford's update.  Counts, minima and
+        maxima match the sequential path exactly; mean/M2 agree to
+        floating-point rounding.
+        """
+        n = int(values.size)
+        if n == 0:
+            return
+        batch = RunningStats(
+            count=n,
+            mean=float(values.mean()),
+            minimum=int(values.min()),
+            maximum=int(values.max()),
+        )
+        batch._m2 = float(np.square(values - batch.mean).sum())
+        self.merge(batch)
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Combine another partial's (count, mean, M2, min, max)."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return self
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self._m2 = self._m2 + other._m2 + delta * delta * self.count * other.count / total
+        self.mean += delta * other.count / total
+        self.count = total
+        if other.minimum is not None and (
+            self.minimum is None or other.minimum < self.minimum
+        ):
+            self.minimum = other.minimum
+        if other.maximum is not None and (
+            self.maximum is None or other.maximum > self.maximum
+        ):
+            self.maximum = other.maximum
+        return self
 
     @property
     def variance(self) -> float:
@@ -123,6 +172,53 @@ class SizeAnalyzer:
         """Consume ``(key, value)`` pairs from a store scan."""
         for key, value in pairs:
             self.add_pair(key, len(value))
+
+    def add_pairs_batch(
+        self, keys: Sequence[bytes], value_sizes: Sequence[int]
+    ) -> None:
+        """Vectorized :meth:`add_pair` over whole arrays of pairs.
+
+        Keys are classified with the columnar prefix classifier; each
+        class's key/value size statistics and Figure 2 histogram are
+        reduced with numpy group-bys instead of per-pair Python calls.
+        """
+        from repro.core.columnar import class_ids_for_keys
+
+        n = len(keys)
+        if n == 0:
+            return
+        class_ids = class_ids_for_keys(keys)
+        key_lens = np.fromiter((len(key) for key in keys), dtype=np.int64, count=n)
+        sizes = np.asarray(value_sizes, dtype=np.int64)
+        if len(sizes) != n:
+            raise ValueError("keys and value_sizes must have equal length")
+        totals = key_lens + sizes
+        for cid in np.unique(class_ids).tolist():
+            kv_class = CLASS_LIST[cid]
+            stats = self._stats.get(kv_class)
+            if stats is None:
+                stats = ClassSizeStats(kv_class)
+                self._stats[kv_class] = stats
+            mask = class_ids == cid
+            stats.num_pairs += int(np.count_nonzero(mask))
+            stats.key_size.add_batch(key_lens[mask])
+            stats.value_size.add_batch(sizes[mask])
+            unique_totals, counts = np.unique(totals[mask], return_counts=True)
+            for total, count in zip(unique_totals.tolist(), counts.tolist()):
+                stats.kv_size_histogram[total] += count
+
+    def merge(self, other: "SizeAnalyzer") -> "SizeAnalyzer":
+        """Fold another analyzer's partial per-class stats into this one."""
+        for kv_class, theirs in other._stats.items():
+            stats = self._stats.get(kv_class)
+            if stats is None:
+                stats = ClassSizeStats(kv_class)
+                self._stats[kv_class] = stats
+            stats.num_pairs += theirs.num_pairs
+            stats.key_size.merge(theirs.key_size)
+            stats.value_size.merge(theirs.value_size)
+            stats.kv_size_histogram.update(theirs.kv_size_histogram)
+        return self
 
     @property
     def total_pairs(self) -> int:

@@ -7,15 +7,20 @@ the key, the value size (values themselves are not retained; the
 analyses only need sizes), and the block height at which the operation
 was issued.
 
-Two persistent formats are provided:
+Three persistent formats are provided:
 
-* **binary** (default): a compact length-prefixed format suitable for
-  multi-million-record traces;
+* **binary v1**: a compact length-prefixed record stream;
+* **binary v2**: a chunked *columnar* format — each chunk stores the
+  operation/value-size/block/key-id columns as contiguous little-endian
+  arrays plus an interned key table, and a footer records per-chunk file
+  offsets and record counts so shards can be read independently (the
+  parallel scheduler's random-access path);
 * **text**: one human-readable line per record, mirroring the format of
   the paper's released ``geth-trace`` logs.
 
-Both support streaming: readers yield records lazily so analyses can run
-over traces larger than memory.
+All formats support streaming: readers yield records (or columnar
+chunks) lazily so analyses can run over traces larger than memory.
+:class:`ColumnarTraceReader` reads both binary versions transparently.
 """
 
 from __future__ import annotations
@@ -25,9 +30,12 @@ import io
 import struct
 from dataclasses import dataclass
 from pathlib import Path
-from typing import IO, Iterable, Iterator, Union
+from typing import IO, TYPE_CHECKING, Iterable, Iterator, Optional, Union
 
 from repro.errors import TraceFormatError
+
+if TYPE_CHECKING:  # avoid an import cycle; columnar imports this module
+    from repro.core.columnar import TraceChunk
 
 
 class OpType(enum.IntEnum):
@@ -110,8 +118,27 @@ class TraceRecord:
 
 _BINARY_MAGIC = b"EKVT"
 _BINARY_VERSION = 1
+_BINARY_VERSION_V2 = 2
 # Per-record header: op(u8), key_len(u16), value_size(u32), block(u32)
 _RECORD_HEADER = struct.Struct("<BHII")
+
+
+def _iter_v1_records(stream: IO[bytes]) -> Iterator[TraceRecord]:
+    """Yield records from a v1 stream positioned just past the header."""
+    read = stream.read
+    header_size = _RECORD_HEADER.size
+    unpack = _RECORD_HEADER.unpack
+    while True:
+        header = read(header_size)
+        if not header:
+            return
+        if len(header) != header_size:
+            raise TraceFormatError("truncated record header")
+        op, key_len, value_size, block = unpack(header)
+        key = read(key_len)
+        if len(key) != key_len:
+            raise TraceFormatError("truncated record key")
+        yield TraceRecord(OpType(op), key, value_size, block)
 
 
 class TraceWriter:
@@ -131,7 +158,12 @@ class TraceWriter:
 
     @classmethod
     def open(cls, path: Union[str, Path]) -> "TraceWriter":
-        return cls(open(path, "wb"))
+        stream = open(path, "wb")
+        try:
+            return cls(stream)
+        except BaseException:
+            stream.close()
+            raise
 
     @property
     def count(self) -> int:
@@ -177,23 +209,15 @@ class TraceReader:
 
     @classmethod
     def open(cls, path: Union[str, Path]) -> "TraceReader":
-        return cls(open(path, "rb"))
+        stream = open(path, "rb")
+        try:
+            return cls(stream)
+        except BaseException:
+            stream.close()
+            raise
 
     def __iter__(self) -> Iterator[TraceRecord]:
-        read = self._stream.read
-        header_size = _RECORD_HEADER.size
-        unpack = _RECORD_HEADER.unpack
-        while True:
-            header = read(header_size)
-            if not header:
-                return
-            if len(header) != header_size:
-                raise TraceFormatError("truncated record header")
-            op, key_len, value_size, block = unpack(header)
-            key = read(key_len)
-            if len(key) != key_len:
-                raise TraceFormatError("truncated record key")
-            yield TraceRecord(OpType(op), key, value_size, block)
+        return _iter_v1_records(self._stream)
 
     def close(self) -> None:
         self._stream.close()
@@ -205,16 +229,352 @@ class TraceReader:
         self.close()
 
 
+# ---------------------------------------------------------------------------
+# Binary format v2: chunked columnar with footer
+# ---------------------------------------------------------------------------
+#
+# Layout::
+#
+#     "EKVT" 0x02
+#     sections, each introduced by a tag byte:
+#       0x01 chunk:  num_records(u32) num_keys(u32)
+#                    ops[u8 x n] value_sizes[u32 x n] blocks[u32 x n]
+#                    key_ids[u32 x n] key_lens[u16 x k] key_blob
+#       0x02 footer: num_chunks(u32) total_records(u64)
+#                    num_chunks x (chunk_offset(u64) num_records(u32))
+#     trailer: footer_offset(u64) "EKVF"
+#
+# Chunk offsets point at the chunk's tag byte, so a worker can seek
+# straight to its shard.  Streaming readers never need the footer: they
+# walk sections until the footer tag (or EOF for an untrailed stream).
+
+_TAG_CHUNK = 0x01
+_TAG_FOOTER = 0x02
+_CHUNK_COUNTS = struct.Struct("<II")  # num_records, num_keys
+_FOOTER_HEADER = struct.Struct("<IQ")  # num_chunks, total_records
+_FOOTER_ENTRY = struct.Struct("<QI")  # chunk offset, num_records
+_TRAILER = struct.Struct("<Q4s")  # footer offset, trailer magic
+_TRAILER_MAGIC = b"EKVF"
+
+
+def _read_exact(stream: IO[bytes], size: int, what: str) -> bytes:
+    data = stream.read(size)
+    if len(data) != size:
+        raise TraceFormatError(f"truncated {what}: wanted {size}, got {len(data)}")
+    return data
+
+
+def _pack_chunk(chunk: "TraceChunk") -> bytes:
+    num_keys = chunk.num_keys
+    if num_keys and int(chunk.key_lens.max()) > 0xFFFF:
+        raise TraceFormatError("key too long for trace format v2")
+    return b"".join(
+        (
+            bytes([_TAG_CHUNK]),
+            _CHUNK_COUNTS.pack(len(chunk), num_keys),
+            chunk.ops.astype("<u1", copy=False).tobytes(),
+            chunk.value_sizes.astype("<u4", copy=False).tobytes(),
+            chunk.blocks.astype("<u4", copy=False).tobytes(),
+            chunk.key_ids.astype("<u4", copy=False).tobytes(),
+            chunk.key_lens.astype("<u2").tobytes(),
+            b"".join(chunk.keys),
+        )
+    )
+
+
+def _read_chunk_body(stream: IO[bytes], num_records: int, num_keys: int) -> "TraceChunk":
+    import numpy as np
+
+    from repro.core.columnar import TraceChunk
+
+    ops = np.frombuffer(_read_exact(stream, num_records, "chunk ops"), dtype=np.uint8)
+    value_sizes = np.frombuffer(
+        _read_exact(stream, 4 * num_records, "chunk value sizes"), dtype="<u4"
+    )
+    blocks = np.frombuffer(
+        _read_exact(stream, 4 * num_records, "chunk blocks"), dtype="<u4"
+    )
+    key_ids = np.frombuffer(
+        _read_exact(stream, 4 * num_records, "chunk key ids"), dtype="<u4"
+    )
+    key_lens = np.frombuffer(
+        _read_exact(stream, 2 * num_keys, "chunk key lengths"), dtype="<u2"
+    )
+    blob = _read_exact(stream, int(key_lens.sum()), "chunk key blob")
+    keys: list[bytes] = []
+    offset = 0
+    for length in key_lens.tolist():
+        keys.append(blob[offset : offset + length])
+        offset += length
+    if num_records and num_keys and int(key_ids.max()) >= num_keys:
+        raise TraceFormatError("chunk key id out of range")
+    return TraceChunk(
+        ops=ops, value_sizes=value_sizes, blocks=blocks, key_ids=key_ids, keys=keys
+    )
+
+
+class ColumnarTraceWriter:
+    """Streaming v2 (chunked columnar) trace writer.
+
+    Accepts either individual records (batched into chunks of
+    ``chunk_size``) or pre-built columnar chunks; writes the footer and
+    trailer on close.
+    """
+
+    def __init__(self, stream: IO[bytes], chunk_size: Optional[int] = None) -> None:
+        from repro.core.columnar import DEFAULT_CHUNK_SIZE, ChunkBuilder
+
+        self._stream = stream
+        self._chunk_size = chunk_size if chunk_size else DEFAULT_CHUNK_SIZE
+        if self._chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        self._builder = ChunkBuilder()
+        self._count = 0
+        self._offsets: list[tuple[int, int]] = []
+        stream.write(_BINARY_MAGIC)
+        stream.write(bytes([_BINARY_VERSION_V2]))
+        self._pos = len(_BINARY_MAGIC) + 1
+        self._finished = False
+        self._closed = False
+
+    @classmethod
+    def open(
+        cls, path: Union[str, Path], chunk_size: Optional[int] = None
+    ) -> "ColumnarTraceWriter":
+        stream = open(path, "wb")
+        try:
+            return cls(stream, chunk_size=chunk_size)
+        except BaseException:
+            stream.close()
+            raise
+
+    @property
+    def count(self) -> int:
+        """Number of records accepted so far (including unflushed ones)."""
+        return self._count + len(self._builder)
+
+    def append(self, record: TraceRecord) -> None:
+        self._builder.append(record)
+        if len(self._builder) >= self._chunk_size:
+            self._flush_builder()
+
+    def extend(self, records: Iterable[TraceRecord]) -> None:
+        for record in records:
+            self.append(record)
+
+    def write_chunk(self, chunk: "TraceChunk") -> None:
+        """Write a pre-built chunk (flushes any buffered records first)."""
+        self._flush_builder()
+        if len(chunk) == 0:
+            return
+        self._offsets.append((self._pos, len(chunk)))
+        payload = _pack_chunk(chunk)
+        self._stream.write(payload)
+        self._pos += len(payload)
+        self._count += len(chunk)
+
+    def _flush_builder(self) -> None:
+        if len(self._builder):
+            chunk = self._builder.build()
+            from repro.core.columnar import ChunkBuilder
+
+            self._builder = ChunkBuilder()
+            self.write_chunk(chunk)
+
+    def finish(self) -> None:
+        """Flush buffered records and write the footer + trailer.
+
+        Idempotent; :meth:`close` calls it automatically.  Call it
+        directly when writing to an in-memory stream that must stay
+        readable afterwards (e.g. ``io.BytesIO``).
+        """
+        if self._finished:
+            return
+        self._flush_builder()
+        footer_offset = self._pos
+        footer = [bytes([_TAG_FOOTER])]
+        footer.append(_FOOTER_HEADER.pack(len(self._offsets), self._count))
+        for offset, count in self._offsets:
+            footer.append(_FOOTER_ENTRY.pack(offset, count))
+        footer.append(_TRAILER.pack(footer_offset, _TRAILER_MAGIC))
+        self._stream.write(b"".join(footer))
+        self._finished = True
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        try:
+            self.finish()
+        finally:
+            self._closed = True
+            self._stream.close()
+
+    def __enter__(self) -> "ColumnarTraceWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+@dataclass(frozen=True)
+class TraceFooter:
+    """v2 footer contents: per-chunk offsets/counts for random access."""
+
+    total_records: int
+    #: per chunk: (file offset of the chunk's tag byte, record count)
+    chunks: tuple[tuple[int, int], ...]
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self.chunks)
+
+
+class ColumnarTraceReader:
+    """Streaming chunk reader for binary traces (v1 and v2).
+
+    v2 files yield their stored chunks; v1 files are batched into
+    columnar chunks of ``chunk_size`` on the fly, so analyzers can use
+    one chunked code path regardless of the on-disk format.
+    """
+
+    def __init__(self, stream: IO[bytes], chunk_size: Optional[int] = None) -> None:
+        from repro.core.columnar import DEFAULT_CHUNK_SIZE
+
+        self._stream = stream
+        self._chunk_size = chunk_size if chunk_size else DEFAULT_CHUNK_SIZE
+        magic = stream.read(4)
+        if magic != _BINARY_MAGIC:
+            raise TraceFormatError(f"bad trace magic: {magic!r}")
+        version = stream.read(1)
+        if not version or version[0] not in (_BINARY_VERSION, _BINARY_VERSION_V2):
+            raise TraceFormatError(f"unsupported trace version: {version!r}")
+        self.version = version[0]
+
+    @classmethod
+    def open(
+        cls, path: Union[str, Path], chunk_size: Optional[int] = None
+    ) -> "ColumnarTraceReader":
+        stream = open(path, "rb")
+        try:
+            return cls(stream, chunk_size=chunk_size)
+        except BaseException:
+            stream.close()
+            raise
+
+    def chunks(self) -> Iterator["TraceChunk"]:
+        """Lazily yield columnar chunks in trace order."""
+        if self.version == _BINARY_VERSION:
+            from repro.core.columnar import chunk_records
+
+            yield from chunk_records(_iter_v1_records(self._stream), self._chunk_size)
+            return
+        read = self._stream.read
+        while True:
+            tag = read(1)
+            if not tag or tag[0] == _TAG_FOOTER:
+                return
+            if tag[0] != _TAG_CHUNK:
+                raise TraceFormatError(f"bad v2 section tag: {tag!r}")
+            counts = _read_exact(self._stream, _CHUNK_COUNTS.size, "chunk header")
+            num_records, num_keys = _CHUNK_COUNTS.unpack(counts)
+            yield _read_chunk_body(self._stream, num_records, num_keys)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        if self.version == _BINARY_VERSION:
+            yield from _iter_v1_records(self._stream)
+            return
+        for chunk in self.chunks():
+            yield from chunk.to_records()
+
+    def close(self) -> None:
+        self._stream.close()
+
+    def __enter__(self) -> "ColumnarTraceReader":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_trace_footer(path: Union[str, Path]) -> TraceFooter:
+    """Read the v2 footer (chunk offsets/counts) from a trace file.
+
+    Raises :class:`TraceFormatError` for v1 traces (no footer) and for
+    missing/corrupt trailers.
+    """
+    with open(path, "rb") as stream:
+        magic = stream.read(4)
+        if magic != _BINARY_MAGIC:
+            raise TraceFormatError(f"bad trace magic: {magic!r}")
+        version = stream.read(1)
+        if not version or version[0] != _BINARY_VERSION_V2:
+            raise TraceFormatError("trace has no footer (not a v2 trace)")
+        stream.seek(0, io.SEEK_END)
+        size = stream.tell()
+        if size < 5 + _TRAILER.size:
+            raise TraceFormatError("truncated v2 trailer")
+        stream.seek(size - _TRAILER.size)
+        footer_offset, trailer_magic = _TRAILER.unpack(
+            _read_exact(stream, _TRAILER.size, "v2 trailer")
+        )
+        if trailer_magic != _TRAILER_MAGIC:
+            raise TraceFormatError(f"bad v2 trailer magic: {trailer_magic!r}")
+        if footer_offset < 5 or footer_offset >= size:
+            raise TraceFormatError("v2 footer offset out of range")
+        stream.seek(footer_offset)
+        tag = _read_exact(stream, 1, "v2 footer tag")
+        if tag[0] != _TAG_FOOTER:
+            raise TraceFormatError("v2 footer offset does not point at a footer")
+        header = _read_exact(stream, _FOOTER_HEADER.size, "v2 footer header")
+        num_chunks, total_records = _FOOTER_HEADER.unpack(header)
+        entries = []
+        for _ in range(num_chunks):
+            entry = _read_exact(stream, _FOOTER_ENTRY.size, "v2 footer entry")
+            entries.append(_FOOTER_ENTRY.unpack(entry))
+        return TraceFooter(total_records=total_records, chunks=tuple(entries))
+
+
+def read_chunk_at(path: Union[str, Path], offset: int) -> "TraceChunk":
+    """Random-access read of one chunk via its footer offset."""
+    with open(path, "rb") as stream:
+        stream.seek(offset)
+        tag = _read_exact(stream, 1, "chunk tag")
+        if tag[0] != _TAG_CHUNK:
+            raise TraceFormatError(f"no chunk at offset {offset}")
+        counts = _read_exact(stream, _CHUNK_COUNTS.size, "chunk header")
+        num_records, num_keys = _CHUNK_COUNTS.unpack(counts)
+        return _read_chunk_body(stream, num_records, num_keys)
+
+
 def write_trace(path: Union[str, Path], records: Iterable[TraceRecord]) -> int:
-    """Write all records to a binary trace file; return the record count."""
+    """Write all records to a binary v1 trace file; return the count."""
     with TraceWriter.open(path) as writer:
         writer.extend(records)
         return writer.count
 
 
+def write_trace_v2(
+    path: Union[str, Path],
+    records: Iterable[TraceRecord],
+    chunk_size: Optional[int] = None,
+) -> int:
+    """Write records as a chunked columnar v2 trace; return the count."""
+    with ColumnarTraceWriter.open(path, chunk_size=chunk_size) as writer:
+        writer.extend(records)
+        return writer.count
+
+
+def open_trace_chunks(
+    path: Union[str, Path], chunk_size: Optional[int] = None
+) -> Iterator["TraceChunk"]:
+    """Lazily iterate columnar chunks from any binary trace (v1 or v2)."""
+    with ColumnarTraceReader.open(path, chunk_size=chunk_size) as reader:
+        yield from reader.chunks()
+
+
 def read_trace(path: Union[str, Path]) -> Iterator[TraceRecord]:
-    """Iterate records from a binary trace file (closes at exhaustion)."""
-    with TraceReader.open(path) as reader:
+    """Iterate records from a binary trace file of either version."""
+    with ColumnarTraceReader.open(path) as reader:
         yield from reader
 
 

@@ -1,0 +1,171 @@
+"""Columnar chunk and vectorized classifier tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.classes import (
+    AMBIGUOUS_FIRST_BYTES,
+    CLASS_IDS,
+    SINGLETON_KEYS,
+    UNKNOWN_CLASS_ID,
+    classify_key,
+)
+from repro.core.columnar import (
+    ChunkBuilder,
+    ColumnarTrace,
+    TraceChunk,
+    chunk_records,
+    class_ids_for_keys,
+)
+from repro.core.trace import OpType, TraceRecord, write_trace, write_trace_v2
+from repro.errors import TraceFormatError
+
+record_strategy = st.builds(
+    TraceRecord,
+    op=st.sampled_from(list(OpType)),
+    key=st.binary(min_size=1, max_size=64),
+    value_size=st.integers(min_value=0, max_value=2**32 - 1),
+    block=st.integers(min_value=0, max_value=2**32 - 1),
+)
+
+
+def _sample_records():
+    return [
+        TraceRecord(OpType.WRITE, b"lABCDEF", 100, 1),
+        TraceRecord(OpType.READ, b"A\x00\x12", 42, 2),
+        TraceRecord(OpType.READ, b"lABCDEF", 100, 2),
+        TraceRecord(OpType.DELETE, b"h" + b"\x01" * 40, 0, 3),
+        TraceRecord(OpType.SCAN, b"a", 12345, 4),
+        TraceRecord(OpType.UPDATE, b"LastHeader", 32, 5),
+    ]
+
+
+class TestClassIdsForKeys:
+    def test_matches_exact_classifier_on_schema_keys(self):
+        keys = [
+            b"lABCDEF",  # tx lookup
+            b"A\x00\x12",  # snapshot account
+            b"h" + b"\x01" * 40,
+            b"a\x99",
+            b"LastHeader",  # singleton (ambiguous first byte 'L')
+            b"LastFa",  # non-singleton key starting with 'L'
+            b"SnapshotJournal",  # singleton
+            b"S\x01\x02",  # non-singleton 'S' key
+            b"ethereum-config-mainnet",  # literal prefix
+            b"ethereum-genesis-x",
+            b"iB\x00\x01",  # bloom bits index
+            b"iX",  # 'i' first byte but not the iB literal
+            b"unclean-shutdown",
+            b"\x00weird",
+            b"zzz-no-such-prefix",
+        ]
+        expected = [CLASS_IDS[classify_key(key)] for key in keys]
+        assert class_ids_for_keys(keys).tolist() == expected
+
+    def test_all_singletons(self):
+        keys = list(SINGLETON_KEYS)
+        expected = [CLASS_IDS[classify_key(key)] for key in keys]
+        assert class_ids_for_keys(keys).tolist() == expected
+
+    def test_empty_inputs(self):
+        assert class_ids_for_keys([]).tolist() == []
+        assert class_ids_for_keys([b""]).tolist() == [UNKNOWN_CLASS_ID]
+
+    def test_ambiguous_bytes_cover_singletons(self):
+        # the fallback set must cover every literal the table can't decide
+        for key in SINGLETON_KEYS:
+            assert key[0] in AMBIGUOUS_FIRST_BYTES
+
+    @given(st.lists(st.binary(min_size=0, max_size=48), max_size=64))
+    def test_matches_exact_classifier(self, keys):
+        expected = [CLASS_IDS[classify_key(key)] for key in keys]
+        assert class_ids_for_keys(keys).tolist() == expected
+
+
+class TestTraceChunk:
+    def test_roundtrip(self):
+        records = _sample_records()
+        chunk = TraceChunk.from_records(records)
+        assert len(chunk) == len(records)
+        assert list(chunk.to_records()) == records
+        assert [chunk.record(i) for i in range(len(chunk))] == records
+
+    def test_interning(self):
+        records = _sample_records()
+        chunk = TraceChunk.from_records(records)
+        # b"lABCDEF" appears twice but is stored once
+        assert chunk.num_keys == len(records) - 1
+        assert len(set(chunk.keys)) == chunk.num_keys
+        assert chunk.key_ids[0] == chunk.key_ids[2]
+
+    def test_class_ids_match_classifier(self):
+        chunk = TraceChunk.from_records(_sample_records())
+        expected = [
+            CLASS_IDS[classify_key(record.key)] for record in chunk.to_records()
+        ]
+        assert chunk.class_ids.tolist() == expected
+        assert chunk.class_ids.dtype == np.uint8
+
+    def test_key_lens(self):
+        chunk = TraceChunk.from_records(_sample_records())
+        assert chunk.key_lens.tolist() == [len(key) for key in chunk.keys]
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(ValueError):
+            TraceChunk(
+                ops=np.zeros(2, dtype=np.uint8),
+                value_sizes=np.zeros(1, dtype=np.uint32),
+                blocks=np.zeros(2, dtype=np.uint32),
+                key_ids=np.zeros(2, dtype=np.uint32),
+                keys=[b"x"],
+            )
+
+    def test_oversized_key_rejected(self):
+        builder = ChunkBuilder()
+        with pytest.raises(TraceFormatError):
+            builder.append(TraceRecord(OpType.READ, b"x" * 70000, 0, 0))
+
+    def test_nbytes_positive(self):
+        assert TraceChunk.from_records(_sample_records()).nbytes > 0
+
+    @given(st.lists(record_strategy, max_size=80))
+    def test_roundtrip_property(self, records):
+        chunk = TraceChunk.from_records(records)
+        assert list(chunk.to_records()) == records
+
+
+class TestChunkRecords:
+    def test_chunk_sizes(self):
+        records = _sample_records() * 5  # 30 records
+        chunks = list(chunk_records(records, chunk_size=7))
+        assert [len(chunk) for chunk in chunks] == [7, 7, 7, 7, 2]
+        flattened = [r for chunk in chunks for r in chunk.to_records()]
+        assert flattened == records
+
+    def test_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            list(chunk_records(_sample_records(), chunk_size=0))
+
+    def test_empty(self):
+        assert list(chunk_records([], chunk_size=4)) == []
+
+
+class TestColumnarTrace:
+    def test_from_records(self):
+        records = _sample_records() * 3
+        trace = ColumnarTrace.from_records(records, chunk_size=4)
+        assert len(trace) == len(records)
+        assert trace.num_chunks == 5
+        assert list(trace.iter_records()) == records
+
+    @pytest.mark.parametrize("writer", [write_trace, write_trace_v2])
+    def test_from_file_both_versions(self, tmp_path, writer):
+        records = _sample_records() * 4
+        path = tmp_path / "trace.bin"
+        writer(path, records)
+        trace = ColumnarTrace.from_file(path, chunk_size=10)
+        assert len(trace) == len(records)
+        assert list(trace.iter_records()) == records

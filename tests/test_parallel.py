@@ -1,0 +1,359 @@
+"""Chunked and parallel analysis equivalence tests.
+
+Every mergeable analyzer's ``consume_chunk`` fast path and ``merge``
+reduction must reproduce the record-at-a-time reference results exactly
+— that guarantee is what lets :func:`repro.core.parallel.analyze_trace`
+shard traces over worker processes.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import TraceAnalysis
+from repro.core.blockstats import BlockStatsAnalyzer
+from repro.core.classes import CLASS_LIST, KVClass
+from repro.core.columnar import ColumnarTrace, chunk_records
+from repro.core.correlation import CorrelationAnalyzer, CorrelationConfig
+from repro.core.iostats import IOStatsAnalyzer
+from repro.core.opdist import OpDistAnalyzer
+from repro.core.parallel import analyze_chunks, analyze_trace, default_workers
+from repro.core.sizes import RunningStats, SizeAnalyzer
+from repro.core.trace import OpType, TraceRecord, write_trace, write_trace_v2
+
+
+def _random_records(n=3000, seed=11, num_blocks=37):
+    """A synthetic trace exercising every op, many classes, interleaved
+    blocks, and repeated keys (so interning and per-key counters work)."""
+    rng = random.Random(seed)
+    prefixes = [b"A", b"O", b"a", b"o", b"h", b"l", b"c", b"B", b"H", b"t"]
+    singles = [b"LastHeader", b"LastBlock", b"SnapshotRoot", b"ethereum-config-x"]
+    keys = [
+        rng.choice(prefixes) + rng.randbytes(rng.randint(1, 12))
+        for _ in range(n // 6)
+    ] + singles
+    records = []
+    for _ in range(n):
+        records.append(
+            TraceRecord(
+                op=OpType(rng.randrange(5)),
+                key=rng.choice(keys),
+                value_size=rng.randrange(4096),
+                block=rng.randrange(num_blocks),
+            )
+        )
+    return records
+
+
+def _assert_opdist_equal(a: OpDistAnalyzer, b: OpDistAnalyzer) -> None:
+    assert a.total_ops == b.total_ops
+    for kv_class in CLASS_LIST:
+        da, db = a.distribution(kv_class), b.distribution(kv_class)
+        assert (da.writes, da.updates, da.reads, da.scans, da.deletes) == (
+            db.writes,
+            db.updates,
+            db.reads,
+            db.scans,
+            db.deletes,
+        ), kv_class
+        aa, ab = a.activity(kv_class), b.activity(kv_class)
+        assert aa.keys_seen == ab.keys_seen, kv_class
+        assert aa.read_counts == ab.read_counts, kv_class
+        assert aa.update_counts == ab.update_counts, kv_class
+        assert aa.delete_counts == ab.delete_counts, kv_class
+        assert aa.write_counts == ab.write_counts, kv_class
+
+
+def _assert_blockstats_equal(a: BlockStatsAnalyzer, b: BlockStatsAnalyzer) -> None:
+    assert a.num_blocks == b.num_blocks
+    for pa, pb in zip(a.profiles(), b.profiles()):
+        assert (
+            pa.block,
+            pa.reads,
+            pa.puts,
+            pa.deletes,
+            pa.scans,
+            pa.reads_after_first_put,
+            pa._saw_put,
+        ) == (
+            pb.block,
+            pb.reads,
+            pb.puts,
+            pb.deletes,
+            pb.scans,
+            pb.reads_after_first_put,
+            pb._saw_put,
+        ), pa.block
+
+
+def _assert_iostats_equal(a: IOStatsAnalyzer, b: IOStatsAnalyzer) -> None:
+    for kv_class in CLASS_LIST:
+        sa, sb = a.stats_for(kv_class), b.stats_for(kv_class)
+        assert (
+            sa.bytes_read,
+            sa.bytes_written,
+            sa.bytes_deleted_keys,
+            sa.bytes_scanned,
+            sa.ops,
+        ) == (
+            sb.bytes_read,
+            sb.bytes_written,
+            sb.bytes_deleted_keys,
+            sb.bytes_scanned,
+            sb.ops,
+        ), kv_class
+
+
+@pytest.fixture(scope="module")
+def records():
+    return _random_records()
+
+
+@pytest.fixture(scope="module")
+def reference(records):
+    return {
+        "opdist": OpDistAnalyzer(track_keys=True).consume(records),
+        "blockstats": BlockStatsAnalyzer().consume(records),
+        "iostats": IOStatsAnalyzer().consume(records),
+    }
+
+
+class TestChunkedEquivalence:
+    """consume_chunk over chunked records == consume over the records."""
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 256, 10_000])
+    def test_opdist(self, records, reference, chunk_size):
+        chunked = OpDistAnalyzer(track_keys=True)
+        for chunk in chunk_records(records, chunk_size):
+            chunked.consume_chunk(chunk)
+        _assert_opdist_equal(chunked, reference["opdist"])
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 256, 10_000])
+    def test_blockstats(self, records, reference, chunk_size):
+        chunked = BlockStatsAnalyzer()
+        for chunk in chunk_records(records, chunk_size):
+            chunked.consume_chunk(chunk)
+        _assert_blockstats_equal(chunked, reference["blockstats"])
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 256, 10_000])
+    def test_iostats(self, records, reference, chunk_size):
+        chunked = IOStatsAnalyzer()
+        for chunk in chunk_records(records, chunk_size):
+            chunked.consume_chunk(chunk)
+        _assert_iostats_equal(chunked, reference["iostats"])
+
+    def test_opdist_untracked(self, records):
+        ref = OpDistAnalyzer(track_keys=False).consume(records)
+        chunked = OpDistAnalyzer(track_keys=False)
+        for chunk in chunk_records(records, 333):
+            chunked.consume_chunk(chunk)
+        assert chunked.total_ops == ref.total_ops
+        for kv_class in CLASS_LIST:
+            assert (
+                chunked.distribution(kv_class).total
+                == ref.distribution(kv_class).total
+            )
+
+    def test_correlation(self, records):
+        config = CorrelationConfig(op=OpType.READ, distances=(0, 1, 4, 16))
+        ref = CorrelationAnalyzer(config).consume(records)
+        chunked = CorrelationAnalyzer(config).consume_chunks(
+            chunk_records(records, 191)
+        )
+        assert chunked._keys == ref._keys
+        ref_results = ref.compute()
+        for distance, result in chunked.compute().items():
+            assert result.class_pair_counts == ref_results[distance].class_pair_counts
+
+    def test_correlation_max_ops_cutoff(self, records):
+        config = CorrelationConfig(op=OpType.READ, distances=(0,), max_ops=100)
+        ref = CorrelationAnalyzer(config).consume(records)
+        chunked = CorrelationAnalyzer(config).consume_chunks(
+            chunk_records(records, 37)
+        )
+        assert chunked.num_ops == ref.num_ops == 100
+        assert chunked._keys == ref._keys
+
+
+class TestMerge:
+    """Splitting a trace into shards and merging == one sequential pass."""
+
+    @pytest.mark.parametrize("num_shards", [2, 5])
+    def test_all_analyzers(self, records, reference, num_shards):
+        shard_size = math.ceil(len(records) / num_shards)
+        shards = [
+            records[i : i + shard_size] for i in range(0, len(records), shard_size)
+        ]
+        merged = {
+            "opdist": OpDistAnalyzer(track_keys=True),
+            "blockstats": BlockStatsAnalyzer(),
+            "iostats": IOStatsAnalyzer(),
+        }
+        for shard in shards:
+            merged["opdist"].merge(OpDistAnalyzer(track_keys=True).consume(shard))
+            merged["blockstats"].merge(BlockStatsAnalyzer().consume(shard))
+            merged["iostats"].merge(IOStatsAnalyzer().consume(shard))
+        _assert_opdist_equal(merged["opdist"], reference["opdist"])
+        _assert_blockstats_equal(merged["blockstats"], reference["blockstats"])
+        _assert_iostats_equal(merged["iostats"], reference["iostats"])
+
+    def test_blockstats_merge_across_block_spanning_shards(self):
+        # one block whose reads/puts straddle the shard boundary: the
+        # merge must know the earlier shard already saw a put
+        records = [
+            TraceRecord(OpType.READ, b"hX", 1, 5),
+            TraceRecord(OpType.WRITE, b"hX", 1, 5),
+            TraceRecord(OpType.READ, b"hY", 1, 5),  # after first put
+        ] * 2
+        reference = BlockStatsAnalyzer().consume(records)
+        merged = BlockStatsAnalyzer().consume(records[:3])
+        merged.merge(BlockStatsAnalyzer().consume(records[3:]))
+        _assert_blockstats_equal(merged, reference)
+        assert merged.profile(5).reads_after_first_put == 3
+
+    def test_opdist_merge_track_keys_mismatch(self):
+        with pytest.raises(ValueError):
+            OpDistAnalyzer(track_keys=True).merge(OpDistAnalyzer(track_keys=False))
+
+
+class TestSizeAnalyzerBatch:
+    def test_batch_matches_sequential(self):
+        rng = random.Random(3)
+        pairs = [
+            (rng.choice([b"A", b"a", b"h", b"c"]) + rng.randbytes(8), rng.randrange(512))
+            for _ in range(2000)
+        ]
+        ref = SizeAnalyzer()
+        for key, size in pairs:
+            ref.add_pair(key, size)
+        batched = SizeAnalyzer()
+        batched.add_pairs_batch([k for k, _ in pairs], [s for _, s in pairs])
+        assert batched.total_pairs == ref.total_pairs
+        for kv_class in CLASS_LIST:
+            sa, sb = batched.stats_for(kv_class), ref.stats_for(kv_class)
+            assert sa.num_pairs == sb.num_pairs
+            assert sa.kv_size_histogram == sb.kv_size_histogram
+            for stat_a, stat_b in (
+                (sa.key_size, sb.key_size),
+                (sa.value_size, sb.value_size),
+            ):
+                assert stat_a.count == stat_b.count
+                assert stat_a.minimum == stat_b.minimum
+                assert stat_a.maximum == stat_b.maximum
+                assert stat_a.mean == pytest.approx(stat_b.mean)
+                assert stat_a.variance == pytest.approx(stat_b.variance)
+
+    def test_running_stats_merge(self):
+        values = np.array([3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5], dtype=np.int64)
+        ref = RunningStats()
+        for value in values.tolist():
+            ref.add(value)
+        merged = RunningStats()
+        merged.add_batch(values[:4])
+        other = RunningStats()
+        other.add_batch(values[4:])
+        merged.merge(other)
+        assert merged.count == ref.count
+        assert merged.minimum == ref.minimum
+        assert merged.maximum == ref.maximum
+        assert merged.mean == pytest.approx(ref.mean)
+        assert merged.variance == pytest.approx(ref.variance)
+
+
+class TestAnalyzeTrace:
+    def test_sequential_over_records_and_columnar(self, records, reference):
+        for source in (records, ColumnarTrace.from_records(records, chunk_size=311)):
+            results = analyze_trace(source, workers=1, chunk_size=311)
+            _assert_opdist_equal(results["opdist"], reference["opdist"])
+            _assert_blockstats_equal(results["blockstats"], reference["blockstats"])
+            _assert_iostats_equal(results["iostats"], reference["iostats"])
+
+    @pytest.mark.parametrize("writer", [write_trace, write_trace_v2])
+    def test_sequential_over_files(self, tmp_path, records, reference, writer):
+        path = tmp_path / "trace.bin"
+        writer(path, records)
+        results = analyze_trace(path, workers=1, chunk_size=250)
+        _assert_opdist_equal(results["opdist"], reference["opdist"])
+        _assert_blockstats_equal(results["blockstats"], reference["blockstats"])
+        _assert_iostats_equal(results["iostats"], reference["iostats"])
+
+    def test_parallel_in_memory(self, records, reference):
+        results = analyze_trace(
+            ColumnarTrace.from_records(records, chunk_size=173), workers=2
+        )
+        _assert_opdist_equal(results["opdist"], reference["opdist"])
+        _assert_blockstats_equal(results["blockstats"], reference["blockstats"])
+        _assert_iostats_equal(results["iostats"], reference["iostats"])
+
+    def test_parallel_over_v2_file(self, tmp_path, records, reference):
+        # workers shard by footer offsets and read straight from disk
+        path = tmp_path / "trace.v2"
+        write_trace_v2(path, records, chunk_size=173)
+        results = analyze_trace(path, workers=3)
+        _assert_opdist_equal(results["opdist"], reference["opdist"])
+        _assert_blockstats_equal(results["blockstats"], reference["blockstats"])
+        _assert_iostats_equal(results["iostats"], reference["iostats"])
+
+    def test_parallel_over_v1_file(self, tmp_path, records, reference):
+        # no footer: the trace is chunked in-process and shards pickled
+        path = tmp_path / "trace.bin"
+        write_trace(path, records)
+        results = analyze_trace(path, workers=2, chunk_size=400)
+        _assert_opdist_equal(results["opdist"], reference["opdist"])
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.v2"
+        write_trace_v2(path, [])
+        for workers in (1, 2):
+            results = analyze_trace(path, workers=workers)
+            assert results["opdist"].total_ops == 0
+            assert results["blockstats"].num_blocks == 0
+
+    def test_analyzer_subset_and_validation(self, records):
+        results = analyze_chunks(chunk_records(records, 500), analyzers=("opdist",))
+        assert set(results) == {"opdist"}
+        with pytest.raises(ValueError):
+            analyze_trace(records, analyzers=("nope",))
+        with pytest.raises(ValueError):
+            analyze_trace(records, workers=0)
+
+    def test_default_workers(self):
+        assert default_workers() >= 1
+
+
+class TestTraceAnalysisInputs:
+    """TraceAnalysis accepts records, columnar traces, and file paths."""
+
+    def test_path_matches_records(self, tmp_path, records):
+        path = tmp_path / "trace.v2"
+        write_trace_v2(path, records, chunk_size=500)
+        from_records = TraceAnalysis("a", records)
+        from_path = TraceAnalysis("b", path)
+        _assert_opdist_equal(from_path.opdist, from_records.opdist)
+        assert from_path.num_records == len(records)
+        assert from_path.records == records
+
+    def test_columnar_input_retained(self, records):
+        trace = ColumnarTrace.from_records(records, chunk_size=700)
+        analysis = TraceAnalysis("c", trace)
+        assert analysis.trace is trace
+        ref = CorrelationAnalyzer(
+            CorrelationConfig(op=OpType.READ, distances=(0, 4))
+        ).consume(records)
+        results = analysis.correlation(OpType.READ)
+        ref_results = ref.compute()
+        # TraceAnalysis uses DEFAULT_DISTANCES; compare the shared ones
+        for distance in (0, 4):
+            assert (
+                results[distance].class_pair_counts
+                == ref_results[distance].class_pair_counts
+            )
+
+    def test_read_ratio_unchanged(self, records):
+        analysis = TraceAnalysis("d", records)
+        ratio = analysis.read_ratio(KVClass.SNAPSHOT_ACCOUNT)
+        assert 0.0 <= ratio <= 100.0

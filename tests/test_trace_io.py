@@ -2,22 +2,28 @@
 
 from __future__ import annotations
 
+import builtins
 import io
 
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.trace import (
+    ColumnarTraceReader,
+    ColumnarTraceWriter,
     OpType,
     TraceReader,
     TraceRecord,
     TraceWriter,
+    read_chunk_at,
     read_text_trace,
     read_trace,
+    read_trace_footer,
     records_from_bytes,
     records_to_bytes,
     write_text_trace,
     write_trace,
+    write_trace_v2,
 )
 from repro.errors import TraceFormatError
 
@@ -113,6 +119,186 @@ class TestBinaryFormat:
         assert writer.count == len(_sample_records())
 
 
+def _v2_bytes(records, chunk_size=None):
+    buffer = io.BytesIO()
+    writer = ColumnarTraceWriter(buffer, chunk_size=chunk_size)
+    writer.extend(records)
+    writer.finish()
+    # _pos is not advanced by the footer write, so it is the footer offset
+    return buffer.getvalue(), writer._pos
+
+
+class TestColumnarFormat:
+    def test_roundtrip_via_file(self, tmp_path):
+        path = tmp_path / "trace.v2"
+        records = _sample_records()
+        assert write_trace_v2(path, records) == len(records)
+        assert list(read_trace(path)) == records
+
+    def test_roundtrip_multiple_chunks(self, tmp_path):
+        path = tmp_path / "trace.v2"
+        records = _sample_records() * 7
+        write_trace_v2(path, records, chunk_size=3)
+        with ColumnarTraceReader.open(path) as reader:
+            chunks = list(reader.chunks())
+        assert [len(chunk) for chunk in chunks] == [3] * 11 + [2]
+        assert [r for chunk in chunks for r in chunk.to_records()] == records
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.v2"
+        assert write_trace_v2(path, []) == 0
+        assert list(read_trace(path)) == []
+        footer = read_trace_footer(path)
+        assert footer.total_records == 0
+        assert footer.num_chunks == 0
+
+    def test_max_length_key(self, tmp_path):
+        path = tmp_path / "maxkey.v2"
+        records = [TraceRecord(OpType.READ, b"k" * 0xFFFF, 7, 9)]
+        write_trace_v2(path, records)
+        assert list(read_trace(path)) == records
+
+    def test_oversized_key_rejected(self):
+        writer = ColumnarTraceWriter(io.BytesIO())
+        with pytest.raises(TraceFormatError):
+            writer.append(TraceRecord(OpType.READ, b"x" * 70000, 0, 0))
+
+    def test_v1_through_chunk_reader(self):
+        records = _sample_records()
+        blob = records_to_bytes(records)
+        reader = ColumnarTraceReader(io.BytesIO(blob), chunk_size=2)
+        assert reader.version == 1
+        chunks = list(reader.chunks())
+        assert [len(chunk) for chunk in chunks] == [2, 2, 1]
+        assert [r for chunk in chunks for r in chunk.to_records()] == records
+
+    def test_footer_random_access(self, tmp_path):
+        path = tmp_path / "trace.v2"
+        records = _sample_records() * 4
+        write_trace_v2(path, records, chunk_size=5)
+        footer = read_trace_footer(path)
+        assert footer.total_records == len(records)
+        assert sum(count for _, count in footer.chunks) == len(records)
+        recovered = []
+        for offset, count in footer.chunks:
+            chunk = read_chunk_at(path, offset)
+            assert len(chunk) == count
+            recovered.extend(chunk.to_records())
+        assert recovered == records
+
+    def test_footer_on_v1_trace(self, tmp_path):
+        path = tmp_path / "trace.bin"
+        write_trace(path, _sample_records())
+        with pytest.raises(TraceFormatError):
+            read_trace_footer(path)
+
+    def test_truncated_chunk(self, tmp_path):
+        blob, _ = _v2_bytes(_sample_records())
+        path = tmp_path / "short.v2"
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(TraceFormatError):
+            list(read_trace(path))
+
+    def test_truncated_footer(self, tmp_path):
+        blob, footer_offset = _v2_bytes(_sample_records())
+        path = tmp_path / "nofooter.v2"
+        path.write_bytes(blob[: footer_offset + 3])
+        with pytest.raises(TraceFormatError):
+            read_trace_footer(path)
+        # the streaming path stops at the footer tag and never reads the
+        # (truncated) footer body, so it still yields every record
+        assert list(read_trace(path)) == _sample_records()
+
+    def test_bad_trailer_magic(self, tmp_path):
+        blob, _ = _v2_bytes(_sample_records())
+        path = tmp_path / "badtrailer.v2"
+        path.write_bytes(blob[:-4] + b"XXXX")
+        with pytest.raises(TraceFormatError):
+            read_trace_footer(path)
+
+    def test_bad_section_tag(self):
+        blob, _ = _v2_bytes([])
+        # corrupt the first section tag (the footer tag, at offset 5)
+        corrupted = blob[:5] + b"\x7f" + blob[6:]
+        with pytest.raises(TraceFormatError):
+            list(ColumnarTraceReader(io.BytesIO(corrupted)).chunks())
+
+
+class _OpenSpy:
+    """Wraps builtins.open, recording every binary stream it hands out."""
+
+    def __init__(self):
+        self.streams = []
+        self._real_open = builtins.open
+
+    def __call__(self, *args, **kwargs):
+        stream = self._real_open(*args, **kwargs)
+        self.streams.append(stream)
+        return stream
+
+    @property
+    def all_closed(self):
+        return all(stream.closed for stream in self.streams)
+
+
+@pytest.fixture()
+def open_spy(monkeypatch):
+    spy = _OpenSpy()
+    monkeypatch.setattr(builtins, "open", spy)
+    return spy
+
+
+class TestHandleLeaks:
+    """Constructors that raise must not leak the stream they opened."""
+
+    def test_reader_open_bad_magic(self, tmp_path, open_spy):
+        path = tmp_path / "garbage.bin"
+        path.write_bytes(b"XXXX\x01rest")
+        for opener in (TraceReader.open, ColumnarTraceReader.open):
+            with pytest.raises(TraceFormatError):
+                opener(path)
+        assert open_spy.streams and open_spy.all_closed
+
+    def test_reader_open_bad_version(self, tmp_path, open_spy):
+        path = tmp_path / "future.bin"
+        path.write_bytes(b"EKVT\x63")
+        for opener in (TraceReader.open, ColumnarTraceReader.open):
+            with pytest.raises(TraceFormatError):
+                opener(path)
+        assert open_spy.streams and open_spy.all_closed
+
+    def test_writer_open_write_failure(self, tmp_path, monkeypatch):
+        # the header write inside the constructor blows up
+        class BrokenStream:
+            def __init__(self):
+                self.closed = False
+
+            def write(self, data):
+                raise OSError("disk full")
+
+            def close(self):
+                self.closed = True
+
+        streams = []
+
+        def fake_open(*args, **kwargs):
+            stream = BrokenStream()
+            streams.append(stream)
+            return stream
+
+        monkeypatch.setattr(builtins, "open", fake_open)
+        for opener in (TraceWriter.open, ColumnarTraceWriter.open):
+            with pytest.raises(OSError):
+                opener(tmp_path / "out.bin")
+        assert len(streams) == 2
+        assert all(stream.closed for stream in streams)
+
+    def test_writer_open_bad_chunk_size(self, tmp_path, open_spy):
+        with pytest.raises(ValueError):
+            ColumnarTraceWriter.open(tmp_path / "out.v2", chunk_size=-1)
+        assert open_spy.streams and open_spy.all_closed
+
+
 record_strategy = st.builds(
     TraceRecord,
     op=st.sampled_from(list(OpType)),
@@ -130,3 +316,21 @@ class TestProperties:
     @given(record_strategy)
     def test_text_roundtrip(self, record):
         assert TraceRecord.from_text(record.to_text()) == record
+
+    @given(
+        st.lists(record_strategy, max_size=60),
+        st.integers(min_value=1, max_value=17),
+    )
+    def test_v2_roundtrip(self, records, chunk_size):
+        blob, _ = _v2_bytes(records, chunk_size=chunk_size)
+        reader = ColumnarTraceReader(io.BytesIO(blob))
+        assert reader.version == 2
+        assert list(reader) == records
+
+    @given(st.lists(record_strategy, max_size=40))
+    def test_v1_v2_cross_format_equivalence(self, records):
+        """Both binary formats decode to the identical record sequence."""
+        v1 = list(records_from_bytes(records_to_bytes(records)))
+        blob, _ = _v2_bytes(records, chunk_size=7)
+        v2 = list(ColumnarTraceReader(io.BytesIO(blob)))
+        assert v1 == v2 == records
