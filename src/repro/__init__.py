@@ -27,6 +27,15 @@ from repro.core.analysis import TraceAnalysis
 from repro.core.classes import KVClass, classify_key
 from repro.core.findings import evaluate_findings
 from repro.core.trace import OpType, TraceReader, TraceRecord, TraceWriter
+from repro.errors import CrashPoint, FaultInjectionError, SimulatedCrash, TransientIOError
+from repro.faults import (
+    CrashTestConfig,
+    FaultInjectingStore,
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    run_crash_sweep,
+)
 from repro.gethdb.database import DBConfig
 from repro.sync.driver import FullSyncDriver, SyncConfig, SyncResult, run_trace_pair
 from repro.workload.generator import WorkloadConfig, WorkloadGenerator
@@ -42,6 +51,16 @@ __all__ = [
     "TraceRecord",
     "TraceReader",
     "TraceWriter",
+    "CrashPoint",
+    "CrashTestConfig",
+    "FaultInjectionError",
+    "FaultInjectingStore",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRule",
+    "SimulatedCrash",
+    "TransientIOError",
+    "run_crash_sweep",
     "DBConfig",
     "SyncConfig",
     "SyncResult",

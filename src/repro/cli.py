@@ -7,11 +7,14 @@ Mirrors the paper artifact's script surface as one CLI::
     python -m repro sync      --mode cache|bare --out TRACE.bin
     python -m repro analyze   TRACE.bin [--correlate read|update]
     python -m repro export    --outdir DIR [--blocks N]
+    python -m repro crashtest [--crash-points all] [--seed N]
 
 ``sync`` collects a trace to disk; ``analyze`` re-reads any trace file
 (ours or one converted from the artifact's format) and prints the
 operation-distribution table, optionally with a correlation pass;
-``export`` writes the artifact-compatible output files plus CSV/JSON.
+``export`` writes the artifact-compatible output files plus CSV/JSON;
+``crashtest`` sweeps the fault-injection crash points and verifies the
+recovered database converges to the uninterrupted reference.
 """
 
 from __future__ import annotations
@@ -145,6 +148,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             workers=args.workers,
             chunk_size=args.chunk_size,
             analyzers=("opdist",),
+            lenient=args.lenient,
         )["opdist"]
     elapsed = time.time() - start
     if elapsed > 0:
@@ -171,6 +175,50 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             )
         )
     return 0
+
+
+def cmd_crashtest(args: argparse.Namespace) -> int:
+    from repro.errors import CrashPoint
+    from repro.faults import CrashTestConfig, run_crash_sweep, sweep_points
+
+    snapshot_modes = {
+        "on": (True,),
+        "off": (False,),
+        "both": (True, False),
+    }[args.snapshot]
+
+    exit_code = 0
+    for snapshot in snapshot_modes:
+        config = CrashTestConfig(
+            blocks=args.blocks,
+            warmup=args.warmup,
+            seed=args.seed,
+            snapshot=snapshot,
+            trie_flush_interval=args.flush_interval,
+            cases_per_point=args.cases_per_point,
+        )
+        if args.crash_points == "all":
+            points = sweep_points(config)
+        else:
+            by_value = {point.value: point for point in CrashPoint}
+            try:
+                points = [by_value[name] for name in args.crash_points.split(",")]
+            except KeyError as exc:
+                known = ", ".join(sorted(by_value))
+                print(f"unknown crash point {exc}; known: {known}", file=sys.stderr)
+                return 2
+        print(
+            f"Sweeping {len(points)} crash points "
+            f"(snapshot={'on' if snapshot else 'off'}, seed={args.seed})...",
+            file=sys.stderr,
+        )
+        start = time.time()
+        report = run_crash_sweep(config, points)
+        print(f"  done in {time.time() - start:.1f}s", file=sys.stderr)
+        print(report.render())
+        if report.divergent or report.triggered < report.total:
+            exit_code = 1
+    return exit_code
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -273,7 +321,43 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_CHUNK_SIZE,
         help="records per columnar chunk",
     )
+    p_analyze.add_argument(
+        "--lenient",
+        action="store_true",
+        help="skip corrupt v2 chunks (logged) instead of failing",
+    )
     p_analyze.set_defaults(func=cmd_analyze)
+
+    p_crash = subparsers.add_parser(
+        "crashtest", help="sweep crash points and verify recovery converges"
+    )
+    p_crash.add_argument("--blocks", type=int, default=64, help="measured blocks")
+    p_crash.add_argument("--warmup", type=int, default=16, help="warmup blocks")
+    p_crash.add_argument("--seed", type=int, default=7)
+    p_crash.add_argument(
+        "--crash-points",
+        default="all",
+        help='"all" or a comma-separated list of crash-point names',
+    )
+    p_crash.add_argument(
+        "--cases-per-point",
+        type=int,
+        default=1,
+        help="independent kill offsets sampled per crash point",
+    )
+    p_crash.add_argument(
+        "--snapshot",
+        choices=("on", "off", "both"),
+        default="on",
+        help="sweep with snapshot acceleration on, off, or both",
+    )
+    p_crash.add_argument(
+        "--flush-interval",
+        type=int,
+        default=8,
+        help="trie flush interval (blocks) for the swept configuration",
+    )
+    p_crash.set_defaults(func=cmd_crashtest)
 
     p_export = subparsers.add_parser(
         "export", help="write artifact-compatible output files + CSV/JSON"

@@ -21,14 +21,28 @@ Sharding strategies, picked automatically by :func:`analyze_trace`:
 
 All three produce results identical to the sequential record-at-a-time
 reference path (asserted in ``tests/test_parallel.py``).
+
+Worker-death resilience: a worker process that dies (OOM-killed,
+segfaulted, machine hiccup) breaks the whole process pool, losing every
+in-flight shard.  The scheduler treats that as transient — the affected
+shards are requeued onto a fresh pool with exponential backoff (see
+:class:`RetryPolicy`), and shards that keep killing their workers fall
+back to an in-process serial pass so one poisoned shard cannot sink the
+whole analysis.  A worker that instead raises an ordinary exception is
+deterministic — retrying would fail identically — so it surfaces
+immediately as :class:`~repro.errors.AnalysisError` with the original
+exception chained.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, Iterable, Iterator, Optional, Sequence, Union
+from typing import Callable, Dict, Iterable, Optional, Sequence, Union
 
 from repro.core.blockstats import BlockStatsAnalyzer
 from repro.core.columnar import DEFAULT_CHUNK_SIZE, ColumnarTrace, TraceChunk, chunk_records
@@ -40,7 +54,7 @@ from repro.core.trace import (
     read_chunk_at,
     read_trace_footer,
 )
-from repro.errors import TraceFormatError
+from repro.errors import AnalysisError, TraceFormatError
 
 #: Analyzer names accepted by :func:`analyze_trace`; each factory takes
 #: ``track_keys`` (ignored by analyzers that have no per-key state).
@@ -53,6 +67,73 @@ ANALYZER_FACTORIES: Dict[str, Callable[[bool], object]] = {
 DEFAULT_ANALYZERS = ("opdist", "blockstats", "iostats")
 
 TraceSource = Union[str, Path, ColumnarTrace, Iterable[TraceRecord]]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the scheduler reacts to dying workers.
+
+    A shard whose worker dies is requeued up to ``max_retries`` times,
+    sleeping ``backoff_base_s * backoff_factor**attempt`` between
+    rounds; when retries are exhausted the shard is analyzed serially in
+    the calling process (unless ``serial_fallback`` is off, in which
+    case the analysis fails with :class:`~repro.errors.AnalysisError`).
+    """
+
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    serial_fallback: bool = True
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """Deterministic worker-killer, the test hook for the retry path.
+
+    When a worker picks up the shard with ``shard_index``, it dies via
+    ``os._exit`` — the closest in-process analog of an OOM kill, since
+    no exception propagates and the pool just loses the process.  Two
+    safety latches keep the fault injection honest:
+
+    * the fault only trips in a process other than ``parent_pid``, so
+      the serial in-process fallback (and ``workers=1``) can never kill
+      the test runner itself;
+    * with ``trip_path`` set, the fault trips only while the file can be
+      created atomically — the first victim claims it, and retries of
+      the same shard survive (models a transient worker death rather
+      than a poisoned shard).
+    """
+
+    shard_index: int
+    parent_pid: int
+    trip_path: Optional[str] = None
+    exit_code: int = 17
+
+    def maybe_trip(self, shard_index: int) -> None:
+        if shard_index != self.shard_index or os.getpid() == self.parent_pid:
+            return
+        if self.trip_path is not None:
+            try:
+                fd = os.open(self.trip_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                return
+            os.close(fd)
+        os._exit(self.exit_code)
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """Everything a worker needs to analyze one shard (picklable)."""
+
+    index: int
+    names: tuple
+    track_keys: bool
+    #: in-memory chunks, or None when reading from the file
+    chunks: Optional[tuple]
+    path: Optional[str]
+    offsets: Optional[tuple]
+    lenient: bool = False
+    fault: Optional[WorkerFault] = None
 
 
 def _make_analyzers(names: Sequence[str], track_keys: bool) -> Dict[str, object]:
@@ -76,12 +157,18 @@ def analyze_chunks(
     return built
 
 
-def _analyze_shard(args) -> Dict[str, object]:
+def _analyze_shard(task: _ShardTask) -> Dict[str, object]:
     """Pool worker: analyze one shard (inline chunks or file offsets)."""
-    names, track_keys, chunks, path, offsets = args
+    if task.fault is not None:
+        task.fault.maybe_trip(task.index)
+    chunks = task.chunks
     if chunks is None:
-        chunks = (read_chunk_at(path, offset) for offset in offsets)
-    return analyze_chunks(chunks, analyzers=names, track_keys=track_keys)
+        loaded = (
+            read_chunk_at(task.path, offset, lenient=task.lenient)
+            for offset in task.offsets
+        )
+        chunks = (chunk for chunk in loaded if chunk is not None)
+    return analyze_chunks(chunks, analyzers=task.names, track_keys=task.track_keys)
 
 
 def _split_shards(items: Sequence, shards: int) -> list[Sequence]:
@@ -107,6 +194,58 @@ def _merge_in_order(partials: Sequence[Dict[str, object]]) -> Dict[str, object]:
     return merged
 
 
+def _run_shards(
+    tasks: Sequence[_ShardTask], retry: RetryPolicy
+) -> list[Dict[str, object]]:
+    """Run shard tasks on a process pool, surviving worker deaths.
+
+    A dead worker breaks the entire pool, so every unfinished shard of
+    that round — innocent or not — is requeued onto a fresh pool.  The
+    per-shard attempt counters bound the damage: after ``max_retries``
+    requeues a shard runs serially in this process, where a
+    :class:`WorkerFault` latch is inert by construction.  Deterministic
+    worker exceptions are not retried at all.
+    """
+    results: list[Optional[Dict[str, object]]] = [None] * len(tasks)
+    pending = list(range(len(tasks)))
+    attempts = [0] * len(tasks)
+    round_index = 0
+    while pending:
+        broken: list[int] = []
+        with ProcessPoolExecutor(max_workers=len(pending)) as pool:
+            futures = [(index, pool.submit(_analyze_shard, tasks[index])) for index in pending]
+            for index, future in futures:
+                try:
+                    results[index] = future.result()
+                except BrokenProcessPool:
+                    broken.append(index)
+                except Exception as exc:
+                    raise AnalysisError(
+                        f"analysis shard {tasks[index].index} failed in its "
+                        f"worker process: {exc}"
+                    ) from exc
+        if not broken:
+            break
+        retriable: list[int] = []
+        for index in broken:
+            attempts[index] += 1
+            if attempts[index] <= retry.max_retries:
+                retriable.append(index)
+            else:
+                if not retry.serial_fallback:
+                    raise AnalysisError(
+                        f"analysis shard {tasks[index].index} kept killing its "
+                        f"worker after {attempts[index]} attempts and serial "
+                        "fallback is disabled"
+                    )
+                results[index] = _analyze_shard(tasks[index])
+        pending = retriable
+        if pending:
+            time.sleep(retry.backoff_base_s * retry.backoff_factor**round_index)
+            round_index += 1
+    return [result for result in results if result is not None]
+
+
 def analyze_trace(
     source: TraceSource,
     *,
@@ -114,15 +253,22 @@ def analyze_trace(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     analyzers: Sequence[str] = DEFAULT_ANALYZERS,
     track_keys: bool = True,
+    lenient: bool = False,
+    retry: Optional[RetryPolicy] = None,
+    fault: Optional[WorkerFault] = None,
 ) -> Dict[str, object]:
     """Run the mergeable analyzers over a trace, optionally in parallel.
 
     ``source`` may be a trace file path (v1 or v2), a
-    :class:`ColumnarTrace`, or any iterable of records.  Returns a dict
-    mapping analyzer name to the fully reduced analyzer instance.
+    :class:`ColumnarTrace`, or any iterable of records.  ``lenient``
+    skips corrupt v2 chunks (logged) instead of failing the analysis.
+    ``retry`` tunes worker-death handling (see :class:`RetryPolicy`);
+    ``fault`` injects a :class:`WorkerFault` for testing it.  Returns a
+    dict mapping analyzer name to the fully reduced analyzer instance.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    retry = retry if retry is not None else RetryPolicy()
 
     path: Optional[str] = None
     if isinstance(source, (str, Path)):
@@ -131,7 +277,7 @@ def analyze_trace(
     if workers == 1:
         if path is not None:
             return analyze_chunks(
-                open_trace_chunks(path, chunk_size=chunk_size),
+                open_trace_chunks(path, chunk_size=chunk_size, lenient=lenient),
                 analyzers=analyzers,
                 track_keys=track_keys,
             )
@@ -145,7 +291,7 @@ def analyze_trace(
     names = tuple(analyzers)
     _make_analyzers(names, track_keys)  # validate names before forking
 
-    shard_args = None
+    tasks = None
     if path is not None:
         try:
             footer = read_trace_footer(path)
@@ -153,31 +299,47 @@ def analyze_trace(
             footer = None
         if footer is not None:
             offsets = [offset for offset, _ in footer.chunks]
-            shard_args = [
-                (names, track_keys, None, path, shard)
-                for shard in _split_shards(offsets, workers)
+            tasks = [
+                _ShardTask(
+                    index=index,
+                    names=names,
+                    track_keys=track_keys,
+                    chunks=None,
+                    path=path,
+                    offsets=tuple(shard),
+                    lenient=lenient,
+                    fault=fault,
+                )
+                for index, shard in enumerate(_split_shards(offsets, workers))
             ]
         else:
-            chunks = list(open_trace_chunks(path, chunk_size=chunk_size))
+            chunks = list(open_trace_chunks(path, chunk_size=chunk_size, lenient=lenient))
     elif isinstance(source, ColumnarTrace):
         chunks = source.chunks
     else:
         chunks = list(chunk_records(source, chunk_size))
 
-    if shard_args is None:
-        shard_args = [
-            (names, track_keys, shard, None, None)
-            for shard in _split_shards(chunks, workers)
+    if tasks is None:
+        tasks = [
+            _ShardTask(
+                index=index,
+                names=names,
+                track_keys=track_keys,
+                chunks=tuple(shard),
+                path=None,
+                offsets=None,
+                lenient=lenient,
+                fault=fault,
+            )
+            for index, shard in enumerate(_split_shards(chunks, workers))
         ]
 
-    if not shard_args:
+    if not tasks:
         return _make_analyzers(names, track_keys)
-    if len(shard_args) == 1:
-        return _analyze_shard(shard_args[0])
+    if len(tasks) == 1:
+        return _merge_in_order(_run_shards(tasks, retry)) if fault else _analyze_shard(tasks[0])
 
-    with multiprocessing.get_context().Pool(len(shard_args)) as pool:
-        partials = pool.map(_analyze_shard, shard_args)
-    return _merge_in_order(partials)
+    return _merge_in_order(_run_shards(tasks, retry))
 
 
 def default_workers() -> int:

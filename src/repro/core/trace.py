@@ -27,12 +27,16 @@ from __future__ import annotations
 
 import enum
 import io
+import logging
 import struct
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import IO, TYPE_CHECKING, Iterable, Iterator, Optional, Union
 
 from repro.errors import TraceFormatError
+
+_LOG = logging.getLogger("repro.trace")
 
 if TYPE_CHECKING:  # avoid an import cycle; columnar imports this module
     from repro.core.columnar import TraceChunk
@@ -237,9 +241,13 @@ class TraceReader:
 #
 #     "EKVT" 0x02
 #     sections, each introduced by a tag byte:
-#       0x01 chunk:  num_records(u32) num_keys(u32)
+#       0x01 chunk (legacy, unchecksummed):
+#                    num_records(u32) num_keys(u32)
 #                    ops[u8 x n] value_sizes[u32 x n] blocks[u32 x n]
 #                    key_ids[u32 x n] key_lens[u16 x k] key_blob
+#       0x03 chunk (checksummed; what the writer emits):
+#                    crc32(u32, over the counts + columns + key blob)
+#                    followed by the same payload as 0x01
 #       0x02 footer: num_chunks(u32) total_records(u64)
 #                    num_chunks x (chunk_offset(u64) num_records(u32))
 #     trailer: footer_offset(u64) "EKVF"
@@ -247,10 +255,18 @@ class TraceReader:
 # Chunk offsets point at the chunk's tag byte, so a worker can seek
 # straight to its shard.  Streaming readers never need the footer: they
 # walk sections until the footer tag (or EOF for an untrailed stream).
+#
+# The per-chunk CRC32 guarantees that any single flipped byte inside a
+# chunk section is detected (CRC32 detects all 1- and 2-bit errors and
+# all error bursts up to 32 bits).  Strict readers raise
+# :class:`TraceFormatError` naming the chunk; ``lenient`` readers skip
+# the corrupt chunk with a logged warning and keep going.
 
 _TAG_CHUNK = 0x01
 _TAG_FOOTER = 0x02
+_TAG_CHUNK_CRC = 0x03
 _CHUNK_COUNTS = struct.Struct("<II")  # num_records, num_keys
+_CHUNK_CRC = struct.Struct("<I")  # crc32 of the chunk payload
 _FOOTER_HEADER = struct.Struct("<IQ")  # num_chunks, total_records
 _FOOTER_ENTRY = struct.Struct("<QI")  # chunk offset, num_records
 _TRAILER = struct.Struct("<Q4s")  # footer offset, trailer magic
@@ -268,9 +284,8 @@ def _pack_chunk(chunk: "TraceChunk") -> bytes:
     num_keys = chunk.num_keys
     if num_keys and int(chunk.key_lens.max()) > 0xFFFF:
         raise TraceFormatError("key too long for trace format v2")
-    return b"".join(
+    payload = b"".join(
         (
-            bytes([_TAG_CHUNK]),
             _CHUNK_COUNTS.pack(len(chunk), num_keys),
             chunk.ops.astype("<u1", copy=False).tobytes(),
             chunk.value_sizes.astype("<u4", copy=False).tobytes(),
@@ -280,37 +295,77 @@ def _pack_chunk(chunk: "TraceChunk") -> bytes:
             b"".join(chunk.keys),
         )
     )
+    return b"".join(
+        (bytes([_TAG_CHUNK_CRC]), _CHUNK_CRC.pack(zlib.crc32(payload)), payload)
+    )
 
 
-def _read_chunk_body(stream: IO[bytes], num_records: int, num_keys: int) -> "TraceChunk":
+#: per-record bytes in the fixed-width columns: op(1) + vsize(4) + block(4) + key_id(4)
+_RECORD_COLUMN_BYTES = 13
+
+
+def _read_chunk_payload(stream: IO[bytes], what: str) -> bytes:
+    """Read the counts + columns + key blob of one chunk section.
+
+    The payload is self-describing (counts give the column sizes and the
+    key-length column gives the blob size), so this consumes exactly the
+    section and leaves the stream at the next tag byte.
+    """
+    import numpy as np
+
+    counts = _read_exact(stream, _CHUNK_COUNTS.size, f"{what} header")
+    num_records, num_keys = _CHUNK_COUNTS.unpack(counts)
+    columns = _read_exact(
+        stream,
+        _RECORD_COLUMN_BYTES * num_records + 2 * num_keys,
+        f"{what} columns",
+    )
+    key_lens = np.frombuffer(columns[_RECORD_COLUMN_BYTES * num_records :], dtype="<u2")
+    blob = _read_exact(stream, int(key_lens.sum()), f"{what} key blob")
+    return counts + columns + blob
+
+
+def _parse_chunk_payload(payload: bytes, what: str) -> "TraceChunk":
     import numpy as np
 
     from repro.core.columnar import TraceChunk
 
-    ops = np.frombuffer(_read_exact(stream, num_records, "chunk ops"), dtype=np.uint8)
-    value_sizes = np.frombuffer(
-        _read_exact(stream, 4 * num_records, "chunk value sizes"), dtype="<u4"
-    )
-    blocks = np.frombuffer(
-        _read_exact(stream, 4 * num_records, "chunk blocks"), dtype="<u4"
-    )
-    key_ids = np.frombuffer(
-        _read_exact(stream, 4 * num_records, "chunk key ids"), dtype="<u4"
-    )
-    key_lens = np.frombuffer(
-        _read_exact(stream, 2 * num_keys, "chunk key lengths"), dtype="<u2"
-    )
-    blob = _read_exact(stream, int(key_lens.sum()), "chunk key blob")
+    num_records, num_keys = _CHUNK_COUNTS.unpack_from(payload)
+    offset = _CHUNK_COUNTS.size
+    ops = np.frombuffer(payload, dtype=np.uint8, count=num_records, offset=offset)
+    offset += num_records
+    value_sizes = np.frombuffer(payload, dtype="<u4", count=num_records, offset=offset)
+    offset += 4 * num_records
+    blocks = np.frombuffer(payload, dtype="<u4", count=num_records, offset=offset)
+    offset += 4 * num_records
+    key_ids = np.frombuffer(payload, dtype="<u4", count=num_records, offset=offset)
+    offset += 4 * num_records
+    key_lens = np.frombuffer(payload, dtype="<u2", count=num_keys, offset=offset)
+    offset += 2 * num_keys
     keys: list[bytes] = []
-    offset = 0
     for length in key_lens.tolist():
-        keys.append(blob[offset : offset + length])
+        keys.append(payload[offset : offset + length])
         offset += length
     if num_records and num_keys and int(key_ids.max()) >= num_keys:
-        raise TraceFormatError("chunk key id out of range")
+        raise TraceFormatError(f"{what}: key id out of range")
     return TraceChunk(
         ops=ops, value_sizes=value_sizes, blocks=blocks, key_ids=key_ids, keys=keys
     )
+
+
+def _read_chunk_section(stream: IO[bytes], tag: int, what: str) -> "TraceChunk":
+    """Read one chunk section (either tag) positioned just past the tag
+    byte, verifying the CRC for checksummed chunks."""
+    if tag == _TAG_CHUNK:
+        return _parse_chunk_payload(_read_chunk_payload(stream, what), what)
+    stored = _CHUNK_CRC.unpack(_read_exact(stream, _CHUNK_CRC.size, f"{what} crc"))[0]
+    payload = _read_chunk_payload(stream, what)
+    computed = zlib.crc32(payload)
+    if computed != stored:
+        raise TraceFormatError(
+            f"{what}: CRC mismatch (stored 0x{stored:08x}, computed 0x{computed:08x})"
+        )
+    return _parse_chunk_payload(payload, what)
 
 
 class ColumnarTraceWriter:
@@ -435,13 +490,28 @@ class ColumnarTraceReader:
     v2 files yield their stored chunks; v1 files are batched into
     columnar chunks of ``chunk_size`` on the fly, so analyzers can use
     one chunked code path regardless of the on-disk format.
+
+    ``lenient=True`` downgrades chunk corruption (CRC mismatch or a
+    malformed section) from :class:`TraceFormatError` to a logged
+    warning: the corrupt chunk is skipped and reading continues with the
+    next section when possible.  A corrupt section whose length can no
+    longer be trusted ends the stream early instead of mis-parsing the
+    bytes after it — the footer-driven path
+    (:func:`open_trace_chunks` on a trailed file) does not have that
+    limitation because every chunk is located independently.
     """
 
-    def __init__(self, stream: IO[bytes], chunk_size: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        stream: IO[bytes],
+        chunk_size: Optional[int] = None,
+        lenient: bool = False,
+    ) -> None:
         from repro.core.columnar import DEFAULT_CHUNK_SIZE
 
         self._stream = stream
         self._chunk_size = chunk_size if chunk_size else DEFAULT_CHUNK_SIZE
+        self.lenient = lenient
         magic = stream.read(4)
         if magic != _BINARY_MAGIC:
             raise TraceFormatError(f"bad trace magic: {magic!r}")
@@ -452,11 +522,14 @@ class ColumnarTraceReader:
 
     @classmethod
     def open(
-        cls, path: Union[str, Path], chunk_size: Optional[int] = None
+        cls,
+        path: Union[str, Path],
+        chunk_size: Optional[int] = None,
+        lenient: bool = False,
     ) -> "ColumnarTraceReader":
         stream = open(path, "rb")
         try:
-            return cls(stream, chunk_size=chunk_size)
+            return cls(stream, chunk_size=chunk_size, lenient=lenient)
         except BaseException:
             stream.close()
             raise
@@ -469,15 +542,37 @@ class ColumnarTraceReader:
             yield from chunk_records(_iter_v1_records(self._stream), self._chunk_size)
             return
         read = self._stream.read
+        index = 0
         while True:
+            offset = self._stream.tell()
             tag = read(1)
             if not tag or tag[0] == _TAG_FOOTER:
                 return
-            if tag[0] != _TAG_CHUNK:
-                raise TraceFormatError(f"bad v2 section tag: {tag!r}")
-            counts = _read_exact(self._stream, _CHUNK_COUNTS.size, "chunk header")
-            num_records, num_keys = _CHUNK_COUNTS.unpack(counts)
-            yield _read_chunk_body(self._stream, num_records, num_keys)
+            what = f"chunk {index} at offset {offset}"
+            if tag[0] not in (_TAG_CHUNK, _TAG_CHUNK_CRC):
+                error = TraceFormatError(f"{what}: bad v2 section tag {tag!r}")
+                if self.lenient:
+                    # An unknown tag means the section structure itself
+                    # is untrustworthy; there is no way to find the next
+                    # section without a footer.
+                    _LOG.warning("%s; stopping lenient read", error)
+                    return
+                raise error
+            try:
+                chunk = _read_chunk_section(self._stream, tag[0], what)
+            except TraceFormatError as error:
+                if self.lenient:
+                    if "CRC mismatch" in str(error) or "key id" in str(error):
+                        # The section was fully consumed; skip it and
+                        # carry on at the next tag byte.
+                        _LOG.warning("skipping corrupt %s: %s", what, error)
+                        index += 1
+                        continue
+                    _LOG.warning("%s; stopping lenient read", error)
+                    return
+                raise
+            index += 1
+            yield chunk
 
     def __iter__(self) -> Iterator[TraceRecord]:
         if self.version == _BINARY_VERSION:
@@ -534,16 +629,28 @@ def read_trace_footer(path: Union[str, Path]) -> TraceFooter:
         return TraceFooter(total_records=total_records, chunks=tuple(entries))
 
 
-def read_chunk_at(path: Union[str, Path], offset: int) -> "TraceChunk":
-    """Random-access read of one chunk via its footer offset."""
-    with open(path, "rb") as stream:
-        stream.seek(offset)
-        tag = _read_exact(stream, 1, "chunk tag")
-        if tag[0] != _TAG_CHUNK:
-            raise TraceFormatError(f"no chunk at offset {offset}")
-        counts = _read_exact(stream, _CHUNK_COUNTS.size, "chunk header")
-        num_records, num_keys = _CHUNK_COUNTS.unpack(counts)
-        return _read_chunk_body(stream, num_records, num_keys)
+def read_chunk_at(
+    path: Union[str, Path], offset: int, lenient: bool = False
+) -> Optional["TraceChunk"]:
+    """Random-access read of one chunk via its footer offset.
+
+    With ``lenient=True`` a corrupt chunk returns ``None`` (with a
+    logged warning) instead of raising, so footer-driven readers can
+    skip it and continue with the other chunks.
+    """
+    what = f"chunk at offset {offset}"
+    try:
+        with open(path, "rb") as stream:
+            stream.seek(offset)
+            tag = _read_exact(stream, 1, f"{what} tag")
+            if tag[0] not in (_TAG_CHUNK, _TAG_CHUNK_CRC):
+                raise TraceFormatError(f"{what}: bad section tag {tag!r}")
+            return _read_chunk_section(stream, tag[0], what)
+    except TraceFormatError as error:
+        if lenient:
+            _LOG.warning("skipping corrupt %s: %s", what, error)
+            return None
+        raise
 
 
 def write_trace(path: Union[str, Path], records: Iterable[TraceRecord]) -> int:
@@ -565,10 +672,31 @@ def write_trace_v2(
 
 
 def open_trace_chunks(
-    path: Union[str, Path], chunk_size: Optional[int] = None
+    path: Union[str, Path],
+    chunk_size: Optional[int] = None,
+    lenient: bool = False,
 ) -> Iterator["TraceChunk"]:
-    """Lazily iterate columnar chunks from any binary trace (v1 or v2)."""
-    with ColumnarTraceReader.open(path, chunk_size=chunk_size) as reader:
+    """Lazily iterate columnar chunks from any binary trace (v1 or v2).
+
+    ``lenient=True`` skips corrupt chunks instead of raising.  For a
+    trailed v2 file the footer locates every chunk independently, so
+    strict mode detects any damaged chunk (even one whose tag byte was
+    overwritten with the footer tag, which a purely streaming reader
+    would mistake for end-of-chunks) and lenient mode loses only the
+    damaged chunk; for other inputs the streaming reader is used and
+    skips what it safely can.
+    """
+    try:
+        footer = read_trace_footer(path)
+    except (TraceFormatError, OSError):
+        footer = None
+    if footer is not None:
+        for offset, _ in footer.chunks:
+            chunk = read_chunk_at(path, offset, lenient=lenient)
+            if chunk is not None:
+                yield chunk
+        return
+    with ColumnarTraceReader.open(path, chunk_size=chunk_size, lenient=lenient) as reader:
         yield from reader.chunks()
 
 

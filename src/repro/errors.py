@@ -3,9 +3,16 @@
 Every error raised by this library derives from :class:`ReproError`, so
 callers can catch one type to handle all library failures.  Subsystem
 errors form a shallow tree mirroring the package layout.
+
+This module also hosts :class:`CrashPoint` — the catalog of named
+locations where the fault-injection layer (``repro.faults``) may kill a
+run — so that low-level subsystems can reference crash points without
+importing the faults package.
 """
 
 from __future__ import annotations
+
+import enum
 
 
 class ReproError(Exception):
@@ -113,3 +120,72 @@ class CacheSimError(ReproError):
 
 class HybridStoreError(ReproError):
     """Hybrid KV storage routing or consistency failure."""
+
+
+class CrashPoint(enum.Enum):
+    """Named locations where a fault plan may kill the process.
+
+    The values are stable strings used by the ``repro crashtest`` CLI
+    (``--crash-points``) and the fault-plan event log.
+    """
+
+    #: before any of the block batch is applied
+    BATCH_COMMIT_BEFORE = "batch-commit-before"
+    #: mid-commit: a prefix of the batch is applied, the rest is lost
+    BATCH_COMMIT_TORN = "batch-commit-torn"
+    #: after the block batch is fully durable
+    BATCH_COMMIT_AFTER = "batch-commit-after"
+    #: before an unbatched singleton write lands
+    WRITE_NOW = "write-now"
+    #: around the trie dirty-buffer flush boundary
+    TRIE_FLUSH_BEFORE = "trie-flush-before"
+    TRIE_FLUSH_AFTER = "trie-flush-after"
+    #: around the freezer migration step
+    FREEZE_BEFORE = "freeze-before"
+    FREEZE_AFTER = "freeze-after"
+    #: around the tx-lookup unindexing step
+    TXINDEX_BEFORE = "txindex-before"
+    TXINDEX_AFTER = "txindex-after"
+    #: in clean shutdown, after journals/markers but before the final
+    #: batch commit (tests that journals subsume the torn flush)
+    SHUTDOWN_BEFORE_COMMIT = "shutdown-before-commit"
+    #: inside snapshot regeneration: during the stale-snapshot wipe
+    SNAPSHOT_REGEN_WIPE = "snapshot-regen-wipe"
+    #: inside snapshot regeneration: during the trie walk
+    SNAPSHOT_REGEN_WALK = "snapshot-regen-walk"
+    #: inside snapshot regeneration: before the done marker is written
+    SNAPSHOT_REGEN_FINALIZE = "snapshot-regen-finalize"
+
+    @classmethod
+    def from_name(cls, name: str) -> "CrashPoint":
+        for point in cls:
+            if point.value == name or point.name == name.upper().replace("-", "_"):
+                return point
+        raise ValueError(f"unknown crash point: {name!r}")
+
+
+class FaultInjectionError(ReproError):
+    """Base class for the deterministic fault-injection layer."""
+
+
+class SimulatedCrash(FaultInjectionError):
+    """A fault plan killed the run at a crash point.
+
+    Stands in for ``kill -9``: whatever was durable stays, everything
+    in memory is lost.  Harnesses catch this, re-attach via
+    :func:`repro.sync.recovery.resume`, and compare against a reference.
+    """
+
+    def __init__(self, point: CrashPoint, block: int = 0, detail: str = "") -> None:
+        super().__init__(point, block, detail)
+        self.point = point
+        self.block = block
+        self.detail = detail
+
+    def __str__(self) -> str:
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"simulated crash at {self.point.value}, block {self.block}{suffix}"
+
+
+class TransientIOError(FaultInjectionError, IOError):
+    """An injected transient I/O failure on one store operation."""

@@ -1,0 +1,51 @@
+"""Deterministic fault injection and crash-consistency testing.
+
+The subsystem has three parts:
+
+* :mod:`repro.faults.plan` — seeded fault schedules (:class:`FaultPlan`,
+  :class:`FaultRule`) evaluated at named crash points and store ops;
+* :mod:`repro.faults.store` — :class:`FaultInjectingStore`, a KVStore
+  decorator that injects transient I/O errors, latency spikes, and
+  kills under any backend;
+* :mod:`repro.faults.harness` — the crash-consistency harness: kill a
+  sync run at a sampled crash point, recover, and diff a structural
+  digest against an uninterrupted reference run (the ``repro
+  crashtest`` CLI verb).
+"""
+
+from repro.faults.harness import (
+    CaseResult,
+    ConsistencyDigest,
+    CrashTestConfig,
+    CrashTestReport,
+    Divergence,
+    compare_digests,
+    consistency_digest,
+    reference_digest,
+    run_crash_case,
+    run_crash_sweep,
+    settle,
+    sweep_points,
+)
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan, FaultRule
+from repro.faults.store import FaultInjectingStore
+
+__all__ = [
+    "CaseResult",
+    "ConsistencyDigest",
+    "CrashTestConfig",
+    "CrashTestReport",
+    "Divergence",
+    "FaultEvent",
+    "FaultInjectingStore",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRule",
+    "compare_digests",
+    "consistency_digest",
+    "reference_digest",
+    "run_crash_case",
+    "run_crash_sweep",
+    "settle",
+    "sweep_points",
+]

@@ -1,0 +1,452 @@
+"""Crash-consistency harness.
+
+Runs the full-sync pipeline under a deterministic :class:`FaultPlan`,
+kills it at a sampled crash point, drives the recovery path
+(:func:`repro.sync.recovery.resume`) until the chain reaches the same
+head an uninterrupted run would, and then compares a structural digest
+of the recovered database against the reference run's digest.
+
+The digest covers everything recovery is responsible for: the state
+trie root, the flat snapshot contents, the freezer and tx-index
+cursors, the canonical head, and per-class key counts.  A divergence
+in any field means the crash left state that recovery failed to
+repair — the exact bug class this harness exists to catch.
+
+The sweep runs cached configurations (snapshot on/off).  The BareTrace
+mode commits state mid-block and is deliberately excluded: path-keyed
+trie nodes written by a torn mid-block commit cannot be rewound (there
+is no flush-boundary discipline to rewind *to*), which mirrors why
+Geth's path scheme requires the buffered commit discipline in the
+first place.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.classes import (
+    SNAPSHOT_ACCOUNT_PREFIX,
+    SNAPSHOT_STORAGE_PREFIX,
+    classify_key,
+)
+from repro.errors import CrashPoint, SimulatedCrash
+from repro.faults.plan import FaultKind, FaultPlan, FaultRule
+from repro.gethdb import schema
+from repro.gethdb.database import DBConfig, GethDatabase
+from repro.kvstore.api import prefix_upper_bound
+from repro.sync.driver import FullSyncDriver, SyncConfig
+from repro.sync.recovery import resume
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+#: crash points that only fire inside snapshot regeneration; they need
+#: a preliminary unclean kill so the resume path actually regenerates
+SNAPSHOT_REGEN_POINTS = (
+    CrashPoint.SNAPSHOT_REGEN_WIPE,
+    CrashPoint.SNAPSHOT_REGEN_WALK,
+    CrashPoint.SNAPSHOT_REGEN_FINALIZE,
+)
+
+
+@dataclass(frozen=True)
+class CrashTestConfig:
+    """Scaled-down sync run sized so a full sweep stays CI-friendly."""
+
+    blocks: int = 64
+    warmup: int = 16
+    seed: int = 7
+    snapshot: bool = True
+    accounts: int = 400
+    contracts: int = 60
+    txs_per_block: int = 8
+    trie_flush_interval: int = 8
+    cache_bytes: int = 4 * 1024 * 1024
+    #: independent kill offsets sampled per crash point
+    cases_per_point: int = 1
+    #: recovery attempts before a case is declared stuck
+    max_crashes: int = 12
+
+    @property
+    def target_head(self) -> int:
+        return self.warmup + self.blocks
+
+    def sync_config(self) -> SyncConfig:
+        """Cadences scaled so freezing, unindexing, bloom sections and
+        snapshot-root maintenance all happen inside the short run."""
+        return SyncConfig(
+            db=DBConfig(
+                caching_enabled=True,
+                snapshot_enabled=self.snapshot,
+                cache_bytes=self.cache_bytes,
+            ),
+            warmup_blocks=self.warmup,
+            freezer_threshold=24,
+            freezer_batch=4,
+            txlookup_limit=20,
+            bloom_section_size=32,
+            bloom_tracked_bits=8,
+            stateid_retention=16,
+            laststateid_flush_interval=16,
+            skeleton_window=64,
+            snapshot_root_interval=25,
+            trie_flush_interval=self.trie_flush_interval,
+        )
+
+    def workload_config(self) -> WorkloadConfig:
+        return WorkloadConfig(
+            seed=self.seed,
+            initial_eoa_accounts=self.accounts,
+            initial_contracts=self.contracts,
+            txs_per_block=self.txs_per_block,
+        )
+
+
+@dataclass(frozen=True)
+class ConsistencyDigest:
+    """Structural fingerprint of a settled database."""
+
+    head_number: int
+    head_hash: str
+    state_root: str
+    #: sha256 over the sorted flat-snapshot entries ("-" when disabled)
+    snapshot_digest: str
+    frozen_until: int
+    txindex_tail: int
+    #: per-class live key counts, sorted by class name
+    class_counts: tuple[tuple[str, int], ...]
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One digest field where recovery and reference disagree."""
+
+    field: str
+    reference: str
+    observed: str
+
+    def __str__(self) -> str:
+        return f"{self.field}: reference={self.reference} observed={self.observed}"
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one crash/recover/verify cycle."""
+
+    label: str
+    point: str
+    min_block: int
+    crashes: int
+    triggered: bool
+    divergences: list[Divergence] = field(default_factory=list)
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and not self.divergences
+
+
+@dataclass
+class CrashTestReport:
+    """All cases of one sweep."""
+
+    config: CrashTestConfig
+    cases: list[CaseResult] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.cases)
+
+    @property
+    def triggered(self) -> int:
+        return sum(1 for case in self.cases if case.triggered)
+
+    @property
+    def divergent(self) -> int:
+        return sum(1 for case in self.cases if not case.ok)
+
+    @property
+    def ok(self) -> bool:
+        return self.divergent == 0
+
+    def render(self) -> str:
+        lines = [
+            f"crash-consistency sweep: blocks={self.config.blocks} "
+            f"warmup={self.config.warmup} seed={self.config.seed} "
+            f"snapshot={'on' if self.config.snapshot else 'off'}",
+            f"{'case':<34} {'kill>=blk':>9} {'crashes':>7} {'status':<10}",
+        ]
+        for case in self.cases:
+            if case.error is not None:
+                status = "ERROR"
+            elif case.divergences:
+                status = "DIVERGED"
+            elif not case.triggered:
+                status = "untriggered"
+            else:
+                status = "ok"
+            lines.append(
+                f"{case.label:<34} {case.min_block:>9} {case.crashes:>7} {status:<10}"
+            )
+            for div in case.divergences:
+                lines.append(f"    {div}")
+            if case.error is not None:
+                lines.append(f"    {case.error}")
+        lines.append(
+            f"{self.total} cases, {self.triggered} triggered, "
+            f"{self.divergent} divergent"
+        )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# digests
+# ---------------------------------------------------------------------------
+
+
+def settle(driver: FullSyncDriver) -> None:
+    """Flush every in-memory layer so the store is directly comparable.
+
+    The trie dirty buffer and the snapshot diff layers hold state that
+    is durable-by-journal rather than durable-in-store; flushing both
+    makes the digest independent of *where* each run happened to be in
+    its flush cadence.
+    """
+    db = driver.db
+    db.set_tracing(False)
+    db.begin_block(driver._head_number)  # noqa: SLF001
+    driver.state.flush_trie_nodes()
+    if db.config.snapshot_enabled:
+        driver.snapshots.flush_all()
+    db.commit_batch()
+
+
+def consistency_digest(driver: FullSyncDriver) -> ConsistencyDigest:
+    """Settle the driver and fingerprint its database.
+
+    ``SnapshotRoot`` is excluded from the key counts: Geth's maintenance
+    deletes and rewrites it on its own cadence, and recovery legitimately
+    resets that cadence — its presence is not a consistency property.
+    """
+    settle(driver)
+    inner = driver.db.store.inner
+    counts: dict[str, int] = {}
+    for key, _ in inner.scan(b""):
+        if key == schema.SNAPSHOT_ROOT_KEY:
+            continue
+        name = classify_key(key).value
+        counts[name] = counts.get(name, 0) + 1
+
+    snap = hashlib.sha256()
+    entries = 0
+    for prefix in (SNAPSHOT_ACCOUNT_PREFIX, SNAPSHOT_STORAGE_PREFIX):
+        for key, value in inner.scan(prefix, prefix_upper_bound(prefix)):
+            snap.update(len(key).to_bytes(4, "big"))
+            snap.update(key)
+            snap.update(len(value).to_bytes(4, "big"))
+            snap.update(value)
+            entries += 1
+    snapshot_digest = snap.hexdigest() if entries else "-"
+
+    return ConsistencyDigest(
+        head_number=driver._head_number,  # noqa: SLF001
+        head_hash=driver._head_hash.hex(),  # noqa: SLF001
+        state_root=driver.state._account_trie.root_hash().hex(),  # noqa: SLF001
+        snapshot_digest=snapshot_digest,
+        frozen_until=driver.freezer.frozen_until,
+        txindex_tail=driver.txindexer.tail,
+        class_counts=tuple(sorted(counts.items())),
+    )
+
+
+def compare_digests(
+    reference: ConsistencyDigest, observed: ConsistencyDigest
+) -> list[Divergence]:
+    divergences = []
+    for name in (
+        "head_number",
+        "head_hash",
+        "state_root",
+        "snapshot_digest",
+        "frozen_until",
+        "txindex_tail",
+    ):
+        ref, obs = getattr(reference, name), getattr(observed, name)
+        if ref != obs:
+            divergences.append(Divergence(name, str(ref), str(obs)))
+    ref_counts = dict(reference.class_counts)
+    obs_counts = dict(observed.class_counts)
+    for cls in sorted(set(ref_counts) | set(obs_counts)):
+        if ref_counts.get(cls, 0) != obs_counts.get(cls, 0):
+            divergences.append(
+                Divergence(
+                    f"count[{cls}]",
+                    str(ref_counts.get(cls, 0)),
+                    str(obs_counts.get(cls, 0)),
+                )
+            )
+    return divergences
+
+
+def reference_digest(config: CrashTestConfig) -> ConsistencyDigest:
+    """Digest of the uninterrupted run every crash case must match."""
+    driver = FullSyncDriver(
+        config.sync_config(),
+        WorkloadGenerator(config.workload_config()),
+        name="reference",
+    )
+    driver.run(config.blocks)
+    return consistency_digest(driver)
+
+
+# ---------------------------------------------------------------------------
+# case execution
+# ---------------------------------------------------------------------------
+
+
+def _persisted_head(db: GethDatabase) -> int:
+    """Head block number as the durable store sees it (post-crash)."""
+    inner = db.store.inner
+    head_hash = inner.get_or_none(schema.LAST_BLOCK_KEY)
+    if head_hash is None:
+        raise SimulatedCrash(CrashPoint.BATCH_COMMIT_BEFORE, 0, "no LastBlock")
+    number_blob = inner.get_or_none(schema.header_number_key(head_hash))
+    if number_blob is None:
+        raise SimulatedCrash(CrashPoint.BATCH_COMMIT_BEFORE, 0, "no HeaderNumber")
+    return int.from_bytes(number_blob, "big")
+
+
+def run_crash_case(
+    config: CrashTestConfig,
+    rules: list[FaultRule],
+    label: str,
+    reference: ConsistencyDigest,
+) -> CaseResult:
+    """Run to the target head through crashes, then diff against reference.
+
+    The loop mirrors an operator restarting a crashed node: read the
+    durable head, :func:`resume`, import until the target, shut down
+    cleanly.  Crashes during recovery itself (e.g. inside snapshot
+    regeneration) simply go around the loop again; one-shot rules
+    guarantee progress, ``max_crashes`` guards against the ones that
+    don't.
+    """
+    plan = FaultPlan(rules, seed=config.seed)
+    plan.validate()
+    sync_config = config.sync_config()
+    workload_config = config.workload_config()
+    min_block = min((rule.min_block for rule in rules), default=0)
+    point = next(
+        (rule.point.value for rule in rules if rule.point is not None), "store-op"
+    )
+
+    db = GethDatabase(sync_config.db, fault_plan=plan)
+    driver = FullSyncDriver(
+        sync_config, WorkloadGenerator(workload_config), name=label, database=db
+    )
+    crashes = 0
+    clean = False
+    try:
+        driver.run(config.blocks)
+        clean = True
+    except SimulatedCrash:
+        crashes += 1
+
+    while not clean:
+        if crashes > config.max_crashes:
+            return CaseResult(
+                label=label,
+                point=point,
+                min_block=min_block,
+                crashes=crashes,
+                triggered=bool(plan.events),
+                error=f"exceeded {config.max_crashes} crash/recovery cycles",
+            )
+        try:
+            head = _persisted_head(db)
+            driver, _ = resume(db, sync_config, workload_config, head, name=label)
+            while driver._head_number < config.target_head:  # noqa: SLF001
+                driver._import_next_block()  # noqa: SLF001
+            driver.shutdown()
+            clean = True
+        except SimulatedCrash:
+            crashes += 1
+
+    plan.disarm()
+    divergences = compare_digests(reference, consistency_digest(driver))
+    return CaseResult(
+        label=label,
+        point=point,
+        min_block=min_block,
+        crashes=crashes,
+        triggered=bool(plan.events),
+        divergences=divergences,
+    )
+
+
+# ---------------------------------------------------------------------------
+# the sweep
+# ---------------------------------------------------------------------------
+
+
+def sweep_points(config: CrashTestConfig) -> list[CrashPoint]:
+    """Crash points reachable under ``config``."""
+    points = list(CrashPoint)
+    if not config.snapshot:
+        points = [p for p in points if p not in SNAPSHOT_REGEN_POINTS]
+    return points
+
+
+def _rules_for(
+    point: CrashPoint, min_block: int, rng: random.Random
+) -> list[FaultRule]:
+    if point in SNAPSHOT_REGEN_POINTS:
+        # Regeneration only runs after an unclean restart: pair an
+        # in-run kill with the regen-point kill (fires during resume).
+        return [
+            FaultRule(
+                kind=FaultKind.KILL,
+                point=CrashPoint.BATCH_COMMIT_AFTER,
+                min_block=min_block,
+            ),
+            FaultRule(kind=FaultKind.KILL, point=point),
+        ]
+    if point is CrashPoint.BATCH_COMMIT_TORN:
+        return [
+            FaultRule(
+                kind=FaultKind.TORN_COMMIT,
+                point=point,
+                min_block=min_block,
+                tear_fraction=rng.uniform(0.15, 0.85),
+            )
+        ]
+    return [FaultRule(kind=FaultKind.KILL, point=point, min_block=min_block)]
+
+
+def run_crash_sweep(
+    config: Optional[CrashTestConfig] = None,
+    points: Optional[list[CrashPoint]] = None,
+) -> CrashTestReport:
+    """One crash case per (point, sampled kill block); compare them all.
+
+    Kill blocks are sampled inside the measured window with a seeded
+    RNG, so the same seed always sweeps the same schedule.
+    """
+    config = config if config is not None else CrashTestConfig()
+    rng = random.Random(config.seed)
+    if points is None:
+        points = sweep_points(config)
+    reference = reference_digest(config)
+    report = CrashTestReport(config=config)
+    for point in points:
+        for case_index in range(config.cases_per_point):
+            offset = rng.randrange(1, config.blocks + 1)
+            min_block = config.warmup + offset
+            label = f"{point.value}@{min_block}"
+            if config.cases_per_point > 1:
+                label += f"#{case_index}"
+            report.cases.append(
+                run_crash_case(config, _rules_for(point, min_block, rng), label, reference)
+            )
+    return report

@@ -1,0 +1,218 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` is a seeded schedule of failures evaluated at two
+kinds of sites:
+
+* **crash points** — named locations threaded through
+  :class:`~repro.gethdb.database.GethDatabase` and the sync driver
+  (see :class:`~repro.errors.CrashPoint`), where a plan may kill the
+  run (:class:`~repro.errors.SimulatedCrash`) or tear a batch commit;
+* **store operations** — every call crossing the
+  :class:`~repro.faults.store.FaultInjectingStore` wrapper, where a
+  plan may raise a transient :class:`~repro.errors.TransientIOError`,
+  inject a latency spike, or kill the run.
+
+Rules fire deterministically: each rule counts only its own matching
+events (gated by ``min_block``) and triggers on the ``at_count``-th
+one, so the same plan over the same workload always fails at the same
+place.  Every evaluation that fires is recorded in :attr:`FaultPlan.events`
+for harnesses and tests.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import CrashPoint, FaultInjectionError, SimulatedCrash, TransientIOError
+
+
+class FaultKind(enum.Enum):
+    """What a rule does when it fires."""
+
+    #: raise SimulatedCrash (process-kill analog)
+    KILL = "kill"
+    #: apply only a prefix of the batch, then raise SimulatedCrash
+    #: (only meaningful at CrashPoint.BATCH_COMMIT_TORN)
+    TORN_COMMIT = "torn-commit"
+    #: raise TransientIOError from one store operation
+    IO_ERROR = "io-error"
+    #: sleep ``delay_s`` inside one store operation
+    LATENCY = "latency"
+
+
+@dataclass
+class FaultRule:
+    """One failure in a plan.
+
+    ``point`` targets a crash point (KILL / TORN_COMMIT); ``op`` targets
+    a store operation name (``"get"``, ``"put"``, ``"delete"``,
+    ``"scan"``, ``"has"``, or ``"*"`` for any) for IO_ERROR / LATENCY /
+    KILL.  The rule's private counter increments on each matching event
+    with ``block >= min_block``; the rule fires on event number
+    ``at_count`` (1-based) and, being one-shot, never again.
+    """
+
+    kind: FaultKind
+    point: Optional[CrashPoint] = None
+    op: Optional[str] = None
+    at_count: int = 1
+    min_block: int = 0
+    #: latency injected by LATENCY rules, seconds
+    delay_s: float = 0.0
+    #: fraction of the batch applied before a TORN_COMMIT crash
+    tear_fraction: float = 0.5
+    seen: int = field(default=0, compare=False)
+    fired: bool = field(default=False, compare=False)
+
+    def matches_point(self, point: CrashPoint, block: int) -> bool:
+        return (
+            not self.fired
+            and self.point is point
+            and block >= self.min_block
+            and self.kind in (FaultKind.KILL, FaultKind.TORN_COMMIT)
+        )
+
+    def matches_op(self, op: str, block: int) -> bool:
+        return (
+            not self.fired
+            and self.op is not None
+            and (self.op == "*" or self.op == op)
+            and block >= self.min_block
+            and self.kind in (FaultKind.KILL, FaultKind.IO_ERROR, FaultKind.LATENCY)
+        )
+
+    def tick(self) -> bool:
+        """Count one matching event; return True when the rule fires."""
+        self.seen += 1
+        if self.seen >= self.at_count:
+            self.fired = True
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One rule firing, for harness reports and test assertions."""
+
+    kind: FaultKind
+    site: str
+    block: int
+    detail: str = ""
+
+
+class FaultPlan:
+    """A deterministic, disarmable schedule of :class:`FaultRule`\\ s."""
+
+    def __init__(self, rules: Optional[list[FaultRule]] = None, seed: int = 0) -> None:
+        self.rules: list[FaultRule] = list(rules) if rules else []
+        self.seed = seed
+        self.armed = True
+        self.events: list[FaultEvent] = []
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def kill_at(
+        cls, point: CrashPoint, min_block: int = 0, at_count: int = 1, seed: int = 0
+    ) -> "FaultPlan":
+        """Plan with a single kill rule at ``point``."""
+        kind = (
+            FaultKind.TORN_COMMIT
+            if point is CrashPoint.BATCH_COMMIT_TORN
+            else FaultKind.KILL
+        )
+        return cls(
+            [FaultRule(kind=kind, point=point, min_block=min_block, at_count=at_count)],
+            seed=seed,
+        )
+
+    def add(self, rule: FaultRule) -> "FaultPlan":
+        self.rules.append(rule)
+        return self
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def disarm(self) -> None:
+        """Stop evaluating rules (used before reference/settle phases)."""
+        self.armed = False
+
+    def rearm(self) -> None:
+        self.armed = True
+
+    @property
+    def pending_rules(self) -> int:
+        return sum(1 for rule in self.rules if not rule.fired)
+
+    # -- crash-point evaluation ----------------------------------------------
+
+    def on_crash_point(self, point: CrashPoint, block: int = 0) -> None:
+        """Evaluate KILL rules at a crash point; may raise SimulatedCrash."""
+        if not self.armed:
+            return
+        for rule in self.rules:
+            if rule.kind is FaultKind.KILL and rule.matches_point(point, block):
+                if rule.tick():
+                    self.events.append(FaultEvent(rule.kind, point.value, block))
+                    raise SimulatedCrash(point, block)
+
+    def torn_size(self, block: int, batch_size: int) -> Optional[int]:
+        """How many batch ops to apply before a torn-commit crash.
+
+        Returns ``None`` when no TORN_COMMIT rule fires at this commit.
+        A tear needs at least two staged ops (otherwise the commit is
+        trivially atomic and the rule stays armed for a later batch).
+        """
+        if not self.armed or batch_size < 2:
+            return None
+        for rule in self.rules:
+            if rule.kind is FaultKind.TORN_COMMIT and rule.matches_point(
+                CrashPoint.BATCH_COMMIT_TORN, block
+            ):
+                if rule.tick():
+                    keep = max(1, min(batch_size - 1, int(batch_size * rule.tear_fraction)))
+                    self.events.append(
+                        FaultEvent(
+                            rule.kind,
+                            CrashPoint.BATCH_COMMIT_TORN.value,
+                            block,
+                            detail=f"applied {keep}/{batch_size} ops",
+                        )
+                    )
+                    return keep
+        return None
+
+    # -- store-operation evaluation -------------------------------------------
+
+    def on_store_op(self, op: str, key: bytes = b"", block: int = 0) -> None:
+        """Evaluate store-op rules; may raise or sleep."""
+        if not self.armed:
+            return
+        for rule in self.rules:
+            if not rule.matches_op(op, block):
+                continue
+            if not rule.tick():
+                continue
+            detail = key[:8].hex()
+            self.events.append(FaultEvent(rule.kind, f"store.{op}", block, detail))
+            if rule.kind is FaultKind.IO_ERROR:
+                raise TransientIOError(
+                    f"injected I/O error on {op} (key {detail}..., block {block})"
+                )
+            if rule.kind is FaultKind.KILL:
+                raise SimulatedCrash(CrashPoint.WRITE_NOW, block, detail=f"store.{op}")
+            if rule.kind is FaultKind.LATENCY and rule.delay_s > 0:
+                time.sleep(rule.delay_s)
+
+    def validate(self) -> None:
+        """Reject rules that can never fire (bad targets)."""
+        for rule in self.rules:
+            if rule.kind in (FaultKind.KILL, FaultKind.TORN_COMMIT):
+                if rule.point is None and rule.op is None:
+                    raise FaultInjectionError(f"rule targets neither point nor op: {rule}")
+            elif rule.op is None:
+                raise FaultInjectionError(f"{rule.kind.value} rule needs an op target: {rule}")
+            if rule.at_count < 1:
+                raise FaultInjectionError(f"at_count must be >= 1: {rule}")

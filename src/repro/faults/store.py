@@ -1,0 +1,68 @@
+"""A fault-injecting KVStore wrapper.
+
+:class:`FaultInjectingStore` conforms to the :class:`~repro.kvstore.api.KVStore`
+ABC and delegates every operation to an inner store after consulting a
+:class:`~repro.faults.plan.FaultPlan` — so any backend (memdb, btree,
+hashlog, LSM, hybrid) can run under injected transient I/O errors,
+latency spikes, or kills without modification.
+
+The wrapper composes with the tracing layer the same way the backends
+do: ``GethDatabase(store=FaultInjectingStore(MemoryKVStore(), plan))``
+yields ``TracingKVStore -> FaultInjectingStore -> MemoryKVStore``;
+faults fire after trace capture, like a failing disk under a healthy
+syscall layer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.faults.plan import FaultPlan
+from repro.kvstore.api import KVStore
+
+
+class FaultInjectingStore(KVStore):
+    """KVStore decorator that evaluates a fault plan on every operation."""
+
+    def __init__(self, inner: KVStore, plan: Optional[FaultPlan] = None) -> None:
+        self.inner = inner
+        self.plan = plan if plan is not None else FaultPlan()
+        #: callers may bump this so injected faults carry block context
+        self.block_height = 0
+
+    def _check(self, op: str, key: bytes = b"") -> None:
+        self.plan.on_store_op(op, key, self.block_height)
+
+    # -- KVStore interface ----------------------------------------------------
+
+    def get(self, key: bytes) -> bytes:
+        self._check("get", key)
+        return self.inner.get(key)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._check("put", key)
+        self.inner.put(key, value)
+
+    def delete(self, key: bytes) -> None:
+        self._check("delete", key)
+        self.inner.delete(key)
+
+    def has(self, key: bytes) -> bool:
+        self._check("has", key)
+        return self.inner.has(key)
+
+    def scan(
+        self, start: bytes, end: Optional[bytes] = None
+    ) -> Iterator[tuple[bytes, bytes]]:
+        self._check("scan", start)
+        return self.inner.scan(start, end)
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def unwrap(self) -> KVStore:
+        """The healthy store underneath (for post-mortem inspection)."""
+        return self.inner

@@ -17,13 +17,17 @@ per-block write batch, reproducing Geth's I/O discipline:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro.core.classes import KVClass, classify_key
+from repro.errors import CrashPoint, SimulatedCrash
 from repro.gethdb.caches import CacheBudget, CacheSet
 from repro.kvstore.api import Batch, KVStore, prefix_upper_bound
 from repro.kvstore.memdb import MemoryKVStore
 from repro.kvstore.tracing import TraceCollector, TracingKVStore
+
+if TYPE_CHECKING:  # pragma: no cover — typing only, avoids an import cycle
+    from repro.faults.plan import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -57,6 +61,7 @@ class GethDatabase:
         config: Optional[DBConfig] = None,
         store: Optional[KVStore] = None,
         collector: Optional[TraceCollector] = None,
+        fault_plan: Optional["FaultPlan"] = None,
     ) -> None:
         self.config = config if config is not None else DBConfig()
         inner = store if store is not None else MemoryKVStore()
@@ -67,6 +72,8 @@ class GethDatabase:
             else None
         )
         self._batch: Batch = self.store.write_batch()
+        #: deterministic failure schedule; None = run healthy
+        self.fault_plan = fault_plan
 
     # ------------------------------------------------------------------
     # block lifecycle
@@ -75,14 +82,60 @@ class GethDatabase:
     def begin_block(self, number: int) -> None:
         """Stamp subsequent trace records with ``number``."""
         self.store.block_height = number
+        inner = self.store.inner
+        if hasattr(inner, "block_height"):
+            # Propagate block context to a FaultInjectingStore wrapper so
+            # store-op fault rules can gate on min_block.
+            inner.block_height = number
+
+    def crash_point(self, point: CrashPoint) -> None:
+        """Evaluate the fault plan at a named crash point (no-op when
+        no plan is attached)."""
+        if self.fault_plan is not None:
+            self.fault_plan.on_crash_point(point, self.store.block_height)
 
     def commit_batch(self) -> None:
-        """Flush the open batch — Geth's once-per-block write burst."""
+        """Flush the open batch — Geth's once-per-block write burst.
+
+        Under a fault plan the commit may be killed before (nothing
+        durable), torn mid-way (an insertion-order prefix of the batch
+        is applied — what a crashed Pebble WAL replay can leave), or
+        killed just after (fully durable, in-memory state lost).
+        """
+        if self.fault_plan is not None and len(self._batch):
+            block = self.store.block_height
+            self.fault_plan.on_crash_point(CrashPoint.BATCH_COMMIT_BEFORE, block)
+            keep = self.fault_plan.torn_size(block, len(self._batch))
+            if keep is not None:
+                applied = self._batch.commit_prefix(keep)
+                raise SimulatedCrash(
+                    CrashPoint.BATCH_COMMIT_TORN,
+                    block,
+                    detail=f"{applied} ops applied",
+                )
+            self._batch.commit()
+            self.fault_plan.on_crash_point(CrashPoint.BATCH_COMMIT_AFTER, block)
+            return
         self._batch.commit()
 
     @property
     def pending_ops(self) -> int:
         return len(self._batch)
+
+    def discard_batch(self) -> None:
+        """Drop all staged ops — what a process crash does to the open
+        batch.  The recovery path calls this before reattaching."""
+        self._batch.reset()
+
+    def reset_caches(self) -> None:
+        """Empty the in-memory caches — they die with the process too.
+
+        Staged writes are cached write-through before they are durable,
+        so after a crash the caches can hold values the store never
+        received; a reattached driver must not read them.
+        """
+        if self.config.caching_enabled:
+            self.caches = CacheSet(CacheBudget(self.config.cache_bytes))
 
     def set_tracing(self, enabled: bool) -> None:
         """Toggle trace capture (off during pre-population warmup)."""
@@ -156,6 +209,7 @@ class GethDatabase:
 
     def write_now(self, key: bytes, value: bytes) -> None:
         """Unbatched put (startup records written before any block)."""
+        self.crash_point(CrashPoint.WRITE_NOW)
         self.store.put(key, value)
         cache = self._cache_for(key)
         if cache is not None:

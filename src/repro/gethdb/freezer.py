@@ -139,7 +139,18 @@ class Freezer:
                 block_hash = key[9:41]
                 header_blob = value
         if block_hash is None:
-            # Nothing stored for this block (already pruned); skip.
+            if header_entries:
+                # A crash mid-migration deleted the header but left
+                # canonical/td variants (and possibly body/receipts)
+                # behind.  Finish the interrupted deletion so re-freezing
+                # is idempotent instead of leaking the leftovers forever.
+                for key, _ in header_entries:
+                    self._db.delete(key)
+                for prefix in (schema.body_key(number, b""), schema.receipts_key(number, b"")):
+                    doomed = [k for k, _ in self._db.scan(prefix, prefix + b"\xff" * 33)]
+                    for key in doomed:
+                        self._db.delete(key)
+            # Nothing (else) stored for this block (already pruned); skip.
             return
 
         # hash -> number sanity lookup on alternate blocks (HeaderNumber

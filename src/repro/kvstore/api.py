@@ -119,6 +119,26 @@ class Batch:
                 self._store.put(key, value)
         self._ops.clear()
 
+    def commit_prefix(self, count: int) -> int:
+        """Apply only the first ``count`` staged ops, then reset.
+
+        Models a torn write batch: a crash mid-commit leaves a prefix of
+        the batch durable (insertion order) and loses the rest.  Returns
+        the number of operations applied.  Only the fault-injection
+        layer calls this; normal commits are atomic.
+        """
+        applied = 0
+        for key, value in self._ops.items():
+            if applied >= count:
+                break
+            if value is None:
+                self._store.delete(key)
+            else:
+                self._store.put(key, value)
+            applied += 1
+        self._ops.clear()
+        return applied
+
     def reset(self) -> None:
         """Discard all pending operations."""
         self._ops.clear()

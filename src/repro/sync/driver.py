@@ -12,6 +12,7 @@ from repro.chain.blocks import Block
 from repro.chain.genesis import GenesisConfig
 from repro.chain.transactions import Receipt, block_bloom, encode_receipts
 from repro.core.trace import TraceRecord
+from repro.errors import CrashPoint
 from repro.gethdb import schema
 from repro.gethdb.bloombits import BloomBitsIndexer
 from repro.gethdb.database import DBConfig, GethDatabase
@@ -282,7 +283,9 @@ class FullSyncDriver:
             self.state.node_store.buffered
             and number % self.config.trie_flush_interval == 0
         ):
+            self.db.crash_point(CrashPoint.TRIE_FLUSH_BEFORE)
             self.state.flush_trie_nodes()
+            self.db.crash_point(CrashPoint.TRIE_FLUSH_AFTER)
         if self.hash_scheme_mirror is not None:
             self.hash_scheme_mirror.observe_root(state_root)
         block = plan.build_block(self._head_hash, state_root, receipts)
@@ -311,8 +314,12 @@ class FullSyncDriver:
         self._head_hash = block.hash
         self._recent_hashes[number] = block.hash
         self._recent_hashes.pop(number - 4 * self.config.freezer_threshold, None)
+        self.db.crash_point(CrashPoint.FREEZE_BEFORE)
         self.freezer.maybe_freeze(number)
+        self.db.crash_point(CrashPoint.FREEZE_AFTER)
+        self.db.crash_point(CrashPoint.TXINDEX_BEFORE)
         self.txindexer.unindex(number)
+        self.db.crash_point(CrashPoint.TXINDEX_AFTER)
         self._snapshot_root_maintenance(number, state_root)
         if number % self.config.bloom_progress_interval == 0:
             self.bloombits.read_progress()
@@ -477,12 +484,24 @@ class FullSyncDriver:
         self.db.write(schema.body_key(number, block_hash), block.body.encode())
 
     def _advance_state_id(self, state_root: bytes) -> None:
-        self._recent_roots.append(state_root)
-        self.db.write(
-            schema.state_id_key(state_root),
-            (len(self._recent_roots)).to_bytes(8, "big"),
-        )
-        if len(self._recent_roots) > self.config.stateid_retention:
+        number = self._head_number + 1
+        if state_root in self._recent_roots:
+            # Crash-replay path: the root's StateID record is already
+            # persisted (resume rebuilt the list from it).  Rewrite the
+            # record with the same value the first import produced and
+            # skip the append so replays don't double-count.
+            value = min(number + 1, self.config.stateid_retention + 1)
+            self.db.write(schema.state_id_key(state_root), value.to_bytes(8, "big"))
+        else:
+            self._recent_roots.append(state_root)
+            self.db.write(
+                schema.state_id_key(state_root),
+                (len(self._recent_roots)).to_bytes(8, "big"),
+            )
+        # `while`, not `if`: a torn commit can leave an extra persisted
+        # record that resume folds into the list; draining one surplus
+        # entry per block reconverges with the uninterrupted run.
+        while len(self._recent_roots) > self.config.stateid_retention:
             old_root = self._recent_roots.pop(0)
             self.db.delete(schema.state_id_key(old_root))
         self.db.read_uncached(schema.LAST_STATE_ID_KEY)
@@ -530,6 +549,7 @@ class FullSyncDriver:
             schema.SKELETON_SYNC_STATUS_KEY,
             self._head_number.to_bytes(8, "big") + b"\x00" * 138,
         )
+        self.db.crash_point(CrashPoint.SHUTDOWN_BEFORE_COMMIT)
         self.db.commit_batch()
 
 

@@ -24,8 +24,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+import hashlib
+
+from repro import rlp
 from repro.chain.account import Account
-from repro.errors import GethDBError
+from repro.chain.bloom import BLOOM_BYTES, Bloom
+from repro.errors import CrashPoint, GethDBError
 from repro.gethdb import schema
 from repro.gethdb.database import GethDatabase
 from repro.sync.driver import FullSyncDriver, SyncConfig
@@ -64,6 +68,11 @@ def resume(
     generator so the chain continues deterministically.
     """
     workload = WorkloadGenerator(workload_config)
+    # A process crash loses the open write batch and the in-memory
+    # caches with the process: staged ops never became durable, and the
+    # write-through caches may hold exactly those lost values.
+    db.discard_batch()
+    db.reset_caches()
     driver = FullSyncDriver(sync_config, workload, name=name, database=db)
     db.set_tracing(True)
 
@@ -120,12 +129,21 @@ def resume(
     regenerated_accounts = regenerated_slots = 0
     if db.config.snapshot_enabled:
         snapshot_journal = db.read_uncached(schema.SNAPSHOT_JOURNAL_KEY)
-        if clean and snapshot_journal is not None:
+        # A generation marker that never reached "done" means the last
+        # incarnation died *inside* regenerate_snapshot: the half-written
+        # flat snapshot must not be trusted even after an otherwise clean
+        # restart — restart the wipe+walk (it is idempotent).
+        generator = db.read_uncached(schema.SNAPSHOT_GENERATOR_KEY)
+        generation_interrupted = generator is not None and generator != b"done"
+        if clean and snapshot_journal is not None and not generation_interrupted:
             snapshot_layers = driver.snapshots.load_journal(snapshot_journal)
             db.read_uncached(schema.SNAPSHOT_ROOT_KEY)
         else:
             regenerated_accounts, regenerated_slots = regenerate_snapshot(driver)
             regenerated = True
+        driver._snapshot_root_present = (  # noqa: SLF001
+            db.store.inner.has(schema.SNAPSHOT_ROOT_KEY)
+        )
 
     # -- runtime cursors -----------------------------------------------------
     driver._initialized = True  # noqa: SLF001 — this is the restart path
@@ -133,17 +151,27 @@ def resume(
     driver._head_hash = resume_hash  # noqa: SLF001
     driver._recent_hashes[resume_from] = resume_hash  # noqa: SLF001
     driver._blocks_run = blocks_processed  # noqa: SLF001
-    root = driver.state._account_trie.root_hash()  # noqa: SLF001
-    driver._recent_roots.append(root)  # noqa: SLF001
     _recover_recent_hashes(driver, resume_from)
+    _recover_state_ids(driver, resume_from)
     _recover_freezer_cursor(driver)
     _recover_txindex_cursor(driver, resume_from)
+    _recover_bloombits(driver, resume_from)
 
     # -- re-execute the rewound tail ------------------------------------------
     reexecuted = 0
     while driver._head_number < head_number:  # noqa: SLF001
         driver._import_next_block()  # noqa: SLF001
         reexecuted += 1
+
+    # -- catch up background migration ----------------------------------------
+    # The freezer's delete burst for its final pre-crash migration rode
+    # in the next block's batch; if the crash lost it, the recovered
+    # cursor sits one migration behind the head's threshold.  Re-freeze
+    # to the threshold (a no-op when already caught up) so a recovered
+    # node matches an uninterrupted one without waiting for new imports.
+    while driver.freezer.maybe_freeze(driver._head_number):  # noqa: SLF001
+        pass
+    db.commit_batch()
 
     report = RecoveryReport(
         head_number=head_number,
@@ -167,19 +195,164 @@ def _recover_recent_hashes(driver: FullSyncDriver, head_number: int) -> None:
             driver._recent_hashes[number] = block_hash  # noqa: SLF001
 
 
+def _header_fields(driver: FullSyncDriver, number: int):
+    """Decoded RLP field list of the canonical header, or None."""
+    inner = driver.db.store.inner
+    block_hash = inner.get_or_none(schema.canonical_hash_key(number))
+    if block_hash is None:
+        return None
+    header_blob = inner.get_or_none(schema.header_key(number, block_hash))
+    if header_blob is None:
+        return None
+    try:
+        fields = rlp.decode(header_blob)
+    except Exception:  # pragma: no cover — corrupt header
+        return None
+    return fields if isinstance(fields, list) and len(fields) >= 7 else None
+
+
+def _recover_state_ids(driver: FullSyncDriver, head_number: int) -> None:
+    """Rebuild the recent-roots window from persisted StateID records.
+
+    The record *values* are list lengths (constant at steady state), so
+    ordering comes from mapping each recorded root back to its block via
+    the canonical headers (``state_root`` is header RLP field 3).  A
+    torn commit may have persisted the record of a block past the head —
+    scanning up to ``head + 1`` folds it in; the replay's dedup path in
+    ``_advance_state_id`` then drains the surplus.  Records whose root
+    no longer maps to any nearby header are stale and deleted.
+    """
+    from repro.core.classes import STATE_ID_PREFIX
+    from repro.kvstore.api import prefix_upper_bound
+
+    inner = driver.db.store.inner
+    roots = set()
+    for key, _ in inner.scan(STATE_ID_PREFIX, prefix_upper_bound(STATE_ID_PREFIX)):
+        if len(key) == 33:
+            roots.add(key[1:])
+    ordered: list[bytes] = []
+    window = 2 * driver.config.stateid_retention + 4
+    for number in range(max(0, head_number - window), head_number + 2):
+        if not roots:
+            break
+        fields = _header_fields(driver, number)
+        if fields is None:
+            continue
+        root = fields[3]
+        if root in roots:
+            ordered.append(root)
+            roots.discard(root)
+    for stale in roots:
+        driver.db.delete_now(schema.state_id_key(stale))
+    driver._recent_roots = ordered  # noqa: SLF001
+
+
 def _recover_freezer_cursor(driver: FullSyncDriver) -> None:
-    """The frozen boundary is the lowest header still in the KV store."""
+    """The frozen boundary is the lowest header still in the KV store.
+
+    A crash between a freeze migration and its batch commit (or a torn
+    commit inside the migration's deletes) can leave partial block rows
+    below that boundary: bodies or receipts whose header keys are gone.
+    Re-freezing cannot see them (the header scan finds nothing), so they
+    would leak forever — sweep them here.
+    """
     store = driver.db.store.inner
     for key, _ in store.scan(b"h", b"i"):
         if len(key) >= 9:
             driver.freezer.frozen_until = int.from_bytes(key[1:9], "big")
-            return
+            break
+    frozen_until = driver.freezer.frozen_until
+    if frozen_until <= 0:
+        return
+    from repro.core.classes import BODY_PREFIX, RECEIPTS_PREFIX
+    from repro.kvstore.api import prefix_upper_bound
+
+    doomed = []
+    for prefix in (BODY_PREFIX, RECEIPTS_PREFIX):
+        for key, _ in store.scan(prefix, prefix_upper_bound(prefix)):
+            if len(key) >= 9 and int.from_bytes(key[1:9], "big") < frozen_until:
+                doomed.append(key)
+    for key in doomed:
+        driver.db.delete_now(key)
 
 
 def _recover_txindex_cursor(driver: FullSyncDriver, head_number: int) -> None:
-    tail_blob = driver.db.read_uncached(schema.TRANSACTION_INDEX_TAIL_KEY)
+    """Restore the unindexing tail and the per-block tx-hash map.
+
+    The indexer's ``_block_txs`` map is in-memory only; without it, the
+    lookups of blocks imported before the crash would never be deleted
+    when the tail passes them.  Rebuild it from the persisted canonical
+    bodies (a transaction's hash is the hash of its RLP payload).  Also
+    sweep lookups already behind the recovered tail — a torn commit can
+    apply only part of an unindexing delete burst.
+    """
+    db = driver.db
+    tail_blob = db.read_uncached(schema.TRANSACTION_INDEX_TAIL_KEY)
     tail = int.from_bytes(tail_blob, "big") if tail_blob else 0
-    driver.txindexer.tail = max(tail, head_number - driver.config.txlookup_limit + 1, 0)
+    tail = max(tail, head_number - driver.config.txlookup_limit + 1, 0)
+    driver.txindexer.tail = tail
+
+    inner = db.store.inner
+    for number in range(tail, head_number + 1):
+        block_hash = inner.get_or_none(schema.canonical_hash_key(number))
+        if block_hash is None:
+            continue
+        body_blob = inner.get_or_none(schema.body_key(number, block_hash))
+        if body_blob is None:
+            continue
+        try:
+            tx_blobs = rlp.decode(body_blob)[0]
+        except Exception:  # pragma: no cover — corrupt body
+            continue
+        driver.txindexer._block_txs[number] = [  # noqa: SLF001
+            hashlib.sha3_256(tx_blob).digest() for tx_blob in tx_blobs
+        ]
+
+    if tail > 0:
+        from repro.core.classes import TX_LOOKUP_PREFIX
+        from repro.kvstore.api import prefix_upper_bound
+
+        doomed = []
+        for key, value in inner.scan(
+            TX_LOOKUP_PREFIX, prefix_upper_bound(TX_LOOKUP_PREFIX)
+        ):
+            number = int.from_bytes(value, "big") if value != b"\x00" else 0
+            if number < tail:
+                doomed.append(key)
+        for key in doomed:
+            driver.db.delete_now(key)
+
+
+def _recover_bloombits(driver: FullSyncDriver, head_number: int) -> None:
+    """Restore the section indexer's progress and pending blooms.
+
+    Without this a restarted indexer would restart at section 0 and
+    re-emit section keys under wrong section numbers.  Progress comes
+    from the persisted BloomBitsIndex count record; the pending blooms
+    of the open section are read back from the canonical headers
+    (``logsBloom`` is header RLP field 6).
+    """
+    indexer = driver.bloombits
+    count_blob = driver.db.store.inner.get_or_none(
+        schema.bloom_bits_index_key(b"count")
+    )
+    indexer.sections_done = int.from_bytes(count_blob, "big") if count_blob else 0
+    indexer._pending_blooms.clear()  # noqa: SLF001
+    section_start = indexer.sections_done * indexer.section_size
+    for number in range(section_start + 1, head_number + 1):
+        fields = _header_fields(driver, number)
+        if fields is not None and len(fields[6]) == BLOOM_BYTES:
+            bloom = Bloom(bytes(fields[6]))
+        else:
+            bloom = Bloom()
+        block_hash = driver._recent_hashes.get(number)  # noqa: SLF001
+        if block_hash is not None:
+            indexer._pending_head = block_hash  # noqa: SLF001
+        indexer._pending_blooms.append(bloom)  # noqa: SLF001
+        if len(indexer._pending_blooms) >= indexer.section_size:  # noqa: SLF001
+            # The section had completed but its commit was lost/torn:
+            # re-emit the section rows (byte-identical rewrite).
+            indexer._process_section()  # noqa: SLF001
 
 
 def regenerate_snapshot(driver: FullSyncDriver) -> tuple[int, int]:
@@ -195,6 +368,9 @@ def regenerate_snapshot(driver: FullSyncDriver) -> tuple[int, int]:
     db.write_now(schema.SNAPSHOT_RECOVERY_KEY, (1).to_bytes(8, "big"))
     driver.snapshots.write_generator_marker(done=False)
     db.delete_now(schema.SNAPSHOT_ROOT_KEY)
+    # A journal from an older clean shutdown describes pre-crash layers;
+    # once regeneration starts it must never be loaded again.
+    db.delete_now(schema.SNAPSHOT_JOURNAL_KEY)
 
     # Wipe the stale flat snapshot first.  It may be *ahead* of the
     # rewound trie (snapshot layers flush more often than the trie
@@ -215,7 +391,9 @@ def regenerate_snapshot(driver: FullSyncDriver) -> tuple[int, int]:
             wiped += 1
             if wiped % 1024 == 0:
                 db.commit_batch()
+                db.crash_point(CrashPoint.SNAPSHOT_REGEN_WIPE)
     db.commit_batch()
+    db.crash_point(CrashPoint.SNAPSHOT_REGEN_WIPE)
 
     accounts = 0
     slots = 0
@@ -232,8 +410,11 @@ def regenerate_snapshot(driver: FullSyncDriver) -> tuple[int, int]:
                 slots += 1
         if accounts % 512 == 0:
             db.commit_batch()
+        if accounts % 128 == 0:
+            db.crash_point(CrashPoint.SNAPSHOT_REGEN_WALK)
     db.commit_batch()
 
+    db.crash_point(CrashPoint.SNAPSHOT_REGEN_FINALIZE)
     root = state._account_trie.root_hash()  # noqa: SLF001
     db.write_now(schema.SNAPSHOT_ROOT_KEY, root)
     driver.snapshots.write_generator_marker(done=True)

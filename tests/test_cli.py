@@ -23,6 +23,7 @@ class TestParser:
             "analyze",
             "export",
             "compare",
+            "crashtest",
         }
 
     def test_missing_command_errors(self):
@@ -32,6 +33,18 @@ class TestParser:
     def test_sync_requires_out(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sync"])
+
+    def test_crashtest_defaults(self):
+        args = build_parser().parse_args(["crashtest"])
+        assert args.blocks == 64
+        assert args.seed == 7
+        assert args.crash_points == "all"
+        assert args.snapshot == "on"
+
+    def test_crashtest_rejects_unknown_point(self, capsys):
+        code = main(["crashtest", "--crash-points", "bogus"])
+        assert code == 2
+        assert "unknown crash point" in capsys.readouterr().err
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,123 @@
+"""Crash-consistency harness tests.
+
+Property under test: for every reachable crash point, killing the sync
+at a seeded block and resuming must converge to the exact consistency
+digest of an uninterrupted run — state root, snapshot content, freezer
+and txindex cursors, and per-class key counts.  The sweep is seeded, so
+failures reproduce bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CrashPoint
+from repro.faults import (
+    CrashTestConfig,
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    run_crash_case,
+    run_crash_sweep,
+    sweep_points,
+)
+from repro.faults.harness import compare_digests, reference_digest
+
+
+def _small_config(**overrides) -> CrashTestConfig:
+    defaults = dict(
+        blocks=24,
+        warmup=8,
+        seed=7,
+        accounts=120,
+        contracts=20,
+        txs_per_block=5,
+    )
+    defaults.update(overrides)
+    return CrashTestConfig(**defaults)
+
+
+class TestReferenceDigest:
+    def test_reference_is_deterministic(self):
+        config = _small_config()
+        a = reference_digest(config)
+        b = reference_digest(config)
+        assert compare_digests(a, b) == []
+        assert a.head_number == config.target_head
+        assert a.frozen_until > 0  # the scaled cadences actually freeze
+        assert a.class_counts  # per-class counts populated
+
+    def test_snapshot_toggle_changes_digest(self):
+        with_snap = reference_digest(_small_config(snapshot=True))
+        without = reference_digest(_small_config(snapshot=False))
+        assert with_snap.snapshot_digest != "-"
+        assert without.snapshot_digest == "-"
+
+
+class TestCrashSweep:
+    @pytest.mark.parametrize("flush_interval", [4, 8])
+    @pytest.mark.parametrize("snapshot", [True, False])
+    def test_sweep_converges(self, flush_interval, snapshot):
+        config = _small_config(
+            snapshot=snapshot, trie_flush_interval=flush_interval
+        )
+        report = run_crash_sweep(config)
+        rendered = report.render()
+        assert report.total == len(sweep_points(config))
+        failed = [case for case in report.cases if not case.ok]
+        assert not failed, f"divergent cases:\n{rendered}"
+        # every case must actually have crashed — a sweep that never
+        # fires its faults is vacuous
+        assert report.triggered == report.total, rendered
+
+    def test_sweep_is_seeded(self):
+        config = _small_config(snapshot=False)
+        points = [CrashPoint.BATCH_COMMIT_TORN]
+        a = run_crash_sweep(config, points)
+        b = run_crash_sweep(config, points)
+        assert [case.label for case in a.cases] == [case.label for case in b.cases]
+
+
+class TestSnapshotRegenIdempotence:
+    def test_regen_survives_repeated_crashes(self):
+        """Crash *twice* inside regeneration: the generator marker must
+        restart the wipe+walk from scratch each time and still converge."""
+        config = _small_config(snapshot=True)
+        rules = [
+            FaultRule(
+                kind=FaultKind.KILL,
+                point=CrashPoint.BATCH_COMMIT_AFTER,
+                min_block=config.warmup + 10,
+            ),
+            FaultRule(kind=FaultKind.KILL, point=CrashPoint.SNAPSHOT_REGEN_WALK),
+            FaultRule(kind=FaultKind.KILL, point=CrashPoint.SNAPSHOT_REGEN_WALK),
+        ]
+        result = run_crash_case(
+            config, rules, "regen-double-crash", reference_digest(config)
+        )
+        assert result.crashes == 3  # in-run kill + two regen kills
+        assert result.ok, result.divergences
+
+    def test_torn_commit_after_regeneration(self):
+        """Kill once (forcing a regeneration), then tear a commit in the
+        recovered run — forcing a *second* regeneration over the torn
+        leftovers."""
+        config = _small_config(snapshot=True)
+        rules = [
+            FaultRule(
+                kind=FaultKind.KILL,
+                point=CrashPoint.BATCH_COMMIT_AFTER,
+                min_block=config.warmup + 6,
+            ),
+            FaultRule(
+                kind=FaultKind.TORN_COMMIT,
+                point=CrashPoint.BATCH_COMMIT_TORN,
+                min_block=config.warmup + 7,
+                tear_fraction=0.4,
+            ),
+        ]
+        result = run_crash_case(
+            config, rules, "torn-after-regen", reference_digest(config)
+        )
+        assert result.crashes == 2
+        assert result.ok, result.divergences

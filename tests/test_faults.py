@@ -1,0 +1,218 @@
+"""Fault-plan and fault-injecting-store unit tests.
+
+The crash-consistency *sweep* lives in ``tests/test_crashtest.py``;
+this module covers the mechanics underneath it: deterministic rule
+matching, one-shot firing, torn-commit prefix application, and the
+KVStore wrapper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    CrashPoint,
+    FaultInjectionError,
+    SimulatedCrash,
+    TransientIOError,
+)
+from repro.faults import FaultInjectingStore, FaultKind, FaultPlan, FaultRule
+from repro.gethdb.database import DBConfig, GethDatabase
+from repro.kvstore.memdb import MemoryKVStore
+
+
+class TestFaultRule:
+    def test_point_matching_gated_by_min_block(self):
+        rule = FaultRule(
+            kind=FaultKind.KILL, point=CrashPoint.FREEZE_BEFORE, min_block=10
+        )
+        assert not rule.matches_point(CrashPoint.FREEZE_BEFORE, 9)
+        assert rule.matches_point(CrashPoint.FREEZE_BEFORE, 10)
+        assert not rule.matches_point(CrashPoint.FREEZE_AFTER, 10)
+
+    def test_fired_rule_never_matches_again(self):
+        rule = FaultRule(kind=FaultKind.KILL, point=CrashPoint.WRITE_NOW)
+        assert rule.matches_point(CrashPoint.WRITE_NOW, 0)
+        assert rule.tick()
+        assert not rule.matches_point(CrashPoint.WRITE_NOW, 0)
+
+    def test_op_wildcard(self):
+        rule = FaultRule(kind=FaultKind.IO_ERROR, op="*")
+        assert rule.matches_op("get", 0)
+        assert rule.matches_op("scan", 0)
+        specific = FaultRule(kind=FaultKind.IO_ERROR, op="put")
+        assert specific.matches_op("put", 0)
+        assert not specific.matches_op("get", 0)
+
+    def test_at_count_fires_on_nth_event(self):
+        rule = FaultRule(kind=FaultKind.KILL, point=CrashPoint.WRITE_NOW, at_count=3)
+        assert not rule.tick()
+        assert not rule.tick()
+        assert rule.tick()
+
+
+class TestFaultPlan:
+    def test_kill_at_raises_and_records_event(self):
+        plan = FaultPlan.kill_at(CrashPoint.TRIE_FLUSH_BEFORE, min_block=5)
+        plan.on_crash_point(CrashPoint.TRIE_FLUSH_BEFORE, block=4)  # gated
+        with pytest.raises(SimulatedCrash) as exc:
+            plan.on_crash_point(CrashPoint.TRIE_FLUSH_BEFORE, block=5)
+        assert exc.value.point is CrashPoint.TRIE_FLUSH_BEFORE
+        assert exc.value.block == 5
+        assert len(plan.events) == 1
+        assert plan.events[0].site == CrashPoint.TRIE_FLUSH_BEFORE.value
+        # one-shot: the same point never fires twice
+        plan.on_crash_point(CrashPoint.TRIE_FLUSH_BEFORE, block=6)
+        assert plan.pending_rules == 0
+
+    def test_disarm_suppresses_everything(self):
+        plan = FaultPlan.kill_at(CrashPoint.WRITE_NOW)
+        plan.disarm()
+        plan.on_crash_point(CrashPoint.WRITE_NOW, 0)
+        plan.on_store_op("put")
+        assert plan.torn_size(0, 10) is None
+        assert plan.events == []
+        plan.rearm()
+        with pytest.raises(SimulatedCrash):
+            plan.on_crash_point(CrashPoint.WRITE_NOW, 0)
+
+    def test_torn_size_bounds_and_one_shot(self):
+        plan = FaultPlan(
+            [
+                FaultRule(
+                    kind=FaultKind.TORN_COMMIT,
+                    point=CrashPoint.BATCH_COMMIT_TORN,
+                    tear_fraction=0.99,
+                )
+            ]
+        )
+        keep = plan.torn_size(block=1, batch_size=10)
+        assert 1 <= keep <= 9  # never the full batch, never empty
+        assert plan.torn_size(block=1, batch_size=10) is None  # one-shot
+
+    def test_torn_size_skips_trivially_atomic_batches(self):
+        plan = FaultPlan(
+            [FaultRule(kind=FaultKind.TORN_COMMIT, point=CrashPoint.BATCH_COMMIT_TORN)]
+        )
+        assert plan.torn_size(block=1, batch_size=1) is None
+        assert plan.pending_rules == 1  # still armed for a real batch
+        assert plan.torn_size(block=1, batch_size=2) == 1
+
+    def test_store_op_io_error(self):
+        plan = FaultPlan([FaultRule(kind=FaultKind.IO_ERROR, op="get", at_count=2)])
+        plan.on_store_op("get", b"k")
+        with pytest.raises(TransientIOError):
+            plan.on_store_op("get", b"k")
+        plan.on_store_op("get", b"k")  # exhausted
+
+    def test_determinism_same_schedule_same_firing(self):
+        def run():
+            plan = FaultPlan(
+                [FaultRule(kind=FaultKind.IO_ERROR, op="put", at_count=7)]
+            )
+            fired_at = None
+            for index in range(20):
+                try:
+                    plan.on_store_op("put", b"k", block=index)
+                except TransientIOError:
+                    fired_at = index
+            return fired_at
+
+        assert run() == run() == 6
+
+    def test_validate_rejects_targetless_rules(self):
+        with pytest.raises(FaultInjectionError):
+            FaultPlan([FaultRule(kind=FaultKind.KILL)]).validate()
+        with pytest.raises(FaultInjectionError):
+            FaultPlan([FaultRule(kind=FaultKind.IO_ERROR)]).validate()
+        with pytest.raises(FaultInjectionError):
+            FaultPlan(
+                [FaultRule(kind=FaultKind.KILL, point=CrashPoint.WRITE_NOW, at_count=0)]
+            ).validate()
+        FaultPlan.kill_at(CrashPoint.WRITE_NOW).validate()  # sane plan passes
+
+
+class TestFaultInjectingStore:
+    def test_delegates_when_healthy(self):
+        store = FaultInjectingStore(MemoryKVStore())
+        store.put(b"a", b"1")
+        assert store.get(b"a") == b"1"
+        assert store.has(b"a")
+        assert list(store.scan(b"a", b"b")) == [(b"a", b"1")]
+        assert len(store) == 1
+        store.delete(b"a")
+        assert not store.has(b"a")
+        assert isinstance(store.unwrap(), MemoryKVStore)
+
+    def test_transient_io_error_then_recovery(self):
+        plan = FaultPlan([FaultRule(kind=FaultKind.IO_ERROR, op="put", at_count=2)])
+        store = FaultInjectingStore(MemoryKVStore(), plan)
+        store.put(b"a", b"1")
+        with pytest.raises(TransientIOError):
+            store.put(b"b", b"2")
+        store.put(b"b", b"2")  # a retry succeeds — the fault was transient
+        assert store.get(b"b") == b"2"
+        # the failed attempt must not have landed
+        assert len(store) == 2
+
+    def test_kill_on_store_op(self):
+        plan = FaultPlan([FaultRule(kind=FaultKind.KILL, op="*")])
+        store = FaultInjectingStore(MemoryKVStore(), plan)
+        with pytest.raises(SimulatedCrash):
+            store.get(b"a")
+
+    def test_block_gating_via_block_height(self):
+        plan = FaultPlan([FaultRule(kind=FaultKind.IO_ERROR, op="put", min_block=5)])
+        store = FaultInjectingStore(MemoryKVStore(), plan)
+        store.put(b"a", b"1")  # block 0: gated
+        store.block_height = 5
+        with pytest.raises(TransientIOError):
+            store.put(b"b", b"2")
+
+    def test_geth_database_propagates_block_height(self):
+        store = FaultInjectingStore(MemoryKVStore())
+        db = GethDatabase(DBConfig.bare_trace_config(), store=store)
+        db.begin_block(17)
+        assert store.block_height == 17
+
+
+class TestTornCommit:
+    def test_commit_applies_prefix_in_staging_order(self):
+        plan = FaultPlan(
+            [
+                FaultRule(
+                    kind=FaultKind.TORN_COMMIT,
+                    point=CrashPoint.BATCH_COMMIT_TORN,
+                    tear_fraction=0.5,
+                )
+            ]
+        )
+        db = GethDatabase(DBConfig.bare_trace_config(), fault_plan=plan)
+        keys = [b"k%02d" % index for index in range(10)]
+        for key in keys:
+            db.write(key, b"v" + key)
+        with pytest.raises(SimulatedCrash) as exc:
+            db.commit_batch()
+        assert exc.value.point is CrashPoint.BATCH_COMMIT_TORN
+        durable = [key for key in keys if db.store.inner.has(key)]
+        assert durable == keys[:5]  # exactly the staged prefix survives
+
+    def test_kill_before_commit_keeps_store_untouched(self):
+        plan = FaultPlan.kill_at(CrashPoint.BATCH_COMMIT_BEFORE)
+        db = GethDatabase(DBConfig.bare_trace_config(), fault_plan=plan)
+        db.write(b"a", b"1")
+        with pytest.raises(SimulatedCrash):
+            db.commit_batch()
+        assert not db.store.inner.has(b"a")
+        # the batch survives in memory; discard_batch models the crash
+        assert db.pending_ops == 1
+        db.discard_batch()
+        assert db.pending_ops == 0
+
+    def test_kill_after_commit_is_durable(self):
+        plan = FaultPlan.kill_at(CrashPoint.BATCH_COMMIT_AFTER)
+        db = GethDatabase(DBConfig.bare_trace_config(), fault_plan=plan)
+        db.write(b"a", b"1")
+        with pytest.raises(SimulatedCrash):
+            db.commit_batch()
+        assert db.store.inner.get(b"a") == b"1"

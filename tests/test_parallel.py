@@ -9,6 +9,7 @@ shard traces over worker processes.
 from __future__ import annotations
 
 import math
+import os
 import random
 
 import numpy as np
@@ -21,9 +22,22 @@ from repro.core.columnar import ColumnarTrace, chunk_records
 from repro.core.correlation import CorrelationAnalyzer, CorrelationConfig
 from repro.core.iostats import IOStatsAnalyzer
 from repro.core.opdist import OpDistAnalyzer
-from repro.core.parallel import analyze_chunks, analyze_trace, default_workers
+from repro.core.parallel import (
+    RetryPolicy,
+    WorkerFault,
+    analyze_chunks,
+    analyze_trace,
+    default_workers,
+)
 from repro.core.sizes import RunningStats, SizeAnalyzer
-from repro.core.trace import OpType, TraceRecord, write_trace, write_trace_v2
+from repro.core.trace import (
+    OpType,
+    TraceRecord,
+    read_trace_footer,
+    write_trace,
+    write_trace_v2,
+)
+from repro.errors import AnalysisError
 
 
 def _random_records(n=3000, seed=11, num_blocks=37):
@@ -357,3 +371,84 @@ class TestTraceAnalysisInputs:
         analysis = TraceAnalysis("d", records)
         ratio = analysis.read_ratio(KVClass.SNAPSHOT_ACCOUNT)
         assert 0.0 <= ratio <= 100.0
+
+
+class TestWorkerDeath:
+    """Scheduler resilience: a worker process dying mid-shard must not
+    change results (requeue) or sink the run (serial fallback)."""
+
+    FAST_RETRY = RetryPolicy(max_retries=2, backoff_base_s=0.01)
+
+    @pytest.fixture()
+    def trace_path(self, tmp_path, records):
+        path = tmp_path / "trace.v2"
+        write_trace_v2(path, records, chunk_size=173)
+        return path
+
+    def test_transient_kill_requeues_and_matches_serial(
+        self, tmp_path, trace_path, reference
+    ):
+        # the first worker to pick up shard 1 dies; the requeued attempt
+        # survives (one-shot trip file) and results match exactly
+        fault = WorkerFault(
+            shard_index=1,
+            parent_pid=os.getpid(),
+            trip_path=str(tmp_path / "trip"),
+        )
+        results = analyze_trace(
+            trace_path, workers=4, fault=fault, retry=self.FAST_RETRY
+        )
+        _assert_opdist_equal(results["opdist"], reference["opdist"])
+        _assert_blockstats_equal(results["blockstats"], reference["blockstats"])
+        _assert_iostats_equal(results["iostats"], reference["iostats"])
+        assert (tmp_path / "trip").exists()  # the fault really fired
+
+    def test_poisoned_shard_falls_back_to_serial(self, trace_path, reference):
+        # no trip file: every worker touching shard 2 dies, so after the
+        # retries it must run serially in this process (where the fault
+        # latch is inert) and still produce exact results
+        fault = WorkerFault(shard_index=2, parent_pid=os.getpid())
+        results = analyze_trace(
+            trace_path, workers=4, fault=fault, retry=self.FAST_RETRY
+        )
+        _assert_opdist_equal(results["opdist"], reference["opdist"])
+        _assert_blockstats_equal(results["blockstats"], reference["blockstats"])
+        _assert_iostats_equal(results["iostats"], reference["iostats"])
+
+    def test_fallback_disabled_raises(self, trace_path):
+        fault = WorkerFault(shard_index=0, parent_pid=os.getpid())
+        with pytest.raises(AnalysisError, match="kept killing"):
+            analyze_trace(
+                trace_path,
+                workers=4,
+                fault=fault,
+                retry=RetryPolicy(
+                    max_retries=1, backoff_base_s=0.01, serial_fallback=False
+                ),
+            )
+
+    def test_deterministic_worker_exception_not_retried(
+        self, tmp_path, records, reference
+    ):
+        # a corrupt chunk raises TraceFormatError in the worker — that is
+        # deterministic, so it surfaces as AnalysisError immediately;
+        # lenient mode instead skips the chunk and completes
+        path = tmp_path / "corrupt.v2"
+        write_trace_v2(path, records, chunk_size=173)
+        footer = read_trace_footer(path)
+        offset, _ = footer.chunks[2]
+        data = bytearray(path.read_bytes())
+        data[offset + 30] ^= 0xFF
+        path.write_bytes(bytes(data))
+
+        with pytest.raises(AnalysisError, match="shard"):
+            analyze_trace(path, workers=3, retry=self.FAST_RETRY)
+
+        results = analyze_trace(path, workers=3, lenient=True, retry=self.FAST_RETRY)
+        lost = reference["opdist"].total_ops - results["opdist"].total_ops
+        assert 0 < lost <= 173  # exactly the corrupt chunk is missing
+
+    def test_worker_fault_inert_in_parent(self):
+        fault = WorkerFault(shard_index=0, parent_pid=os.getpid())
+        fault.maybe_trip(0)  # same pid: must not exit
+        fault.maybe_trip(1)  # different shard: must not exit
