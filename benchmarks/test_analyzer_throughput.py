@@ -29,7 +29,8 @@ from repro.core.blockstats import BlockStatsAnalyzer
 from repro.core.columnar import ColumnarTrace, TraceChunk
 from repro.core.correlation import CorrelationAnalyzer, CorrelationConfig
 from repro.core.opdist import OpDistAnalyzer
-from repro.core.parallel import analyze_trace
+from repro.core.parallel import analyze_chunks, analyze_trace
+from repro.obs.registry import MetricsRegistry
 from repro.core.trace import (
     ColumnarTraceReader,
     ColumnarTraceWriter,
@@ -202,6 +203,36 @@ def test_blockstats_columnar_throughput(benchmark, bench_columnar):
     rate = total_records / benchmark.stats.stats.mean
     RATES["blockstats_columnar"] = rate
     print(f"\nblockstats columnar: {rate / 1e6:.2f} M records/s")
+
+
+def test_instrumentation_overhead(bench_columnar):
+    """Metrics accounting must stay off the hot path: the per-chunk
+    counter increments in ``analyze_chunks`` may cost < 5% of columnar
+    analysis throughput.  Best-of-5 each way filters scheduler noise."""
+    trace = bench_columnar
+    # Repeat the chunk stream so each timed run lasts long enough for
+    # the comparison to rise above timer noise.
+    repeats = 50
+    chunks = list(trace.chunks) * repeats
+
+    def run(registry):
+        start = time.perf_counter()
+        built = analyze_chunks(
+            chunks, analyzers=("opdist",), track_keys=False, registry=registry
+        )
+        elapsed = time.perf_counter() - start
+        assert built["opdist"].total_ops == len(trace) * repeats
+        return elapsed
+
+    bare = min(run(None) for _ in range(5))
+    instrumented = min(run(MetricsRegistry()) for _ in range(5))
+    overhead_pct = max(0.0, (instrumented - bare) / bare * 100.0)
+    RATES["obs_overhead_pct"] = overhead_pct
+    print(
+        f"\ninstrumentation overhead: {overhead_pct:.2f}% "
+        f"(bare {bare * 1e3:.2f} ms, instrumented {instrumented * 1e3:.2f} ms)"
+    )
+    assert overhead_pct < 5.0, f"instrumentation overhead {overhead_pct:.2f}% >= 5%"
 
 
 # ---------------------------------------------------------------------------

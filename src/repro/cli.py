@@ -8,6 +8,7 @@ Mirrors the paper artifact's script surface as one CLI::
     python -m repro analyze   TRACE.bin [--correlate read|update]
     python -m repro export    --outdir DIR [--blocks N]
     python -m repro crashtest [--crash-points all] [--seed N]
+    python -m repro stats     METRICS.json... [--format prom|json]
 
 ``sync`` collects a trace to disk; ``analyze`` re-reads any trace file
 (ours or one converted from the artifact's format) and prints the
@@ -15,6 +16,10 @@ operation-distribution table, optionally with a correlation pass;
 ``export`` writes the artifact-compatible output files plus CSV/JSON;
 ``crashtest`` sweeps the fault-injection crash points and verifies the
 recovered database converges to the uninterrupted reference.
+
+``sync``/``analyze``/``crashtest`` accept ``--metrics-out PATH`` to
+dump the run's observability registry as JSON; ``stats`` merges any
+number of such dumps and renders them as Prometheus text or JSON.
 """
 
 from __future__ import annotations
@@ -38,6 +43,25 @@ from repro.core.trace import OpType, read_trace, write_trace, write_trace_v2
 from repro.gethdb.database import DBConfig
 from repro.sync.driver import FullSyncDriver, SyncConfig, run_trace_pair
 from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+
+def _add_metrics_out_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        help="write the run's metrics registry as JSON (merge with `repro stats`)",
+    )
+
+
+def _write_metrics(args: argparse.Namespace) -> None:
+    if getattr(args, "metrics_out", None) is None:
+        return
+    from repro.obs import get_registry
+    from repro.obs.export import write_snapshot_json
+
+    write_snapshot_json(args.metrics_out, get_registry().snapshot())
+    print(f"wrote metrics to {args.metrics_out}", file=sys.stderr)
 
 
 def _workload_from_args(args: argparse.Namespace) -> WorkloadConfig:
@@ -130,6 +154,7 @@ def cmd_sync(args: argparse.Namespace) -> int:
         f"({Path(args.out).stat().st_size:,} bytes); "
         f"store holds {result.total_store_pairs:,} pairs"
     )
+    _write_metrics(args)
     return 0
 
 
@@ -174,6 +199,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                 f"{args.correlate} correlations (top pairs)",
             )
         )
+    _write_metrics(args)
     return 0
 
 
@@ -218,7 +244,45 @@ def cmd_crashtest(args: argparse.Namespace) -> int:
         print(report.render())
         if report.divergent or report.triggered < report.total:
             exit_code = 1
+    _write_metrics(args)
     return exit_code
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Merge ``--metrics-out`` JSON dumps and render them."""
+    from repro.obs.export import read_snapshot_json, to_prometheus_text, write_snapshot_json
+    from repro.obs.registry import merge_snapshots, snapshot_to_json
+
+    if not args.files:
+        print("stats: no metrics files given", file=sys.stderr)
+        return 2
+    snapshots = []
+    for path in args.files:
+        try:
+            snapshots.append(read_snapshot_json(path))
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"stats: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+    try:
+        merged = merge_snapshots(snapshots)
+    except ValueError as exc:
+        print(f"stats: cannot merge snapshots: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "prom":
+        rendered = to_prometheus_text(merged)
+    else:
+        import json as _json
+
+        rendered = _json.dumps(snapshot_to_json(merged), indent=2, sort_keys=True) + "\n"
+    if args.out is not None:
+        if args.format == "json":
+            write_snapshot_json(args.out, merged)
+        else:
+            Path(args.out).write_text(rendered, encoding="ascii")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(rendered)
+    return 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -302,6 +366,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_CHUNK_SIZE,
         help="records per columnar chunk (v2 format)",
     )
+    _add_metrics_out_arg(p_sync)
     p_sync.set_defaults(func=cmd_sync)
 
     p_analyze = subparsers.add_parser("analyze", help="analyze a saved trace file")
@@ -326,6 +391,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip corrupt v2 chunks (logged) instead of failing",
     )
+    _add_metrics_out_arg(p_analyze)
     p_analyze.set_defaults(func=cmd_analyze)
 
     p_crash = subparsers.add_parser(
@@ -357,6 +423,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=8,
         help="trie flush interval (blocks) for the swept configuration",
     )
+    _add_metrics_out_arg(p_crash)
     p_crash.set_defaults(func=cmd_crashtest)
 
     p_export = subparsers.add_parser(
@@ -365,6 +432,23 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_args(p_export)
     p_export.add_argument("--outdir", type=Path, required=True)
     p_export.set_defaults(func=cmd_export)
+
+    p_stats = subparsers.add_parser(
+        "stats", help="merge and render --metrics-out JSON dumps"
+    )
+    p_stats.add_argument(
+        "files", type=Path, nargs="*", help="metrics JSON files to merge"
+    )
+    p_stats.add_argument(
+        "--format",
+        choices=("prom", "json"),
+        default="prom",
+        help="output format: Prometheus text (default) or snapshot JSON",
+    )
+    p_stats.add_argument(
+        "--out", type=Path, default=None, help="write to a file instead of stdout"
+    )
+    p_stats.set_defaults(func=cmd_stats)
 
     p_compare = subparsers.add_parser(
         "compare", help="diff two saved traces' class distributions"

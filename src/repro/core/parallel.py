@@ -55,6 +55,7 @@ from repro.core.trace import (
     read_trace_footer,
 )
 from repro.errors import AnalysisError, TraceFormatError
+from repro.obs.registry import MetricsRegistry, NULL_REGISTRY, RegistrySnapshot
 
 #: Analyzer names accepted by :func:`analyze_trace`; each factory takes
 #: ``track_keys`` (ignored by analyzers that have no per-key state).
@@ -147,18 +148,44 @@ def analyze_chunks(
     chunks: Iterable[TraceChunk],
     analyzers: Sequence[str] = DEFAULT_ANALYZERS,
     track_keys: bool = True,
+    registry: Optional[MetricsRegistry] = None,
 ) -> Dict[str, object]:
-    """Sequential chunked analysis (the ``workers=1`` fallback)."""
+    """Sequential chunked analysis (the ``workers=1`` fallback).
+
+    When ``registry`` is given, chunk/record progress counters are
+    recorded into it.  They are incremented identically whether the
+    chunks are consumed here (serial) or inside a sharded worker, which
+    is what makes merged sharded registries byte-identical to a serial
+    run's (asserted in ``tests/test_parallel.py``).
+    """
     built = _make_analyzers(analyzers, track_keys)
     consumers = list(built.values())
+    if registry is None:
+        for chunk in chunks:
+            for analyzer in consumers:
+                analyzer.consume_chunk(chunk)
+        return built
+    chunk_counter = registry.counter(
+        "repro_analysis_chunks_total", help="Trace chunks consumed by analysis"
+    )
+    record_counter = registry.counter(
+        "repro_analysis_records_total", help="Trace records consumed by analysis"
+    )
     for chunk in chunks:
         for analyzer in consumers:
             analyzer.consume_chunk(chunk)
+        chunk_counter.inc()
+        record_counter.inc(len(chunk))
     return built
 
 
-def _analyze_shard(task: _ShardTask) -> Dict[str, object]:
-    """Pool worker: analyze one shard (inline chunks or file offsets)."""
+def _analyze_shard(task: _ShardTask) -> tuple[Dict[str, object], RegistrySnapshot]:
+    """Pool worker: analyze one shard (inline chunks or file offsets).
+
+    Fills a private registry (a worker process must not touch the
+    parent's) and ships its snapshot home alongside the analyzers; the
+    parent absorbs the snapshots in shard order.
+    """
     if task.fault is not None:
         task.fault.maybe_trip(task.index)
     chunks = task.chunks
@@ -168,7 +195,18 @@ def _analyze_shard(task: _ShardTask) -> Dict[str, object]:
             for offset in task.offsets
         )
         chunks = (chunk for chunk in loaded if chunk is not None)
-    return analyze_chunks(chunks, analyzers=task.names, track_keys=task.track_keys)
+    local = MetricsRegistry()
+    start = time.perf_counter()
+    built = analyze_chunks(
+        chunks, analyzers=task.names, track_keys=task.track_keys, registry=local
+    )
+    local.histogram(
+        "repro_analysis_shard_seconds", help="Wall time per analysis shard"
+    ).observe(time.perf_counter() - start)
+    local.counter(
+        "repro_analysis_shards_total", help="Analysis shards completed"
+    ).inc()
+    return built, local.snapshot()
 
 
 def _split_shards(items: Sequence, shards: int) -> list[Sequence]:
@@ -186,17 +224,25 @@ def _split_shards(items: Sequence, shards: int) -> list[Sequence]:
     return out
 
 
-def _merge_in_order(partials: Sequence[Dict[str, object]]) -> Dict[str, object]:
-    merged = partials[0]
-    for partial in partials[1:]:
+def _merge_in_order(
+    partials: Sequence[tuple[Dict[str, object], RegistrySnapshot]],
+    registry: MetricsRegistry = NULL_REGISTRY,
+) -> Dict[str, object]:
+    """Reduce shard results in shard order (analyzers and registries)."""
+    merged, first_snapshot = partials[0]
+    registry.absorb(first_snapshot)
+    for partial, snapshot in partials[1:]:
         for name, analyzer in merged.items():
             analyzer.merge(partial[name])
+        registry.absorb(snapshot)
     return merged
 
 
 def _run_shards(
-    tasks: Sequence[_ShardTask], retry: RetryPolicy
-) -> list[Dict[str, object]]:
+    tasks: Sequence[_ShardTask],
+    retry: RetryPolicy,
+    registry: MetricsRegistry = NULL_REGISTRY,
+) -> list[tuple[Dict[str, object], RegistrySnapshot]]:
     """Run shard tasks on a process pool, surviving worker deaths.
 
     A dead worker breaks the entire pool, so every unfinished shard of
@@ -206,7 +252,7 @@ def _run_shards(
     :class:`WorkerFault` latch is inert by construction.  Deterministic
     worker exceptions are not retried at all.
     """
-    results: list[Optional[Dict[str, object]]] = [None] * len(tasks)
+    results: list[Optional[tuple]] = [None] * len(tasks)
     pending = list(range(len(tasks)))
     attempts = [0] * len(tasks)
     round_index = 0
@@ -226,11 +272,19 @@ def _run_shards(
                     ) from exc
         if not broken:
             break
+        registry.counter(
+            "repro_analysis_worker_deaths_total",
+            help="Pool-breaking worker deaths observed",
+        ).inc()
         retriable: list[int] = []
         for index in broken:
             attempts[index] += 1
             if attempts[index] <= retry.max_retries:
                 retriable.append(index)
+                registry.counter(
+                    "repro_analysis_requeues_total",
+                    help="Shards requeued after a worker death",
+                ).inc()
             else:
                 if not retry.serial_fallback:
                     raise AnalysisError(
@@ -238,6 +292,10 @@ def _run_shards(
                         f"worker after {attempts[index]} attempts and serial "
                         "fallback is disabled"
                     )
+                registry.counter(
+                    "repro_analysis_serial_fallbacks_total",
+                    help="Shards analyzed serially after exhausting retries",
+                ).inc()
                 results[index] = _analyze_shard(tasks[index])
         pending = retriable
         if pending:
@@ -256,6 +314,7 @@ def analyze_trace(
     lenient: bool = False,
     retry: Optional[RetryPolicy] = None,
     fault: Optional[WorkerFault] = None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> Dict[str, object]:
     """Run the mergeable analyzers over a trace, optionally in parallel.
 
@@ -265,10 +324,20 @@ def analyze_trace(
     ``retry`` tunes worker-death handling (see :class:`RetryPolicy`);
     ``fault`` injects a :class:`WorkerFault` for testing it.  Returns a
     dict mapping analyzer name to the fully reduced analyzer instance.
+
+    Progress and scheduler metrics land in ``registry`` (the
+    process-wide one by default; pass
+    :data:`~repro.obs.registry.NULL_REGISTRY` to opt out).  Sharded
+    workers fill private registries whose snapshots are absorbed here in
+    shard order, so the merged counters equal a serial run's.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
     retry = retry if retry is not None else RetryPolicy()
+    if registry is None:
+        from repro.obs import get_registry
+
+        registry = get_registry()
 
     path: Optional[str] = None
     if isinstance(source, (str, Path)):
@@ -280,13 +349,16 @@ def analyze_trace(
                 open_trace_chunks(path, chunk_size=chunk_size, lenient=lenient),
                 analyzers=analyzers,
                 track_keys=track_keys,
+                registry=registry,
             )
         chunks = (
             source.chunks
             if isinstance(source, ColumnarTrace)
             else chunk_records(source, chunk_size)
         )
-        return analyze_chunks(chunks, analyzers=analyzers, track_keys=track_keys)
+        return analyze_chunks(
+            chunks, analyzers=analyzers, track_keys=track_keys, registry=registry
+        )
 
     names = tuple(analyzers)
     _make_analyzers(names, track_keys)  # validate names before forking
@@ -336,10 +408,12 @@ def analyze_trace(
 
     if not tasks:
         return _make_analyzers(names, track_keys)
-    if len(tasks) == 1:
-        return _merge_in_order(_run_shards(tasks, retry)) if fault else _analyze_shard(tasks[0])
+    if len(tasks) == 1 and not fault:
+        built, snapshot = _analyze_shard(tasks[0])
+        registry.absorb(snapshot)
+        return built
 
-    return _merge_in_order(_run_shards(tasks, retry))
+    return _merge_in_order(_run_shards(tasks, retry, registry), registry)
 
 
 def default_workers() -> int:

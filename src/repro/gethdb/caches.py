@@ -15,9 +15,12 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro.core.classes import KVClass
+
+if TYPE_CHECKING:  # pragma: no cover — typing only, avoids an import cycle
+    from repro.obs.registry import MetricsRegistry, Sample
 
 #: Bookkeeping bytes charged per cached entry.
 CACHE_ENTRY_OVERHEAD = 48
@@ -97,6 +100,66 @@ class CacheBudget:
     header_number_fraction: float = 0.01
 
 
+def cache_metric_samples(caches: "CacheSet") -> Iterator["Sample"]:
+    """Render a live :class:`CacheSet` as registry samples.
+
+    Hit/miss/eviction totals become counters and occupancy becomes
+    gauges, one series per KV class (``cache=<class>`` label).  Hit
+    *rates* are derived, never summed — recompute from the counters.
+    """
+    from repro.obs.registry import COUNTER, GAUGE, Sample
+
+    for cls, cache in caches._caches.items():
+        labels = (("cache", cls.value),)
+        yield Sample(
+            name="repro_cache_hits_total",
+            kind=COUNTER,
+            labels=labels,
+            value=float(cache.hits),
+            help="LRU cache hits by KV class",
+        )
+        yield Sample(
+            name="repro_cache_misses_total",
+            kind=COUNTER,
+            labels=labels,
+            value=float(cache.misses),
+            help="LRU cache misses by KV class",
+        )
+        yield Sample(
+            name="repro_cache_evictions_total",
+            kind=COUNTER,
+            labels=labels,
+            value=float(cache.evictions),
+            help="LRU cache evictions by KV class",
+        )
+        yield Sample(
+            name="repro_cache_entries",
+            kind=GAUGE,
+            labels=labels,
+            value=float(len(cache)),
+            help="Live LRU cache entries by KV class",
+        )
+        yield Sample(
+            name="repro_cache_used_bytes",
+            kind=GAUGE,
+            labels=labels,
+            value=float(cache.used_bytes),
+            help="Live LRU cache occupancy in bytes by KV class",
+        )
+
+
+def bind_cache_metrics(
+    caches: "CacheSet", registry: Optional["MetricsRegistry"] = None
+) -> None:
+    """Publish a :class:`CacheSet` into a registry (weakly referenced,
+    read only at snapshot time — zero hit-path overhead)."""
+    if registry is None:
+        from repro.obs import get_registry
+
+        registry = get_registry()
+    registry.register_object_collector(caches, cache_metric_samples)
+
+
 class CacheSet:
     """The family of per-class caches fronting the KV store."""
 
@@ -112,6 +175,7 @@ class CacheSet:
             KVClass.SNAPSHOT_STORAGE: LRUCache(snap_bytes - snap_bytes // 2),
             KVClass.HEADER_NUMBER: LRUCache(hn_bytes),
         }
+        bind_cache_metrics(self)
 
     def cache_for(self, kv_class: KVClass) -> Optional[LRUCache]:
         """The cache serving ``kv_class``, or None when uncached."""

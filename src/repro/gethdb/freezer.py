@@ -15,11 +15,14 @@ the freezer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro.errors import FreezerError
 from repro.gethdb import schema
 from repro.gethdb.database import GethDatabase
+
+if TYPE_CHECKING:  # pragma: no cover — typing only, avoids an import cycle
+    from repro.obs.registry import Sample
 
 
 @dataclass
@@ -30,6 +33,40 @@ class FreezerTables:
     bodies: dict[int, bytes] = field(default_factory=dict)
     receipts: dict[int, bytes] = field(default_factory=dict)
     hashes: dict[int, bytes] = field(default_factory=dict)
+
+
+def freezer_metric_samples(freezer: "Freezer") -> Iterator["Sample"]:
+    """Render a live :class:`Freezer` as registry samples."""
+    from repro.obs.registry import COUNTER, GAUGE, Sample
+
+    yield Sample(
+        name="repro_freezer_migrated_blocks_total",
+        kind=COUNTER,
+        labels=(),
+        value=float(freezer.frozen_until),
+        help="Blocks migrated from the KV store into the ancient tables",
+    )
+    yield Sample(
+        name="repro_freezer_expired_blocks_total",
+        kind=COUNTER,
+        labels=(),
+        value=float(freezer.expired_blocks),
+        help="Ancient blocks dropped by history expiry (EIP-4444)",
+    )
+    yield Sample(
+        name="repro_freezer_frozen_blocks",
+        kind=GAUGE,
+        labels=(),
+        value=float(freezer.frozen_blocks),
+        help="Blocks currently retained in the ancient tables",
+    )
+    yield Sample(
+        name="repro_freezer_history_tail",
+        kind=GAUGE,
+        labels=(),
+        value=float(freezer.history_tail),
+        help="Oldest block number still retained in the ancient tables",
+    )
 
 
 class Freezer:
@@ -64,6 +101,9 @@ class Freezer:
         self.history_tail = 0
         #: total blocks dropped by history expiry
         self.expired_blocks = 0
+        from repro.obs import get_registry
+
+        get_registry().register_object_collector(self, freezer_metric_samples)
 
     @property
     def frozen_blocks(self) -> int:

@@ -21,11 +21,14 @@ This reproduces:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro.chain.account import Account
 from repro.gethdb import schema
 from repro.gethdb.database import GethDatabase
+
+if TYPE_CHECKING:  # pragma: no cover — typing only, avoids an import cycle
+    from repro.obs.registry import Sample
 
 
 @dataclass
@@ -39,6 +42,47 @@ class DiffLayer:
     @property
     def num_changes(self) -> int:
         return len(self.accounts) + len(self.storage)
+
+
+def snapshot_metric_samples(tree: "SnapshotTree") -> Iterator["Sample"]:
+    """Render a live :class:`SnapshotTree` as registry samples."""
+    from repro.obs.registry import COUNTER, GAUGE, Sample
+
+    yield Sample(
+        name="repro_snapshot_flushed_accounts_total",
+        kind=COUNTER,
+        labels=(),
+        value=float(tree.flushed_accounts),
+        help="SnapshotAccount entries written by accumulator flushes",
+    )
+    yield Sample(
+        name="repro_snapshot_flushed_slots_total",
+        kind=COUNTER,
+        labels=(),
+        value=float(tree.flushed_slots),
+        help="SnapshotStorage entries written by accumulator flushes",
+    )
+    yield Sample(
+        name="repro_snapshot_destructed_accounts_total",
+        kind=COUNTER,
+        labels=(),
+        value=float(tree.destructed_accounts),
+        help="Accounts scan-deleted from the flat snapshot layer",
+    )
+    yield Sample(
+        name="repro_snapshot_pending_layers",
+        kind=GAUGE,
+        labels=(),
+        value=float(tree.pending_layers),
+        help="In-memory diff layers awaiting aggregation",
+    )
+    yield Sample(
+        name="repro_snapshot_pending_changes",
+        kind=GAUGE,
+        labels=(),
+        value=float(len(tree._pending_accounts) + len(tree._pending_storage)),
+        help="Coalesced accumulator entries awaiting bulk write",
+    )
 
 
 class SnapshotTree:
@@ -63,6 +107,13 @@ class SnapshotTree:
         self._pending_accounts: dict[bytes, Optional[bytes]] = {}
         self._pending_storage: dict[tuple[bytes, bytes], Optional[bytes]] = {}
         self._accumulated_layers = 0
+        #: cumulative flush/destruct totals (read by the obs collector)
+        self.flushed_accounts = 0
+        self.flushed_slots = 0
+        self.destructed_accounts = 0
+        from repro.obs import get_registry
+
+        get_registry().register_object_collector(self, snapshot_metric_samples)
 
     # ------------------------------------------------------------------
     # read path
@@ -132,12 +183,14 @@ class SnapshotTree:
                 self._destruct_account(account_hash, key)
             else:
                 self._db.write(key, slim)
+                self.flushed_accounts += 1
         for (account_hash, slot_hash), value in self._pending_storage.items():
             key = schema.snapshot_storage_key(account_hash, slot_hash)
             if value is None:
                 self._db.delete(key)
             else:
                 self._db.write(key, value)
+                self.flushed_slots += 1
         self._pending_accounts.clear()
         self._pending_storage.clear()
         self._accumulated_layers = 0
@@ -149,6 +202,7 @@ class SnapshotTree:
         sources (SnapshotStorage, Finding 4).
         """
         self._db.delete(account_key)
+        self.destructed_accounts += 1
         prefix = schema.snapshot_storage_prefix(account_hash)
         doomed = [key for key, _ in self._db.scan_prefix(prefix)]
         for key in doomed:

@@ -11,11 +11,48 @@ the mechanism behind TxLookup's ~48% delete share (Finding 5).
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro import rlp
 from repro.gethdb import schema
 from repro.gethdb.database import GethDatabase
+
+if TYPE_CHECKING:  # pragma: no cover — typing only, avoids an import cycle
+    from repro.obs.registry import Sample
+
+
+def txindexer_metric_samples(indexer: "TxIndexer") -> Iterator["Sample"]:
+    """Render a live :class:`TxIndexer` as registry samples."""
+    from repro.obs.registry import COUNTER, GAUGE, Sample
+
+    yield Sample(
+        name="repro_txindex_indexed_entries_total",
+        kind=COUNTER,
+        labels=(),
+        value=float(indexer.indexed_entries),
+        help="TxLookup entries written",
+    )
+    yield Sample(
+        name="repro_txindex_unindexed_entries_total",
+        kind=COUNTER,
+        labels=(),
+        value=float(indexer.unindexed_entries),
+        help="TxLookup entries deleted by tail unindexing",
+    )
+    yield Sample(
+        name="repro_txindex_tail",
+        kind=GAUGE,
+        labels=(),
+        value=float(indexer.tail),
+        help="TransactionIndexTail block number",
+    )
+    yield Sample(
+        name="repro_txindex_indexed_blocks",
+        kind=GAUGE,
+        labels=(),
+        value=float(indexer.indexed_blocks),
+        help="Blocks whose transactions are currently indexed",
+    )
 
 
 class TxIndexer:
@@ -30,6 +67,12 @@ class TxIndexer:
         #: per-block transaction hashes, retained until unindexed
         self._block_txs: dict[int, list[bytes]] = {}
         self.tail = 0
+        #: total TxLookup entries ever written / deleted
+        self.indexed_entries = 0
+        self.unindexed_entries = 0
+        from repro.obs import get_registry
+
+        get_registry().register_object_collector(self, txindexer_metric_samples)
 
     def index_block(self, number: int, tx_hashes: Iterable[bytes]) -> None:
         """Write one TxLookup entry per transaction in the block."""
@@ -38,6 +81,7 @@ class TxIndexer:
         encoded_number = rlp.encode_uint(number) or b"\x00"
         for tx_hash in hashes:
             self._db.write(schema.tx_lookup_key(tx_hash), encoded_number)
+        self.indexed_entries += len(hashes)
 
     def unindex(self, head_number: int) -> int:
         """Delete TxLookup entries for blocks behind the lookup window.
@@ -54,6 +98,7 @@ class TxIndexer:
                 self._db.delete(schema.tx_lookup_key(tx_hash))
                 deleted += 1
         self.tail = new_tail
+        self.unindexed_entries += deleted
         if deleted:
             # Geth reads the persisted tail before advancing it.
             self._db.read_uncached(schema.TRANSACTION_INDEX_TAIL_KEY)

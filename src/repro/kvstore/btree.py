@@ -19,7 +19,7 @@ from typing import Iterator, Optional
 
 from repro.errors import KeyNotFoundError
 from repro.kvstore.api import KVStore
-from repro.kvstore.metrics import StoreMetrics
+from repro.kvstore.metrics import StoreMetrics, bind_store_metrics
 
 #: modeled page size for I/O accounting
 PAGE_BYTES = 4096
@@ -55,6 +55,7 @@ class BPlusTreeStore(KVStore):
         self._root = _Leaf()
         self._size = 0
         self.metrics = StoreMetrics()
+        bind_store_metrics(self.metrics, "btree")
         self._height = 1
 
     # ------------------------------------------------------------------

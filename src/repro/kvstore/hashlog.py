@@ -18,7 +18,7 @@ from typing import Iterator, Optional
 
 from repro.errors import KeyNotFoundError
 from repro.kvstore.api import KVStore
-from repro.kvstore.metrics import StoreMetrics
+from repro.kvstore.metrics import StoreMetrics, bind_store_metrics
 
 #: Per-record log framing overhead (lengths + checksum), in bytes.
 RECORD_OVERHEAD = 12
@@ -43,6 +43,7 @@ class HashLogStore(KVStore):
         gc_dead_ratio: float = 0.5,
     ) -> None:
         self.metrics = StoreMetrics()
+        bind_store_metrics(self.metrics, "hashlog")
         self._segment_bytes = segment_bytes
         self._gc_dead_ratio = gc_dead_ratio
         self._segments: list[_Segment] = [_Segment(0, {})]

@@ -24,7 +24,7 @@ from repro.errors import KeyNotFoundError
 from repro.kvstore.api import KVStore
 from repro.kvstore.lsm.memtable import ENTRY_OVERHEAD, TOMBSTONE, Entry, MemTable
 from repro.kvstore.lsm.sstable import SSTable, merge_runs
-from repro.kvstore.metrics import LevelStats, StoreMetrics
+from repro.kvstore.metrics import LevelStats, StoreMetrics, bind_store_metrics
 
 
 @dataclass(frozen=True)
@@ -74,6 +74,7 @@ class LSMStore(KVStore):
     def __init__(self, config: Optional[LSMConfig] = None) -> None:
         self.config = config if config is not None else LSMConfig()
         self.metrics = StoreMetrics()
+        bind_store_metrics(self.metrics, "lsm")
         self._memtable = MemTable()
         # levels[0] is L0 (newest table last, may overlap); deeper levels
         # hold non-overlapping tables sorted by smallest key.

@@ -13,6 +13,7 @@ from typing import Iterator, Optional
 
 from repro.errors import KeyNotFoundError, StoreClosedError
 from repro.kvstore.api import KVStore
+from repro.kvstore.metrics import StoreMetrics, bind_store_metrics
 
 
 class MemoryKVStore(KVStore):
@@ -24,6 +25,8 @@ class MemoryKVStore(KVStore):
         self._sorted_dirty = False
         self._closed = False
         self._approx_bytes = 0
+        self.metrics = StoreMetrics()
+        bind_store_metrics(self.metrics, "memdb")
 
     def _check_open(self) -> None:
         if self._closed:
@@ -31,10 +34,14 @@ class MemoryKVStore(KVStore):
 
     def get(self, key: bytes) -> bytes:
         self._check_open()
+        metrics = self.metrics
+        metrics.user_gets += 1
         try:
-            return self._data[key]
+            value = self._data[key]
         except KeyError:
             raise KeyNotFoundError(key) from None
+        metrics.user_bytes_read += len(value)
+        return value
 
     def put(self, key: bytes, value: bytes) -> None:
         self._check_open()
@@ -45,9 +52,13 @@ class MemoryKVStore(KVStore):
         else:
             self._approx_bytes += len(value) - len(old)
         self._data[key] = value
+        metrics = self.metrics
+        metrics.user_puts += 1
+        metrics.user_bytes_written += len(key) + len(value)
 
     def delete(self, key: bytes) -> None:
         self._check_open()
+        self.metrics.user_deletes += 1
         old = self._data.pop(key, None)
         if old is not None:
             self._sorted_dirty = True
@@ -66,6 +77,7 @@ class MemoryKVStore(KVStore):
         self, start: bytes, end: Optional[bytes] = None
     ) -> Iterator[tuple[bytes, bytes]]:
         self._check_open()
+        self.metrics.user_scans += 1
         self._ensure_sorted()
         keys = self._sorted_keys
         index = bisect.bisect_left(keys, start)

@@ -9,6 +9,10 @@ that participates in an ablation carries a :class:`StoreMetrics`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover — typing only, avoids an import cycle
+    from repro.obs.registry import MetricsRegistry, Sample
 
 
 @dataclass
@@ -72,6 +76,48 @@ class StoreMetrics:
         result["write_amplification"] = self.write_amplification
         result["read_amplification"] = self.read_amplification
         return result
+
+
+def store_metric_samples(
+    metrics: StoreMetrics, backend: str
+) -> Iterator["Sample"]:
+    """Render a live :class:`StoreMetrics` as registry counter samples.
+
+    Every dataclass field becomes ``repro_store_<field>_total`` labeled
+    by backend, so multiple instances of the same backend sum into one
+    series at snapshot time.  The amplification ratios are derived, not
+    summed — consumers recompute them from the summed raw counters.
+    """
+    from repro.obs.registry import COUNTER, Sample
+
+    labels = (("backend", backend),)
+    for name in metrics.__dataclass_fields__:
+        yield Sample(
+            name=f"repro_store_{name}_total",
+            kind=COUNTER,
+            labels=labels,
+            value=float(getattr(metrics, name)),
+            help=f"StoreMetrics.{name} summed over live store instances",
+        )
+
+
+def bind_store_metrics(
+    metrics: StoreMetrics, backend: str, registry: Optional["MetricsRegistry"] = None
+) -> None:
+    """Publish ``metrics`` into a registry as labeled counters.
+
+    The registry keeps only a weak reference and reads the counters at
+    snapshot time, so the stores' hot-path accounting stays plain
+    attribute increments and :meth:`StoreMetrics.snapshot` is untouched.
+    ``registry=None`` binds to the process-wide registry.
+    """
+    if registry is None:
+        from repro.obs import get_registry
+
+        registry = get_registry()
+    registry.register_object_collector(
+        metrics, lambda m, backend=backend: store_metric_samples(m, backend)
+    )
 
 
 @dataclass

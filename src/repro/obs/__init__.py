@@ -1,0 +1,95 @@
+"""Unified observability layer: metrics registry, spans, exporters.
+
+One process-wide :class:`~repro.obs.registry.MetricsRegistry` (swap it
+with :func:`set_registry` or scope it with :func:`use_registry` in
+tests) collects counters, gauges, and fixed-bucket histograms from the
+instrumented hot paths — KV store backends, the Geth database caches,
+freezer/txindexer/snapshot maintenance, the sync driver's per-block
+phase spans, and the parallel analysis scheduler.  Snapshots merge
+deterministically across processes and export to Prometheus text and
+JSON (``repro stats`` / ``--metrics-out``).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.registry import (
+    COUNTER,
+    DEFAULT_SIZE_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    GAUGE,
+    HISTOGRAM,
+    NULL_REGISTRY,
+    FamilySnapshot,
+    HistogramValue,
+    MetricsRegistry,
+    NullRegistry,
+    RegistrySnapshot,
+    Sample,
+    exponential_buckets,
+    merge_snapshots,
+    snapshot_from_json,
+    snapshot_to_json,
+)
+from repro.obs.export import (
+    read_snapshot_json,
+    to_prometheus_text,
+    write_snapshot_json,
+)
+from repro.obs.span import Span, current_span, current_span_path, span
+
+__all__ = [
+    "COUNTER",
+    "GAUGE",
+    "HISTOGRAM",
+    "DEFAULT_SIZE_BUCKETS",
+    "DEFAULT_TIME_BUCKETS",
+    "NULL_REGISTRY",
+    "FamilySnapshot",
+    "HistogramValue",
+    "MetricsRegistry",
+    "NullRegistry",
+    "RegistrySnapshot",
+    "Sample",
+    "Span",
+    "current_span",
+    "current_span_path",
+    "exponential_buckets",
+    "get_registry",
+    "merge_snapshots",
+    "read_snapshot_json",
+    "set_registry",
+    "snapshot_from_json",
+    "snapshot_to_json",
+    "span",
+    "to_prometheus_text",
+    "use_registry",
+    "write_snapshot_json",
+]
+
+_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the process-wide registry; returns the previous one."""
+    global _registry
+    previous = _registry
+    _registry = registry
+    return previous
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Temporarily swap the process-wide registry (test isolation)."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

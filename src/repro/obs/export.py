@@ -1,0 +1,90 @@
+"""Snapshot exporters: Prometheus text exposition format and JSON files.
+
+The Prometheus renderer follows the text exposition format (``# HELP`` /
+``# TYPE`` headers, cumulative ``_bucket{le=...}`` series plus ``_sum``
+and ``_count`` for histograms) and emits families and series in sorted
+order, so the same snapshot always produces byte-identical output —
+which is what lets golden/CI checks diff it directly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.obs.registry import (
+    HISTOGRAM,
+    HistogramValue,
+    RegistrySnapshot,
+    snapshot_from_json,
+    snapshot_to_json,
+)
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_number(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    as_int = int(value)
+    if value == as_int:
+        return str(as_int)
+    return repr(float(value))
+
+
+def _labels_text(labelnames, labelvalues, extra: str = "") -> str:
+    parts = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(labelnames, labelvalues)
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def to_prometheus_text(snapshot: RegistrySnapshot) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for name in sorted(snapshot.families):
+        family = snapshot.families[name]
+        if family.help:
+            lines.append(f"# HELP {name} {family.help}")
+        lines.append(f"# TYPE {name} {family.kind}")
+        for key in sorted(family.series):
+            value = family.series[key]
+            if family.kind == HISTOGRAM:
+                assert isinstance(value, HistogramValue)
+                cumulative = 0
+                for bound, count in zip(value.bounds, value.counts):
+                    cumulative += count
+                    le = _format_number(bound)
+                    labels = _labels_text(family.labelnames, key, f'le="{le}"')
+                    lines.append(f"{name}_bucket{labels} {cumulative}")
+                cumulative += value.counts[-1]
+                labels = _labels_text(family.labelnames, key, 'le="+Inf"')
+                lines.append(f"{name}_bucket{labels} {cumulative}")
+                plain = _labels_text(family.labelnames, key)
+                lines.append(f"{name}_sum{plain} {_format_number(value.total)}")
+                lines.append(f"{name}_count{plain} {value.count}")
+            else:
+                labels = _labels_text(family.labelnames, key)
+                lines.append(f"{name}{labels} {_format_number(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_snapshot_json(path: Union[str, Path], snapshot: RegistrySnapshot) -> None:
+    """Write a snapshot as a deterministic JSON document."""
+    with open(path, "w", encoding="ascii") as stream:
+        json.dump(snapshot_to_json(snapshot), stream, indent=2, sort_keys=True)
+        stream.write("\n")
+
+
+def read_snapshot_json(path: Union[str, Path]) -> RegistrySnapshot:
+    """Read a snapshot written by :func:`write_snapshot_json`."""
+    with open(path, "r", encoding="ascii") as stream:
+        return snapshot_from_json(json.load(stream))

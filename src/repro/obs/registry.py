@@ -1,0 +1,607 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+The paper's whole methodology is measurement at the KV interface; this
+module gives the runtime itself the same treatment.  A
+:class:`MetricsRegistry` holds labeled metric families:
+
+* **counter** — monotonically increasing totals (ops, bytes, retries);
+* **gauge** — point-in-time values (cache occupancy, pending layers);
+* **histogram** — value distributions over *fixed* exponential bucket
+  bounds, so two histograms produced independently (e.g. by sharded
+  worker processes) always share bucket boundaries and merge
+  deterministically.
+
+Registries snapshot into plain picklable :class:`RegistrySnapshot`
+values; snapshots merge associatively (``merge_snapshots``), round-trip
+through JSON (``snapshot_to_json`` / ``snapshot_from_json``), and render
+to Prometheus text via :mod:`repro.obs.export`.  Sharded workers each
+fill a private registry, ship its snapshot back, and the parent absorbs
+them into one view — by construction the merged totals equal a serial
+run's (asserted in ``tests/test_parallel.py``).
+
+Hot-path cost is one dict-free attribute add per event: metric children
+are resolved once and cached, so instrumented loops pay ``child.inc()``
+only.  Subsystems that already keep their own counters (e.g.
+:class:`~repro.kvstore.metrics.StoreMetrics`) register *object
+collectors* instead: the registry holds a weak reference and reads the
+live counters only at snapshot time, for zero steady-state overhead.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Optional, Sequence, Union
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+_KINDS = (COUNTER, GAUGE, HISTOGRAM)
+
+
+def exponential_buckets(start: float, factor: float, count: int) -> tuple[float, ...]:
+    """``count`` upper bounds growing geometrically from ``start``.
+
+    The bounds are computed as ``start * factor**i`` — a pure function
+    of the arguments — so every process that asks for the same shape
+    gets bit-identical boundaries (the precondition for deterministic
+    histogram merges).
+    """
+    if start <= 0:
+        raise ValueError("bucket start must be > 0")
+    if factor <= 1:
+        raise ValueError("bucket growth factor must be > 1")
+    if count < 1:
+        raise ValueError("bucket count must be >= 1")
+    return tuple(start * factor**i for i in range(count))
+
+
+#: Default duration buckets: 10 µs .. ~84 s in powers of two.
+DEFAULT_TIME_BUCKETS = exponential_buckets(1e-5, 2.0, 24)
+#: Default size/count buckets: 1 .. ~1 Gi in powers of four.
+DEFAULT_SIZE_BUCKETS = exponential_buckets(1.0, 4.0, 16)
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bound histogram (non-cumulative internal counts).
+
+    ``bounds`` are inclusive upper bounds; an observation lands in the
+    first bucket whose bound is ``>= value``, or the implicit +Inf
+    bucket past the last bound (Prometheus ``le`` semantics).
+    """
+
+    __slots__ = ("bounds", "counts", "total", "count")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        self.bounds = tuple(float(b) for b in bounds)
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+    def value_snapshot(self) -> "HistogramValue":
+        return HistogramValue(
+            bounds=self.bounds,
+            counts=tuple(self.counts),
+            total=self.total,
+            count=self.count,
+        )
+
+
+@dataclass(frozen=True)
+class HistogramValue:
+    """Immutable histogram contents inside a snapshot."""
+
+    bounds: tuple[float, ...]
+    #: per-bucket counts, len(bounds)+1 (last entry is the +Inf bucket)
+    counts: tuple[int, ...]
+    total: float
+    count: int
+
+    def merged(self, other: "HistogramValue") -> "HistogramValue":
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        return HistogramValue(
+            bounds=self.bounds,
+            counts=tuple(a + b for a, b in zip(self.counts, other.counts)),
+            total=self.total + other.total,
+            count=self.count + other.count,
+        )
+
+
+SeriesValue = Union[float, HistogramValue]
+LabelValues = tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One reading contributed by an object collector at snapshot time.
+
+    Only counters and gauges can be contributed this way; subsystems
+    needing histograms use first-class registry histograms.
+    """
+
+    name: str
+    kind: str
+    labels: tuple[tuple[str, str], ...]
+    value: float
+    help: str = ""
+
+
+class MetricFamily:
+    """All series of one metric name (one per distinct label set)."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        if kind not in _KINDS:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self.buckets = tuple(buckets) if buckets is not None else None
+        if kind == HISTOGRAM and self.buckets is None:
+            self.buckets = DEFAULT_TIME_BUCKETS
+        self._children: dict[LabelValues, object] = {}
+
+    def _make_child(self):
+        if self.kind == COUNTER:
+            return Counter()
+        if self.kind == GAUGE:
+            return Gauge()
+        return Histogram(self.buckets)
+
+    def labels(self, **labels: str):
+        """The child for one label-value combination (created on first use)."""
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, got {tuple(labels)}"
+            )
+        key = tuple(str(labels[name]) for name in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = self._make_child()
+        return child
+
+    # Label-less convenience passthroughs -------------------------------
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.labels().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.labels().dec(amount)
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)
+
+    def observe(self, value: float) -> None:
+        self.labels().observe(value)
+
+    def series_snapshot(self) -> dict[LabelValues, SeriesValue]:
+        out: dict[LabelValues, SeriesValue] = {}
+        for key, child in self._children.items():
+            if self.kind == HISTOGRAM:
+                out[key] = child.value_snapshot()
+            else:
+                out[key] = child.value
+        return out
+
+
+@dataclass
+class FamilySnapshot:
+    """Frozen view of one metric family."""
+
+    name: str
+    kind: str
+    help: str
+    labelnames: tuple[str, ...]
+    series: dict[LabelValues, SeriesValue] = field(default_factory=dict)
+
+    def _check_compatible(self, other: "FamilySnapshot") -> None:
+        if other.kind != self.kind:
+            raise ValueError(
+                f"{self.name}: kind mismatch ({self.kind} vs {other.kind})"
+            )
+        if other.labelnames != self.labelnames:
+            raise ValueError(
+                f"{self.name}: label mismatch "
+                f"({self.labelnames} vs {other.labelnames})"
+            )
+
+    def merged(self, other: "FamilySnapshot") -> "FamilySnapshot":
+        self._check_compatible(other)
+        series = dict(self.series)
+        for key, value in other.series.items():
+            mine = series.get(key)
+            if mine is None:
+                series[key] = value
+            elif isinstance(value, HistogramValue):
+                series[key] = mine.merged(value)
+            else:
+                series[key] = mine + value
+        return FamilySnapshot(
+            name=self.name,
+            kind=self.kind,
+            help=self.help or other.help,
+            labelnames=self.labelnames,
+            series=series,
+        )
+
+
+@dataclass
+class RegistrySnapshot:
+    """Picklable, mergeable, JSON-able view of a registry."""
+
+    families: dict[str, FamilySnapshot] = field(default_factory=dict)
+
+    def merged(self, other: "RegistrySnapshot") -> "RegistrySnapshot":
+        """A new snapshot with every series summed (associative)."""
+        families = dict(self.families)
+        for name, family in other.families.items():
+            mine = families.get(name)
+            families[name] = family if mine is None else mine.merged(family)
+        return RegistrySnapshot(families=families)
+
+    def family(self, name: str) -> FamilySnapshot:
+        return self.families[name]
+
+    def value(self, name: str, **labels: str) -> SeriesValue:
+        """One series' value; raises KeyError when absent."""
+        family = self.families[name]
+        key = tuple(str(labels[label]) for label in family.labelnames)
+        return family.series[key]
+
+    def get_value(self, name: str, default: float = 0.0, **labels: str) -> SeriesValue:
+        try:
+            return self.value(name, **labels)
+        except KeyError:
+            return default
+
+
+def merge_snapshots(snapshots: Iterable[RegistrySnapshot]) -> RegistrySnapshot:
+    """Left fold of :meth:`RegistrySnapshot.merged` (order-insensitive
+    for the totals; associativity is locked down in ``tests/test_obs.py``)."""
+    merged = RegistrySnapshot()
+    for snapshot in snapshots:
+        merged = merged.merged(snapshot)
+    return merged
+
+
+class MetricsRegistry:
+    """A family table plus weakly referenced object collectors."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, MetricFamily] = {}
+        #: (weakref to owner, collect(owner) -> Iterable[Sample])
+        self._collectors: list[tuple[weakref.ref, Callable]] = []
+
+    # ------------------------------------------------------------------
+    # declaration (idempotent; conflicting redeclaration raises)
+    # ------------------------------------------------------------------
+
+    def _declare(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labelnames: Sequence[str],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = MetricFamily(name, kind, help, labelnames, buckets)
+                self._families[name] = family
+                return family
+            if family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already declared as {family.kind}, not {kind}"
+                )
+            if family.labelnames != tuple(labelnames):
+                raise ValueError(
+                    f"metric {name!r} already declared with labels "
+                    f"{family.labelnames}, not {tuple(labelnames)}"
+                )
+            if (
+                kind == HISTOGRAM
+                and buckets is not None
+                and family.buckets != tuple(buckets)
+            ):
+                raise ValueError(f"metric {name!r} already declared with other buckets")
+            return family
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._declare(name, COUNTER, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._declare(name, GAUGE, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        return self._declare(name, HISTOGRAM, help, labelnames, buckets)
+
+    # ------------------------------------------------------------------
+    # object collectors (zero hot-path cost; read at snapshot time)
+    # ------------------------------------------------------------------
+
+    def register_object_collector(
+        self, owner: object, collect: Callable[[object], Iterable[Sample]]
+    ) -> None:
+        """Read ``collect(owner)`` at every snapshot while ``owner`` is
+        alive.  Only a weak reference is kept, so registration never
+        extends the owner's lifetime; dead entries are pruned lazily."""
+        with self._lock:
+            self._collectors.append((weakref.ref(owner), collect))
+
+    def _collect_samples(self) -> list[Sample]:
+        with self._lock:
+            collectors = list(self._collectors)
+        samples: list[Sample] = []
+        dead = False
+        for ref, collect in collectors:
+            owner = ref()
+            if owner is None:
+                dead = True
+                continue
+            samples.extend(collect(owner))
+        if dead:
+            with self._lock:
+                self._collectors = [
+                    entry for entry in self._collectors if entry[0]() is not None
+                ]
+        return samples
+
+    # ------------------------------------------------------------------
+    # snapshot / absorb
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> RegistrySnapshot:
+        """Materialize families and collector samples into one view."""
+        with self._lock:
+            families = list(self._families.values())
+        out: dict[str, FamilySnapshot] = {}
+        for family in families:
+            out[family.name] = FamilySnapshot(
+                name=family.name,
+                kind=family.kind,
+                help=family.help,
+                labelnames=family.labelnames,
+                series=family.series_snapshot(),
+            )
+        for sample in self._collect_samples():
+            labelnames = tuple(name for name, _ in sample.labels)
+            key = tuple(value for _, value in sample.labels)
+            family = out.get(sample.name)
+            if family is None:
+                family = out[sample.name] = FamilySnapshot(
+                    name=sample.name,
+                    kind=sample.kind,
+                    help=sample.help,
+                    labelnames=labelnames,
+                )
+            elif family.labelnames != labelnames or family.kind != sample.kind:
+                raise ValueError(f"collector sample conflicts with {sample.name!r}")
+            family.series[key] = family.series.get(key, 0.0) + sample.value
+        return RegistrySnapshot(families=out)
+
+    def absorb(self, snapshot: RegistrySnapshot) -> None:
+        """Fold a snapshot's totals into this registry's live families.
+
+        The shard-merge primitive: a worker ships its snapshot, the
+        parent absorbs it.  Counter/gauge series add; histogram buckets
+        add element-wise (bounds must match).
+        """
+        for fam_snap in snapshot.families.values():
+            buckets = None
+            if fam_snap.kind == HISTOGRAM:
+                for value in fam_snap.series.values():
+                    buckets = value.bounds
+                    break
+            family = self._declare(
+                fam_snap.name,
+                fam_snap.kind,
+                fam_snap.help,
+                fam_snap.labelnames,
+                buckets=buckets,
+            )
+            for key, value in fam_snap.series.items():
+                labels = dict(zip(family.labelnames, key))
+                child = family.labels(**labels)
+                if isinstance(value, HistogramValue):
+                    if child.bounds != value.bounds:
+                        raise ValueError(
+                            f"{fam_snap.name}: histogram bounds mismatch on absorb"
+                        )
+                    for index, count in enumerate(value.counts):
+                        child.counts[index] += count
+                    child.total += value.total
+                    child.count += value.count
+                elif fam_snap.kind == COUNTER:
+                    child.inc(value)
+                else:
+                    child.inc(value)  # gauges merge additively (sharded sums)
+
+
+# ---------------------------------------------------------------------------
+# JSON round trip
+# ---------------------------------------------------------------------------
+
+SNAPSHOT_FORMAT = "repro-metrics-v1"
+
+
+def snapshot_to_json(snapshot: RegistrySnapshot) -> dict:
+    """A deterministic (sorted) plain-dict rendering of a snapshot."""
+    families = []
+    for name in sorted(snapshot.families):
+        family = snapshot.families[name]
+        series = []
+        for key in sorted(family.series):
+            value = family.series[key]
+            entry: dict = {"labels": list(key)}
+            if isinstance(value, HistogramValue):
+                entry["buckets"] = {
+                    "bounds": list(value.bounds),
+                    "counts": list(value.counts),
+                }
+                entry["sum"] = value.total
+                entry["count"] = value.count
+            else:
+                entry["value"] = value
+            series.append(entry)
+        families.append(
+            {
+                "name": family.name,
+                "kind": family.kind,
+                "help": family.help,
+                "labelnames": list(family.labelnames),
+                "series": series,
+            }
+        )
+    return {"format": SNAPSHOT_FORMAT, "families": families}
+
+
+def snapshot_from_json(data: Mapping) -> RegistrySnapshot:
+    """Inverse of :func:`snapshot_to_json`; validates the format tag."""
+    if not isinstance(data, Mapping) or data.get("format") != SNAPSHOT_FORMAT:
+        raise ValueError(
+            f"not a {SNAPSHOT_FORMAT} snapshot (format={data.get('format')!r})"
+            if isinstance(data, Mapping)
+            else "not a metrics snapshot object"
+        )
+    families: dict[str, FamilySnapshot] = {}
+    for item in data["families"]:
+        series: dict[LabelValues, SeriesValue] = {}
+        for entry in item["series"]:
+            key = tuple(str(value) for value in entry["labels"])
+            if "buckets" in entry:
+                series[key] = HistogramValue(
+                    bounds=tuple(entry["buckets"]["bounds"]),
+                    counts=tuple(entry["buckets"]["counts"]),
+                    total=entry["sum"],
+                    count=entry["count"],
+                )
+            else:
+                series[key] = entry["value"]
+        families[item["name"]] = FamilySnapshot(
+            name=item["name"],
+            kind=item["kind"],
+            help=item.get("help", ""),
+            labelnames=tuple(item["labelnames"]),
+            series=series,
+        )
+    return RegistrySnapshot(families=families)
+
+
+# ---------------------------------------------------------------------------
+# Disabled registry (for overhead measurements / opt-out)
+# ---------------------------------------------------------------------------
+
+
+class _NullChild:
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def labels(self, **labels: str) -> "_NullChild":
+        return self
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+
+_NULL_CHILD = _NullChild()
+
+
+class NullRegistry(MetricsRegistry):
+    """A registry that records nothing (instrumentation switched off)."""
+
+    def _declare(self, name, kind, help, labelnames, buckets=None):  # type: ignore[override]
+        return _NULL_CHILD
+
+    def register_object_collector(self, owner, collect) -> None:  # type: ignore[override]
+        pass
+
+    def snapshot(self) -> RegistrySnapshot:  # type: ignore[override]
+        return RegistrySnapshot()
+
+    def absorb(self, snapshot: RegistrySnapshot) -> None:  # type: ignore[override]
+        pass
+
+
+NULL_REGISTRY = NullRegistry()

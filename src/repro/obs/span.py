@@ -1,0 +1,115 @@
+"""Phase spans: nested, named timers with context-manager ergonomics.
+
+A :class:`Span` measures one phase of work and records its duration
+into a registry histogram labeled by the span's *path* — the ``/``-
+joined names of every enclosing span on the same thread, so nested
+phases show up as ``import_block/execute`` rather than a flat name.
+
+The clock is injectable (any ``() -> float``), which is what makes span
+behavior unit-testable with deterministic durations.
+
+Usage::
+
+    with span("import_block"):
+        with span("execute"):
+            ...  # recorded as repro_span_seconds{span="import_block/execute"}
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional, Sequence
+
+from repro.obs.registry import DEFAULT_TIME_BUCKETS, MetricsRegistry
+
+#: Histogram of span durations, labeled by span path.
+SPAN_SECONDS = "repro_span_seconds"
+#: Companion counter of completed spans, labeled by span path.
+SPANS_TOTAL = "repro_spans_total"
+
+_STATE = threading.local()
+
+
+def _stack() -> list["Span"]:
+    stack = getattr(_STATE, "stack", None)
+    if stack is None:
+        stack = _STATE.stack = []
+    return stack
+
+
+def current_span() -> Optional["Span"]:
+    """The innermost active span on this thread, if any."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+def current_span_path() -> Optional[str]:
+    """The active span path (``a/b/c``) on this thread, if any."""
+    active = current_span()
+    return active.path if active is not None else None
+
+
+class Span:
+    """One timed phase; records on exit, even when the body raises."""
+
+    __slots__ = ("name", "path", "elapsed", "_registry", "_clock", "_metric", "_buckets", "_start")
+
+    def __init__(
+        self,
+        name: str,
+        registry: Optional[MetricsRegistry] = None,
+        clock: Callable[[], float] = time.perf_counter,
+        metric: str = SPAN_SECONDS,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> None:
+        if "/" in name:
+            raise ValueError("span names must not contain '/' (path separator)")
+        self.name = name
+        self.path: Optional[str] = None
+        #: seconds, available after exit
+        self.elapsed: Optional[float] = None
+        self._registry = registry
+        self._clock = clock
+        self._metric = metric
+        self._buckets = tuple(buckets)
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Span":
+        stack = _stack()
+        parent = stack[-1] if stack else None
+        self.path = f"{parent.path}/{self.name}" if parent is not None else self.name
+        stack.append(self)
+        self._start = self._clock()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        end = self._clock()
+        stack = _stack()
+        if not stack or stack[-1] is not self:
+            raise RuntimeError(f"span {self.name!r} exited out of order")
+        stack.pop()
+        self.elapsed = end - self._start
+        registry = self._registry
+        if registry is None:
+            from repro.obs import get_registry
+
+            registry = get_registry()
+        registry.histogram(
+            self._metric,
+            help="Span durations by phase path",
+            labelnames=("span",),
+            buckets=self._buckets,
+        ).labels(span=self.path).observe(self.elapsed)
+        registry.counter(
+            SPANS_TOTAL, help="Completed spans by phase path", labelnames=("span",)
+        ).labels(span=self.path).inc()
+
+
+def span(
+    name: str,
+    registry: Optional[MetricsRegistry] = None,
+    clock: Callable[[], float] = time.perf_counter,
+) -> Span:
+    """Shorthand constructor: ``with span("execute"): ...``."""
+    return Span(name, registry=registry, clock=clock)

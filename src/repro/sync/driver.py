@@ -20,6 +20,7 @@ from repro.gethdb.freezer import Freezer
 from repro.gethdb.snapshot import SnapshotTree
 from repro.gethdb.state import StateDB, hash_address
 from repro.gethdb.txindexer import TxIndexer
+from repro.obs import get_registry, span
 from repro.workload.generator import BlockPlan, WorkloadConfig, WorkloadGenerator
 
 
@@ -266,61 +267,82 @@ class FullSyncDriver:
     # ------------------------------------------------------------------
 
     def import_block(self, plan: BlockPlan) -> Block:
-        """Run one block through download, verify, execute, and commit."""
+        """Run one block through download, verify, execute, and commit.
+
+        Each phase runs under an obs span, so `repro stats` breaks block
+        import time down as repro_span_seconds{span="import_block/..."}.
+        """
+        with span("import_block"):
+            block = self._import_block_phases(plan)
+        get_registry().counter(
+            "repro_sync_blocks_total", help="Blocks imported by the sync driver"
+        ).inc()
+        return block
+
+    def _import_block_phases(self, plan: BlockPlan) -> Block:
         number = plan.number
         self.db.begin_block(number)
 
         # -- download phase: skeleton bookkeeping --------------------------
-        self._skeleton_step(number)
+        with span("skeleton"):
+            self._skeleton_step(number)
 
         # -- verification phase: on-demand reads ---------------------------
-        self._verify_ancestors(number)
+        with span("verify"):
+            self._verify_ancestors(number)
 
         # -- execution phase ------------------------------------------------
-        receipts = self._execute_transactions(plan)
-        state_root = self.state.commit()
+        with span("execute"):
+            receipts = self._execute_transactions(plan)
+            state_root = self.state.commit()
         if (
             self.state.node_store.buffered
             and number % self.config.trie_flush_interval == 0
         ):
-            self.db.crash_point(CrashPoint.TRIE_FLUSH_BEFORE)
-            self.state.flush_trie_nodes()
-            self.db.crash_point(CrashPoint.TRIE_FLUSH_AFTER)
+            with span("trie_flush"):
+                self.db.crash_point(CrashPoint.TRIE_FLUSH_BEFORE)
+                self.state.flush_trie_nodes()
+                self.db.crash_point(CrashPoint.TRIE_FLUSH_AFTER)
         if self.hash_scheme_mirror is not None:
             self.hash_scheme_mirror.observe_root(state_root)
         block = plan.build_block(self._head_hash, state_root, receipts)
         if self.config.validate_blocks:
-            self._validate_block(block, state_root, receipts)
+            with span("validate"):
+                self._validate_block(block, state_root, receipts)
 
         # -- write phase (all batched; flushed below in one burst) ----------
-        self._write_block_data(block)
-        self.db.write(
-            schema.receipts_key(number, block.hash), encode_receipts(receipts)
-        )
-        self.bloombits.add_block(number, block.hash, block_bloom(receipts))
-        self.txindexer.index_block(number, [tx.hash for tx in block.transactions])
-        self._advance_state_id(state_root)
+        with span("write"):
+            self._write_block_data(block)
+            self.db.write(
+                schema.receipts_key(number, block.hash), encode_receipts(receipts)
+            )
+            self.bloombits.add_block(number, block.hash, block_bloom(receipts))
+            self.txindexer.index_block(number, [tx.hash for tx in block.transactions])
+            self._advance_state_id(state_root)
 
-        # Head pointers last — adjacent staging means adjacent trace
-        # records at batch commit (the paper's Finding 10 clustering).
-        self.db.write(schema.LAST_HEADER_KEY, block.hash)
-        self.db.write(schema.LAST_FAST_KEY, block.hash)
-        self.db.write(schema.LAST_BLOCK_KEY, block.hash)
+            # Head pointers last — adjacent staging means adjacent trace
+            # records at batch commit (the paper's Finding 10 clustering).
+            self.db.write(schema.LAST_HEADER_KEY, block.hash)
+            self.db.write(schema.LAST_FAST_KEY, block.hash)
+            self.db.write(schema.LAST_BLOCK_KEY, block.hash)
 
-        self.db.commit_batch()
+            self.db.commit_batch()
 
         # -- background maintenance ----------------------------------------
         self._head_number = number
         self._head_hash = block.hash
         self._recent_hashes[number] = block.hash
         self._recent_hashes.pop(number - 4 * self.config.freezer_threshold, None)
-        self.db.crash_point(CrashPoint.FREEZE_BEFORE)
-        self.freezer.maybe_freeze(number)
-        self.db.crash_point(CrashPoint.FREEZE_AFTER)
-        self.db.crash_point(CrashPoint.TXINDEX_BEFORE)
-        self.txindexer.unindex(number)
-        self.db.crash_point(CrashPoint.TXINDEX_AFTER)
-        self._snapshot_root_maintenance(number, state_root)
+        with span("freeze"):
+            self.db.crash_point(CrashPoint.FREEZE_BEFORE)
+            self.freezer.maybe_freeze(number)
+            self.db.crash_point(CrashPoint.FREEZE_AFTER)
+        with span("txindex"):
+            self.db.crash_point(CrashPoint.TXINDEX_BEFORE)
+            self.txindexer.unindex(number)
+            self.db.crash_point(CrashPoint.TXINDEX_AFTER)
+        with span("snapshot"):
+            self._snapshot_root_maintenance(number, state_root)
         if number % self.config.bloom_progress_interval == 0:
             self.bloombits.read_progress()
         interval = self.config.growth_sample_interval

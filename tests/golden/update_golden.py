@@ -1,0 +1,39 @@
+"""Regenerate the golden findings report.
+
+Run from the repository root:
+
+    PYTHONPATH=src:. python tests/golden/update_golden.py
+
+Only do this when a deliberate change to the workload generator, sync
+driver, analysis pipeline, or report formatting alters the output.
+Review the diff of ``findings_report.txt`` before committing — every
+changed line is a behavioural change the golden test would otherwise
+have caught.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from tests.golden_utils import (  # noqa: E402
+    FINDINGS_GOLDEN,
+    build_analyses_from_scratch,
+    build_golden_report_text,
+)
+
+
+def main() -> None:
+    cache, bare = build_analyses_from_scratch()
+    text = build_golden_report_text(cache, bare)
+    FINDINGS_GOLDEN.write_text(text, encoding="utf-8")
+    print(f"wrote {FINDINGS_GOLDEN} ({len(text.splitlines())} lines)")
+
+
+if __name__ == "__main__":
+    main()

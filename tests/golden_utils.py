@@ -1,0 +1,57 @@
+"""Shared construction of the golden findings report.
+
+Both the regression test (``tests/test_report_golden.py``) and the
+refresh script (``tests/golden/update_golden.py``) must build the
+report from *exactly* the same inputs — this module is that single
+definition.  It mirrors the session fixtures in ``tests/conftest.py``
+(same ``SMALL_WORKLOAD``, block counts, cache budget, and correlation
+distances), so test runs reuse the already-computed fixtures and the
+update script reproduces them from scratch.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+FINDINGS_GOLDEN = GOLDEN_DIR / "findings_report.txt"
+
+#: Must match the ``trace_pair``/``*_analysis`` fixtures in conftest.py.
+NUM_BLOCKS = 80
+WARMUP_BLOCKS = 40
+CACHE_BYTES = 128 * 1024
+CORRELATION_DISTANCES = (0, 1, 4, 16, 64, 256, 1024)
+
+
+def build_golden_report_text(cache_analysis, bare_analysis) -> str:
+    """Render the findings report for the golden comparison."""
+    from repro.core.findings import evaluate_findings
+
+    return evaluate_findings(cache_analysis, bare_analysis).render() + "\n"
+
+
+def build_analyses_from_scratch():
+    """Recompute the fixture analyses (used by the update script)."""
+    from repro.core.analysis import TraceAnalysis
+    from repro.sync.driver import run_trace_pair
+    from tests.conftest import SMALL_WORKLOAD
+
+    cache_result, bare_result = run_trace_pair(
+        SMALL_WORKLOAD,
+        num_blocks=NUM_BLOCKS,
+        warmup_blocks=WARMUP_BLOCKS,
+        cache_bytes=CACHE_BYTES,
+    )
+    cache = TraceAnalysis(
+        "CacheTrace",
+        cache_result.records,
+        cache_result.store_snapshot,
+        correlation_distances=CORRELATION_DISTANCES,
+    )
+    bare = TraceAnalysis(
+        "BareTrace",
+        bare_result.records,
+        bare_result.store_snapshot,
+        correlation_distances=CORRELATION_DISTANCES,
+    )
+    return cache, bare

@@ -24,6 +24,7 @@ class TestParser:
             "export",
             "compare",
             "crashtest",
+            "stats",
         }
 
     def test_missing_command_errors(self):
@@ -97,3 +98,109 @@ class TestSyncAndAnalyze:
         assert code == 0
         out = capsys.readouterr().out
         assert "TV distance: 0.000" in out
+
+
+@pytest.fixture(scope="module")
+def metrics_file(synced_trace, tmp_path_factory):
+    """A --metrics-out snapshot produced by a real analyze run."""
+    path = tmp_path_factory.mktemp("metrics") / "analyze.json"
+    code = main(["analyze", str(synced_trace), "--metrics-out", str(path)])
+    assert code == 0
+    assert path.exists()
+    return path
+
+
+class TestStats:
+    def test_stats_prometheus_output(self, metrics_file, capsys):
+        code = main(["stats", str(metrics_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_analysis_chunks_total counter" in out
+        assert "repro_analysis_records_total" in out
+
+    def test_stats_json_output(self, metrics_file, capsys):
+        import json
+
+        code = main(["stats", str(metrics_file), "--format", "json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "repro-metrics-v1"
+        names = {family["name"] for family in payload["families"]}
+        assert "repro_analysis_chunks_total" in names
+
+    def test_stats_merges_multiple_files(self, metrics_file, capsys):
+        """Merging a snapshot with itself doubles every counter."""
+        from repro.obs import read_snapshot_json
+
+        single = read_snapshot_json(metrics_file)
+        chunks = single.value("repro_analysis_chunks_total")
+        code = main(
+            ["stats", str(metrics_file), str(metrics_file), "--format", "json"]
+        )
+        assert code == 0
+        import json
+
+        from repro.obs.registry import snapshot_from_json
+
+        merged = snapshot_from_json(json.loads(capsys.readouterr().out))
+        assert merged.value("repro_analysis_chunks_total") == 2 * chunks
+
+    def test_stats_writes_out_file(self, metrics_file, tmp_path, capsys):
+        out_path = tmp_path / "merged.prom"
+        code = main(["stats", str(metrics_file), "--out", str(out_path)])
+        assert code == 0
+        assert "# TYPE" in out_path.read_text()
+
+    def test_stats_missing_file_exits_2(self, tmp_path, capsys):
+        code = main(["stats", str(tmp_path / "missing.json")])
+        assert code == 2
+        assert capsys.readouterr().err
+
+    def test_stats_no_files_exits_2(self, capsys):
+        code = main(["stats"])
+        assert code == 2
+        assert "no metrics files" in capsys.readouterr().err
+
+    def test_stats_invalid_payload_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"format": "not-metrics", "families": {}}')
+        code = main(["stats", str(bad)])
+        assert code == 2
+        assert capsys.readouterr().err
+
+    def test_sync_metrics_out_includes_spans(self, tmp_path):
+        """End-to-end: sync --metrics-out captures phase spans and
+        store counters from the run."""
+        from repro.obs import read_snapshot_json
+
+        trace = tmp_path / "t.bin"
+        metrics = tmp_path / "m.json"
+        code = main(
+            [
+                "sync",
+                "--mode",
+                "bare",
+                "--out",
+                str(trace),
+                "--blocks",
+                "6",
+                "--warmup",
+                "2",
+                "--accounts",
+                "120",
+                "--contracts",
+                "20",
+                "--txs",
+                "4",
+                "--metrics-out",
+                str(metrics),
+            ]
+        )
+        assert code == 0
+        snap = read_snapshot_json(metrics)
+        assert snap.value("repro_sync_blocks_total") >= 6.0
+        spans = snap.families["repro_spans_total"]
+        span_index = spans.labelnames.index("span")
+        paths = {values[span_index] for values in spans.series}
+        assert "import_block" in paths
+        assert "import_block/execute" in paths

@@ -54,6 +54,60 @@ class TestStoreMetrics:
         assert metrics.write_amplification >= 0.0
 
 
+class TestEmptyStoreAmplification:
+    """Fresh stores must report 0.0 amplification, not divide by zero.
+
+    Exercised against the real backends (not a bare StoreMetrics) so a
+    backend that pre-populates counters in its constructor — or wires
+    metrics up differently — is still covered.
+    """
+
+    def _fresh_stores(self):
+        from repro.kvstore.btree import BPlusTreeStore
+        from repro.kvstore.hashlog import HashLogStore
+        from repro.kvstore.lsm.store import LSMStore
+        from repro.kvstore.memdb import MemoryKVStore
+
+        return [MemoryKVStore(), LSMStore(), BPlusTreeStore(), HashLogStore()]
+
+    def test_empty_store_amplification_is_zero(self):
+        for store in self._fresh_stores():
+            name = type(store).__name__
+            assert store.metrics.write_amplification == 0.0, name
+            assert store.metrics.read_amplification == 0.0, name
+
+    def test_empty_store_snapshot_has_no_nan_or_inf(self):
+        import math
+
+        for store in self._fresh_stores():
+            name = type(store).__name__
+            for key, value in store.metrics.snapshot().items():
+                if isinstance(value, float):
+                    assert math.isfinite(value), f"{name}.{key} = {value}"
+
+    def test_read_only_store_write_amplification_zero(self):
+        """Gets without any puts: user_bytes_written stays 0, so write
+        amplification must remain 0.0 even if internal reads happened."""
+        import pytest
+
+        from repro.errors import KeyNotFoundError
+        from repro.kvstore.memdb import MemoryKVStore
+
+        store = MemoryKVStore()
+        with pytest.raises(KeyNotFoundError):
+            store.get(b"absent")
+        assert store.metrics.user_gets == 1
+        assert store.metrics.write_amplification == 0.0
+
+    def test_write_only_store_read_amplification_zero(self):
+        from repro.kvstore.lsm.store import LSMStore
+
+        store = LSMStore()
+        store.put(b"k", b"v")
+        assert store.metrics.user_gets == 0
+        assert store.metrics.read_amplification == 0.0
+
+
 class TestLevelStats:
     def test_defaults(self):
         stats = LevelStats(level=2)

@@ -1,0 +1,436 @@
+"""Observability-layer tests: registry, merges, spans, exporters.
+
+The merge tests lock down the property the sharded analysis relies on:
+snapshot merging is associative and ``absorb`` is equivalent to
+snapshot-level merging, so any grouping of worker snapshots reduces to
+the same totals.  The Prometheus exposition output is parsed and
+validated in-test rather than eyeballed.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import re
+
+import pytest
+
+from repro.kvstore.lsm import LSMStore
+from repro.kvstore.memdb import MemoryKVStore
+from repro.kvstore.metrics import bind_store_metrics
+from repro.obs import get_registry, set_registry, use_registry
+from repro.obs.export import (
+    read_snapshot_json,
+    to_prometheus_text,
+    write_snapshot_json,
+)
+from repro.obs.registry import (
+    COUNTER,
+    DEFAULT_TIME_BUCKETS,
+    GAUGE,
+    NULL_REGISTRY,
+    HistogramValue,
+    MetricsRegistry,
+    NullRegistry,
+    RegistrySnapshot,
+    Sample,
+    exponential_buckets,
+    merge_snapshots,
+    snapshot_from_json,
+    snapshot_to_json,
+)
+from repro.obs.span import SPAN_SECONDS, SPANS_TOTAL, Span, current_span_path, span
+
+
+def random_snapshot(seed: int) -> RegistrySnapshot:
+    """A registry filled with seeded random metric traffic, snapshotted."""
+    rng = random.Random(seed)
+    registry = MetricsRegistry()
+    ops = registry.counter("t_ops_total", help="ops", labelnames=("kind",))
+    depth = registry.gauge("t_depth", help="depth")
+    sizes = registry.histogram(
+        "t_sizes", help="sizes", buckets=exponential_buckets(1.0, 2.0, 8)
+    )
+    for _ in range(rng.randrange(1, 60)):
+        ops.labels(kind=rng.choice("abc")).inc(rng.randrange(1, 5))
+    depth.set(rng.randrange(0, 100))
+    for _ in range(rng.randrange(0, 40)):
+        # Integer-valued observations keep float addition exact, so
+        # merge associativity holds byte-for-byte (like the real
+        # integer-valued analysis counters).
+        sizes.observe(float(rng.randrange(0, 400)))
+    return registry.snapshot()
+
+
+class TestBuckets:
+    def test_exponential_buckets_deterministic(self):
+        assert exponential_buckets(1e-5, 2.0, 24) == exponential_buckets(1e-5, 2.0, 24)
+        assert exponential_buckets(1e-5, 2.0, 24) == DEFAULT_TIME_BUCKETS
+
+    def test_exponential_buckets_shape(self):
+        bounds = exponential_buckets(1.0, 4.0, 5)
+        assert bounds == (1.0, 4.0, 16.0, 64.0, 256.0)
+
+    @pytest.mark.parametrize("args", [(0, 2.0, 4), (1.0, 1.0, 4), (1.0, 2.0, 0)])
+    def test_exponential_buckets_rejects_bad_args(self, args):
+        with pytest.raises(ValueError):
+            exponential_buckets(*args)
+
+    def test_histogram_bucket_assignment_deterministic(self):
+        """Identically declared histograms in two registries bucket
+        identical observations identically (the shard precondition)."""
+        values = [random.Random(3).uniform(0, 300) for _ in range(500)]
+        snaps = []
+        for _ in range(2):
+            registry = MetricsRegistry()
+            hist = registry.histogram(
+                "h", buckets=exponential_buckets(0.5, 2.0, 10)
+            )
+            for value in values:
+                hist.observe(value)
+            snaps.append(registry.snapshot())
+        assert snaps[0].value("h") == snaps[1].value("h")
+
+    def test_histogram_boundary_is_inclusive(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(1.0, 2.0))
+        hist.observe(1.0)  # le="1" bucket (Prometheus le semantics)
+        hist.observe(2.5)  # +Inf bucket
+        value = registry.snapshot().value("h")
+        assert value.counts == (1, 0, 1)
+
+
+class TestRegistry:
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("c").inc(-1)
+
+    def test_redeclaration_is_idempotent(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labelnames=("x",)).labels(x="1").inc()
+        registry.counter("c", labelnames=("x",)).labels(x="1").inc()
+        assert registry.snapshot().value("c", x="1") == 2
+
+    def test_conflicting_redeclaration_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("c")
+        with pytest.raises(ValueError):
+            registry.gauge("c")
+        with pytest.raises(ValueError):
+            registry.counter("c", labelnames=("x",))
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=(1.0, 3.0))
+
+    def test_wrong_labels_raise(self):
+        registry = MetricsRegistry()
+        family = registry.counter("c", labelnames=("x",))
+        with pytest.raises(ValueError):
+            family.labels(y="1")
+
+    def test_gauge_set_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert registry.snapshot().value("g") == 13
+
+    def test_get_value_default(self):
+        snapshot = MetricsRegistry().snapshot()
+        assert snapshot.get_value("nope", default=7.0) == 7.0
+
+
+class TestMerge:
+    def test_merge_is_associative(self):
+        a, b, c = (random_snapshot(seed) for seed in (1, 2, 3))
+        left = a.merged(b).merged(c)
+        right = a.merged(b.merged(c))
+        assert snapshot_to_json(left) == snapshot_to_json(right)
+        assert snapshot_to_json(left) == snapshot_to_json(merge_snapshots([a, b, c]))
+
+    def test_merge_many_groupings_agree(self):
+        snaps = [random_snapshot(seed) for seed in range(8)]
+        reference = snapshot_to_json(merge_snapshots(snaps))
+        rng = random.Random(99)
+        for _ in range(10):
+            order = list(snaps)
+            # Totals are grouping- and order-insensitive.
+            rng.shuffle(order)
+            half = len(order) // 2
+            regrouped = merge_snapshots(
+                [merge_snapshots(order[:half]), merge_snapshots(order[half:])]
+            )
+            assert snapshot_to_json(regrouped) == reference
+
+    def test_merge_sums_counters_and_histograms(self):
+        a, b = random_snapshot(4), random_snapshot(5)
+        merged = a.merged(b)
+        for snap_a, snap_b, total in [
+            (a.value("t_sizes"), b.value("t_sizes"), merged.value("t_sizes"))
+        ]:
+            assert total.count == snap_a.count + snap_b.count
+            assert total.counts == tuple(
+                x + y for x, y in zip(snap_a.counts, snap_b.counts)
+            )
+
+    def test_merge_rejects_mismatched_bounds(self):
+        value_a = HistogramValue(bounds=(1.0,), counts=(0, 1), total=2.0, count=1)
+        value_b = HistogramValue(bounds=(2.0,), counts=(1, 0), total=1.0, count=1)
+        with pytest.raises(ValueError):
+            value_a.merged(value_b)
+
+    def test_absorb_equals_snapshot_merge(self):
+        snaps = [random_snapshot(seed) for seed in (11, 12, 13)]
+        registry = MetricsRegistry()
+        for snapshot in snaps:
+            registry.absorb(snapshot)
+        assert snapshot_to_json(registry.snapshot()) == snapshot_to_json(
+            merge_snapshots(snaps)
+        )
+
+
+class TestCollectors:
+    def test_store_collector_sums_instances(self):
+        registry = MetricsRegistry()
+        stores = [MemoryKVStore() for _ in range(2)]
+        for store in stores:
+            bind_store_metrics(store.metrics, "memdb", registry)
+            store.put(b"k", b"v")
+        stores[0].get(b"k")
+        snapshot = registry.snapshot()
+        assert snapshot.value("repro_store_user_puts_total", backend="memdb") == 2
+        assert snapshot.value("repro_store_user_gets_total", backend="memdb") == 1
+
+    def test_dead_collectors_are_pruned(self):
+        registry = MetricsRegistry()
+        store = MemoryKVStore()
+        bind_store_metrics(store.metrics, "memdb", registry)
+        store.put(b"k", b"v")
+        del store
+        import gc
+
+        gc.collect()
+        snapshot = registry.snapshot()
+        assert "repro_store_user_puts_total" not in snapshot.families
+        assert not registry._collectors
+
+    def test_collector_conflict_with_family_raises(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_store_user_puts_total")
+        store = MemoryKVStore()
+        bind_store_metrics(store.metrics, "memdb", registry)
+        with pytest.raises(ValueError):
+            registry.snapshot()
+
+    def test_lsm_store_binds_to_default_registry(self):
+        with use_registry(MetricsRegistry()) as registry:
+            store = LSMStore()
+            store.put(b"a", b"1")
+            store.get(b"a")
+            snapshot = registry.snapshot()
+            assert snapshot.value("repro_store_user_puts_total", backend="lsm") >= 1
+
+
+class TestSpans:
+    def test_nested_span_paths_and_fake_clock(self):
+        ticks = iter(range(100))
+        clock = lambda: float(next(ticks))  # noqa: E731 — injectable test clock
+        registry = MetricsRegistry()
+        with Span("outer", registry=registry, clock=clock):
+            assert current_span_path() == "outer"
+            with Span("inner", registry=registry, clock=clock):
+                assert current_span_path() == "outer/inner"
+        snapshot = registry.snapshot()
+        assert snapshot.value(SPANS_TOTAL, span="outer") == 1
+        assert snapshot.value(SPANS_TOTAL, span="outer/inner") == 1
+        inner = snapshot.value(SPAN_SECONDS, span="outer/inner")
+        assert inner.total == 1.0  # one fake-clock tick
+        outer = snapshot.value(SPAN_SECONDS, span="outer")
+        assert outer.total == 3.0  # enter..exit spans three ticks
+
+    def test_span_records_on_exception(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with span("boom", registry=registry):
+                raise RuntimeError("body failed")
+        assert registry.snapshot().value(SPANS_TOTAL, span="boom") == 1
+        assert current_span_path() is None
+
+    def test_span_rejects_slash_in_name(self):
+        with pytest.raises(ValueError):
+            Span("a/b")
+
+    def test_span_uses_default_registry(self):
+        with use_registry(MetricsRegistry()) as registry:
+            with span("solo"):
+                pass
+            assert registry.snapshot().value(SPANS_TOTAL, span="solo") == 1
+
+    def test_out_of_order_exit_raises(self):
+        registry = MetricsRegistry()
+        outer = Span("outer", registry=registry)
+        inner = Span("inner", registry=registry)
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(RuntimeError):
+            outer.__exit__(None, None, None)
+        inner.__exit__(None, None, None)
+        outer.__exit__(None, None, None)
+
+
+PROM_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})? "
+    r"(?P<value>-?(?:\d+(?:\.\d+)?(?:e-?\d+)?|\+Inf|-Inf|NaN))$"
+)
+
+
+def parse_prometheus_text(text: str) -> dict:
+    """Validate and parse exposition text into {name: {labels: value}}."""
+    types: dict[str, str] = {}
+    samples: dict[str, dict[str, float]] = {}
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            assert kind in ("counter", "gauge", "histogram"), line
+            types[name] = kind
+            continue
+        match = PROM_SAMPLE_RE.match(line)
+        assert match, f"malformed exposition line: {line!r}"
+        name = match.group("name")
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        assert base in types or name in types, f"sample before TYPE: {line!r}"
+        samples.setdefault(name, {})[match.group("labels") or ""] = float(
+            match.group("value").replace("+Inf", "inf")
+        )
+    return {"types": types, "samples": samples}
+
+
+class TestPrometheusExport:
+    def test_text_parses_and_is_consistent(self):
+        snapshot = random_snapshot(21)
+        parsed = parse_prometheus_text(to_prometheus_text(snapshot))
+        assert parsed["types"]["t_ops_total"] == "counter"
+        assert parsed["types"]["t_depth"] == "gauge"
+        assert parsed["types"]["t_sizes"] == "histogram"
+        # Histogram buckets are cumulative and monotonically non-decreasing,
+        # ending at the +Inf bucket == _count.
+        buckets = parsed["samples"]["t_sizes_bucket"]
+        ordered = sorted(
+            buckets.items(), key=lambda kv: float(kv[0].split('"')[1].replace("+Inf", "inf"))
+        )
+        counts = [count for _, count in ordered]
+        assert counts == sorted(counts)
+        assert counts[-1] == parsed["samples"]["t_sizes_count"][""]
+        hist = snapshot.value("t_sizes")
+        assert parsed["samples"]["t_sizes_sum"][""] == pytest.approx(hist.total)
+        # Counter totals survive the render/parse round trip.
+        for key, value in snapshot.family("t_ops_total").series.items():
+            assert parsed["samples"]["t_ops_total"][f'kind="{key[0]}"'] == value
+
+    def test_rendering_is_deterministic(self):
+        assert to_prometheus_text(random_snapshot(8)) == to_prometheus_text(
+            random_snapshot(8)
+        )
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labelnames=("x",)).labels(x='a"b\\c\nd').inc()
+        text = to_prometheus_text(registry.snapshot())
+        assert '{x="a\\"b\\\\c\\nd"}' in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert to_prometheus_text(RegistrySnapshot()) == ""
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_everything(self, tmp_path):
+        snapshot = random_snapshot(31)
+        path = tmp_path / "metrics.json"
+        write_snapshot_json(path, snapshot)
+        restored = read_snapshot_json(path)
+        assert snapshot_to_json(restored) == snapshot_to_json(snapshot)
+        assert to_prometheus_text(restored) == to_prometheus_text(snapshot)
+
+    def test_format_tag_is_validated(self):
+        with pytest.raises(ValueError):
+            snapshot_from_json({"format": "something-else", "families": []})
+        with pytest.raises(ValueError):
+            snapshot_from_json([1, 2, 3])
+
+    def test_json_is_deterministic(self, tmp_path):
+        paths = []
+        for name in ("a.json", "b.json"):
+            path = tmp_path / name
+            write_snapshot_json(path, random_snapshot(55))
+            paths.append(path.read_bytes())
+        assert paths[0] == paths[1]
+        json.loads(paths[0])  # valid JSON document
+
+
+class TestProcessRegistry:
+    def test_set_registry_returns_previous(self):
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous
+
+    def test_use_registry_restores_on_exit(self):
+        before = get_registry()
+        with use_registry(MetricsRegistry()) as scoped:
+            assert get_registry() is scoped
+        assert get_registry() is before
+
+    def test_null_registry_records_nothing(self):
+        registry = NullRegistry()
+        registry.counter("c", labelnames=("x",)).labels(x="1").inc()
+        registry.histogram("h").observe(1.0)
+        registry.register_object_collector(object(), lambda owner: [])
+        registry.absorb(random_snapshot(1))
+        assert registry.snapshot().families == {}
+        assert NULL_REGISTRY.snapshot().families == {}
+
+
+class TestSampleFolding:
+    def test_samples_with_same_labels_sum(self):
+        registry = MetricsRegistry()
+
+        class Owner:
+            pass
+
+        owners = [Owner(), Owner()]
+        for owner in owners:
+            registry.register_object_collector(
+                owner,
+                lambda o: [
+                    Sample(
+                        name="dup_total",
+                        kind=COUNTER,
+                        labels=(("k", "v"),),
+                        value=3.0,
+                    )
+                ],
+            )
+        assert registry.snapshot().value("dup_total", k="v") == 6.0
+        del owners
+
+    def test_gauge_samples_supported(self):
+        registry = MetricsRegistry()
+
+        class Owner:
+            pass
+
+        owner = Owner()
+        registry.register_object_collector(
+            owner,
+            lambda o: [Sample(name="g", kind=GAUGE, labels=(), value=4.0)],
+        )
+        assert registry.snapshot().value("g") == 4.0
+        del owner

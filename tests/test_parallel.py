@@ -8,6 +8,7 @@ shard traces over worker processes.
 
 from __future__ import annotations
 
+import json
 import math
 import os
 import random
@@ -38,6 +39,7 @@ from repro.core.trace import (
     write_trace_v2,
 )
 from repro.errors import AnalysisError
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry, snapshot_to_json
 
 
 def _random_records(n=3000, seed=11, num_blocks=37):
@@ -452,3 +454,111 @@ class TestWorkerDeath:
         fault = WorkerFault(shard_index=0, parent_pid=os.getpid())
         fault.maybe_trip(0)  # same pid: must not exit
         fault.maybe_trip(1)  # different shard: must not exit
+
+
+class TestMetricsDifferential:
+    """A sharded run's merged registry must equal the serial run's —
+    byte-identical after JSON serialization, not merely approximately.
+
+    Timing metrics (``repro_analysis_shard_seconds`` and the shard
+    counter) exist only when shards ran, so the comparison covers the
+    deterministic progress counters, which both paths increment once
+    per chunk/record.
+    """
+
+    DETERMINISTIC = ("repro_analysis_chunks_total", "repro_analysis_records_total")
+
+    def _deterministic_json(self, registry: MetricsRegistry) -> str:
+        data = snapshot_to_json(registry.snapshot())
+        data["families"] = [
+            family
+            for family in data["families"]
+            if family["name"] in self.DETERMINISTIC
+        ]
+        return json.dumps(data, sort_keys=True)
+
+    @pytest.fixture()
+    def trace_path(self, tmp_path, records):
+        path = tmp_path / "trace.v2"
+        write_trace_v2(path, records, chunk_size=173)
+        return path
+
+    def test_sharded_registry_matches_serial_byte_identical(
+        self, trace_path, records
+    ):
+        serial_registry = MetricsRegistry()
+        serial = analyze_trace(trace_path, workers=1, registry=serial_registry)
+        parallel_registry = MetricsRegistry()
+        parallel = analyze_trace(trace_path, workers=3, registry=parallel_registry)
+
+        assert self._deterministic_json(serial_registry) == self._deterministic_json(
+            parallel_registry
+        )
+        snapshot = parallel_registry.snapshot()
+        footer = read_trace_footer(trace_path)
+        assert snapshot.value("repro_analysis_chunks_total") == len(footer.chunks)
+        assert snapshot.value("repro_analysis_records_total") == len(records)
+
+        # The analyzer aggregates must be byte-identical too, rendered.
+        from repro.core.report import render_op_table
+
+        assert render_op_table(serial["opdist"], "t") == render_op_table(
+            parallel["opdist"], "t"
+        )
+
+    def test_metrics_survive_worker_death_requeue(self, tmp_path, trace_path):
+        serial_registry = MetricsRegistry()
+        analyze_trace(trace_path, workers=1, registry=serial_registry)
+        fault = WorkerFault(
+            shard_index=1, parent_pid=os.getpid(), trip_path=str(tmp_path / "trip")
+        )
+        parallel_registry = MetricsRegistry()
+        analyze_trace(
+            trace_path,
+            workers=4,
+            fault=fault,
+            retry=RetryPolicy(max_retries=2, backoff_base_s=0.01),
+            registry=parallel_registry,
+        )
+        # The requeued shard's snapshot is absorbed exactly once, so the
+        # progress counters still match the serial run.
+        assert self._deterministic_json(serial_registry) == self._deterministic_json(
+            parallel_registry
+        )
+        snapshot = parallel_registry.snapshot()
+        assert snapshot.value("repro_analysis_worker_deaths_total") >= 1
+        assert snapshot.value("repro_analysis_requeues_total") >= 1
+
+    def test_serial_fallback_counted(self, trace_path):
+        fault = WorkerFault(shard_index=2, parent_pid=os.getpid())
+        registry = MetricsRegistry()
+        analyze_trace(
+            trace_path,
+            workers=4,
+            fault=fault,
+            retry=RetryPolicy(max_retries=1, backoff_base_s=0.01),
+            registry=registry,
+        )
+        # At minimum the poisoned shard fell back; innocent shards that
+        # kept getting caught in the broken pools may have as well.
+        snapshot = registry.snapshot()
+        assert snapshot.value("repro_analysis_serial_fallbacks_total") >= 1
+        assert snapshot.value("repro_analysis_shards_total") == 4
+
+    def test_null_registry_opt_out(self, records):
+        results = analyze_trace(records, workers=1, registry=NULL_REGISTRY)
+        assert results["opdist"].total_ops == len(records)
+        assert NULL_REGISTRY.snapshot().families == {}
+
+    def test_in_memory_sources_match_too(self, records):
+        serial_registry = MetricsRegistry()
+        analyze_trace(records, workers=1, chunk_size=311, registry=serial_registry)
+        parallel_registry = MetricsRegistry()
+        analyze_trace(
+            ColumnarTrace.from_records(records, chunk_size=311),
+            workers=2,
+            registry=parallel_registry,
+        )
+        assert self._deterministic_json(serial_registry) == self._deterministic_json(
+            parallel_registry
+        )

@@ -1,0 +1,60 @@
+"""Golden-file regression test for the findings report.
+
+The checked-in report in ``tests/golden/findings_report.txt`` pins the
+full rendered output — finding numbers, pass/fail verdicts, metric
+values, and formatting — of the small-workload sync pair the session
+fixtures build.  Any drift in the workload generator, sync driver,
+analysis pipeline, or report renderer shows up as a line-level diff
+here instead of slipping through as a silent numeric shift.
+
+To refresh after a deliberate change:
+
+    PYTHONPATH=src:. python tests/golden/update_golden.py
+"""
+
+from __future__ import annotations
+
+import difflib
+
+from tests.golden_utils import FINDINGS_GOLDEN, build_golden_report_text
+
+
+class TestFindingsGolden:
+    def test_report_matches_golden(self, cache_analysis, bare_analysis):
+        actual = build_golden_report_text(cache_analysis, bare_analysis)
+        expected = FINDINGS_GOLDEN.read_text(encoding="utf-8")
+        if actual != expected:
+            diff = "\n".join(
+                difflib.unified_diff(
+                    expected.splitlines(),
+                    actual.splitlines(),
+                    fromfile="tests/golden/findings_report.txt",
+                    tofile="rendered report",
+                    lineterm="",
+                )
+            )
+            raise AssertionError(
+                "findings report drifted from the golden file; if the change "
+                "is deliberate, regenerate with "
+                "`PYTHONPATH=src:. python tests/golden/update_golden.py`\n"
+                + diff
+            )
+
+    def test_golden_structure(self):
+        """Sanity-check the checked-in golden so a truncated or empty
+        file cannot silently weaken the comparison."""
+        text = FINDINGS_GOLDEN.read_text(encoding="utf-8")
+        lines = text.splitlines()
+        assert lines[0] == "=" * 72
+        assert lines[1] == "Findings summary"
+        findings = [line for line in lines if line.startswith("Finding ")]
+        assert len(findings) >= 5
+        for line in findings:
+            assert "[PASS]" in line or "[FAIL]" in line
+        assert text.endswith("\n")
+
+    def test_all_findings_pass_in_golden(self):
+        """The reproduction's headline claim: every finding holds at
+        the pinned workload scale."""
+        text = FINDINGS_GOLDEN.read_text(encoding="utf-8")
+        assert "[FAIL]" not in text
