@@ -4,9 +4,23 @@ One full-sync trace pair is produced per session at the calibrated
 benchmark scale (a scaled-down analog of the paper's 1M-block window:
 ~150 measured blocks over a state pre-populated by genesis allocation
 plus 60 warmup blocks).  Every table/figure bench analyzes this pair.
+
+The pair also seeds a :class:`repro.bench.BenchContext` (``bench_ctx``)
+so the pytest benches and ``repro bench run`` time exactly the same
+workload definitions from :mod:`repro.bench.suite`.
+
+Set ``BENCH_JSON=/path/to/BENCH_file.json`` to emit recorded rates as
+a JSON artifact.  Emission *merges* into an existing file instead of
+overwriting it, so running several bench files back to back (or one
+``-k``-filtered subset after another) accumulates one artifact instead
+of clobbering earlier results.
 """
 
 from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
 
 import pytest
 
@@ -52,3 +66,61 @@ def bare_analysis(bench_trace_pair):
         bare_result.store_snapshot,
         correlation_distances=DISTANCES,
     )
+
+
+@pytest.fixture(scope="session")
+def bench_ctx(bench_trace_pair, tmp_path_factory):
+    """A full-profile harness context seeded with the session trace pair."""
+    from repro.bench import BenchContext
+
+    ctx = BenchContext(
+        "full",
+        seed=BENCH_WORKLOAD.seed,
+        tmpdir=tmp_path_factory.mktemp("bench-ctx"),
+    )
+    ctx.preload("trace_pair", bench_trace_pair)
+    return ctx
+
+
+# ---------------------------------------------------------------------------
+# BENCH_JSON emission (merging)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def bench_rates() -> dict[str, float]:
+    """Session-wide name → rate store; emitted as BENCH_JSON at exit."""
+    return {}
+
+
+@pytest.fixture(scope="session")
+def record_rate(bench_rates):
+    """``record_rate(name, value)`` — publish one benchmark's rate."""
+
+    def record(name: str, value: float) -> None:
+        bench_rates[name] = value
+
+    return record
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _emit_bench_json(bench_rates):
+    yield
+    path = os.environ.get("BENCH_JSON")
+    if not path or not bench_rates:
+        return
+    target = Path(path)
+    merged: dict[str, float] = {}
+    if target.exists():
+        # Merge with whatever a previous bench invocation wrote; a
+        # corrupt/partial file is replaced rather than propagated.
+        try:
+            existing = json.loads(target.read_text(encoding="utf-8"))
+            if isinstance(existing, dict):
+                merged.update(existing)
+        except ValueError:
+            pass
+    merged.update({name: round(rate, 1) for name, rate in bench_rates.items()})
+    with open(target, "w", encoding="ascii") as stream:
+        json.dump(dict(sorted(merged.items())), stream, indent=2)
+        stream.write("\n")

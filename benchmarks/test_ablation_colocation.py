@@ -15,9 +15,8 @@ from __future__ import annotations
 
 from collections import Counter
 
+from repro.bench.suite import REGION_CAPACITY, TRAIN_FRACTION, world_state_reads
 from repro.cachesim.correlation_cache import CorrelationTable
-from repro.core.classes import WORLD_STATE_CLASSES, KVClass, classify_key
-from repro.core.trace import OpType
 from repro.hybrid import (
     CorrelationLayout,
     LayoutEvaluator,
@@ -25,18 +24,10 @@ from repro.hybrid import (
     key_order_layout,
 )
 
-REGION_CAPACITY = 32
-TRAIN_FRACTION = 0.3
 
-
-def test_ablation_colocation(benchmark, bench_trace_pair):
+def test_ablation_colocation(benchmark, bench_trace_pair, record_rate):
     _, bare_result = bench_trace_pair
-    classes = set(WORLD_STATE_CLASSES) | {KVClass.CODE}
-    reads = [
-        record.key
-        for record in bare_result.records
-        if record.op is OpType.READ and classify_key(record.key) in classes
-    ]
+    reads = world_state_reads(bare_result.records)
     cutoff = int(len(reads) * TRAIN_FRACTION)
     train, replay = reads[:cutoff], reads[cutoff:]
 
@@ -65,6 +56,7 @@ def test_ablation_colocation(benchmark, bench_trace_pair):
         }
 
     reports = benchmark.pedantic(build_and_evaluate, rounds=1, iterations=1)
+    record_rate("ablation_colocation", len(reads) / benchmark.stats.stats.mean)
 
     print()
     print(f"{'placement':<20} {'switch rate':>12} {'regions':>9}")

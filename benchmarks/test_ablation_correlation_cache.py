@@ -13,6 +13,8 @@ aware cache achieves the highest hit rate of all policies.
 
 from __future__ import annotations
 
+from repro.bench.suite import CACHE_CAPACITY as CAPACITY
+from repro.bench.suite import TRAIN_FRACTION, world_state_reads
 from repro.cachesim import (
     ARCPolicy,
     CacheSimulator,
@@ -22,23 +24,16 @@ from repro.cachesim import (
     NoWriteAdmissionPolicy,
     SegmentedLRUPolicy,
 )
-from repro.core.classes import WORLD_STATE_CLASSES, KVClass, classify_key
-from repro.core.trace import OpType
-
-CAPACITY = 2048
-TRAIN_FRACTION = 0.3
+from repro.core.classes import WORLD_STATE_CLASSES, KVClass
 
 
-def test_ablation_correlation_cache(benchmark, bench_trace_pair):
+def test_ablation_correlation_cache(benchmark, bench_trace_pair, record_rate):
     _, bare_result = bench_trace_pair
     records = bare_result.records
     classes = set(WORLD_STATE_CLASSES) | {KVClass.CODE}
 
-    train_reads = []
     cutoff = int(len(records) * TRAIN_FRACTION)
-    for record in records[:cutoff]:
-        if record.op is OpType.READ and classify_key(record.key) in classes:
-            train_reads.append(record.key)
+    train_reads = world_state_reads(records[:cutoff])
 
     table = CorrelationTable(window=4, max_partners=3)
     table.learn(train_reads)
@@ -58,6 +53,9 @@ def test_ablation_correlation_cache(benchmark, bench_trace_pair):
 
     reports["correlation-aware"] = benchmark.pedantic(
         run_correlation_aware, rounds=1, iterations=1
+    )
+    record_rate(
+        "ablation_correlation_cache", len(records) / benchmark.stats.stats.mean
     )
 
     print()

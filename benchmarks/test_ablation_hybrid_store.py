@@ -14,7 +14,7 @@ lower write amplification, and leaves most world-state pairs unpromoted
 
 from __future__ import annotations
 
-from repro.core.trace import OpType
+from repro.bench.suite import replay_store as replay
 from repro.hybrid import HybridKVStore, Route
 from repro.kvstore.lsm import LSMConfig, LSMStore
 
@@ -23,29 +23,7 @@ LSM_CONFIG = LSMConfig(
 )
 
 
-def replay(store, records):
-    """Drive a store with the logical operation stream of a trace."""
-    value_cache = {}
-    for record in records:
-        op = record.op
-        if op is OpType.WRITE or op is OpType.UPDATE:
-            value = value_cache.get(record.value_size)
-            if value is None:
-                value = b"\xab" * record.value_size
-                value_cache[record.value_size] = value
-            store.put(record.key, value)
-        elif op is OpType.DELETE:
-            store.delete(record.key)
-        elif op is OpType.READ:
-            store.get_or_none(record.key)
-        else:  # scan
-            for index, _ in enumerate(store.scan(record.key)):
-                if index >= 64:
-                    break
-    return store
-
-
-def test_ablation_hybrid_store(benchmark, bench_trace_pair):
+def test_ablation_hybrid_store(benchmark, bench_trace_pair, record_rate):
     _, bare_result = bench_trace_pair
     records = bare_result.records
 
@@ -55,6 +33,7 @@ def test_ablation_hybrid_store(benchmark, bench_trace_pair):
         return replay(HybridKVStore(lsm_config=LSM_CONFIG), records)
 
     hybrid = benchmark.pedantic(build_hybrid, rounds=1, iterations=1)
+    record_rate("ablation_hybrid_store", len(records) / benchmark.stats.stats.mean)
 
     lsm_metrics = lsm.metrics
     hybrid_metrics = hybrid.combined_metrics()

@@ -21,7 +21,7 @@ WORKLOAD = WorkloadConfig(
 )
 
 
-def test_ablation_path_vs_hash(benchmark):
+def test_ablation_path_vs_hash(benchmark, record_rate):
     def run_mirrored():
         config = SyncConfig(
             db=DBConfig.bare_trace_config(),
@@ -33,6 +33,9 @@ def test_ablation_path_vs_hash(benchmark):
         return driver, result
 
     driver, result = benchmark.pedantic(run_mirrored, rounds=1, iterations=1)
+    record_rate(
+        "ablation_path_vs_hash", len(result.records) / benchmark.stats.stats.mean
+    )
     mirror = driver.hash_scheme_mirror
 
     path_nodes = sum(1 for key, _ in result.store_snapshot if key[:1] in (b"A", b"O"))

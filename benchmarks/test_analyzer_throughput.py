@@ -11,88 +11,50 @@ the benchmark trace so regressions in the hot loops are visible:
 * per-block statistics;
 * the process-parallel sharded scheduler at ``workers=2,4``.
 
-Set ``BENCH_JSON=/path/to/BENCH_throughput.json`` to emit a JSON
-artifact mapping each benchmark to records/s (the CI perf trajectory).
+The timed kernels are the registered workloads from
+:mod:`repro.bench.suite` — the same definitions ``repro bench run``
+executes and baselines — so the pytest floors and the CI perf-gate
+gate one implementation.  Set ``BENCH_JSON=...`` to emit records/s as
+a JSON artifact (merged across bench files; see conftest).
 """
 
 from __future__ import annotations
 
-import io
-import json
 import os
 import time
 
-import numpy as np
 import pytest
 
-from repro.core.blockstats import BlockStatsAnalyzer
-from repro.core.columnar import ColumnarTrace, TraceChunk
-from repro.core.correlation import CorrelationAnalyzer, CorrelationConfig
-from repro.core.opdist import OpDistAnalyzer
+from repro.bench import load_default_suite
 from repro.core.parallel import analyze_chunks, analyze_trace
 from repro.obs.registry import MetricsRegistry
-from repro.core.trace import (
-    ColumnarTraceReader,
-    ColumnarTraceWriter,
-    OpType,
-    TraceReader,
-    records_to_bytes,
-)
 
-#: records/s per benchmark, emitted as BENCH_throughput.json when the
-#: BENCH_JSON env var is set.
-RATES: dict[str, float] = {}
+REGISTRY = load_default_suite()
 
 
-@pytest.fixture(scope="session", autouse=True)
-def _emit_bench_json():
-    yield
-    path = os.environ.get("BENCH_JSON")
-    if path:
-        with open(path, "w", encoding="ascii") as stream:
-            json.dump(
-                {name: round(rate, 1) for name, rate in sorted(RATES.items())},
-                stream,
-                indent=2,
-            )
-            stream.write("\n")
+def _workload(name, bench_ctx):
+    return REGISTRY.get(name).setup(bench_ctx)
 
 
-@pytest.fixture(scope="session")
-def bench_columnar(bench_trace_pair):
-    _, bare_result = bench_trace_pair
-    return ColumnarTrace.from_records(bare_result.records)
-
-
-def test_opdist_throughput(benchmark, bench_trace_pair):
-    _, bare_result = bench_trace_pair
-    records = bare_result.records
-
-    def analyze():
-        return OpDistAnalyzer(track_keys=False).consume(records).total_ops
-
-    total = benchmark(analyze)
-    assert total == len(records)
-    rate = len(records) / benchmark.stats.stats.mean
-    RATES["opdist_reference"] = rate
-    print(f"\nopdist: {rate / 1e6:.2f} M records/s over {len(records):,} records")
+def test_opdist_throughput(benchmark, bench_ctx, record_rate):
+    workload = _workload("opdist_reference", bench_ctx)
+    total = benchmark(workload.run)
+    assert total == workload.ops == len(bench_ctx.bare_records)
+    rate = workload.ops / benchmark.stats.stats.mean
+    record_rate("opdist_reference", rate)
+    print(f"\nopdist: {rate / 1e6:.2f} M records/s over {workload.ops:,} records")
     assert rate > 100_000  # floor: 100k records/s (record-at-a-time path)
 
 
-def test_opdist_columnar_throughput(benchmark, bench_columnar):
-    trace = bench_columnar
-    total_records = len(trace)
-
-    def analyze():
-        return OpDistAnalyzer(track_keys=False).consume_chunks(trace.chunks).total_ops
-
-    total = benchmark(analyze)
-    assert total == total_records
-    rate = total_records / benchmark.stats.stats.mean
-    RATES["opdist_columnar"] = rate
+def test_opdist_columnar_throughput(benchmark, bench_ctx, record_rate):
+    workload = _workload("opdist_columnar", bench_ctx)
+    total = benchmark(workload.run)
+    assert total == workload.ops == len(bench_ctx.columnar_trace)
+    rate = workload.ops / benchmark.stats.stats.mean
+    record_rate("opdist_columnar", rate)
     print(
         f"\nopdist columnar: {rate / 1e6:.2f} M records/s "
-        f"over {total_records:,} records"
+        f"over {workload.ops:,} records"
     )
     # floor: 1M records/s — 10x the reference path's floor.  The
     # bincount reduction actually sustains >50M records/s; 1M keeps the
@@ -101,83 +63,44 @@ def test_opdist_columnar_throughput(benchmark, bench_columnar):
     assert rate > 1_000_000
 
 
-def test_opdist_columnar_tracked_throughput(benchmark, bench_columnar):
-    trace = bench_columnar
-    total_records = len(trace)
-
-    def analyze():
-        return OpDistAnalyzer(track_keys=True).consume_chunks(trace.chunks).total_ops
-
-    total = benchmark(analyze)
-    assert total == total_records
-    rate = total_records / benchmark.stats.stats.mean
-    RATES["opdist_columnar_tracked"] = rate
+def test_opdist_columnar_tracked_throughput(benchmark, bench_ctx, record_rate):
+    workload = _workload("opdist_columnar_tracked", bench_ctx)
+    total = benchmark(workload.run)
+    assert total == workload.ops
+    rate = workload.ops / benchmark.stats.stats.mean
+    record_rate("opdist_columnar_tracked", rate)
     print(f"\nopdist columnar+keys: {rate / 1e6:.2f} M records/s")
     assert rate > 500_000  # per-key tracking still beats the reference floor 5x
 
 
-def test_trace_serialization_throughput(benchmark, bench_trace_pair):
-    _, bare_result = bench_trace_pair
-    records = bare_result.records
-
-    def roundtrip():
-        blob = records_to_bytes(records)
-        count = sum(1 for _ in TraceReader(io.BytesIO(blob)))
-        return count, len(blob)
-
-    count, size = benchmark(roundtrip)
-    assert count == len(records)
-    rate = len(records) / benchmark.stats.stats.mean
-    RATES["serialization_v1"] = rate
-    print(
-        f"\nserialization: {size / len(records):.1f} B/record, "
-        f"{rate / 1e6:.2f} M records/s round-trip"
-    )
+def test_trace_serialization_throughput(benchmark, bench_ctx, record_rate):
+    workload = _workload("serialization_v1", bench_ctx)
+    count = benchmark(workload.run)
+    assert count == workload.ops
+    rate = workload.ops / benchmark.stats.stats.mean
+    record_rate("serialization_v1", rate)
+    print(f"\nserialization: {rate / 1e6:.2f} M records/s round-trip")
 
 
-def test_trace_v2_serialization_throughput(benchmark, bench_columnar):
-    trace = bench_columnar
-    total_records = len(trace)
-
-    def roundtrip():
-        buffer = io.BytesIO()
-        writer = ColumnarTraceWriter(buffer)
-        for chunk in trace.chunks:
-            writer.write_chunk(chunk)
-        writer.finish()
-        blob = buffer.getvalue()
-        reader = ColumnarTraceReader(io.BytesIO(blob))
-        count = sum(len(chunk) for chunk in reader.chunks())
-        return count, len(blob)
-
-    count, size = benchmark(roundtrip)
-    assert count == total_records
-    rate = total_records / benchmark.stats.stats.mean
-    RATES["serialization_v2"] = rate
-    print(
-        f"\nv2 serialization: {size / total_records:.1f} B/record, "
-        f"{rate / 1e6:.2f} M records/s round-trip"
-    )
+def test_trace_v2_serialization_throughput(benchmark, bench_ctx, record_rate):
+    workload = _workload("serialization_v2", bench_ctx)
+    count = benchmark(workload.run)
+    assert count == workload.ops
+    rate = workload.ops / benchmark.stats.stats.mean
+    record_rate("serialization_v2", rate)
+    print(f"\nv2 serialization: {rate / 1e6:.2f} M records/s round-trip")
     assert rate > 1_000_000  # columnar blocks (de)serialize at array speed
 
 
-def test_correlation_throughput(benchmark, bench_trace_pair):
-    _, bare_result = bench_trace_pair
-    records = bare_result.records
-
-    def correlate():
-        analyzer = CorrelationAnalyzer(
-            CorrelationConfig(op=OpType.READ, distances=(0, 4, 64, 1024))
-        )
-        analyzer.consume(records)
-        results = analyzer.compute()
-        return sum(sum(r.class_pair_counts.values()) for r in results.values())
-
-    total = benchmark.pedantic(correlate, rounds=2, iterations=1)
+def test_correlation_throughput(benchmark, bench_ctx):
+    workload = _workload("correlation_read", bench_ctx)
+    total = benchmark.pedantic(workload.run, rounds=2, iterations=1)
     assert total > 0
 
 
 def test_blockstats_throughput(benchmark, bench_trace_pair):
+    from repro.core.blockstats import BlockStatsAnalyzer
+
     _, bare_result = bench_trace_pair
     records = bare_result.records
 
@@ -188,28 +111,20 @@ def test_blockstats_throughput(benchmark, bench_trace_pair):
     assert blocks >= 150
 
 
-def test_blockstats_columnar_throughput(benchmark, bench_columnar):
-    trace = bench_columnar
-    total_records = len(trace)
-
-    def analyze():
-        analyzer = BlockStatsAnalyzer()
-        for chunk in trace.chunks:
-            analyzer.consume_chunk(chunk)
-        return analyzer.num_blocks
-
-    blocks = benchmark(analyze)
+def test_blockstats_columnar_throughput(benchmark, bench_ctx, record_rate):
+    workload = _workload("blockstats_columnar", bench_ctx)
+    blocks = benchmark(workload.run)
     assert blocks >= 150
-    rate = total_records / benchmark.stats.stats.mean
-    RATES["blockstats_columnar"] = rate
+    rate = workload.ops / benchmark.stats.stats.mean
+    record_rate("blockstats_columnar", rate)
     print(f"\nblockstats columnar: {rate / 1e6:.2f} M records/s")
 
 
-def test_instrumentation_overhead(bench_columnar):
+def test_instrumentation_overhead(bench_ctx, record_rate):
     """Metrics accounting must stay off the hot path: the per-chunk
     counter increments in ``analyze_chunks`` may cost < 5% of columnar
     analysis throughput.  Best-of-5 each way filters scheduler noise."""
-    trace = bench_columnar
+    trace = bench_ctx.columnar_trace
     # Repeat the chunk stream so each timed run lasts long enough for
     # the comparison to rise above timer noise.
     repeats = 50
@@ -227,7 +142,7 @@ def test_instrumentation_overhead(bench_columnar):
     bare = min(run(None) for _ in range(5))
     instrumented = min(run(MetricsRegistry()) for _ in range(5))
     overhead_pct = max(0.0, (instrumented - bare) / bare * 100.0)
-    RATES["obs_overhead_pct"] = overhead_pct
+    record_rate("obs_overhead_pct", overhead_pct)
     print(
         f"\ninstrumentation overhead: {overhead_pct:.2f}% "
         f"(bare {bare * 1e3:.2f} ms, instrumented {instrumented * 1e3:.2f} ms)"
@@ -238,67 +153,37 @@ def test_instrumentation_overhead(bench_columnar):
 # ---------------------------------------------------------------------------
 # Parallel scheduler
 # ---------------------------------------------------------------------------
-
-#: Synthetic shard-bench shape: enough per-chunk per-key Python work for
-#: process parallelism to pay for its fork/IPC overhead.
-_PAR_CHUNKS = 12
-_PAR_RECORDS_PER_CHUNK = 100_000
-_PAR_KEYS_PER_CHUNK = 30_000
+#
+# The synthetic multi-chunk trace shape lives in the full profile of
+# repro.bench.context (enough per-chunk per-key Python work for process
+# parallelism to pay for its fork/IPC overhead).
 
 
 @pytest.fixture(scope="session")
-def parallel_trace_path(tmp_path_factory):
-    """A synthetic multi-chunk v2 trace for scheduler scaling benches."""
-    rng = np.random.default_rng(7)
-    prefixes = np.frombuffer(b"AOaohlcB", dtype=np.uint8)
-    path = tmp_path_factory.mktemp("bench") / "parallel.v2"
-    with ColumnarTraceWriter.open(path) as writer:
-        for chunk_index in range(_PAR_CHUNKS):
-            blob = rng.integers(0, 256, size=_PAR_KEYS_PER_CHUNK * 7, dtype=np.uint8)
-            blob[::7] = prefixes[rng.integers(0, len(prefixes), _PAR_KEYS_PER_CHUNK)]
-            raw = blob.tobytes()
-            keys = [raw[i : i + 7] for i in range(0, len(raw), 7)]
-            writer.write_chunk(
-                TraceChunk(
-                    ops=rng.integers(0, 5, _PAR_RECORDS_PER_CHUNK, dtype=np.uint8),
-                    value_sizes=rng.integers(
-                        0, 2048, _PAR_RECORDS_PER_CHUNK, dtype=np.uint32
-                    ),
-                    blocks=np.full(
-                        _PAR_RECORDS_PER_CHUNK, chunk_index, dtype=np.uint32
-                    ),
-                    key_ids=rng.integers(
-                        0, _PAR_KEYS_PER_CHUNK, _PAR_RECORDS_PER_CHUNK, dtype=np.uint32
-                    ),
-                    keys=keys,
-                )
-            )
-    return path
-
-
-@pytest.fixture(scope="session")
-def sequential_baseline(parallel_trace_path):
+def sequential_baseline(bench_ctx, record_rate):
+    path = bench_ctx.parallel_trace_path
     start = time.perf_counter()
-    results = analyze_trace(parallel_trace_path, workers=1)
+    results = analyze_trace(path, workers=1)
     elapsed = time.perf_counter() - start
     total = results["opdist"].total_ops
-    assert total == _PAR_CHUNKS * _PAR_RECORDS_PER_CHUNK
-    RATES["parallel_workers1"] = total / elapsed
+    profile = bench_ctx.profile
+    assert total == profile.parallel_chunks * profile.parallel_records_per_chunk
+    record_rate("parallel_workers1", total / elapsed)
     return elapsed, total
 
 
 @pytest.mark.parametrize("workers", [2, 4])
 def test_parallel_scheduler_throughput(
-    parallel_trace_path, sequential_baseline, workers
+    bench_ctx, sequential_baseline, record_rate, workers
 ):
     seq_elapsed, seq_total = sequential_baseline
     start = time.perf_counter()
-    results = analyze_trace(parallel_trace_path, workers=workers)
+    results = analyze_trace(bench_ctx.parallel_trace_path, workers=workers)
     elapsed = time.perf_counter() - start
     total = results["opdist"].total_ops
     assert total == seq_total  # sharded reduction covers every record
     rate = total / elapsed
-    RATES[f"parallel_workers{workers}"] = rate
+    record_rate(f"parallel_workers{workers}", rate)
     speedup = seq_elapsed / elapsed
     print(
         f"\nparallel workers={workers}: {rate / 1e6:.2f} M records/s "

@@ -8,7 +8,7 @@ write/delete split matches CacheTrace (the indexer is cache-agnostic).
 
 from __future__ import annotations
 
-from repro.core.classes import KVClass, SNAPSHOT_ONLY_CLASSES
+from repro.core.classes import KVClass
 from repro.core.opdist import OpDistAnalyzer
 from repro.core.report import render_op_table
 from repro.core.trace import OpType

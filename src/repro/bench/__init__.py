@@ -1,0 +1,83 @@
+"""Statistical benchmark harness (``repro bench``).
+
+The perf counterpart to the crash harness and the observability layer:
+a registry of ``@benchmark``-decorated workloads
+(:mod:`repro.bench.suite`), a calibrated runner that records
+per-iteration wall times plus obs-registry counter deltas
+(:mod:`repro.bench.runner`), robust statistics with bootstrapped
+confidence intervals (:mod:`repro.bench.stats`), a versioned
+``bench-result-v1`` schema (:mod:`repro.bench.schema`), and a
+noise-aware baseline comparator (:mod:`repro.bench.compare`) that only
+fails CI when a slowdown is both large and statistically separated
+from the baseline.
+
+Importing :func:`load_default_suite` (or the CLI) pulls in
+:mod:`repro.bench.suite`, which registers the migrated analyzer,
+parallel-scaling, and ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.bench.compare import (
+    DEFAULT_THRESHOLD_PCT,
+    BenchDelta,
+    CompareReport,
+    compare_results,
+)
+from repro.bench.context import DEFAULT_PROFILE, PROFILES, BenchContext, BenchProfile
+from repro.bench.registry import (
+    DEFAULT_REGISTRY,
+    BenchmarkRegistry,
+    BenchmarkSpec,
+    Workload,
+    benchmark,
+)
+from repro.bench.report import render_result, render_trajectory
+from repro.bench.runner import RunnerConfig, run_benchmark, run_suite
+from repro.bench.schema import (
+    RESULT_FORMAT,
+    BenchmarkResult,
+    RunResult,
+    read_result_json,
+    write_result_json,
+)
+from repro.bench.stats import SummaryStats, bootstrap_ci, mad, median, summarize
+
+__all__ = [
+    "DEFAULT_PROFILE",
+    "DEFAULT_REGISTRY",
+    "DEFAULT_THRESHOLD_PCT",
+    "PROFILES",
+    "RESULT_FORMAT",
+    "BenchContext",
+    "BenchDelta",
+    "BenchProfile",
+    "BenchmarkRegistry",
+    "BenchmarkResult",
+    "BenchmarkSpec",
+    "CompareReport",
+    "RunResult",
+    "RunnerConfig",
+    "SummaryStats",
+    "Workload",
+    "benchmark",
+    "bootstrap_ci",
+    "compare_results",
+    "load_default_suite",
+    "mad",
+    "median",
+    "read_result_json",
+    "render_result",
+    "render_trajectory",
+    "run_benchmark",
+    "run_suite",
+    "summarize",
+    "write_result_json",
+]
+
+
+def load_default_suite() -> BenchmarkRegistry:
+    """Import the migrated suite and return the populated registry."""
+    from repro.bench import suite  # noqa: F401  (import populates the registry)
+
+    return DEFAULT_REGISTRY

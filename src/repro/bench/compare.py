@@ -1,0 +1,160 @@
+"""Noise-aware baseline comparison — the perf-gate's brain.
+
+A naive "fail if >X% slower" gate flips on every noisy CI runner; a
+pure statistical test fails to flag a real regression that sits just
+inside a wide interval.  The comparator demands **both** signals
+before confirming a regression:
+
+* the median delta exceeds the threshold (practical significance), and
+* the candidate's bootstrap CI lies entirely above the baseline's
+  (statistical separation).
+
+A large-but-noisy delta is reported as ``suspect`` (visible, non
+fatal); a separated-but-small delta is ``ok`` by construction.
+Improvements are confirmed symmetrically and never fail the gate.
+Results from different profiles time different workloads and refuse to
+compare at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.bench.schema import BenchmarkResult, RunResult
+
+DEFAULT_THRESHOLD_PCT = 25.0
+
+#: comparison outcomes, ordered worst-first for rendering
+STATUS_ORDER = ("regression", "suspect", "missing", "new", "improvement", "ok")
+
+
+@dataclass(frozen=True)
+class BenchDelta:
+    """One benchmark's baseline-vs-candidate verdict."""
+
+    name: str
+    status: str  # one of STATUS_ORDER
+    base_median: Optional[float] = None
+    cand_median: Optional[float] = None
+    delta_pct: Optional[float] = None
+    ci_separated: bool = False
+
+    def describe(self) -> str:
+        if self.status == "new":
+            return "no baseline entry"
+        if self.status == "missing":
+            return "present in baseline, absent from candidate"
+        sign = "+" if (self.delta_pct or 0.0) >= 0 else ""
+        ci = "CIs separate" if self.ci_separated else "CIs overlap"
+        return (
+            f"{_format_seconds(self.base_median)} -> "
+            f"{_format_seconds(self.cand_median)} "
+            f"({sign}{self.delta_pct:.1f}%, {ci})"
+        )
+
+
+def _format_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value * 1e6:.1f}us"
+
+
+@dataclass
+class CompareReport:
+    """All per-benchmark deltas plus the gate verdict."""
+
+    threshold_pct: float
+    deltas: list[BenchDelta] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[BenchDelta]:
+        return [delta for delta in self.deltas if delta.status == "regression"]
+
+    @property
+    def regressed(self) -> bool:
+        return bool(self.regressions)
+
+    def render(self) -> str:
+        order = {status: index for index, status in enumerate(STATUS_ORDER)}
+        rows = sorted(self.deltas, key=lambda d: (order[d.status], d.name))
+        width = max((len(delta.name) for delta in rows), default=4)
+        lines = [
+            f"perf comparison (threshold {self.threshold_pct:.0f}%, "
+            f"regression = delta > threshold AND CIs separate)",
+            f"{'benchmark':<{width}}  {'status':<11}  detail",
+        ]
+        for delta in rows:
+            lines.append(
+                f"{delta.name:<{width}}  {delta.status:<11}  {delta.describe()}"
+            )
+        verdict = (
+            f"FAIL: {len(self.regressions)} confirmed regression(s)"
+            if self.regressed
+            else "PASS: no confirmed regressions"
+        )
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def _compare_one(
+    name: str,
+    base: BenchmarkResult,
+    cand: BenchmarkResult,
+    threshold_pct: float,
+) -> BenchDelta:
+    delta_pct = (cand.stats.median - base.stats.median) / base.stats.median * 100.0
+    slower_separated = cand.stats.ci_low > base.stats.ci_high
+    faster_separated = cand.stats.ci_high < base.stats.ci_low
+    if delta_pct > threshold_pct:
+        status = "regression" if slower_separated else "suspect"
+        separated = slower_separated
+    elif delta_pct < -threshold_pct and faster_separated:
+        status, separated = "improvement", True
+    else:
+        status = "ok"
+        separated = slower_separated or faster_separated
+    return BenchDelta(
+        name=name,
+        status=status,
+        base_median=base.stats.median,
+        cand_median=cand.stats.median,
+        delta_pct=delta_pct,
+        ci_separated=separated,
+    )
+
+
+def compare_results(
+    base: RunResult,
+    candidate: RunResult,
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+) -> CompareReport:
+    """Diff a candidate run against a baseline run.
+
+    Raises ``ValueError`` when the runs measured different profiles
+    (their medians are not comparable).
+    """
+    if base.profile != candidate.profile:
+        raise ValueError(
+            f"profile mismatch: baseline is {base.profile!r}, "
+            f"candidate is {candidate.profile!r}"
+        )
+    if threshold_pct <= 0:
+        raise ValueError("threshold must be > 0")
+    report = CompareReport(threshold_pct=threshold_pct)
+    for name in sorted(set(base.benchmarks) | set(candidate.benchmarks)):
+        base_entry = base.benchmarks.get(name)
+        cand_entry = candidate.benchmarks.get(name)
+        if base_entry is None:
+            report.deltas.append(BenchDelta(name=name, status="new"))
+        elif cand_entry is None:
+            report.deltas.append(BenchDelta(name=name, status="missing"))
+        else:
+            report.deltas.append(
+                _compare_one(name, base_entry, cand_entry, threshold_pct)
+            )
+    return report

@@ -1,0 +1,233 @@
+"""Shared benchmark fixtures at a named scale profile.
+
+Mirrors ``benchmarks/conftest.py``: one full-sync trace pair (and the
+columnar/parallel artifacts derived from it) is built lazily and cached
+for the whole run, so every benchmark in a suite times its kernel over
+identical inputs.  Three profiles trade fidelity for wall time:
+
+* ``full`` — the calibrated pytest-benchmark scale (the paper-analog
+  window the committed figures use);
+* ``quick`` — the CI perf-gate scale: the same workload shape at ~1/5
+  the block count, small enough to run on every PR;
+* ``smoke`` — a seconds-long scale for the harness's own tests.
+
+Baselines are only comparable within one profile; the result schema
+records the profile and the comparator refuses cross-profile diffs.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+#: Distances used by the correlation benches (matches conftest.py).
+DISTANCES = (0, 1, 4, 16, 64, 256, 1024)
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    """One workload scale for the whole suite."""
+
+    name: str
+    blocks: int
+    warmup_blocks: int
+    accounts: int
+    contracts: int
+    txs_per_block: int
+    cache_bytes: int
+    #: synthetic multi-chunk trace shape for the parallel-scheduler benches
+    parallel_chunks: int
+    parallel_records_per_chunk: int
+    parallel_keys_per_chunk: int
+
+
+PROFILES: dict[str, BenchProfile] = {
+    # benchmarks/conftest.py scale: ~150 measured blocks over a
+    # pre-populated state — the paper-analog window.
+    "full": BenchProfile(
+        name="full",
+        blocks=150,
+        warmup_blocks=60,
+        accounts=6000,
+        contracts=700,
+        txs_per_block=24,
+        cache_bytes=256 * 1024,
+        parallel_chunks=12,
+        parallel_records_per_chunk=100_000,
+        parallel_keys_per_chunk=30_000,
+    ),
+    "quick": BenchProfile(
+        name="quick",
+        blocks=40,
+        warmup_blocks=12,
+        accounts=1200,
+        contracts=150,
+        txs_per_block=12,
+        cache_bytes=128 * 1024,
+        parallel_chunks=6,
+        parallel_records_per_chunk=40_000,
+        parallel_keys_per_chunk=12_000,
+    ),
+    "smoke": BenchProfile(
+        name="smoke",
+        blocks=12,
+        warmup_blocks=4,
+        accounts=250,
+        contracts=40,
+        txs_per_block=6,
+        cache_bytes=64 * 1024,
+        parallel_chunks=3,
+        parallel_records_per_chunk=5_000,
+        parallel_keys_per_chunk=2_000,
+    ),
+}
+
+DEFAULT_PROFILE = "quick"
+
+
+class BenchContext:
+    """Lazily built, cached workload artifacts for one profile."""
+
+    def __init__(
+        self,
+        profile: BenchProfile | str = DEFAULT_PROFILE,
+        *,
+        seed: int = 2024,
+        tmpdir: Optional[Path] = None,
+    ) -> None:
+        if isinstance(profile, str):
+            try:
+                profile = PROFILES[profile]
+            except KeyError:
+                raise ValueError(
+                    f"unknown profile {profile!r}; known: {', '.join(sorted(PROFILES))}"
+                ) from None
+        self.profile = profile
+        self.seed = seed
+        self._tmpdir = tmpdir
+        self._tmpdir_handle: Optional[tempfile.TemporaryDirectory] = None
+        self._cache: dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def tmpdir(self) -> Path:
+        if self._tmpdir is None:
+            self._tmpdir_handle = tempfile.TemporaryDirectory(prefix="repro-bench-")
+            self._tmpdir = Path(self._tmpdir_handle.name)
+        return self._tmpdir
+
+    def close(self) -> None:
+        if self._tmpdir_handle is not None:
+            self._tmpdir_handle.cleanup()
+            self._tmpdir_handle = None
+            self._tmpdir = None
+        self._cache.clear()
+
+    def __enter__(self) -> "BenchContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _cached(self, key: str, build):
+        value = self._cache.get(key)
+        if value is None:
+            value = self._cache[key] = build()
+        return value
+
+    def preload(self, key: str, value: object) -> None:
+        """Seed a cached artifact (``trace_pair``, ``columnar_trace``,
+        ``parallel_trace_path``) built elsewhere — e.g. the pytest
+        session fixtures in ``benchmarks/conftest.py`` hand their trace
+        pair to a context so nothing is synthesized twice."""
+        self._cache[key] = value
+
+    # ------------------------------------------------------------------
+    # workload artifacts
+    # ------------------------------------------------------------------
+
+    @property
+    def workload_config(self):
+        from repro.workload.generator import WorkloadConfig
+
+        return WorkloadConfig(
+            seed=self.seed,
+            initial_eoa_accounts=self.profile.accounts,
+            initial_contracts=self.profile.contracts,
+            txs_per_block=self.profile.txs_per_block,
+        )
+
+    @property
+    def trace_pair(self):
+        """(cache_result, bare_result) — one sync per capture mode."""
+
+        def build():
+            from repro.sync.driver import run_trace_pair
+
+            return run_trace_pair(
+                self.workload_config,
+                num_blocks=self.profile.blocks,
+                warmup_blocks=self.profile.warmup_blocks,
+                cache_bytes=self.profile.cache_bytes,
+            )
+
+        return self._cached("trace_pair", build)
+
+    @property
+    def cache_records(self):
+        return self.trace_pair[0].records
+
+    @property
+    def bare_records(self):
+        return self.trace_pair[1].records
+
+    @property
+    def columnar_trace(self):
+        def build():
+            from repro.core.columnar import ColumnarTrace
+
+            return ColumnarTrace.from_records(self.bare_records)
+
+        return self._cached("columnar_trace", build)
+
+    @property
+    def parallel_trace_path(self) -> Path:
+        """A synthetic multi-chunk v2 trace for scheduler scaling benches."""
+
+        def build():
+            import numpy as np
+
+            from repro.core.columnar import TraceChunk
+            from repro.core.trace import ColumnarTraceWriter
+
+            profile = self.profile
+            rng = np.random.default_rng(7)
+            prefixes = np.frombuffer(b"AOaohlcB", dtype=np.uint8)
+            path = self.tmpdir / "parallel.v2"
+            with ColumnarTraceWriter.open(path) as writer:
+                for chunk_index in range(profile.parallel_chunks):
+                    num_keys = profile.parallel_keys_per_chunk
+                    num_records = profile.parallel_records_per_chunk
+                    blob = rng.integers(0, 256, size=num_keys * 7, dtype=np.uint8)
+                    blob[::7] = prefixes[rng.integers(0, len(prefixes), num_keys)]
+                    raw = blob.tobytes()
+                    keys = [raw[i : i + 7] for i in range(0, len(raw), 7)]
+                    writer.write_chunk(
+                        TraceChunk(
+                            ops=rng.integers(0, 5, num_records, dtype=np.uint8),
+                            value_sizes=rng.integers(
+                                0, 2048, num_records, dtype=np.uint32
+                            ),
+                            blocks=np.full(num_records, chunk_index, dtype=np.uint32),
+                            key_ids=rng.integers(0, num_keys, num_records, dtype=np.uint32),
+                            keys=keys,
+                        )
+                    )
+            return path
+
+        return self._cached("parallel_trace_path", build)

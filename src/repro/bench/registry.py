@@ -1,0 +1,146 @@
+"""Benchmark registry: named, grouped, discoverable workloads.
+
+A benchmark is a *setup function* decorated with :func:`benchmark`.
+Setup receives a :class:`~repro.bench.context.BenchContext` (shared,
+lazily built workload artifacts at one scale profile) and returns a
+:class:`Workload` — the zero-argument closure the runner times, plus
+optional metadata (logical ops per call for records/s rates, a
+correctness check run once before timing).
+
+Keeping setup separate from the timed closure mirrors the
+pytest-benchmark split the repo's ``benchmarks/test_*.py`` files
+already use: trace synthesis and columnar conversion happen once per
+context, only the kernel under test is measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Callable, Optional
+
+from repro.bench.context import BenchContext
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One ready-to-time benchmark instance."""
+
+    #: the closure the runner times; its return value feeds ``check``
+    run: Callable[[], object]
+    #: logical operations per ``run()`` call (enables records/s rates)
+    ops: Optional[int] = None
+    #: validated once against ``run()``'s result before any timing
+    check: Optional[Callable[[object], None]] = None
+
+
+SetupFn = Callable[[BenchContext], Workload]
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """A registered benchmark: its setup function plus metadata."""
+
+    name: str
+    setup: SetupFn
+    group: str = "default"
+    #: slow specs are skipped unless the runner opts in (--include-slow)
+    slow: bool = False
+    doc: str = ""
+
+
+class BenchmarkRegistry:
+    """Ordered name → :class:`BenchmarkSpec` table."""
+
+    def __init__(self) -> None:
+        self._specs: dict[str, BenchmarkSpec] = {}
+
+    def register(self, spec: BenchmarkSpec) -> BenchmarkSpec:
+        if spec.name in self._specs:
+            raise ValueError(f"benchmark {spec.name!r} already registered")
+        self._specs[spec.name] = spec
+        return spec
+
+    def get(self, name: str) -> BenchmarkSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown benchmark {name!r}; known: {', '.join(sorted(self._specs))}"
+            ) from None
+
+    def names(self) -> list[str]:
+        return sorted(self._specs)
+
+    def select(
+        self,
+        pattern: Optional[str] = None,
+        *,
+        include_slow: bool = False,
+    ) -> list[BenchmarkSpec]:
+        """Specs sorted by (group, name), optionally glob-filtered.
+
+        ``pattern`` matches the bare name or ``group/name`` with
+        :func:`fnmatch.fnmatchcase` semantics; a plain substring (no
+        glob metacharacters) is treated as ``*substring*``.
+        """
+        if pattern and not any(ch in pattern for ch in "*?["):
+            pattern = f"*{pattern}*"
+        selected = []
+        for spec in sorted(self._specs.values(), key=lambda s: (s.group, s.name)):
+            if spec.slow and not include_slow:
+                continue
+            if pattern and not (
+                fnmatchcase(spec.name, pattern)
+                or fnmatchcase(f"{spec.group}/{spec.name}", pattern)
+            ):
+                continue
+            selected.append(spec)
+        return selected
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+
+#: The process-wide registry the ``@benchmark`` decorator fills and the
+#: CLI discovers from (populated by importing :mod:`repro.bench.suite`).
+DEFAULT_REGISTRY = BenchmarkRegistry()
+
+
+def benchmark(
+    name: Optional[str] = None,
+    *,
+    group: str = "default",
+    slow: bool = False,
+    registry: Optional[BenchmarkRegistry] = None,
+) -> Callable[[SetupFn], SetupFn]:
+    """Register a setup function as a benchmark.
+
+    ::
+
+        @benchmark(group="analyzer")
+        def opdist_columnar(ctx):
+            trace = ctx.columnar_trace
+            return Workload(
+                run=lambda: OpDistAnalyzer().consume_chunks(trace.chunks),
+                ops=len(trace),
+            )
+    """
+
+    def decorate(setup: SetupFn) -> SetupFn:
+        spec = BenchmarkSpec(
+            name=name or setup.__name__,
+            setup=setup,
+            group=group,
+            slow=slow,
+            doc=(setup.__doc__ or "").strip().splitlines()[0]
+            if setup.__doc__
+            else "",
+        )
+        (registry if registry is not None else DEFAULT_REGISTRY).register(spec)
+        return setup
+
+    return decorate

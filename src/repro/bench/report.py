@@ -1,0 +1,121 @@
+"""Render bench results as ascii or markdown tables.
+
+Two shapes:
+
+* :func:`render_result` — one run, one row per benchmark (median, MAD,
+  CI, records/s);
+* :func:`render_trajectory` — several runs side by side (oldest
+  first), one column per run and a trailing delta of the newest median
+  against the oldest — the "perf trajectory" view CHANGES.md-style
+  history never gave the repo.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+from repro.bench.schema import RunResult
+
+
+def _fmt_time(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds * 1e6:.1f} us"
+
+
+def _fmt_rate(rate: Optional[float]) -> str:
+    if rate is None:
+        return "-"
+    if rate >= 1e6:
+        return f"{rate / 1e6:.2f} M/s"
+    if rate >= 1e3:
+        return f"{rate / 1e3:.1f} k/s"
+    return f"{rate:.1f} /s"
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[str]], fmt: str) -> str:
+    if fmt == "md":
+        lines = [
+            "| " + " | ".join(headers) + " |",
+            "| " + " | ".join("---" for _ in headers) + " |",
+        ]
+        lines.extend("| " + " | ".join(row) + " |" for row in rows)
+        return "\n".join(lines)
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in rows)) if rows else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip()]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def render_result(result: RunResult, fmt: str = "ascii") -> str:
+    """One run as a per-benchmark summary table."""
+    headers = ["benchmark", "group", "median", "mad", "95% CI", "rate", "loops"]
+    rows = []
+    for name in sorted(result.benchmarks):
+        bench = result.benchmarks[name]
+        stats = bench.stats
+        rows.append(
+            [
+                name,
+                bench.group,
+                _fmt_time(stats.median),
+                _fmt_time(stats.mad),
+                f"[{_fmt_time(stats.ci_low)}, {_fmt_time(stats.ci_high)}]",
+                _fmt_rate(bench.rate),
+                f"{bench.loops}x{bench.repeats}",
+            ]
+        )
+    title = f"bench results — profile={result.profile}, seed={result.seed}"
+    return title + "\n" + _table(headers, rows, fmt)
+
+
+def render_trajectory(results: Sequence[RunResult], fmt: str = "ascii") -> str:
+    """Several runs of one profile side by side, oldest first."""
+    if not results:
+        raise ValueError("no results to render")
+    profiles = {result.profile for result in results}
+    if len(profiles) > 1:
+        raise ValueError(
+            f"trajectory mixes profiles {sorted(profiles)}; render them separately"
+        )
+    ordered = sorted(results, key=lambda r: r.created_unix)
+
+    def column_label(result: RunResult, index: int) -> str:
+        if result.created_unix:
+            stamp = time.strftime("%m-%d %H:%M", time.localtime(result.created_unix))
+            return f"run{index} ({stamp})"
+        return f"run{index}"
+
+    headers = ["benchmark"] + [
+        column_label(result, index) for index, result in enumerate(ordered)
+    ]
+    if len(ordered) > 1:
+        headers.append("newest vs oldest")
+    names = sorted({name for result in ordered for name in result.benchmarks})
+    rows = []
+    for name in names:
+        medians = [
+            result.benchmarks[name].stats.median if name in result.benchmarks else None
+            for result in ordered
+        ]
+        row = [name] + [_fmt_time(median) for median in medians]
+        if len(ordered) > 1:
+            first, last = medians[0], medians[-1]
+            if first and last is not None:
+                delta = (last - first) / first * 100.0
+                row.append(f"{'+' if delta >= 0 else ''}{delta:.1f}%")
+            else:
+                row.append("-")
+        rows.append(row)
+    title = f"perf trajectory — profile={ordered[0].profile}, {len(ordered)} run(s)"
+    return title + "\n" + _table(headers, rows, fmt)

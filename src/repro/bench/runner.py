@@ -1,0 +1,172 @@
+"""Calibrated benchmark runner.
+
+Timing discipline (the usual micro-benchmark playbook, applied per
+spec):
+
+1. **Setup** builds the workload from the shared context — trace
+   synthesis never lands inside a measurement.
+2. **Check**: the workload runs once and its correctness check is
+   validated, so a benchmark that silently computes the wrong thing
+   cannot publish a (fast, meaningless) number.
+3. **Calibration** grows an inner loop count geometrically until one
+   measurement lasts at least ``min_time``, lifting sub-millisecond
+   kernels above timer granularity; the calibration runs double as
+   cache/JIT warmup.
+4. **Warmup** measurements are taken and discarded.
+5. **Repeats**: ``repeats`` measurements are recorded as per-iteration
+   wall seconds (elapsed / loops) and summarized with robust stats.
+
+During the measured phase a fresh :class:`MetricsRegistry` is swapped
+in process-wide, and the counter deltas between the snapshots taken
+just before and just after are attributed to the benchmark (normalized
+per iteration), so a result file shows *what the kernel did* — chunks
+consumed, records classified, bytes moved — next to how long it took.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from repro.bench.context import BenchContext
+from repro.bench.registry import BenchmarkSpec, Workload
+from repro.bench.schema import BenchmarkResult, RunResult, environment_info
+from repro.bench.stats import (
+    DEFAULT_BOOTSTRAP_SAMPLES,
+    DEFAULT_BOOTSTRAP_SEED,
+    DEFAULT_CI_LEVEL,
+    summarize,
+)
+from repro.obs import MetricsRegistry, counter_deltas, diff_snapshots, use_registry
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """Measurement knobs; recorded verbatim into the result file."""
+
+    repeats: int = 5
+    warmup: int = 1
+    #: target seconds per measurement; the calibrator raises loops to hit it
+    min_time: float = 0.05
+    max_loops: int = 4096
+    bootstrap_samples: int = DEFAULT_BOOTSTRAP_SAMPLES
+    ci_level: float = DEFAULT_CI_LEVEL
+    bootstrap_seed: int = DEFAULT_BOOTSTRAP_SEED
+
+    def __post_init__(self) -> None:
+        if self.repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        if self.warmup < 0:
+            raise ValueError("warmup must be >= 0")
+        if self.min_time < 0:
+            raise ValueError("min_time must be >= 0")
+
+    def to_json(self) -> dict:
+        return {
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "min_time": self.min_time,
+            "max_loops": self.max_loops,
+            "bootstrap_samples": self.bootstrap_samples,
+            "ci_level": self.ci_level,
+        }
+
+
+def _timed(run: Callable[[], object], loops: int) -> float:
+    start = time.perf_counter()
+    for _ in range(loops):
+        run()
+    return time.perf_counter() - start
+
+
+def _calibrate_loops(workload: Workload, config: RunnerConfig) -> int:
+    """Smallest power-of-two-ish loop count whose measurement spans
+    ``min_time``.  Long-running workloads calibrate to 1 immediately."""
+    loops = 1
+    while loops < config.max_loops:
+        elapsed = _timed(workload.run, loops)
+        if elapsed >= config.min_time:
+            return loops
+        if elapsed <= 0:
+            loops *= 2
+            continue
+        # Jump most of the way to the target, at least doubling.
+        loops = min(
+            config.max_loops,
+            max(loops * 2, int(loops * config.min_time / elapsed * 1.2) + 1),
+        )
+    return loops
+
+
+def run_benchmark(
+    spec: BenchmarkSpec,
+    ctx: BenchContext,
+    config: RunnerConfig = RunnerConfig(),
+) -> BenchmarkResult:
+    """Measure one spec against a context."""
+    workload = spec.setup(ctx)
+    if workload.check is not None:
+        workload.check(workload.run())
+
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        loops = _calibrate_loops(workload, config)
+        for _ in range(config.warmup):
+            _timed(workload.run, loops)
+        before = registry.snapshot()
+        times = []
+        for _ in range(config.repeats):
+            times.append(_timed(workload.run, loops) / loops)
+        after = registry.snapshot()
+
+    iterations = config.repeats * loops
+    metrics = {
+        name: value / iterations
+        for name, value in counter_deltas(diff_snapshots(before, after)).items()
+    }
+    stats = summarize(
+        times,
+        n_boot=config.bootstrap_samples,
+        level=config.ci_level,
+        seed=config.bootstrap_seed,
+    )
+    return BenchmarkResult(
+        name=spec.name,
+        group=spec.group,
+        loops=loops,
+        repeats=config.repeats,
+        warmup=config.warmup,
+        times=tuple(times),
+        stats=stats,
+        ops=workload.ops,
+        rate=workload.ops / stats.median if workload.ops else None,
+        metrics=metrics,
+    )
+
+
+ProgressFn = Callable[[BenchmarkSpec, BenchmarkResult], None]
+
+
+def run_suite(
+    specs: Iterable[BenchmarkSpec],
+    ctx: BenchContext,
+    config: RunnerConfig = RunnerConfig(),
+    *,
+    progress: Optional[ProgressFn] = None,
+) -> RunResult:
+    """Run every spec against one shared context → a :class:`RunResult`."""
+    benchmarks: dict[str, BenchmarkResult] = {}
+    for spec in specs:
+        result = run_benchmark(spec, ctx, config)
+        benchmarks[spec.name] = result
+        if progress is not None:
+            progress(spec, result)
+    return RunResult(
+        profile=ctx.profile.name,
+        seed=ctx.seed,
+        benchmarks=benchmarks,
+        created_unix=time.time(),
+        env=environment_info(),
+        runner=config.to_json(),
+    )

@@ -1,0 +1,204 @@
+"""The versioned ``bench-result-v1`` JSON schema.
+
+One run of the suite serializes to a single JSON document::
+
+    {
+      "format": "bench-result-v1",
+      "profile": "quick",
+      "seed": 2024,
+      "created_unix": 1754500000.0,
+      "env": {"python": "3.11.7", "platform": "...", "cpu_count": 8},
+      "runner": {"repeats": 5, "warmup": 1, "min_time": 0.05},
+      "benchmarks": {
+        "opdist_columnar": {
+          "group": "analyzer",
+          "loops": 8, "repeats": 5, "ops": 123456,
+          "times": [...],              # per-iteration wall seconds
+          "stats": {"median": ..., "mad": ..., "ci_low": ..., ...},
+          "rate": 51234567.0,          # ops / median-second
+          "metrics": {"parallel_chunks_total": 12.0, ...}
+        }, ...
+      }
+    }
+
+Readers validate the ``format`` tag and the per-benchmark invariants
+(times non-empty, stats consistent) and raise ``ValueError`` on any
+malformed document, which the CLI maps to exit code 2.  The format tag
+is bumped on any incompatible change so stale committed baselines fail
+loudly instead of comparing garbage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Optional, Union
+
+from repro.bench.stats import SummaryStats
+
+RESULT_FORMAT = "bench-result-v1"
+
+
+@dataclass(frozen=True)
+class BenchmarkResult:
+    """One benchmark's measurements within a run."""
+
+    name: str
+    group: str
+    loops: int
+    repeats: int
+    warmup: int
+    times: tuple[float, ...]
+    stats: SummaryStats
+    ops: Optional[int] = None
+    rate: Optional[float] = None
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        out: dict = {
+            "group": self.group,
+            "loops": self.loops,
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "times": list(self.times),
+            "stats": self.stats.to_json(),
+        }
+        if self.ops is not None:
+            out["ops"] = self.ops
+        if self.rate is not None:
+            out["rate"] = self.rate
+        if self.metrics:
+            out["metrics"] = dict(sorted(self.metrics.items()))
+        return out
+
+    @classmethod
+    def from_json(cls, name: str, data: Mapping) -> "BenchmarkResult":
+        if not isinstance(data, Mapping):
+            raise ValueError(f"benchmark {name!r}: entry must be an object")
+        try:
+            times = tuple(float(value) for value in data["times"])
+            result = cls(
+                name=name,
+                group=str(data.get("group", "default")),
+                loops=int(data["loops"]),
+                repeats=int(data["repeats"]),
+                warmup=int(data.get("warmup", 0)),
+                times=times,
+                stats=SummaryStats.from_json(data["stats"]),
+                ops=int(data["ops"]) if "ops" in data else None,
+                rate=float(data["rate"]) if "rate" in data else None,
+                metrics={
+                    str(key): float(value)
+                    for key, value in data.get("metrics", {}).items()
+                },
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"benchmark {name!r}: malformed entry: {exc}") from exc
+        if not result.times:
+            raise ValueError(f"benchmark {name!r}: no recorded times")
+        if result.stats.n != len(result.times):
+            raise ValueError(
+                f"benchmark {name!r}: stats.n={result.stats.n} "
+                f"!= len(times)={len(result.times)}"
+            )
+        if result.loops < 1 or result.repeats < 1:
+            raise ValueError(f"benchmark {name!r}: loops/repeats must be >= 1")
+        return result
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """One full suite run — what ``repro bench run`` writes."""
+
+    profile: str
+    seed: int
+    benchmarks: dict[str, BenchmarkResult]
+    created_unix: float = 0.0
+    env: dict[str, object] = field(default_factory=dict)
+    runner: dict[str, object] = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "format": RESULT_FORMAT,
+            "profile": self.profile,
+            "seed": self.seed,
+            "created_unix": self.created_unix,
+            "env": self.env,
+            "runner": self.runner,
+            "benchmarks": {
+                name: self.benchmarks[name].to_json()
+                for name in sorted(self.benchmarks)
+            },
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "RunResult":
+        if not isinstance(data, Mapping):
+            raise ValueError("not a bench-result object")
+        if data.get("format") != RESULT_FORMAT:
+            raise ValueError(
+                f"not a {RESULT_FORMAT} document (format={data.get('format')!r})"
+            )
+        try:
+            profile = str(data["profile"])
+            seed = int(data.get("seed", 0))
+            raw_benchmarks = data["benchmarks"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed bench result: {exc}") from exc
+        if not isinstance(raw_benchmarks, Mapping):
+            raise ValueError("'benchmarks' must be an object")
+        benchmarks = {
+            str(name): BenchmarkResult.from_json(str(name), entry)
+            for name, entry in raw_benchmarks.items()
+        }
+        return cls(
+            profile=profile,
+            seed=seed,
+            benchmarks=benchmarks,
+            created_unix=float(data.get("created_unix", 0.0)),
+            env=dict(data.get("env", {})),
+            runner=dict(data.get("runner", {})),
+        )
+
+
+def environment_info() -> dict[str, object]:
+    """Host facts recorded alongside a run (informational, not compared)."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "argv": " ".join(sys.argv[:1]),
+    }
+
+
+def write_result_json(path: Union[str, Path], result: RunResult) -> None:
+    payload = json.dumps(result.to_json(), indent=2, sort_keys=False) + "\n"
+    Path(path).write_text(payload, encoding="ascii")
+
+
+def read_result_json(path: Union[str, Path]) -> RunResult:
+    """Load and validate a result file; ``ValueError`` on bad documents."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON: {exc}") from exc
+    return RunResult.from_json(data)
+
+
+def stamp(result: RunResult) -> RunResult:
+    """A copy of ``result`` carrying the current wall-clock timestamp."""
+    return RunResult(
+        profile=result.profile,
+        seed=result.seed,
+        benchmarks=result.benchmarks,
+        created_unix=time.time(),
+        env=result.env,
+        runner=result.runner,
+    )

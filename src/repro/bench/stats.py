@@ -1,0 +1,148 @@
+"""Robust summary statistics for benchmark timings.
+
+Wall-clock samples from a shared CI runner are contaminated by
+scheduler noise that is one-sided (interruptions only ever add time),
+so the harness summarizes with order statistics — the median locates
+the typical iteration, the MAD scales the noise — and brackets the
+median with a percentile-bootstrap confidence interval.  The
+comparator (:mod:`repro.bench.compare`) only confirms a regression
+when two runs' intervals separate, which is what keeps an unlucky
+sample from failing a PR.
+
+The bootstrap is deterministically seeded: the same ``times`` list
+always yields the same interval, so results files are reproducible
+byte-for-byte given identical measurements.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+DEFAULT_BOOTSTRAP_SAMPLES = 400
+DEFAULT_CI_LEVEL = 0.95
+DEFAULT_BOOTSTRAP_SEED = 0x5EED
+
+
+def median(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def mad(values: Sequence[float], center: float | None = None) -> float:
+    """Median absolute deviation around ``center`` (default: the median)."""
+    if center is None:
+        center = median(values)
+    return median([abs(value - center) for value in values])
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    *,
+    n_boot: int = DEFAULT_BOOTSTRAP_SAMPLES,
+    level: float = DEFAULT_CI_LEVEL,
+    seed: int = DEFAULT_BOOTSTRAP_SEED,
+) -> tuple[float, float]:
+    """Percentile-bootstrap confidence interval for the median.
+
+    Resamples ``values`` with replacement ``n_boot`` times and takes
+    the central ``level`` mass of the resampled medians.  With a single
+    sample the interval collapses to a point.
+    """
+    if not values:
+        raise ValueError("bootstrap of empty sequence")
+    if not 0.0 < level < 1.0:
+        raise ValueError("CI level must be in (0, 1)")
+    n = len(values)
+    if n == 1:
+        return float(values[0]), float(values[0])
+    rng = random.Random(seed)
+    medians = sorted(
+        median([values[rng.randrange(n)] for _ in range(n)]) for _ in range(n_boot)
+    )
+    alpha = (1.0 - level) / 2.0
+    low_index = int(alpha * (n_boot - 1))
+    high_index = int((1.0 - alpha) * (n_boot - 1))
+    return medians[low_index], medians[high_index]
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Robust location/scale summary of one benchmark's iteration times."""
+
+    n: int
+    mean: float
+    median: float
+    mad: float
+    min: float
+    max: float
+    ci_low: float
+    ci_high: float
+    ci_level: float = DEFAULT_CI_LEVEL
+    bootstrap_samples: int = DEFAULT_BOOTSTRAP_SAMPLES
+
+    def to_json(self) -> dict:
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "median": self.median,
+            "mad": self.mad,
+            "min": self.min,
+            "max": self.max,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+            "ci_level": self.ci_level,
+            "bootstrap_samples": self.bootstrap_samples,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "SummaryStats":
+        try:
+            return cls(
+                n=int(data["n"]),
+                mean=float(data["mean"]),
+                median=float(data["median"]),
+                mad=float(data["mad"]),
+                min=float(data["min"]),
+                max=float(data["max"]),
+                ci_low=float(data["ci_low"]),
+                ci_high=float(data["ci_high"]),
+                ci_level=float(data.get("ci_level", DEFAULT_CI_LEVEL)),
+                bootstrap_samples=int(
+                    data.get("bootstrap_samples", DEFAULT_BOOTSTRAP_SAMPLES)
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed stats block: {exc}") from exc
+
+
+def summarize(
+    values: Sequence[float],
+    *,
+    n_boot: int = DEFAULT_BOOTSTRAP_SAMPLES,
+    level: float = DEFAULT_CI_LEVEL,
+    seed: int = DEFAULT_BOOTSTRAP_SEED,
+) -> SummaryStats:
+    """Summarize per-iteration times into a :class:`SummaryStats`."""
+    if not values:
+        raise ValueError("cannot summarize zero samples")
+    center = median(values)
+    ci_low, ci_high = bootstrap_ci(values, n_boot=n_boot, level=level, seed=seed)
+    return SummaryStats(
+        n=len(values),
+        mean=sum(values) / len(values),
+        median=center,
+        mad=mad(values, center),
+        min=min(values),
+        max=max(values),
+        ci_low=ci_low,
+        ci_high=ci_high,
+        ci_level=level,
+        bootstrap_samples=n_boot,
+    )

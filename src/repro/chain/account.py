@@ -8,7 +8,7 @@ and (in trimmed "slim" form) the snapshot layer store.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro import rlp
 

@@ -9,9 +9,8 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro import rlp
 from repro.chain.blocks import Block, BlockBody, Header
 
 

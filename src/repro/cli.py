@@ -9,6 +9,7 @@ Mirrors the paper artifact's script surface as one CLI::
     python -m repro export    --outdir DIR [--blocks N]
     python -m repro crashtest [--crash-points all] [--seed N]
     python -m repro stats     METRICS.json... [--format prom|json]
+    python -m repro bench     run|compare|report ...
 
 ``sync`` collects a trace to disk; ``analyze`` re-reads any trace file
 (ours or one converted from the artifact's format) and prints the
@@ -20,6 +21,12 @@ recovered database converges to the uninterrupted reference.
 ``sync``/``analyze``/``crashtest`` accept ``--metrics-out PATH`` to
 dump the run's observability registry as JSON; ``stats`` merges any
 number of such dumps and renders them as Prometheus text or JSON.
+
+``bench run`` executes the registered benchmark suite and writes a
+``bench-result-v1`` JSON file; ``bench compare`` diffs a result
+against a committed baseline with a noise-aware threshold (exit 1 only
+on a confirmed regression); ``bench report`` renders one or more
+results as an ascii/markdown trajectory table.
 """
 
 from __future__ import annotations
@@ -285,6 +292,114 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_baseline(path: Path, profile: str) -> Path:
+    """A baseline argument may be a file or a directory of baselines
+    named ``baseline-<profile>.json``."""
+    if path.is_dir():
+        return path / f"baseline-{profile}.json"
+    return path
+
+
+def cmd_bench_run(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        BenchContext,
+        RunnerConfig,
+        compare_results,
+        load_default_suite,
+        read_result_json,
+        render_result,
+        run_suite,
+        write_result_json,
+    )
+
+    registry = load_default_suite()
+    specs = registry.select(args.filter, include_slow=args.include_slow)
+    if args.list:
+        for spec in specs:
+            slow = "  [slow]" if spec.slow else ""
+            print(f"{spec.group}/{spec.name}{slow}  {spec.doc}")
+        return 0
+    if not specs:
+        print(f"bench: no benchmarks match filter {args.filter!r}", file=sys.stderr)
+        return 2
+    try:
+        config = RunnerConfig(
+            repeats=args.repeats, warmup=args.warmup, min_time=args.min_time
+        )
+        ctx = BenchContext(args.profile, seed=args.seed)
+    except ValueError as exc:
+        print(f"bench: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"Running {len(specs)} benchmarks "
+        f"(profile={args.profile}, repeats={config.repeats})...",
+        file=sys.stderr,
+    )
+
+    def progress(spec, result) -> None:
+        rate = f", {result.rate / 1e6:.2f} M ops/s" if result.rate else ""
+        print(
+            f"  {spec.name}: median {result.stats.median * 1e3:.3f} ms "
+            f"(loops={result.loops}{rate})",
+            file=sys.stderr,
+        )
+
+    with ctx:
+        start = time.time()
+        result = run_suite(specs, ctx, config, progress=progress)
+        print(f"  done in {time.time() - start:.1f}s", file=sys.stderr)
+
+    out = args.out if args.out else Path(f"BENCH_bench_{args.profile}.json")
+    write_result_json(out, result)
+    print(f"wrote {out}", file=sys.stderr)
+    print(render_result(result, fmt=args.format))
+
+    if args.compare is None:
+        return 0
+    baseline_path = _resolve_baseline(args.compare, args.profile)
+    try:
+        baseline = read_result_json(baseline_path)
+        report = compare_results(baseline, result, threshold_pct=args.threshold)
+    except (OSError, ValueError) as exc:
+        print(f"bench: cannot compare against {baseline_path}: {exc}", file=sys.stderr)
+        return 2
+    print()
+    print(report.render())
+    return 1 if report.regressed else 0
+
+
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.bench import compare_results, read_result_json
+
+    try:
+        candidate = read_result_json(args.candidate)
+        baseline = read_result_json(
+            _resolve_baseline(args.baseline, candidate.profile)
+        )
+        report = compare_results(baseline, candidate, threshold_pct=args.threshold)
+    except (OSError, ValueError) as exc:
+        print(f"bench compare: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    return 1 if report.regressed else 0
+
+
+def cmd_bench_report(args: argparse.Namespace) -> int:
+    from repro.bench import read_result_json, render_result, render_trajectory
+
+    try:
+        results = [read_result_json(path) for path in args.results]
+        if len(results) == 1:
+            rendered = render_result(results[0], fmt=args.format)
+        else:
+            rendered = render_trajectory(results, fmt=args.format)
+    except (OSError, ValueError) as exc:
+        print(f"bench report: {exc}", file=sys.stderr)
+        return 2
+    print(rendered)
+    return 0
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     from repro.core.compare import compare_traces
 
@@ -449,6 +564,86 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", type=Path, default=None, help="write to a file instead of stdout"
     )
     p_stats.set_defaults(func=cmd_stats)
+
+    p_bench = subparsers.add_parser(
+        "bench", help="run, compare, and report statistical benchmarks"
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+
+    b_run = bench_sub.add_parser("run", help="run the benchmark suite")
+    b_run.add_argument(
+        "--profile",
+        default="quick",
+        help="workload scale: full, quick (default), or smoke",
+    )
+    b_run.add_argument(
+        "--filter",
+        default=None,
+        help="only run benchmarks matching this glob/substring (name or group/name)",
+    )
+    b_run.add_argument("--repeats", type=int, default=5, help="measured repeats")
+    b_run.add_argument(
+        "--warmup", type=int, default=1, help="discarded warmup measurements"
+    )
+    b_run.add_argument(
+        "--min-time",
+        type=float,
+        default=0.05,
+        help="calibration target seconds per measurement",
+    )
+    b_run.add_argument(
+        "--include-slow", action="store_true", help="also run slow benchmarks"
+    )
+    b_run.add_argument("--seed", type=int, default=2024, help="workload seed")
+    b_run.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="result path (default BENCH_bench_<profile>.json)",
+    )
+    b_run.add_argument(
+        "--compare",
+        type=Path,
+        default=None,
+        help="baseline file or directory to diff against after the run",
+    )
+    b_run.add_argument(
+        "--threshold",
+        type=float,
+        default=25.0,
+        help="regression threshold in percent (with CI separation)",
+    )
+    b_run.add_argument(
+        "--format", choices=("ascii", "md"), default="ascii", help="table format"
+    )
+    b_run.add_argument(
+        "--list", action="store_true", help="list matching benchmarks and exit"
+    )
+    b_run.set_defaults(func=cmd_bench_run)
+
+    b_compare = bench_sub.add_parser(
+        "compare", help="diff a result against a baseline (exit 1 on regression)"
+    )
+    b_compare.add_argument(
+        "baseline", type=Path, help="baseline result file or baselines directory"
+    )
+    b_compare.add_argument("candidate", type=Path, help="candidate result file")
+    b_compare.add_argument(
+        "--threshold",
+        type=float,
+        default=25.0,
+        help="regression threshold in percent (with CI separation)",
+    )
+    b_compare.set_defaults(func=cmd_bench_compare)
+
+    b_report = bench_sub.add_parser(
+        "report", help="render result file(s) as a summary/trajectory table"
+    )
+    b_report.add_argument("results", type=Path, nargs="+", help="bench result files")
+    b_report.add_argument(
+        "--format", choices=("ascii", "md"), default="ascii", help="table format"
+    )
+    b_report.set_defaults(func=cmd_bench_report)
 
     p_compare = subparsers.add_parser(
         "compare", help="diff two saved traces' class distributions"

@@ -15,7 +15,7 @@ Two chart kinds:
 from __future__ import annotations
 
 import math
-from typing import Mapping, Optional, Sequence
+from typing import Mapping, Sequence
 
 _SERIES_SYMBOLS = "ox+*#@%&"
 

@@ -20,7 +20,7 @@ from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
-from repro.core.trace import MUTATING_OPS, OpType, TraceRecord
+from repro.core.trace import OpType, TraceRecord
 
 if TYPE_CHECKING:
     from repro.core.columnar import TraceChunk

@@ -10,7 +10,6 @@ EXPERIMENTS.md can report paper-vs-measured side by side.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.core.analysis import TraceAnalysis
 from repro.core.classes import (

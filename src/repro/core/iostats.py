@@ -16,7 +16,7 @@ request carries the key) so tiny-value classes are not free.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
 import numpy as np

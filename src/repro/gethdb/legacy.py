@@ -19,7 +19,7 @@ overhead the path-based model avoids.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from repro import rlp

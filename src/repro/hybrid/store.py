@@ -6,7 +6,6 @@ import heapq
 from typing import Iterator, Optional
 
 from repro.core.classes import classify_key
-from repro.errors import KeyNotFoundError
 from repro.hybrid.logthenhash import LogThenHashStore
 from repro.hybrid.router import DEFAULT_ROUTING, Route
 from repro.kvstore.api import KVStore

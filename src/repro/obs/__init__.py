@@ -28,6 +28,8 @@ from repro.obs.registry import (
     NullRegistry,
     RegistrySnapshot,
     Sample,
+    counter_deltas,
+    diff_snapshots,
     exponential_buckets,
     merge_snapshots,
     snapshot_from_json,
@@ -54,8 +56,10 @@ __all__ = [
     "RegistrySnapshot",
     "Sample",
     "Span",
+    "counter_deltas",
     "current_span",
     "current_span_path",
+    "diff_snapshots",
     "exponential_buckets",
     "get_registry",
     "merge_snapshots",

@@ -313,6 +313,84 @@ class RegistrySnapshot:
             return default
 
 
+def diff_snapshots(
+    before: RegistrySnapshot, after: RegistrySnapshot
+) -> RegistrySnapshot:
+    """What happened between two snapshots of the same registry.
+
+    Counters subtract (clamped at zero, so a registry swap mid-window
+    can't produce negative totals); gauges keep the ``after`` reading
+    (a gauge is a level, not a flow); histograms subtract per-bucket
+    counts.  Families or series absent from ``before`` pass through
+    unchanged.  This is what lets the benchmark runner attribute
+    registry activity to exactly the measured iterations.
+    """
+    families: dict[str, FamilySnapshot] = {}
+    for name, family in after.families.items():
+        base = before.families.get(name)
+        if base is not None:
+            family._check_compatible(base)
+        series: dict[LabelValues, SeriesValue] = {}
+        for key, value in family.series.items():
+            prior = base.series.get(key) if base is not None else None
+            if prior is None:
+                series[key] = value
+            elif isinstance(value, HistogramValue):
+                if prior.bounds != value.bounds:
+                    series[key] = value
+                    continue
+                series[key] = HistogramValue(
+                    bounds=value.bounds,
+                    counts=tuple(
+                        max(0, a - b) for a, b in zip(value.counts, prior.counts)
+                    ),
+                    total=max(0.0, value.total - prior.total),
+                    count=max(0, value.count - prior.count),
+                )
+            elif family.kind == GAUGE:
+                series[key] = value
+            else:
+                series[key] = max(0.0, value - prior)
+        families[name] = FamilySnapshot(
+            name=family.name,
+            kind=family.kind,
+            help=family.help,
+            labelnames=family.labelnames,
+            series=series,
+        )
+    return RegistrySnapshot(families=families)
+
+
+def counter_deltas(snapshot: RegistrySnapshot) -> dict[str, float]:
+    """Flatten a snapshot's counter series to ``name{a=b,...}`` → value.
+
+    Non-zero counters only; histograms contribute their ``_count`` and
+    ``_sum`` series.  The flat keys sort deterministically, which is
+    what the bench-result schema stores per benchmark.
+    """
+    out: dict[str, float] = {}
+
+    def flat_key(name: str, labelnames: LabelValues, key: LabelValues) -> str:
+        if not labelnames:
+            return name
+        labels = ",".join(
+            f"{label}={value}" for label, value in zip(labelnames, key)
+        )
+        return f"{name}{{{labels}}}"
+
+    for name, family in snapshot.families.items():
+        for key, value in family.series.items():
+            if isinstance(value, HistogramValue):
+                if value.count:
+                    out[flat_key(f"{name}_count", family.labelnames, key)] = float(
+                        value.count
+                    )
+                    out[flat_key(f"{name}_sum", family.labelnames, key)] = value.total
+            elif family.kind == COUNTER and value:
+                out[flat_key(name, family.labelnames, key)] = float(value)
+    return dict(sorted(out.items()))
+
+
 def merge_snapshots(snapshots: Iterable[RegistrySnapshot]) -> RegistrySnapshot:
     """Left fold of :meth:`RegistrySnapshot.merged` (order-insensitive
     for the totals; associativity is locked down in ``tests/test_obs.py``)."""

@@ -19,7 +19,7 @@ encoded as a minimal big-endian string), ``str`` (UTF-8), and sequences
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any
 
 from repro.errors import RLPDecodingError, RLPEncodingError
 

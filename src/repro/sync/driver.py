@@ -18,7 +18,7 @@ from repro.gethdb.bloombits import BloomBitsIndexer
 from repro.gethdb.database import DBConfig, GethDatabase
 from repro.gethdb.freezer import Freezer
 from repro.gethdb.snapshot import SnapshotTree
-from repro.gethdb.state import StateDB, hash_address
+from repro.gethdb.state import StateDB
 from repro.gethdb.txindexer import TxIndexer
 from repro.obs import get_registry, span
 from repro.workload.generator import BlockPlan, WorkloadConfig, WorkloadGenerator
@@ -478,7 +478,6 @@ class FullSyncDriver:
         from repro.chain.validation import (
             validate_body,
             validate_execution_outcome,
-            validate_header_chain,
         )
 
         parent_hash = self._recent_hashes.get(block.number - 1)

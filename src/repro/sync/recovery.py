@@ -22,7 +22,6 @@ Two entry points:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import hashlib
 

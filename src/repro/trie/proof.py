@@ -23,7 +23,7 @@ from typing import Optional
 
 from repro.errors import TrieError
 from repro.trie.nibbles import Nibbles
-from repro.trie.nodes import BranchNode, ExtensionNode, LeafNode, decode_node, encode_node
+from repro.trie.nodes import ExtensionNode, LeafNode, decode_node, encode_node
 from repro.trie.trie import EMPTY_ROOT, PathTrie, node_hash
 
 

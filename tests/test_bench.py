@@ -1,0 +1,493 @@
+"""Benchmark harness tests.
+
+Covers the registry/decorator contract, the robust statistics, the
+calibrated runner (including obs metric-delta capture), the
+``bench-result-v1`` schema round trip, the noise-aware comparator —
+in particular that a confirmed synthetic regression is flagged while
+an equal-magnitude but noisy delta is not — and the ``repro bench``
+CLI verbs' exit codes (0 pass / 1 confirmed regression / 2 bad
+input).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BenchContext,
+    BenchmarkRegistry,
+    BenchmarkSpec,
+    RunnerConfig,
+    RunResult,
+    Workload,
+    benchmark,
+    bootstrap_ci,
+    compare_results,
+    load_default_suite,
+    mad,
+    median,
+    read_result_json,
+    render_result,
+    render_trajectory,
+    run_benchmark,
+    run_suite,
+    summarize,
+    write_result_json,
+)
+from repro.bench.schema import BenchmarkResult
+from repro.bench.stats import SummaryStats
+from repro.cli import main
+
+
+# ---------------------------------------------------------------------------
+# stats
+# ---------------------------------------------------------------------------
+
+
+class TestStats:
+    def test_median_odd_even(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([4.0, 1.0, 2.0, 3.0]) == 2.5
+
+    def test_median_empty_raises(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_mad(self):
+        # median 3, deviations [2, 1, 0, 1, 2] -> MAD 1
+        assert mad([1.0, 2.0, 3.0, 4.0, 5.0]) == 1.0
+        assert mad([7.0, 7.0, 7.0]) == 0.0
+
+    def test_bootstrap_ci_deterministic_and_ordered(self):
+        values = [1.0, 1.1, 0.9, 1.05, 0.95, 1.2, 0.8]
+        low1, high1 = bootstrap_ci(values, seed=42)
+        low2, high2 = bootstrap_ci(values, seed=42)
+        assert (low1, high1) == (low2, high2)
+        assert low1 <= median(values) <= high1
+
+    def test_bootstrap_single_sample_collapses(self):
+        assert bootstrap_ci([2.5]) == (2.5, 2.5)
+
+    def test_ci_narrows_with_less_spread(self):
+        tight = summarize([1.0, 1.01, 0.99, 1.0, 1.0])
+        loose = summarize([1.0, 2.0, 0.5, 1.5, 0.7])
+        assert (tight.ci_high - tight.ci_low) < (loose.ci_high - loose.ci_low)
+
+    def test_summarize_fields(self):
+        stats = summarize([2.0, 1.0, 3.0])
+        assert stats.n == 3
+        assert stats.median == 2.0
+        assert stats.min == 1.0 and stats.max == 3.0
+        assert stats.mean == pytest.approx(2.0)
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_decorator_registers_and_selects(self):
+        registry = BenchmarkRegistry()
+
+        @benchmark(group="g1", registry=registry)
+        def alpha(ctx):
+            return Workload(run=lambda: 1)
+
+        @benchmark(name="beta2", group="g2", slow=True, registry=registry)
+        def beta(ctx):
+            return Workload(run=lambda: 2)
+
+        assert registry.names() == ["alpha", "beta2"]
+        assert [s.name for s in registry.select()] == ["alpha"]  # slow excluded
+        assert [s.name for s in registry.select(include_slow=True)] == [
+            "alpha",
+            "beta2",
+        ]
+        assert [s.name for s in registry.select("g2/*", include_slow=True)] == ["beta2"]
+        assert [s.name for s in registry.select("alph")] == ["alpha"]  # substring
+
+    def test_duplicate_name_rejected(self):
+        registry = BenchmarkRegistry()
+        registry.register(BenchmarkSpec("dup", lambda ctx: Workload(run=lambda: 0)))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(
+                BenchmarkSpec("dup", lambda ctx: Workload(run=lambda: 0))
+            )
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            BenchmarkRegistry().get("nope")
+
+    def test_default_suite_has_migrated_benchmarks(self):
+        registry = load_default_suite()
+        names = set(registry.names())
+        # the analyzer-throughput, parallel-scaling, and ablation
+        # migrations the perf-gate runs
+        assert {
+            "opdist_reference",
+            "opdist_columnar",
+            "serialization_v1",
+            "serialization_v2",
+            "blockstats_columnar",
+            "parallel_workers1",
+            "parallel_workers2",
+            "ablation_hybrid_store",
+            "ablation_correlation_cache",
+            "ablation_colocation",
+        } <= names
+        assert len(registry.select()) >= 5
+
+
+# ---------------------------------------------------------------------------
+# runner
+# ---------------------------------------------------------------------------
+
+
+def _spec(name, workload_fn, **kwargs):
+    return BenchmarkSpec(name=name, setup=workload_fn, **kwargs)
+
+
+class TestRunner:
+    def test_runner_records_times_and_rate(self):
+        spec = _spec("tiny", lambda ctx: Workload(run=lambda: 7, ops=100))
+        config = RunnerConfig(repeats=3, warmup=1, min_time=0.0)
+        with BenchContext("smoke") as ctx:
+            result = run_benchmark(spec, ctx, config)
+        assert result.repeats == 3 and len(result.times) == 3
+        assert result.loops >= 1
+        assert result.ops == 100
+        assert result.rate == pytest.approx(100 / result.stats.median)
+        assert all(t >= 0 for t in result.times)
+
+    def test_calibration_raises_loops_for_fast_kernels(self):
+        spec = _spec("fast", lambda ctx: Workload(run=lambda: None))
+        config = RunnerConfig(repeats=2, warmup=0, min_time=0.005, max_loops=100_000)
+        with BenchContext("smoke") as ctx:
+            result = run_benchmark(spec, ctx, config)
+        assert result.loops > 1  # a no-op body cannot span 5ms in one loop
+
+    def test_check_failure_aborts_before_timing(self):
+        def setup(ctx):
+            def boom(value):
+                raise AssertionError("wrong result")
+
+            return Workload(run=lambda: 3, check=boom)
+
+        with BenchContext("smoke") as ctx:
+            with pytest.raises(AssertionError, match="wrong result"):
+                run_benchmark(_spec("broken", setup), ctx, RunnerConfig(repeats=1))
+
+    def test_metric_deltas_attributed_per_iteration(self):
+        from repro.obs import get_registry
+
+        def setup(ctx):
+            def run():
+                get_registry().counter("bench_test_events_total").inc(3)
+                return 1
+
+            return Workload(run=run)
+
+        config = RunnerConfig(repeats=2, warmup=1, min_time=0.0)
+        with BenchContext("smoke") as ctx:
+            result = run_benchmark(_spec("counted", setup), ctx, config)
+        # 3 increments per iteration regardless of loops/warmup
+        assert result.metrics["bench_test_events_total"] == pytest.approx(3.0)
+
+    def test_run_suite_collects_all(self):
+        specs = [
+            _spec("a", lambda ctx: Workload(run=lambda: 1), group="g"),
+            _spec("b", lambda ctx: Workload(run=lambda: 2), group="g"),
+        ]
+        seen = []
+        with BenchContext("smoke") as ctx:
+            result = run_suite(
+                specs,
+                ctx,
+                RunnerConfig(repeats=2, min_time=0.0),
+                progress=lambda spec, res: seen.append(spec.name),
+            )
+        assert set(result.benchmarks) == {"a", "b"}
+        assert seen == ["a", "b"]
+        assert result.profile == "smoke"
+        assert result.runner["repeats"] == 2
+
+    def test_invalid_runner_config(self):
+        with pytest.raises(ValueError):
+            RunnerConfig(repeats=0)
+
+
+# ---------------------------------------------------------------------------
+# schema round trip
+# ---------------------------------------------------------------------------
+
+
+def _synthetic_result(times, *, name="synth", profile="quick", seed=5, **bench_kwargs):
+    stats = summarize(times)
+    bench = BenchmarkResult(
+        name=name,
+        group="test",
+        loops=2,
+        repeats=len(times),
+        warmup=1,
+        times=tuple(times),
+        stats=stats,
+        **bench_kwargs,
+    )
+    return RunResult(
+        profile=profile,
+        seed=seed,
+        benchmarks={name: bench},
+        created_unix=1754500000.0,
+        env={"python": "3.11"},
+        runner={"repeats": len(times)},
+    )
+
+
+class TestSchema:
+    def test_round_trip_identity(self, tmp_path):
+        result = _synthetic_result(
+            [0.1, 0.11, 0.09], ops=1000, rate=10_000.0, metrics={"x_total": 2.0}
+        )
+        path = tmp_path / "result.json"
+        write_result_json(path, result)
+        loaded = read_result_json(path)
+        assert loaded.to_json() == result.to_json()
+        assert loaded.benchmarks["synth"].stats.median == pytest.approx(0.1)
+        assert loaded.benchmarks["synth"].metrics == {"x_total": 2.0}
+
+    def test_format_tag_required(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "bench-result-v2", "benchmarks": {}}))
+        with pytest.raises(ValueError, match="bench-result-v1"):
+            read_result_json(path)
+
+    def test_invalid_json_raises_value_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            read_result_json(path)
+
+    def test_inconsistent_stats_rejected(self):
+        result = _synthetic_result([0.1, 0.2, 0.3])
+        data = result.to_json()
+        data["benchmarks"]["synth"]["times"] = [0.1]  # stats.n says 3
+        with pytest.raises(ValueError, match="stats.n"):
+            RunResult.from_json(data)
+
+    def test_missing_times_rejected(self):
+        result = _synthetic_result([0.1, 0.2])
+        data = result.to_json()
+        del data["benchmarks"]["synth"]["times"]
+        with pytest.raises(ValueError, match="malformed entry"):
+            RunResult.from_json(data)
+
+
+# ---------------------------------------------------------------------------
+# comparator
+# ---------------------------------------------------------------------------
+
+
+def _result_with(times, **kwargs):
+    return _synthetic_result(times, **kwargs)
+
+
+class TestCompare:
+    def test_reproduced_run_passes(self):
+        base = _result_with([1.0, 1.01, 0.99, 1.0, 1.02])
+        cand = _result_with([1.01, 1.0, 0.98, 1.02, 1.0])
+        report = compare_results(base, cand, threshold_pct=25.0)
+        assert not report.regressed
+        assert report.deltas[0].status == "ok"
+
+    def test_confirmed_regression_flagged(self):
+        # 2x slowdown with tight spread: intervals separate cleanly
+        base = _result_with([1.0, 1.01, 0.99, 1.0, 1.02])
+        cand = _result_with([2.0, 2.02, 1.98, 2.0, 2.04])
+        report = compare_results(base, cand, threshold_pct=25.0)
+        assert report.regressed
+        (delta,) = report.regressions
+        assert delta.name == "synth"
+        assert delta.delta_pct == pytest.approx(100.0, abs=5.0)
+        assert delta.ci_separated
+        assert "FAIL" in report.render()
+
+    def test_equal_magnitude_noisy_delta_not_flagged(self):
+        """A +100% median shift whose samples scatter across the
+        baseline's range is 'suspect', never a confirmed regression."""
+        base = _result_with([1.0, 1.1, 0.9, 1.05, 0.95])
+        # median 2.0 (+100%) but samples swing from 0.5 to 40: the
+        # bootstrap interval overlaps the baseline's
+        cand = _result_with([0.5, 0.8, 2.0, 30.0, 40.0])
+        report = compare_results(base, cand, threshold_pct=25.0)
+        assert not report.regressed
+        (delta,) = report.deltas
+        assert delta.status == "suspect"
+        assert delta.delta_pct > 25.0
+        assert not delta.ci_separated
+
+    def test_improvement_reported_not_failed(self):
+        base = _result_with([2.0, 2.02, 1.98, 2.0, 2.04])
+        cand = _result_with([1.0, 1.01, 0.99, 1.0, 1.02])
+        report = compare_results(base, cand)
+        assert not report.regressed
+        assert report.deltas[0].status == "improvement"
+
+    def test_new_and_missing_benchmarks(self):
+        base = _result_with([1.0, 1.0, 1.0], name="old_bench")
+        cand = _result_with([1.0, 1.0, 1.0], name="new_bench")
+        report = compare_results(base, cand)
+        statuses = {delta.name: delta.status for delta in report.deltas}
+        assert statuses == {"old_bench": "missing", "new_bench": "new"}
+        assert not report.regressed
+
+    def test_profile_mismatch_rejected(self):
+        base = _result_with([1.0, 1.0], profile="quick")
+        cand = _result_with([1.0, 1.0], profile="full")
+        with pytest.raises(ValueError, match="profile mismatch"):
+            compare_results(base, cand)
+
+
+# ---------------------------------------------------------------------------
+# report rendering
+# ---------------------------------------------------------------------------
+
+
+class TestReport:
+    def test_render_result_ascii_and_md(self):
+        result = _synthetic_result([0.1, 0.11, 0.09], ops=500, rate=5000.0)
+        ascii_table = render_result(result)
+        assert "synth" in ascii_table and "profile=quick" in ascii_table
+        md_table = render_result(result, fmt="md")
+        assert md_table.splitlines()[2].startswith("| ---")
+
+    def test_render_trajectory_orders_and_deltas(self):
+        old = _synthetic_result([1.0, 1.0, 1.0])
+        new = _synthetic_result([2.0, 2.0, 2.0])
+        new = RunResult(
+            profile=new.profile,
+            seed=new.seed,
+            benchmarks=new.benchmarks,
+            created_unix=old.created_unix + 3600,
+            env=new.env,
+            runner=new.runner,
+        )
+        table = render_trajectory([new, old])  # order-insensitive input
+        assert "+100.0%" in table
+        assert "2 run(s)" in table
+
+    def test_render_trajectory_rejects_mixed_profiles(self):
+        with pytest.raises(ValueError, match="mixes profiles"):
+            render_trajectory(
+                [
+                    _synthetic_result([1.0, 1.0], profile="quick"),
+                    _synthetic_result([1.0, 1.0], profile="full"),
+                ]
+            )
+
+
+# ---------------------------------------------------------------------------
+# CLI exit codes (0 pass / 1 confirmed regression / 2 bad input)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def smoke_run(tmp_path_factory):
+    """One real ``repro bench run`` over fast suite benchmarks."""
+    out = tmp_path_factory.mktemp("bench-cli") / "smoke.json"
+    code = main(
+        [
+            "bench",
+            "run",
+            "--profile",
+            "smoke",
+            "--filter",
+            "analyzer/*",
+            "--repeats",
+            "3",
+            "--min-time",
+            "0.005",
+            "--out",
+            str(out),
+        ]
+    )
+    assert code == 0
+    return out
+
+
+class TestBenchCLI:
+    def test_run_executes_migrated_suite_and_emits_schema(self, smoke_run):
+        result = read_result_json(smoke_run)  # schema-validates
+        assert result.profile == "smoke"
+        # acceptance: >= 5 migrated benchmarks executed in one run
+        assert len(result.benchmarks) >= 5
+        for bench in result.benchmarks.values():
+            assert bench.stats.ci_low <= bench.stats.median <= bench.stats.ci_high
+
+    def test_run_list_exits_zero(self, capsys):
+        assert main(["bench", "run", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "analyzer/opdist_columnar" in out
+
+    def test_run_bad_filter_exits_2(self):
+        assert main(["bench", "run", "--filter", "no_such_bench"]) == 2
+
+    def test_run_bad_profile_exits_2(self):
+        assert main(["bench", "run", "--profile", "galactic"]) == 2
+
+    def test_compare_reproduced_baseline_exits_0(self, smoke_run, tmp_path):
+        assert main(["bench", "compare", str(smoke_run), str(smoke_run)]) == 0
+
+    def test_compare_injected_2x_slowdown_exits_1(self, smoke_run, tmp_path):
+        data = json.loads(smoke_run.read_text())
+        bench = next(iter(data["benchmarks"].values()))
+        bench["times"] = [t * 2 for t in bench["times"]]
+        for key in ("mean", "median", "mad", "min", "max", "ci_low", "ci_high"):
+            bench["stats"][key] *= 2
+        slow = tmp_path / "slow.json"
+        slow.write_text(json.dumps(data))
+        assert main(["bench", "compare", str(smoke_run), str(slow)]) == 1
+
+    def test_compare_missing_file_exits_2(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        present = tmp_path / "p.json"
+        write_result_json(present, _synthetic_result([1.0, 1.0]))
+        assert main(["bench", "compare", str(missing), str(present)]) == 2
+
+    def test_compare_profile_mismatch_exits_2(self, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        write_result_json(a, _synthetic_result([1.0, 1.0], profile="quick"))
+        write_result_json(b, _synthetic_result([1.0, 1.0], profile="full"))
+        assert main(["bench", "compare", str(a), str(b)]) == 2
+
+    def test_compare_resolves_baseline_directory(self, tmp_path):
+        baselines = tmp_path / "baselines"
+        baselines.mkdir()
+        write_result_json(
+            baselines / "baseline-quick.json", _synthetic_result([1.0, 1.0, 1.0])
+        )
+        cand = tmp_path / "cand.json"
+        write_result_json(cand, _synthetic_result([1.0, 1.0, 1.0]))
+        assert main(["bench", "compare", str(baselines), str(cand)]) == 0
+
+    def test_report_single_and_trajectory(self, smoke_run, tmp_path, capsys):
+        assert main(["bench", "report", str(smoke_run)]) == 0
+        assert "bench results" in capsys.readouterr().out
+        assert main(["bench", "report", str(smoke_run), str(smoke_run)]) == 0
+        assert "perf trajectory" in capsys.readouterr().out
+
+    def test_report_bad_file_exits_2(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[]")
+        assert main(["bench", "report", str(bad)]) == 2
+
+    def test_committed_baseline_is_schema_valid(self):
+        from pathlib import Path
+
+        baseline = Path(__file__).parent.parent / "benchmarks" / "baselines"
+        result = read_result_json(baseline / "baseline-quick.json")
+        assert result.profile == "quick"
+        assert len(result.benchmarks) >= 5

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.core.blockstats import BlockProfile, BlockStatsAnalyzer, slice_blocks
+from repro.core.blockstats import BlockStatsAnalyzer, slice_blocks
 from repro.core.trace import OpType, TraceRecord
 
 

@@ -25,6 +25,7 @@ class TestParser:
             "compare",
             "crashtest",
             "stats",
+            "bench",
         }
 
     def test_missing_command_errors(self):

@@ -15,7 +15,6 @@ from repro.errors import CrashPoint
 from repro.faults import (
     CrashTestConfig,
     FaultKind,
-    FaultPlan,
     FaultRule,
     run_crash_case,
     run_crash_sweep,

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.classes import KVClass
-from repro.core.findings import Finding, FindingsReport, evaluate_findings
+from repro.core.findings import Finding, evaluate_findings
 from repro.core.trace import OpType
 
 

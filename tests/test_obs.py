@@ -26,6 +26,8 @@ from repro.obs.export import (
 )
 from repro.obs.registry import (
     COUNTER,
+    counter_deltas,
+    diff_snapshots,
     DEFAULT_TIME_BUCKETS,
     GAUGE,
     NULL_REGISTRY,
@@ -434,3 +436,68 @@ class TestSampleFolding:
         )
         assert registry.snapshot().value("g") == 4.0
         del owner
+
+
+class TestSnapshotDiff:
+    """diff_snapshots / counter_deltas — the bench runner's attribution
+    primitive: activity between two snapshots of one registry."""
+
+    def _registry_at_two_points(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events_total", labelnames=("kind",))
+        gauge = registry.gauge("level")
+        hist = registry.histogram("latency_seconds", buckets=(0.1, 1.0))
+        counter.labels(kind="read").inc(5)
+        gauge.set(2.0)
+        hist.observe(0.05)
+        before = registry.snapshot()
+        counter.labels(kind="read").inc(3)
+        counter.labels(kind="write").inc(7)
+        gauge.set(9.0)
+        hist.observe(0.5)
+        hist.observe(0.5)
+        after = registry.snapshot()
+        return before, after
+
+    def test_counters_subtract(self):
+        before, after = self._registry_at_two_points()
+        delta = diff_snapshots(before, after)
+        assert delta.value("events_total", kind="read") == 3.0
+        # series absent from `before` pass through whole
+        assert delta.value("events_total", kind="write") == 7.0
+
+    def test_gauges_keep_after_level(self):
+        before, after = self._registry_at_two_points()
+        assert diff_snapshots(before, after).value("level") == 9.0
+
+    def test_histograms_subtract_per_bucket(self):
+        before, after = self._registry_at_two_points()
+        hist = diff_snapshots(before, after).families["latency_seconds"].series[()]
+        assert hist.count == 2
+        assert hist.total == pytest.approx(1.0)
+        assert hist.counts == (0, 2, 0)  # both new observations in (0.1, 1.0]
+
+    def test_counter_regression_clamped_to_zero(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(10)
+        before = registry.snapshot()
+        fresh = MetricsRegistry()
+        fresh.counter("c_total").inc(4)
+        delta = diff_snapshots(before, fresh.snapshot())
+        assert delta.value("c_total") == 0.0
+
+    def test_diff_of_identical_snapshots_is_zero(self):
+        _, after = self._registry_at_two_points()
+        delta = diff_snapshots(after, after)
+        assert counter_deltas(delta) == {}
+
+    def test_counter_deltas_flattens_sorted(self):
+        before, after = self._registry_at_two_points()
+        flat = counter_deltas(diff_snapshots(before, after))
+        assert flat == {
+            "events_total{kind=read}": 3.0,
+            "events_total{kind=write}": 7.0,
+            "latency_seconds_count": 2.0,
+            "latency_seconds_sum": pytest.approx(1.0),
+        }
+        assert list(flat) == sorted(flat)

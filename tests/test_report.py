@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from repro.core.classes import KVClass
-from repro.core.correlation import class_pair
 from repro.core.opdist import OpDistAnalyzer
 from repro.core.report import (
     render_correlation_distance_series,

@@ -11,9 +11,7 @@ import hashlib
 
 from hypothesis import settings
 from hypothesis.stateful import (
-    Bundle,
     RuleBasedStateMachine,
-    initialize,
     invariant,
     rule,
 )
