@@ -1,0 +1,111 @@
+"""Replay-engine throughput benchmarks.
+
+The replay engine's reason to exist is driving recorded workloads at
+rates a serial loop can't reach.  These benches measure closed-loop
+replay of the synthetic replay trace (~120k ops at the full profile,
+realistic op mix) on memdb and the LSM simulator:
+
+* the serial inline baseline;
+* process-sharded replay at ``workers=2,4`` — on a multi-core machine
+  4 workers must beat the serial baseline by ≥2x on memdb (the issue's
+  acceptance bar); single-core machines measure but skip the speedup
+  assertion, exactly like the parallel-scheduler benches;
+* a correctness guard: the sharded run's final state must fingerprint
+  identically to the serial run's, so the throughput being measured is
+  the *order-preserving* engine, not a racy one.
+
+The timed kernels are the registered ``replay`` group workloads from
+:mod:`repro.bench.suite` — the same definitions ``repro bench run``
+executes and baselines.  Set ``BENCH_JSON=...`` to emit ops/s.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.bench import load_default_suite
+from repro.obs.registry import MetricsRegistry
+from repro.replay import ReplayConfig, differential_replay, replay_trace
+
+REGISTRY = load_default_suite()
+
+
+def _workload(name, bench_ctx):
+    return REGISTRY.get(name).setup(bench_ctx)
+
+
+def _timed(workload):
+    start = time.perf_counter()
+    total = workload.run()
+    elapsed = time.perf_counter() - start
+    assert total == workload.ops
+    return workload.ops / elapsed
+
+
+@pytest.fixture(scope="session")
+def serial_memdb_rate(bench_ctx, record_rate):
+    rate = _timed(_workload("replay_serial_memdb", bench_ctx))
+    record_rate("replay_serial_memdb", rate)
+    return rate
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_replay_sharded_throughput(bench_ctx, serial_memdb_rate, record_rate, workers):
+    rate = _timed(_workload(f"replay_workers{workers}_memdb", bench_ctx))
+    record_rate(f"replay_workers{workers}_memdb", rate)
+    speedup = rate / serial_memdb_rate
+    print(
+        f"\nreplay workers={workers}: {rate / 1e3:.0f} k ops/s "
+        f"({speedup:.2f}x vs serial)"
+    )
+    cores = os.cpu_count() or 1
+    if cores >= workers:
+        # The acceptance bar: with the cores to back it, 4-way sharded
+        # replay doubles serial throughput; 2-way must at least win.
+        floor = 2.0 if workers >= 4 else 1.2
+        assert speedup > floor, (
+            f"insufficient replay speedup at workers={workers}: {speedup:.2f}x"
+        )
+    elif cores == 1:
+        pytest.skip(
+            f"single-core machine: measured {speedup:.2f}x, not asserting speedup"
+        )
+
+
+def test_replay_lsm_throughput(bench_ctx, record_rate):
+    serial = _timed(_workload("replay_serial_lsm", bench_ctx))
+    record_rate("replay_serial_lsm", serial)
+    sharded = _timed(_workload("replay_workers4_lsm", bench_ctx))
+    record_rate("replay_workers4_lsm", sharded)
+    print(
+        f"\nreplay lsm: serial {serial / 1e3:.0f} k ops/s, "
+        f"4 workers {sharded / 1e3:.0f} k ops/s"
+    )
+    assert serial > 1_000  # floor: the LSM simulator replays >1k ops/s
+
+
+def test_replay_sharded_state_matches_serial(bench_ctx):
+    """Throughput counts only if sharded replay is still order-safe."""
+    result = differential_replay(
+        bench_ctx.replay_trace_path,
+        ReplayConfig(backend="memdb", workers=4, executor="process"),
+        registry=MetricsRegistry(),
+    )
+    assert result.match, result.render()
+
+
+def test_replay_pacing_overhead(bench_ctx, record_rate):
+    """Open-loop pacing at an unreachable rate must not throttle."""
+    path = bench_ctx.replay_trace_path
+    config = ReplayConfig(
+        backend="memdb", pace=10_000_000.0, fingerprint=False, latency_sample=64
+    )
+    start = time.perf_counter()
+    report = replay_trace(path, config, registry=MetricsRegistry())
+    elapsed = time.perf_counter() - start
+    rate = report.total_records / elapsed
+    record_rate("replay_paced_memdb", rate)
+    assert report.total_records == bench_ctx.profile.replay_records

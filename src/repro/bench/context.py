@@ -41,6 +41,9 @@ class BenchProfile:
     parallel_chunks: int
     parallel_records_per_chunk: int
     parallel_keys_per_chunk: int
+    #: synthetic replay workload shape for the replay-engine benches
+    replay_records: int
+    replay_keys: int
 
 
 PROFILES: dict[str, BenchProfile] = {
@@ -57,6 +60,8 @@ PROFILES: dict[str, BenchProfile] = {
         parallel_chunks=12,
         parallel_records_per_chunk=100_000,
         parallel_keys_per_chunk=30_000,
+        replay_records=120_000,
+        replay_keys=24_000,
     ),
     "quick": BenchProfile(
         name="quick",
@@ -69,6 +74,8 @@ PROFILES: dict[str, BenchProfile] = {
         parallel_chunks=6,
         parallel_records_per_chunk=40_000,
         parallel_keys_per_chunk=12_000,
+        replay_records=50_000,
+        replay_keys=12_000,
     ),
     "smoke": BenchProfile(
         name="smoke",
@@ -81,6 +88,8 @@ PROFILES: dict[str, BenchProfile] = {
         parallel_chunks=3,
         parallel_records_per_chunk=5_000,
         parallel_keys_per_chunk=2_000,
+        replay_records=6_000,
+        replay_keys=1_500,
     ),
 }
 
@@ -231,3 +240,50 @@ class BenchContext:
             return path
 
         return self._cached("parallel_trace_path", build)
+
+    @property
+    def replay_trace_path(self) -> Path:
+        """A synthetic v2 trace with a realistic op mix for the
+        replay-engine benches (read-heavy, write-significant, a few
+        deletes and scans — the paper's Table II shape, loosely)."""
+
+        def build():
+            import numpy as np
+
+            from repro.core.columnar import TraceChunk
+            from repro.core.trace import ColumnarTraceWriter
+
+            profile = self.profile
+            rng = np.random.default_rng(11)
+            prefixes = np.frombuffer(b"AOaohlcB", dtype=np.uint8)
+            num_keys = profile.replay_keys
+            blob = rng.integers(0, 256, size=num_keys * 9, dtype=np.uint8)
+            blob[::9] = prefixes[rng.integers(0, len(prefixes), num_keys)]
+            raw = blob.tobytes()
+            pool = [raw[i : i + 9] for i in range(0, len(raw), 9)]
+            op_weights = (0.20, 0.25, 0.45, 0.08, 0.02)
+            path = self.tmpdir / "replay.v2"
+            chunk_records = 16_384
+            remaining = profile.replay_records
+            with ColumnarTraceWriter.open(path) as writer:
+                block = 0
+                while remaining > 0:
+                    n = min(chunk_records, remaining)
+                    remaining -= n
+                    pool_ids = rng.integers(0, num_keys, n, dtype=np.uint32)
+                    unique_ids, key_ids = np.unique(pool_ids, return_inverse=True)
+                    writer.write_chunk(
+                        TraceChunk(
+                            ops=rng.choice(
+                                5, size=n, p=op_weights
+                            ).astype(np.uint8),
+                            value_sizes=rng.integers(16, 1024, n, dtype=np.uint32),
+                            blocks=np.full(n, block, dtype=np.uint32),
+                            key_ids=key_ids.astype(np.uint32),
+                            keys=[pool[i] for i in unique_ids.tolist()],
+                        )
+                    )
+                    block += 1
+            return path
+
+        return self._cached("replay_trace_path", build)

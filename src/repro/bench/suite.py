@@ -235,6 +235,71 @@ def parallel_workers4(ctx: BenchContext) -> Workload:
 
 
 # ---------------------------------------------------------------------------
+# replay engine (from benchmarks/test_replay_throughput.py)
+# ---------------------------------------------------------------------------
+
+
+def _replay_workload(ctx: BenchContext, backend: str, workers: int) -> Workload:
+    """Closed-loop replay of the synthetic replay trace.
+
+    Serial runs use the inline executor; sharded runs use the process
+    executor (thread sharding is the pacing/backpressure mode, not a
+    throughput mode under the GIL).  Fingerprinting is disabled so the
+    timed region is the replay itself; latency is sampled 1-in-64 to
+    keep the observation overhead out of the measured kernel.
+    """
+    from repro.obs import MetricsRegistry
+    from repro.replay import ReplayConfig, replay_trace
+
+    path = ctx.replay_trace_path
+    expected = ctx.profile.replay_records
+    config = ReplayConfig(
+        backend=backend,
+        workers=workers,
+        executor="process" if workers > 1 else "thread",
+        fingerprint=False,
+        latency_sample=64,
+    )
+    return Workload(
+        run=lambda: replay_trace(
+            path, config, registry=MetricsRegistry()
+        ).total_records,
+        ops=expected,
+        check=lambda total: _expect(total, expected),
+    )
+
+
+@benchmark(group="replay")
+def replay_serial_memdb(ctx: BenchContext) -> Workload:
+    """Serial inline replay on memdb (the sharding baseline)."""
+    return _replay_workload(ctx, "memdb", workers=1)
+
+
+@benchmark(group="replay")
+def replay_workers2_memdb(ctx: BenchContext) -> Workload:
+    """Process-sharded replay on memdb, 2 workers."""
+    return _replay_workload(ctx, "memdb", workers=2)
+
+
+@benchmark(group="replay")
+def replay_workers4_memdb(ctx: BenchContext) -> Workload:
+    """Process-sharded replay on memdb, 4 workers."""
+    return _replay_workload(ctx, "memdb", workers=4)
+
+
+@benchmark(group="replay")
+def replay_serial_lsm(ctx: BenchContext) -> Workload:
+    """Serial inline replay on the LSM simulator."""
+    return _replay_workload(ctx, "lsm", workers=1)
+
+
+@benchmark(group="replay")
+def replay_workers4_lsm(ctx: BenchContext) -> Workload:
+    """Process-sharded replay on the LSM simulator, 4 workers."""
+    return _replay_workload(ctx, "lsm", workers=4)
+
+
+# ---------------------------------------------------------------------------
 # §V ablation kernels (from benchmarks/test_ablation_*.py)
 # ---------------------------------------------------------------------------
 

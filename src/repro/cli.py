@@ -8,6 +8,7 @@ Mirrors the paper artifact's script surface as one CLI::
     python -m repro analyze   TRACE.bin [--correlate read|update]
     python -m repro export    --outdir DIR [--blocks N]
     python -m repro crashtest [--crash-points all] [--seed N]
+    python -m repro replay    TRACE.bin [--backend B] [--workers N] [--pace R]
     python -m repro stats     METRICS.json... [--format prom|json]
     python -m repro bench     run|compare|report ...
 
@@ -18,7 +19,12 @@ operation-distribution table, optionally with a correlation pass;
 ``crashtest`` sweeps the fault-injection crash points and verifies the
 recovered database converges to the uninterrupted reference.
 
-``sync``/``analyze``/``crashtest`` accept ``--metrics-out PATH`` to
+``replay`` streams a saved trace through the concurrent replay engine
+against any of the five KV backends — serially, thread-sharded with
+open-loop pacing and bounded-queue admission, or process-sharded for
+throughput — and ``--verify`` runs the serial-vs-sharded differential.
+
+``sync``/``analyze``/``crashtest``/``replay`` accept ``--metrics-out PATH`` to
 dump the run's observability registry as JSON; ``stats`` merges any
 number of such dumps and renders them as Prometheus text or JSON.
 
@@ -251,6 +257,75 @@ def cmd_crashtest(args: argparse.Namespace) -> int:
         print(report.render())
         if report.divergent or report.triggered < report.total:
             exit_code = 1
+    _write_metrics(args)
+    return exit_code
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Replay a saved trace against a KV backend under concurrent load."""
+    from repro.errors import ReplayError, ReplayOverloadError, TraceFormatError
+    from repro.replay import (
+        BACKEND_NAMES,
+        ReplayConfig,
+        differential_replay,
+        replay_trace,
+    )
+
+    if not args.trace.exists():
+        print(f"replay: trace file not found: {args.trace}", file=sys.stderr)
+        return 2
+    if args.backend not in BACKEND_NAMES:
+        known = ", ".join(BACKEND_NAMES)
+        print(f"replay: unknown backend {args.backend!r}; known: {known}", file=sys.stderr)
+        return 2
+    config = ReplayConfig(
+        backend=args.backend,
+        workers=args.workers,
+        executor=args.executor,
+        pace=args.pace,
+        queue_depth=args.queue_depth,
+        admission=args.admission,
+        scan_limit=args.scan_limit,
+        latency_sample=args.latency_sample,
+        fingerprint=not args.no_fingerprint,
+        lenient=args.lenient,
+    )
+    try:
+        config = config.validated()
+    except ReplayError as exc:
+        print(f"replay: {exc}", file=sys.stderr)
+        return 2
+    exit_code = 0
+    start = time.time()
+    try:
+        if args.verify:
+            print(
+                f"Differential replay on {args.backend} "
+                f"(serial vs {args.executor} x{args.workers})...",
+                file=sys.stderr,
+            )
+            result = differential_replay(args.trace, config)
+            print(result.render())
+            if not result.match:
+                exit_code = 1
+        else:
+            print(
+                f"Replaying {args.trace} on {args.backend} "
+                f"({args.executor} x{args.workers})...",
+                file=sys.stderr,
+            )
+            report = replay_trace(args.trace, config)
+            print(report.render())
+    except ReplayOverloadError as exc:
+        print(f"replay: overloaded: {exc}", file=sys.stderr)
+        exit_code = 1
+    except ReplayError as exc:
+        print(f"replay: {exc}", file=sys.stderr)
+        return 1
+    except (OSError, ValueError, TraceFormatError) as exc:
+        print(f"replay: cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    print(f"  done in {time.time() - start:.1f}s", file=sys.stderr)
     _write_metrics(args)
     return exit_code
 
@@ -540,6 +615,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_metrics_out_arg(p_crash)
     p_crash.set_defaults(func=cmd_crashtest)
+
+    p_replay = subparsers.add_parser(
+        "replay", help="replay a saved trace against a KV backend"
+    )
+    p_replay.add_argument("trace", type=Path, help="trace file (v1 or v2)")
+    p_replay.add_argument(
+        "--backend",
+        default="memdb",
+        help="target backend: memdb (default), btree, hashlog, lsm, hybrid",
+    )
+    p_replay.add_argument(
+        "--workers", type=int, default=1, help="shard workers (1 = serial inline)"
+    )
+    p_replay.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="thread (pacing/backpressure) or process (throughput) sharding",
+    )
+    p_replay.add_argument(
+        "--pace",
+        type=float,
+        default=None,
+        help="open-loop target ops/s (default: closed loop, as fast as possible)",
+    )
+    p_replay.add_argument(
+        "--queue-depth", type=int, default=1024, help="bounded dispatch queue depth"
+    )
+    p_replay.add_argument(
+        "--admission",
+        choices=("block", "drop", "abort"),
+        default="block",
+        help="full-queue policy: backpressure, shed reads, or abort the run",
+    )
+    p_replay.add_argument(
+        "--scan-limit", type=int, default=64, help="max pairs per replayed scan"
+    )
+    p_replay.add_argument(
+        "--latency-sample",
+        type=int,
+        default=1,
+        help="observe every Nth op's latency (1 = every op)",
+    )
+    p_replay.add_argument(
+        "--no-fingerprint",
+        action="store_true",
+        help="skip the final-state fingerprint pass",
+    )
+    p_replay.add_argument(
+        "--lenient",
+        action="store_true",
+        help="salvage readable chunks from a truncated/corrupt trace",
+    )
+    p_replay.add_argument(
+        "--verify",
+        action="store_true",
+        help="differential mode: serial vs sharded replay, compare final state",
+    )
+    _add_metrics_out_arg(p_replay)
+    p_replay.set_defaults(func=cmd_replay)
 
     p_export = subparsers.add_parser(
         "export", help="write artifact-compatible output files + CSV/JSON"

@@ -122,6 +122,14 @@ class HybridStoreError(ReproError):
     """Hybrid KV storage routing or consistency failure."""
 
 
+class ReplayError(ReproError):
+    """Trace replay was configured incorrectly or a worker failed."""
+
+
+class ReplayOverloadError(ReplayError):
+    """The replay engine's admission policy aborted on a full queue."""
+
+
 class CrashPoint(enum.Enum):
     """Named locations where a fault plan may kill the process.
 

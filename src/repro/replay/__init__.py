@@ -1,0 +1,58 @@
+"""Concurrent trace-replay engine.
+
+Replays recorded workload traces against any shipped KV backend under
+sharded, order-preserving load.  See :mod:`repro.replay.engine` for the
+executor model, :mod:`repro.replay.partition` for the per-key ordering
+argument, and :mod:`repro.replay.verify` for the serial-vs-sharded
+differential that proves it.
+"""
+
+from repro.replay.apply import OP_NAMES, apply_op, synth_value
+from repro.replay.backends import BACKEND_NAMES, make_store
+from repro.replay.engine import (
+    ADMISSION_POLICIES,
+    EXECUTORS,
+    ReplayConfig,
+    ReplayReport,
+    replay_trace,
+)
+from repro.replay.metrics import REPLAY_LATENCY_BUCKETS, ReplayMetrics
+from repro.replay.pacing import ClosedLoopPacer, TokenBucketPacer, make_pacer
+from repro.replay.partition import chunk_shards, key_shards, shard_of
+from repro.replay.verify import (
+    DifferentialResult,
+    RecordingStore,
+    StateFingerprint,
+    combined_fingerprint,
+    differential_replay,
+    fingerprint_pairs,
+    store_fingerprint,
+)
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "BACKEND_NAMES",
+    "EXECUTORS",
+    "OP_NAMES",
+    "REPLAY_LATENCY_BUCKETS",
+    "ClosedLoopPacer",
+    "DifferentialResult",
+    "RecordingStore",
+    "ReplayConfig",
+    "ReplayMetrics",
+    "ReplayReport",
+    "StateFingerprint",
+    "TokenBucketPacer",
+    "apply_op",
+    "chunk_shards",
+    "combined_fingerprint",
+    "differential_replay",
+    "fingerprint_pairs",
+    "key_shards",
+    "make_pacer",
+    "make_store",
+    "replay_trace",
+    "shard_of",
+    "store_fingerprint",
+    "synth_value",
+]

@@ -1,0 +1,63 @@
+"""Backend factory: one name → one fresh ``KVStore``.
+
+Replay drives any of the five shipped backends — the reference memdb,
+the B+-tree, the hash-indexed log, the leveled LSM simulator, and the
+paper's §V class-routed hybrid — through the one :class:`KVStore`
+interface, optionally wrapped in the PR-2
+:class:`~repro.faults.store.FaultInjectingStore` so recorded workloads
+can be replayed against a misbehaving disk.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kvstore.api import KVStore
+from repro.kvstore.lsm import LSMConfig
+
+#: Stable backend names, in documentation order.
+BACKEND_NAMES = ("memdb", "btree", "hashlog", "lsm", "hybrid")
+
+
+def make_store(
+    name: str,
+    *,
+    lsm_config: Optional[LSMConfig] = None,
+    fault_plan=None,
+) -> KVStore:
+    """A fresh store of the named backend.
+
+    ``lsm_config`` shapes the LSM used by the ``lsm`` backend and by
+    the ordered/default routes of ``hybrid``.  When ``fault_plan`` is
+    given the store is wrapped in a
+    :class:`~repro.faults.store.FaultInjectingStore`, composing replay
+    with the fault-injection layer.
+    """
+    if name == "memdb":
+        from repro.kvstore.memdb import MemoryKVStore
+
+        store: KVStore = MemoryKVStore()
+    elif name == "btree":
+        from repro.kvstore.btree import BPlusTreeStore
+
+        store = BPlusTreeStore()
+    elif name == "hashlog":
+        from repro.kvstore.hashlog import HashLogStore
+
+        store = HashLogStore()
+    elif name == "lsm":
+        from repro.kvstore.lsm import LSMStore
+
+        store = LSMStore(lsm_config)
+    elif name == "hybrid":
+        from repro.hybrid import HybridKVStore
+
+        store = HybridKVStore(lsm_config=lsm_config)
+    else:
+        known = ", ".join(BACKEND_NAMES)
+        raise ValueError(f"unknown replay backend {name!r}; known: {known}")
+    if fault_plan is not None:
+        from repro.faults.store import FaultInjectingStore
+
+        store = FaultInjectingStore(store, fault_plan)
+    return store

@@ -1,0 +1,677 @@
+"""The concurrent trace-replay engine.
+
+Streams a saved trace (format v1 or v2, chunk-at-a-time through the
+footer-indexed columnar reader) and replays its operations against any
+:class:`~repro.kvstore.api.KVStore` backend, under one of three
+executors:
+
+* **inline** (``workers=1``) — the serial reference: one store, every
+  operation applied in trace order by the calling thread;
+* **thread** — a dispatcher fans operations out to N worker threads
+  through bounded queues, sharded by key hash
+  (:mod:`repro.replay.partition`), each worker owning a private shard
+  store.  Same key → same shard → FIFO queue, so every key observes
+  its serial op order; SCANs take a *sequencing barrier* (all queues
+  drained) and run against the merged shard stores, so ranged reads
+  see a consistent global state.  This executor supports open-loop
+  pacing (token bucket) and the drop/abort admission policies — it is
+  the load-generation mode, not a throughput mode: under the GIL,
+  threads add queue overhead without parallel speedup;
+* **process** — the throughput mode: each of N processes re-reads the
+  trace itself (cheap, vectorized chunk parsing), filters to its key
+  shard, and replays into a private store, mirroring
+  :mod:`repro.core.parallel`.  Per-key ordering holds structurally
+  (one pass in trace order per shard); SCANs are applied against the
+  local shard only (bounded scans see a keyspace slice; state is
+  unaffected, and the serial-vs-sharded fingerprint differential in
+  :mod:`repro.replay.verify` stays exact).
+
+Metrics land in the PR-3 obs registry under fixed names/buckets
+(:mod:`repro.replay.metrics`); worker registries are absorbed into the
+caller's registry in shard order, so totals are byte-identical to a
+serial run and ``repro stats`` merges any set of replay dumps.
+"""
+
+from __future__ import annotations
+
+import heapq
+import queue
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from time import perf_counter
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from repro.core.trace import open_trace_chunks
+from repro.errors import ReplayError, ReplayOverloadError, TransientIOError
+from repro.kvstore.api import KVStore
+from repro.kvstore.lsm import LSMConfig
+from repro.obs import MetricsRegistry, get_registry, use_registry
+from repro.replay.apply import OP_NAMES, OP_READ, OP_SCAN, apply_op
+from repro.replay.backends import make_store
+from repro.replay.metrics import ReplayMetrics
+from repro.replay.pacing import make_pacer
+from repro.replay.partition import chunk_shards
+from repro.replay.verify import StateFingerprint, store_fingerprint
+
+_NUM_OPS = len(OP_NAMES)
+_GAUGE_EVERY = 1024  # dispatcher records between queue-depth samples
+
+EXECUTORS = ("thread", "process")
+ADMISSION_POLICIES = ("block", "drop", "abort")
+
+
+@dataclass(frozen=True)
+class ReplayConfig:
+    """How to replay one trace."""
+
+    backend: str = "memdb"
+    workers: int = 1
+    #: "thread" (pacing/backpressure-capable) or "process" (throughput)
+    executor: str = "thread"
+    #: target ops/s (open loop); None = closed loop (as fast as possible)
+    pace: Optional[float] = None
+    #: bounded dispatch queue depth per worker (thread executor)
+    queue_depth: int = 1024
+    #: "block" (backpressure), "drop" (shed reads), "abort" (overload error)
+    admission: str = "block"
+    #: max pairs returned per replayed SCAN
+    scan_limit: int = 64
+    #: observe every Nth op's latency (1 = every op)
+    latency_sample: int = 1
+    #: fingerprint final contents (the differential's input)
+    fingerprint: bool = True
+    chunk_size: Optional[int] = None
+    lenient: bool = False
+    lsm_config: Optional[LSMConfig] = None
+    #: optional PR-2 fault plan wrapped around every shard store
+    fault_plan: object = None
+
+    def validated(self) -> "ReplayConfig":
+        if self.workers < 1:
+            raise ReplayError(f"workers must be >= 1, got {self.workers}")
+        if self.executor not in EXECUTORS:
+            raise ReplayError(
+                f"executor must be one of {EXECUTORS}, got {self.executor!r}"
+            )
+        if self.admission not in ADMISSION_POLICIES:
+            raise ReplayError(
+                f"admission must be one of {ADMISSION_POLICIES}, "
+                f"got {self.admission!r}"
+            )
+        if self.queue_depth < 1:
+            raise ReplayError(f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.scan_limit < 0:
+            raise ReplayError(f"scan_limit must be >= 0, got {self.scan_limit}")
+        if self.latency_sample < 1:
+            raise ReplayError(
+                f"latency_sample must be >= 1, got {self.latency_sample}"
+            )
+        if self.pace is not None and self.pace <= 0:
+            raise ReplayError(f"pace must be > 0 ops/s, got {self.pace}")
+        if self.workers > 1 and self.executor == "process" and self.pace is not None:
+            raise ReplayError("open-loop pacing requires the thread executor")
+        return self
+
+
+StoreFactory = Callable[[int], KVStore]
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of one replay run."""
+
+    backend: str
+    executor: str
+    workers: int
+    #: records consumed by the dispatcher (applied + dropped + failed)
+    total_records: int
+    applied: int
+    dropped: int
+    failed: int
+    fault_retries: int
+    barriers: int
+    elapsed_s: float
+    final_len: int
+    per_op: dict[str, int]
+    shard_lens: tuple[int, ...]
+    fingerprint: Optional[StateFingerprint] = None
+    pace: Optional[float] = None
+
+    @property
+    def ops_per_s(self) -> float:
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.applied / self.elapsed_s
+
+    def summary_line(self) -> str:
+        fp = f", state {self.fingerprint}" if self.fingerprint is not None else ""
+        return (
+            f"{self.applied:,} ops on {self.backend} "
+            f"({self.executor} x{self.workers}) in {self.elapsed_s:.2f}s "
+            f"({self.ops_per_s:,.0f} ops/s){fp}"
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"replayed {self.applied:,}/{self.total_records:,} ops "
+            f"against {self.backend} "
+            f"[{self.executor} executor, {self.workers} worker(s)]",
+            f"  elapsed       {self.elapsed_s:.3f}s  ({self.ops_per_s:,.0f} ops/s"
+            + (f", paced at {self.pace:,.0f} ops/s" if self.pace else "")
+            + ")",
+            "  per-op        "
+            + "  ".join(
+                f"{name}={count:,}" for name, count in self.per_op.items() if count
+            ),
+            f"  dropped={self.dropped:,}  failed={self.failed:,}  "
+            f"fault_retries={self.fault_retries:,}  barriers={self.barriers:,}",
+            f"  final store   {self.final_len:,} live pairs "
+            f"(shards: {', '.join(str(n) for n in self.shard_lens)})",
+        ]
+        if self.fingerprint is not None:
+            lines.append(f"  fingerprint   {self.fingerprint}")
+        return "\n".join(lines)
+
+
+@dataclass
+class _ShardOutcome:
+    """Per-shard result (picklable — crosses the process boundary)."""
+
+    shard: int
+    applied: int = 0
+    per_op: tuple[int, ...] = (0,) * _NUM_OPS
+    bytes_per_op: tuple[int, ...] = (0,) * _NUM_OPS
+    failed: int = 0
+    fault_retries: int = 0
+    shard_len: int = 0
+    fingerprint: Optional[StateFingerprint] = None
+    snapshot: object = None  # RegistrySnapshot (process executor only)
+
+
+def _default_factory(config: ReplayConfig) -> StoreFactory:
+    return lambda shard: make_store(
+        config.backend, lsm_config=config.lsm_config, fault_plan=config.fault_plan
+    )
+
+
+class _OpApplier:
+    """Shared per-op application loop state: fault retry, sampling."""
+
+    __slots__ = (
+        "metrics",
+        "scan_limit",
+        "sample",
+        "tick",
+        "per_op",
+        "bytes_per_op",
+        "failed",
+        "fault_retries",
+    )
+
+    def __init__(self, metrics: ReplayMetrics, scan_limit: int, sample: int) -> None:
+        self.metrics = metrics
+        self.scan_limit = scan_limit
+        self.sample = sample
+        self.tick = 0
+        self.per_op = [0] * _NUM_OPS
+        self.bytes_per_op = [0] * _NUM_OPS
+        self.failed = 0
+        self.fault_retries = 0
+
+    def apply(self, store: KVStore, op: int, key: bytes, value_size: int) -> None:
+        self.tick += 1
+        timed = self.tick % self.sample == 0
+        start = perf_counter() if timed else 0.0
+        try:
+            touched = apply_op(store, op, key, value_size, self.scan_limit)
+        except TransientIOError:
+            self.fault_retries += 1
+            self.metrics.faults[op].inc()
+            try:
+                touched = apply_op(store, op, key, value_size, self.scan_limit)
+            except TransientIOError:
+                self.failed += 1
+                self.metrics.failed[op].inc()
+                return
+        if timed:
+            self.metrics.latency[op].observe(perf_counter() - start)
+        self.per_op[op] += 1
+        self.bytes_per_op[op] += touched
+
+    def flush_counters(self) -> None:
+        """Fold the loop-local tallies into the registry counters."""
+        for op in range(_NUM_OPS):
+            if self.per_op[op]:
+                self.metrics.ops[op].inc(self.per_op[op])
+            if self.bytes_per_op[op]:
+                self.metrics.bytes[op].inc(self.bytes_per_op[op])
+        self.metrics.records.inc(sum(self.per_op) + self.failed)
+
+    @property
+    def applied(self) -> int:
+        return sum(self.per_op)
+
+
+# ---------------------------------------------------------------------------
+# inline / process-shard execution
+# ---------------------------------------------------------------------------
+
+
+def _replay_shard(
+    path: Union[str, Path],
+    config: ReplayConfig,
+    shard: int,
+    num_shards: int,
+    registry: MetricsRegistry,
+    store: Optional[KVStore] = None,
+    paced: bool = False,
+) -> _ShardOutcome:
+    """Replay one key shard of the trace into one store, in trace order."""
+    metrics = ReplayMetrics(registry)
+    if store is None:
+        store = _default_factory(config)(shard)
+    applier = _OpApplier(metrics, config.scan_limit, config.latency_sample)
+    pacer = make_pacer(config.pace) if paced else None
+    apply = applier.apply
+    for chunk in open_trace_chunks(
+        path, chunk_size=config.chunk_size, lenient=config.lenient
+    ):
+        if num_shards > 1:
+            selected = np.nonzero(chunk_shards(chunk, num_shards) == shard)[0]
+            metrics.count_classes(chunk.class_ids[selected])
+            indices = selected.tolist()
+        else:
+            metrics.count_classes(chunk.class_ids)
+            indices = range(len(chunk))
+        ops = chunk.ops.tolist()
+        value_sizes = chunk.value_sizes.tolist()
+        key_ids = chunk.key_ids.tolist()
+        keys = chunk.keys
+        for i in indices:
+            if pacer is not None:
+                pacer.acquire(1)
+            apply(store, ops[i], keys[key_ids[i]], value_sizes[i])
+    applier.flush_counters()
+    return _ShardOutcome(
+        shard=shard,
+        applied=applier.applied,
+        per_op=tuple(applier.per_op),
+        bytes_per_op=tuple(applier.bytes_per_op),
+        failed=applier.failed,
+        fault_retries=applier.fault_retries,
+        shard_len=len(store),
+        fingerprint=store_fingerprint(store) if config.fingerprint else None,
+    )
+
+
+def _process_shard_worker(
+    path: str, config: ReplayConfig, shard: int, num_shards: int
+) -> _ShardOutcome:
+    """Top-level (picklable) process-executor worker."""
+    registry = MetricsRegistry()
+    # Swap the process-wide registry so the shard store's object
+    # collectors (bind_store_metrics) land in the snapshot we ship back.
+    with use_registry(registry):
+        outcome = _replay_shard(path, config, shard, num_shards, registry)
+        outcome.snapshot = registry.snapshot()
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# thread executor
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _WorkerState:
+    store: KVStore
+    registry: MetricsRegistry
+    applier: _OpApplier
+    error: Optional[BaseException] = None
+    done: threading.Event = field(default_factory=threading.Event)
+
+
+def _worker_loop(
+    state: _WorkerState, jobs: "queue.Queue", stop: threading.Event
+) -> None:
+    applier = state.applier
+    store = state.store
+    while True:
+        try:
+            item = jobs.get(timeout=0.05)
+        except queue.Empty:
+            if stop.is_set():
+                break
+            continue
+        try:
+            if item is None:
+                return
+            if state.error is None:
+                op, key, value_size = item
+                applier.apply(store, op, key, value_size)
+        except BaseException as exc:  # keep consuming so the dispatcher
+            state.error = exc  # never deadlocks on a full queue
+        finally:
+            jobs.task_done()
+
+
+class _ThreadedReplay:
+    """Dispatcher + N shard worker threads over bounded queues."""
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        config: ReplayConfig,
+        store_factory: StoreFactory,
+    ) -> None:
+        self.path = path
+        self.config = config
+        self.coordinator_registry = MetricsRegistry()
+        self.metrics = ReplayMetrics(self.coordinator_registry)
+        self.states = [
+            _WorkerState(
+                store=store_factory(shard),
+                registry=(registry := MetricsRegistry()),
+                applier=_OpApplier(
+                    ReplayMetrics(registry), config.scan_limit, config.latency_sample
+                ),
+            )
+            for shard in range(config.workers)
+        ]
+        self.queues = [
+            queue.Queue(maxsize=config.queue_depth) for _ in range(config.workers)
+        ]
+        self.stop = threading.Event()
+        self.threads = [
+            threading.Thread(
+                target=_worker_loop,
+                args=(state, jobs, self.stop),
+                name=f"replay-worker-{i}",
+                daemon=True,
+            )
+            for i, (state, jobs) in enumerate(zip(self.states, self.queues))
+        ]
+        self.dropped = [0] * _NUM_OPS
+        self.barriers = 0
+
+    def _first_error(self) -> Optional[BaseException]:
+        for state in self.states:
+            if state.error is not None:
+                return state.error
+        return None
+
+    def _barrier(self) -> None:
+        """Wait until every queue is drained and every worker is idle."""
+        for jobs in self.queues:
+            jobs.join()
+        self.barriers += 1
+        self.metrics.barriers.inc()
+
+    def _merged_scan(self, applier: _OpApplier, key: bytes) -> None:
+        """Execute a SCAN against the union of shard stores (holds only
+        under the barrier: all workers idle, no in-flight mutations)."""
+        applier.tick += 1
+        timed = applier.tick % applier.sample == 0
+        start = perf_counter() if timed else 0.0
+        touched = 0
+        merged = heapq.merge(
+            *(state.store.scan(key) for state in self.states),
+            key=lambda pair: pair[0],
+        )
+        for index, (_, value) in enumerate(merged):
+            if index >= applier.scan_limit:
+                break
+            touched += len(value)
+        if timed:
+            applier.metrics.latency[OP_SCAN].observe(perf_counter() - start)
+        applier.per_op[OP_SCAN] += 1
+        applier.bytes_per_op[OP_SCAN] += touched
+
+    def _sample_queue_depths(self) -> None:
+        gauge = self.metrics.queue_depth
+        for worker, jobs in enumerate(self.queues):
+            gauge.labels(worker=str(worker)).set(jobs.qsize())
+
+    def _dispatch(self, scan_applier: _OpApplier) -> int:
+        config = self.config
+        pacer = make_pacer(config.pace)
+        admission = config.admission
+        queues = self.queues
+        dispatched = 0
+        for chunk in open_trace_chunks(
+            self.path, chunk_size=config.chunk_size, lenient=config.lenient
+        ):
+            self.metrics.count_classes(chunk.class_ids)
+            shards = chunk_shards(chunk, config.workers).tolist()
+            ops = chunk.ops.tolist()
+            value_sizes = chunk.value_sizes.tolist()
+            key_ids = chunk.key_ids.tolist()
+            keys = chunk.keys
+            for i in range(len(chunk)):
+                op = ops[i]
+                key = keys[key_ids[i]]
+                pacer.acquire(1)
+                dispatched += 1
+                if op == OP_SCAN:
+                    self._barrier()
+                    error = self._first_error()
+                    if error is not None:
+                        return dispatched
+                    self._merged_scan(scan_applier, key)
+                else:
+                    jobs = queues[shards[i]]
+                    item = (op, key, value_sizes[i])
+                    if admission == "block":
+                        jobs.put(item)
+                    elif admission == "drop":
+                        # Only reads are sheddable: dropping a mutation
+                        # would fork the final state from serial replay.
+                        if op == OP_READ and jobs.full():
+                            self.dropped[op] += 1
+                            self.metrics.dropped[op].inc()
+                        else:
+                            jobs.put(item)
+                    else:  # abort
+                        try:
+                            jobs.put_nowait(item)
+                        except queue.Full:
+                            raise ReplayOverloadError(
+                                f"worker {shards[i]} queue full "
+                                f"(depth {config.queue_depth}) after "
+                                f"{dispatched:,} records under admission=abort"
+                            ) from None
+                if dispatched % _GAUGE_EVERY == 0:
+                    self._sample_queue_depths()
+                    error = self._first_error()
+                    if error is not None:
+                        return dispatched
+        return dispatched
+
+    def run(self, registry: MetricsRegistry) -> ReplayReport:
+        config = self.config
+        scan_applier = _OpApplier(
+            self.metrics, config.scan_limit, config.latency_sample
+        )
+        for thread in self.threads:
+            thread.start()
+        start = perf_counter()
+        overload: Optional[ReplayOverloadError] = None
+        try:
+            dispatched = self._dispatch(scan_applier)
+            for jobs in self.queues:
+                jobs.join()
+        except ReplayOverloadError as exc:
+            overload = exc
+            dispatched = 0
+        finally:
+            self.stop.set()
+            for jobs in self.queues:
+                try:
+                    jobs.put_nowait(None)
+                except queue.Full:
+                    pass  # workers drain via the stop event
+            for thread in self.threads:
+                thread.join()
+        elapsed = perf_counter() - start
+        self._sample_queue_depths()  # all zero now
+        if overload is not None:
+            raise overload
+        error = self._first_error()
+        if error is not None:
+            raise ReplayError(
+                f"replay worker failed: {error!r}"
+            ) from error
+        scan_applier.flush_counters()
+        for state in self.states:
+            state.applier.flush_counters()
+        # Absorb in deterministic shard order: coordinator first.
+        registry.absorb(self.coordinator_registry.snapshot())
+        for state in self.states:
+            registry.absorb(state.registry.snapshot())
+        per_op = list(scan_applier.per_op)
+        applied = scan_applier.applied
+        failed = retries = 0
+        shard_lens = []
+        fingerprint = StateFingerprint() if config.fingerprint else None
+        for state in self.states:
+            applier = state.applier
+            for op in range(_NUM_OPS):
+                per_op[op] += applier.per_op[op]
+            applied += applier.applied
+            failed += applier.failed
+            retries += applier.fault_retries
+            shard_lens.append(len(state.store))
+            if fingerprint is not None:
+                fingerprint = fingerprint.combine(store_fingerprint(state.store))
+        return ReplayReport(
+            backend=config.backend,
+            executor="thread",
+            workers=config.workers,
+            total_records=dispatched,
+            applied=applied,
+            dropped=sum(self.dropped),
+            failed=failed,
+            fault_retries=retries,
+            barriers=self.barriers,
+            elapsed_s=elapsed,
+            final_len=sum(shard_lens),
+            per_op=dict(zip(OP_NAMES, per_op)),
+            shard_lens=tuple(shard_lens),
+            fingerprint=fingerprint,
+            pace=config.pace,
+        )
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+
+def _report_from_outcomes(
+    config: ReplayConfig,
+    executor: str,
+    outcomes: list[_ShardOutcome],
+    elapsed: float,
+) -> ReplayReport:
+    per_op = [0] * _NUM_OPS
+    applied = failed = retries = 0
+    fingerprint = StateFingerprint() if config.fingerprint else None
+    for outcome in outcomes:
+        for op in range(_NUM_OPS):
+            per_op[op] += outcome.per_op[op]
+        applied += outcome.applied
+        failed += outcome.failed
+        retries += outcome.fault_retries
+        if fingerprint is not None and outcome.fingerprint is not None:
+            fingerprint = fingerprint.combine(outcome.fingerprint)
+    return ReplayReport(
+        backend=config.backend,
+        executor=executor,
+        workers=config.workers,
+        total_records=applied + failed,
+        applied=applied,
+        dropped=0,
+        failed=failed,
+        fault_retries=retries,
+        barriers=0,
+        elapsed_s=elapsed,
+        final_len=sum(outcome.shard_len for outcome in outcomes),
+        per_op=dict(zip(OP_NAMES, per_op)),
+        shard_lens=tuple(outcome.shard_len for outcome in outcomes),
+        fingerprint=fingerprint,
+        pace=config.pace,
+    )
+
+
+def _replay_inline(
+    path: Union[str, Path],
+    config: ReplayConfig,
+    registry: MetricsRegistry,
+    store_factory: Optional[StoreFactory],
+) -> ReplayReport:
+    factory = store_factory if store_factory is not None else _default_factory(config)
+    start = perf_counter()
+    outcome = _replay_shard(
+        path, config, 0, 1, registry, store=factory(0), paced=True
+    )
+    elapsed = perf_counter() - start
+    return _report_from_outcomes(replace(config, workers=1), "inline", [outcome], elapsed)
+
+
+def _replay_processes(
+    path: Union[str, Path],
+    config: ReplayConfig,
+    registry: MetricsRegistry,
+) -> ReplayReport:
+    workers = config.workers
+    start = perf_counter()
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_process_shard_worker, str(path), config, shard, workers)
+                for shard in range(workers)
+            ]
+            outcomes = [future.result() for future in futures]
+    except ReplayError:
+        raise
+    except Exception as exc:
+        raise ReplayError(f"process-sharded replay failed: {exc!r}") from exc
+    elapsed = perf_counter() - start
+    outcomes.sort(key=lambda outcome: outcome.shard)
+    for outcome in outcomes:  # deterministic shard-order absorption
+        if outcome.snapshot is not None:
+            registry.absorb(outcome.snapshot)
+    return _report_from_outcomes(config, "process", outcomes, elapsed)
+
+
+def replay_trace(
+    path: Union[str, Path],
+    config: Optional[ReplayConfig] = None,
+    *,
+    registry: Optional[MetricsRegistry] = None,
+    store_factory: Optional[StoreFactory] = None,
+) -> ReplayReport:
+    """Replay a saved trace file against a KV backend.
+
+    ``registry`` defaults to the process-wide obs registry.
+    ``store_factory(shard)`` overrides backend construction (inline and
+    thread executors only — process workers build their own stores).
+    """
+    config = (config if config is not None else ReplayConfig()).validated()
+    if registry is None:
+        registry = get_registry()
+    make_store(config.backend)  # fail fast on unknown backends
+    if config.workers == 1:
+        return _replay_inline(path, config, registry, store_factory)
+    if config.executor == "process":
+        if store_factory is not None:
+            raise ReplayError(
+                "store_factory is not supported by the process executor"
+            )
+        return _replay_processes(path, config, registry)
+    factory = store_factory if store_factory is not None else _default_factory(config)
+    return _ThreadedReplay(path, config, factory).run(registry)

@@ -1,0 +1,96 @@
+"""Replay metric families, declared against the PR-3 obs registry.
+
+Every family uses *fixed* names, labels, and — critically — fixed
+exponential histogram buckets built by
+:func:`repro.obs.exponential_buckets` from constants, so a snapshot
+produced by any replay run (any worker, any process, any run of
+``repro replay --metrics-out``) merges associatively with any other:
+``repro stats`` can fold an arbitrary set of replay dumps into one
+view.  ``tests/test_obs.py`` locks the merge down by name.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.classes import CLASS_LIST
+from repro.obs import MetricsRegistry, exponential_buckets
+
+#: Fixed latency bounds: 100 ns .. ~13 s in powers of two.  Store point
+#: ops land well inside the low buckets; injected latency spikes and
+#: barrier scans use the top.  Never derive bounds from observed data —
+#: merges require every producer to share these exact bounds.
+REPLAY_LATENCY_BUCKETS = exponential_buckets(1e-7, 2.0, 28)
+
+#: Class label values in dense-class-id order (CLASS_LIST order).
+_CLASS_NAMES = tuple(cls.value for cls in CLASS_LIST)
+
+
+class ReplayMetrics:
+    """Cached children for the replay families on one registry."""
+
+    def __init__(self, registry: MetricsRegistry, worker: Optional[str] = None) -> None:
+        self.registry = registry
+        ops = registry.counter(
+            "repro_replay_ops_total", "replayed operations", ("op",)
+        )
+        replay_bytes = registry.counter(
+            "repro_replay_bytes_total", "value bytes touched by replay", ("op",)
+        )
+        dropped = registry.counter(
+            "repro_replay_dropped_total",
+            "operations shed by the drop admission policy",
+            ("op",),
+        )
+        faults = registry.counter(
+            "repro_replay_faults_total",
+            "injected faults absorbed (op retried once)",
+            ("op",),
+        )
+        failed = registry.counter(
+            "repro_replay_failed_total",
+            "operations that still failed after the fault retry",
+            ("op",),
+        )
+        latency = registry.histogram(
+            "repro_replay_latency_seconds",
+            "per-operation service latency",
+            ("op",),
+            buckets=REPLAY_LATENCY_BUCKETS,
+        )
+        from repro.core.trace import OpType
+
+        names = tuple(op.name.lower() for op in OpType)
+        self.ops = tuple(ops.labels(op=name) for name in names)
+        self.bytes = tuple(replay_bytes.labels(op=name) for name in names)
+        self.dropped = tuple(dropped.labels(op=name) for name in names)
+        self.faults = tuple(faults.labels(op=name) for name in names)
+        self.failed = tuple(failed.labels(op=name) for name in names)
+        self.latency = tuple(latency.labels(op=name) for name in names)
+        self.class_ops = registry.counter(
+            "repro_replay_class_ops_total", "replayed operations per KV class", ("kv_class",)
+        )
+        self.records = registry.counter(
+            "repro_replay_records_total", "trace records consumed by the dispatcher"
+        )
+        self.barriers = registry.counter(
+            "repro_replay_barriers_total", "scan sequencing barriers taken"
+        )
+        self.queue_depth = registry.gauge(
+            "repro_replay_queue_depth", "dispatch queue occupancy", ("worker",)
+        )
+        self.worker = worker
+
+    def count_classes(self, class_ids: np.ndarray) -> None:
+        """Fold a chunk's (or shard slice's) dense class ids into the
+        per-class counters with one bincount."""
+        if len(class_ids) == 0:
+            return
+        counts = np.bincount(class_ids, minlength=len(_CLASS_NAMES))
+        class_ops = self.class_ops
+        for class_id in np.nonzero(counts)[0].tolist():
+            class_ops.labels(kv_class=_CLASS_NAMES[class_id]).inc(
+                int(counts[class_id])
+            )

@@ -1,0 +1,81 @@
+"""Open-loop and closed-loop pacing for replay.
+
+Closed-loop replay issues the next operation as soon as the previous
+completes — the as-fast-as-possible mode every throughput bench uses.
+Open-loop replay issues operations at a *target* rate regardless of
+completion, which is how real load arrives at a node: a token bucket
+refills at ``rate`` ops/s up to a ``burst`` ceiling, and the dispatcher
+sleeps only when the bucket runs dry.  Combined with bounded worker
+queues, open-loop pacing is what makes backpressure and the
+drop/abort admission policies observable (queues fill when the target
+rate exceeds what the backend sustains).
+
+The clock and sleep functions are injectable so tests pace virtual
+time instead of wall time.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+
+class ClosedLoopPacer:
+    """No pacing: every acquire returns immediately."""
+
+    def acquire(self, n: int = 1) -> None:
+        pass
+
+
+class TokenBucketPacer:
+    """Token bucket targeting ``rate`` operations per second.
+
+    ``burst`` bounds how far the bucket can fill while the dispatcher
+    is busy (default: 20 ms of tokens, at least 1), so a stall is not
+    followed by an unbounded catch-up burst.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("pace rate must be > 0 ops/s")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, self.rate / 50.0)
+        if self.burst <= 0:
+            raise ValueError("burst must be > 0 tokens")
+        self._clock = clock
+        self._sleep = sleep
+        self._tokens = self.burst
+        self._last = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
+        self._last = now
+
+    def acquire(self, n: int = 1) -> None:
+        """Block until ``n`` tokens are available, then consume them.
+
+        Tokens within 1e-9 of ``n`` count as available: without the
+        tolerance, a float-absorbed refill (a sub-epsilon sleep that
+        does not advance the clock) could spin forever at 0.999…
+        tokens.  The deficit carries over as negative tokens, so the
+        long-run rate is unaffected.
+        """
+        self._refill()
+        while self._tokens < n - 1e-9:
+            self._sleep((n - self._tokens) / self.rate)
+            self._refill()
+        self._tokens -= n
+
+
+def make_pacer(rate: Optional[float]):
+    """A pacer for a target rate; ``None``/0 means closed-loop."""
+    if rate:
+        return TokenBucketPacer(rate)
+    return ClosedLoopPacer()

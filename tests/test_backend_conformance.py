@@ -1,0 +1,190 @@
+"""Backend-conformance matrix.
+
+One parametrized suite asserting that every shipped backend — memdb,
+btree, hashlog, lsm, hybrid — implements the :class:`KVStore` contract
+*identically*: same semantics for point ops, ordered scans, prefix
+scans, write batches, and length accounting.  The replay engine's
+backend factory is only sound because of this interchangeability, so
+the matrix drives each store through the factory it actually uses.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import KeyNotFoundError
+from repro.replay import BACKEND_NAMES, make_store
+
+
+@pytest.fixture(params=BACKEND_NAMES)
+def store(request):
+    store = make_store(request.param)
+    yield store
+    store.close()
+
+
+def test_factory_rejects_unknown_backend():
+    with pytest.raises(ValueError, match="unknown replay backend"):
+        make_store("rocksdb")
+
+
+def test_get_put_roundtrip(store):
+    store.put(b"alpha", b"1")
+    store.put(b"beta", b"2")
+    assert store.get(b"alpha") == b"1"
+    assert store.get(b"beta") == b"2"
+
+
+def test_get_missing_raises(store):
+    with pytest.raises(KeyNotFoundError):
+        store.get(b"missing")
+    assert store.get_or_none(b"missing") is None
+
+
+def test_put_overwrites(store):
+    store.put(b"k", b"old")
+    store.put(b"k", b"new")
+    assert store.get(b"k") == b"new"
+    assert len(store) == 1
+
+
+def test_empty_value_is_a_live_pair(store):
+    store.put(b"k", b"")
+    assert store.get(b"k") == b""
+    assert store.has(b"k")
+    assert len(store) == 1
+
+
+def test_delete_and_blind_delete(store):
+    store.put(b"k", b"v")
+    store.delete(b"k")
+    assert not store.has(b"k")
+    assert store.get_or_none(b"k") is None
+    # Pebble semantics: deleting an absent key is a no-op, not an error.
+    store.delete(b"k")
+    store.delete(b"never-existed")
+    assert len(store) == 0
+
+
+def test_has(store):
+    assert not store.has(b"k")
+    store.put(b"k", b"v")
+    assert store.has(b"k")
+
+
+def test_len_counts_live_keys(store):
+    assert len(store) == 0
+    for i in range(10):
+        store.put(b"k%d" % i, b"v")
+    assert len(store) == 10
+    store.put(b"k3", b"v2")  # overwrite: no growth
+    assert len(store) == 10
+    store.delete(b"k3")
+    assert len(store) == 9
+
+
+def test_scan_is_ordered_and_bounded(store):
+    pairs = {b"b": b"2", b"d": b"4", b"a": b"1", b"c": b"3", b"e": b"5"}
+    for key, value in pairs.items():
+        store.put(key, value)
+    assert list(store.scan(b"")) == sorted(pairs.items())
+    # start inclusive, end exclusive
+    assert list(store.scan(b"b", b"d")) == [(b"b", b"2"), (b"c", b"3")]
+    # start between keys
+    assert [k for k, _ in store.scan(b"bb")] == [b"c", b"d", b"e"]
+    # empty ranges
+    assert list(store.scan(b"x")) == []
+    assert list(store.scan(b"c", b"c")) == []
+
+
+def test_scan_skips_deleted(store):
+    for key in (b"a", b"b", b"c"):
+        store.put(key, b"v")
+    store.delete(b"b")
+    assert [k for k, _ in store.scan(b"")] == [b"a", b"c"]
+
+
+def test_scan_prefix(store):
+    store.put(b"acct:1", b"a1")
+    store.put(b"acct:2", b"a2")
+    store.put(b"acctx", b"x")  # shares the byte prefix "acct"
+    store.put(b"code:1", b"c1")
+    assert [k for k, _ in store.scan_prefix(b"acct:")] == [b"acct:1", b"acct:2"]
+    assert [k for k, _ in store.scan_prefix(b"acct")] == [
+        b"acct:1",
+        b"acct:2",
+        b"acctx",
+    ]
+    assert list(store.scan_prefix(b"zzz")) == []
+
+
+def test_scan_prefix_all_ff(store):
+    store.put(b"\xff\xff\x01", b"v1")
+    store.put(b"\xff\xff\xff", b"v2")
+    assert [k for k, _ in store.scan_prefix(b"\xff\xff")] == [
+        b"\xff\xff\x01",
+        b"\xff\xff\xff",
+    ]
+
+
+def test_keys_iterates_in_order(store):
+    for key in (b"c", b"a", b"b"):
+        store.put(key, b"v")
+    assert list(store.keys()) == [b"a", b"b", b"c"]
+
+
+def test_write_batch_applies_atomically_in_order(store):
+    store.put(b"stale", b"old")
+    batch = store.write_batch()
+    batch.put(b"k1", b"v1")
+    batch.put(b"stale", b"new")
+    batch.delete(b"k1")
+    batch.put(b"k1", b"v1-again")  # last op on a key wins
+    assert len(batch) == 2
+    assert len(store) == 1  # nothing applied before commit
+    batch.commit()
+    assert store.get(b"k1") == b"v1-again"
+    assert store.get(b"stale") == b"new"
+    assert len(batch) == 0  # commit resets the batch
+
+
+def test_write_batch_delete_wins_when_last(store):
+    store.put(b"k", b"v")
+    batch = store.write_batch()
+    batch.put(b"k", b"v2")
+    batch.delete(b"k")
+    batch.commit()
+    assert not store.has(b"k")
+
+
+def test_write_batch_reset_discards(store):
+    batch = store.write_batch()
+    batch.put(b"k", b"v")
+    batch.reset()
+    batch.commit()
+    assert len(store) == 0
+
+
+def test_randomized_model_equivalence(store):
+    """Every backend must track a dict model through a mixed workload."""
+    rng = random.Random(99)
+    model: dict[bytes, bytes] = {}
+    keys = [bytes([65 + rng.randrange(8)]) + rng.randbytes(3) for _ in range(64)]
+    for step in range(600):
+        key = rng.choice(keys)
+        roll = rng.random()
+        if roll < 0.55:
+            value = rng.randbytes(rng.randrange(0, 40))
+            store.put(key, value)
+            model[key] = value
+        elif roll < 0.8:
+            assert store.get_or_none(key) == model.get(key)
+        else:
+            store.delete(key)
+            model.pop(key, None)
+        if step % 97 == 0:
+            assert list(store.scan(b"")) == sorted(model.items())
+    assert len(store) == len(model)
+    assert list(store.scan(b"")) == sorted(model.items())

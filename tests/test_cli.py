@@ -24,6 +24,7 @@ class TestParser:
             "export",
             "compare",
             "crashtest",
+            "replay",
             "stats",
             "bench",
         }
@@ -205,3 +206,72 @@ class TestStats:
         paths = {values[span_index] for values in spans.series}
         assert "import_block" in paths
         assert "import_block/execute" in paths
+
+
+class TestReplay:
+    def test_replay_defaults(self):
+        args = build_parser().parse_args(["replay", "t.bin"])
+        assert args.backend == "memdb"
+        assert args.workers == 1
+        assert args.executor == "thread"
+        assert args.admission == "block"
+        assert args.pace is None
+
+    def test_replay_missing_trace(self, capsys):
+        code = main(["replay", "/nonexistent/trace.bin"])
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_replay_unknown_backend(self, synced_trace, capsys):
+        code = main(["replay", str(synced_trace), "--backend", "rocksdb"])
+        assert code == 2
+        assert "unknown backend" in capsys.readouterr().err
+
+    def test_replay_bad_config(self, synced_trace, capsys):
+        code = main(["replay", str(synced_trace), "--workers", "0"])
+        assert code == 2
+        assert "workers" in capsys.readouterr().err
+
+    def test_replay_serial_run(self, synced_trace, capsys):
+        code = main(["replay", str(synced_trace)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "inline executor" in out
+        assert "fingerprint" in out
+
+    def test_replay_sharded_with_metrics_out(self, synced_trace, tmp_path, capsys):
+        from repro.obs.export import read_snapshot_json
+
+        metrics = tmp_path / "replay.json"
+        code = main(
+            [
+                "replay",
+                str(synced_trace),
+                "--backend",
+                "lsm",
+                "--workers",
+                "2",
+                "--latency-sample",
+                "8",
+                "--metrics-out",
+                str(metrics),
+            ]
+        )
+        assert code == 0
+        assert "thread executor, 2 worker(s)" in capsys.readouterr().out
+        snap = read_snapshot_json(metrics)
+        assert snap.get_value("repro_replay_records_total") > 0
+        assert "repro_replay_latency_seconds" in snap.families
+
+    def test_replay_verify_mode(self, synced_trace, capsys):
+        code = main(["replay", str(synced_trace), "--workers", "4", "--verify"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "IDENTICAL" in out
+
+    def test_replay_corrupt_trace(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.bin"
+        bogus.write_bytes(b"this is not a trace file at all")
+        code = main(["replay", str(bogus)])
+        assert code == 2
+        assert "cannot read trace" in capsys.readouterr().err

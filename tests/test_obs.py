@@ -501,3 +501,88 @@ class TestSnapshotDiff:
             "latency_seconds_sum": pytest.approx(1.0),
         }
         assert list(flat) == sorted(flat)
+
+
+class TestReplayMetricsMerge:
+    """The replay engine's families must merge associatively by name.
+
+    Replay latency histograms use *fixed* exponential buckets
+    (:data:`repro.replay.metrics.REPLAY_LATENCY_BUCKETS`), never
+    data-derived bounds — that is what lets ``repro stats`` fold any
+    set of ``repro replay --metrics-out`` dumps into one view.
+    """
+
+    def _replay_snapshot(self, tmp_path, seed: int, workers: int) -> RegistrySnapshot:
+        import random as _random
+
+        from repro.core.trace import OpType, TraceRecord, write_trace_v2
+        from repro.replay import ReplayConfig, replay_trace
+
+        rng = _random.Random(seed)
+        keys = [b"A" + rng.randbytes(6) for _ in range(40)]
+        records = [
+            TraceRecord(
+                rng.choice((OpType.WRITE, OpType.READ, OpType.DELETE)),
+                rng.choice(keys),
+                rng.randrange(0, 64),
+                0,
+            )
+            for _ in range(400)
+        ]
+        records.append(TraceRecord(OpType.SCAN, b"A", 0, 0))
+        path = tmp_path / f"replay-{seed}-{workers}.v2"
+        write_trace_v2(path, records, chunk_size=128)
+        registry = MetricsRegistry()
+        replay_trace(
+            path,
+            ReplayConfig(workers=workers, fingerprint=False),
+            registry=registry,
+        )
+        return registry.snapshot()
+
+    def test_replay_buckets_are_fixed_constants(self):
+        from repro.replay import REPLAY_LATENCY_BUCKETS
+
+        assert REPLAY_LATENCY_BUCKETS == exponential_buckets(1e-7, 2.0, 28)
+
+    def test_replay_snapshots_merge_associatively(self, tmp_path):
+        snaps = [
+            self._replay_snapshot(tmp_path, seed=1, workers=1),
+            self._replay_snapshot(tmp_path, seed=2, workers=2),
+            self._replay_snapshot(tmp_path, seed=3, workers=4),
+        ]
+        a, b, c = snaps
+        left = a.merged(b).merged(c)
+        right = a.merged(b.merged(c))
+        assert snapshot_to_json(left) == snapshot_to_json(right)
+        merged = merge_snapshots(snaps)
+        # counters sum across runs
+        total = sum(snap.get_value("repro_replay_records_total") for snap in snaps)
+        assert merged.value("repro_replay_records_total") == total
+        # fixed-bucket histograms merge per-op
+        for op in ("write", "read", "delete"):
+            counts = [snap.value("repro_replay_latency_seconds", op=op) for snap in snaps]
+            merged_hist = merged.value("repro_replay_latency_seconds", op=op)
+            assert merged_hist.count == sum(h.count for h in counts)
+            assert merged_hist.bounds == counts[0].bounds
+
+    def test_replay_metric_names_present(self, tmp_path):
+        snap = self._replay_snapshot(tmp_path, seed=9, workers=2)
+        for name in (
+            "repro_replay_ops_total",
+            "repro_replay_bytes_total",
+            "repro_replay_latency_seconds",
+            "repro_replay_class_ops_total",
+            "repro_replay_records_total",
+            "repro_replay_barriers_total",
+            "repro_replay_queue_depth",
+        ):
+            assert name in snap.families, name
+
+    def test_replay_json_roundtrip_then_merge(self, tmp_path):
+        """The exact `repro stats` path: JSON out, parse back, merge."""
+        a = self._replay_snapshot(tmp_path, seed=21, workers=1)
+        b = self._replay_snapshot(tmp_path, seed=22, workers=2)
+        a2 = snapshot_from_json(snapshot_to_json(a))
+        b2 = snapshot_from_json(snapshot_to_json(b))
+        assert snapshot_to_json(a2.merged(b2)) == snapshot_to_json(a.merged(b))

@@ -1,0 +1,485 @@
+"""Unit tests for the replay engine's pieces.
+
+The end-to-end ordering/differential properties live in
+``tests/test_replay_properties.py``; this file pins down the parts in
+isolation — partitioner stability, value synthesis, op application,
+pacing (against a virtual clock), admission policies, fault retry, and
+the report/config surfaces.
+"""
+
+from __future__ import annotations
+
+import random
+from zlib import crc32
+
+import numpy as np
+import pytest
+
+from repro.core.trace import OpType, TraceRecord, write_trace_v2
+from repro.errors import ReplayError, ReplayOverloadError
+from repro.obs import MetricsRegistry
+from repro.replay import (
+    ClosedLoopPacer,
+    ReplayConfig,
+    ReplayReport,
+    TokenBucketPacer,
+    apply_op,
+    chunk_shards,
+    key_shards,
+    make_pacer,
+    make_store,
+    replay_trace,
+    shard_of,
+    synth_value,
+)
+from repro.replay.apply import OP_DELETE, OP_READ, OP_SCAN, OP_WRITE
+
+
+# ---------------------------------------------------------------------------
+# partitioner
+# ---------------------------------------------------------------------------
+
+
+def test_shard_of_is_stable_and_bounded():
+    keys = [b"key-%d" % i for i in range(200)]
+    for num_shards in (1, 2, 3, 8):
+        shards = [shard_of(key, num_shards) for key in keys]
+        assert all(0 <= s < num_shards for s in shards)
+        # stable: same mapping on a second pass (crc32, not hash())
+        assert shards == [shard_of(key, num_shards) for key in keys]
+    assert all(shard_of(key, 1) == 0 for key in keys)
+
+
+def test_shard_of_matches_crc32():
+    assert shard_of(b"abc", 7) == crc32(b"abc") % 7
+
+
+def test_key_shards_vectorized_matches_scalar():
+    keys = [b"k%d" % i for i in range(50)]
+    vec = key_shards(keys, 4)
+    assert vec.tolist() == [shard_of(key, 4) for key in keys]
+
+
+def test_chunk_shards_broadcasts_through_key_ids():
+    from repro.core.columnar import TraceChunk
+
+    keys = [b"a", b"b", b"c"]
+    chunk = TraceChunk(
+        ops=np.zeros(5, dtype=np.uint8),
+        value_sizes=np.zeros(5, dtype=np.uint32),
+        blocks=np.zeros(5, dtype=np.uint32),
+        key_ids=np.array([2, 0, 1, 2, 0], dtype=np.uint32),
+        keys=keys,
+    )
+    shards = chunk_shards(chunk, 3)
+    expected = [shard_of(keys[i], 3) for i in (2, 0, 1, 2, 0)]
+    assert shards.tolist() == expected
+
+
+def test_shards_balance_roughly():
+    rng = random.Random(5)
+    keys = [rng.randbytes(16) for _ in range(4000)]
+    counts = np.bincount(key_shards(keys, 4), minlength=4)
+    assert counts.min() > 500  # no starved shard on random keys
+
+
+# ---------------------------------------------------------------------------
+# value synthesis + op application
+# ---------------------------------------------------------------------------
+
+
+def test_synth_value_deterministic_and_sized():
+    assert synth_value(b"k", 0) == b""
+    assert len(synth_value(b"k", 3)) == 3
+    assert len(synth_value(b"k", 100)) == 100
+    assert synth_value(b"k", 100) == synth_value(b"k", 100)
+    # a function of the key, not only the size
+    assert synth_value(b"k1", 100) != synth_value(b"k2", 100)
+
+
+def test_apply_op_semantics():
+    store = make_store("memdb")
+    assert apply_op(store, OP_WRITE, b"k", 32, 64) == 32
+    assert store.get(b"k") == synth_value(b"k", 32)
+    assert apply_op(store, OP_READ, b"k", 0, 64) == 32
+    assert apply_op(store, OP_READ, b"missing", 0, 64) == 0  # miss replays as miss
+    assert apply_op(store, OP_DELETE, b"k", 0, 64) == 0
+    assert not store.has(b"k")
+    apply_op(store, OP_DELETE, b"k", 0, 64)  # blind delete is fine
+
+
+def test_apply_op_scan_bounded():
+    store = make_store("memdb")
+    for i in range(10):
+        apply_op(store, OP_WRITE, b"s%02d" % i, 8, 64)
+    assert apply_op(store, OP_SCAN, b"s", 0, 3) == 24  # 3 pairs * 8 bytes
+    assert apply_op(store, OP_SCAN, b"s", 0, 0) == 0
+
+
+def test_apply_op_unknown_opcode():
+    with pytest.raises(ValueError, match="unknown trace opcode"):
+        apply_op(make_store("memdb"), 99, b"k", 0, 64)
+
+
+# ---------------------------------------------------------------------------
+# pacing
+# ---------------------------------------------------------------------------
+
+
+class VirtualClock:
+    def __init__(self):
+        self.now = 0.0
+        self.slept: list[float] = []
+
+    def clock(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.slept.append(seconds)
+        self.now += seconds
+
+
+def test_closed_loop_pacer_never_blocks():
+    pacer = ClosedLoopPacer()
+    for _ in range(1000):
+        pacer.acquire()
+
+
+def test_make_pacer():
+    assert isinstance(make_pacer(None), ClosedLoopPacer)
+    assert isinstance(make_pacer(0), ClosedLoopPacer)
+    assert isinstance(make_pacer(100.0), TokenBucketPacer)
+
+
+def test_token_bucket_paces_to_target_rate():
+    clock = VirtualClock()
+    pacer = TokenBucketPacer(100.0, burst=1.0, clock=clock.clock, sleep=clock.sleep)
+    for _ in range(101):
+        pacer.acquire()
+    # 101 ops at 100 ops/s from a 1-token bucket: ~1 virtual second
+    assert clock.now == pytest.approx(1.0, rel=0.05)
+
+
+def test_token_bucket_burst_caps_catch_up():
+    clock = VirtualClock()
+    pacer = TokenBucketPacer(100.0, burst=5.0, clock=clock.clock, sleep=clock.sleep)
+    clock.now += 60.0  # a long stall refills at most `burst` tokens
+    for _ in range(5):
+        pacer.acquire()
+    assert clock.slept == []  # burst satisfied without sleeping
+    pacer.acquire()
+    assert clock.slept  # sixth op must wait
+
+
+def test_token_bucket_rejects_bad_rate():
+    with pytest.raises(ValueError):
+        TokenBucketPacer(0)
+    with pytest.raises(ValueError):
+        TokenBucketPacer(10.0, burst=0)
+
+
+# ---------------------------------------------------------------------------
+# config validation
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"workers": 0},
+        {"executor": "fiber"},
+        {"admission": "random-drop"},
+        {"queue_depth": 0},
+        {"scan_limit": -1},
+        {"latency_sample": 0},
+        {"pace": -5.0},
+        {"workers": 2, "executor": "process", "pace": 100.0},
+    ],
+)
+def test_config_validation_rejects(kwargs):
+    with pytest.raises(ReplayError):
+        ReplayConfig(**kwargs).validated()
+
+
+def test_unknown_backend_fails_fast(tmp_path):
+    path = tmp_path / "t.v2"
+    write_trace_v2(path, [TraceRecord(OpType.WRITE, b"Ak", 8, 0)])
+    with pytest.raises(ValueError, match="unknown replay backend"):
+        replay_trace(path, ReplayConfig(backend="rocksdb"))
+
+
+# ---------------------------------------------------------------------------
+# engine behaviors (small traces, thread executor)
+# ---------------------------------------------------------------------------
+
+
+def _write_trace(path, records):
+    write_trace_v2(path, records, chunk_size=64)
+    return path
+
+
+def _mixed_records(n=300, keys=24, seed=3):
+    rng = random.Random(seed)
+    pool = [b"A" + bytes([65 + i]) * 4 for i in range(keys)]
+    records = []
+    for i in range(n):
+        roll = rng.random()
+        key = rng.choice(pool)
+        if roll < 0.5:
+            records.append(TraceRecord(OpType.WRITE, key, rng.randint(8, 64), 0))
+        elif roll < 0.85:
+            records.append(TraceRecord(OpType.READ, key, 0, 0))
+        elif roll < 0.95:
+            records.append(TraceRecord(OpType.DELETE, key, 0, 0))
+        else:
+            records.append(TraceRecord(OpType.SCAN, key, 0, 0))
+    return records
+
+
+def test_report_counts_and_render(tmp_path):
+    records = _mixed_records()
+    path = _write_trace(tmp_path / "t.v2", records)
+    report = replay_trace(path, ReplayConfig(), registry=MetricsRegistry())
+    assert report.total_records == len(records)
+    assert report.applied == len(records)
+    assert report.failed == 0 and report.dropped == 0
+    assert sum(report.per_op.values()) == len(records)
+    assert report.final_len == sum(report.shard_lens)
+    assert report.fingerprint is not None
+    assert report.fingerprint.count == report.final_len
+    text = report.render()
+    assert "inline executor" in text
+    assert "fingerprint" in text
+    assert report.summary_line() in str(report.summary_line())
+    assert report.ops_per_s > 0
+
+
+def test_report_ops_per_s_zero_elapsed():
+    report = ReplayReport(
+        backend="memdb",
+        executor="inline",
+        workers=1,
+        total_records=0,
+        applied=0,
+        dropped=0,
+        failed=0,
+        fault_retries=0,
+        barriers=0,
+        elapsed_s=0.0,
+        final_len=0,
+        per_op={},
+        shard_lens=(0,),
+    )
+    assert report.ops_per_s == 0.0
+
+
+def test_thread_executor_barriers_on_scans(tmp_path):
+    records = [TraceRecord(OpType.WRITE, b"Ak%d" % i, 16, 0) for i in range(50)]
+    records += [TraceRecord(OpType.SCAN, b"A", 0, 0)] * 4
+    path = _write_trace(tmp_path / "t.v2", records)
+    registry = MetricsRegistry()
+    report = replay_trace(
+        path, ReplayConfig(workers=3, executor="thread"), registry=registry
+    )
+    assert report.barriers == 4
+    assert report.per_op["scan"] == 4
+    snap = registry.snapshot()
+    assert snap.get_value("repro_replay_barriers_total") == 4
+    # queue-depth gauges exist and ended at zero
+    family = snap.family("repro_replay_queue_depth")
+    assert len(family.series) == 3
+    assert all(value == 0 for value in family.series.values())
+
+
+def test_thread_scan_sees_global_state(tmp_path):
+    """A barriered scan must see keys from every shard, merged in order."""
+    keys = [b"Ak%02d" % i for i in range(40)]
+    num_shards = 4
+    assert len({shard_of(key, num_shards) for key in keys}) > 1
+    records = [TraceRecord(OpType.WRITE, key, 8, 0) for key in keys]
+    records.append(TraceRecord(OpType.SCAN, b"A", 0, 0))
+    path = _write_trace(tmp_path / "t.v2", records)
+    registry = MetricsRegistry()
+    report = replay_trace(
+        path,
+        ReplayConfig(workers=num_shards, executor="thread", scan_limit=1000),
+        registry=registry,
+    )
+    snap = registry.snapshot()
+    # the scan touched every one of the 40 values (8 bytes each)
+    assert snap.get_value("repro_replay_bytes_total", op="scan") == 40 * 8
+    assert report.final_len == 40
+
+
+def test_admission_drop_sheds_only_reads(tmp_path):
+    records = _mixed_records(n=500)
+    path = _write_trace(tmp_path / "t.v2", records)
+    registry = MetricsRegistry()
+    config = ReplayConfig(
+        workers=2, executor="thread", queue_depth=1, admission="drop"
+    )
+    report = replay_trace(path, config, registry=registry)
+    assert report.total_records == len(records)
+    assert report.applied + report.dropped + report.failed == len(records)
+    snap = registry.snapshot()
+    for op in ("write", "update", "delete", "scan"):
+        assert snap.get_value("repro_replay_dropped_total", default=0.0, op=op) == 0
+    # dropping reads must not change the final state
+    serial = replay_trace(path, ReplayConfig(), registry=MetricsRegistry())
+    assert report.fingerprint == serial.fingerprint
+
+
+def test_admission_abort_raises_overload(tmp_path):
+    # every record hits one key -> one shard; depth-1 queue with a slow
+    # store must overflow under admission=abort
+    records = [TraceRecord(OpType.WRITE, b"Ahot", 8, 0) for _ in range(400)]
+    path = _write_trace(tmp_path / "t.v2", records)
+
+    class SlowStore:
+        def __init__(self, inner):
+            self.inner = inner
+
+        def put(self, key, value):
+            import time
+
+            time.sleep(0.0005)
+            self.inner.put(key, value)
+
+        def __getattr__(self, name):
+            return getattr(self.inner, name)
+
+        def __len__(self):
+            return len(self.inner)
+
+    config = ReplayConfig(
+        workers=2, executor="thread", queue_depth=1, admission="abort"
+    )
+    with pytest.raises(ReplayOverloadError):
+        replay_trace(
+            path,
+            config,
+            registry=MetricsRegistry(),
+            store_factory=lambda shard: SlowStore(make_store("memdb")),
+        )
+
+
+def test_worker_exception_propagates_as_replay_error(tmp_path):
+    records = [TraceRecord(OpType.WRITE, b"Ak%d" % i, 8, 0) for i in range(200)]
+    path = _write_trace(tmp_path / "t.v2", records)
+
+    class BrokenStore:
+        def __init__(self, inner):
+            self.inner = inner
+            self.puts = 0
+
+        def put(self, key, value):
+            self.puts += 1
+            if self.puts > 5:
+                raise RuntimeError("disk on fire")
+            self.inner.put(key, value)
+
+        def __getattr__(self, name):
+            return getattr(self.inner, name)
+
+        def __len__(self):
+            return len(self.inner)
+
+    with pytest.raises(ReplayError, match="disk on fire"):
+        replay_trace(
+            path,
+            ReplayConfig(workers=2, executor="thread"),
+            registry=MetricsRegistry(),
+            store_factory=lambda shard: BrokenStore(make_store("memdb")),
+        )
+
+
+def test_transient_faults_retried_once(tmp_path):
+    from repro.errors import TransientIOError
+
+    records = [TraceRecord(OpType.WRITE, b"Ak%d" % i, 8, 0) for i in range(60)]
+    path = _write_trace(tmp_path / "t.v2", records)
+
+    class FlakyStore:
+        """Fails every 7th put once; the retry always succeeds."""
+
+        def __init__(self, inner):
+            self.inner = inner
+            self.calls = 0
+            self.last_failed_call = -1
+
+        def put(self, key, value):
+            self.calls += 1
+            if self.calls % 7 == 0 and self.last_failed_call != self.calls - 1:
+                self.last_failed_call = self.calls
+                raise TransientIOError("blip")
+            self.inner.put(key, value)
+
+        def __getattr__(self, name):
+            return getattr(self.inner, name)
+
+        def __len__(self):
+            return len(self.inner)
+
+    registry = MetricsRegistry()
+    report = replay_trace(
+        path,
+        ReplayConfig(),
+        registry=registry,
+        store_factory=lambda shard: FlakyStore(make_store("memdb")),
+    )
+    assert report.fault_retries > 0
+    assert report.failed == 0
+    assert report.applied == len(records)
+    snap = registry.snapshot()
+    assert snap.get_value("repro_replay_faults_total", op="write") == report.fault_retries
+
+
+def test_persistent_faults_count_as_failed(tmp_path):
+    from repro.errors import TransientIOError
+
+    records = [TraceRecord(OpType.WRITE, b"Ak%d" % i, 8, 0) for i in range(10)]
+    path = _write_trace(tmp_path / "t.v2", records)
+
+    class DeadStore:
+        def __init__(self, inner):
+            self.inner = inner
+
+        def put(self, key, value):
+            raise TransientIOError("gone")
+
+        def __getattr__(self, name):
+            return getattr(self.inner, name)
+
+        def __len__(self):
+            return len(self.inner)
+
+    report = replay_trace(
+        path,
+        ReplayConfig(fingerprint=False),
+        registry=MetricsRegistry(),
+        store_factory=lambda shard: DeadStore(make_store("memdb")),
+    )
+    assert report.failed == len(records)
+    assert report.applied == 0
+    assert report.total_records == len(records)
+
+
+def test_store_factory_rejected_by_process_executor(tmp_path):
+    path = _write_trace(tmp_path / "t.v2", [TraceRecord(OpType.WRITE, b"Ak", 8, 0)])
+    with pytest.raises(ReplayError, match="store_factory"):
+        replay_trace(
+            path,
+            ReplayConfig(workers=2, executor="process"),
+            registry=MetricsRegistry(),
+            store_factory=lambda shard: make_store("memdb"),
+        )
+
+
+def test_paced_replay_applies_everything(tmp_path):
+    records = _mixed_records(n=120)
+    path = _write_trace(tmp_path / "t.v2", records)
+    report = replay_trace(
+        path, ReplayConfig(pace=1_000_000.0), registry=MetricsRegistry()
+    )
+    assert report.applied == len(records)
+    assert report.pace == 1_000_000.0

@@ -1,0 +1,198 @@
+"""Property tests for the concurrent replay engine.
+
+Seeded ``random.Random`` loops (no external property-testing
+dependency, matching ``tests/test_trace_properties.py``) assert the
+engine's two load-bearing guarantees over randomized traces:
+
+* **per-key order preservation** — for 1, 2, and 4 thread workers, the
+  sub-sequence of point operations observed by any single key equals
+  the serial replay's sub-sequence for that key, recorded at the store
+  interface by :class:`RecordingStore`;
+* **final-state identity** — serial and sharded replays (thread *and*
+  process executors) leave byte-identical store contents, checked both
+  by fingerprint and, for the in-process executors, by comparing the
+  merged pair sets directly; the differential holds on every one of
+  the five backends.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.trace import OpType, TraceRecord, write_trace_v2
+from repro.obs import MetricsRegistry
+from repro.replay import (
+    BACKEND_NAMES,
+    RecordingStore,
+    ReplayConfig,
+    combined_fingerprint,
+    differential_replay,
+    make_store,
+    replay_trace,
+)
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def random_trace(rng: random.Random, count: int) -> list[TraceRecord]:
+    """A workload with heavy per-key contention (the adversarial case
+    for ordering: interleaved writes/deletes on shared hot keys)."""
+    hot = [bytes([65 + rng.randrange(8)]) + b"hot%d" % i for i in range(8)]
+    cold = [
+        bytes([65 + rng.randrange(8)]) + rng.randbytes(rng.randrange(4, 24))
+        for _ in range(count // 4 or 1)
+    ]
+    records = []
+    for i in range(count):
+        key = rng.choice(hot) if rng.random() < 0.5 else rng.choice(cold)
+        roll = rng.random()
+        if roll < 0.40:
+            op, size = OpType.WRITE, rng.randrange(0, 128)
+        elif roll < 0.55:
+            op, size = OpType.UPDATE, rng.randrange(0, 128)
+        elif roll < 0.80:
+            op, size = OpType.READ, 0
+        elif roll < 0.95:
+            op, size = OpType.DELETE, 0
+        else:
+            op, size = OpType.SCAN, 0
+        records.append(TraceRecord(op, key, size, i // 50))
+    return records
+
+
+def write_random_trace(tmp_path, seed: int, count: int = 800):
+    rng = random.Random(seed)
+    path = tmp_path / f"trace-{seed}.v2"
+    write_trace_v2(path, random_trace(rng, count), chunk_size=128)
+    return path
+
+
+def point_op_log(path, workers: int) -> dict[bytes, list[tuple[str, bytes]]]:
+    """Replay with recording stores; return per-key point-op sequences."""
+    recorders: list[RecordingStore] = []
+
+    def factory(shard: int) -> RecordingStore:
+        recorder = RecordingStore(make_store("memdb"))
+        recorders.append(recorder)
+        return recorder
+
+    config = ReplayConfig(
+        workers=workers,
+        executor="thread",
+        fingerprint=False,  # the fingerprint pass would log extra gets
+    )
+    replay_trace(path, config, registry=MetricsRegistry(), store_factory=factory)
+    per_key: dict[bytes, list[tuple[str, bytes]]] = {}
+    for recorder in recorders:
+        for entry in recorder.log:
+            per_key.setdefault(entry[1], []).append(entry)
+    return per_key
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_per_key_order_matches_serial(tmp_path, seed):
+    path = write_random_trace(tmp_path, seed)
+    serial = point_op_log(path, workers=1)
+    for workers in WORKER_COUNTS[1:]:
+        sharded = point_op_log(path, workers=workers)
+        assert sharded.keys() == serial.keys()
+        for key, expected in serial.items():
+            assert sharded[key] == expected, (
+                f"key {key!r} observed a different op sequence "
+                f"at workers={workers} (seed {seed})"
+            )
+
+
+@pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize("executor", ("thread", "process"))
+def test_final_state_identical_across_worker_counts(tmp_path, seed, executor):
+    path = write_random_trace(
+        tmp_path, seed, count=300 if executor == "process" else 800
+    )
+    reference = replay_trace(path, ReplayConfig(), registry=MetricsRegistry())
+    for workers in WORKER_COUNTS[1:]:
+        config = ReplayConfig(workers=workers, executor=executor)
+        report = replay_trace(path, config, registry=MetricsRegistry())
+        assert report.fingerprint == reference.fingerprint, (
+            f"state diverged: {executor} x{workers}, seed {seed}"
+        )
+        assert report.final_len == reference.final_len
+
+
+@pytest.mark.parametrize("seed", (11, 12))
+def test_sharded_contents_byte_identical(tmp_path, seed):
+    """Beyond fingerprints: the merged shard pair set equals serial's."""
+    path = write_random_trace(tmp_path, seed)
+
+    def collect(workers):
+        stores = []
+
+        def factory(shard):
+            store = make_store("memdb")
+            stores.append(store)
+            return store
+
+        replay_trace(
+            path,
+            ReplayConfig(workers=workers, fingerprint=False),
+            registry=MetricsRegistry(),
+            store_factory=factory,
+        )
+        merged = {}
+        for store in stores:
+            for key, value in store.scan(b""):
+                assert key not in merged  # shards must be disjoint
+                merged[key] = value
+        return merged, combined_fingerprint(stores)
+
+    serial_pairs, serial_fp = collect(1)
+    for workers in WORKER_COUNTS[1:]:
+        sharded_pairs, sharded_fp = collect(workers)
+        assert sharded_pairs == serial_pairs
+        assert sharded_fp == serial_fp
+
+
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+def test_differential_passes_on_every_backend(tmp_path, backend):
+    path = write_random_trace(tmp_path, seed=7, count=500)
+    result = differential_replay(
+        path,
+        ReplayConfig(backend=backend, workers=4, executor="thread"),
+        registry=MetricsRegistry(),
+    )
+    assert result.match, result.render()
+    assert "IDENTICAL" in result.render()
+
+
+def test_differential_detects_order_violation(tmp_path):
+    """The harness itself must not be vacuous: a store that mangles one
+    write produces a fingerprint mismatch."""
+    path = write_random_trace(tmp_path, seed=3, count=400)
+
+    class DroppyStore:
+        def __init__(self, inner):
+            self.inner = inner
+            self.puts = 0
+
+        def put(self, key, value):
+            self.puts += 1
+            if self.puts == 17:  # silently lose one write
+                return
+            self.inner.put(key, value)
+
+        def __getattr__(self, name):
+            return getattr(self.inner, name)
+
+        def __len__(self):
+            return len(self.inner)
+
+    serial = replay_trace(path, ReplayConfig(), registry=MetricsRegistry())
+    broken = replay_trace(
+        path,
+        ReplayConfig(),
+        registry=MetricsRegistry(),
+        store_factory=lambda shard: DroppyStore(make_store("memdb")),
+    )
+    assert broken.fingerprint != serial.fingerprint
