@@ -200,3 +200,55 @@ def test_parallel_scheduler_throughput(
         pytest.skip(
             f"single-core machine: measured {speedup:.2f}x, not asserting speedup"
         )
+
+
+# ---------------------------------------------------------------------------
+# Analysis hot path: partial-aggregate cache + prefetch pipeline
+# ---------------------------------------------------------------------------
+
+
+def _best_of(workload, rounds=3):
+    """Min-of-N wall time for one workload (same filtering as the
+    parallel benches use against scheduler noise)."""
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        total = workload.run()
+        times.append(time.perf_counter() - start)
+        assert total == workload.ops
+    return min(times)
+
+
+def test_aggcache_warm_speedup(bench_ctx, record_rate):
+    """Warm cached re-analysis must be >= 2x the cold (compute + store)
+    run — the headline target of the partial-aggregate cache."""
+    cold = _workload("aggcache_cold", bench_ctx)
+    warm = _workload("aggcache_warm", bench_ctx)
+    cold_elapsed = _best_of(cold)
+    warm_elapsed = _best_of(warm)
+    record_rate("aggcache_cold", cold.ops / cold_elapsed)
+    record_rate("aggcache_warm", warm.ops / warm_elapsed)
+    speedup = cold_elapsed / warm_elapsed
+    print(
+        f"\naggcache: cold {cold_elapsed * 1e3:.1f} ms, "
+        f"warm {warm_elapsed * 1e3:.1f} ms ({speedup:.2f}x)"
+    )
+    assert speedup >= 2.0, f"warm cache only {speedup:.2f}x over cold (< 2x)"
+
+
+def test_pipelined_vs_phased(bench_ctx, record_rate):
+    """The prefetch pipeline must never cost serial throughput versus
+    the read-everything-then-analyze baseline (it should gain whenever
+    chunk I/O isn't free, but the floor here is no-regression)."""
+    pipelined = _workload("pipelined_serial", bench_ctx)
+    phased = _workload("phased_serial", bench_ctx)
+    pipelined_elapsed = _best_of(pipelined)
+    phased_elapsed = _best_of(phased)
+    record_rate("pipelined_serial", pipelined.ops / pipelined_elapsed)
+    record_rate("phased_serial", phased.ops / phased_elapsed)
+    ratio = phased_elapsed / pipelined_elapsed
+    print(
+        f"\npipeline: phased {phased_elapsed * 1e3:.1f} ms, "
+        f"pipelined {pipelined_elapsed * 1e3:.1f} ms ({ratio:.2f}x)"
+    )
+    assert ratio > 0.75, f"prefetch pipeline regressed serial path: {ratio:.2f}x"

@@ -235,6 +235,96 @@ def parallel_workers4(ctx: BenchContext) -> Workload:
 
 
 # ---------------------------------------------------------------------------
+# analysis hot path: partial-aggregate cache + prefetch pipeline
+# ---------------------------------------------------------------------------
+
+
+def _cached_analysis_workload(ctx: BenchContext, warm: bool) -> Workload:
+    """Cache-enabled analysis of the synthetic parallel trace.
+
+    ``warm=False`` clears the cache at the top of every measured run, so
+    each iteration pays compute + entry stores (the first-run cost);
+    ``warm=True`` pre-populates once in setup and every measured run is
+    served from cached per-chunk partials (read + CRC + merge only).
+    The warm/cold ratio is the cache's whole value proposition and is
+    asserted in ``benchmarks/test_analyzer_throughput.py``.
+    """
+    from repro.core.aggcache import AggregateCache, analyze_trace_cached
+    from repro.obs import MetricsRegistry
+
+    path = ctx.parallel_trace_path
+    expected = ctx.profile.parallel_chunks * ctx.profile.parallel_records_per_chunk
+    registry = MetricsRegistry()
+    cache = AggregateCache(
+        ctx.tmpdir / ("aggcache-warm" if warm else "aggcache-cold"), registry=registry
+    )
+    if warm:
+        analyze_trace_cached(
+            path, cache=cache, analyzers=("opdist",), registry=registry
+        )
+
+    def run():
+        if not warm:
+            cache.clear()
+        return analyze_trace_cached(
+            path, cache=cache, analyzers=("opdist",), registry=registry
+        )["opdist"].total_ops
+
+    return Workload(
+        run=run, ops=expected, check=lambda total: _expect(total, expected)
+    )
+
+
+@benchmark(group="aggcache")
+def aggcache_cold(ctx: BenchContext) -> Workload:
+    """Cache-enabled analysis from an empty cache (compute + store)."""
+    return _cached_analysis_workload(ctx, warm=False)
+
+
+@benchmark(group="aggcache")
+def aggcache_warm(ctx: BenchContext) -> Workload:
+    """Warm re-analysis served entirely from cached per-chunk partials."""
+    return _cached_analysis_workload(ctx, warm=True)
+
+
+@benchmark(group="pipeline")
+def pipelined_serial(ctx: BenchContext) -> Workload:
+    """Serial file analysis with the bounded prefetch pipeline
+    (reader thread overlaps chunk I/O with analyzer compute)."""
+    from repro.core.parallel import analyze_trace
+    from repro.obs import MetricsRegistry
+
+    path = ctx.parallel_trace_path
+    expected = ctx.profile.parallel_chunks * ctx.profile.parallel_records_per_chunk
+    return Workload(
+        run=lambda: analyze_trace(
+            path, workers=1, analyzers=("opdist",), registry=MetricsRegistry()
+        )["opdist"].total_ops,
+        ops=expected,
+        check=lambda total: _expect(total, expected),
+    )
+
+
+@benchmark(group="pipeline")
+def phased_serial(ctx: BenchContext) -> Workload:
+    """Read-then-analyze phases with no I/O/compute overlap — the
+    pipelining baseline the prefetch path is measured against."""
+    from repro.core.parallel import analyze_chunks
+    from repro.core.trace import open_trace_chunks
+
+    path = ctx.parallel_trace_path
+    expected = ctx.profile.parallel_chunks * ctx.profile.parallel_records_per_chunk
+
+    def run():
+        chunks = list(open_trace_chunks(path))
+        return analyze_chunks(chunks, analyzers=("opdist",))["opdist"].total_ops
+
+    return Workload(
+        run=run, ops=expected, check=lambda total: _expect(total, expected)
+    )
+
+
+# ---------------------------------------------------------------------------
 # replay engine (from benchmarks/test_replay_throughput.py)
 # ---------------------------------------------------------------------------
 

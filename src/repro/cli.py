@@ -5,7 +5,8 @@ Mirrors the paper artifact's script surface as one CLI::
     python -m repro findings  [--blocks N] [--json OUT]
     python -m repro tables    [--blocks N]
     python -m repro sync      --mode cache|bare --out TRACE.bin
-    python -m repro analyze   TRACE.bin [--correlate read|update]
+    python -m repro analyze   TRACE.bin [--correlate read|update] [--no-cache]
+    python -m repro cache     show|clear [--cache-dir DIR]
     python -m repro export    --outdir DIR [--blocks N]
     python -m repro crashtest [--crash-points all] [--seed N]
     python -m repro replay    TRACE.bin [--backend B] [--workers N] [--pace R]
@@ -14,7 +15,10 @@ Mirrors the paper artifact's script surface as one CLI::
 
 ``sync`` collects a trace to disk; ``analyze`` re-reads any trace file
 (ours or one converted from the artifact's format) and prints the
-operation-distribution table, optionally with a correlation pass;
+operation-distribution table, optionally with a correlation pass —
+re-runs over an unchanged or grown v2 trace are served from the
+per-chunk partial-aggregate cache unless ``--no-cache`` forces a cold
+scan (``repro cache show|clear`` inspects and resets that cache);
 ``export`` writes the artifact-compatible output files plus CSV/JSON;
 ``crashtest`` sweeps the fault-injection crash points and verifies the
 recovered database converges to the uninterrupted reference.
@@ -51,7 +55,6 @@ from repro.core.report import (
     render_table1,
 )
 from repro.core.columnar import DEFAULT_CHUNK_SIZE
-from repro.core.parallel import analyze_trace
 from repro.core.trace import OpType, read_trace, write_trace, write_trace_v2
 from repro.gethdb.database import DBConfig
 from repro.sync.driver import FullSyncDriver, SyncConfig, run_trace_pair
@@ -171,18 +174,35 @@ def cmd_sync(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cache_from_args(args: argparse.Namespace):
+    from repro.core.aggcache import AggregateCache
+
+    if getattr(args, "no_cache", False):
+        return None
+    return AggregateCache(args.cache_dir)
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.core.aggcache import analyze_trace_maybe_cached
+
+    if not Path(args.trace).exists():
+        print(f"analyze: trace not found: {args.trace}", file=sys.stderr)
+        return 2
     print(f"Reading {args.trace}...", file=sys.stderr)
     start = time.time()
+    cache = _cache_from_args(args)
     analysis = None
     if args.correlate:
         # The correlation passes retain the columnar trace, so build the
         # full bundle once and reuse its opdist.
-        analysis = TraceAnalysis("trace", args.trace, chunk_size=args.chunk_size)
+        analysis = TraceAnalysis(
+            "trace", args.trace, chunk_size=args.chunk_size, cache=cache
+        )
         opdist = analysis.opdist
     else:
-        opdist = analyze_trace(
+        opdist = analyze_trace_maybe_cached(
             args.trace,
+            cache=cache,
             workers=args.workers,
             chunk_size=args.chunk_size,
             analyzers=("opdist",),
@@ -328,6 +348,27 @@ def cmd_replay(args: argparse.Namespace) -> int:
     print(f"  done in {time.time() - start:.1f}s", file=sys.stderr)
     _write_metrics(args)
     return exit_code
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or clear the partial-aggregate analysis cache."""
+    from repro.core.aggcache import AggregateCache, default_cache_dir
+
+    directory = args.cache_dir if args.cache_dir is not None else default_cache_dir()
+    try:
+        cache = AggregateCache(directory)
+    except ValueError as exc:
+        print(f"cache: {exc}", file=sys.stderr)
+        return 2
+    if args.cache_command == "show":
+        entries, total = cache.stats()
+        print(f"cache directory: {cache.directory}")
+        print(f"entries: {entries}")
+        print(f"bytes:   {total}")
+        return 0
+    removed = cache.clear()
+    print(f"removed {removed} entries from {cache.directory}")
+    return 0
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -581,8 +622,37 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip corrupt v2 chunks (logged) instead of failing",
     )
+    p_analyze.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the partial-aggregate cache (force a cold scan)",
+    )
+    p_analyze.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="partial-aggregate cache directory "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro/aggcache)",
+    )
     _add_metrics_out_arg(p_analyze)
     p_analyze.set_defaults(func=cmd_analyze)
+
+    p_cache = subparsers.add_parser(
+        "cache", help="inspect or clear the partial-aggregate analysis cache"
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    for cache_cmd, cache_help in (
+        ("show", "print the cache directory, entry count, and total bytes"),
+        ("clear", "delete every cache entry"),
+    ):
+        c_sub = cache_sub.add_parser(cache_cmd, help=cache_help)
+        c_sub.add_argument(
+            "--cache-dir",
+            type=Path,
+            default=None,
+            help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro/aggcache)",
+        )
+        c_sub.set_defaults(func=cmd_cache)
 
     p_crash = subparsers.add_parser(
         "crashtest", help="sweep crash points and verify recovery converges"

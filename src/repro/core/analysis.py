@@ -15,7 +15,7 @@ Only the columnar chunks are retained for the lazy correlation passes.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence, Union
 
 from repro.core.columnar import DEFAULT_CHUNK_SIZE, ColumnarTrace
 from repro.core.correlation import (
@@ -27,6 +27,9 @@ from repro.core.correlation import (
 from repro.core.opdist import OpDistAnalyzer
 from repro.core.sizes import SizeAnalyzer
 from repro.core.trace import OpType, TraceRecord
+
+if TYPE_CHECKING:
+    from repro.core.aggcache import AggregateCache
 
 TraceInput = Union[str, Path, ColumnarTrace, Sequence[TraceRecord], Iterable[TraceRecord]]
 
@@ -49,22 +52,53 @@ class TraceAnalysis:
         store_snapshot: Optional[Iterable[tuple[bytes, bytes]]] = None,
         correlation_distances: Sequence[int] = DEFAULT_DISTANCES,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        cache: Optional["AggregateCache"] = None,
     ) -> None:
         self.name = name
+        self._chunk_size = chunk_size
+        self._trace_path: Optional[Path] = None
+        self._trace: Optional[ColumnarTrace] = None
         if isinstance(trace, (str, Path)):
-            columnar = ColumnarTrace.from_file(trace, chunk_size=chunk_size)
+            # Keep only the path: the single-pass analyzers stream the
+            # file (through the partial-aggregate cache when one is
+            # given), and the full columnar trace is materialized only
+            # if a lazy correlation pass actually asks for it — a warm
+            # cached run never loads the trace at all.
+            self._trace_path = Path(trace)
         elif isinstance(trace, ColumnarTrace):
-            columnar = trace
+            self._trace = trace
         else:
-            columnar = ColumnarTrace.from_records(trace, chunk_size=chunk_size)
-        self.trace = columnar
-        self.opdist = OpDistAnalyzer(track_keys=True).consume_chunks(columnar.chunks)
+            self._trace = ColumnarTrace.from_records(trace, chunk_size=chunk_size)
+        if self._trace_path is not None:
+            from repro.core.aggcache import analyze_trace_maybe_cached
+
+            results = analyze_trace_maybe_cached(
+                str(self._trace_path),
+                cache=cache,
+                chunk_size=chunk_size,
+                analyzers=("opdist",),
+                track_keys=True,
+            )
+            self.opdist = results["opdist"]
+        else:
+            self.opdist = OpDistAnalyzer(track_keys=True).consume_chunks(
+                self._trace.chunks
+            )
         self.sizes = SizeAnalyzer()
         if store_snapshot is not None:
             self.sizes.add_store_snapshot(store_snapshot)
         self._distances = tuple(correlation_distances)
         self._correlations: dict[OpType, dict[int, DistanceResult]] = {}
         self._analyzers: dict[OpType, CorrelationAnalyzer] = {}
+
+    @property
+    def trace(self) -> ColumnarTrace:
+        """The retained columnar trace (loaded from file on first use)."""
+        if self._trace is None:
+            self._trace = ColumnarTrace.from_file(
+                self._trace_path, chunk_size=self._chunk_size
+            )
+        return self._trace
 
     def read_ratio(self, kv_class) -> float:
         """Table IV read ratio: % of the class's KV pairs read >= once.

@@ -59,6 +59,10 @@ class BlockProfile:
 class BlockStatsAnalyzer:
     """Builds per-block profiles from a trace."""
 
+    #: Partial-aggregate cache version: bump whenever consume_chunk/merge
+    #: semantics change, so stale cached partials are never reused.
+    CACHE_VERSION = 1
+
     def __init__(self) -> None:
         self._profiles: dict[int, BlockProfile] = {}
 

@@ -56,26 +56,87 @@ for _b in AMBIGUOUS_FIRST_BYTES:
     _AMBIGUOUS_MASK[_b] = True
 
 
-def class_ids_for_keys(keys: Sequence[bytes]) -> np.ndarray:
+class KeyTable:
+    """Lazy key table over one contiguous key blob (zero-copy decode).
+
+    The v2 reader hands the chunk's key blob here *unsliced*: individual
+    ``bytes`` keys are materialized only on first access (and cached),
+    so a chunk whose keys an analyzer never touches — the common case on
+    cache-hit and class-filtered paths — pays no per-key byte copies.
+    First bytes and lengths are available vectorized without touching
+    any key, which is all the prefix classifier needs.
+    """
+
+    __slots__ = ("blob", "lens", "_starts", "_keys")
+
+    def __init__(self, blob: bytes, lens: np.ndarray) -> None:
+        self.blob = blob
+        self.lens = np.ascontiguousarray(lens, dtype=np.uint32)
+        starts = np.zeros(len(self.lens) + 1, dtype=np.int64)
+        np.cumsum(self.lens, out=starts[1:])
+        if len(self.lens) and int(starts[-1]) > len(blob):
+            raise TraceFormatError("key table lengths exceed key blob")
+        self._starts = starts
+        self._keys: list[Optional[bytes]] = [None] * len(self.lens)
+
+    def __len__(self) -> int:
+        return len(self.lens)
+
+    def __getitem__(self, index: int) -> bytes:
+        key = self._keys[index]
+        if key is None:
+            start = int(self._starts[index])
+            key = self.blob[start : start + int(self.lens[index])]
+            self._keys[index] = key
+        return key
+
+    def __iter__(self) -> Iterator[bytes]:
+        for index in range(len(self._keys)):
+            yield self[index]
+
+    def first_bytes(self) -> np.ndarray:
+        """First byte of every key (0 for empty keys), no materialization."""
+        blob = np.frombuffer(self.blob, dtype=np.uint8)
+        if not len(self.lens) or not len(blob):
+            return np.zeros(len(self.lens), dtype=np.uint8)
+        # clip so empty keys at the blob's end don't index out of range
+        firsts = blob[np.minimum(self._starts[:-1], max(len(blob) - 1, 0))]
+        return np.where(self.lens == 0, np.uint8(0), firsts)
+
+    def __reduce__(self):
+        return (KeyTable, (self.blob, self.lens))
+
+
+def class_ids_for_keys(keys: Union[Sequence[bytes], KeyTable]) -> np.ndarray:
     """Vectorized prefix classifier: dense class id per key.
 
     Unambiguous first bytes resolve through one table lookup
     (``np.take``); ambiguous ones (singleton keys, ``ethereum-*``/``iB``
     literals) fall back to the exact classifier.  Equivalent to
-    ``[CLASS_IDS[classify_key(k)] for k in keys]``.
+    ``[CLASS_IDS[classify_key(k)] for k in keys]``.  A :class:`KeyTable`
+    input classifies straight from the blob, materializing only the
+    ambiguous keys.
     """
     n = len(keys)
     if n == 0:
         return np.zeros(0, dtype=np.uint8)
-    firsts = np.fromiter(
-        (key[0] if key else 0 for key in keys), dtype=np.uint8, count=n
-    )
+    if isinstance(keys, KeyTable):
+        firsts = keys.first_bytes()
+        empties = keys.lens == 0
+    else:
+        firsts = np.fromiter(
+            (key[0] if key else 0 for key in keys), dtype=np.uint8, count=n
+        )
+        empties = None
     ids = _PREFIX_ID_ARRAY[firsts]
     for i in np.nonzero(_AMBIGUOUS_MASK[firsts])[0].tolist():
         ids[i] = CLASS_IDS[classify_key(keys[i])]
-    for i in np.nonzero(firsts == 0)[0].tolist():
-        if not keys[i]:
-            ids[i] = UNKNOWN_CLASS_ID
+    if empties is None:
+        for i in np.nonzero(firsts == 0)[0].tolist():
+            if not keys[i]:
+                ids[i] = UNKNOWN_CLASS_ID
+    elif empties.any():
+        ids[empties] = UNKNOWN_CLASS_ID
     return ids
 
 
@@ -99,7 +160,7 @@ class TraceChunk:
         value_sizes: np.ndarray,
         blocks: np.ndarray,
         key_ids: np.ndarray,
-        keys: Sequence[bytes],
+        keys: Union[Sequence[bytes], KeyTable],
         key_class_ids: Optional[np.ndarray] = None,
     ) -> None:
         n = len(ops)
@@ -109,10 +170,14 @@ class TraceChunk:
         self.value_sizes = np.ascontiguousarray(value_sizes, dtype=np.uint32)
         self.blocks = np.ascontiguousarray(blocks, dtype=np.uint32)
         self.key_ids = np.ascontiguousarray(key_ids, dtype=np.uint32)
-        self.keys = list(keys)
-        self.key_lens = np.fromiter(
-            (len(key) for key in self.keys), dtype=np.uint32, count=len(self.keys)
-        )
+        if isinstance(keys, KeyTable):
+            self.keys = keys
+            self.key_lens = keys.lens
+        else:
+            self.keys = list(keys)
+            self.key_lens = np.fromiter(
+                (len(key) for key in self.keys), dtype=np.uint32, count=len(self.keys)
+            )
         if key_class_ids is None:
             key_class_ids = class_ids_for_keys(self.keys)
         self.key_class_ids = np.ascontiguousarray(key_class_ids, dtype=np.uint8)
@@ -126,6 +191,16 @@ class TraceChunk:
     @property
     def num_keys(self) -> int:
         return len(self.keys)
+
+    def key_blob(self) -> bytes:
+        """All interned keys concatenated (the v2 on-disk key blob).
+
+        A :class:`KeyTable`-backed chunk returns its blob as-is — the
+        writer round-trips it without materializing any key.
+        """
+        if isinstance(self.keys, KeyTable):
+            return self.keys.blob
+        return b"".join(self.keys)
 
     @property
     def class_ids(self) -> np.ndarray:

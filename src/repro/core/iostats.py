@@ -56,6 +56,10 @@ class ClassIOStats:
 class IOStatsAnalyzer:
     """Aggregates per-class byte volumes from a trace."""
 
+    #: Partial-aggregate cache version: bump whenever consume_chunk/merge
+    #: semantics change, so stale cached partials are never reused.
+    CACHE_VERSION = 1
+
     def __init__(self) -> None:
         self._stats: dict[KVClass, ClassIOStats] = {}
 

@@ -120,6 +120,10 @@ class OpDistAnalyzer:
     over very large traces.
     """
 
+    #: Partial-aggregate cache version: bump whenever consume_chunk/merge
+    #: semantics change, so stale cached partials are never reused.
+    CACHE_VERSION = 1
+
     def __init__(self, track_keys: bool = True) -> None:
         self._dist: dict[KVClass, OperationDistribution] = {}
         self._activity: dict[KVClass, ClassKeyActivity] = {}

@@ -37,21 +37,23 @@ exception chained.
 from __future__ import annotations
 
 import os
+import queue
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, Iterable, Optional, Sequence, Union
+from typing import Callable, Dict, Iterable, Iterator, Optional, Sequence, Union
 
 from repro.core.blockstats import BlockStatsAnalyzer
 from repro.core.columnar import DEFAULT_CHUNK_SIZE, ColumnarTrace, TraceChunk, chunk_records
 from repro.core.iostats import IOStatsAnalyzer
 from repro.core.opdist import OpDistAnalyzer
 from repro.core.trace import (
+    RandomAccessChunkReader,
     TraceRecord,
     open_trace_chunks,
-    read_chunk_at,
     read_trace_footer,
 )
 from repro.errors import AnalysisError, TraceFormatError
@@ -122,6 +124,140 @@ class WorkerFault:
         os._exit(self.exit_code)
 
 
+#: Default bound on the prefetch queue: deep enough to hide read latency,
+#: shallow enough that at most this many decoded chunks are held beyond
+#: the one being consumed.
+DEFAULT_PREFETCH_DEPTH = 8
+
+_PREFETCH_STOP = object()
+
+
+class ChunkPrefetcher:
+    """Bounded prefetch pipeline: a reader thread feeding the analyzer.
+
+    The phased shape (read a chunk, analyze it, read the next) leaves
+    the disk idle during compute and the CPU idle during reads.  This
+    iterator overlaps them: a daemon thread walks the footer offsets
+    through one :class:`~repro.core.trace.RandomAccessChunkReader`
+    (single open handle) and pushes decoded chunks into a bounded queue;
+    the consuming thread pops chunks in trace order while the next reads
+    are already in flight.  The bound caps memory: at most
+    ``depth`` chunks are buffered ahead of the consumer.
+
+    With ``raw=True`` the queue carries ``(offset, RawChunk | None)``
+    pairs instead of decoded chunks — the partial-aggregate cache uses
+    this to get each chunk's payload CRC without paying the decode for
+    chunks it already has partials for.
+
+    Metrics (when a ``registry`` is supplied): a
+    ``repro_prefetch_chunks_total`` counter and a
+    ``repro_prefetch_queue_depth`` gauge sampled after each enqueue.
+    Reader-thread errors re-raise in the consumer at the point of
+    iteration; :meth:`close` (also called when iteration ends) stops the
+    reader and joins it.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        offsets: Sequence[int],
+        *,
+        lenient: bool = False,
+        depth: int = DEFAULT_PREFETCH_DEPTH,
+        raw: bool = False,
+        registry: MetricsRegistry = NULL_REGISTRY,
+    ) -> None:
+        if depth < 1:
+            raise ValueError("prefetch depth must be >= 1")
+        self._path = str(path)
+        self._offsets = tuple(offsets)
+        self._lenient = lenient
+        self._raw = raw
+        self._registry = registry
+        self._queue: queue.Queue = queue.Queue(maxsize=depth)
+        self._error: Optional[BaseException] = None
+        self._stopped = threading.Event()
+        self._thread = threading.Thread(
+            target=self._reader, name="repro-chunk-prefetch", daemon=True
+        )
+        self._thread.start()
+
+    def _put(self, item: object) -> bool:
+        """Enqueue, yielding periodically so close() can interrupt."""
+        while not self._stopped.is_set():
+            try:
+                self._queue.put(item, timeout=0.05)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+    def _reader(self) -> None:
+        fetched = self._registry.counter(
+            "repro_prefetch_chunks_total",
+            help="Chunks read ahead by the prefetch pipeline",
+        )
+        depth_gauge = self._registry.gauge(
+            "repro_prefetch_queue_depth",
+            help="Prefetch queue occupancy sampled after each enqueue",
+        )
+        try:
+            with RandomAccessChunkReader(self._path, lenient=self._lenient) as reader:
+                for offset in self._offsets:
+                    if self._stopped.is_set():
+                        return
+                    if self._raw:
+                        item: object = (offset, reader.read_raw(offset))
+                    else:
+                        item = reader.read_chunk(offset)
+                        if item is None:  # lenient skip of a corrupt chunk
+                            continue
+                    if not self._put(item):
+                        return
+                    fetched.inc()
+                    depth_gauge.set(self._queue.qsize())
+        except BaseException as exc:  # surfaces in the consumer
+            self._error = exc
+        finally:
+            self._put(_PREFETCH_STOP)
+
+    def __iter__(self) -> Iterator:
+        try:
+            while True:
+                item = self._queue.get()
+                if item is _PREFETCH_STOP:
+                    if self._error is not None:
+                        raise self._error
+                    return
+                yield item
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Stop the reader thread and release the file handle."""
+        self._stopped.set()
+        while True:  # unblock a reader stuck on a full queue
+            try:
+                self._queue.get_nowait()
+            except queue.Empty:
+                break
+        self._thread.join(timeout=5.0)
+
+
+def prefetch_raw_chunks(
+    path: Union[str, Path],
+    offsets: Sequence[int],
+    *,
+    lenient: bool = False,
+    depth: int = DEFAULT_PREFETCH_DEPTH,
+    registry: MetricsRegistry = NULL_REGISTRY,
+) -> ChunkPrefetcher:
+    """A :class:`ChunkPrefetcher` yielding ``(offset, RawChunk | None)``."""
+    return ChunkPrefetcher(
+        path, offsets, lenient=lenient, depth=depth, raw=True, registry=registry
+    )
+
+
 @dataclass(frozen=True)
 class _ShardTask:
     """Everything a worker needs to analyze one shard (picklable)."""
@@ -188,18 +324,25 @@ def _analyze_shard(task: _ShardTask) -> tuple[Dict[str, object], RegistrySnapsho
     """
     if task.fault is not None:
         task.fault.maybe_trip(task.index)
-    chunks = task.chunks
-    if chunks is None:
-        loaded = (
-            read_chunk_at(task.path, offset, lenient=task.lenient)
-            for offset in task.offsets
-        )
-        chunks = (chunk for chunk in loaded if chunk is not None)
     local = MetricsRegistry()
+    chunks = task.chunks
+    prefetcher: Optional[ChunkPrefetcher] = None
+    if chunks is None:
+        # I/O overlaps compute inside the shard too: the prefetch thread
+        # reads the next chunks off one open handle while this process
+        # runs the analyzers over the current one.
+        prefetcher = ChunkPrefetcher(
+            task.path, task.offsets, lenient=task.lenient, registry=local
+        )
+        chunks = prefetcher
     start = time.perf_counter()
-    built = analyze_chunks(
-        chunks, analyzers=task.names, track_keys=task.track_keys, registry=local
-    )
+    try:
+        built = analyze_chunks(
+            chunks, analyzers=task.names, track_keys=task.track_keys, registry=local
+        )
+    finally:
+        if prefetcher is not None:
+            prefetcher.close()
     local.histogram(
         "repro_analysis_shard_seconds", help="Wall time per analysis shard"
     ).observe(time.perf_counter() - start)
@@ -345,6 +488,27 @@ def analyze_trace(
 
     if workers == 1:
         if path is not None:
+            try:
+                footer = read_trace_footer(path)
+            except (TraceFormatError, OSError):
+                footer = None
+            if footer is not None:
+                # Footer-indexed file: overlap chunk reads with compute.
+                prefetcher = ChunkPrefetcher(
+                    path,
+                    [offset for offset, _ in footer.chunks],
+                    lenient=lenient,
+                    registry=registry,
+                )
+                try:
+                    return analyze_chunks(
+                        prefetcher,
+                        analyzers=analyzers,
+                        track_keys=track_keys,
+                        registry=registry,
+                    )
+                finally:
+                    prefetcher.close()
             return analyze_chunks(
                 open_trace_chunks(path, chunk_size=chunk_size, lenient=lenient),
                 analyzers=analyzers,

@@ -292,7 +292,7 @@ def _pack_chunk(chunk: "TraceChunk") -> bytes:
             chunk.blocks.astype("<u4", copy=False).tobytes(),
             chunk.key_ids.astype("<u4", copy=False).tobytes(),
             chunk.key_lens.astype("<u2").tobytes(),
-            b"".join(chunk.keys),
+            chunk.key_blob(),
         )
     )
     return b"".join(
@@ -304,12 +304,46 @@ def _pack_chunk(chunk: "TraceChunk") -> bytes:
 _RECORD_COLUMN_BYTES = 13
 
 
-def _read_chunk_payload(stream: IO[bytes], what: str) -> bytes:
-    """Read the counts + columns + key blob of one chunk section.
+@dataclass(frozen=True)
+class RawChunk:
+    """One undecoded chunk section: the raw buffers plus its payload CRC.
+
+    ``crc`` is always *computed* over the bytes actually read (counts +
+    columns + key blob), never trusted from the file — it is the cache
+    key the partial-aggregate cache uses, so a rewritten or corrupted
+    chunk can never alias a cached partial.  For checksummed sections
+    the stored CRC has already been verified against it by the reader.
+    Decoding (:meth:`parse`) is deferred so cache hits skip it entirely.
+    """
+
+    counts: bytes
+    columns: bytes
+    blob: bytes
+    crc: int
+    #: CRC stored in the file; None for legacy (tag 0x01) sections
+    stored_crc: Optional[int]
+    what: str
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.counts) + len(self.columns) + len(self.blob)
+
+    @property
+    def num_records(self) -> int:
+        return _CHUNK_COUNTS.unpack(self.counts)[0]
+
+    def parse(self) -> "TraceChunk":
+        return _parse_chunk_parts(self.counts, self.columns, self.blob, self.what)
+
+
+def _read_chunk_parts(stream: IO[bytes], what: str) -> tuple[bytes, bytes, bytes]:
+    """Read the counts + columns + key blob buffers of one chunk section.
 
     The payload is self-describing (counts give the column sizes and the
     key-length column gives the blob size), so this consumes exactly the
-    section and leaves the stream at the next tag byte.
+    section and leaves the stream at the next tag byte.  The three
+    buffers are returned separately — no concatenation copy; the parser
+    wraps them with ``np.frombuffer`` views directly.
     """
     import numpy as np
 
@@ -320,52 +354,77 @@ def _read_chunk_payload(stream: IO[bytes], what: str) -> bytes:
         _RECORD_COLUMN_BYTES * num_records + 2 * num_keys,
         f"{what} columns",
     )
-    key_lens = np.frombuffer(columns[_RECORD_COLUMN_BYTES * num_records :], dtype="<u2")
+    key_lens = np.frombuffer(
+        columns, dtype="<u2", count=num_keys, offset=_RECORD_COLUMN_BYTES * num_records
+    )
     blob = _read_exact(stream, int(key_lens.sum()), f"{what} key blob")
-    return counts + columns + blob
+    return counts, columns, blob
 
 
-def _parse_chunk_payload(payload: bytes, what: str) -> "TraceChunk":
+def _parse_chunk_parts(
+    counts: bytes, columns: bytes, blob: bytes, what: str
+) -> "TraceChunk":
+    """Decode one chunk section's buffers into a :class:`TraceChunk`.
+
+    Zero-copy: every fixed-width column is an ``np.frombuffer`` view
+    into ``columns``, and the interned keys stay packed in ``blob``
+    behind a lazy :class:`~repro.core.columnar.KeyTable` — per-key bytes
+    are sliced out only if an analyzer actually touches that key.
+    """
     import numpy as np
 
-    from repro.core.columnar import TraceChunk
+    from repro.core.columnar import KeyTable, TraceChunk
 
-    num_records, num_keys = _CHUNK_COUNTS.unpack_from(payload)
-    offset = _CHUNK_COUNTS.size
-    ops = np.frombuffer(payload, dtype=np.uint8, count=num_records, offset=offset)
+    num_records, num_keys = _CHUNK_COUNTS.unpack(counts)
+    offset = 0
+    ops = np.frombuffer(columns, dtype=np.uint8, count=num_records, offset=offset)
     offset += num_records
-    value_sizes = np.frombuffer(payload, dtype="<u4", count=num_records, offset=offset)
+    value_sizes = np.frombuffer(columns, dtype="<u4", count=num_records, offset=offset)
     offset += 4 * num_records
-    blocks = np.frombuffer(payload, dtype="<u4", count=num_records, offset=offset)
+    blocks = np.frombuffer(columns, dtype="<u4", count=num_records, offset=offset)
     offset += 4 * num_records
-    key_ids = np.frombuffer(payload, dtype="<u4", count=num_records, offset=offset)
+    key_ids = np.frombuffer(columns, dtype="<u4", count=num_records, offset=offset)
     offset += 4 * num_records
-    key_lens = np.frombuffer(payload, dtype="<u2", count=num_keys, offset=offset)
-    offset += 2 * num_keys
-    keys: list[bytes] = []
-    for length in key_lens.tolist():
-        keys.append(payload[offset : offset + length])
-        offset += length
+    key_lens = np.frombuffer(columns, dtype="<u2", count=num_keys, offset=offset)
     if num_records and num_keys and int(key_ids.max()) >= num_keys:
         raise TraceFormatError(f"{what}: key id out of range")
     return TraceChunk(
-        ops=ops, value_sizes=value_sizes, blocks=blocks, key_ids=key_ids, keys=keys
+        ops=ops,
+        value_sizes=value_sizes,
+        blocks=blocks,
+        key_ids=key_ids,
+        keys=KeyTable(blob, key_lens.astype(np.uint32)),
+    )
+
+
+def _read_raw_section(stream: IO[bytes], tag: int, what: str) -> RawChunk:
+    """Read one chunk section (either tag) positioned just past the tag
+    byte, computing the payload CRC and verifying it against the stored
+    one for checksummed chunks."""
+    stored: Optional[int] = None
+    if tag != _TAG_CHUNK:
+        stored = _CHUNK_CRC.unpack(_read_exact(stream, _CHUNK_CRC.size, f"{what} crc"))[0]
+    counts, columns, blob = _read_chunk_parts(stream, what)
+    computed = zlib.crc32(counts)
+    computed = zlib.crc32(columns, computed)
+    computed = zlib.crc32(blob, computed)
+    if stored is not None and computed != stored:
+        raise TraceFormatError(
+            f"{what}: CRC mismatch (stored 0x{stored:08x}, computed 0x{computed:08x})"
+        )
+    return RawChunk(
+        counts=counts,
+        columns=columns,
+        blob=blob,
+        crc=computed,
+        stored_crc=stored,
+        what=what,
     )
 
 
 def _read_chunk_section(stream: IO[bytes], tag: int, what: str) -> "TraceChunk":
-    """Read one chunk section (either tag) positioned just past the tag
-    byte, verifying the CRC for checksummed chunks."""
-    if tag == _TAG_CHUNK:
-        return _parse_chunk_payload(_read_chunk_payload(stream, what), what)
-    stored = _CHUNK_CRC.unpack(_read_exact(stream, _CHUNK_CRC.size, f"{what} crc"))[0]
-    payload = _read_chunk_payload(stream, what)
-    computed = zlib.crc32(payload)
-    if computed != stored:
-        raise TraceFormatError(
-            f"{what}: CRC mismatch (stored 0x{stored:08x}, computed 0x{computed:08x})"
-        )
-    return _parse_chunk_payload(payload, what)
+    """Read + decode one chunk section positioned just past the tag byte."""
+    return _read_raw_section(stream, tag, what).parse()
 
 
 class ColumnarTraceWriter:
@@ -591,6 +650,40 @@ class ColumnarTraceReader:
         self.close()
 
 
+def _read_footer_stream(stream: IO[bytes]) -> TraceFooter:
+    """Read the v2 footer from an already-open binary stream (any position)."""
+    stream.seek(0)
+    magic = stream.read(4)
+    if magic != _BINARY_MAGIC:
+        raise TraceFormatError(f"bad trace magic: {magic!r}")
+    version = stream.read(1)
+    if not version or version[0] != _BINARY_VERSION_V2:
+        raise TraceFormatError("trace has no footer (not a v2 trace)")
+    stream.seek(0, io.SEEK_END)
+    size = stream.tell()
+    if size < 5 + _TRAILER.size:
+        raise TraceFormatError("truncated v2 trailer")
+    stream.seek(size - _TRAILER.size)
+    footer_offset, trailer_magic = _TRAILER.unpack(
+        _read_exact(stream, _TRAILER.size, "v2 trailer")
+    )
+    if trailer_magic != _TRAILER_MAGIC:
+        raise TraceFormatError(f"bad v2 trailer magic: {trailer_magic!r}")
+    if footer_offset < 5 or footer_offset >= size:
+        raise TraceFormatError("v2 footer offset out of range")
+    stream.seek(footer_offset)
+    tag = _read_exact(stream, 1, "v2 footer tag")
+    if tag[0] != _TAG_FOOTER:
+        raise TraceFormatError("v2 footer offset does not point at a footer")
+    header = _read_exact(stream, _FOOTER_HEADER.size, "v2 footer header")
+    num_chunks, total_records = _FOOTER_HEADER.unpack(header)
+    entries = []
+    for _ in range(num_chunks):
+        entry = _read_exact(stream, _FOOTER_ENTRY.size, "v2 footer entry")
+        entries.append(_FOOTER_ENTRY.unpack(entry))
+    return TraceFooter(total_records=total_records, chunks=tuple(entries))
+
+
 def read_trace_footer(path: Union[str, Path]) -> TraceFooter:
     """Read the v2 footer (chunk offsets/counts) from a trace file.
 
@@ -598,35 +691,96 @@ def read_trace_footer(path: Union[str, Path]) -> TraceFooter:
     missing/corrupt trailers.
     """
     with open(path, "rb") as stream:
-        magic = stream.read(4)
-        if magic != _BINARY_MAGIC:
-            raise TraceFormatError(f"bad trace magic: {magic!r}")
-        version = stream.read(1)
-        if not version or version[0] != _BINARY_VERSION_V2:
-            raise TraceFormatError("trace has no footer (not a v2 trace)")
-        stream.seek(0, io.SEEK_END)
-        size = stream.tell()
-        if size < 5 + _TRAILER.size:
-            raise TraceFormatError("truncated v2 trailer")
-        stream.seek(size - _TRAILER.size)
-        footer_offset, trailer_magic = _TRAILER.unpack(
-            _read_exact(stream, _TRAILER.size, "v2 trailer")
-        )
-        if trailer_magic != _TRAILER_MAGIC:
-            raise TraceFormatError(f"bad v2 trailer magic: {trailer_magic!r}")
-        if footer_offset < 5 or footer_offset >= size:
-            raise TraceFormatError("v2 footer offset out of range")
-        stream.seek(footer_offset)
-        tag = _read_exact(stream, 1, "v2 footer tag")
-        if tag[0] != _TAG_FOOTER:
-            raise TraceFormatError("v2 footer offset does not point at a footer")
-        header = _read_exact(stream, _FOOTER_HEADER.size, "v2 footer header")
-        num_chunks, total_records = _FOOTER_HEADER.unpack(header)
-        entries = []
-        for _ in range(num_chunks):
-            entry = _read_exact(stream, _FOOTER_ENTRY.size, "v2 footer entry")
-            entries.append(_FOOTER_ENTRY.unpack(entry))
-        return TraceFooter(total_records=total_records, chunks=tuple(entries))
+        return _read_footer_stream(stream)
+
+
+class RandomAccessChunkReader:
+    """Footer-indexed random-access chunk reads over one open handle.
+
+    The earlier random-access path reopened the trace file for every
+    chunk it touched; across thousands of footer offsets that open/close
+    churn shows up as pure syscall overhead in the pipelined analyzer.
+    This reader opens the file once and serves any number of
+    seek-and-read chunk loads from the same handle.  Not thread-safe:
+    each prefetch/worker thread owns its own reader.
+
+    ``lenient=True`` turns a corrupt chunk into a ``None`` return (with
+    a logged warning) instead of a :class:`TraceFormatError`, matching
+    :func:`read_chunk_at`.
+    """
+
+    def __init__(self, path: Union[str, Path], lenient: bool = False) -> None:
+        self.path = str(path)
+        self.lenient = lenient
+        self._stream = open(path, "rb")
+        self._footer: Optional[TraceFooter] = None
+
+    def footer(self) -> TraceFooter:
+        """The trace's footer (read once, cached)."""
+        if self._footer is None:
+            self._footer = _read_footer_stream(self._stream)
+        return self._footer
+
+    def stored_crc(self, offset: int) -> Optional[int]:
+        """The CRC *stored* for the chunk at ``offset`` — a cheap probe.
+
+        Reads five bytes (tag + CRC field); returns ``None`` for legacy
+        un-checksummed sections and anything malformed.  The stored CRC
+        is a hint, not a verification: callers that act on it (the
+        partial-aggregate cache) must confirm it against the CRC
+        computed by :meth:`read_raw` before trusting any bytes.
+        """
+        try:
+            self._stream.seek(offset)
+            head = self._stream.read(1 + _CHUNK_CRC.size)
+        except OSError:
+            return None
+        if len(head) != 1 + _CHUNK_CRC.size or head[0] != _TAG_CHUNK_CRC:
+            return None
+        return _CHUNK_CRC.unpack_from(head, 1)[0]
+
+    def read_raw(self, offset: int) -> Optional[RawChunk]:
+        """Read one chunk's raw buffers (undecoded) at a footer offset.
+
+        The payload CRC is computed from the bytes read and verified
+        against the stored CRC for checksummed sections; decoding is
+        left to :meth:`RawChunk.parse` so callers that only need the
+        CRC (the partial-aggregate cache) skip it.
+        """
+        what = f"chunk at offset {offset}"
+        try:
+            self._stream.seek(offset)
+            tag = _read_exact(self._stream, 1, f"{what} tag")
+            if tag[0] not in (_TAG_CHUNK, _TAG_CHUNK_CRC):
+                raise TraceFormatError(f"{what}: bad section tag {tag!r}")
+            return _read_raw_section(self._stream, tag[0], what)
+        except TraceFormatError as error:
+            if self.lenient:
+                _LOG.warning("skipping corrupt %s: %s", what, error)
+                return None
+            raise
+
+    def read_chunk(self, offset: int) -> Optional["TraceChunk"]:
+        """Read and decode one chunk at a footer offset."""
+        raw = self.read_raw(offset)
+        if raw is None:
+            return None
+        try:
+            return raw.parse()
+        except TraceFormatError as error:
+            if self.lenient:
+                _LOG.warning("skipping corrupt %s: %s", raw.what, error)
+                return None
+            raise
+
+    def close(self) -> None:
+        self._stream.close()
+
+    def __enter__(self) -> "RandomAccessChunkReader":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
 
 def read_chunk_at(
@@ -636,21 +790,12 @@ def read_chunk_at(
 
     With ``lenient=True`` a corrupt chunk returns ``None`` (with a
     logged warning) instead of raising, so footer-driven readers can
-    skip it and continue with the other chunks.
+    skip it and continue with the other chunks.  Loading many chunks?
+    Use one :class:`RandomAccessChunkReader` instead of paying an
+    open/close per chunk.
     """
-    what = f"chunk at offset {offset}"
-    try:
-        with open(path, "rb") as stream:
-            stream.seek(offset)
-            tag = _read_exact(stream, 1, f"{what} tag")
-            if tag[0] not in (_TAG_CHUNK, _TAG_CHUNK_CRC):
-                raise TraceFormatError(f"{what}: bad section tag {tag!r}")
-            return _read_chunk_section(stream, tag[0], what)
-    except TraceFormatError as error:
-        if lenient:
-            _LOG.warning("skipping corrupt %s: %s", what, error)
-            return None
-        raise
+    with RandomAccessChunkReader(path, lenient=lenient) as reader:
+        return reader.read_chunk(offset)
 
 
 def write_trace(path: Union[str, Path], records: Iterable[TraceRecord]) -> int:
@@ -691,10 +836,11 @@ def open_trace_chunks(
     except (TraceFormatError, OSError):
         footer = None
     if footer is not None:
-        for offset, _ in footer.chunks:
-            chunk = read_chunk_at(path, offset, lenient=lenient)
-            if chunk is not None:
-                yield chunk
+        with RandomAccessChunkReader(path, lenient=lenient) as reader:
+            for offset, _ in footer.chunks:
+                chunk = reader.read_chunk(offset)
+                if chunk is not None:
+                    yield chunk
         return
     with ColumnarTraceReader.open(path, chunk_size=chunk_size, lenient=lenient) as reader:
         yield from reader.chunks()

@@ -14,6 +14,12 @@ from repro.sync.driver import run_trace_pair
 from repro.workload.generator import WorkloadConfig
 
 
+@pytest.fixture(autouse=True)
+def _isolated_aggcache(tmp_path, monkeypatch):
+    """Keep the partial-aggregate cache out of the real user cache dir."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "aggcache"))
+
+
 SMALL_WORKLOAD = WorkloadConfig(
     seed=1234,
     initial_eoa_accounts=1500,

@@ -21,6 +21,7 @@ class TestParser:
             "tables",
             "sync",
             "analyze",
+            "cache",
             "export",
             "compare",
             "crashtest",
