@@ -10,6 +10,7 @@ Mirrors the paper artifact's script surface as one CLI::
     python -m repro export    --outdir DIR [--blocks N]
     python -m repro crashtest [--crash-points all] [--seed N]
     python -m repro replay    TRACE.bin [--backend B] [--workers N] [--pace R]
+    python -m repro serve     NAME=TRACE.bin... [--port P] [--workers N]
     python -m repro stats     METRICS.json... [--format prom|json]
     python -m repro bench     run|compare|report ...
 
@@ -27,6 +28,12 @@ recovered database converges to the uninterrupted reference.
 against any of the five KV backends — serially, thread-sharded with
 open-loop pacing and bounded-queue admission, or process-sharded for
 throughput — and ``--verify`` runs the serial-vs-sharded differential.
+
+``serve`` runs the multi-tenant asyncio trace service: many concurrent
+clients submit analyze/replay/crashtest jobs against the served traces
+over a newline-delimited-JSON TCP protocol (``serve-v1``), with
+per-tenant quotas, aging priority scheduling, and streamed partial
+aggregates (see ``docs/ARCHITECTURE.md``, Serving).
 
 ``sync``/``analyze``/``crashtest``/``replay`` accept ``--metrics-out PATH`` to
 dump the run's observability registry as JSON; ``stats`` merges any
@@ -190,7 +197,11 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         return 2
     print(f"Reading {args.trace}...", file=sys.stderr)
     start = time.time()
-    cache = _cache_from_args(args)
+    try:
+        cache = _cache_from_args(args)
+    except ValueError as exc:
+        print(f"analyze: {exc}", file=sys.stderr)
+        return 2
     analysis = None
     if args.correlate:
         # The correlation passes retain the columnar trace, so build the
@@ -348,6 +359,96 @@ def cmd_replay(args: argparse.Namespace) -> int:
     print(f"  done in {time.time() - start:.1f}s", file=sys.stderr)
     _write_metrics(args)
     return exit_code
+
+
+def _parse_trace_specs(specs) -> dict:
+    """``NAME=PATH`` pairs (a bare ``PATH`` serves under its stem)."""
+    traces: dict = {}
+    for spec in specs:
+        if "=" in spec:
+            name, _, path_str = spec.partition("=")
+        else:
+            name, path_str = Path(spec).stem, spec
+        if not name or not path_str:
+            raise ValueError(f"bad trace spec {spec!r}; use NAME=PATH")
+        if name in traces:
+            raise ValueError(f"duplicate trace name {name!r}")
+        path = Path(path_str)
+        if not path.is_file():
+            raise ValueError(f"trace not found: {path}")
+        traces[name] = path
+    return traces
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the multi-tenant asyncio trace service daemon."""
+    import asyncio
+
+    from repro.serve import ServeConfig, TenantQuota, TraceServer
+
+    try:
+        traces = _parse_trace_specs(args.traces)
+        quota = TenantQuota(
+            max_pending=args.max_pending,
+            max_running=args.max_running,
+            rate=args.rate,
+            admission=args.admission,
+        )
+        config = ServeConfig(
+            traces=traces,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            quota=quota,
+            aging_seconds=args.aging_seconds,
+            batch_chunks=args.batch_chunks,
+            cache_dir=args.cache_dir,
+        ).validated()
+    except ValueError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+
+    async def _run() -> None:
+        import signal
+
+        server = TraceServer(config)
+        port = await server.start()
+        print(
+            f"repro serve: listening on {config.host}:{port} "
+            f"({len(traces)} traces, {config.workers} workers); "
+            "Ctrl-C drains and exits",
+            file=sys.stderr,
+        )
+        loop = asyncio.get_running_loop()
+        interrupted = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, interrupted.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+        stop_task = loop.create_task(interrupted.wait())
+        closed_task = loop.create_task(server.wait_closed())
+        await asyncio.wait(
+            {stop_task, closed_task}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if stop_task.done():
+            print("repro serve: draining...", file=sys.stderr)
+        # Idempotent: a no-op wait if a client's shutdown request beat us.
+        await server.shutdown("drain")
+        await closed_task
+        stop_task.cancel()
+        try:
+            await stop_task
+        except asyncio.CancelledError:
+            pass
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    print("repro serve: stopped", file=sys.stderr)
+    _write_metrics(args)
+    return 0
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -745,6 +846,67 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_metrics_out_arg(p_replay)
     p_replay.set_defaults(func=cmd_replay)
+
+    p_serve = subparsers.add_parser(
+        "serve", help="run the multi-tenant trace service daemon"
+    )
+    p_serve.add_argument(
+        "traces",
+        nargs="+",
+        metavar="NAME=PATH",
+        help="traces to serve (a bare PATH serves under its file stem)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=7950, help="TCP port (0 = pick an ephemeral port)"
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2, help="concurrent job slots"
+    )
+    p_serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="per-tenant bound on admitted-but-unfinished jobs",
+    )
+    p_serve.add_argument(
+        "--max-running",
+        type=int,
+        default=2,
+        help="per-tenant bound on concurrently executing jobs",
+    )
+    p_serve.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="per-tenant submissions per second (default: unlimited)",
+    )
+    p_serve.add_argument(
+        "--admission",
+        choices=("block", "drop", "abort"),
+        default="block",
+        help="over-quota policy: backpressure, reject, or drop the connection",
+    )
+    p_serve.add_argument(
+        "--aging-seconds",
+        type=float,
+        default=30.0,
+        help="queue-wait seconds that cancel out one priority level",
+    )
+    p_serve.add_argument(
+        "--batch-chunks",
+        type=int,
+        default=4,
+        help="trace chunks per streamed analyze partial",
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="partial-aggregate cache directory (default: no cache)",
+    )
+    _add_metrics_out_arg(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
 
     p_export = subparsers.add_parser(
         "export", help="write artifact-compatible output files + CSV/JSON"

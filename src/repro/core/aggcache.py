@@ -39,10 +39,12 @@ is disabled or the source is not a footer-indexed v2 trace file.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import logging
 import os
 import pickle
 import struct
+import threading
 import zlib
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -77,6 +79,16 @@ _ENTRY_SUFFIX = ".agg"
 
 #: Default size bound for a cache directory.
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+#: Process-wide monotonic sequence for temp-file names.  A per-instance
+#: counter is not enough: two :class:`AggregateCache` objects in the
+#: same process (e.g. two server jobs, or two threads in a test) share
+#: the pid and would both start at 0, so concurrent publishes of the
+#: same key could open the *same* temp file and interleave their writes
+#: — publishing a torn blob and making the loser's ``os.replace`` fail.
+#: ``itertools.count`` is atomic under the GIL; combined with the
+#: thread id the temp name is unique per in-flight write.
+_TMP_SEQ = itertools.count(1)
 
 
 def default_cache_dir() -> Path:
@@ -118,6 +130,13 @@ class AggregateCache:
 
             registry = get_registry()
         self.directory = Path(directory) if directory is not None else default_cache_dir()
+        if self.directory.exists():
+            if not self.directory.is_dir():
+                raise ValueError(
+                    f"cache directory {self.directory} exists but is not a directory"
+                )
+            if not os.access(self.directory, os.R_OK | os.W_OK | os.X_OK):
+                raise ValueError(f"cache directory {self.directory} is not accessible")
         if max_bytes <= 0:
             raise ValueError("max_bytes must be positive")
         self.max_bytes = int(max_bytes)
@@ -153,7 +172,6 @@ class AggregateCache:
         #: entry file name -> size; lazily initialized from a directory
         #: scan, then maintained incrementally (stale entries tolerated).
         self._sizes: Optional[Dict[str, int]] = None
-        self._tmp_seq = 0
 
     # ------------------------------------------------------------------
     # keys and paths
@@ -240,8 +258,10 @@ class AggregateCache:
         )
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path_for(key)
-        self._tmp_seq += 1
-        tmp = self.directory / f".{path.stem}.{os.getpid()}.{self._tmp_seq}.tmp"
+        tmp = self.directory / (
+            f".{path.stem}.{os.getpid()}.{threading.get_ident()}"
+            f".{next(_TMP_SEQ)}.tmp"
+        )
         tmp.write_bytes(blob)
         os.replace(tmp, path)
         self._stores.inc()

@@ -14,8 +14,9 @@ Only the columnar chunks are retained for the lazy correlation passes.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, Optional, Sequence, Union
 
 from repro.core.columnar import DEFAULT_CHUNK_SIZE, ColumnarTrace
 from repro.core.correlation import (
@@ -142,3 +143,152 @@ class TraceAnalysis:
     @property
     def num_records(self) -> int:
         return len(self.trace)
+
+
+@dataclass(frozen=True)
+class AnalysisProgress:
+    """One streamed step of :func:`stream_trace_analysis`.
+
+    ``analyzers`` holds the *merged-so-far* analyzer instances — the
+    same objects across every step, mutated in footer order — so after
+    the final step they are byte-identical to what a one-shot
+    :func:`~repro.core.parallel.analyze_trace` over the same file
+    returns.  Consumers that retain per-step state must extract what
+    they need before advancing the generator.
+    """
+
+    chunks_done: int
+    total_chunks: int
+    records_done: int
+    analyzers: Dict[str, object]
+
+    @property
+    def complete(self) -> bool:
+        return self.chunks_done >= self.total_chunks
+
+
+def stream_trace_analysis(
+    path: Union[str, Path],
+    *,
+    analyzers: Sequence[str] = ("opdist",),
+    batch_chunks: int = 8,
+    start_chunk: int = 0,
+    track_keys: bool = True,
+    lenient: bool = False,
+    cache: Optional["AggregateCache"] = None,
+    registry=None,
+) -> Iterator[AnalysisProgress]:
+    """Incrementally analyze a footer-indexed v2 trace, batch by batch.
+
+    The resumable/streaming entry point behind ``repro serve``'s
+    analyze jobs: chunks are consumed in footer order in batches of
+    ``batch_chunks``, and an :class:`AnalysisProgress` is yielded after
+    each batch with the merged-so-far partial aggregates — so a client
+    sees incremental answers whose final step exactly equals a one-shot
+    analysis.  ``start_chunk`` resumes from a chunk index (e.g. after a
+    dropped connection, given the client remembers how far it got).
+
+    When a :class:`~repro.core.aggcache.AggregateCache` is supplied,
+    each chunk's partials are served from / published to the cache
+    exactly as :func:`~repro.core.aggcache.analyze_trace_cached` would.
+
+    Raises :class:`~repro.errors.TraceFormatError` for traces without a
+    v2 footer (stream resumption needs random access).
+    """
+    from repro.core.parallel import ANALYZER_FACTORIES, _make_analyzers
+    from repro.core.trace import RandomAccessChunkReader, read_trace_footer
+    from repro.errors import TraceFormatError
+
+    if batch_chunks < 1:
+        raise ValueError("batch_chunks must be >= 1")
+    if start_chunk < 0:
+        raise ValueError("start_chunk must be >= 0")
+    names = tuple(analyzers)
+    probes = _make_analyzers(names, track_keys)  # validates names
+    versions = {
+        name: int(getattr(probe, "CACHE_VERSION", 0)) for name, probe in probes.items()
+    }
+    footer = read_trace_footer(path)
+    offsets = [offset for offset, _ in footer.chunks]
+    total = len(offsets)
+    if start_chunk > total:
+        raise ValueError(f"start_chunk {start_chunk} beyond {total} chunks")
+
+    if registry is None:
+        from repro.obs import get_registry
+
+        registry = get_registry()
+    chunk_counter = registry.counter(
+        "repro_analysis_chunks_total", help="Trace chunks consumed by analysis"
+    )
+    record_counter = registry.counter(
+        "repro_analysis_records_total", help="Trace records consumed by analysis"
+    )
+
+    merged: Optional[Dict[str, object]] = None
+    chunks_done = start_chunk
+    records_done = 0
+
+    def fold(partials: Dict[str, object]) -> None:
+        nonlocal merged
+        if merged is None:
+            merged = {name: partials[name] for name in names}
+        else:
+            for name in names:
+                merged[name].merge(partials[name])
+
+    with RandomAccessChunkReader(path, lenient=lenient) as reader:
+        while chunks_done < total:
+            batch = offsets[chunks_done : chunks_done + batch_chunks]
+            for offset in batch:
+                chunks_done += 1
+                raw = reader.read_raw(offset)
+                if raw is None:  # lenient: corrupt chunk dropped
+                    continue
+                partials: Dict[str, object] = {}
+                missing = list(names)
+                if cache is not None:
+                    missing = []
+                    for name in names:
+                        got = cache.get(
+                            cache.entry_key(raw.crc, name, versions[name], track_keys)
+                        )
+                        if got is None:
+                            missing.append(name)
+                        else:
+                            partials[name] = got
+                if missing:
+                    try:
+                        chunk = raw.parse()
+                    except TraceFormatError:
+                        if not lenient:
+                            raise
+                        continue
+                    for name in missing:
+                        analyzer = ANALYZER_FACTORIES[name](track_keys)
+                        analyzer.consume_chunk(chunk)
+                        if cache is not None:
+                            cache.put(
+                                cache.entry_key(
+                                    raw.crc, name, versions[name], track_keys
+                                ),
+                                analyzer,
+                            )
+                        partials[name] = analyzer
+                fold(partials)
+                chunk_counter.inc()
+                record_counter.inc(raw.num_records)
+                records_done += raw.num_records
+            yield AnalysisProgress(
+                chunks_done=chunks_done,
+                total_chunks=total,
+                records_done=records_done,
+                analyzers=merged if merged is not None else dict(probes),
+            )
+    if chunks_done == start_chunk:  # empty tail: still report completion
+        yield AnalysisProgress(
+            chunks_done=chunks_done,
+            total_chunks=total,
+            records_done=records_done,
+            analyzers=merged if merged is not None else dict(probes),
+        )

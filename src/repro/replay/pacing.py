@@ -26,6 +26,9 @@ class ClosedLoopPacer:
     def acquire(self, n: int = 1) -> None:
         pass
 
+    def try_acquire(self, n: int = 1) -> float:
+        return 0.0
+
 
 class TokenBucketPacer:
     """Token bucket targeting ``rate`` operations per second.
@@ -58,20 +61,33 @@ class TokenBucketPacer:
         self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
         self._last = now
 
-    def acquire(self, n: int = 1) -> None:
-        """Block until ``n`` tokens are available, then consume them.
+    def try_acquire(self, n: int = 1) -> float:
+        """Consume ``n`` tokens if available; else say how long to wait.
+
+        Returns ``0.0`` when the tokens were consumed, otherwise the
+        seconds until ``n`` tokens will have accumulated (nothing is
+        consumed on failure).  This is the non-blocking primitive the
+        async admission path in :mod:`repro.serve` builds on: an event
+        loop must never call the blocking :meth:`acquire`, so it calls
+        ``try_acquire`` and awaits the returned delay itself.
 
         Tokens within 1e-9 of ``n`` count as available: without the
         tolerance, a float-absorbed refill (a sub-epsilon sleep that
         does not advance the clock) could spin forever at 0.999…
-        tokens.  The deficit carries over as negative tokens, so the
-        long-run rate is unaffected.
+        tokens.
         """
         self._refill()
-        while self._tokens < n - 1e-9:
-            self._sleep((n - self._tokens) / self.rate)
-            self._refill()
-        self._tokens -= n
+        if self._tokens >= n - 1e-9:
+            self._tokens -= n
+            return 0.0
+        return (n - self._tokens) / self.rate
+
+    def acquire(self, n: int = 1) -> None:
+        """Block until ``n`` tokens are available, then consume them."""
+        wait = self.try_acquire(n)
+        while wait > 0.0:
+            self._sleep(wait)
+            wait = self.try_acquire(n)
 
 
 def make_pacer(rate: Optional[float]):

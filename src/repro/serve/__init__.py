@@ -1,0 +1,25 @@
+"""Multi-tenant asyncio trace service (``repro serve``).
+
+Many concurrent clients submit analyze/replay/crashtest jobs against a
+shared read-only trace corpus over a newline-delimited-JSON TCP
+protocol (``serve-v1``).  See :mod:`repro.serve.protocol` for the wire
+format, :mod:`repro.serve.server` for the daemon, and
+:mod:`repro.serve.client` for the reference client.
+"""
+
+from repro.serve.client import JobHandle, ServeClient, ServeClientError
+from repro.serve.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.serve.quota import TenantQuota
+from repro.serve.server import ServeConfig, TraceServer, make_server
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "JobHandle",
+    "ProtocolError",
+    "ServeClient",
+    "ServeClientError",
+    "ServeConfig",
+    "TenantQuota",
+    "TraceServer",
+    "make_server",
+]

@@ -1,0 +1,248 @@
+"""A small asyncio client for the trace service.
+
+Used by the CLI demo mode, the CI smoke script, and the test suite; it
+is also the reference implementation of the client side of ``serve-v1``.
+:class:`ServeClient` keeps one connection, demultiplexes responses by
+job id, and hands each submission back as a :class:`JobHandle` whose
+``partials`` / terminal response accumulate as the reader task drains
+the socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.serve import protocol
+from repro.serve.protocol import (
+    Bye,
+    Cancel,
+    ErrorResponse,
+    Hello,
+    Partial,
+    ProtocolError,
+    ShutdownRequest,
+    StatsRequest,
+    StatsResponse,
+    Submit,
+    Welcome,
+)
+
+
+class ServeClientError(Exception):
+    """The server closed, answered garbage, or refused the handshake."""
+
+
+@dataclass
+class JobHandle:
+    """One submitted job's client-side state."""
+
+    id: str
+    kind: str
+    #: streamed partial payloads, in sequence order
+    partials: List[Dict[str, Any]] = field(default_factory=list)
+    #: the terminal response (accepted is not terminal; rejected is)
+    terminal: Optional[object] = None
+    accepted: Optional[bool] = None
+    done: asyncio.Event = field(default_factory=asyncio.Event)
+
+    @property
+    def status(self) -> str:
+        """``accepted``/``rejected``/``result``/``error``/``cancelled``
+        or ``pending`` while in flight."""
+        if self.terminal is not None:
+            return self.terminal.TYPE
+        if self.accepted:
+            return "accepted"
+        return "pending"
+
+    @property
+    def result(self) -> Dict[str, Any]:
+        """The result payload; raises if the job did not succeed."""
+        if self.terminal is None:
+            raise ServeClientError(f"job {self.id!r} is still running")
+        if self.terminal.TYPE != "result":
+            detail = getattr(self.terminal, "detail", "") or getattr(
+                self.terminal, "message", ""
+            )
+            raise ServeClientError(
+                f"job {self.id!r} ended {self.terminal.TYPE}: {detail}"
+            )
+        return self.terminal.data
+
+    async def wait(self) -> "JobHandle":
+        await self.done.wait()
+        return self
+
+
+class ServeClient:
+    """One tenant's connection to a :class:`~repro.serve.server.TraceServer`."""
+
+    def __init__(self, host: str, port: int, tenant: str) -> None:
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.reader: Optional[asyncio.StreamReader] = None
+        self.writer: Optional[asyncio.StreamWriter] = None
+        self.jobs: Dict[str, JobHandle] = {}
+        #: connection-level errors (ProtocolError complaints, Bye)
+        self.notices: List[object] = []
+        self._stats_waiters: List[asyncio.Future] = []
+        self._reader_task: Optional[asyncio.Task] = None
+        self._closed = asyncio.Event()
+        self._ids = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def connect(self) -> "ServeClient":
+        self.reader, self.writer = await asyncio.open_connection(
+            self.host, self.port, limit=protocol.MAX_LINE_BYTES
+        )
+        await self._send(Hello(tenant=self.tenant))
+        line = await self.reader.readline()
+        if not line:
+            raise ServeClientError("server closed the connection during handshake")
+        message = protocol.decode_response(line)
+        if isinstance(message, ErrorResponse):
+            raise ServeClientError(f"handshake refused: {message.message}")
+        if not isinstance(message, Welcome):
+            raise ServeClientError(f"expected welcome, got {message.TYPE!r}")
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop(), name=f"repro-serve-client-{self.tenant}"
+        )
+        return self
+
+    async def close(self) -> None:
+        if self.writer is not None:
+            try:
+                self.writer.close()
+                await self.writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        if self._reader_task is not None:
+            await self._reader_task
+            self._reader_task = None
+
+    async def __aenter__(self) -> "ServeClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # requests
+    # ------------------------------------------------------------------
+
+    async def _send(self, message: object) -> None:
+        assert self.writer is not None
+        self.writer.write(protocol.encode_message(message))
+        await self.writer.drain()
+
+    def _next_id(self) -> str:
+        self._ids += 1
+        return f"{self.tenant}-{self._ids}"
+
+    async def submit(
+        self,
+        kind: str,
+        params: Optional[Dict[str, Any]] = None,
+        *,
+        priority: int = 0,
+        job_id: Optional[str] = None,
+    ) -> JobHandle:
+        """Submit one job; returns immediately with its handle."""
+        job_id = job_id or self._next_id()
+        handle = JobHandle(id=job_id, kind=kind)
+        self.jobs[job_id] = handle
+        await self._send(
+            Submit(id=job_id, kind=kind, params=params or {}, priority=priority)
+        )
+        return handle
+
+    async def run(
+        self,
+        kind: str,
+        params: Optional[Dict[str, Any]] = None,
+        *,
+        priority: int = 0,
+    ) -> JobHandle:
+        """Submit and wait for the terminal response."""
+        handle = await self.submit(kind, params, priority=priority)
+        await handle.wait()
+        return handle
+
+    async def cancel(self, job_id: str) -> None:
+        await self._send(Cancel(id=job_id))
+
+    async def stats(self) -> Dict[str, Any]:
+        """The server's metrics snapshot (``repro-metrics-v1`` JSON)."""
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._stats_waiters.append(future)
+        await self._send(StatsRequest())
+        return await future
+
+    async def shutdown(self, mode: str = "drain") -> None:
+        """Ask the server to shut down; the connection will drop."""
+        await self._send(ShutdownRequest(mode=mode))
+
+    # ------------------------------------------------------------------
+    # response demultiplexing
+    # ------------------------------------------------------------------
+
+    async def _read_loop(self) -> None:
+        assert self.reader is not None
+        try:
+            while True:
+                line = await self.reader.readline()
+                if not line:
+                    break
+                try:
+                    message = protocol.decode_response(line)
+                except ProtocolError:
+                    continue  # tolerate future additions
+                self._dispatch(message)
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass
+        finally:
+            self._fail_pending("connection closed")
+            self._closed.set()
+
+    def _dispatch(self, message: object) -> None:
+        job_id = getattr(message, "id", "")
+        if isinstance(message, StatsResponse):
+            while self._stats_waiters:
+                waiter = self._stats_waiters.pop(0)
+                if not waiter.done():
+                    waiter.set_result(message.data)
+                    break
+            return
+        if isinstance(message, (Welcome, Bye)) or not job_id:
+            self.notices.append(message)
+            return
+        handle = self.jobs.get(job_id)
+        if handle is None:
+            self.notices.append(message)
+            return
+        if message.TYPE == "accepted":
+            handle.accepted = True
+        elif isinstance(message, Partial):
+            handle.partials.append(message.data)
+        elif message.TYPE in protocol.TERMINAL_TYPES:
+            if message.TYPE == "rejected":
+                handle.accepted = False
+            handle.terminal = message
+            handle.done.set()
+
+    def _fail_pending(self, reason: str) -> None:
+        """Resolve anything still in flight when the connection drops."""
+        for handle in self.jobs.values():
+            if handle.terminal is None and not handle.done.is_set():
+                handle.terminal = ErrorResponse(message=reason, id=handle.id)
+                handle.done.set()
+        for waiter in self._stats_waiters:
+            if not waiter.done():
+                waiter.set_exception(ServeClientError(reason))
+        self._stats_waiters.clear()

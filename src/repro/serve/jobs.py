@@ -1,0 +1,254 @@
+"""Job state and execution for the trace service.
+
+A :class:`Job` is one admitted submission; the server's worker tasks
+execute it via the matching ``run_*`` coroutine.  CPU-bound work never
+runs on the event loop: the runners bridge to the existing analysis /
+replay machinery through ``loop.run_in_executor`` on the server's
+thread pool, and anything that wants real multi-core speedups sets
+``workers > 1`` in its params so the inner call fans out to
+:mod:`repro.core.parallel`'s process-shard executor exactly as the CLI
+does.
+
+Analyze jobs stream: each batch of chunks produces a ``partial``
+response built from the merged-so-far partial aggregates
+(:func:`~repro.core.analysis.stream_trace_analysis`), and the final
+``result`` carries the identical rendered operation table a one-shot
+``repro analyze`` would print — byte-for-byte, because both merge the
+same per-chunk partials in footer order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.core.trace import OpType
+
+
+class JobError(Exception):
+    """A job failed in a way the client caused (bad params, bad trace);
+    reported as an ``error`` terminal, never a server crash."""
+
+
+@dataclass
+class Job:
+    """One admitted submission moving through the scheduler."""
+
+    job_id: int
+    client_id: str
+    tenant: str
+    kind: str
+    params: Dict[str, Any]
+    priority: int
+    #: the owning connection (duck-typed; see server.Connection)
+    conn: Any
+    cancelled: bool = False
+    #: set while running so cancel/shutdown can interrupt the task
+    task: Optional[asyncio.Task] = None
+    #: called when the scheduler lazily discards a cancelled entry
+    on_dropped: Optional[Callable[["Job"], None]] = None
+    #: how many partials were streamed (client-visible sequence)
+    partials: int = field(default=0)
+
+
+def _positive_int(params: Dict[str, Any], name: str, default: int) -> int:
+    value = params.get(name, default)
+    try:
+        value = int(value)
+    except (TypeError, ValueError):
+        raise JobError(f"{name} must be an integer, got {value!r}") from None
+    if value < 1:
+        raise JobError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+def _op_totals(opdist) -> Dict[str, int]:
+    """Compact per-op totals for a streamed partial payload."""
+    totals = {op.name: 0 for op in OpType}
+    for kv_class in opdist.observed_classes():
+        dist = opdist.distribution(kv_class)
+        totals["READ"] += dist.reads
+        totals["WRITE"] += dist.writes
+        totals["UPDATE"] += dist.updates
+        totals["DELETE"] += dist.deletes
+        totals["SCAN"] += dist.scans
+    return totals
+
+
+async def run_analyze(job: Job, server) -> Dict[str, Any]:
+    """Streamed analysis over one shared trace.
+
+    ``params``: ``trace`` (required, a name registered with the
+    server), ``batch_chunks`` (chunks per streamed partial),
+    ``workers`` (> 1 switches to the one-shot process-sharded path —
+    multi-core, no intermediate partials), ``start_chunk`` (resume
+    point for the streaming path).
+    """
+    from repro.core.aggcache import analyze_trace_maybe_cached
+    from repro.core.analysis import stream_trace_analysis
+    from repro.core.report import render_op_table
+
+    name = job.params.get("trace")
+    path = server.resolve_trace(name)
+    workers = _positive_int(job.params, "workers", 1)
+    title = f"Operation distribution ({name})"
+
+    loop = asyncio.get_running_loop()
+    if workers > 1:
+        # One-shot multi-core path: the thread below drives the
+        # process-shard executor from repro.core.parallel.
+        results = await loop.run_in_executor(
+            server.pool,
+            lambda: analyze_trace_maybe_cached(
+                str(path),
+                cache=server.cache,
+                workers=workers,
+                analyzers=("opdist",),
+                registry=server.registry,
+            ),
+        )
+        opdist = results["opdist"]
+        return {
+            "trace": name,
+            "records": opdist.total_ops,
+            "ops": _op_totals(opdist),
+            "table": render_op_table(opdist, title),
+        }
+
+    batch_chunks = _positive_int(job.params, "batch_chunks", server.batch_chunks)
+    start_chunk = job.params.get("start_chunk", 0)
+    stream = stream_trace_analysis(
+        str(path),
+        analyzers=("opdist",),
+        batch_chunks=batch_chunks,
+        start_chunk=int(start_chunk),
+        cache=server.cache,
+        registry=server.registry,
+    )
+    last = None
+    try:
+        while True:
+            # Each blocking step (chunk reads + aggregation) runs on the
+            # pool; the loop stays free to serve other connections.
+            step = await loop.run_in_executor(
+                server.pool, lambda: next(stream, None)
+            )
+            if step is None:
+                break
+            last = step
+            if job.cancelled:
+                break
+            opdist = step.analyzers["opdist"]
+            await server.send_partial(
+                job,
+                {
+                    "chunks_done": step.chunks_done,
+                    "total_chunks": step.total_chunks,
+                    "records": step.records_done,
+                    "ops": _op_totals(opdist),
+                },
+            )
+    finally:
+        stream.close()
+    if last is None:
+        raise JobError(f"trace {name!r} produced no chunks")
+    opdist = last.analyzers["opdist"]
+    return {
+        "trace": name,
+        "records": opdist.total_ops,
+        "ops": _op_totals(opdist),
+        "table": render_op_table(opdist, title),
+    }
+
+
+async def run_replay(job: Job, server) -> Dict[str, Any]:
+    """Replay one shared trace against a private backend instance.
+
+    ``params`` mirror the CLI surface: ``trace`` (required),
+    ``backend``, ``workers``, ``executor``, ``pace``, ``queue_depth``,
+    ``admission``, ``scan_limit``.
+    """
+    from repro.errors import ReplayError
+    from repro.replay import ReplayConfig, replay_trace
+
+    name = job.params.get("trace")
+    path = server.resolve_trace(name)
+    params = job.params
+    try:
+        config = ReplayConfig(
+            backend=str(params.get("backend", "memdb")),
+            workers=int(params.get("workers", 1)),
+            executor=str(params.get("executor", "thread")),
+            pace=params.get("pace"),
+            queue_depth=int(params.get("queue_depth", 1024)),
+            admission=str(params.get("admission", "block")),
+            scan_limit=int(params.get("scan_limit", 64)),
+            latency_sample=int(params.get("latency_sample", 8)),
+        ).validated()
+    except (ReplayError, TypeError, ValueError) as exc:
+        raise JobError(f"bad replay params: {exc}") from exc
+
+    loop = asyncio.get_running_loop()
+    try:
+        report = await loop.run_in_executor(
+            server.pool,
+            lambda: replay_trace(str(path), config, registry=server.registry),
+        )
+    except ReplayError as exc:
+        raise JobError(str(exc)) from exc
+    return {
+        "trace": name,
+        "backend": config.backend,
+        "records": report.total_records,
+        "applied": report.applied,
+        "elapsed_s": report.elapsed_s,
+        "report": report.render(),
+    }
+
+
+async def run_crashtest(job: Job, server) -> Dict[str, Any]:
+    """A small crash-consistency sweep (bounded: this is the expensive
+    job kind, so blocks/cases are clamped to service-friendly sizes)."""
+    from repro.faults import CrashTestConfig, run_crash_sweep, sweep_points
+
+    params = job.params
+    blocks = min(_positive_int(params, "blocks", 24), 128)
+    warmup = min(_positive_int(params, "warmup", 8), 64)
+    seed = int(params.get("seed", 7))
+    config = CrashTestConfig(blocks=blocks, warmup=warmup, seed=seed)
+    loop = asyncio.get_running_loop()
+    report = await loop.run_in_executor(
+        server.pool, lambda: run_crash_sweep(config, sweep_points(config))
+    )
+    return {
+        "total": report.total,
+        "triggered": report.triggered,
+        "divergent": report.divergent,
+        "report": report.render(),
+    }
+
+
+async def run_sleep(job: Job, server) -> Dict[str, Any]:
+    """Hold a worker slot for ``seconds`` (virtual-clock friendly).
+
+    The deterministic filler job the concurrency tests use to pin
+    worker slots; it sleeps through the server's injectable sleep shim,
+    so a virtual clock advances it without wall time passing.
+    """
+    try:
+        seconds = float(job.params.get("seconds", 0.01))
+    except (TypeError, ValueError):
+        raise JobError("seconds must be a number") from None
+    if seconds < 0 or seconds > 60:
+        raise JobError(f"seconds must be in [0, 60], got {seconds}")
+    await server.sleep(seconds)
+    return {"slept": seconds}
+
+
+JOB_RUNNERS = {
+    "analyze": run_analyze,
+    "replay": run_replay,
+    "crashtest": run_crashtest,
+    "sleep": run_sleep,
+}

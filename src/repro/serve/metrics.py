@@ -1,0 +1,110 @@
+"""Per-tenant service metrics, folded into the obs registry.
+
+Every counter lands in the same :class:`~repro.obs.MetricsRegistry`
+the rest of the system instruments, under fixed names with a
+``tenant`` label — so a server snapshot (``stats`` request or
+``--metrics-out`` at shutdown) merges associatively with any client's
+``repro analyze --metrics-out`` dump through ``repro stats``, and
+per-tenant quota rejections are observable next to the analysis
+counters the jobs themselves produced.
+
+All increments happen on the event loop thread, which is what makes
+the per-tenant totals deterministic for a given admission sequence
+(asserted against a serial reference in ``tests/test_serve_properties.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.registry import MetricsRegistry
+
+
+class ServeMetrics:
+    """The trace service's metric families (resolved once)."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        if registry is None:
+            from repro.obs import get_registry
+
+            registry = get_registry()
+        self.registry = registry
+        self._connections = registry.counter(
+            "repro_serve_connections_total", help="Client connections accepted"
+        )
+        self._active = registry.gauge(
+            "repro_serve_connections_active", help="Currently connected clients"
+        )
+        self._submitted = registry.counter(
+            "repro_serve_jobs_submitted_total",
+            help="Jobs submitted (accepted into the queue)",
+            labelnames=("tenant", "kind"),
+        )
+        self._completed = registry.counter(
+            "repro_serve_jobs_completed_total",
+            help="Jobs finished with a result",
+            labelnames=("tenant", "kind"),
+        )
+        self._failed = registry.counter(
+            "repro_serve_jobs_failed_total",
+            help="Jobs finished with an error",
+            labelnames=("tenant", "kind"),
+        )
+        self._cancelled = registry.counter(
+            "repro_serve_jobs_cancelled_total",
+            help="Jobs cancelled before completing",
+            labelnames=("tenant", "kind"),
+        )
+        self._rejected = registry.counter(
+            "repro_serve_jobs_rejected_total",
+            help="Submissions refused by admission",
+            labelnames=("tenant", "reason"),
+        )
+        self._partials = registry.counter(
+            "repro_serve_partials_total",
+            help="Streamed partial responses sent",
+            labelnames=("tenant",),
+        )
+        self._queue_depth = registry.gauge(
+            "repro_serve_queue_depth", help="Jobs queued (admitted, not running)"
+        )
+        self._running = registry.gauge(
+            "repro_serve_jobs_running", help="Jobs currently executing"
+        )
+        self._job_seconds = registry.histogram(
+            "repro_serve_job_seconds",
+            help="Job execution wall time",
+            labelnames=("kind",),
+        )
+
+    # ------------------------------------------------------------------
+
+    def connection_opened(self) -> None:
+        self._connections.inc()
+        self._active.inc()
+
+    def connection_closed(self) -> None:
+        self._active.dec()
+
+    def submitted(self, tenant: str, kind: str) -> None:
+        self._submitted.labels(tenant=tenant, kind=kind).inc()
+
+    def completed(self, tenant: str, kind: str, seconds: float) -> None:
+        self._completed.labels(tenant=tenant, kind=kind).inc()
+        self._job_seconds.labels(kind=kind).observe(seconds)
+
+    def failed(self, tenant: str, kind: str) -> None:
+        self._failed.labels(tenant=tenant, kind=kind).inc()
+
+    def cancelled(self, tenant: str, kind: str) -> None:
+        self._cancelled.labels(tenant=tenant, kind=kind).inc()
+
+    def rejected(self, tenant: str, reason: str) -> None:
+        self._rejected.labels(tenant=tenant, reason=reason).inc()
+
+    def partial(self, tenant: str) -> None:
+        self._partials.labels(tenant=tenant).inc()
+
+    def queue_sample(self, queued: int, running: int) -> None:
+        self._queue_depth.set(queued)
+        self._running.set(running)

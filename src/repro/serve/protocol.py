@@ -1,0 +1,290 @@
+"""Versioned request/response dataclasses for the trace service.
+
+The wire format is newline-delimited JSON over TCP (``serve-v1``):
+every message is one JSON object on one line, carrying a ``type`` field
+that selects a dataclass below.  Requests flow client → server,
+responses server → client; a connection is a ``hello``/``welcome``
+handshake followed by any interleaving of submissions and streamed
+responses (messages for different jobs multiplex freely on one
+connection, correlated by the client-chosen job ``id``).
+
+The shape follows the event-driven request/response dataclasses of
+py-evm's trinity sync protocol: small frozen dataclasses, one per
+message type, with an explicit registry mapping wire tags to classes.
+Anything unknown or malformed raises :class:`ProtocolError` — the
+server answers with an ``error`` message rather than guessing.
+
+Job lifecycle messages, in order::
+
+    submit  ->  accepted | rejected          (admission verdict)
+                partial*                     (streamed incremental data)
+                result | error | cancelled   (exactly one terminal)
+
+``rejected`` is also terminal: a rejected job never ran.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, Type
+
+PROTOCOL_VERSION = "serve-v1"
+
+#: Longest accepted wire line; protects the server from unbounded reads.
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+#: Job kinds the scheduler knows how to execute.  ``sleep`` holds a
+#: worker slot for a fixed duration without touching any trace — the
+#: deterministic filler the concurrency tests (and capacity probes)
+#: schedule around.
+JOB_KINDS = ("analyze", "replay", "crashtest", "sleep")
+
+
+class ProtocolError(ValueError):
+    """A wire message that does not parse as a known serve-v1 message."""
+
+
+# ---------------------------------------------------------------------------
+# requests (client -> server)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Hello:
+    """Handshake: names the tenant and pins the protocol version."""
+
+    TYPE = "hello"
+
+    tenant: str
+    proto: str = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class Submit:
+    """Submit one job.  ``id`` is chosen by the client and must be
+    unique per connection; every response for the job echoes it."""
+
+    TYPE = "submit"
+
+    id: str
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    #: smaller runs sooner; the scheduler ages waiting jobs so a large
+    #: priority only delays, never starves (see serve/scheduler.py)
+    priority: int = 0
+
+
+@dataclass(frozen=True)
+class Cancel:
+    """Cancel a queued or running job (best effort; answered with a
+    ``cancelled`` terminal when it takes effect)."""
+
+    TYPE = "cancel"
+
+    id: str
+
+
+@dataclass(frozen=True)
+class StatsRequest:
+    """Ask for the server's metrics registry snapshot
+    (``repro-metrics-v1`` JSON, mergeable by ``repro stats``)."""
+
+    TYPE = "stats"
+
+
+@dataclass(frozen=True)
+class ShutdownRequest:
+    """Ask the server to shut down: ``drain`` finishes queued and
+    running jobs first, ``cancel`` stops them deterministically."""
+
+    TYPE = "shutdown"
+
+    mode: str = "drain"
+
+
+# ---------------------------------------------------------------------------
+# responses (server -> client)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Welcome:
+    TYPE = "welcome"
+
+    proto: str = PROTOCOL_VERSION
+    server: str = "repro-serve"
+
+
+@dataclass(frozen=True)
+class Accepted:
+    """The job passed admission and is queued; ``job`` is the
+    server-wide job number (scheduling order of acceptance)."""
+
+    TYPE = "accepted"
+
+    id: str
+    job: int
+
+
+@dataclass(frozen=True)
+class Rejected:
+    """Admission refused the job (quota, rate, draining, bad kind…)."""
+
+    TYPE = "rejected"
+
+    id: str
+    reason: str
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class Partial:
+    """One streamed increment of a running job's answer."""
+
+    TYPE = "partial"
+
+    id: str
+    seq: int
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Result:
+    """Terminal: the job finished; ``data`` is its full answer."""
+
+    TYPE = "result"
+
+    id: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """Terminal for a job (``id`` set) or connection-level complaint
+    (``id`` empty)."""
+
+    TYPE = "error"
+
+    message: str
+    id: str = ""
+
+
+@dataclass(frozen=True)
+class Cancelled:
+    """Terminal: the job was cancelled before completing."""
+
+    TYPE = "cancelled"
+
+    id: str
+
+
+@dataclass(frozen=True)
+class StatsResponse:
+    TYPE = "stats"
+
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Bye:
+    """The server is closing this connection."""
+
+    TYPE = "bye"
+
+    reason: str = "shutdown"
+
+
+REQUEST_TYPES: Dict[str, Type] = {
+    cls.TYPE: cls for cls in (Hello, Submit, Cancel, StatsRequest, ShutdownRequest)
+}
+RESPONSE_TYPES: Dict[str, Type] = {
+    cls.TYPE: cls
+    for cls in (
+        Welcome,
+        Accepted,
+        Rejected,
+        Partial,
+        Result,
+        ErrorResponse,
+        Cancelled,
+        StatsResponse,
+        Bye,
+    )
+}
+
+#: Response types that end a job's lifecycle.
+TERMINAL_TYPES = frozenset(
+    {Rejected.TYPE, Result.TYPE, ErrorResponse.TYPE, Cancelled.TYPE}
+)
+
+
+def encode_message(message: object) -> bytes:
+    """One wire line: the dataclass as JSON plus its ``type`` tag."""
+    payload = asdict(message)
+    payload["type"] = message.TYPE
+    return (json.dumps(payload, separators=(",", ":"), sort_keys=True) + "\n").encode(
+        "utf-8"
+    )
+
+
+def _decode(line: bytes, registry: Dict[str, Type], side: str) -> object:
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"{side} line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        payload = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"bad JSON on the wire: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"expected a JSON object, got {type(payload).__name__}")
+    tag = payload.pop("type", None)
+    cls = registry.get(tag)
+    if cls is None:
+        raise ProtocolError(f"unknown {side} type {tag!r}")
+    names = {f.name for f in fields(cls)}
+    unknown = set(payload) - names
+    if unknown:
+        raise ProtocolError(f"{tag}: unexpected fields {sorted(unknown)}")
+    try:
+        return cls(**payload)
+    except TypeError as exc:
+        raise ProtocolError(f"{tag}: {exc}") from exc
+
+
+def decode_request(line: bytes) -> object:
+    """Parse one client line; raises :class:`ProtocolError`."""
+    return _decode(line, REQUEST_TYPES, "request")
+
+
+def decode_response(line: bytes) -> object:
+    """Parse one server line; raises :class:`ProtocolError`."""
+    return _decode(line, RESPONSE_TYPES, "response")
+
+
+def check_hello(message: object) -> Hello:
+    """Validate the handshake message (first line of a connection)."""
+    if not isinstance(message, Hello):
+        raise ProtocolError(
+            f"expected hello as the first message, got {getattr(message, 'TYPE', '?')!r}"
+        )
+    if message.proto != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol mismatch: server speaks {PROTOCOL_VERSION}, "
+            f"client sent {message.proto!r}"
+        )
+    if not message.tenant:
+        raise ProtocolError("hello must name a tenant")
+    return message
+
+
+def check_submit(message: Submit) -> Submit:
+    """Validate a submission's static fields (kind, id)."""
+    if message.kind not in JOB_KINDS:
+        raise ProtocolError(
+            f"unknown job kind {message.kind!r}; known: {', '.join(JOB_KINDS)}"
+        )
+    if not message.id:
+        raise ProtocolError("submit must carry a non-empty id")
+    if not isinstance(message.params, dict):
+        raise ProtocolError("submit params must be an object")
+    return message

@@ -1,0 +1,214 @@
+"""Per-tenant quotas and admission for the trace service.
+
+Real Ethereum-node workloads are dominated by a handful of heavy
+actors ("EVM Workloads in the Wild"), so a shared trace service must
+bound what any one tenant can queue, run, and submit per second — or
+one tenant's burst starves everyone else's latency.  Admission is
+decided per ``submit``:
+
+* **pending bound** — at most ``max_pending`` jobs queued per tenant;
+* **running bound** — at most ``max_running`` of a tenant's jobs
+  executing concurrently (enforced by the scheduler, declared here);
+* **rate bound** — submissions drain a per-tenant token bucket,
+  *reusing the replay engine's* :class:`~repro.replay.pacing.TokenBucketPacer`
+  via its non-blocking ``try_acquire``.
+
+When a bound trips, the tenant's ``admission`` policy picks the
+reaction, mirroring the replay engine's admission vocabulary:
+
+* ``block`` — backpressure: the submit waits (the server awaits the
+  bucket/slot), which also stops reading further requests from that
+  connection — exactly how a bounded queue pushes back on a producer;
+* ``drop`` — the job is rejected with a ``rejected`` response and a
+  per-tenant counter increment; the connection lives on;
+* ``abort`` — the connection is closed with an error: the tenant is
+  misbehaving and the server refuses further traffic from it.
+
+Decisions are pure data (:class:`Decision`); the async server applies
+them.  The bucket clock is injectable so tests drive virtual time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.replay.pacing import TokenBucketPacer
+
+ADMISSION_POLICIES = ("block", "drop", "abort")
+
+#: Admission verdicts.
+ACCEPT = "accept"
+WAIT = "wait"
+REJECT = "reject"
+ABORT = "abort"
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Static limits for one tenant (or the default for all)."""
+
+    #: max jobs queued (admitted but not yet finished) per tenant
+    max_pending: int = 64
+    #: max jobs of this tenant executing concurrently
+    max_running: int = 2
+    #: submissions per second (None = unlimited)
+    rate: Optional[float] = None
+    #: token-bucket ceiling (None = pacing default: 20 ms of tokens)
+    burst: Optional[float] = None
+    #: block | drop | abort — reaction when a bound trips
+    admission: str = "block"
+
+    def validated(self) -> "TenantQuota":
+        if self.max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {self.max_pending}")
+        if self.max_running < 1:
+            raise ValueError(f"max_running must be >= 1, got {self.max_running}")
+        if self.rate is not None and self.rate <= 0:
+            raise ValueError(f"rate must be > 0 jobs/s, got {self.rate}")
+        if self.admission not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"admission must be one of {ADMISSION_POLICIES}, "
+                f"got {self.admission!r}"
+            )
+        return self
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One admission verdict: what the server should do with a submit."""
+
+    verdict: str
+    #: for WAIT: seconds until the next retry can succeed
+    delay: float = 0.0
+    #: for REJECT/ABORT: machine-readable reason ("quota" | "rate")
+    reason: str = ""
+    detail: str = ""
+
+
+@dataclass
+class TenantState:
+    """Live accounting for one tenant."""
+
+    name: str
+    quota: TenantQuota
+    pacer: Optional[TokenBucketPacer] = None
+    #: admitted jobs not yet terminal (queued + running)
+    pending: int = 0
+    #: jobs currently executing
+    running: int = 0
+    #: total ever admitted / rejected (mirrors the metrics counters)
+    admitted: int = 0
+    rejected: int = 0
+
+
+class QuotaManager:
+    """Per-tenant admission over a shared clock.
+
+    ``clock`` feeds the token buckets; inject a virtual clock in tests
+    to make rate decisions deterministic.  All methods are synchronous
+    and run on the event loop thread — the server owns any waiting.
+    """
+
+    def __init__(
+        self,
+        default: TenantQuota,
+        overrides: Optional[Dict[str, TenantQuota]] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if clock is None:
+            import time
+
+            clock = time.monotonic
+        self._default = default.validated()
+        self._overrides = {
+            name: quota.validated() for name, quota in (overrides or {}).items()
+        }
+        self._clock = clock
+        self._tenants: Dict[str, TenantState] = {}
+
+    def tenant(self, name: str) -> TenantState:
+        state = self._tenants.get(name)
+        if state is None:
+            quota = self._overrides.get(name, self._default)
+            pacer = None
+            if quota.rate is not None:
+                pacer = TokenBucketPacer(
+                    quota.rate,
+                    burst=quota.burst,
+                    clock=self._clock,
+                    sleep=_no_sleep,
+                )
+            state = self._tenants[name] = TenantState(
+                name=name, quota=quota, pacer=pacer
+            )
+        return state
+
+    def admit(self, name: str) -> Decision:
+        """Decide one submission *without* consuming a pending slot.
+
+        On ACCEPT the rate token has been consumed; the caller must then
+        call :meth:`commit` to take the pending slot (split so the
+        server can re-run ``admit`` after awaiting a WAIT delay).
+        """
+        state = self.tenant(name)
+        policy = state.quota.admission
+        if state.pending >= state.quota.max_pending:
+            if policy == "block":
+                # Poll-style backpressure: the pending count drops only
+                # when a job finishes, so a short fixed delay is the
+                # wait-for-slot signal.
+                return Decision(WAIT, delay=0.01, reason="quota")
+            detail = (
+                f"tenant {name!r} has {state.pending} jobs pending "
+                f"(max {state.quota.max_pending})"
+            )
+            return Decision(
+                ABORT if policy == "abort" else REJECT, reason="quota", detail=detail
+            )
+        if state.pacer is not None:
+            delay = state.pacer.try_acquire()
+            if delay > 0.0:
+                if policy == "block":
+                    return Decision(WAIT, delay=delay, reason="rate")
+                detail = (
+                    f"tenant {name!r} exceeded {state.quota.rate:g} submissions/s "
+                    f"(retry in {delay:.3f}s)"
+                )
+                return Decision(
+                    ABORT if policy == "abort" else REJECT,
+                    reason="rate",
+                    detail=detail,
+                )
+        return Decision(ACCEPT)
+
+    def commit(self, name: str) -> None:
+        """Take the pending slot for an accepted submission."""
+        state = self.tenant(name)
+        state.pending += 1
+        state.admitted += 1
+
+    def reject(self, name: str) -> None:
+        self.tenant(name).rejected += 1
+
+    def job_started(self, name: str) -> None:
+        self.tenant(name).running += 1
+
+    def job_finished(self, name: str) -> None:
+        """A job reached a terminal state (result/error/cancelled)."""
+        state = self.tenant(name)
+        state.running = max(0, state.running - 1)
+        state.pending = max(0, state.pending - 1)
+
+    def job_dropped(self, name: str) -> None:
+        """An admitted job was removed before it ever started."""
+        state = self.tenant(name)
+        state.pending = max(0, state.pending - 1)
+
+    def states(self) -> Dict[str, TenantState]:
+        return dict(self._tenants)
+
+
+def _no_sleep(_seconds: float) -> None:
+    """The async server never lets a bucket block; guard against it."""
+    raise RuntimeError("blocking acquire() is not allowed on the event loop")

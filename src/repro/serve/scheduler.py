@@ -1,0 +1,175 @@
+"""Aging priority queue with per-tenant concurrency caps.
+
+The service schedules jobs by *effective* priority with linear aging:
+a job's urgency at time ``t`` is ``priority - (t - enqueue) / aging``,
+so a low-priority job submitted long ago eventually outranks any fresh
+high-priority flood — starvation-freedom by construction.  Comparing
+two jobs under that rule is time-independent::
+
+    p1 - (t - e1)/a  <  p2 - (t - e2)/a
+        <=>  p1*a + e1  <  p2*a + e2
+
+so each entry gets a *static* heap key ``priority * aging_seconds +
+enqueue_time`` computed once at push — an exact linear-aging order with
+a plain ``heapq``, no re-sorting as time passes.  ``aging_seconds`` is
+how many seconds of waiting cancel out one priority level: large values
+approximate strict priority, small values approximate FIFO.
+
+Per-tenant fairness: the quota's ``max_running`` caps how many of one
+tenant's jobs may execute at once.  When the best-ranked job belongs to
+a saturated tenant it is *deferred* (parked per tenant, original key
+preserved) rather than popped, and re-enters the heap as soon as one of
+that tenant's jobs finishes — so a heavy tenant can never occupy every
+worker slot, but also never loses its place in line.
+
+All state mutation happens on the event loop thread; ``asyncio``
+condition variables coordinate the worker tasks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.serve.jobs import Job
+
+
+class JobQueue:
+    """Priority-with-aging job queue feeding the worker tasks."""
+
+    def __init__(
+        self,
+        *,
+        aging_seconds: float,
+        clock: Callable[[], float],
+        max_running: Callable[[str], int],
+    ) -> None:
+        if aging_seconds <= 0:
+            raise ValueError("aging_seconds must be > 0")
+        self._aging = float(aging_seconds)
+        self._clock = clock
+        self._max_running = max_running
+        #: (key, seq, job); seq breaks ties in submission order
+        self._heap: List[Tuple[float, int, Job]] = []
+        self._seq = itertools.count()
+        #: tenant -> entries parked because the tenant is saturated
+        self._deferred: Dict[str, List[Tuple[float, int, Job]]] = {}
+        self._running: Dict[str, int] = {}
+        self._queued = 0
+        self._active = 0
+        self._cond = asyncio.Condition()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+
+    async def push(self, job: Job) -> None:
+        """Enqueue an admitted job (key frozen at the current clock)."""
+        key = job.priority * self._aging + self._clock()
+        async with self._cond:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            heapq.heappush(self._heap, (key, next(self._seq), job))
+            self._queued += 1
+            self._cond.notify()
+
+    async def close(self) -> None:
+        """No more pushes; pending pops return ``None`` once drained."""
+        async with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # consumer side (worker tasks)
+    # ------------------------------------------------------------------
+
+    async def pop(self) -> Optional[Job]:
+        """The best eligible job, waiting if none; ``None`` after close.
+
+        Cancelled jobs are dropped lazily here (their terminal response
+        is the canceller's responsibility); jobs of saturated tenants
+        are deferred without losing their aging credit.
+        """
+        async with self._cond:
+            while True:
+                job = self._pop_eligible()
+                if job is not None:
+                    self._queued -= 1
+                    self._active += 1
+                    self._running[job.tenant] = self._running.get(job.tenant, 0) + 1
+                    return job
+                if self._closed and not self._heap and not any(
+                    self._deferred.values()
+                ):
+                    return None
+                await self._cond.wait()
+
+    def _pop_eligible(self) -> Optional[Job]:
+        while self._heap:
+            key, seq, job = heapq.heappop(self._heap)
+            if job.cancelled:  # lazily discard; canceller already answered
+                self._queued -= 1
+                self._drop_locked(job)
+                continue
+            tenant = job.tenant
+            if self._running.get(tenant, 0) >= self._max_running(tenant):
+                self._deferred.setdefault(tenant, []).append((key, seq, job))
+                continue
+            return job
+        return None
+
+    def _drop_locked(self, job: Job) -> None:
+        if job.on_dropped is not None:
+            job.on_dropped(job)
+
+    async def task_done(self, job: Job) -> None:
+        """A popped job reached a terminal state; wake up deferrals."""
+        async with self._cond:
+            self._active -= 1
+            tenant = job.tenant
+            count = self._running.get(tenant, 0) - 1
+            if count > 0:
+                self._running[tenant] = count
+            else:
+                self._running.pop(tenant, None)
+            parked = self._deferred.pop(tenant, None)
+            if parked:
+                for entry in parked:
+                    heapq.heappush(self._heap, entry)
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # shutdown support
+    # ------------------------------------------------------------------
+
+    async def join(self) -> None:
+        """Wait until nothing is queued, deferred, or running."""
+        async with self._cond:
+            while self._queued or self._active:
+                await self._cond.wait()
+
+    async def drain_queued(self) -> List[Job]:
+        """Remove and return every not-yet-started job (cancel mode)."""
+        async with self._cond:
+            out: List[Job] = []
+            for _, _, job in self._heap:
+                out.append(job)
+            for parked in self._deferred.values():
+                for _, _, job in parked:
+                    out.append(job)
+            self._heap.clear()
+            self._deferred.clear()
+            self._queued -= len(out)
+            self._cond.notify_all()
+            return out
+
+    @property
+    def queued(self) -> int:
+        return self._queued
+
+    @property
+    def active(self) -> int:
+        return self._active

@@ -1,0 +1,607 @@
+"""The asyncio multi-tenant trace service daemon.
+
+One :class:`TraceServer` owns a shared, read-only trace corpus and
+serves many concurrent clients over the newline-delimited-JSON TCP
+protocol (:mod:`repro.serve.protocol`).  The moving parts:
+
+* **connections** — each client handler reads requests and answers on
+  the same socket; responses (including partials streamed by worker
+  tasks) serialize through a per-connection lock;
+* **admission** — per-tenant quotas/rate buckets
+  (:mod:`repro.serve.quota`): ``block`` backpressures the connection,
+  ``drop`` rejects the job, ``abort`` closes the connection;
+* **scheduling** — an aging priority queue with per-tenant running
+  caps (:mod:`repro.serve.scheduler`) feeding ``workers`` worker
+  tasks;
+* **execution** — job runners (:mod:`repro.serve.jobs`) bridge to the
+  existing analysis/replay engines through a thread pool, streaming
+  partial aggregates for analyze jobs;
+* **shutdown** — ``drain`` finishes everything admitted, ``cancel``
+  stops running jobs and answers queued ones deterministically; either
+  way every spawned task is awaited, so a clean shutdown leaves zero
+  pending asyncio tasks (asserted in the tests).
+
+Time is injectable (``clock`` / ``sleep`` in :class:`ServeConfig`), so
+the deterministic concurrency tests drive a virtual clock instead of
+waiting out wall time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter
+from typing import Awaitable, Callable, Dict, Optional, Set, Union
+
+from repro.obs.registry import MetricsRegistry, snapshot_to_json
+from repro.serve import protocol
+from repro.serve.jobs import JOB_RUNNERS, Job, JobError
+from repro.serve.metrics import ServeMetrics
+from repro.serve.protocol import (
+    Accepted,
+    Bye,
+    Cancel,
+    Cancelled,
+    ErrorResponse,
+    Hello,
+    Partial,
+    ProtocolError,
+    Rejected,
+    Result,
+    ShutdownRequest,
+    StatsRequest,
+    StatsResponse,
+    Submit,
+    Welcome,
+)
+from repro.serve.quota import (
+    ABORT,
+    ACCEPT,
+    REJECT,
+    WAIT,
+    QuotaManager,
+    TenantQuota,
+)
+from repro.serve.scheduler import JobQueue
+
+_LOG = logging.getLogger("repro.serve")
+
+SHUTDOWN_MODES = ("drain", "cancel")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything a :class:`TraceServer` needs to run."""
+
+    #: name -> path of the shared trace corpus (v2 traces)
+    traces: Dict[str, Path] = field(default_factory=dict)
+    host: str = "127.0.0.1"
+    #: 0 = ephemeral (the bound port is reported by ``start()``)
+    port: int = 0
+    #: concurrent job slots (worker tasks)
+    workers: int = 2
+    #: default per-tenant quota; ``tenant_quotas`` overrides by name
+    quota: TenantQuota = field(default_factory=TenantQuota)
+    tenant_quotas: Dict[str, TenantQuota] = field(default_factory=dict)
+    #: seconds of queue wait that cancel out one priority level
+    aging_seconds: float = 30.0
+    #: chunks per streamed analyze partial
+    batch_chunks: int = 4
+    #: partial-aggregate cache directory (None = no cache)
+    cache_dir: Optional[Path] = None
+    #: injectable time source (None = the event loop's clock)
+    clock: Optional[Callable[[], float]] = None
+    #: injectable async sleep (None = asyncio.sleep)
+    sleep: Optional[Callable[[float], Awaitable[None]]] = None
+
+    def validated(self) -> "ServeConfig":
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.aging_seconds <= 0:
+            raise ValueError(f"aging_seconds must be > 0, got {self.aging_seconds}")
+        if self.batch_chunks < 1:
+            raise ValueError(f"batch_chunks must be >= 1, got {self.batch_chunks}")
+        self.quota.validated()
+        for quota in self.tenant_quotas.values():
+            quota.validated()
+        return self
+
+
+class Connection:
+    """One connected client; serializes writes and tracks its jobs."""
+
+    _ids = 0
+
+    def __init__(self, server: "TraceServer", reader, writer) -> None:
+        Connection._ids += 1
+        self.number = Connection._ids
+        self.server = server
+        self.reader = reader
+        self.writer = writer
+        self.tenant: Optional[str] = None
+        self.closed = False
+        self._send_lock = asyncio.Lock()
+        #: client job id -> Job, for cancel and disconnect cleanup
+        self.jobs: Dict[str, Job] = {}
+        #: every id ever accepted here — ids are unique per connection
+        self.used_ids: Set[str] = set()
+
+    async def send(self, message: object) -> None:
+        if self.closed:
+            return
+        async with self._send_lock:
+            if self.closed:
+                return
+            try:
+                self.writer.write(protocol.encode_message(message))
+                await self.writer.drain()
+            except (ConnectionError, OSError):
+                self.closed = True
+
+    def send_best_effort(self, message: object) -> None:
+        """Non-awaiting write for paths that must not block (a worker
+        task that is itself being cancelled)."""
+        if self.closed:
+            return
+        try:
+            self.writer.write(protocol.encode_message(message))
+        except (ConnectionError, OSError):
+            self.closed = True
+
+    async def close(self, reason: str = "closed") -> None:
+        if not self.closed:
+            await self.send(Bye(reason=reason))
+        self.closed = True
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class TraceServer:
+    """The asyncio daemon behind ``repro serve``."""
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.config = config.validated()
+        if registry is None:
+            from repro.obs import get_registry
+
+            registry = get_registry()
+        self.registry = registry
+        self.metrics = ServeMetrics(registry)
+        self.batch_chunks = config.batch_chunks
+        self.cache = None
+        if config.cache_dir is not None:
+            from repro.core.aggcache import AggregateCache
+
+            self.cache = AggregateCache(config.cache_dir, registry=registry)
+        self.pool = ThreadPoolExecutor(
+            max_workers=max(2, config.workers), thread_name_prefix="repro-serve"
+        )
+        self._traces = {name: Path(path) for name, path in config.traces.items()}
+        self._clock: Callable[[], float] = config.clock or (lambda: 0.0)
+        self._sleep = config.sleep or asyncio.sleep
+        self._quotas = QuotaManager(
+            config.quota, config.tenant_quotas, clock=self._lazy_clock
+        )
+        self._queue: Optional[JobQueue] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._tasks: Set[asyncio.Task] = set()
+        self._connections: Set[Connection] = set()
+        self._job_seq = 0
+        self._draining = False
+        self._stopped = asyncio.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    # ------------------------------------------------------------------
+    # time plumbing
+    # ------------------------------------------------------------------
+
+    def _lazy_clock(self) -> float:
+        """The injected clock, or the loop's once it exists (quota
+        buckets may be created before ``start()``)."""
+        if self.config.clock is not None:
+            return self.config.clock()
+        if self._loop is not None:
+            return self._loop.time()
+        return 0.0
+
+    async def sleep(self, seconds: float) -> None:
+        """Sleep through the injectable shim (virtual-clock friendly)."""
+        await self._sleep(seconds)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> int:
+        """Bind the listener and start the workers; returns the port."""
+        self._loop = asyncio.get_running_loop()
+        self._queue = JobQueue(
+            aging_seconds=self.config.aging_seconds,
+            clock=self._lazy_clock,
+            max_running=lambda tenant: self._quotas.tenant(tenant).quota.max_running,
+        )
+        self._server = await asyncio.start_server(
+            self._handle_client,
+            host=self.config.host,
+            port=self.config.port,
+            limit=protocol.MAX_LINE_BYTES,
+        )
+        for index in range(self.config.workers):
+            self._spawn(self._worker(index), name=f"repro-serve-worker-{index}")
+        sockets = self._server.sockets or ()
+        port = sockets[0].getsockname()[1] if sockets else self.config.port
+        _LOG.info("serving on %s:%d", self.config.host, port)
+        return port
+
+    def _spawn(self, coro, name: str) -> asyncio.Task:
+        task = asyncio.get_running_loop().create_task(coro, name=name)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return task
+
+    async def wait_closed(self) -> None:
+        """Block until :meth:`shutdown` completes."""
+        await self._stopped.wait()
+
+    async def shutdown(self, mode: str = "drain") -> None:
+        """Stop the service deterministically.
+
+        ``drain``: stop accepting, let everything admitted finish, then
+        tear down.  ``cancel``: queued jobs are answered ``cancelled``
+        without running; running jobs' tasks are cancelled and answer
+        ``cancelled`` best-effort.  Both paths await every task the
+        server ever spawned, so afterwards no pending asyncio tasks
+        remain.
+        """
+        if mode not in SHUTDOWN_MODES:
+            raise ValueError(f"shutdown mode must be one of {SHUTDOWN_MODES}")
+        if self._draining:
+            await self._stopped.wait()
+            return
+        self._draining = True
+        assert self._queue is not None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+        if mode == "cancel":
+            for job in await self._queue.drain_queued():
+                if not job.cancelled:
+                    job.cancelled = True
+                    self._quotas.job_dropped(job.tenant)
+                    self.metrics.cancelled(job.tenant, job.kind)
+                    await job.conn.send(Cancelled(id=job.client_id))
+            for connection in list(self._connections):
+                for job in list(connection.jobs.values()):
+                    if job.task is not None and not job.task.done():
+                        job.cancelled = True
+                        job.task.cancel()
+        await self._queue.close()
+        if mode == "drain":
+            await self._queue.join()
+
+        # Connections close only after the drain join: in-flight jobs
+        # stream their terminal responses over live sockets.  Closing
+        # unblocks the client handlers parked in readline.
+        for connection in list(self._connections):
+            await connection.close(reason=f"shutdown ({mode})")
+        self._connections.clear()
+
+        # Await every task the server ever spawned: workers (exit when
+        # the closed queue runs dry), client handlers (exit on EOF), and
+        # cancelled tasks alike — minus ourselves when shutdown itself
+        # runs as a spawned task (client shutdown request).
+        current = asyncio.current_task()
+        pending = [
+            task for task in self._tasks if task is not current and not task.done()
+        ]
+        await asyncio.gather(*pending, return_exceptions=True)
+        self.pool.shutdown(wait=True)
+        self.metrics.queue_sample(0, 0)
+        self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # trace corpus
+    # ------------------------------------------------------------------
+
+    def resolve_trace(self, name: object) -> Path:
+        """Map a client-supplied trace name to a registered path."""
+        if not isinstance(name, str) or not name:
+            raise JobError("params must name a trace")
+        path = self._traces.get(name)
+        if path is None:
+            known = ", ".join(sorted(self._traces)) or "(none)"
+            raise JobError(f"unknown trace {name!r}; served traces: {known}")
+        return path
+
+    # ------------------------------------------------------------------
+    # client handling
+    # ------------------------------------------------------------------
+
+    async def _handle_client(self, reader, writer) -> None:
+        # start_server spawns this task itself; track it so shutdown's
+        # zero-pending-tasks guarantee covers client handlers too.
+        task = asyncio.current_task()
+        if task is not None:
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+        connection = Connection(self, reader, writer)
+        self._connections.add(connection)
+        self.metrics.connection_opened()
+        try:
+            await self._client_loop(connection)
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass
+        except asyncio.CancelledError:
+            raise
+        except Exception:  # never let one client kill the daemon
+            _LOG.exception("connection %d crashed", connection.number)
+        finally:
+            self._connections.discard(connection)
+            self.metrics.connection_closed()
+            self._abandon_jobs(connection)
+            await connection.close(reason="goodbye")
+
+    def _abandon_jobs(self, connection: Connection) -> None:
+        """A client vanished: cancel whatever it still had in flight."""
+        for job in connection.jobs.values():
+            if not job.cancelled:
+                job.cancelled = True
+                if job.task is not None and not job.task.done():
+                    job.task.cancel()
+
+    async def _read_request(self, connection: Connection) -> Optional[object]:
+        line = await connection.reader.readline()
+        if not line:
+            return None
+        return protocol.decode_request(line)
+
+    async def _client_loop(self, connection: Connection) -> None:
+        try:
+            hello = await self._read_request(connection)
+            if hello is None:
+                return
+            protocol.check_hello(hello)
+        except ProtocolError as exc:
+            await connection.send(ErrorResponse(message=str(exc)))
+            return
+        connection.tenant = hello.tenant
+        await connection.send(Welcome())
+        while not connection.closed:
+            try:
+                request = await self._read_request(connection)
+            except ProtocolError as exc:
+                await connection.send(ErrorResponse(message=str(exc)))
+                continue
+            if request is None:
+                return
+            if isinstance(request, Submit):
+                keep_open = await self._handle_submit(connection, request)
+                if not keep_open:
+                    return
+            elif isinstance(request, Cancel):
+                await self._handle_cancel(connection, request)
+            elif isinstance(request, StatsRequest):
+                await connection.send(
+                    StatsResponse(data=snapshot_to_json(self.registry.snapshot()))
+                )
+            elif isinstance(request, ShutdownRequest):
+                mode = request.mode if request.mode in SHUTDOWN_MODES else "drain"
+                # Run in a fresh task: shutdown awaits this very handler.
+                self._spawn(self.shutdown(mode), name="repro-serve-shutdown")
+                return
+            elif isinstance(request, Hello):
+                await connection.send(
+                    ErrorResponse(message="already said hello on this connection")
+                )
+
+    # ------------------------------------------------------------------
+    # submission / admission
+    # ------------------------------------------------------------------
+
+    async def _handle_submit(self, connection: Connection, submit: Submit) -> bool:
+        """Admit one submission; False closes the connection (abort)."""
+        tenant = connection.tenant
+        assert tenant is not None
+        try:
+            protocol.check_submit(submit)
+        except ProtocolError as exc:
+            await connection.send(
+                Rejected(id=submit.id, reason="bad-request", detail=str(exc))
+            )
+            return True
+        if submit.id in connection.used_ids:
+            await connection.send(
+                Rejected(
+                    id=submit.id,
+                    reason="bad-request",
+                    detail=f"job id {submit.id!r} already used on this connection",
+                )
+            )
+            return True
+        if self._draining:
+            self.metrics.rejected(tenant, "shutting-down")
+            await connection.send(
+                Rejected(
+                    id=submit.id,
+                    reason="shutting-down",
+                    detail="server is shutting down",
+                )
+            )
+            return True
+
+        while True:
+            decision = self._quotas.admit(tenant)
+            if decision.verdict == ACCEPT:
+                break
+            if decision.verdict == WAIT:
+                # block policy: backpressure this connection (no further
+                # requests are read until the submit is admitted).
+                await self.sleep(decision.delay)
+                if self._draining or connection.closed:
+                    self.metrics.rejected(tenant, "shutting-down")
+                    await connection.send(
+                        Rejected(
+                            id=submit.id,
+                            reason="shutting-down",
+                            detail="server shut down while blocked on admission",
+                        )
+                    )
+                    return True
+                continue
+            self._quotas.reject(tenant)
+            self.metrics.rejected(tenant, decision.reason)
+            if decision.verdict == REJECT:
+                await connection.send(
+                    Rejected(
+                        id=submit.id, reason=decision.reason, detail=decision.detail
+                    )
+                )
+                return True
+            assert decision.verdict == ABORT
+            await connection.send(
+                ErrorResponse(
+                    id=submit.id,
+                    message=f"admission abort ({decision.reason}): {decision.detail}",
+                )
+            )
+            return False
+
+        self._quotas.commit(tenant)
+        self._job_seq += 1
+        job = Job(
+            job_id=self._job_seq,
+            client_id=submit.id,
+            tenant=tenant,
+            kind=submit.kind,
+            params=dict(submit.params),
+            priority=int(submit.priority),
+            conn=connection,
+            on_dropped=self._job_lazily_dropped,
+        )
+        connection.jobs[submit.id] = job
+        connection.used_ids.add(submit.id)
+        self.metrics.submitted(tenant, job.kind)
+        assert self._queue is not None
+        await self._queue.push(job)
+        self.metrics.queue_sample(self._queue.queued, self._queue.active)
+        await connection.send(Accepted(id=submit.id, job=job.job_id))
+        return True
+
+    def _job_lazily_dropped(self, job: Job) -> None:
+        """A cancelled queued job was discarded by the scheduler; its
+        quota slot was already released when the cancel was answered."""
+
+    async def _handle_cancel(self, connection: Connection, cancel: Cancel) -> None:
+        job = connection.jobs.get(cancel.id)
+        if job is None:
+            await connection.send(
+                ErrorResponse(id=cancel.id, message=f"unknown job id {cancel.id!r}")
+            )
+            return
+        if job.cancelled:
+            return
+        job.cancelled = True
+        if job.task is not None and not job.task.done():
+            # Running: the worker answers when the cancellation lands.
+            job.task.cancel()
+            return
+        # Queued: answer now; the scheduler discards the entry lazily.
+        self._quotas.job_dropped(job.tenant)
+        self.metrics.cancelled(job.tenant, job.kind)
+        await connection.send(Cancelled(id=cancel.id))
+
+    # ------------------------------------------------------------------
+    # workers
+    # ------------------------------------------------------------------
+
+    async def _worker(self, index: int) -> None:
+        assert self._queue is not None
+        while True:
+            job = await self._queue.pop()
+            if job is None:
+                return
+            self.metrics.queue_sample(self._queue.queued, self._queue.active)
+            self._quotas.job_started(job.tenant)
+            try:
+                await self._execute(job)
+            except asyncio.CancelledError:
+                # A job cancellation landing on _execute's own terminal
+                # send must not take the worker loop down with it; the
+                # worker still exits normally once the queue closes.
+                pass
+            finally:
+                self._quotas.job_finished(job.tenant)
+                await self._queue.task_done(job)
+                self.metrics.queue_sample(self._queue.queued, self._queue.active)
+
+    async def _execute(self, job: Job) -> None:
+        connection: Connection = job.conn
+        if job.cancelled:
+            # Cancelled in the pop-to-start gap: the canceller already
+            # answered and released the slot — do not answer twice.
+            connection.jobs.pop(job.client_id, None)
+            return
+        job.task = asyncio.current_task()
+        started = perf_counter()
+        try:
+            runner = JOB_RUNNERS[job.kind]
+            result = await runner(job, self)
+        except asyncio.CancelledError:
+            # A cancelled *job* must not kill the worker task hosting
+            # it; the send is best-effort (no await) because this task
+            # has a pending cancellation.
+            self.metrics.cancelled(job.tenant, job.kind)
+            connection.send_best_effort(Cancelled(id=job.client_id))
+            return
+        except JobError as exc:
+            self.metrics.failed(job.tenant, job.kind)
+            await connection.send(ErrorResponse(id=job.client_id, message=str(exc)))
+        except Exception as exc:  # defensive: report, never crash the worker
+            _LOG.exception("job %d (%s) crashed", job.job_id, job.kind)
+            self.metrics.failed(job.tenant, job.kind)
+            await connection.send(
+                ErrorResponse(
+                    id=job.client_id, message=f"internal error: {exc}"
+                )
+            )
+        else:
+            if job.cancelled:
+                # cancel raced completion: a task.cancel() may already be
+                # pending on this task, so the send must not await
+                self.metrics.cancelled(job.tenant, job.kind)
+                connection.send_best_effort(Cancelled(id=job.client_id))
+            else:
+                self.metrics.completed(job.tenant, job.kind, perf_counter() - started)
+                await connection.send(Result(id=job.client_id, data=result))
+        finally:
+            job.task = None
+            connection.jobs.pop(job.client_id, None)
+
+    async def send_partial(self, job: Job, data: dict) -> None:
+        """Stream one partial answer for a running job."""
+        job.partials += 1
+        self.metrics.partial(job.tenant)
+        await job.conn.send(Partial(id=job.client_id, seq=job.partials, data=data))
+
+
+def make_server(
+    traces: Dict[str, Union[str, Path]],
+    registry: Optional[MetricsRegistry] = None,
+    **config_kwargs,
+) -> TraceServer:
+    """Convenience constructor used by the CLI and the test harness."""
+    config = ServeConfig(
+        traces={name: Path(path) for name, path in traces.items()}, **config_kwargs
+    )
+    return TraceServer(config, registry=registry)

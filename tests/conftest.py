@@ -20,6 +20,26 @@ def _isolated_aggcache(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "aggcache"))
 
 
+@pytest.fixture(autouse=True)
+def _isolated_metrics_registry():
+    """Give every test a fresh process-wide MetricsRegistry.
+
+    Anything that falls back to ``repro.obs.get_registry()`` — the CLI
+    paths, ``--metrics-out`` dumps, default-registry analyzers — would
+    otherwise accumulate counters across tests, making results depend
+    on execution order.  Swap in a clean registry per test and restore
+    the previous one afterwards.
+    """
+    from repro.obs import set_registry
+    from repro.obs.registry import MetricsRegistry
+
+    previous = set_registry(MetricsRegistry())
+    try:
+        yield
+    finally:
+        set_registry(previous)
+
+
 SMALL_WORKLOAD = WorkloadConfig(
     seed=1234,
     initial_eoa_accounts=1500,

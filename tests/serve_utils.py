@@ -1,0 +1,171 @@
+"""Test harness for the trace service.
+
+Runs the real daemon **in-process** on an ephemeral port, so the tests
+exercise the genuine asyncio/TCP path without fixed ports or external
+processes.  Determinism comes from the injectable time plumbing
+(``ServeConfig.clock`` / ``ServeConfig.sleep``): tests pass a
+:class:`VirtualClock`, and anything the server would wait out —
+``sleep`` jobs, rate-bucket refills, blocked-admission retries —
+advances only when the test calls :meth:`VirtualClock.advance`.  Wall
+time never decides scheduling order; :func:`pump` just keeps the event
+loop breathing while the virtual clock does the moving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.trace import write_trace_v2
+from repro.obs.registry import MetricsRegistry
+from repro.serve import ServeClient, ServeConfig, TraceServer
+
+from tests.test_parallel import _random_records
+
+#: Hard wall-time ceiling for any single awaited step; a correct run
+#: never gets near it — it only turns a hang into a clean failure.
+STEP_TIMEOUT = 30.0
+
+
+def run(coro):
+    """Run one async test body (the suite does not assume an asyncio
+    pytest plugin)."""
+    return asyncio.run(asyncio.wait_for(coro, timeout=STEP_TIMEOUT * 4))
+
+
+def make_trace(path, n=2000, seed=11, chunk_size=173):
+    """A small deterministic v2 trace; returns its record list."""
+    records = _random_records(n=n, seed=seed)
+    write_trace_v2(path, records, chunk_size=chunk_size)
+    return records
+
+
+class VirtualClock:
+    """A manually advanced clock with an async sleep shim.
+
+    ``clock()`` reads the current virtual time; ``await sleep(s)``
+    parks the caller until :meth:`advance` moves time past its
+    deadline.  Wake-ups fire in deadline order (FIFO on ties), so runs
+    are reproducible down to scheduling order.
+    """
+
+    def __init__(self, start: float = 1000.0) -> None:
+        self._now = float(start)
+        self._seq = itertools.count()
+        #: (deadline, seq, future) of parked sleepers
+        self._sleepers: List[Tuple[float, int, asyncio.Future]] = []
+
+    def __call__(self) -> float:
+        return self._now
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    async def sleep(self, seconds: float) -> None:
+        if seconds <= 0:
+            await asyncio.sleep(0)
+            return
+        future = asyncio.get_running_loop().create_future()
+        heapq.heappush(
+            self._sleepers, (self._now + seconds, next(self._seq), future)
+        )
+        await future
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward and wake every sleeper now due."""
+        self._now += seconds
+        while self._sleepers and self._sleepers[0][0] <= self._now + 1e-9:
+            _, _, future = heapq.heappop(self._sleepers)
+            if not future.done():
+                future.set_result(None)
+
+    @property
+    def sleeping(self) -> int:
+        return sum(1 for _, _, f in self._sleepers if not f.done())
+
+
+async def pump(
+    clock: Optional[VirtualClock] = None,
+    *,
+    until: Optional[Callable[[], bool]] = None,
+    step: float = 0.05,
+    rounds: int = 400,
+) -> bool:
+    """Drive the loop (and the virtual clock, if any) until ``until``.
+
+    Each round advances the virtual clock by ``step`` and briefly
+    yields so sockets and callbacks drain.  Returns whether ``until``
+    became true within the round budget.
+    """
+    for _ in range(rounds):
+        if until is not None and until():
+            return True
+        if clock is not None:
+            clock.advance(step)
+        await asyncio.sleep(0.001)
+    return until() if until is not None else True
+
+
+@contextlib.asynccontextmanager
+async def serve_session(traces, *, registry=None, **config_kwargs):
+    """The in-process daemon on an ephemeral port.
+
+    Yields ``(server, port)``; on exit drains (idempotent with any
+    shutdown the test already triggered) and asserts the server's
+    zero-pending-tasks guarantee.
+    """
+    if registry is None:
+        registry = MetricsRegistry()
+    config = ServeConfig(traces=dict(traces), port=0, **config_kwargs)
+    server = TraceServer(config, registry=registry)
+    port = await server.start()
+    try:
+        yield server, port
+    finally:
+        await asyncio.wait_for(server.shutdown("drain"), timeout=STEP_TIMEOUT)
+        assert_no_server_tasks(server)
+
+
+@contextlib.asynccontextmanager
+async def connect(port: int, tenant: str):
+    client = ServeClient("127.0.0.1", port, tenant)
+    try:
+        yield await client.connect()
+    finally:
+        await asyncio.wait_for(client.close(), timeout=STEP_TIMEOUT)
+
+
+def assert_no_server_tasks(server: Optional[TraceServer] = None) -> None:
+    """After shutdown, no server-side asyncio task may remain pending.
+
+    Checks both the server's own task ledger (workers, client handlers,
+    spawned shutdowns) and, globally, anything named ``repro-serve-*``
+    — excluding client reader tasks (``repro-serve-client-*``), which
+    the test's clients own and close with.
+    """
+    leaked = []
+    if server is not None:
+        leaked.extend(task for task in server._tasks if not task.done())
+    for task in asyncio.all_tasks():
+        name = task.get_name()
+        if (
+            not task.done()
+            and name.startswith("repro-serve-")
+            and not name.startswith("repro-serve-client-")
+            and task not in leaked
+        ):
+            leaked.append(task)
+    assert not leaked, f"pending tasks after shutdown: {leaked!r}"
+
+
+def counter_value(registry: MetricsRegistry, name: str, **labels) -> float:
+    """One labeled counter's value from a registry snapshot (0.0 when
+    the series does not exist)."""
+    try:
+        return float(registry.snapshot().value(name, **labels))
+    except KeyError:
+        return 0.0

@@ -518,3 +518,95 @@ class TestCacheCLI:
         code = main(["analyze", str(tmp_path / "missing.bin")])
         assert code == 2
         assert capsys.readouterr().err
+
+
+class TestConcurrentPublish:
+    """Racing publishers of the same entry must never tear a read.
+
+    ``put`` publishes via temp-write-then-``os.replace``; the temp name
+    must be unique across *instances* as well as threads.  (A per-
+    instance sequence collides: two caches in one process share the pid
+    and both start at 0, so racing publishers of the same key would
+    interleave writes into one temp file — publishing a torn blob and
+    crashing the loser's rename with FileNotFoundError.)
+    """
+
+    @pytest.mark.slow
+    def test_racing_publishers_same_key_no_torn_reads(self, tmp_path):
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        directory = tmp_path / "shared"
+        # Distinct instances on one directory: the cross-instance case.
+        writers = [
+            AggregateCache(directory, registry=MetricsRegistry()) for _ in range(4)
+        ]
+        reader = AggregateCache(directory, registry=MetricsRegistry())
+        key = AggregateCache.entry_key(0xABCD, "opdist", 1, True)
+        valid = {i: {"writer": i, "payload": list(range(50 + i))} for i in range(4)}
+
+        start = threading.Barrier(5)
+        stop = threading.Event()
+        put_errors: list = []
+        torn: list = []
+
+        def publish(index: int) -> None:
+            cache = writers[index]
+            start.wait()
+            for _ in range(150):
+                try:
+                    cache.put(key, valid[index])
+                except Exception as exc:  # the old naming raced here
+                    put_errors.append(exc)
+                    return
+
+        def poll() -> None:
+            start.wait()
+            while not stop.is_set():
+                value = reader.get(key)
+                # a miss is fine (first put may not have landed; a torn
+                # blob is deleted as invalid) — a *wrong* value is not
+                if value is not None and value not in valid.values():
+                    torn.append(value)
+                    return
+
+        with ThreadPoolExecutor(max_workers=5) as pool:
+            futures = [pool.submit(publish, i) for i in range(4)]
+            poller = pool.submit(poll)
+            for future in futures:
+                future.result(timeout=60)
+            stop.set()
+            poller.result(timeout=60)
+
+        assert not put_errors, put_errors
+        assert not torn, torn
+        # the survivor is intact and owned by one of the writers
+        final = reader.get(key)
+        assert final in valid.values()
+        # no temp litter left behind
+        assert not list(directory.glob(".*.tmp"))
+
+    def test_temp_names_unique_across_instances(self, tmp_path):
+        """Two instances in one process never pick the same temp name
+        (the module-level sequence, not a per-instance counter)."""
+        import repro.core.aggcache as aggcache_mod
+
+        seen = set()
+        original = os.replace
+
+        def spy(src, dst):
+            assert src not in seen, f"temp name reused: {src}"
+            seen.add(src)
+            return original(src, dst)
+
+        a = AggregateCache(tmp_path / "d", registry=MetricsRegistry())
+        b = AggregateCache(tmp_path / "d", registry=MetricsRegistry())
+        key = AggregateCache.entry_key(1, "opdist", 1, True)
+        try:
+            aggcache_mod.os.replace = spy
+            for _ in range(10):
+                a.put(key, {"x": 1})
+                b.put(key, {"x": 2})
+        finally:
+            aggcache_mod.os.replace = original
+        assert len(seen) == 20

@@ -26,6 +26,7 @@ class TestParser:
             "compare",
             "crashtest",
             "replay",
+            "serve",
             "stats",
             "bench",
         }
@@ -276,3 +277,63 @@ class TestReplay:
         code = main(["replay", str(bogus)])
         assert code == 2
         assert "cannot read trace" in capsys.readouterr().err
+
+
+class TestErrorPaths:
+    """Bad input exits 2 with a one-line error — never a traceback.
+
+    Every case is user error (missing file, unusable cache directory,
+    nonsense flag values); the CLI's contract is a single diagnostic
+    line on stderr and exit code 2, so scripts and CI can distinguish
+    "you called it wrong" (2) from "the run found a problem" (1).
+    """
+
+    @pytest.fixture()
+    def cache_dir_that_is_a_file(self, tmp_path):
+        path = tmp_path / "cachefile"
+        path.write_text("not a directory", encoding="ascii")
+        return path
+
+    @pytest.mark.parametrize(
+        ("argv", "needle"),
+        [
+            (["replay", "{missing}"], "not found"),
+            (["analyze", "{missing}"], "not found"),
+            (["replay", "{trace}", "--pace", "-5"], "pace"),
+            (["replay", "{trace}", "--pace", "0"], "pace"),
+            (["replay", "{trace}", "--queue-depth", "0"], "queue_depth"),
+            (["replay", "{trace}", "--queue-depth", "-3"], "queue_depth"),
+            (["analyze", "{trace}", "--cache-dir", "{badcache}"], "cache"),
+            (["cache", "show", "--cache-dir", "{badcache}"], "cache"),
+            (["cache", "clear", "--cache-dir", "{badcache}"], "cache"),
+            (["serve", "{missing}"], "not found"),
+            (["serve", "{trace}", "--workers", "0"], "workers"),
+            (["serve", "{trace}", "--aging-seconds", "0"], "aging"),
+            (["serve", "x={trace}", "y={missing}"], "not found"),
+        ],
+        ids=lambda value: " ".join(value) if isinstance(value, list) else value,
+    )
+    def test_bad_input_exits_2_with_one_line_error(
+        self, argv, needle, synced_trace, cache_dir_that_is_a_file, tmp_path, capsys
+    ):
+        substitutions = {
+            "{missing}": str(tmp_path / "missing.bin"),
+            "{trace}": str(synced_trace),
+            "{badcache}": str(cache_dir_that_is_a_file),
+        }
+
+        def substitute(arg: str) -> str:
+            for placeholder, value in substitutions.items():
+                arg = arg.replace(placeholder, value)
+            return arg
+
+        code = main([substitute(arg) for arg in argv])
+        err = capsys.readouterr().err
+        assert code == 2, err
+        assert "Traceback" not in err
+        diagnostic = [
+            line
+            for line in err.splitlines()
+            if needle in line and not line.startswith("Reading")
+        ]
+        assert len(diagnostic) == 1, err

@@ -1,0 +1,604 @@
+"""Trace service tests: protocol, admission, scheduling, streaming.
+
+The integration tests run the real daemon in-process over real TCP
+(``tests/serve_utils.py``); anything time-dependent — sleep jobs, rate
+buckets, blocked admission — runs on a :class:`VirtualClock`, so
+outcomes are decided by the scheduler's rules, never by wall-clock
+luck.  The headline acceptance test drives 8 concurrent clients across
+3 tenants against one shared trace and checks the paper-facing
+contract: streamed partial aggregates end byte-identical to a one-shot
+``analyze``, per-tenant quota rejections land in the metrics registry,
+and shutdown leaves zero pending asyncio tasks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.aggcache import analyze_trace_maybe_cached
+from repro.core.report import render_op_table
+from repro.obs.registry import MetricsRegistry
+from repro.serve import ServeClient, TenantQuota
+from repro.serve import protocol
+from repro.serve.protocol import (
+    Accepted,
+    Bye,
+    Cancel,
+    Cancelled,
+    ErrorResponse,
+    Hello,
+    Partial,
+    ProtocolError,
+    Rejected,
+    Result,
+    ShutdownRequest,
+    StatsRequest,
+    StatsResponse,
+    Submit,
+    Welcome,
+)
+from repro.serve.scheduler import JobQueue
+from repro.serve.jobs import Job
+
+from tests.serve_utils import (
+    VirtualClock,
+    assert_no_server_tasks,
+    connect,
+    counter_value,
+    make_trace,
+    pump,
+    run,
+    serve_session,
+)
+
+
+# ---------------------------------------------------------------------------
+# protocol round-trips
+# ---------------------------------------------------------------------------
+
+
+class TestProtocol:
+    REQUESTS = [
+        Hello(tenant="alice"),
+        Submit(id="j1", kind="analyze", params={"trace": "t"}, priority=3),
+        Cancel(id="j1"),
+        StatsRequest(),
+        ShutdownRequest(mode="cancel"),
+    ]
+    RESPONSES = [
+        Welcome(),
+        Accepted(id="j1", job=7),
+        Rejected(id="j1", reason="quota", detail="full"),
+        Partial(id="j1", seq=1, data={"records": 10}),
+        Result(id="j1", data={"records": 10}),
+        ErrorResponse(message="boom", id="j1"),
+        Cancelled(id="j1"),
+        StatsResponse(data={"families": []}),
+        Bye(reason="shutdown"),
+    ]
+
+    @pytest.mark.parametrize("message", REQUESTS, ids=lambda m: m.TYPE)
+    def test_request_round_trip(self, message):
+        line = protocol.encode_message(message)
+        assert line.endswith(b"\n") and line.count(b"\n") == 1
+        assert protocol.decode_request(line) == message
+
+    @pytest.mark.parametrize("message", RESPONSES, ids=lambda m: m.TYPE)
+    def test_response_round_trip(self, message):
+        assert protocol.decode_response(protocol.encode_message(message)) == message
+
+    def test_wire_is_one_json_object_with_type_tag(self):
+        payload = json.loads(protocol.encode_message(Hello(tenant="a")))
+        assert payload["type"] == "hello"
+        assert payload["proto"] == protocol.PROTOCOL_VERSION
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            b"not json\n",
+            b"[1,2]\n",
+            b'{"type":"nope"}\n',
+            b'{"type":"hello","tenant":"a","extra":1}\n',
+            b'{"type":"submit"}\n',  # missing required fields
+        ],
+    )
+    def test_bad_requests_raise(self, line):
+        with pytest.raises(ProtocolError):
+            protocol.decode_request(line)
+
+    def test_request_response_registries_are_disjoint_where_it_matters(self):
+        # "stats" is a request AND a response tag; each side decodes its own.
+        assert isinstance(protocol.decode_request(b'{"type":"stats"}\n'), StatsRequest)
+        assert isinstance(
+            protocol.decode_response(b'{"type":"stats","data":{}}\n'), StatsResponse
+        )
+
+    def test_check_hello(self):
+        with pytest.raises(ProtocolError, match="protocol mismatch"):
+            protocol.check_hello(Hello(tenant="a", proto="serve-v0"))
+        with pytest.raises(ProtocolError, match="tenant"):
+            protocol.check_hello(Hello(tenant=""))
+        with pytest.raises(ProtocolError, match="expected hello"):
+            protocol.check_hello(StatsRequest())
+
+    def test_check_submit(self):
+        with pytest.raises(ProtocolError, match="unknown job kind"):
+            protocol.check_submit(Submit(id="x", kind="mine"))
+        with pytest.raises(ProtocolError, match="non-empty id"):
+            protocol.check_submit(Submit(id="", kind="sleep"))
+
+    def test_terminal_types(self):
+        assert protocol.TERMINAL_TYPES == {"rejected", "result", "error", "cancelled"}
+
+
+# ---------------------------------------------------------------------------
+# scheduler unit tests (virtual clock; no sockets)
+# ---------------------------------------------------------------------------
+
+
+def _job(job_id, tenant="t", priority=0):
+    return Job(
+        job_id=job_id,
+        client_id=f"c{job_id}",
+        tenant=tenant,
+        kind="sleep",
+        params={},
+        priority=priority,
+        conn=None,
+    )
+
+
+class TestJobQueue:
+    def test_priority_order_at_equal_time(self):
+        async def body():
+            clock = VirtualClock()
+            queue = JobQueue(aging_seconds=10.0, clock=clock, max_running=lambda t: 99)
+            await queue.push(_job(1, priority=5))
+            await queue.push(_job(2, priority=0))
+            await queue.push(_job(3, priority=5))
+            assert (await queue.pop()).job_id == 2
+            # FIFO among equals
+            assert (await queue.pop()).job_id == 1
+            assert (await queue.pop()).job_id == 3
+
+        run(body())
+
+    def test_aging_lets_old_low_priority_beat_fresh_high_priority(self):
+        async def body():
+            clock = VirtualClock()
+            queue = JobQueue(aging_seconds=10.0, clock=clock, max_running=lambda t: 99)
+            await queue.push(_job(1, priority=5))  # key = 50 + t0
+            clock.advance(100.0)
+            await queue.push(_job(2, priority=0))  # key = 0 + t0+100
+            old_first = await queue.pop()
+            assert old_first.job_id == 1  # waited out its handicap
+
+        run(body())
+
+    def test_saturated_tenant_defers_without_losing_place(self):
+        async def body():
+            clock = VirtualClock()
+            queue = JobQueue(aging_seconds=10.0, clock=clock, max_running=lambda t: 1)
+            await queue.push(_job(1, tenant="a", priority=0))
+            await queue.push(_job(2, tenant="a", priority=0))
+            await queue.push(_job(3, tenant="b", priority=5))
+            first = await queue.pop()
+            assert first.job_id == 1
+            # tenant a is saturated: its second job defers, b runs
+            second = await queue.pop()
+            assert second.job_id == 3
+            await queue.task_done(first)
+            third = await queue.pop()
+            assert third.job_id == 2
+            await queue.task_done(second)
+            await queue.task_done(third)
+            await queue.close()
+            assert await queue.pop() is None
+
+        run(body())
+
+    def test_cancelled_jobs_are_dropped_lazily(self):
+        async def body():
+            clock = VirtualClock()
+            queue = JobQueue(aging_seconds=10.0, clock=clock, max_running=lambda t: 9)
+            dropped = []
+            victim = _job(1, priority=0)
+            victim.on_dropped = dropped.append
+            await queue.push(victim)
+            await queue.push(_job(2, priority=1))
+            victim.cancelled = True
+            assert (await queue.pop()).job_id == 2
+            assert [j.job_id for j in dropped] == [1]
+            assert queue.queued == 0
+
+        run(body())
+
+
+# ---------------------------------------------------------------------------
+# integration: the in-process daemon over real TCP
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def trace_path(tmp_path):
+    path = tmp_path / "trace.bin"
+    make_trace(path, n=2000, seed=11, chunk_size=173)
+    return path
+
+
+def _one_shot_table(trace_path, name):
+    opdist = analyze_trace_maybe_cached(
+        str(trace_path), cache=None, workers=1, analyzers=("opdist",)
+    )["opdist"]
+    return render_op_table(opdist, f"Operation distribution ({name})")
+
+
+class TestServeIntegration:
+    def test_stream_matches_one_shot_analyze(self, trace_path):
+        expected = _one_shot_table(trace_path, "shared")
+
+        async def body():
+            async with serve_session({"shared": trace_path}) as (server, port):
+                async with connect(port, "alice") as client:
+                    handle = await client.run(
+                        "analyze", {"trace": "shared", "batch_chunks": 3}
+                    )
+                    assert handle.status == "result"
+                    assert handle.result["table"] == expected
+                    assert handle.result["records"] == 2000
+                    # streamed partials grow monotonically to completion
+                    assert len(handle.partials) >= 2
+                    chunks = [p["chunks_done"] for p in handle.partials]
+                    assert chunks == sorted(chunks)
+                    assert handle.partials[-1]["chunks_done"] == (
+                        handle.partials[-1]["total_chunks"]
+                    )
+                    assert handle.partials[-1]["records"] == 2000
+
+        run(body())
+
+    def test_eight_clients_three_tenants_shared_trace(self, trace_path):
+        """The acceptance scenario: 8 concurrent clients, 3 tenants,
+        one shared trace; every job completes, streamed aggregates are
+        byte-identical to one-shot analyze, quota rejections are
+        observable, and shutdown leaves zero pending tasks."""
+        expected = _one_shot_table(trace_path, "shared")
+        registry = MetricsRegistry()
+
+        async def body():
+            tenants = ["t0", "t1", "t2"]
+            async with serve_session(
+                {"shared": trace_path},
+                registry=registry,
+                workers=3,
+                quota=TenantQuota(max_pending=1, max_running=1, admission="drop"),
+                tenant_quotas={
+                    t: TenantQuota(max_pending=8, max_running=2) for t in tenants
+                },
+            ) as (server, port):
+                clients = []
+                for i in range(8):
+                    client = ServeClient("127.0.0.1", port, tenants[i % 3])
+                    clients.append(await client.connect())
+                try:
+                    handles = [
+                        await c.submit(
+                            "analyze",
+                            {"trace": "shared", "batch_chunks": 2 + i % 3},
+                            priority=i % 2,
+                        )
+                        for i, c in enumerate(clients)
+                    ]
+                    await asyncio.gather(*(h.wait() for h in handles))
+                    for handle in handles:
+                        assert handle.status == "result"
+                        assert handle.result["table"] == expected
+                    # an over-quota tenant (the default quota) is rejected
+                    # and the rejection lands in the per-tenant metrics
+                    async with connect(port, "greedy") as greedy:
+                        a = await greedy.submit("sleep", {"seconds": 5})
+                        b = await greedy.run("sleep", {"seconds": 5})
+                        assert b.status == "rejected"
+                        assert b.terminal.reason == "quota"
+                        await greedy.cancel(a.id)
+                        await a.wait()
+                finally:
+                    for client in clients:
+                        await client.close()
+                assert (
+                    counter_value(
+                        registry,
+                        "repro_serve_jobs_rejected_total",
+                        tenant="greedy",
+                        reason="quota",
+                    )
+                    == 1.0
+                )
+                for tenant in tenants:
+                    done = counter_value(
+                        registry,
+                        "repro_serve_jobs_completed_total",
+                        tenant=tenant,
+                        kind="analyze",
+                    )
+                    assert done >= 2.0  # 8 jobs over 3 tenants
+
+        run(body())
+        # the session context already asserted zero pending tasks
+
+    def test_rate_quota_with_virtual_clock(self, trace_path):
+        clock = VirtualClock()
+        registry = MetricsRegistry()
+
+        async def body():
+            async with serve_session(
+                {"shared": trace_path},
+                registry=registry,
+                clock=clock,
+                sleep=clock.sleep,
+                quota=TenantQuota(rate=1.0, burst=1.0, admission="drop"),
+            ) as (server, port):
+                async with connect(port, "alice") as client:
+                    first = await client.run("sleep", {"seconds": 0})
+                    assert first.status == "result"
+                    second = await client.run("sleep", {"seconds": 0})
+                    assert second.status == "rejected"
+                    assert second.terminal.reason == "rate"
+                    clock.advance(1.5)  # refill the bucket
+                    third = await client.run("sleep", {"seconds": 0})
+                    assert third.status == "result"
+            assert (
+                counter_value(
+                    registry,
+                    "repro_serve_jobs_rejected_total",
+                    tenant="alice",
+                    reason="rate",
+                )
+                == 1.0
+            )
+
+        run(body())
+
+    def test_block_admission_backpressures_until_capacity(self, trace_path):
+        """``block``: an over-quota submit neither fails nor drops — it
+        waits (pausing that connection) and admits once a slot frees."""
+        clock = VirtualClock()
+
+        async def body():
+            async with serve_session(
+                {"shared": trace_path},
+                clock=clock,
+                sleep=clock.sleep,
+                workers=1,
+                quota=TenantQuota(max_pending=1, max_running=1, admission="block"),
+            ) as (server, port):
+                async with connect(port, "alice") as client:
+                    blocker = await client.submit("sleep", {"seconds": 10})
+                    await pump(clock, step=0.0, until=lambda: blocker.accepted)
+                    queued = await client.submit("sleep", {"seconds": 0})
+                    # over quota: no verdict arrives while the blocker runs
+                    await pump(clock, step=0.0, rounds=20)
+                    assert queued.accepted is None
+                    # finish the blocker -> the blocked submit admits
+                    ok = await pump(
+                        clock, step=1.0, until=lambda: queued.done.is_set()
+                    )
+                    assert ok
+                    assert blocker.status == "result"
+                    assert queued.status == "result"
+
+        run(body())
+
+    def test_abort_admission_closes_connection(self, trace_path):
+        async def body():
+            async with serve_session(
+                {"shared": trace_path},
+                workers=1,
+                quota=TenantQuota(max_pending=1, max_running=1, admission="abort"),
+            ) as (server, port):
+                client = ServeClient("127.0.0.1", port, "rude")
+                await client.connect()
+                try:
+                    blocker = await client.submit("sleep", {"seconds": 0.05})
+                    over = await client.submit("sleep", {"seconds": 0})
+                    await over.wait()
+                    assert over.status == "error"
+                    await blocker.wait()  # resolved by close or completion
+                finally:
+                    await client.close()
+
+        run(body())
+
+    def test_cancel_queued_and_running_jobs(self, trace_path):
+        clock = VirtualClock()
+
+        async def body():
+            async with serve_session(
+                {"shared": trace_path},
+                clock=clock,
+                sleep=clock.sleep,
+                workers=1,
+                quota=TenantQuota(max_pending=10, max_running=1),
+            ) as (server, port):
+                async with connect(port, "alice") as client:
+                    running = await client.submit("sleep", {"seconds": 30})
+                    queued = await client.submit("sleep", {"seconds": 30})
+                    await pump(clock, step=0.0, until=lambda: queued.accepted)
+                    await client.cancel(queued.id)
+                    await queued.wait()
+                    assert queued.status == "cancelled"
+                    await client.cancel(running.id)
+                    await running.wait()
+                    assert running.status == "cancelled"
+                    # the freed slot still serves new work
+                    after = await client.run("sleep", {"seconds": 0})
+                    assert after.status == "result"
+
+        run(body())
+
+    def test_shutdown_cancel_answers_everything(self, trace_path):
+        clock = VirtualClock()
+
+        async def body():
+            async with serve_session(
+                {"shared": trace_path},
+                clock=clock,
+                sleep=clock.sleep,
+                workers=1,
+                quota=TenantQuota(max_pending=10, max_running=1),
+            ) as (server, port):
+                async with connect(port, "alice") as client:
+                    handles = [
+                        await client.submit("sleep", {"seconds": 60}) for _ in range(3)
+                    ]
+                    await pump(
+                        clock,
+                        step=0.0,
+                        until=lambda: all(h.accepted for h in handles),
+                    )
+                    await server.shutdown("cancel")
+                    for handle in handles:
+                        await handle.wait()
+                        # running + queued all get a terminal answer
+                        assert handle.status in ("cancelled", "error")
+                    assert [h.status for h in handles].count("cancelled") >= 1
+                assert_no_server_tasks(server)
+
+        run(body())
+
+    def test_error_paths_over_the_wire(self, trace_path):
+        async def body():
+            async with serve_session({"shared": trace_path}) as (server, port):
+                # bad handshake: wrong protocol version
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                writer.write(
+                    protocol.encode_message(Hello(tenant="x", proto="serve-v0"))
+                )
+                await writer.drain()
+                reply = protocol.decode_response(await reader.readline())
+                assert isinstance(reply, ErrorResponse)
+                writer.close()
+                await writer.wait_closed()
+
+                async with connect(port, "alice") as client:
+                    # unknown trace -> job-level error terminal
+                    missing = await client.run("analyze", {"trace": "nope"})
+                    assert missing.status == "error"
+                    assert "unknown trace" in missing.terminal.message
+                    # unknown job kind -> rejected (bad-request)
+                    bad_kind = await client.submit("bogus", {})
+                    await bad_kind.wait()
+                    assert bad_kind.status == "rejected"
+                    assert bad_kind.terminal.reason == "bad-request"
+                    # malformed params -> error terminal, connection lives
+                    bad_params = await client.run("sleep", {"seconds": "NaNcy"})
+                    assert bad_params.status == "error"
+                    # duplicate job id -> rejected
+                    dup = await client.run("sleep", {}, )
+                    assert dup.status == "result"
+                    reuse = await client.submit("sleep", {}, job_id=dup.id)
+                    await reuse.wait()
+                    assert reuse.status == "rejected"
+                    assert reuse.terminal.reason == "bad-request"
+                    # the connection still works after every error above
+                    final = await client.run("sleep", {})
+                    assert final.status == "result"
+
+        run(body())
+
+    def test_replay_and_crashtest_jobs(self, trace_path):
+        async def body():
+            async with serve_session({"shared": trace_path}) as (server, port):
+                async with connect(port, "alice") as client:
+                    replay = await client.run(
+                        "replay", {"trace": "shared", "backend": "memdb"}
+                    )
+                    assert replay.status == "result"
+                    assert replay.result["records"] == 2000
+                    assert "memdb" in replay.result["report"]
+                    bad = await client.run(
+                        "replay", {"trace": "shared", "pace": -1}
+                    )
+                    assert bad.status == "error"
+                    crash = await client.run(
+                        "crashtest", {"blocks": 8, "warmup": 2, "seed": 3}
+                    )
+                    assert crash.status == "result"
+                    assert crash.result["total"] >= 1
+
+        run(body())
+
+    def test_stats_request_merges_with_client_metrics(self, trace_path, tmp_path):
+        """`repro stats` merges a server snapshot with a client-side
+        ``--metrics-out`` dump: same format, associative merge."""
+        registry = MetricsRegistry()
+
+        async def body():
+            async with serve_session(
+                {"shared": trace_path}, registry=registry
+            ) as (server, port):
+                async with connect(port, "alice") as client:
+                    await client.run("analyze", {"trace": "shared"})
+                    return await client.stats()
+
+        server_stats = run(body())
+        server_json = tmp_path / "server.json"
+        server_json.write_text(json.dumps(server_stats), encoding="utf-8")
+
+        # a client-side analyze of the same trace, dumped via the CLI
+        from repro.cli import main as cli_main
+
+        client_json = tmp_path / "client.json"
+        assert (
+            cli_main(
+                [
+                    "analyze",
+                    str(trace_path),
+                    "--no-cache",
+                    "--metrics-out",
+                    str(client_json),
+                ]
+            )
+            == 0
+        )
+
+        from repro.obs.export import read_snapshot_json
+        from repro.obs.registry import merge_snapshots
+
+        merged = merge_snapshots(
+            [read_snapshot_json(server_json), read_snapshot_json(client_json)]
+        )
+        families = merged.families
+        assert "repro_serve_jobs_completed_total" in families
+        # both sides analyzed the trace once -> chunk counters add up
+        server_chunks = read_snapshot_json(server_json).families[
+            "repro_analysis_chunks_total"
+        ]
+        merged_chunks = families["repro_analysis_chunks_total"]
+        assert sum(merged_chunks.series.values()) == 2 * sum(
+            server_chunks.series.values()
+        )
+
+    def test_stats_cli_renders_merged_snapshots(self, trace_path, tmp_path, capsys):
+        registry = MetricsRegistry()
+
+        async def body():
+            async with serve_session(
+                {"shared": trace_path}, registry=registry
+            ) as (server, port):
+                async with connect(port, "alice") as client:
+                    await client.run("sleep", {})
+                    return await client.stats()
+
+        stats = run(body())
+        dump = tmp_path / "server.json"
+        dump.write_text(json.dumps(stats), encoding="utf-8")
+        from repro.cli import main as cli_main
+
+        assert cli_main(["stats", str(dump), str(dump)]) == 0
+        out = capsys.readouterr().out
+        assert "repro_serve_jobs_completed_total" in out
+        assert 'tenant="alice"' in out

@@ -1,0 +1,274 @@
+"""Randomized schedule properties for the trace service.
+
+Seeded random schedules of N tenants × M jobs (mixed priorities,
+durations, and mid-flight cancellations) run against the in-process
+daemon on a virtual clock.  The invariants, independent of the drawn
+schedule:
+
+* **total accounting** — every submission is answered: accepted or
+  explicitly rejected, and every accepted job reaches exactly one
+  terminal response (result / error / cancelled);
+* **metrics = reality** — the per-tenant counters merged out of the
+  registry equal a serial reference count over the client-observed
+  outcomes (the registry is the ground truth ``repro stats`` serves);
+* **no leaks** — after shutdown (drain or cancel, with cancellations
+  racing in), zero server-side asyncio tasks remain pending.
+
+Runs are deterministic per seed: time only moves when the test pumps
+the virtual clock, so the admission and scheduling decisions are a
+pure function of the drawn schedule.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.serve import ServeClient, TenantQuota
+
+from tests.serve_utils import (
+    VirtualClock,
+    assert_no_server_tasks,
+    counter_value,
+    make_trace,
+    pump,
+    run,
+    serve_session,
+)
+
+TERMINALS = ("result", "error", "cancelled", "rejected")
+
+
+def _draw_schedule(rng, tenants, jobs_per_tenant):
+    """A deterministic random schedule: per-tenant job specs."""
+    schedule = []
+    for tenant in tenants:
+        for index in range(jobs_per_tenant):
+            schedule.append(
+                {
+                    "tenant": tenant,
+                    "kind": "sleep",
+                    "params": {"seconds": round(rng.uniform(0.0, 2.0), 3)},
+                    "priority": rng.randrange(0, 4),
+                    "cancel": rng.random() < 0.2,
+                }
+            )
+    rng.shuffle(schedule)
+    return schedule
+
+
+async def _run_schedule(schedule, port, clock, *, cancel_pumps=30):
+    """Submit everything, randomly cancel, pump to completion.
+
+    Returns ``(handles, clients)`` with every handle terminal.
+    """
+    clients = {}
+    handles = []
+    for spec in schedule:
+        tenant = spec["tenant"]
+        if tenant not in clients:
+            clients[tenant] = await ServeClient("127.0.0.1", port, tenant).connect()
+        handle = await clients[tenant].submit(
+            spec["kind"], spec["params"], priority=spec["priority"]
+        )
+        handles.append((spec, handle))
+    # let admission verdicts land, then fire the scheduled cancellations
+    await pump(clock, step=0.0, rounds=cancel_pumps)
+    for spec, handle in handles:
+        if spec["cancel"] and handle.terminal is None:
+            await clients[spec["tenant"]].cancel(handle.id)
+    done = lambda: all(h.done.is_set() for _, h in handles)
+    finished = await pump(clock, step=0.25, rounds=2000, until=done)
+    assert finished, [
+        (h.id, h.status) for _, h in handles if not h.done.is_set()
+    ]
+    return handles, clients
+
+
+@pytest.mark.parametrize("seed", [1, 7, 23])
+def test_every_job_terminates_and_counters_match_reference(seed):
+    """N tenants × M jobs: total accounting + metrics == serial reference."""
+    rng = random.Random(seed)
+    tenants = [f"tenant{i}" for i in range(3)]
+    schedule = _draw_schedule(rng, tenants, jobs_per_tenant=6)
+    clock = VirtualClock()
+    registry = MetricsRegistry()
+
+    async def body():
+        async with serve_session(
+            {},  # sleep jobs touch no trace
+            registry=registry,
+            clock=clock,
+            sleep=clock.sleep,
+            workers=2,
+            quota=TenantQuota(max_pending=4, max_running=1, admission="drop"),
+        ) as (server, port):
+            handles, clients = await _run_schedule(schedule, port, clock)
+            try:
+                # --- total accounting -------------------------------------
+                for spec, handle in handles:
+                    assert handle.status in TERMINALS, (spec, handle.status)
+                    if handle.accepted:
+                        assert handle.status in ("result", "error", "cancelled")
+                    else:
+                        assert handle.status == "rejected"
+
+                # --- serial reference: count client-observed outcomes ----
+                reference = {
+                    tenant: {"submitted": 0, "result": 0, "cancelled": 0, "rejected": 0}
+                    for tenant in tenants
+                }
+                for spec, handle in handles:
+                    bucket = reference[spec["tenant"]]
+                    if handle.accepted:
+                        bucket["submitted"] += 1
+                    if handle.status in ("result", "cancelled", "rejected"):
+                        bucket[handle.status] += 1
+
+                for tenant, expect in reference.items():
+                    assert counter_value(
+                        registry,
+                        "repro_serve_jobs_submitted_total",
+                        tenant=tenant,
+                        kind="sleep",
+                    ) == expect["submitted"]
+                    assert counter_value(
+                        registry,
+                        "repro_serve_jobs_completed_total",
+                        tenant=tenant,
+                        kind="sleep",
+                    ) == expect["result"]
+                    assert counter_value(
+                        registry,
+                        "repro_serve_jobs_cancelled_total",
+                        tenant=tenant,
+                        kind="sleep",
+                    ) == expect["cancelled"]
+                    assert counter_value(
+                        registry,
+                        "repro_serve_jobs_rejected_total",
+                        tenant=tenant,
+                        reason="quota",
+                    ) == expect["rejected"]
+                    # conservation: every admitted job reached one terminal
+                    assert expect["submitted"] == (
+                        expect["result"]
+                        + expect["cancelled"]
+                        + (
+                            sum(
+                                1
+                                for s, h in handles
+                                if s["tenant"] == tenant and h.status == "error"
+                            )
+                        )
+                    )
+            finally:
+                for client in clients.values():
+                    await client.close()
+
+    run(body())
+    assert_no_pending_metrics_gauges(registry)
+
+
+def assert_no_pending_metrics_gauges(registry):
+    """After shutdown the queue/running gauges must read zero."""
+    assert counter_value(registry, "repro_serve_queue_depth") == 0.0
+    assert counter_value(registry, "repro_serve_jobs_running") == 0.0
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+def test_shutdown_cancel_under_load_leaks_nothing(seed):
+    """Kill the server mid-schedule: every in-flight job still gets a
+    terminal answer (or dies with its connection) and no task leaks."""
+    rng = random.Random(seed)
+    tenants = [f"tenant{i}" for i in range(4)]
+    schedule = _draw_schedule(rng, tenants, jobs_per_tenant=4)
+    for spec in schedule:
+        spec["params"]["seconds"] = round(rng.uniform(5.0, 30.0), 2)  # long jobs
+    clock = VirtualClock()
+    registry = MetricsRegistry()
+
+    async def body():
+        async with serve_session(
+            {},
+            registry=registry,
+            clock=clock,
+            sleep=clock.sleep,
+            workers=3,
+            quota=TenantQuota(max_pending=8, max_running=2, admission="drop"),
+        ) as (server, port):
+            clients = {}
+            handles = []
+            for spec in schedule:
+                tenant = spec["tenant"]
+                if tenant not in clients:
+                    clients[tenant] = await ServeClient(
+                        "127.0.0.1", port, tenant
+                    ).connect()
+                handles.append(
+                    await clients[tenant].submit(
+                        spec["kind"], spec["params"], priority=spec["priority"]
+                    )
+                )
+            # some admitted and running, some queued, none finished
+            await pump(clock, step=0.0, rounds=30)
+            await server.shutdown("cancel")
+            for handle in handles:
+                await asyncio.wait_for(handle.wait(), timeout=10)
+                assert handle.status in ("cancelled", "error", "rejected")
+            for client in clients.values():
+                await client.close()
+            assert_no_server_tasks(server)
+
+    run(body())
+    assert_no_pending_metrics_gauges(registry)
+
+
+@pytest.mark.slow
+def test_streamed_analysis_matches_serial_reference_under_concurrency(tmp_path):
+    """Many concurrent streamed analyses of one shared trace all equal
+    the serial single-reader reference, byte for byte."""
+    from repro.core.aggcache import analyze_trace_maybe_cached
+    from repro.core.report import render_op_table
+
+    trace = tmp_path / "trace.bin"
+    make_trace(trace, n=4000, seed=29, chunk_size=211)
+    reference = render_op_table(
+        analyze_trace_maybe_cached(
+            str(trace), cache=None, workers=1, analyzers=("opdist",)
+        )["opdist"],
+        "Operation distribution (shared)",
+    )
+
+    async def body():
+        async with serve_session(
+            {"shared": trace},
+            workers=3,
+            cache_dir=tmp_path / "cache",
+            quota=TenantQuota(max_pending=16, max_running=3),
+        ) as (server, port):
+            clients = [
+                await ServeClient("127.0.0.1", port, f"tenant{i % 3}").connect()
+                for i in range(6)
+            ]
+            try:
+                handles = [
+                    await c.submit(
+                        "analyze",
+                        {"trace": "shared", "batch_chunks": 1 + i % 4},
+                        priority=i % 3,
+                    )
+                    for i, c in enumerate(clients)
+                ]
+                await asyncio.gather(*(h.wait() for h in handles))
+                for handle in handles:
+                    assert handle.status == "result"
+                    assert handle.result["table"] == reference
+            finally:
+                for client in clients:
+                    await client.close()
+
+    run(body())
