@@ -44,6 +44,11 @@ class Job:
     #: the owning connection (duck-typed; see server.Connection)
     conn: Any
     cancelled: bool = False
+    #: True once the tenant's pending-quota slot was given back; every
+    #: release path checks-and-sets this so a slot is returned exactly
+    #: once no matter how many of them (cancel, disconnect, lazy drop,
+    #: worker terminal) observe the same job
+    slot_released: bool = False
     #: set while running so cancel/shutdown can interrupt the task
     task: Optional[asyncio.Task] = None
     #: called when the scheduler lazily discards a cancelled entry
@@ -127,13 +132,16 @@ async def run_analyze(job: Job, server) -> Dict[str, Any]:
         registry=server.registry,
     )
     last = None
+    in_flight = None
     try:
         while True:
             # Each blocking step (chunk reads + aggregation) runs on the
-            # pool; the loop stays free to serve other connections.
-            step = await loop.run_in_executor(
-                server.pool, lambda: next(stream, None)
-            )
+            # pool; the loop stays free to serve other connections.  The
+            # concurrent future is kept so cancellation can wait out a
+            # step still executing on the pool thread (see finally).
+            in_flight = server.pool.submit(lambda: next(stream, None))
+            step = await asyncio.wrap_future(in_flight)
+            in_flight = None
             if step is None:
                 break
             last = step
@@ -150,7 +158,21 @@ async def run_analyze(job: Job, server) -> Dict[str, Any]:
                 },
             )
     finally:
-        stream.close()
+        if in_flight is not None and not in_flight.done():
+            # A cancellation unwound the await while the pool thread is
+            # still inside next(stream); closing now would raise
+            # ValueError("generator already executing") and mask the
+            # CancelledError.  Wait (shielded) for the step to settle.
+            try:
+                await asyncio.shield(asyncio.wrap_future(in_flight))
+            except BaseException:
+                pass  # settled with an error, or a second cancellation
+        try:
+            stream.close()
+        except ValueError:
+            # Only reachable if a second cancellation interrupted the
+            # settle-wait above; the generator finalizes via GC.
+            pass
     if last is None:
         raise JobError(f"trace {name!r} produced no chunks")
     opdist = last.analyzers["opdist"]

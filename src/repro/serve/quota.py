@@ -195,13 +195,16 @@ class QuotaManager:
         self.tenant(name).running += 1
 
     def job_finished(self, name: str) -> None:
-        """A job reached a terminal state (result/error/cancelled)."""
+        """A job stopped executing.  Releases only the *running* slot;
+        the pending slot goes back through :meth:`job_dropped`, which
+        the server guards with ``Job.slot_released`` so overlapping
+        terminal paths (cancel + lazy drop, disconnect + worker finish)
+        release it exactly once."""
         state = self.tenant(name)
         state.running = max(0, state.running - 1)
-        state.pending = max(0, state.pending - 1)
 
     def job_dropped(self, name: str) -> None:
-        """An admitted job was removed before it ever started."""
+        """Release an admitted job's pending slot (once per job)."""
         state = self.tenant(name)
         state.pending = max(0, state.pending - 1)
 

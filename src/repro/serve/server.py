@@ -187,7 +187,6 @@ class TraceServer:
             max_workers=max(2, config.workers), thread_name_prefix="repro-serve"
         )
         self._traces = {name: Path(path) for name, path in config.traces.items()}
-        self._clock: Callable[[], float] = config.clock or (lambda: 0.0)
         self._sleep = config.sleep or asyncio.sleep
         self._quotas = QuotaManager(
             config.quota, config.tenant_quotas, clock=self._lazy_clock
@@ -278,11 +277,16 @@ class TraceServer:
             for job in await self._queue.drain_queued():
                 if not job.cancelled:
                     job.cancelled = True
-                    self._quotas.job_dropped(job.tenant)
+                    self._release_slot(job)
                     self.metrics.cancelled(job.tenant, job.kind)
                     await job.conn.send(Cancelled(id=job.client_id))
             for connection in list(self._connections):
                 for job in list(connection.jobs.values()):
+                    # Skip jobs already cancelled: a second cancel()
+                    # would land mid-unwind (e.g. on the worker's
+                    # task_done await) and corrupt the queue counters.
+                    if job.cancelled:
+                        continue
                     if job.task is not None and not job.task.done():
                         job.cancelled = True
                         job.task.cancel()
@@ -352,13 +356,36 @@ class TraceServer:
             self._abandon_jobs(connection)
             await connection.close(reason="goodbye")
 
+    def _release_slot(self, job: Job) -> None:
+        """Give the tenant's pending-quota slot back, exactly once.
+
+        Every terminal path funnels through here (worker finish, client
+        cancel, disconnect abandon, shutdown cancel, lazy scheduler
+        drop); the flag on the job makes overlapping observers — e.g. a
+        cancel answered while queued and the scheduler's later lazy
+        discard of the same entry — idempotent.  Without this, each
+        disconnect with queued jobs would permanently consume
+        ``max_pending`` slots and eventually lock the tenant out.
+        """
+        if not job.slot_released:
+            job.slot_released = True
+            self._quotas.job_dropped(job.tenant)
+
     def _abandon_jobs(self, connection: Connection) -> None:
         """A client vanished: cancel whatever it still had in flight."""
         for job in connection.jobs.values():
-            if not job.cancelled:
-                job.cancelled = True
-                if job.task is not None and not job.task.done():
-                    job.task.cancel()
+            if job.cancelled:
+                continue
+            job.cancelled = True
+            if job.task is not None and not job.task.done():
+                # Running: the worker's terminal path releases the slot.
+                job.task.cancel()
+            else:
+                # Queued: release now — the scheduler only discards the
+                # entry lazily, possibly much later (or never, if the
+                # queue stays idle), and nobody else will.
+                self._release_slot(job)
+                self.metrics.cancelled(job.tenant, job.kind)
 
     async def _read_request(self, connection: Connection) -> Optional[object]:
         line = await connection.reader.readline()
@@ -499,8 +526,10 @@ class TraceServer:
         return True
 
     def _job_lazily_dropped(self, job: Job) -> None:
-        """A cancelled queued job was discarded by the scheduler; its
-        quota slot was already released when the cancel was answered."""
+        """A cancelled queued job was discarded by the scheduler;
+        release its quota slot unless a cancel/disconnect already did
+        (the check-and-set in :meth:`_release_slot` makes this safe)."""
+        self._release_slot(job)
 
     async def _handle_cancel(self, connection: Connection, cancel: Cancel) -> None:
         job = connection.jobs.get(cancel.id)
@@ -517,7 +546,7 @@ class TraceServer:
             job.task.cancel()
             return
         # Queued: answer now; the scheduler discards the entry lazily.
-        self._quotas.job_dropped(job.tenant)
+        self._release_slot(job)
         self.metrics.cancelled(job.tenant, job.kind)
         await connection.send(Cancelled(id=cancel.id))
 
@@ -542,7 +571,15 @@ class TraceServer:
                 pass
             finally:
                 self._quotas.job_finished(job.tenant)
-                await self._queue.task_done(job)
+                self._release_slot(job)
+                # Shield the counter bookkeeping: a cancellation landing
+                # on this await would otherwise kill the worker with
+                # _active never decremented (a later join() would hang).
+                done = asyncio.ensure_future(self._queue.task_done(job))
+                try:
+                    await asyncio.shield(done)
+                except asyncio.CancelledError:
+                    await done
                 self.metrics.queue_sample(self._queue.queued, self._queue.active)
 
     async def _execute(self, job: Job) -> None:

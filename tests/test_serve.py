@@ -602,3 +602,174 @@ class TestServeIntegration:
         out = capsys.readouterr().out
         assert "repro_serve_jobs_completed_total" in out
         assert 'tenant="alice"' in out
+
+
+# ---------------------------------------------------------------------------
+# regressions: quota-slot lifecycle and cancellation unwinding
+# ---------------------------------------------------------------------------
+
+
+class TestSlotLifecycleRegressions:
+    """Each test pins a specific once-broken slot/cancel interaction.
+
+    The invariant under test: a tenant's ``max_pending`` slots are a
+    *renewable* resource — every admitted job gives its slot back on
+    exactly one terminal path (result, error, cancel, disconnect,
+    shutdown), no matter which observers race over the same job.
+    """
+
+    def test_disconnect_with_queued_jobs_releases_quota_slots(self, trace_path):
+        """A client vanishing with jobs still queued must not consume
+        the tenant's pending slots forever (the tenant shares quota
+        state across connections, so a leak here is a permanent
+        lockout once ``max_pending`` disconnects accumulate)."""
+        clock = VirtualClock()
+
+        async def body():
+            async with serve_session(
+                {"shared": trace_path},
+                clock=clock,
+                sleep=clock.sleep,
+                workers=1,
+                quota=TenantQuota(max_pending=2, max_running=1, admission="drop"),
+            ) as (server, port):
+                client = ServeClient("127.0.0.1", port, "alice")
+                await client.connect()
+                running = await client.submit("sleep", {"seconds": 60})
+                queued = await client.submit("sleep", {"seconds": 60})
+                await pump(
+                    clock,
+                    step=0.0,
+                    until=lambda: running.accepted and queued.accepted,
+                )
+                # Abrupt disconnect: one job running, one still queued.
+                await client.close()
+                state = server._quotas.tenant("alice")
+                assert await pump(
+                    clock, step=0.0, until=lambda: state.pending == 0
+                ), f"leaked pending slots: {state.pending}"
+
+                # The tenant must get its full quota back: a fresh
+                # connection can fill max_pending again, repeatedly.
+                async with connect(port, "alice") as retry:
+                    for _ in range(3):
+                        first = await retry.submit("sleep", {"seconds": 0})
+                        second = await retry.submit("sleep", {"seconds": 0})
+                        await first.wait()
+                        await second.wait()
+                        assert first.status == "result"
+                        assert second.status == "result"
+
+        run(body())
+
+    def test_cancel_then_lazy_drop_releases_slot_exactly_once(self, trace_path):
+        """A queued job cancelled by the client is answered eagerly but
+        discarded by the scheduler lazily; the two paths touch the same
+        job and must release its pending slot once, not twice."""
+        clock = VirtualClock()
+
+        async def body():
+            async with serve_session(
+                {"shared": trace_path},
+                clock=clock,
+                sleep=clock.sleep,
+                workers=1,
+                quota=TenantQuota(max_pending=4, max_running=1),
+            ) as (server, port):
+                async with connect(port, "alice") as client:
+                    blocker = await client.submit("sleep", {"seconds": 60})
+                    queued = await client.submit("sleep", {"seconds": 60})
+                    tail = await client.submit("sleep", {"seconds": 0})
+                    await pump(clock, step=0.0, until=lambda: tail.accepted)
+                    await client.cancel(queued.id)
+                    await queued.wait()
+                    assert queued.status == "cancelled"
+                    state = server._quotas.tenant("alice")
+                    # cancelled job released its slot; blocker + tail remain
+                    assert await pump(
+                        clock, step=0.0, until=lambda: state.pending == 2
+                    ), f"pending={state.pending}, want 2"
+                    # let the worker reach (and lazily discard) the
+                    # cancelled heap entry, then finish the tail job
+                    await client.cancel(blocker.id)
+                    await blocker.wait()
+                    await tail.wait()
+                    assert tail.status == "result"
+                    # exactly-once: no double release snuck pending below 0
+                    assert await pump(
+                        clock, step=0.0, until=lambda: state.pending == 0
+                    )
+                    assert state.admitted == 3
+
+        run(body())
+
+    def test_cancel_running_analyze_is_cancelled_not_internal_error(
+        self, trace_path
+    ):
+        """Cancelling an analyze mid-stream lands while ``next(stream)``
+        runs on the pool thread; the unwind must wait the step out and
+        answer ``cancelled`` — not trip over the executing generator
+        and report an internal error."""
+
+        async def body():
+            async with serve_session(
+                {"shared": trace_path}, workers=1
+            ) as (server, port):
+                async with connect(port, "alice") as client:
+                    for _ in range(4):
+                        handle = await client.submit(
+                            "analyze", {"trace": "shared", "batch_chunks": 1}
+                        )
+                        await pump(until=lambda: handle.accepted)
+                        await client.cancel(handle.id)
+                        await handle.wait()
+                        assert handle.status == "cancelled", handle.error
+                    family = server.registry.snapshot().families.get(
+                        "repro_serve_jobs_failed_total"
+                    )
+                    failed = {
+                        labels: value
+                        for labels, value in (family.series if family else {}).items()
+                        if value
+                    }
+                    assert not failed, f"cancellations reported as failures: {failed}"
+
+        run(body())
+
+    def test_shutdown_cancel_after_client_cancel_keeps_counters_clean(
+        self, trace_path
+    ):
+        """shutdown('cancel') overlapping an in-flight client cancel
+        must not deliver a second cancellation mid-unwind: afterwards
+        the queue counters read empty and no worker task leaks."""
+        clock = VirtualClock()
+
+        async def body():
+            async with serve_session(
+                {"shared": trace_path},
+                clock=clock,
+                sleep=clock.sleep,
+                workers=2,
+                quota=TenantQuota(max_pending=10, max_running=2),
+            ) as (server, port):
+                async with connect(port, "alice") as client:
+                    handles = [
+                        await client.submit("sleep", {"seconds": 60})
+                        for _ in range(4)
+                    ]
+                    await pump(
+                        clock,
+                        step=0.0,
+                        until=lambda: all(h.accepted for h in handles),
+                    )
+                    # client cancel racing the server-side shutdown cancel
+                    await client.cancel(handles[0].id)
+                    await server.shutdown("cancel")
+                    for handle in handles:
+                        await handle.wait()
+                        assert handle.status in ("cancelled", "error")
+                assert server._queue.active == 0
+                assert server._queue.queued == 0
+                assert_no_server_tasks(server)
+
+        run(body())
