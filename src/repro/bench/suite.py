@@ -494,3 +494,112 @@ def _expect(actual, expected) -> None:
 def _expect_at_least(actual, floor) -> None:
     if actual < floor:
         raise AssertionError(f"benchmark check failed: {actual!r} < {floor!r}")
+
+
+# ---------------------------------------------------------------------------
+# migration engine (repro migrate)
+# ---------------------------------------------------------------------------
+
+
+def _migrate_source_pairs(profile) -> int:
+    """Pairs in the synthetic migration source, scaled like replay_keys."""
+    return profile.replay_keys
+
+
+def _migrate_workload(ctx: BenchContext, backend_from: str, backend_to: str) -> Workload:
+    """In-memory bulk migration throughput for one backend pair.
+
+    The timed region is a whole engine run — ranged bulk copy, one
+    quiesced catch-up round, and the paused cutover — against a
+    deterministic source store, with verification off so the measured
+    kernel is the data movement, not the sha256 pass.
+    """
+    from repro.migrate import MigrationConfig, MigrationEngine
+    from repro.obs import MetricsRegistry
+    from repro.replay.backends import make_store
+
+    num_pairs = _migrate_source_pairs(ctx.profile)
+    pairs = [
+        (b"m" + i.to_bytes(4, "big"), (b"m" + i.to_bytes(4, "big")) * 9)
+        for i in range(num_pairs)
+    ]
+
+    def run() -> int:
+        source = make_store(backend_from)
+        for key, value in pairs:
+            source.put(key, value)
+        engine = MigrationEngine(
+            source,
+            make_store(backend_to),
+            MigrationConfig(
+                backend_from=backend_from,
+                backend_to=backend_to,
+                range_pairs=2048,
+                lag_threshold=0,
+                verify=False,
+            ),
+            registry=MetricsRegistry(),
+        )
+        report = engine.run()
+        if not report.completed:
+            raise AssertionError("migration did not complete")
+        return report.pairs_copied
+
+    return Workload(
+        run=run, ops=num_pairs, check=lambda copied: _expect(copied, num_pairs)
+    )
+
+
+@benchmark(group="migrate")
+def migrate_bulk_memdb_to_lsm(ctx: BenchContext) -> Workload:
+    """Bulk migration throughput: memdb source into the LSM simulator."""
+    return _migrate_workload(ctx, "memdb", "lsm")
+
+
+@benchmark(group="migrate")
+def migrate_bulk_lsm_to_hybrid(ctx: BenchContext) -> Workload:
+    """Bulk migration throughput: LSM source into the hybrid store."""
+    return _migrate_workload(ctx, "lsm", "hybrid")
+
+
+@benchmark(group="migrate")
+def migrate_bulk_btree_to_hashlog(ctx: BenchContext) -> Workload:
+    """Bulk migration throughput: B+tree source into the hash log."""
+    return _migrate_workload(ctx, "btree", "hashlog")
+
+
+@benchmark(group="migrate")
+def migrate_cutover_verified(ctx: BenchContext) -> Workload:
+    """Cutover cost: pause + final drain + three-level verify + flip.
+
+    A small pre-copied store keeps the bulk phase trivial, so the
+    measured time is dominated by what the workload actually blocks on
+    during a live migration: the admission pause window.  The check
+    reads the measured pause back out of the report.
+    """
+    from repro.migrate import MigrationConfig, MigrationEngine
+    from repro.obs import MetricsRegistry
+    from repro.replay.backends import make_store
+
+    num_pairs = max(512, _migrate_source_pairs(ctx.profile) // 8)
+    pairs = [
+        (b"c" + i.to_bytes(4, "big"), (b"c" + i.to_bytes(4, "big")) * 5)
+        for i in range(num_pairs)
+    ]
+
+    def run() -> float:
+        source = make_store("memdb")
+        for key, value in pairs:
+            source.put(key, value)
+        engine = MigrationEngine(
+            source,
+            make_store("memdb"),
+            MigrationConfig(lag_threshold=0, verify=True),
+            registry=MetricsRegistry(),
+        )
+        report = engine.run()
+        if not (report.completed and report.verify is not None and report.verify.match):
+            raise AssertionError("verified cutover did not complete cleanly")
+        return report.cutover_pause_s
+
+    return Workload(run=run, ops=1, check=lambda pause: _expect_at_least(pause, 0.0))

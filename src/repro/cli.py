@@ -10,6 +10,7 @@ Mirrors the paper artifact's script surface as one CLI::
     python -m repro export    --outdir DIR [--blocks N]
     python -m repro crashtest [--crash-points all] [--seed N]
     python -m repro replay    TRACE.bin [--backend B] [--workers N] [--pace R]
+    python -m repro migrate   SRC.kvimg DST.kvimg --backend-from X --backend-to Y
     python -m repro serve     NAME=TRACE.bin... [--port P] [--workers N]
     python -m repro stats     METRICS.json... [--format prom|json]
     python -m repro bench     run|compare|report ...
@@ -28,6 +29,12 @@ recovered database converges to the uninterrupted reference.
 against any of the five KV backends — serially, thread-sharded with
 open-loop pacing and bounded-queue admission, or process-sharded for
 throughput — and ``--verify`` runs the serial-vs-sharded differential.
+
+``migrate`` moves a serialized store image (``repro replay
+--dump-store`` writes one) between backends with the online migration
+engine: ranged bulk copy, mirrored delta catch-up, and an atomic
+paused cutover, optionally under live ``--traffic`` and with the
+three-level ``--verify`` equivalence check.
 
 ``serve`` runs the multi-tenant asyncio trace service: many concurrent
 clients submit analyze/replay/crashtest jobs against the served traces
@@ -248,8 +255,9 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def cmd_crashtest(args: argparse.Namespace) -> int:
-    from repro.errors import CrashPoint
+    from repro.errors import MIGRATION_POINTS, CrashPoint
     from repro.faults import CrashTestConfig, run_crash_sweep, sweep_points
+    from repro.migrate import run_migrate_crash_sweep
 
     snapshot_modes = {
         "on": (True,),
@@ -257,36 +265,62 @@ def cmd_crashtest(args: argparse.Namespace) -> int:
         "both": (True, False),
     }[args.snapshot]
 
+    # Migration crash points live in their own kill-and-resume sweep
+    # (snapshot modes do not apply to it); split the request.
+    if args.crash_points == "all":
+        requested_sync = None  # sweep_points(config) per snapshot mode
+        requested_migrate = list(MIGRATION_POINTS)
+    else:
+        by_value = {point.value: point for point in CrashPoint}
+        try:
+            requested = [by_value[name] for name in args.crash_points.split(",")]
+        except KeyError as exc:
+            known = ", ".join(sorted(by_value))
+            print(f"unknown crash point {exc}; known: {known}", file=sys.stderr)
+            return 2
+        requested_sync = [p for p in requested if p not in MIGRATION_POINTS]
+        requested_migrate = [p for p in requested if p in MIGRATION_POINTS]
+
     exit_code = 0
-    for snapshot in snapshot_modes:
-        config = CrashTestConfig(
-            blocks=args.blocks,
-            warmup=args.warmup,
-            seed=args.seed,
-            snapshot=snapshot,
-            trie_flush_interval=args.flush_interval,
-            cases_per_point=args.cases_per_point,
-        )
-        if args.crash_points == "all":
-            points = sweep_points(config)
-        else:
-            by_value = {point.value: point for point in CrashPoint}
-            try:
-                points = [by_value[name] for name in args.crash_points.split(",")]
-            except KeyError as exc:
-                known = ", ".join(sorted(by_value))
-                print(f"unknown crash point {exc}; known: {known}", file=sys.stderr)
-                return 2
+    if requested_sync is None or requested_sync:
+        for snapshot in snapshot_modes:
+            config = CrashTestConfig(
+                blocks=args.blocks,
+                warmup=args.warmup,
+                seed=args.seed,
+                snapshot=snapshot,
+                trie_flush_interval=args.flush_interval,
+                cases_per_point=args.cases_per_point,
+            )
+            points = sweep_points(config) if requested_sync is None else requested_sync
+            print(
+                f"Sweeping {len(points)} crash points "
+                f"(snapshot={'on' if snapshot else 'off'}, seed={args.seed})...",
+                file=sys.stderr,
+            )
+            start = time.time()
+            report = run_crash_sweep(config, points)
+            print(f"  done in {time.time() - start:.1f}s", file=sys.stderr)
+            print(report.render())
+            if report.divergent or report.triggered < report.total:
+                exit_code = 1
+    if requested_migrate:
+        backend_from, _, backend_to = args.migrate_pair.partition(":")
         print(
-            f"Sweeping {len(points)} crash points "
-            f"(snapshot={'on' if snapshot else 'off'}, seed={args.seed})...",
+            f"Sweeping {len(requested_migrate)} migration crash points "
+            f"({backend_from}->{backend_to}, seed={args.seed})...",
             file=sys.stderr,
         )
         start = time.time()
-        report = run_crash_sweep(config, points)
+        migrate_report = run_migrate_crash_sweep(
+            requested_migrate,
+            backend_from=backend_from,
+            backend_to=backend_to,
+            seed=args.seed,
+        )
         print(f"  done in {time.time() - start:.1f}s", file=sys.stderr)
-        print(report.render())
-        if report.divergent or report.triggered < report.total:
+        print(migrate_report.render())
+        if not migrate_report.ok:
             exit_code = 1
     _write_metrics(args)
     return exit_code
@@ -326,6 +360,30 @@ def cmd_replay(args: argparse.Namespace) -> int:
     except ReplayError as exc:
         print(f"replay: {exc}", file=sys.stderr)
         return 2
+    store_factory = None
+    captured_stores: list = []
+    if args.dump_store is not None:
+        if args.verify:
+            print("replay: --dump-store and --verify are exclusive", file=sys.stderr)
+            return 2
+        if config.workers > 1 and config.executor == "process":
+            print(
+                "replay: --dump-store needs the inline or thread executor "
+                "(process workers build their own stores)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.replay.backends import make_store
+
+        def store_factory(shard: int):
+            store = make_store(
+                config.backend,
+                lsm_config=config.lsm_config,
+                fault_plan=config.fault_plan,
+            )
+            captured_stores.append(store)
+            return store
+
     exit_code = 0
     start = time.time()
     try:
@@ -345,8 +403,20 @@ def cmd_replay(args: argparse.Namespace) -> int:
                 f"({args.executor} x{args.workers})...",
                 file=sys.stderr,
             )
-            report = replay_trace(args.trace, config)
+            report = replay_trace(args.trace, config, store_factory=store_factory)
             print(report.render())
+            if args.dump_store is not None:
+                import heapq
+
+                from repro.migrate import write_image
+
+                # Shards partition keys by CRC32, so the per-shard scans
+                # are disjoint and their merge is the full final state.
+                pairs = heapq.merge(*(s.scan(b"") for s in captured_stores))
+                dumped = write_image(args.dump_store, pairs)
+                print(
+                    f"dumped {dumped:,} pairs to {args.dump_store}", file=sys.stderr
+                )
     except ReplayOverloadError as exc:
         print(f"replay: overloaded: {exc}", file=sys.stderr)
         exit_code = 1
@@ -359,6 +429,55 @@ def cmd_replay(args: argparse.Namespace) -> int:
     print(f"  done in {time.time() - start:.1f}s", file=sys.stderr)
     _write_metrics(args)
     return exit_code
+
+
+def cmd_migrate(args: argparse.Namespace) -> int:
+    """Migrate a store image between backends with the online engine."""
+    from repro.errors import MigrationError, SimulatedCrash
+    from repro.migrate import MigrateJob, MigrationConfig, run_migrate_job
+
+    config = MigrationConfig(
+        backend_from=args.backend_from,
+        backend_to=args.backend_to,
+        range_pairs=args.range_pairs,
+        copy_workers=args.copy_workers,
+        batch_pairs=args.batch_pairs,
+        delta_shards=args.delta_shards,
+        lag_threshold=args.lag_threshold,
+        max_delta_rounds=args.max_delta_rounds,
+        verify=args.verify,
+        pause_timeout=args.pause_timeout,
+    )
+    job = MigrateJob(
+        src=args.src,
+        dst=args.dst,
+        config=config,
+        mirror=args.mirror,
+        traffic=args.traffic,
+        traffic_pace=args.traffic_pace,
+        traffic_scan_limit=args.traffic_scan_limit,
+        resume=args.resume,
+    )
+    print(
+        f"Migrating {args.src} ({args.backend_from}) -> {args.dst} "
+        f"({args.backend_to})"
+        + (" with live traffic" if args.traffic else "")
+        + "...",
+        file=sys.stderr,
+    )
+    start = time.time()
+    try:
+        report = run_migrate_job(job)
+    except SimulatedCrash as exc:
+        print(f"migrate: simulated crash: {exc}", file=sys.stderr)
+        return 1
+    except MigrationError as exc:
+        print(f"migrate: {exc}", file=sys.stderr)
+        return 2
+    print(f"  done in {time.time() - start:.1f}s", file=sys.stderr)
+    print(report.render())
+    _write_metrics(args)
+    return 0 if report.completed else 1
 
 
 def _parse_trace_specs(specs) -> dict:
@@ -784,6 +903,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=8,
         help="trie flush interval (blocks) for the swept configuration",
     )
+    p_crash.add_argument(
+        "--migrate-pair",
+        default="lsm:hybrid",
+        metavar="FROM:TO",
+        help="backend pair swept by the migration crash points",
+    )
     _add_metrics_out_arg(p_crash)
     p_crash.set_defaults(func=cmd_crashtest)
 
@@ -844,8 +969,94 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="differential mode: serial vs sharded replay, compare final state",
     )
+    p_replay.add_argument(
+        "--dump-store",
+        type=Path,
+        default=None,
+        metavar="IMAGE",
+        help="write the final store state as a kvimage (input for `repro migrate`; "
+        "inline/thread executors only)",
+    )
     _add_metrics_out_arg(p_replay)
     p_replay.set_defaults(func=cmd_replay)
+
+    p_migrate = subparsers.add_parser(
+        "migrate", help="migrate a store image between backends (online engine)"
+    )
+    p_migrate.add_argument("src", type=Path, help="source kvimage (never modified)")
+    p_migrate.add_argument(
+        "dst", type=Path, help="destination kvimage (published atomically)"
+    )
+    p_migrate.add_argument(
+        "--backend-from", default="memdb", help="backend the source image loads into"
+    )
+    p_migrate.add_argument(
+        "--backend-to", default="memdb", help="backend being migrated to"
+    )
+    p_migrate.add_argument(
+        "--mirror",
+        action="store_true",
+        help="live-migration mode: arm the write-mirror tap (required for --traffic)",
+    )
+    p_migrate.add_argument(
+        "--verify",
+        action="store_true",
+        help="run the three-level equivalence check inside the cutover pause "
+        "(a divergence aborts the cutover)",
+    )
+    p_migrate.add_argument(
+        "--traffic",
+        type=Path,
+        default=None,
+        metavar="TRACE",
+        help="replay this trace through the mirror while migrating",
+    )
+    p_migrate.add_argument(
+        "--traffic-pace",
+        type=float,
+        default=None,
+        help="traffic ops/s (default: as fast as the gate admits)",
+    )
+    p_migrate.add_argument(
+        "--traffic-scan-limit", type=int, default=64, help="max keys per mirrored scan"
+    )
+    p_migrate.add_argument(
+        "--range-pairs", type=int, default=2048, help="pairs per bulk-copy range"
+    )
+    p_migrate.add_argument(
+        "--copy-workers", type=int, default=1, help="parallel range-snapshot threads"
+    )
+    p_migrate.add_argument(
+        "--batch-pairs", type=int, default=2048, help="pairs per atomic write batch"
+    )
+    p_migrate.add_argument(
+        "--delta-shards", type=int, default=4, help="delta-log shards (CRC32 keyed)"
+    )
+    p_migrate.add_argument(
+        "--lag-threshold",
+        type=int,
+        default=64,
+        help="cut over once a catch-up round leaves at most this much lag",
+    )
+    p_migrate.add_argument(
+        "--max-delta-rounds",
+        type=int,
+        default=16,
+        help="force the cutover after this many catch-up rounds",
+    )
+    p_migrate.add_argument(
+        "--pause-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to wait for in-flight ops to drain at cutover",
+    )
+    p_migrate.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from the durable spill left by a killed migration",
+    )
+    _add_metrics_out_arg(p_migrate)
+    p_migrate.set_defaults(func=cmd_migrate)
 
     p_serve = subparsers.add_parser(
         "serve", help="run the multi-tenant trace service daemon"

@@ -163,6 +163,14 @@ class CrashPoint(enum.Enum):
     SNAPSHOT_REGEN_WALK = "snapshot-regen-walk"
     #: inside snapshot regeneration: before the done marker is written
     SNAPSHOT_REGEN_FINALIZE = "snapshot-regen-finalize"
+    #: live migration: after a bulk-copy range lands in the destination
+    MIGRATE_BULK_COPY = "migrate-bulk-copy"
+    #: live migration: after one delta catch-up round is applied
+    MIGRATE_DELTA_ROUND = "migrate-delta-round"
+    #: live migration: admission is about to pause for the cutover
+    MIGRATE_PRE_CUTOVER = "migrate-pre-cutover"
+    #: live migration: the active store flipped, destination not yet published
+    MIGRATE_POST_CUTOVER = "migrate-post-cutover"
 
     @classmethod
     def from_name(cls, name: str) -> "CrashPoint":
@@ -170,6 +178,25 @@ class CrashPoint(enum.Enum):
             if point.value == name or point.name == name.upper().replace("-", "_"):
                 return point
         raise ValueError(f"unknown crash point: {name!r}")
+
+
+#: Crash points that fire only inside the live-migration engine
+#: (``repro.migrate``); the sync crash harness never reaches them, so
+#: ``repro crashtest`` routes them to the migration harness instead.
+MIGRATION_POINTS = (
+    CrashPoint.MIGRATE_BULK_COPY,
+    CrashPoint.MIGRATE_DELTA_ROUND,
+    CrashPoint.MIGRATE_PRE_CUTOVER,
+    CrashPoint.MIGRATE_POST_CUTOVER,
+)
+
+
+class MigrationError(ReproError):
+    """A live backend migration was misconfigured or failed."""
+
+
+class ImageFormatError(MigrationError):
+    """A serialized store image could not be parsed or failed its CRC."""
 
 
 class FaultInjectionError(ReproError):

@@ -391,8 +391,15 @@ def run_crash_case(
 
 
 def sweep_points(config: CrashTestConfig) -> list[CrashPoint]:
-    """Crash points reachable under ``config``."""
-    points = list(CrashPoint)
+    """Crash points reachable under ``config``.
+
+    Migration crash points live inside the ``repro.migrate`` engine
+    and never fire during a sync run; they have their own sweep
+    (:func:`repro.migrate.harness.run_migrate_crash_sweep`).
+    """
+    from repro.errors import MIGRATION_POINTS
+
+    points = [p for p in CrashPoint if p not in MIGRATION_POINTS]
     if not config.snapshot:
         points = [p for p in points if p not in SNAPSHOT_REGEN_POINTS]
     return points

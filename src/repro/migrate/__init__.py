@@ -1,0 +1,83 @@
+"""Online backend migration: bulk copy, mirrored catch-up, verified cutover.
+
+Public surface of ``repro migrate``:
+
+* :mod:`repro.migrate.image` — the durable ``repro-kvimage-v1`` store
+  image format (atomic publish, resumable spill);
+* :mod:`repro.migrate.mirror` — the write-intercepting store facade a
+  live workload keeps using during migration, plus the admission gate
+  that makes the cutover atomic;
+* :mod:`repro.migrate.copier` — range-planned bulk snapshot copier;
+* :mod:`repro.migrate.verify` — three-level (count → fingerprint →
+  byte diff) store equivalence checks;
+* :mod:`repro.migrate.engine` — the phase machine (bulk → catch-up →
+  pause → cutover → verify);
+* :mod:`repro.migrate.runner` — file-level jobs over SRC/DST images
+  with optional paced live traffic;
+* :mod:`repro.migrate.harness` — the crash-and-resume sweep behind
+  ``repro crashtest``.
+"""
+
+from repro.migrate.copier import BulkCopier, KeyRange, RangeCopyResult, plan_ranges
+from repro.migrate.engine import MigrationConfig, MigrationEngine, MigrationReport
+from repro.migrate.harness import (
+    MigrateCrashCase,
+    MigrateCrashReport,
+    build_source_image,
+    migrate_sweep_points,
+    run_migrate_crash_sweep,
+)
+from repro.migrate.image import (
+    ImageInfo,
+    ImageWriter,
+    dump_store,
+    image_info,
+    load_image,
+    read_image_pairs,
+    spill_path,
+    write_image,
+)
+from repro.migrate.metrics import MigrateMetrics
+from repro.migrate.mirror import AdmissionGate, DeltaLog, MirroringStore
+from repro.migrate.runner import (
+    MigrateJob,
+    MigrateJobReport,
+    TrafficDriver,
+    run_migrate_job,
+)
+from repro.migrate.verify import KeyDiff, VerifyReport, byte_diff, verify_stores
+
+__all__ = [
+    "AdmissionGate",
+    "BulkCopier",
+    "DeltaLog",
+    "ImageInfo",
+    "ImageWriter",
+    "KeyDiff",
+    "KeyRange",
+    "MigrateCrashCase",
+    "MigrateCrashReport",
+    "MigrateJob",
+    "MigrateJobReport",
+    "MigrateMetrics",
+    "MigrationConfig",
+    "MigrationEngine",
+    "MigrationReport",
+    "MirroringStore",
+    "RangeCopyResult",
+    "TrafficDriver",
+    "VerifyReport",
+    "build_source_image",
+    "byte_diff",
+    "dump_store",
+    "image_info",
+    "load_image",
+    "migrate_sweep_points",
+    "plan_ranges",
+    "read_image_pairs",
+    "run_migrate_crash_sweep",
+    "run_migrate_job",
+    "spill_path",
+    "verify_stores",
+    "write_image",
+]

@@ -1,0 +1,162 @@
+"""Bulk snapshot copier: move a store's existing contents in key ranges.
+
+The copier splits the source keyspace into contiguous ranges (by
+sampling the sorted live keys, so ranges are balanced by pair count,
+not by key distribution), snapshots each range under a micro-pause of
+the admission gate, and publishes it to the destination as one atomic
+write batch plus one CRC-framed spill block.  Range snapshotting is
+parallelizable — scans of distinct ranges run on a thread pool — while
+batch commits and spill appends stay serialized in ascending range
+order, which is what makes a killed copy resumable: the spill always
+holds a prefix of the keyspace, so resume reloads it and continues
+from the first un-spilled range.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.kvstore.api import KVStore
+
+from repro.migrate.image import ImageWriter
+from repro.migrate.mirror import MirroringStore
+
+#: target pairs per bulk-copy range (and therefore per atomic batch)
+DEFAULT_RANGE_PAIRS = 2048
+
+
+@dataclass(frozen=True)
+class KeyRange:
+    """One contiguous ``[start, end)`` slice of the keyspace."""
+
+    index: int
+    start: bytes
+    end: Optional[bytes]  # None = to the end of the keyspace
+
+    def __str__(self) -> str:
+        upper = self.end.hex()[:12] if self.end is not None else "∞"
+        return f"range[{self.index}] {self.start.hex()[:12]}..{upper}"
+
+
+def plan_ranges(
+    store: KVStore, *, range_pairs: int = DEFAULT_RANGE_PAIRS
+) -> list[KeyRange]:
+    """Split the live keyspace into ranges of ~``range_pairs`` keys.
+
+    Planning reads only keys (no values).  A store that grows after
+    planning is fine: new keys land in the mirror's delta log, and keys
+    inside planned ranges are re-read at copy time.
+    """
+    if range_pairs < 1:
+        raise ValueError(f"range_pairs must be >= 1, got {range_pairs}")
+    boundaries: list[bytes] = []
+    for index, key in enumerate(store.keys()):
+        if index % range_pairs == 0 and index > 0:
+            boundaries.append(key)
+    ranges = []
+    start = b""
+    for index, boundary in enumerate(boundaries):
+        ranges.append(KeyRange(index=index, start=start, end=boundary))
+        start = boundary
+    ranges.append(KeyRange(index=len(boundaries), start=start, end=None))
+    return ranges
+
+
+@dataclass
+class RangeCopyResult:
+    """Outcome of one copied range."""
+
+    range: KeyRange
+    pairs: int
+    payload_bytes: int
+    elapsed_s: float
+
+
+class BulkCopier:
+    """Copy planned ranges from a mirrored source into a destination."""
+
+    def __init__(
+        self,
+        mirror: MirroringStore,
+        destination: KVStore,
+        spill: Optional[ImageWriter] = None,
+        *,
+        copy_workers: int = 1,
+        batch_pairs: int = DEFAULT_RANGE_PAIRS,
+    ) -> None:
+        if copy_workers < 1:
+            raise ValueError(f"copy_workers must be >= 1, got {copy_workers}")
+        self.mirror = mirror
+        self.destination = destination
+        self.spill = spill
+        self.copy_workers = copy_workers
+        self.batch_pairs = batch_pairs
+
+    def snapshot_range(self, key_range: KeyRange) -> list[tuple[bytes, bytes]]:
+        """A consistent view of one range, taken under the gate."""
+        with self.mirror.gate.exclusive():
+            return list(self.mirror.source.scan(key_range.start, key_range.end))
+
+    def publish_range(
+        self, key_range: KeyRange, pairs: list[tuple[bytes, bytes]]
+    ) -> RangeCopyResult:
+        """Apply one snapshotted range to the destination atomically.
+
+        The destination sees the range as whole write batches; the
+        spill gets one CRC block per range, flushed before the batch
+        commits, so the durable spill is never behind the destination.
+        """
+        from time import perf_counter
+
+        start = perf_counter()
+        payload = 0
+        if self.spill is not None:
+            payload = self.spill.append_block(pairs)
+        batch = self.destination.write_batch()
+        staged = 0
+        for key, value in pairs:
+            batch.put(key, value)
+            staged += 1
+            if staged >= self.batch_pairs:
+                batch.commit()
+                staged = 0
+        if staged:
+            batch.commit()
+        return RangeCopyResult(
+            range=key_range,
+            pairs=len(pairs),
+            payload_bytes=payload,
+            elapsed_s=perf_counter() - start,
+        )
+
+    def copy(
+        self,
+        ranges: list[KeyRange],
+        *,
+        on_range: Optional[Callable[[RangeCopyResult], None]] = None,
+    ) -> list[RangeCopyResult]:
+        """Copy every range; snapshots parallel, publishes in order.
+
+        ``on_range`` runs after each in-order publish — the engine
+        hangs its metrics, crash point, and traffic hooks there.
+        """
+        results: list[RangeCopyResult] = []
+        if self.copy_workers == 1:
+            for key_range in ranges:
+                result = self.publish_range(key_range, self.snapshot_range(key_range))
+                results.append(result)
+                if on_range is not None:
+                    on_range(result)
+            return results
+        with ThreadPoolExecutor(
+            max_workers=self.copy_workers, thread_name_prefix="migrate-copy"
+        ) as pool:
+            futures = [pool.submit(self.snapshot_range, r) for r in ranges]
+            for key_range, future in zip(ranges, futures):
+                result = self.publish_range(key_range, future.result())
+                results.append(result)
+                if on_range is not None:
+                    on_range(result)
+        return results

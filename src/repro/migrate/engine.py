@@ -1,0 +1,386 @@
+"""The live-migration engine: bulk copy → delta catch-up → cutover.
+
+:class:`MigrationEngine` re-homes a live store from one backend to
+another while a workload keeps writing through the
+:class:`~repro.migrate.mirror.MirroringStore` facade:
+
+1. **bulk copy** — the :class:`~repro.migrate.copier.BulkCopier` moves
+   the existing keyspace range by range (atomic batches + durable
+   spill blocks).  When the destination starts non-empty (a resumed
+   migration reloaded a spill), the copy runs as a *repair pass*:
+   every range is re-snapshotted from the source of truth and only
+   divergent keys are written, so a resume is correct even when the
+   source drifted while the migration was down;
+2. **delta catch-up** — rounds of draining the mirror's CRC32-sharded
+   delta log into the destination until the lag falls under the
+   configured threshold (at least one round always runs);
+3. **cutover** — pause admission, drain in-flight ops and the final
+   deltas, optionally run the three-level verifier
+   (:mod:`repro.migrate.verify`) while the world is stopped, flip the
+   active store, resume.  A verification divergence *aborts* the flip:
+   the source remains the active source of truth (rollback).
+
+Crash points (``migrate-bulk-copy``, ``migrate-delta-round``,
+``migrate-pre-cutover``, ``migrate-post-cutover``) are evaluated
+against the PR-2 fault plan with the range/round ordinal as the block
+number, so ``repro crashtest`` can kill a migration at any phase and
+prove the spill-driven resume converges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Optional
+
+from repro.errors import CrashPoint, MigrationError
+from repro.kvstore.api import KVStore
+from repro.obs import MetricsRegistry, get_registry
+
+from repro.migrate.copier import (
+    DEFAULT_RANGE_PAIRS,
+    BulkCopier,
+    RangeCopyResult,
+    plan_ranges,
+)
+from repro.migrate.image import ImageWriter
+from repro.migrate.metrics import MigrateMetrics
+from repro.migrate.mirror import MirroringStore
+from repro.migrate.verify import DEFAULT_MAX_DIFFS, VerifyReport, verify_stores
+
+#: engine events surfaced to the ``on_event`` hook, in phase order
+EVENTS = ("bulk-range", "delta-round", "pre-cutover", "post-cutover")
+
+
+@dataclass(frozen=True)
+class MigrationConfig:
+    """How to run one migration."""
+
+    backend_from: str = "memdb"
+    backend_to: str = "memdb"
+    #: target pairs per bulk-copy range
+    range_pairs: int = DEFAULT_RANGE_PAIRS
+    #: parallel range-snapshot threads (publishes stay in order)
+    copy_workers: int = 1
+    #: pairs per atomic destination write batch
+    batch_pairs: int = DEFAULT_RANGE_PAIRS
+    #: shards in the mirror's delta log
+    delta_shards: int = 4
+    #: cut over once a drained round leaves at most this much lag
+    lag_threshold: int = 64
+    #: force the cutover after this many catch-up rounds
+    max_delta_rounds: int = 16
+    #: run the three-level verifier inside the cutover pause
+    verify: bool = True
+    #: diff records kept verbatim by a level-3 walk
+    max_diffs: int = DEFAULT_MAX_DIFFS
+    #: give up if in-flight ops do not drain within this window
+    pause_timeout: float = 30.0
+    #: optional PR-2 fault plan (migration crash points)
+    fault_plan: object = None
+
+    @property
+    def pair_label(self) -> str:
+        return f"{self.backend_from}->{self.backend_to}"
+
+    def validated(self) -> "MigrationConfig":
+        from repro.replay.backends import BACKEND_NAMES
+
+        for side, name in (("from", self.backend_from), ("to", self.backend_to)):
+            if name not in BACKEND_NAMES:
+                known = ", ".join(BACKEND_NAMES)
+                raise MigrationError(
+                    f"unknown --backend-{side} {name!r}; known: {known}"
+                )
+        if self.range_pairs < 1:
+            raise MigrationError(f"range_pairs must be >= 1, got {self.range_pairs}")
+        if self.copy_workers < 1:
+            raise MigrationError(f"copy_workers must be >= 1, got {self.copy_workers}")
+        if self.lag_threshold < 0:
+            raise MigrationError(
+                f"lag_threshold must be >= 0, got {self.lag_threshold}"
+            )
+        if self.max_delta_rounds < 1:
+            raise MigrationError(
+                f"max_delta_rounds must be >= 1, got {self.max_delta_rounds}"
+            )
+        if self.pause_timeout <= 0:
+            raise MigrationError(
+                f"pause_timeout must be > 0, got {self.pause_timeout}"
+            )
+        return self
+
+
+@dataclass
+class MigrationReport:
+    """Outcome of one engine run."""
+
+    pair: str
+    completed: bool
+    resumed: bool
+    ranges: int
+    pairs_copied: int
+    bytes_copied: int
+    repaired_keys: int
+    delta_rounds: int
+    delta_ops: int
+    final_lag: int
+    cutover_pause_s: float
+    elapsed_s: float
+    verify: Optional[VerifyReport] = None
+    #: per-range copy outcomes (diagnostics; not rendered by default)
+    range_results: list[RangeCopyResult] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [
+            f"migration {self.pair}: "
+            + ("COMPLETE" if self.completed else "ABORTED (source remains active)")
+            + (" [resumed]" if self.resumed else ""),
+            f"  bulk          {self.pairs_copied:,} pairs in {self.ranges} ranges "
+            f"({self.bytes_copied:,} payload bytes"
+            + (f", {self.repaired_keys:,} repaired" if self.repaired_keys else "")
+            + ")",
+            f"  catch-up      {self.delta_ops:,} mirrored ops in {self.delta_rounds} "
+            f"rounds (final lag {self.final_lag})",
+            f"  cutover pause {self.cutover_pause_s * 1e3:.2f} ms",
+            f"  elapsed       {self.elapsed_s:.3f}s",
+        ]
+        if self.verify is not None:
+            lines.append("  " + self.verify.render().replace("\n", "\n  "))
+        return "\n".join(lines)
+
+
+class MigrationEngine:
+    """One migration from a live source store to a fresh destination.
+
+    The caller routes workload traffic through :attr:`live` (the
+    mirror) for the engine's whole lifetime; the engine never sees the
+    workload, only its delta log.
+    """
+
+    def __init__(
+        self,
+        source: KVStore,
+        destination: KVStore,
+        config: MigrationConfig,
+        *,
+        spill: Optional[ImageWriter] = None,
+        registry: Optional[MetricsRegistry] = None,
+        on_event: Optional[Callable[[str, "MigrationEngine"], None]] = None,
+        resumed: bool = False,
+    ) -> None:
+        self.config = config.validated()
+        self.destination = destination
+        self.mirror = MirroringStore(source, delta_shards=config.delta_shards)
+        self.spill = spill
+        self.registry = registry if registry is not None else get_registry()
+        self.metrics = MigrateMetrics(self.registry, pair=config.pair_label)
+        self.on_event = on_event
+        self.resumed = resumed
+        #: repair mode: destination preloaded from a spill, so ranges
+        #: diff against existing contents instead of blind-putting
+        self.repair = len(destination) > 0
+        self.repaired_keys = 0
+        if resumed:
+            self.metrics.resumes.inc()
+
+    @property
+    def live(self) -> MirroringStore:
+        """The store handle live traffic must use during the migration."""
+        return self.mirror
+
+    # -- fault-plan / hook plumbing -------------------------------------------
+
+    def _crash_point(self, point: CrashPoint, ordinal: int) -> None:
+        plan = self.config.fault_plan
+        if plan is None:
+            return
+        try:
+            plan.on_crash_point(point, block=ordinal)
+        except BaseException:
+            self.metrics.crashes.inc()
+            raise
+
+    def _emit(self, event: str) -> None:
+        if self.on_event is not None:
+            self.on_event(event, self)
+
+    # -- phases ---------------------------------------------------------------
+
+    def _publish_repair(
+        self, key_range, pairs: list[tuple[bytes, bytes]]
+    ) -> RangeCopyResult:
+        """Repair-mode publish: write only keys that differ, delete strays."""
+        start = perf_counter()
+        dest = self.destination
+        payload = 0
+        if self.spill is not None:
+            payload = self.spill.append_block(pairs)
+        source_keys = {key for key, _ in pairs}
+        stray = [
+            key
+            for key, _ in dest.scan(key_range.start, key_range.end)
+            if key not in source_keys
+        ]
+        batch = dest.write_batch()
+        staged = 0
+        for key, value in pairs:
+            if dest.get_or_none(key) != value:
+                batch.put(key, value)
+                staged += 1
+                self.repaired_keys += 1
+        for key in stray:
+            batch.delete(key)
+            staged += 1
+            self.repaired_keys += 1
+        if staged:
+            batch.commit()
+        else:
+            batch.reset()
+        return RangeCopyResult(
+            range=key_range,
+            pairs=len(pairs),
+            payload_bytes=payload,
+            elapsed_s=perf_counter() - start,
+        )
+
+    def _bulk_copy(self) -> list[RangeCopyResult]:
+        config = self.config
+        self.metrics.set_phase("bulk-copy")
+        copier = BulkCopier(
+            self.mirror,
+            self.destination,
+            spill=self.spill,
+            copy_workers=config.copy_workers,
+            batch_pairs=config.batch_pairs,
+        )
+        if self.repair:
+            copier.publish_range = self._publish_repair  # type: ignore[method-assign]
+        ranges = plan_ranges(self.mirror.source, range_pairs=config.range_pairs)
+
+        def on_range(result: RangeCopyResult) -> None:
+            self.metrics.ranges.inc()
+            self.metrics.pairs_copied.inc(result.pairs)
+            self.metrics.bytes_copied.inc(result.payload_bytes)
+            self.metrics.range_seconds.observe(result.elapsed_s)
+            self.metrics.lag.set(self.mirror.lag)
+            self._emit("bulk-range")
+            self._crash_point(CrashPoint.MIGRATE_BULK_COPY, result.range.index)
+
+        return copier.copy(ranges, on_range=on_range)
+
+    def _apply_deltas(
+        self, shards: list[list[tuple[bytes, Optional[bytes]]]]
+    ) -> int:
+        """Apply one drained round shard by shard, preserving per-key order.
+
+        A key's mutations all live in one shard, appended in arrival
+        order; each shard lands in one atomic batch (write-batch
+        semantics make the last op per key win, identical to replaying
+        the list in order).
+        """
+        applied = 0
+        for shard in shards:
+            if not shard:
+                continue
+            batch = self.destination.write_batch()
+            for key, value in shard:
+                if value is None:
+                    batch.delete(key)
+                else:
+                    batch.put(key, value)
+            batch.commit()
+            applied += len(shard)
+        return applied
+
+    def _catch_up(self) -> tuple[int, int]:
+        config = self.config
+        self.metrics.set_phase("catch-up")
+        rounds = 0
+        total_ops = 0
+        while True:
+            start = perf_counter()
+            drained = self.mirror.deltas.drain()
+            ops = self._apply_deltas(drained)
+            rounds += 1
+            total_ops += ops
+            self.metrics.delta_rounds.inc()
+            self.metrics.delta_ops.inc(ops)
+            self.metrics.delta_round_seconds.observe(perf_counter() - start)
+            self.metrics.lag.set(self.mirror.lag)
+            self._emit("delta-round")
+            self._crash_point(CrashPoint.MIGRATE_DELTA_ROUND, rounds)
+            if self.mirror.lag <= config.lag_threshold and ops <= max(
+                config.lag_threshold, 1
+            ):
+                break
+            if rounds >= config.max_delta_rounds:
+                break
+        return rounds, total_ops
+
+    def _cutover(self) -> tuple[float, Optional[VerifyReport], bool]:
+        config = self.config
+        gate = self.mirror.gate
+        self._emit("pre-cutover")
+        self._crash_point(CrashPoint.MIGRATE_PRE_CUTOVER, 0)
+        self.metrics.set_phase("pause")
+        pause_start = perf_counter()
+        if not gate.pause(timeout=config.pause_timeout):
+            gate.resume()
+            raise MigrationError(
+                f"cutover aborted: in-flight operations did not drain within "
+                f"{config.pause_timeout}s"
+            )
+        flipped = False
+        verify_report: Optional[VerifyReport] = None
+        try:
+            # Final drain: the world is stopped, so this empties the log.
+            final_ops = self._apply_deltas(self.mirror.deltas.drain())
+            if final_ops:
+                self.metrics.delta_ops.inc(final_ops)
+            self.metrics.lag.set(0)
+            if config.verify:
+                self.metrics.set_phase("verify")
+                verify_report = verify_stores(
+                    self.mirror.source,
+                    self.destination,
+                    max_diffs=config.max_diffs,
+                    metrics=self.metrics,
+                )
+                if not verify_report.match:
+                    return perf_counter() - pause_start, verify_report, False
+            self.metrics.set_phase("cutover")
+            self.mirror.flip(self.destination)
+            flipped = True
+            self.metrics.cutovers.inc()
+            self._crash_point(CrashPoint.MIGRATE_POST_CUTOVER, 0)
+        finally:
+            gate.resume()
+            pause_s = perf_counter() - pause_start
+            self.metrics.cutover_pause_seconds.observe(pause_s)
+        self._emit("post-cutover")
+        return pause_s, verify_report, flipped
+
+    def run(self) -> MigrationReport:
+        """Run all phases; returns the report (completed or aborted)."""
+        start = perf_counter()
+        range_results = self._bulk_copy()
+        rounds, delta_ops = self._catch_up()
+        pause_s, verify_report, flipped = self._cutover()
+        self.metrics.set_phase("done" if flipped else "idle")
+        return MigrationReport(
+            pair=self.config.pair_label,
+            completed=flipped,
+            resumed=self.resumed,
+            ranges=len(range_results),
+            pairs_copied=sum(r.pairs for r in range_results),
+            bytes_copied=sum(r.payload_bytes for r in range_results),
+            repaired_keys=self.repaired_keys,
+            delta_rounds=rounds,
+            delta_ops=delta_ops,
+            final_lag=self.mirror.lag,
+            cutover_pause_s=pause_s,
+            elapsed_s=perf_counter() - start,
+            verify=verify_report,
+            range_results=range_results,
+        )

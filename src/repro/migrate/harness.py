@@ -1,0 +1,243 @@
+"""Crash-and-resume sweep for the migration engine.
+
+``repro crashtest`` proves, for every migration crash point, that a
+migration killed mid-flight either **resumes** (a second ``--resume``
+run converges to a verified, published destination image) or **rolls
+back** (the crash leaves no published DST — the SRC image remains the
+only source of truth).  Each case:
+
+1. builds a deterministic source image,
+2. runs a migration armed with a ``kill_at(point)`` fault plan while a
+   scripted hook writes live traffic through the mirror at every
+   engine event,
+3. asserts the simulated crash fired and DST was **not** published
+   (rollback property of the atomic temp-then-rename publish),
+4. re-runs with ``resume=True`` and a disarmed plan, and asserts the
+   resumed migration completes with a level ≤ 2 verification match and
+   a footer-consistent published image.
+
+The sync-engine sweep (:func:`repro.faults.harness.run_crash_sweep`)
+excludes these points; this module is their home.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.errors import MIGRATION_POINTS, CrashPoint, SimulatedCrash
+from repro.faults.plan import FaultPlan
+from repro.kvstore.memdb import MemoryKVStore
+from repro.obs import MetricsRegistry
+
+from repro.migrate.engine import MigrationConfig, MigrationEngine
+from repro.migrate.image import dump_store, image_info, spill_path
+from repro.migrate.runner import MigrateJob, MigrateJobReport, run_migrate_job
+
+#: keys in the harness's deterministic source store
+DEFAULT_STORE_KEYS = 600
+#: pairs per bulk range (small → several ranges → mid-copy kills land)
+DEFAULT_RANGE_PAIRS = 128
+
+
+def build_source_image(
+    path: Path, *, num_keys: int = DEFAULT_STORE_KEYS, seed: int = 0
+) -> int:
+    """Write a deterministic source image of ``num_keys`` pairs."""
+    store = MemoryKVStore()
+    for i in range(num_keys):
+        key = b"k" + i.to_bytes(4, "big") + bytes([seed & 0xFF])
+        value = (key * 7)[: 32 + (i % 96)]
+        store.put(key, value)
+    return dump_store(path, store)
+
+
+def _scripted_traffic(seed: int):
+    """An ``on_event`` hook writing deterministic live traffic.
+
+    Every engine event (range published, delta round drained,
+    pre-cutover) pushes a few writes and a delete through the mirror,
+    so each phase of every case runs against a store that is actually
+    changing underneath the copy.
+    """
+    counter = [0]
+
+    def hook(event: str, engine: MigrationEngine) -> None:
+        if event == "post-cutover":
+            return  # mirroring is off; the migration is over
+        for _ in range(4):
+            n = counter[0]
+            counter[0] += 1
+            key = b"t" + n.to_bytes(4, "big") + bytes([seed & 0xFF])
+            engine.live.put(key, key * 3)
+        if counter[0] % 8 == 0:
+            stale = counter[0] - 8
+            engine.live.delete(b"t" + stale.to_bytes(4, "big") + bytes([seed & 0xFF]))
+
+    return hook
+
+
+@dataclass
+class MigrateCrashCase:
+    """Outcome of one kill-and-resume case."""
+
+    point: CrashPoint
+    triggered: bool = False
+    rolled_back: bool = False  # DST unpublished after the crash
+    spill_pairs: int = 0  # durable progress salvaged by the resume
+    resumed: Optional[MigrateJobReport] = None
+    published_ok: bool = False  # DST footer strict-reads consistent
+    failure: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.failure is None
+            and self.triggered
+            and self.rolled_back
+            and self.resumed is not None
+            and self.resumed.completed
+            and self.resumed.engine.verify is not None
+            and self.resumed.engine.verify.match
+            and self.published_ok
+        )
+
+
+@dataclass
+class MigrateCrashReport:
+    """All cases of one migration crash sweep."""
+
+    pair: str
+    cases: list[MigrateCrashCase] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.cases)
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for case in self.cases if case.ok)
+
+    @property
+    def ok(self) -> bool:
+        return self.passed == self.total
+
+    def render(self) -> str:
+        lines = [
+            f"migration crash sweep ({self.pair}): "
+            f"{self.passed}/{self.total} points killed, resumed, and verified"
+        ]
+        for case in self.cases:
+            if case.ok:
+                verify = case.resumed.engine.verify
+                detail = (
+                    f"spill {case.spill_pairs:,} pairs, resumed verify level "
+                    f"{verify.level} MATCH, image published"
+                )
+                status = "ok  "
+            else:
+                detail = case.failure or "assertions failed"
+                if not case.triggered:
+                    detail = "crash point never fired"
+                elif not case.rolled_back:
+                    detail = "DST published despite crash"
+                status = "FAIL"
+            lines.append(f"  {status} {case.point.value:<22} {detail}")
+        return "\n".join(lines)
+
+
+def migrate_sweep_points() -> list[CrashPoint]:
+    """The crash points this sweep owns."""
+    return list(MIGRATION_POINTS)
+
+
+def run_migrate_crash_sweep(
+    points: Optional[Sequence[CrashPoint]] = None,
+    *,
+    backend_from: str = "lsm",
+    backend_to: str = "hybrid",
+    num_keys: int = DEFAULT_STORE_KEYS,
+    range_pairs: int = DEFAULT_RANGE_PAIRS,
+    seed: int = 0,
+    registry: Optional[MetricsRegistry] = None,
+) -> MigrateCrashReport:
+    """Kill a migration at each point, then prove the resume converges."""
+    if points is None:
+        points = migrate_sweep_points()
+    for point in points:
+        if point not in MIGRATION_POINTS:
+            raise ValueError(f"{point.value} is not a migration crash point")
+    report = MigrateCrashReport(pair=f"{backend_from}->{backend_to}")
+    for case_index, point in enumerate(points):
+        case = MigrateCrashCase(point=point)
+        report.cases.append(case)
+        with tempfile.TemporaryDirectory(prefix="repro-migrate-crash-") as tmp:
+            workdir = Path(tmp)
+            src = workdir / "src.kvimg"
+            dst = workdir / "dst.kvimg"
+            build_source_image(src, num_keys=num_keys, seed=seed + case_index)
+
+            def config_for(plan: Optional[FaultPlan]) -> MigrationConfig:
+                return MigrationConfig(
+                    backend_from=backend_from,
+                    backend_to=backend_to,
+                    range_pairs=range_pairs,
+                    lag_threshold=0,
+                    max_delta_rounds=8,
+                    verify=True,
+                    fault_plan=plan,
+                )
+
+            plan = FaultPlan.kill_at(point)
+            plan.validate()
+            job = MigrateJob(
+                src=src,
+                dst=dst,
+                config=config_for(plan),
+                mirror=True,
+            )
+            try:
+                run_migrate_job(
+                    job, registry=registry, on_event=_scripted_traffic(seed)
+                )
+                case.failure = "migration completed without crashing"
+                continue
+            except SimulatedCrash:
+                case.triggered = True
+            except Exception as exc:  # pragma: no cover - diagnostics
+                case.failure = f"unexpected error before crash: {exc!r}"
+                continue
+            case.rolled_back = not dst.exists()
+            if not case.rolled_back:
+                continue
+
+            # Act 2: come back from the dead and finish the job.
+            resume_job = MigrateJob(
+                src=src,
+                dst=dst,
+                config=config_for(None),
+                mirror=True,
+                resume=True,
+            )
+            spill = spill_path(dst)
+            try:
+                if spill.exists():
+                    from repro.migrate.image import read_image_pairs
+
+                    case.spill_pairs = sum(
+                        1 for _ in read_image_pairs(spill, salvage=True)
+                    )
+                case.resumed = run_migrate_job(
+                    resume_job, registry=registry, on_event=_scripted_traffic(seed + 97)
+                )
+                info = image_info(dst)  # strict read: footer must be consistent
+                case.published_ok = (
+                    dst.exists()
+                    and info.pairs == case.resumed.published_pairs
+                    and not spill.exists()
+                )
+            except Exception as exc:  # pragma: no cover - diagnostics
+                case.failure = f"resume failed: {exc!r}"
+    return report

@@ -1,0 +1,116 @@
+"""Migration metric families on the process-wide obs registry.
+
+Fixed names, labels, and fixed exponential buckets — the same
+discipline every other subsystem follows — so ``--metrics-out`` dumps
+from any migration run merge associatively under ``repro stats`` with
+replay/serve/analysis dumps from the same pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs import MetricsRegistry, exponential_buckets
+
+#: 100 µs .. ~400 s in powers of two: range copies and delta rounds sit
+#: low, cutover pauses (which include the final drain and verify) mid.
+MIGRATE_TIME_BUCKETS = exponential_buckets(1e-4, 2.0, 22)
+
+#: numeric phase codes for the repro_migrate_phase gauge
+PHASE_CODES = {
+    "idle": 0,
+    "bulk-copy": 1,
+    "catch-up": 2,
+    "pause": 3,
+    "cutover": 4,
+    "verify": 5,
+    "done": 6,
+}
+
+
+class MigrateMetrics:
+    """Cached children for the migration families on one registry."""
+
+    def __init__(self, registry: MetricsRegistry, *, pair: Optional[str] = None) -> None:
+        self.registry = registry
+        labels = ("pair",)
+        self.pair = pair if pair is not None else "unknown"
+        kw = {"pair": self.pair}
+        self.ranges = registry.counter(
+            "repro_migrate_ranges_total", "bulk-copy ranges published", labels
+        ).labels(**kw)
+        self.pairs_copied = registry.counter(
+            "repro_migrate_pairs_copied_total", "pairs published by the bulk copier", labels
+        ).labels(**kw)
+        self.bytes_copied = registry.counter(
+            "repro_migrate_bytes_copied_total",
+            "payload bytes published by the bulk copier",
+            labels,
+        ).labels(**kw)
+        self.delta_rounds = registry.counter(
+            "repro_migrate_delta_rounds_total", "delta catch-up rounds drained", labels
+        ).labels(**kw)
+        self.delta_ops = registry.counter(
+            "repro_migrate_delta_ops_total",
+            "mirrored mutations applied by catch-up rounds",
+            labels,
+        ).labels(**kw)
+        self.cutovers = registry.counter(
+            "repro_migrate_cutovers_total", "successful active-store flips", labels
+        ).labels(**kw)
+        self.resumes = registry.counter(
+            "repro_migrate_resumes_total",
+            "migrations that continued from a durable spill",
+            labels,
+        ).labels(**kw)
+        self.crashes = registry.counter(
+            "repro_migrate_crashes_total",
+            "simulated crashes taken at migration crash points",
+            labels,
+        ).labels(**kw)
+        self._diffs = registry.counter(
+            "repro_migrate_diff_total",
+            "three-level verification outcomes",
+            ("pair", "level", "outcome"),
+        )
+        self.lag = registry.gauge(
+            "repro_migrate_lag", "mirrored mutations not yet applied", labels
+        ).labels(**kw)
+        self.phase = registry.gauge(
+            "repro_migrate_phase",
+            "engine phase (0 idle, 1 bulk, 2 catch-up, 3 pause, 4 cutover, "
+            "5 verify, 6 done)",
+            labels,
+        ).labels(**kw)
+        self.range_seconds = registry.histogram(
+            "repro_migrate_range_seconds",
+            "per-range snapshot+publish duration",
+            labels,
+            buckets=MIGRATE_TIME_BUCKETS,
+        ).labels(**kw)
+        self.delta_round_seconds = registry.histogram(
+            "repro_migrate_delta_round_seconds",
+            "per-round delta drain+apply duration",
+            labels,
+            buckets=MIGRATE_TIME_BUCKETS,
+        ).labels(**kw)
+        self.cutover_pause_seconds = registry.histogram(
+            "repro_migrate_cutover_pause_seconds",
+            "admission pause duration around the cutover",
+            labels,
+            buckets=MIGRATE_TIME_BUCKETS,
+        ).labels(**kw)
+
+    def set_phase(self, phase: str) -> None:
+        self.phase.set(PHASE_CODES[phase])
+
+    def observe_verify(self, report) -> None:
+        """Fold a VerifyReport into the per-level/outcome counters."""
+        outcome = "match" if report.match else "diverged"
+        self._diffs.labels(
+            pair=self.pair, level=str(report.level), outcome=outcome
+        ).inc()
+        if report.diff_count:
+            self._diffs.labels(pair=self.pair, level="3", outcome="diff-key").inc(
+                report.diff_count
+            )

@@ -1,0 +1,238 @@
+"""Write interception for online migration: the mirror tap and the gate.
+
+:class:`MirroringStore` is the :class:`~repro.kvstore.api.KVStore`
+wrapper a live workload keeps using while the migration engine works
+underneath it.  Every mutation crossing the wrapper is applied to the
+*active* store (source before cutover, destination after) **and**
+appended to a :class:`DeltaLog` — the accumulated writes the delta
+catch-up loop drains in rounds.  Deltas are sharded by the same CRC32
+key hash replay's partitioner uses (:func:`repro.replay.partition.shard_of`):
+one key always lands in one shard list, appended in arrival order, so
+applying each shard's list in order preserves per-key write order no
+matter how rounds interleave.
+
+The :class:`AdmissionGate` is the cutover pause: a paused gate blocks
+new operations at admission (the token-bucket analog of serve/replay's
+admission control — traffic queues instead of failing) while the
+engine waits for the in-flight count to drain to zero.  Pause → drain
+→ flip → resume is what makes the store swap atomic from the
+workload's point of view.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.kvstore.api import KVStore
+from repro.replay.partition import shard_of
+
+
+class AdmissionGate:
+    """Pause/resume barrier with an in-flight operation count."""
+
+    def __init__(self) -> None:
+        self._open = threading.Event()
+        self._open.set()
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._in_flight = 0
+        #: serializes exclusive() windows (parallel range snapshots)
+        self._exclusive_lock = threading.Lock()
+        self.pauses = 0
+
+    def admit(self) -> None:
+        """Block while paused, then count one in-flight operation."""
+        while True:
+            self._open.wait()
+            with self._lock:
+                if self._open.is_set():
+                    self._in_flight += 1
+                    return
+
+    def release(self) -> None:
+        with self._idle:
+            self._in_flight -= 1
+            if self._in_flight == 0:
+                self._idle.notify_all()
+
+    def pause(self, timeout: Optional[float] = None) -> bool:
+        """Stop admitting and wait for in-flight ops to drain.
+
+        Returns ``True`` once the wrapper is quiescent; ``False`` if
+        in-flight operations did not drain within ``timeout``.
+        """
+        self._open.clear()
+        self.pauses += 1
+        with self._idle:
+            return self._idle.wait_for(lambda: self._in_flight == 0, timeout=timeout)
+
+    def resume(self) -> None:
+        self._open.set()
+
+    @contextmanager
+    def exclusive(self, timeout: Optional[float] = None):
+        """Pause, drain, run the body quiescent, then resume.
+
+        The bulk copier snapshots each key range inside this window (a
+        range lock in miniature): no backend in the suite guarantees
+        scan stability under concurrent mutation, so the engine buys a
+        consistent range view with a micro-pause instead of trusting
+        iterator semantics that only memdb happens to provide.
+        """
+        with self._exclusive_lock:
+            drained = self.pause(timeout=timeout)
+            try:
+                if not drained:
+                    raise TimeoutError("admission gate did not drain in-flight ops")
+                yield
+            finally:
+                self.resume()
+
+    @property
+    def paused(self) -> bool:
+        return not self._open.is_set()
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+
+class DeltaLog:
+    """CRC32-sharded, order-preserving log of mirrored mutations.
+
+    ``value is None`` records a delete.  ``drain()`` atomically swaps
+    the accumulated shard lists out, so appends racing a drain land in
+    the next round rather than being lost.
+    """
+
+    def __init__(self, num_shards: int = 4) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = num_shards
+        self._lock = threading.Lock()
+        self._shards: list[list[tuple[bytes, Optional[bytes]]]] = [
+            [] for _ in range(num_shards)
+        ]
+        self._pending = 0
+        self.total_appended = 0
+
+    def append(self, key: bytes, value: Optional[bytes]) -> None:
+        with self._lock:
+            self._shards[shard_of(key, self.num_shards)].append((key, value))
+            self._pending += 1
+            self.total_appended += 1
+
+    def drain(self) -> list[list[tuple[bytes, Optional[bytes]]]]:
+        """Swap out and return the per-shard delta lists."""
+        with self._lock:
+            shards = self._shards
+            self._shards = [[] for _ in range(self.num_shards)]
+            self._pending = 0
+        return shards
+
+    @property
+    def pending(self) -> int:
+        return self._pending
+
+
+class MirroringStore(KVStore):
+    """KVStore facade over the active store with a write-mirror tap.
+
+    Reads and scans pass through to the active store; mutations are
+    applied there and appended to the delta log while mirroring is
+    enabled.  :meth:`flip` switches the active store (the cutover) and
+    stops mirroring — after the flip the destination *is* the truth,
+    so there is nothing left to mirror.
+    """
+
+    def __init__(self, source: KVStore, delta_shards: int = 4) -> None:
+        self._active = source
+        self.source = source
+        self.gate = AdmissionGate()
+        self.deltas = DeltaLog(delta_shards)
+        self._mirroring = True
+        self._flip_lock = threading.Lock()
+
+    # -- engine side ----------------------------------------------------------
+
+    @property
+    def active(self) -> KVStore:
+        return self._active
+
+    @property
+    def mirroring(self) -> bool:
+        return self._mirroring
+
+    @property
+    def lag(self) -> int:
+        """Mirrored mutations not yet applied to the destination."""
+        return self.deltas.pending
+
+    def flip(self, destination: KVStore) -> None:
+        """Cut the active store over to ``destination``.
+
+        Only safe while the gate is paused and drained; the engine
+        owns that discipline.
+        """
+        with self._flip_lock:
+            self._active = destination
+            self._mirroring = False
+
+    # -- workload side (KVStore API) ------------------------------------------
+
+    def get(self, key: bytes) -> bytes:
+        self.gate.admit()
+        try:
+            return self._active.get(key)
+        finally:
+            self.gate.release()
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.gate.admit()
+        try:
+            self._active.put(key, value)
+            if self._mirroring:
+                self.deltas.append(key, value)
+        finally:
+            self.gate.release()
+
+    def delete(self, key: bytes) -> None:
+        self.gate.admit()
+        try:
+            self._active.delete(key)
+            if self._mirroring:
+                self.deltas.append(key, None)
+        finally:
+            self.gate.release()
+
+    def has(self, key: bytes) -> bool:
+        self.gate.admit()
+        try:
+            return self._active.has(key)
+        finally:
+            self.gate.release()
+
+    def scan(
+        self, start: bytes, end: Optional[bytes] = None
+    ) -> Iterator[tuple[bytes, bytes]]:
+        # The admission slot is held for the whole iteration (released
+        # when the generator is exhausted or closed), so a cutover
+        # cannot flip the active store out from under a live iterator.
+        self.gate.admit()
+
+        def _held() -> Iterator[tuple[bytes, bytes]]:
+            try:
+                yield from self._active.scan(start, end)
+            finally:
+                self.gate.release()
+
+        return _held()
+
+    def __len__(self) -> int:
+        return len(self._active)
+
+    def close(self) -> None:
+        self._active.close()

@@ -1,0 +1,263 @@
+"""File-level migration jobs: what ``repro migrate SRC DST`` runs.
+
+The engine (:mod:`repro.migrate.engine`) moves pairs between two live
+in-memory stores; this module wraps it in the durable artifacts a CLI
+invocation works with:
+
+* **SRC** — a published ``repro-kvimage-v1`` image (see
+  :mod:`repro.migrate.image`), loaded into a fresh ``--backend-from``
+  store at job start.  It is never modified.
+* **DST** — the destination image path.  It only ever appears by an
+  atomic temp-then-rename publish after a completed, verified cutover;
+  a crashed or aborted job leaves no DST behind (rollback: the SRC
+  image remains the only source of truth).
+* **spill** — ``DST + ".migtmp"``, the bulk copier's durable block
+  log.  ``--resume`` salvages its CRC-valid prefix into the
+  destination store and the engine's repair pass re-checks every range
+  against the source, so a resumed job converges even though the
+  in-memory stores died with the previous process.
+
+Optionally a paced traffic thread replays a trace through the engine's
+:class:`~repro.migrate.mirror.MirroringStore` for the whole run — live
+workload against a store that is being migrated out from under it.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.core.trace import read_trace
+from repro.errors import MigrationError
+from repro.obs import MetricsRegistry, get_registry
+from repro.replay.apply import apply_op
+from repro.replay.backends import make_store
+from repro.replay.pacing import make_pacer
+
+from repro.migrate.engine import MigrationConfig, MigrationEngine, MigrationReport
+from repro.migrate.image import (
+    ImageWriter,
+    load_image,
+    read_image_pairs,
+    spill_path,
+    write_image,
+)
+from repro.migrate.mirror import MirroringStore
+
+#: pairs per batch when reloading a salvaged spill into the destination
+_RELOAD_BATCH = 4096
+
+
+@dataclass(frozen=True)
+class MigrateJob:
+    """One CLI-level migration: SRC image → DST image."""
+
+    src: Union[str, Path]
+    dst: Union[str, Path]
+    config: MigrationConfig = field(default_factory=MigrationConfig)
+    #: enable the write-mirror tap / live-traffic mode
+    mirror: bool = False
+    #: trace replayed through the mirror while the migration runs
+    traffic: Optional[Union[str, Path]] = None
+    #: traffic pacing in ops/s (None = as fast as the gate admits)
+    traffic_pace: Optional[float] = None
+    #: max keys touched by one mirrored SCAN
+    traffic_scan_limit: int = 64
+    #: continue from a durable spill left by a killed migration
+    resume: bool = False
+
+
+@dataclass
+class MigrateJobReport:
+    """Outcome of one migration job."""
+
+    src: str
+    dst: str
+    loaded_pairs: int
+    resumed_pairs: int
+    published_pairs: int
+    traffic_ops: int
+    engine: MigrationReport
+
+    @property
+    def completed(self) -> bool:
+        return self.engine.completed
+
+    def render(self) -> str:
+        lines = [
+            f"source image  {self.src} ({self.loaded_pairs:,} pairs)",
+        ]
+        if self.resumed_pairs:
+            lines.append(f"spill resume  {self.resumed_pairs:,} pairs salvaged")
+        if self.traffic_ops:
+            lines.append(f"live traffic  {self.traffic_ops:,} mirrored ops")
+        lines.append(self.engine.render())
+        if self.completed:
+            lines.append(f"published     {self.dst} ({self.published_pairs:,} pairs)")
+        else:
+            lines.append(f"not published: {self.src} remains the source of truth")
+        return "\n".join(lines)
+
+
+class TrafficDriver:
+    """Background thread replaying a trace through the mirror.
+
+    The trace is cycled until :meth:`stop` — a migration should never
+    win its race against the workload just because the trace ran out.
+    Operations go through :func:`repro.replay.apply.apply_op`, so the
+    synthetic values are the same deterministic function of (key, size)
+    replay writes: any ordering violation between mirror and engine is
+    byte-visible to the verifier.
+    """
+
+    def __init__(
+        self,
+        mirror: MirroringStore,
+        trace: Union[str, Path],
+        *,
+        pace: Optional[float] = None,
+        scan_limit: int = 64,
+    ) -> None:
+        self.mirror = mirror
+        self.trace = Path(trace)
+        self.pacer = make_pacer(pace) if pace else None
+        self.scan_limit = scan_limit
+        self.ops = 0
+        self.error: Optional[BaseException] = None
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="migrate-traffic", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the driver and re-raise anything it tripped over."""
+        self._stop.set()
+        self._thread.join()
+        if self.error is not None:
+            raise self.error
+
+    def _run(self) -> None:
+        try:
+            while not self._stop.is_set():
+                for record in read_trace(self.trace):
+                    if self._stop.is_set():
+                        return
+                    if self.pacer is not None:
+                        while not self.pacer.try_acquire():
+                            if self._stop.wait(0.0005):
+                                return
+                    apply_op(
+                        self.mirror,
+                        int(record.op),
+                        record.key,
+                        record.value_size,
+                        self.scan_limit,
+                    )
+                    self.ops += 1
+        except BaseException as exc:  # surfaced by stop()
+            self.error = exc
+
+
+def run_migrate_job(
+    job: MigrateJob,
+    *,
+    registry: Optional[MetricsRegistry] = None,
+    on_event: Optional[Callable[[str, MigrationEngine], None]] = None,
+) -> MigrateJobReport:
+    """Run one migration job end to end.
+
+    Raises :class:`~repro.errors.MigrationError` for bad inputs and
+    propagates :class:`~repro.errors.SimulatedCrash` from an armed
+    fault plan — in both cases DST is left unpublished.
+    """
+    registry = registry if registry is not None else get_registry()
+    config = job.config.validated()
+    src = Path(job.src)
+    dst = Path(job.dst)
+    if not src.exists():
+        raise MigrationError(f"source image not found: {src}")
+    if src.resolve() == dst.resolve():
+        raise MigrationError("SRC and DST must be different paths")
+    if job.traffic is not None and not job.mirror:
+        raise MigrationError("--traffic requires --mirror (live-migration mode)")
+
+    source = make_store(config.backend_from)
+    loaded = load_image(src, source)
+    destination = make_store(config.backend_to)
+
+    # Salvage a durable spill *before* opening the writer (which
+    # truncates it); the engine's repair pass re-validates every
+    # reloaded range against the source of truth.
+    spill = spill_path(dst)
+    resumed_pairs = 0
+    resumed = False
+    if job.resume and spill.exists():
+        batch = destination.write_batch()
+        staged = 0
+        for key, value in read_image_pairs(spill, salvage=True):
+            batch.put(key, value)
+            staged += 1
+            resumed_pairs += 1
+            if staged >= _RELOAD_BATCH:
+                batch.commit()
+                staged = 0
+        if staged:
+            batch.commit()
+        else:
+            batch.reset()
+        resumed = True
+
+    writer = ImageWriter(spill)
+    engine = MigrationEngine(
+        source,
+        destination,
+        config,
+        spill=writer,
+        registry=registry,
+        on_event=on_event,
+        resumed=resumed,
+    )
+    traffic: Optional[TrafficDriver] = None
+    if job.mirror and job.traffic is not None:
+        traffic = TrafficDriver(
+            engine.live,
+            job.traffic,
+            pace=job.traffic_pace,
+            scan_limit=job.traffic_scan_limit,
+        )
+    try:
+        if traffic is not None:
+            traffic.start()
+        report = engine.run()
+    except BaseException:
+        if traffic is not None:
+            try:
+                traffic.stop()
+            except BaseException:
+                pass  # the engine's crash outranks a traffic error
+        writer.close()
+        raise
+    if traffic is not None:
+        traffic.stop()
+    writer.close()
+
+    published = 0
+    if report.completed:
+        # The publish rewrites DST's temp path (== the spill) with the
+        # destination's final contents and atomically renames it into
+        # place, which both publishes DST and retires the spill.
+        published = write_image(dst, destination.scan(b""))
+    return MigrateJobReport(
+        src=str(src),
+        dst=str(dst),
+        loaded_pairs=loaded,
+        resumed_pairs=resumed_pairs,
+        published_pairs=published,
+        traffic_ops=traffic.ops if traffic is not None else 0,
+        engine=report,
+    )

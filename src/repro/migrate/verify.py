@@ -1,0 +1,165 @@
+"""Three-level migration verification: count → fingerprint → byte diff.
+
+Each level is strictly stronger and strictly more expensive than the
+one before it, so the verifier stops at the first level that proves
+equality — the common case pays one ``len()`` comparison and one
+fingerprint scan — and only descends to the per-key byte diff when a
+cheaper level already said the stores disagree, to say *where*.
+
+* **Level 1 — count**: live pair counts match.
+* **Level 2 — fingerprint**: the order-independent sha256-sum
+  :class:`~repro.replay.verify.StateFingerprint` (reused from replay)
+  of both stores match.  Equal fingerprints with equal counts mean
+  byte-identical contents up to sha256 collisions.
+* **Level 3 — byte diff**: a merged ordered walk of both stores,
+  reporting every key that is missing on either side or maps to
+  different bytes (capped at ``max_diffs``; the count of *all*
+  divergent keys is still exact).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.kvstore.api import KVStore
+from repro.replay.verify import StateFingerprint, store_fingerprint
+
+#: diff records kept verbatim in the report (the total stays exact)
+DEFAULT_MAX_DIFFS = 32
+
+
+@dataclass(frozen=True)
+class KeyDiff:
+    """One divergent key found by the level-3 walk."""
+
+    key: bytes
+    #: "missing-in-destination", "missing-in-source", or "value-mismatch"
+    outcome: str
+    source_len: int = -1
+    destination_len: int = -1
+
+    def __str__(self) -> str:
+        sizes = ""
+        if self.outcome == "value-mismatch":
+            sizes = f" (src {self.source_len}B, dst {self.destination_len}B)"
+        return f"{self.key.hex()[:24]}: {self.outcome}{sizes}"
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of one three-level verification."""
+
+    #: deepest level that ran (1, 2, or 3)
+    level: int
+    match: bool
+    source_count: int
+    destination_count: int
+    source_fingerprint: Optional[StateFingerprint] = None
+    destination_fingerprint: Optional[StateFingerprint] = None
+    #: total divergent keys (level 3 only; exact even when truncated)
+    diff_count: int = 0
+    diffs: list[KeyDiff] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [
+            f"verify: level {self.level}, "
+            + ("MATCH" if self.match else f"DIVERGED ({self.diff_count} keys)"),
+            f"  counts        src={self.source_count:,} dst={self.destination_count:,}",
+        ]
+        if self.source_fingerprint is not None:
+            lines.append(f"  src state     {self.source_fingerprint}")
+            lines.append(f"  dst state     {self.destination_fingerprint}")
+        for diff in self.diffs:
+            lines.append(f"    {diff}")
+        if self.diff_count > len(self.diffs):
+            lines.append(f"    … {self.diff_count - len(self.diffs)} more")
+        return "\n".join(lines)
+
+
+def byte_diff(
+    source: KVStore, destination: KVStore, *, max_diffs: int = DEFAULT_MAX_DIFFS
+) -> tuple[int, list[KeyDiff]]:
+    """Level 3: merged ordered walk over both stores' live pairs."""
+    diffs: list[KeyDiff] = []
+    count = 0
+
+    def record(diff: KeyDiff) -> None:
+        nonlocal count
+        count += 1
+        if len(diffs) < max_diffs:
+            diffs.append(diff)
+
+    # Tag each side and merge by (key, side); equal keys surface adjacently.
+    merged = heapq.merge(
+        ((key, 0, value) for key, value in source.scan(b"")),
+        ((key, 1, value) for key, value in destination.scan(b"")),
+    )
+    pending: Optional[tuple[bytes, bytes]] = None  # an unmatched source pair
+    for key, side, value in merged:
+        if side == 0:
+            if pending is not None:
+                record(KeyDiff(pending[0], "missing-in-destination"))
+            pending = (key, value)
+            continue
+        if pending is not None and pending[0] == key:
+            if pending[1] != value:
+                record(
+                    KeyDiff(
+                        key,
+                        "value-mismatch",
+                        source_len=len(pending[1]),
+                        destination_len=len(value),
+                    )
+                )
+            pending = None
+        else:
+            if pending is not None:
+                record(KeyDiff(pending[0], "missing-in-destination"))
+                pending = None
+            record(KeyDiff(key, "missing-in-source"))
+    if pending is not None:
+        record(KeyDiff(pending[0], "missing-in-destination"))
+    return count, diffs
+
+
+def verify_stores(
+    source: KVStore,
+    destination: KVStore,
+    *,
+    max_diffs: int = DEFAULT_MAX_DIFFS,
+    metrics=None,
+) -> VerifyReport:
+    """Run the levels in order, descending only on mismatch."""
+    source_count = len(source)
+    destination_count = len(destination)
+    counts_match = source_count == destination_count
+    src_fp = store_fingerprint(source)
+    dst_fp = store_fingerprint(destination)
+    if counts_match and src_fp == dst_fp:
+        report = VerifyReport(
+            level=2,
+            match=True,
+            source_count=source_count,
+            destination_count=destination_count,
+            source_fingerprint=src_fp,
+            destination_fingerprint=dst_fp,
+        )
+        if metrics is not None:
+            metrics.observe_verify(report)
+        return report
+    diff_count, diffs = byte_diff(source, destination, max_diffs=max_diffs)
+    report = VerifyReport(
+        level=3,
+        match=diff_count == 0,
+        source_count=source_count,
+        destination_count=destination_count,
+        source_fingerprint=src_fp,
+        destination_fingerprint=dst_fp,
+        diff_count=diff_count,
+        diffs=diffs,
+    )
+    if metrics is not None:
+        metrics.observe_verify(report)
+    return report

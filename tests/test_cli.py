@@ -26,6 +26,7 @@ class TestParser:
             "compare",
             "crashtest",
             "replay",
+            "migrate",
             "serve",
             "stats",
             "bench",
