@@ -196,6 +196,32 @@ class BenchContext:
         return self.trace_pair[1].records
 
     @property
+    def beam_peer_node(self):
+        """A bare full node synced to the beam pivot (the serving peer).
+
+        Built once per context; the beamsync benches re-sync from it on
+        every timed run, so peer construction stays out of the loop.
+        """
+
+        def build():
+            from repro.gethdb.database import DBConfig
+            from repro.sync.driver import FullSyncDriver, SyncConfig
+            from repro.workload.generator import WorkloadGenerator
+
+            driver = FullSyncDriver(
+                SyncConfig(
+                    db=DBConfig.bare_trace_config(),
+                    warmup_blocks=self.profile.warmup_blocks,
+                ),
+                WorkloadGenerator(self.workload_config),
+                name="bench-beam-peer",
+            )
+            driver.run(0)
+            return driver
+
+        return self._cached("beam_peer_node", build)
+
+    @property
     def columnar_trace(self):
         def build():
             from repro.core.columnar import ColumnarTrace

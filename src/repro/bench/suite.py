@@ -603,3 +603,46 @@ def migrate_cutover_verified(ctx: BenchContext) -> Workload:
         return report.cutover_pause_s
 
     return Workload(run=run, ops=1, check=lambda pause: _expect_at_least(pause, 0.0))
+
+
+# ---------------------------------------------------------------------------
+# beam sync
+# ---------------------------------------------------------------------------
+
+
+def _beamsync_workload(ctx: BenchContext, profiles: list[str]) -> Workload:
+    """Beam-sync a block window from simulated peers over a cached pivot.
+
+    The serving peer is built once per context; each timed run rebuilds
+    the peer wrappers and the beam node, so what's measured is the
+    fetch/heal/execute path itself (the peer network runs in virtual
+    time — no real sleeps inflate the numbers).
+    """
+    from repro.peers import SchedulerConfig, build_peer_network
+    from repro.sync.beamsync import BeamSyncConfig, BeamSyncDriver
+
+    peer_node = ctx.beam_peer_node
+    beam_blocks = max(2, ctx.profile.blocks // 5)
+
+    def run() -> int:
+        peers = build_peer_network(peer_node, profiles, seed=7)
+        driver = BeamSyncDriver(
+            workload_config=ctx.workload_config,
+            beam_config=BeamSyncConfig(scheduler=SchedulerConfig(max_attempts=12)),
+        )
+        result = driver.sync_from(peers, beam_blocks=beam_blocks)
+        return result.nodes_fetched
+
+    return Workload(run=run, check=lambda fetched: _expect_at_least(fetched, 1))
+
+
+@benchmark(group="beamsync")
+def beamsync_healthy(ctx: BenchContext) -> Workload:
+    """Beam sync from three healthy peers (the fast-path baseline)."""
+    return _beamsync_workload(ctx, ["healthy", "healthy", "healthy"])
+
+
+@benchmark(group="beamsync")
+def beamsync_degraded(ctx: BenchContext) -> Workload:
+    """Beam sync through a degraded network: one slow, one dropping peer."""
+    return _beamsync_workload(ctx, ["healthy", "slow", "dropping"])

@@ -5,6 +5,7 @@ Mirrors the paper artifact's script surface as one CLI::
     python -m repro findings  [--blocks N] [--json OUT]
     python -m repro tables    [--blocks N]
     python -m repro sync      --mode cache|bare --out TRACE.bin
+    python -m repro beamsync  [--profiles healthy,slow,dropping] [--compare-full]
     python -m repro analyze   TRACE.bin [--correlate read|update] [--no-cache]
     python -m repro cache     show|clear [--cache-dir DIR]
     python -m repro export    --outdir DIR [--blocks N]
@@ -14,6 +15,12 @@ Mirrors the paper artifact's script surface as one CLI::
     python -m repro serve     NAME=TRACE.bin... [--port P] [--workers N]
     python -m repro stats     METRICS.json... [--format prom|json]
     python -m repro bench     run|compare|report ...
+
+``beamsync`` beam-syncs from a simulated multi-peer network: execution
+starts at a pivot with an empty state store, pauses on every missing
+trie node or bytecode, fetches it from seeded latency/failure-modelled
+peers, and resumes — ``--compare-full`` prints the class-mix and
+read-correlation contrast against a full-sync trace of the same chain.
 
 ``sync`` collects a trace to disk; ``analyze`` re-reads any trace file
 (ours or one converted from the artifact's format) and prints the
@@ -186,6 +193,172 @@ def cmd_sync(args: argparse.Namespace) -> int:
     )
     _write_metrics(args)
     return 0
+
+
+def _parse_peer_rule(spec: str, slow: bool):
+    """Parse ``PEER:AT[:REPEAT[:FACTOR]]`` into a FaultRule."""
+    from repro.faults.plan import FaultKind, FaultRule
+
+    parts = spec.split(":")
+    if len(parts) < 2 or len(parts) > (4 if slow else 3):
+        raise ValueError(f"bad peer rule {spec!r} (want PEER:AT[:REPEAT[:FACTOR]])")
+    peer = parts[0] or "*"
+    at_count = int(parts[1])
+    repeat = int(parts[2]) if len(parts) > 2 else 1
+    kind = FaultKind.PEER_SLOW if slow else FaultKind.PEER_DROP
+    extra = {}
+    if slow and len(parts) > 3:
+        extra["slow_factor"] = float(parts[3])
+    return FaultRule(kind, peer=peer, at_count=at_count, repeat=repeat, **extra)
+
+
+def _read_correlation_lines(name: str, records) -> list[str]:
+    from repro.core.correlation import (
+        CorrelationAnalyzer,
+        CorrelationConfig,
+        format_class_pair,
+    )
+
+    analyzer = CorrelationAnalyzer(CorrelationConfig(op=OpType.READ))
+    analyzer.consume(records)
+    results = analyzer.compute()
+    top = results[0].top_pairs(3, cross_class=True)
+    lines = [f"  {name}:"]
+    if not top:
+        lines.append("    (no correlated read pairs)")
+    for pair, count in top:
+        lines.append(f"    {format_class_pair(pair)}: {count:,}")
+    return lines
+
+
+def cmd_beamsync(args: argparse.Namespace) -> int:
+    from repro.core.compare import compare_traces
+    from repro.faults.plan import FaultPlan
+    from repro.peers import PEER_PROFILES, SchedulerConfig, build_peer_network
+    from repro.sync.beamsync import BeamSyncConfig, BeamSyncDriver
+
+    profiles = [name.strip() for name in args.profiles.split(",") if name.strip()]
+    if not profiles:
+        print("beamsync: --profiles needs at least one profile", file=sys.stderr)
+        return 2
+    unknown = sorted(set(profiles) - set(PEER_PROFILES))
+    if unknown:
+        print(
+            f"beamsync: unknown peer profiles {', '.join(unknown)}; "
+            f"choose from {', '.join(sorted(PEER_PROFILES))}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.blocks < 1 or args.warmup < 1:
+        print("beamsync: --blocks and --warmup must be >= 1", file=sys.stderr)
+        return 2
+
+    fault_plan = None
+    try:
+        rules = [_parse_peer_rule(spec, slow=False) for spec in args.peer_drop]
+        rules += [_parse_peer_rule(spec, slow=True) for spec in args.peer_slow]
+    except ValueError as exc:
+        print(f"beamsync: {exc}", file=sys.stderr)
+        return 2
+    if rules:
+        fault_plan = FaultPlan(rules, seed=args.seed)
+        fault_plan.validate()
+
+    workload = _workload_from_args(args)
+
+    # The serving peer is a full node synced past the pivot; the beam
+    # node joins at the pivot (= the peer's head after warmup blocks).
+    print(
+        f"Full-syncing the serving peer to the pivot (block {args.warmup})...",
+        file=sys.stderr,
+    )
+    start = time.time()
+    peer_node = FullSyncDriver(
+        SyncConfig(db=DBConfig.bare_trace_config(), warmup_blocks=args.warmup),
+        WorkloadGenerator(workload),
+        name="beam-peer",
+    )
+    peer_node.run(0)
+    peers = build_peer_network(peer_node, profiles, seed=args.peer_seed)
+    print(
+        f"  peer ready in {time.time() - start:.1f}s; network: "
+        + ", ".join(peer.peer_id for peer in peers),
+        file=sys.stderr,
+    )
+
+    beam_config = BeamSyncConfig(
+        scheduler=SchedulerConfig(
+            timeout_s=args.timeout,
+            max_attempts=args.max_attempts,
+            per_peer_outstanding=args.outstanding,
+        ),
+        prefetch=not args.no_prefetch,
+    )
+    driver = BeamSyncDriver(
+        workload_config=workload, beam_config=beam_config, fault_plan=fault_plan
+    )
+    print(f"Beam-syncing {args.blocks} blocks from the pivot...", file=sys.stderr)
+    start = time.time()
+    result = driver.sync_from(peers, beam_blocks=args.blocks)
+    elapsed = time.time() - start
+
+    print(
+        f"BeamSync: pivot block {result.pivot_number}, executed "
+        f"{result.blocks_processed} blocks in {elapsed:.1f}s "
+        f"({result.simulated_seconds:.2f}s simulated network time)"
+    )
+    print(f"  state root   {result.state_root.hex()}")
+    print(
+        f"  healed       {result.nodes_fetched:,} nodes fetched "
+        f"({result.healed_account_nodes:,} account, "
+        f"{result.healed_storage_nodes:,} storage, "
+        f"{result.healed_codes:,} bytecode); "
+        f"{result.pauses:,} execution pauses"
+    )
+    print(
+        f"  network      {result.retries:,} retries, "
+        f"{result.demotions:,} peer demotions; "
+        f"store holds {result.total_store_pairs:,} pairs"
+    )
+
+    if args.out is not None:
+        count = write_trace_v2(args.out, result.records, chunk_size=args.chunk_size)
+        print(
+            f"wrote {count:,} records to {args.out} "
+            f"({Path(args.out).stat().st_size:,} bytes)"
+        )
+
+    exit_code = 0
+    if args.compare_full:
+        print("Running the full-sync reference over the same chain...", file=sys.stderr)
+        reference = FullSyncDriver(
+            SyncConfig(db=DBConfig.bare_trace_config(), warmup_blocks=args.warmup),
+            WorkloadGenerator(workload),
+            name="full-ref",
+        )
+        full_result = reference.run(args.blocks)
+        full_root = reference.state._account_trie.root_hash()  # noqa: SLF001
+        roots_match = result.state_root == full_root
+        print()
+        print(compare_traces(result.records, full_result.records, "BeamSync", "FullSync").render())
+        print()
+        print("Top cross-class read correlations (distance 0):")
+        for line in _read_correlation_lines("BeamSync", result.records):
+            print(line)
+        for line in _read_correlation_lines("FullSync", full_result.records):
+            print(line)
+        print()
+        if roots_match:
+            print(f"state roots MATCH ({result.state_root.hex()[:16]}...)")
+        else:
+            print(
+                f"state roots DIFFER: beam {result.state_root.hex()} "
+                f"!= full {full_root.hex()}"
+            )
+            exit_code = 1
+
+    _write_metrics(args)
+    return exit_code
 
 
 def _cache_from_args(args: argparse.Namespace):
@@ -819,6 +992,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_metrics_out_arg(p_sync)
     p_sync.set_defaults(func=cmd_sync)
+
+    p_beam = subparsers.add_parser(
+        "beamsync",
+        help="beam-sync from simulated peers, healing missing state on demand",
+    )
+    _add_workload_args(p_beam)
+    p_beam.add_argument(
+        "--profiles",
+        default="healthy,healthy,healthy",
+        help="comma-separated peer profiles "
+        "(healthy, slow, dropping, stale, flaky); one peer per entry",
+    )
+    p_beam.add_argument(
+        "--peer-seed", type=int, default=7, help="seed for peer latency/failure draws"
+    )
+    p_beam.add_argument(
+        "--timeout", type=float, default=0.25, help="per-request deadline (virtual s)"
+    )
+    p_beam.add_argument(
+        "--max-attempts", type=int, default=10, help="tries per request before giving up"
+    )
+    p_beam.add_argument(
+        "--outstanding", type=int, default=4, help="per-peer outstanding-request limit"
+    )
+    p_beam.add_argument(
+        "--no-prefetch",
+        action="store_true",
+        help="disable block prefetch (every miss pauses execution)",
+    )
+    p_beam.add_argument(
+        "--peer-drop",
+        action="append",
+        default=[],
+        metavar="PEER:AT[:REPEAT]",
+        help="inject PEER_DROP faults (peer id or *, 1-based request count)",
+    )
+    p_beam.add_argument(
+        "--peer-slow",
+        action="append",
+        default=[],
+        metavar="PEER:AT[:REPEAT[:FACTOR]]",
+        help="inject PEER_SLOW faults (latency multiplied by FACTOR)",
+    )
+    p_beam.add_argument(
+        "--compare-full",
+        action="store_true",
+        help="run a full-sync reference over the same chain and print the "
+        "class-mix + read-correlation comparison (exit 1 on root mismatch)",
+    )
+    p_beam.add_argument("--out", type=Path, default=None, help="trace output path (v2)")
+    p_beam.add_argument(
+        "--chunk-size",
+        type=int,
+        default=DEFAULT_CHUNK_SIZE,
+        help="records per columnar chunk (v2 format)",
+    )
+    _add_metrics_out_arg(p_beam)
+    p_beam.set_defaults(func=cmd_beamsync)
 
     p_analyze = subparsers.add_parser("analyze", help="analyze a saved trace file")
     p_analyze.add_argument("trace", type=Path)

@@ -199,6 +199,20 @@ class ImageFormatError(MigrationError):
     """A serialized store image could not be parsed or failed its CRC."""
 
 
+class PeerNetworkError(ReproError):
+    """The simulated peer network could not serve a request.
+
+    Raised when the request scheduler exhausts its retry budget (every
+    candidate peer dropped, timed out, or answered with a blob failing
+    hash verification) or when a snap-sync range download is severed by
+    a peer-drop fault rule.
+    """
+
+
+class BeamSyncError(ReproError):
+    """Beam sync was misconfigured or failed to converge."""
+
+
 class FaultInjectionError(ReproError):
     """Base class for the deterministic fault-injection layer."""
 

@@ -27,7 +27,14 @@ from repro.faults.harness import (
     settle,
     sweep_points,
 )
-from repro.faults.plan import FaultEvent, FaultKind, FaultPlan, FaultRule
+from repro.faults.plan import (
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    LatencyModel,
+    seeded_stream,
+)
 from repro.faults.store import FaultInjectingStore
 
 __all__ = [
@@ -41,6 +48,8 @@ __all__ = [
     "FaultKind",
     "FaultPlan",
     "FaultRule",
+    "LatencyModel",
+    "seeded_stream",
     "compare_digests",
     "consistency_digest",
     "reference_digest",

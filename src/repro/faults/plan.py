@@ -22,11 +22,49 @@ for harnesses and tests.
 from __future__ import annotations
 
 import enum
+import hashlib
+import random
 import time
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.errors import CrashPoint, FaultInjectionError, SimulatedCrash, TransientIOError
+
+
+def seeded_stream(seed: int, *labels: object) -> random.Random:
+    """A ``random.Random`` derived from ``seed`` and a label path.
+
+    Hashing the labels gives every consumer (each fault rule, each
+    simulated peer, each latency model) its own independent but fully
+    reproducible stream: the same ``(seed, labels)`` always yields the
+    same draws, and adding a consumer never perturbs any other stream.
+    """
+    digest = hashlib.sha256(
+        b"\x00".join([str(seed).encode()] + [str(label).encode() for label in labels])
+    ).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """A seeded base-plus-jitter latency distribution.
+
+    Samples are ``base_s`` plus a uniform draw in ``[0, jitter_s)``
+    from the supplied stream, all scaled by ``scale``.  Shared by
+    :class:`~repro.faults.store.FaultInjectingStore` latency rules and
+    the simulated peer network so neither duplicates seeding logic.
+    """
+
+    base_s: float = 0.01
+    jitter_s: float = 0.005
+    scale: float = 1.0
+
+    def sample(self, rng: random.Random) -> float:
+        jitter = rng.uniform(0.0, self.jitter_s) if self.jitter_s > 0 else 0.0
+        return max(0.0, (self.base_s + jitter) * self.scale)
+
+    def scaled(self, factor: float) -> "LatencyModel":
+        return LatencyModel(self.base_s, self.jitter_s, self.scale * factor)
 
 
 class FaultKind(enum.Enum):
@@ -41,6 +79,10 @@ class FaultKind(enum.Enum):
     IO_ERROR = "io-error"
     #: sleep ``delay_s`` inside one store operation
     LATENCY = "latency"
+    #: a simulated peer drops one request (no reply at all)
+    PEER_DROP = "peer-drop"
+    #: a simulated peer serves one request slowly (scaled latency)
+    PEER_SLOW = "peer-slow"
 
 
 @dataclass
@@ -58,14 +100,25 @@ class FaultRule:
     kind: FaultKind
     point: Optional[CrashPoint] = None
     op: Optional[str] = None
+    #: peer id targeted by PEER_DROP / PEER_SLOW rules (``"*"`` = any)
+    peer: Optional[str] = None
     at_count: int = 1
     min_block: int = 0
-    #: latency injected by LATENCY rules, seconds
+    #: latency injected by LATENCY rules, seconds (base of the jitter draw)
     delay_s: float = 0.0
+    #: uniform jitter added on top of ``delay_s``, drawn per firing from
+    #: the rule's private seeded stream
+    jitter_s: float = 0.0
+    #: latency multiplier applied by PEER_SLOW rules
+    slow_factor: float = 4.0
+    #: how many matching events the rule stays live for (one-shot by
+    #: default; peer rules often want a burst)
+    repeat: int = 1
     #: fraction of the batch applied before a TORN_COMMIT crash
     tear_fraction: float = 0.5
     seen: int = field(default=0, compare=False)
     fired: bool = field(default=False, compare=False)
+    triggered: int = field(default=0, compare=False)
 
     def matches_point(self, point: CrashPoint, block: int) -> bool:
         return (
@@ -84,11 +137,26 @@ class FaultRule:
             and self.kind in (FaultKind.KILL, FaultKind.IO_ERROR, FaultKind.LATENCY)
         )
 
+    def matches_peer(self, peer: str, block: int) -> bool:
+        return (
+            not self.fired
+            and self.peer is not None
+            and (self.peer == "*" or self.peer == peer)
+            and block >= self.min_block
+            and self.kind in (FaultKind.PEER_DROP, FaultKind.PEER_SLOW)
+        )
+
     def tick(self) -> bool:
-        """Count one matching event; return True when the rule fires."""
+        """Count one matching event; return True when the rule fires.
+
+        A rule fires on matching events ``at_count`` through
+        ``at_count + repeat - 1`` (both 1-based), then retires.
+        """
         self.seen += 1
         if self.seen >= self.at_count:
-            self.fired = True
+            self.triggered += 1
+            if self.triggered >= self.repeat:
+                self.fired = True
             return True
         return False
 
@@ -111,6 +179,18 @@ class FaultPlan:
         self.seed = seed
         self.armed = True
         self.events: list[FaultEvent] = []
+        self._streams: dict[int, random.Random] = {}
+
+    def rule_stream(self, rule: FaultRule) -> random.Random:
+        """The private seeded RNG stream for one rule's draws.
+
+        Keyed by the rule's position in the plan so two otherwise-equal
+        rules still draw independently.
+        """
+        index = next(i for i, r in enumerate(self.rules) if r is rule)
+        if index not in self._streams:
+            self._streams[index] = seeded_stream(self.seed, "rule", index)
+        return self._streams[index]
 
     # -- construction helpers -------------------------------------------------
 
@@ -203,8 +283,31 @@ class FaultPlan:
                 )
             if rule.kind is FaultKind.KILL:
                 raise SimulatedCrash(CrashPoint.WRITE_NOW, block, detail=f"store.{op}")
-            if rule.kind is FaultKind.LATENCY and rule.delay_s > 0:
-                time.sleep(rule.delay_s)
+            if rule.kind is FaultKind.LATENCY and (rule.delay_s > 0 or rule.jitter_s > 0):
+                model = LatencyModel(base_s=rule.delay_s, jitter_s=rule.jitter_s)
+                time.sleep(model.sample(self.rule_stream(rule)))
+
+    # -- peer-request evaluation ----------------------------------------------
+
+    def on_peer_request(self, peer: str, block: int = 0) -> Optional[FaultRule]:
+        """Evaluate peer rules for one request to ``peer``.
+
+        Returns the rule that fired (PEER_DROP or PEER_SLOW) so the
+        caller — the simulated peer network or the snap-sync range
+        fetcher — can apply the behavior itself; unlike store ops, peer
+        faults are modeled in virtual time, so nothing sleeps or raises
+        here.
+        """
+        if not self.armed:
+            return None
+        for rule in self.rules:
+            if not rule.matches_peer(peer, block):
+                continue
+            if not rule.tick():
+                continue
+            self.events.append(FaultEvent(rule.kind, f"peer.{peer}", block))
+            return rule
+        return None
 
     def validate(self) -> None:
         """Reject rules that can never fire (bad targets)."""
@@ -212,7 +315,14 @@ class FaultPlan:
             if rule.kind in (FaultKind.KILL, FaultKind.TORN_COMMIT):
                 if rule.point is None and rule.op is None:
                     raise FaultInjectionError(f"rule targets neither point nor op: {rule}")
+            elif rule.kind in (FaultKind.PEER_DROP, FaultKind.PEER_SLOW):
+                if rule.peer is None:
+                    raise FaultInjectionError(
+                        f"{rule.kind.value} rule needs a peer target: {rule}"
+                    )
             elif rule.op is None:
                 raise FaultInjectionError(f"{rule.kind.value} rule needs an op target: {rule}")
             if rule.at_count < 1:
                 raise FaultInjectionError(f"at_count must be >= 1: {rule}")
+            if rule.repeat < 1:
+                raise FaultInjectionError(f"repeat must be >= 1: {rule}")

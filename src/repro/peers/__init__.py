@@ -1,0 +1,50 @@
+"""Simulated peer network for beam sync.
+
+The subsystem has four parts:
+
+* :mod:`repro.peers.messages` — request/reply types
+  (:class:`NodeRequest`, :class:`PeerReply`): account-trie nodes,
+  storage-trie nodes, and bytecode, each carrying the hash the answer
+  must verify against;
+* :mod:`repro.peers.simulated` — :class:`SimulatedPeer`: a reference
+  full node wrapped in a seeded latency/failure profile
+  (:class:`PeerBehavior`; drop, timeout, stale-answer, slow-peer),
+  overridable per-request by fault-plan PEER_DROP/PEER_SLOW rules;
+* :mod:`repro.peers.scoreboard` — :class:`PeerScoreboard`: per-peer
+  service history, scoring, and consecutive-failure demotion with a
+  virtual-time cooldown;
+* :mod:`repro.peers.scheduler` — :class:`RequestScheduler`: the
+  virtual-clock fetch engine with per-peer outstanding-request limits,
+  deadlines, hash verification, and exponential-backoff retries.
+
+:mod:`repro.peers.metrics` declares the ``repro_peer_*`` /
+``repro_beam_*`` families, mergeable by ``repro stats``.
+"""
+
+from repro.peers.messages import NodeRequest, PeerReply, RequestKind
+from repro.peers.metrics import PeerNetMetrics
+from repro.peers.scheduler import RequestScheduler, SchedulerConfig
+from repro.peers.scoreboard import PeerScoreboard, PeerStats
+from repro.peers.simulated import (
+    PEER_PROFILES,
+    PeerBehavior,
+    SimulatedPeer,
+    behavior_from_profile,
+    build_peer_network,
+)
+
+__all__ = [
+    "PEER_PROFILES",
+    "NodeRequest",
+    "PeerBehavior",
+    "PeerNetMetrics",
+    "PeerReply",
+    "PeerScoreboard",
+    "PeerStats",
+    "RequestKind",
+    "RequestScheduler",
+    "SchedulerConfig",
+    "SimulatedPeer",
+    "behavior_from_profile",
+    "build_peer_network",
+]

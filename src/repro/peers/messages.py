@@ -1,0 +1,71 @@
+"""Request/reply message types for the simulated peer network.
+
+Beam sync asks peers for exactly three things — the same trio trinity's
+``CollectMissingAccount`` / ``CollectMissingBytecode`` /
+``CollectMissingStorage`` events carry: an account-trie node by path, a
+storage-trie node by ``(owner, path)``, or a contract bytecode blob by
+code hash.  Every request carries the hash the answer must verify
+against (taken from the parent node or the account record), so a peer
+can never poison the local store: a stale or corrupt reply simply fails
+verification and is retried elsewhere.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.trie.nibbles import Nibbles
+
+
+class RequestKind(enum.Enum):
+    """What a :class:`NodeRequest` is asking for."""
+
+    ACCOUNT_NODE = "account-node"
+    STORAGE_NODE = "storage-node"
+    BYTECODE = "bytecode"
+
+
+@dataclass(frozen=True)
+class NodeRequest:
+    """One state-fetch request.
+
+    ``expected_hash`` is the sha3-256 the reply blob must hash to —
+    the child hash stored in the parent trie node, the pivot state root
+    (for the account-trie root), the account's ``storage_root`` (for a
+    storage-trie root), or the account's ``code_hash`` (for bytecode).
+    """
+
+    kind: RequestKind
+    expected_hash: bytes
+    #: absolute nibble path, for trie-node requests
+    path: Nibbles = ()
+    #: owning account hash, for storage-node requests
+    owner: bytes = b""
+    #: code hash, for bytecode requests (equals ``expected_hash``)
+    code_hash: bytes = b""
+
+    def describe(self) -> str:
+        if self.kind is RequestKind.BYTECODE:
+            return f"bytecode {self.code_hash[:4].hex()}"
+        owner = f" of {self.owner[:4].hex()}" if self.owner else ""
+        return f"{self.kind.value} at {''.join(f'{n:x}' for n in self.path)!r}{owner}"
+
+
+@dataclass(frozen=True)
+class PeerReply:
+    """One peer's answer to a :class:`NodeRequest`.
+
+    ``blob is None`` models a dropped request (no bytes ever arrive);
+    the scheduler converts it into a timeout at the request deadline.
+    A ``stale`` reply carries deterministically corrupted bytes that
+    fail hash verification — the model for a peer answering from an
+    outdated or wrong state.
+    """
+
+    blob: Optional[bytes]
+    #: peer-side service latency in virtual seconds
+    latency_s: float
+    #: peer-side behavior label: "ok", "drop", "timeout", "stale", "missing"
+    behavior: str = "ok"

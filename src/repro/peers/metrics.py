@@ -1,0 +1,91 @@
+"""Peer-network and beam-sync metric families.
+
+Same contract as every other subsystem's metrics module: fixed names,
+fixed labels, fixed exponential buckets, so snapshots from any beam run
+merge associatively under ``repro stats`` with snapshots from any other
+subsystem or process.
+"""
+
+from __future__ import annotations
+
+from repro.obs import MetricsRegistry, exponential_buckets
+
+#: Peer service latency bounds: 100 µs .. ~1677 s in powers of two —
+#: wide enough for healthy draws, slow-peer scaling, and backoff waits.
+PEER_LATENCY_BUCKETS = exponential_buckets(1e-4, 2.0, 24)
+
+
+class PeerNetMetrics:
+    """Cached children for the `repro_peer_*` / `repro_beam_*` families."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._requests = registry.counter(
+            "repro_peer_requests_total",
+            "peer requests by final disposition",
+            ("peer", "kind", "outcome"),
+        )
+        self._latency = registry.histogram(
+            "repro_peer_latency_seconds",
+            "peer-side service latency of successful requests (virtual time)",
+            ("peer",),
+            buckets=PEER_LATENCY_BUCKETS,
+        )
+        self._score = registry.gauge(
+            "repro_peer_score", "scoreboard score at last update", ("peer",)
+        )
+        self._demotions = registry.counter(
+            "repro_peer_demotions_total", "scoreboard demotions", ("peer",)
+        )
+        self.retries = registry.counter(
+            "repro_beam_retries_total", "requests re-dispatched after a failure"
+        )
+        self._pauses = registry.counter(
+            "repro_beam_pauses_total",
+            "execution pauses on missing state, by missing-state kind",
+            ("kind",),
+        )
+        self._healed = registry.counter(
+            "repro_beam_nodes_healed_total",
+            "nodes fetched and persisted into the local store",
+            ("trie",),
+        )
+        self.fetch_wait = registry.histogram(
+            "repro_beam_fetch_wait_seconds",
+            "virtual time execution spent paused per fetch round",
+            buckets=PEER_LATENCY_BUCKETS,
+        )
+        self.blocks = registry.counter(
+            "repro_beam_blocks_total", "blocks imported by beam sync"
+        )
+        self._request_children: dict[tuple[str, str, str], object] = {}
+        self._latency_children: dict[str, object] = {}
+
+    # -- hot-path helpers -----------------------------------------------------
+
+    def count_request(self, peer: str, kind: str, outcome: str) -> None:
+        key = (peer, kind, outcome)
+        child = self._request_children.get(key)
+        if child is None:
+            child = self._requests.labels(peer=peer, kind=kind, outcome=outcome)
+            self._request_children[key] = child
+        child.inc()
+
+    def observe_latency(self, peer: str, latency_s: float) -> None:
+        child = self._latency_children.get(peer)
+        if child is None:
+            child = self._latency.labels(peer=peer)
+            self._latency_children[peer] = child
+        child.observe(latency_s)
+
+    def set_score(self, peer: str, score: float) -> None:
+        self._score.labels(peer=peer).set(score)
+
+    def count_demotion(self, peer: str) -> None:
+        self._demotions.labels(peer=peer).inc()
+
+    def count_pause(self, kind: str) -> None:
+        self._pauses.labels(kind=kind).inc()
+
+    def count_healed(self, trie: str) -> None:
+        self._healed.labels(trie=trie).inc()

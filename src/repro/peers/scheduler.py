@@ -1,0 +1,226 @@
+"""Virtual-clock request scheduler over the simulated peer set.
+
+The scheduler runs the whole fetch protocol in *virtual time*: peers
+return a latency per reply, the scheduler keeps an event queue keyed by
+completion time, and ``self.now`` advances from event to event — no real
+sleeps, so a soak with thousands of requests and multi-second simulated
+backoffs finishes in milliseconds and is bit-for-bit reproducible.
+
+Per request the scheduler:
+
+1. picks the best-scoring peer with spare outstanding capacity
+   (per-peer limits model real sync clients' bounded request windows);
+2. applies the deadline: drops and over-deadline replies fail at
+   ``timeout_s``, not at their (possibly infinite) arrival time;
+3. verifies every reply against the request's expected sha3-256, so
+   stale answers are detected and charged to the peer;
+4. on failure, retries elsewhere after exponential backoff, up to
+   ``max_attempts``; the scoreboard demotes peers that fail
+   consecutively, taking them out of selection for a cooldown.
+
+``fetch_many`` overlaps many requests — the wave-parallel path the beam
+driver uses to heal all paths a block touches concurrently.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import PeerNetworkError
+from repro.faults.plan import FaultPlan
+from repro.peers.messages import NodeRequest
+from repro.peers.metrics import PeerNetMetrics
+from repro.peers.scoreboard import PeerScoreboard
+from repro.peers.simulated import SimulatedPeer
+from repro.trie.trie import node_hash
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Tunables for the fetch protocol (all times in virtual seconds)."""
+
+    timeout_s: float = 0.25
+    #: total tries per request, first dispatch included
+    max_attempts: int = 10
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    per_peer_outstanding: int = 4
+    demote_after: int = 3
+    cooldown_s: float = 2.0
+
+
+class RequestScheduler:
+    """Deterministic multi-peer fetcher with retry, backoff, and scoring."""
+
+    def __init__(
+        self,
+        peers: list[SimulatedPeer],
+        config: Optional[SchedulerConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        metrics: Optional[PeerNetMetrics] = None,
+    ) -> None:
+        if not peers:
+            raise PeerNetworkError("scheduler needs at least one peer")
+        self.config = config if config is not None else SchedulerConfig()
+        self.peers = {peer.peer_id: peer for peer in peers}
+        if len(self.peers) != len(peers):
+            raise PeerNetworkError("duplicate peer ids in peer set")
+        self.scoreboard = PeerScoreboard(
+            demote_after=self.config.demote_after,
+            cooldown_s=self.config.cooldown_s,
+        )
+        for peer_id in self.peers:
+            self.scoreboard.register(peer_id)
+        self.fault_plan = fault_plan
+        self.metrics = metrics
+        #: virtual clock, monotonic across fetches
+        self.now = 0.0
+        #: block height reported to fault-plan peer rules
+        self.block = 0
+        #: requests re-dispatched after a failure (lifetime total)
+        self.retries = 0
+        self.fetched = 0
+        self._seq = 0
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # -- fetching -------------------------------------------------------------
+
+    def fetch(self, request: NodeRequest) -> bytes:
+        """Fetch one blob; raises PeerNetworkError when retries exhaust."""
+        return self.fetch_many([request])[request]
+
+    def fetch_many(self, requests: list[NodeRequest]) -> dict[NodeRequest, bytes]:
+        """Fetch a wave of blobs concurrently in virtual time.
+
+        Duplicate requests are coalesced.  Returns a dict keyed by
+        request; raises :class:`~repro.errors.PeerNetworkError` if any
+        request exhausts its attempts.
+        """
+        cfg = self.config
+        results: dict[NodeRequest, bytes] = {}
+        # (not_before, seq, request, attempt)
+        pending: list[tuple[float, int, NodeRequest, int]] = [
+            (self.now, self._next_seq(), request, 1)
+            for request in dict.fromkeys(requests)
+        ]
+        heapq.heapify(pending)
+        # (completion, seq, peer_id, request, attempt, reply, timed_out)
+        in_flight: list = []
+        outstanding = {peer_id: 0 for peer_id in self.peers}
+
+        while pending or in_flight:
+            # Dispatch every ready request some peer has capacity for.
+            while pending and pending[0][0] <= self.now:
+                peer_id = self.scoreboard.select(
+                    self.now, outstanding, cfg.per_peer_outstanding
+                )
+                if peer_id is None:
+                    break
+                _, _, request, attempt = heapq.heappop(pending)
+                reply = self.peers[peer_id].serve(
+                    request, cfg.timeout_s, block=self.block, fault_plan=self.fault_plan
+                )
+                arrival = self.now + reply.latency_s
+                deadline = self.now + cfg.timeout_s
+                undeliverable = reply.blob is None and reply.behavior in (
+                    "drop",
+                    "timeout",
+                )
+                timed_out = undeliverable or arrival > deadline
+                completion = deadline if timed_out else arrival
+                heapq.heappush(
+                    in_flight,
+                    (
+                        completion,
+                        self._next_seq(),
+                        peer_id,
+                        request,
+                        attempt,
+                        reply,
+                        timed_out,
+                    ),
+                )
+                outstanding[peer_id] += 1
+
+            if in_flight:
+                completion, _, peer_id, request, attempt, reply, timed_out = (
+                    heapq.heappop(in_flight)
+                )
+                self.now = max(self.now, completion)
+                outstanding[peer_id] -= 1
+                self._settle(
+                    results, pending, peer_id, request, attempt, reply, timed_out
+                )
+                continue
+
+            # Nothing in flight: advance the clock to the next backoff
+            # expiry or demotion readmission, whichever comes first.
+            wakeups = []
+            if pending and pending[0][0] > self.now:
+                wakeups.append(pending[0][0])
+            readmission = self.scoreboard.next_readmission(self.now)
+            if readmission is not None:
+                wakeups.append(readmission)
+            if not wakeups:
+                raise PeerNetworkError(
+                    "scheduler stalled: requests pending but no peer available"
+                )
+            self.now = min(wakeups)
+
+        return results
+
+    def _settle(
+        self,
+        results: dict[NodeRequest, bytes],
+        pending: list,
+        peer_id: str,
+        request: NodeRequest,
+        attempt: int,
+        reply,
+        timed_out: bool,
+    ) -> None:
+        """Classify one completed request; record, retry, or raise."""
+        cfg = self.config
+        kind = request.kind.value
+        stale = False
+        if not timed_out and reply.blob is not None:
+            if node_hash(reply.blob) == request.expected_hash:
+                results[request] = reply.blob
+                self.fetched += 1
+                self.scoreboard.record_ok(peer_id, reply.latency_s)
+                if self.metrics is not None:
+                    self.metrics.count_request(peer_id, kind, "ok")
+                    self.metrics.observe_latency(peer_id, reply.latency_s)
+                    self.metrics.set_score(peer_id, self.scoreboard.score(peer_id))
+                return
+            stale = True
+
+        if stale:
+            outcome = "stale"
+        elif timed_out and reply.behavior not in ("drop", "timeout"):
+            outcome = "timeout"  # honest reply that missed the deadline
+        else:
+            outcome = reply.behavior
+        demoted = self.scoreboard.record_failure(peer_id, self.now, stale=stale)
+        if self.metrics is not None:
+            self.metrics.count_request(peer_id, kind, outcome)
+            self.metrics.set_score(peer_id, self.scoreboard.score(peer_id))
+            if demoted:
+                self.metrics.count_demotion(peer_id)
+        if attempt >= cfg.max_attempts:
+            raise PeerNetworkError(
+                f"gave up on {request.describe()} after {attempt} attempts "
+                f"(last outcome: {outcome} from {peer_id})"
+            )
+        backoff = cfg.backoff_base_s * cfg.backoff_factor ** (attempt - 1)
+        self.retries += 1
+        if self.metrics is not None:
+            self.metrics.retries.inc()
+        heapq.heappush(
+            pending, (self.now + backoff, self._next_seq(), request, attempt + 1)
+        )

@@ -1,0 +1,137 @@
+"""Peer scoring, selection, and demotion.
+
+The scoreboard keeps per-peer service statistics (success/failure/stale
+counts, an EWMA of observed latency) and converts them into a scalar
+score the scheduler uses for peer selection.  Peers that fail
+``demote_after`` requests in a row are demoted — removed from the
+candidate set for ``cooldown_s`` of virtual time — then readmitted with
+their consecutive-failure counter cleared, mirroring how real sync
+clients bench misbehaving peers rather than banning them outright.
+
+Everything is deterministic: scores are pure functions of the recorded
+history and ties break on the peer id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class PeerStats:
+    """Mutable service history for one peer."""
+
+    ok: int = 0
+    failures: int = 0
+    stale: int = 0
+    consecutive_failures: int = 0
+    ewma_latency_s: float = 0.0
+    demoted_until: float = field(default=0.0, compare=False)
+    demotions: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.ok + self.failures
+
+
+class PeerScoreboard:
+    """Deterministic peer ranking with failure-driven demotion."""
+
+    def __init__(
+        self,
+        demote_after: int = 3,
+        cooldown_s: float = 2.0,
+        ewma_alpha: float = 0.2,
+    ) -> None:
+        self.demote_after = demote_after
+        self.cooldown_s = cooldown_s
+        self.ewma_alpha = ewma_alpha
+        self._stats: dict[str, PeerStats] = {}
+
+    # -- registration / access ------------------------------------------------
+
+    def register(self, peer_id: str) -> None:
+        self._stats.setdefault(peer_id, PeerStats())
+
+    def stats(self, peer_id: str) -> PeerStats:
+        return self._stats[peer_id]
+
+    def peer_ids(self) -> list[str]:
+        return sorted(self._stats)
+
+    @property
+    def demotions_total(self) -> int:
+        return sum(s.demotions for s in self._stats.values())
+
+    # -- recording ------------------------------------------------------------
+
+    def record_ok(self, peer_id: str, latency_s: float) -> None:
+        stats = self._stats[peer_id]
+        stats.ok += 1
+        stats.consecutive_failures = 0
+        if stats.ewma_latency_s == 0.0:
+            stats.ewma_latency_s = latency_s
+        else:
+            alpha = self.ewma_alpha
+            stats.ewma_latency_s = alpha * latency_s + (1 - alpha) * stats.ewma_latency_s
+
+    def record_failure(self, peer_id: str, now: float, stale: bool = False) -> bool:
+        """Record one failed request; returns True when this demotes the peer."""
+        stats = self._stats[peer_id]
+        stats.failures += 1
+        if stale:
+            stats.stale += 1
+        stats.consecutive_failures += 1
+        if stats.consecutive_failures >= self.demote_after:
+            stats.demoted_until = now + self.cooldown_s
+            stats.consecutive_failures = 0
+            stats.demotions += 1
+            return True
+        return False
+
+    # -- selection ------------------------------------------------------------
+
+    def is_demoted(self, peer_id: str, now: float) -> bool:
+        return now < self._stats[peer_id].demoted_until
+
+    def next_readmission(self, now: float) -> Optional[float]:
+        """Earliest future time a demoted peer comes back, if any."""
+        times = [
+            s.demoted_until for s in self._stats.values() if s.demoted_until > now
+        ]
+        return min(times) if times else None
+
+    def score(self, peer_id: str) -> float:
+        """Higher is better: success ratio discounted by EWMA latency.
+
+        Unproven peers score as if perfectly reliable (optimistic start)
+        so fresh peers get traffic before their history exists.
+        """
+        stats = self._stats[peer_id]
+        ratio = stats.ok / stats.total if stats.total else 1.0
+        return ratio / (1.0 + stats.ewma_latency_s)
+
+    def select(
+        self,
+        now: float,
+        outstanding: dict[str, int],
+        limit: int,
+    ) -> Optional[str]:
+        """Best non-demoted peer with spare outstanding capacity.
+
+        Returns None when every peer is demoted or saturated.  Ties
+        break on peer id so selection is reproducible.
+        """
+        best: Optional[str] = None
+        best_key: Optional[tuple[float, str]] = None
+        for peer_id in sorted(self._stats):
+            if self.is_demoted(peer_id, now):
+                continue
+            if outstanding.get(peer_id, 0) >= limit:
+                continue
+            key = (-self.score(peer_id), peer_id)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = peer_id
+        return best

@@ -1,0 +1,177 @@
+"""Simulated peers serving state requests from a reference node.
+
+A :class:`SimulatedPeer` wraps a fully-synced reference
+:class:`~repro.sync.driver.FullSyncDriver` and answers
+:class:`~repro.peers.messages.NodeRequest`\\ s by untraced peeks into
+the reference database — the stand-in for a remote full node's state.
+
+Every peer owns a :class:`~repro.faults.plan.PeerBehavior`-style profile
+(:class:`PeerBehavior`) plus a private seeded RNG stream, so the same
+``(seed, peer_id)`` always produces the same sequence of latencies,
+drops, timeouts, and stale answers.  Fault-plan rules
+(:attr:`~repro.faults.plan.FaultKind.PEER_DROP` /
+:attr:`~repro.faults.plan.FaultKind.PEER_SLOW`) override the profile
+draw for targeted, schedule-precise failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import BeamSyncError
+from repro.faults.plan import FaultKind, FaultPlan, LatencyModel, seeded_stream
+from repro.gethdb import schema
+from repro.peers.messages import NodeRequest, PeerReply, RequestKind
+
+if TYPE_CHECKING:
+    from repro.sync.driver import FullSyncDriver
+
+
+@dataclass(frozen=True)
+class PeerBehavior:
+    """A peer's steady-state service profile."""
+
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    #: probability a request is silently dropped (no reply)
+    drop_rate: float = 0.0
+    #: probability the reply arrives after the scheduler deadline
+    timeout_rate: float = 0.0
+    #: probability the reply is corrupt (fails hash verification)
+    stale_rate: float = 0.0
+
+
+#: Named behavior profiles for CLI / CI peer construction.  "slow" uses
+#: a scaled latency model (≈6× healthy); "dropping" loses ~1 in 6
+#: requests; "flaky" mixes every failure mode at a low rate.
+PEER_PROFILES: dict[str, PeerBehavior] = {
+    "healthy": PeerBehavior(latency=LatencyModel(base_s=0.02, jitter_s=0.01)),
+    "slow": PeerBehavior(latency=LatencyModel(base_s=0.02, jitter_s=0.01, scale=6.0)),
+    "dropping": PeerBehavior(
+        latency=LatencyModel(base_s=0.02, jitter_s=0.01), drop_rate=0.15
+    ),
+    "stale": PeerBehavior(
+        latency=LatencyModel(base_s=0.02, jitter_s=0.01), stale_rate=0.2
+    ),
+    "flaky": PeerBehavior(
+        latency=LatencyModel(base_s=0.03, jitter_s=0.02),
+        drop_rate=0.05,
+        timeout_rate=0.05,
+        stale_rate=0.05,
+    ),
+}
+
+
+def behavior_from_profile(name: str) -> PeerBehavior:
+    try:
+        return PEER_PROFILES[name]
+    except KeyError:
+        raise BeamSyncError(
+            f"unknown peer profile {name!r}; choose from {sorted(PEER_PROFILES)}"
+        ) from None
+
+
+class SimulatedPeer:
+    """One peer: a reference node plus a failure/latency profile."""
+
+    def __init__(
+        self,
+        peer_id: str,
+        node: "FullSyncDriver",
+        behavior: Optional[PeerBehavior] = None,
+        seed: int = 0,
+    ) -> None:
+        self.peer_id = peer_id
+        self.node = node
+        self.behavior = behavior if behavior is not None else PeerBehavior()
+        self._rng = seeded_stream(seed, "peer", peer_id)
+        self.served = 0
+
+    # -- state lookup ---------------------------------------------------------
+
+    def _lookup(self, request: NodeRequest) -> Optional[bytes]:
+        if request.kind is RequestKind.ACCOUNT_NODE:
+            key = schema.account_trie_node_key(request.path)
+        elif request.kind is RequestKind.STORAGE_NODE:
+            key = schema.storage_trie_node_key(request.owner, request.path)
+        else:
+            key = schema.code_key(request.code_hash)
+        return self.node.db.peek(key)
+
+    # -- service --------------------------------------------------------------
+
+    def serve(
+        self,
+        request: NodeRequest,
+        timeout_s: float,
+        block: int = 0,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> PeerReply:
+        """Answer one request in virtual time.
+
+        ``timeout_s`` is the scheduler's deadline, used to size
+        timeout-mode latencies past it.  The reply's ``latency_s`` is
+        the peer-side service time; the scheduler adds it to its
+        virtual clock.
+        """
+        self.served += 1
+        latency_model = self.behavior.latency
+
+        # A fault-plan rule overrides the profile draw for this request.
+        rule = fault_plan.on_peer_request(self.peer_id, block) if fault_plan else None
+        if rule is not None and rule.kind is FaultKind.PEER_DROP:
+            return PeerReply(blob=None, latency_s=timeout_s, behavior="drop")
+        if rule is not None and rule.kind is FaultKind.PEER_SLOW:
+            latency_model = latency_model.scaled(rule.slow_factor)
+
+        draw = self._rng.random()
+        latency = latency_model.sample(self._rng)
+        if draw < self.behavior.drop_rate:
+            return PeerReply(blob=None, latency_s=timeout_s, behavior="drop")
+        draw -= self.behavior.drop_rate
+        if draw < self.behavior.timeout_rate:
+            return PeerReply(
+                blob=None, latency_s=timeout_s * 1.5, behavior="timeout"
+            )
+        draw -= self.behavior.timeout_rate
+
+        blob = self._lookup(request)
+        if blob is None:
+            # The reference node genuinely lacks this state (e.g. an
+            # empty-state peer): an honest empty answer, delivered as a
+            # verification failure so the scheduler tries elsewhere.
+            return PeerReply(blob=None, latency_s=latency, behavior="missing")
+        if draw < self.behavior.stale_rate:
+            # Deterministically corrupted bytes: the model for a peer
+            # answering from a wrong or outdated state.
+            return PeerReply(
+                blob=bytes([blob[0] ^ 0xFF]) + blob[1:],
+                latency_s=latency,
+                behavior="stale",
+            )
+        return PeerReply(blob=blob, latency_s=latency, behavior="ok")
+
+
+def build_peer_network(
+    node: "FullSyncDriver",
+    profiles: list[str],
+    seed: int = 0,
+) -> list[SimulatedPeer]:
+    """Construct peers over one shared reference node.
+
+    ``profiles`` names one behavior per peer (see :data:`PEER_PROFILES`);
+    peer ids are ``peer-0 .. peer-N`` suffixed with the profile name so
+    metrics and reports read naturally.
+    """
+    peers = []
+    for index, profile in enumerate(profiles):
+        behavior = behavior_from_profile(profile)
+        peers.append(
+            SimulatedPeer(
+                peer_id=f"peer-{index}-{profile}",
+                node=node,
+                behavior=behavior,
+                seed=seed,
+            )
+        )
+    return peers

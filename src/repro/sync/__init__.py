@@ -11,12 +11,24 @@ Running the same workload under :meth:`DBConfig.cache_trace_config` and
 analog pair the paper's analyses compare.
 """
 
+from repro.sync.beamsync import (
+    BeamStateDB,
+    BeamSyncConfig,
+    BeamSyncDriver,
+    BeamSyncResult,
+    MissingStateCollector,
+)
 from repro.sync.driver import FullSyncDriver, SyncConfig, SyncResult, run_trace_pair
 from repro.sync.recovery import RecoveryReport, regenerate_snapshot, resume
 from repro.sync.snapsync import SnapSyncDriver, SnapSyncResult
 
 __all__ = [
+    "BeamStateDB",
+    "BeamSyncConfig",
+    "BeamSyncDriver",
+    "BeamSyncResult",
     "FullSyncDriver",
+    "MissingStateCollector",
     "SyncConfig",
     "SyncResult",
     "run_trace_pair",

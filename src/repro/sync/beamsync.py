@@ -1,0 +1,623 @@
+"""Beam synchronization: execute now, fetch state on demand.
+
+Full sync executes every block against complete local state; snap sync
+bulk-downloads the state first.  Beam sync — trinity's
+``CollectMissingAccount`` / ``CollectMissingBytecode`` /
+``CollectMissingStorage`` protocol — starts executing blocks at a pivot
+against an *empty* local store and treats every missing trie node or
+bytecode blob as a pause point: fetch the blob from peers, verify it
+against the hash its parent asserts, persist it, resume.
+
+The mechanics rest on two properties of the path-addressed trie:
+
+* a traversal only ever requests the root (anchored by the pivot state
+  root) or a child some locally-present parent asserts by hash — so
+  every fetched blob is verifiable, and peers can never poison state;
+* descendant paths never change across mutations, so a locally absent
+  subtree is untouched pivot content whose parent-stored hash remains
+  authoritative — which is what lets a *sparse* :class:`PathTrie`
+  commit to byte-identical roots (``sparse=True`` hash fallback).
+
+The KV trace a beam run emits is therefore read-dominant and
+miss-correlated — a read miss (value_size 0) immediately followed by
+the healing write of the same key — a workload shape the paper never
+measures; ``repro beamsync --compare-full`` quantifies the contrast.
+
+Healing comes in two flavors:
+
+* **on-miss** (the correctness backstop): the beam trie backends catch
+  every ``get`` miss during execution and heal the exact path
+  synchronously — a CollectMissing* pause;
+* **prefetch** (the performance path): before executing a block, the
+  driver walks the account/storage paths of every key the block plan
+  touches in deduplicated *waves*, fetching each wave's missing nodes
+  concurrently through the multi-peer scheduler — the realistic source
+  of multi-peer parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.chain.account import EMPTY_CODE_HASH, Account
+from repro.errors import BeamSyncError
+from repro.faults.plan import FaultPlan
+from repro.gethdb import schema
+from repro.gethdb.database import DBConfig, GethDatabase
+from repro.gethdb.state import (
+    AccountTrieBackend,
+    StateDB,
+    StorageTrieBackend,
+    TrieNodeStore,
+    hash_address,
+)
+from repro.obs import get_registry
+from repro.peers.messages import NodeRequest, RequestKind
+from repro.peers.metrics import PeerNetMetrics
+from repro.peers.scheduler import RequestScheduler, SchedulerConfig
+from repro.peers.simulated import SimulatedPeer
+from repro.sync.driver import FullSyncDriver, SyncConfig
+from repro.trie.nibbles import Nibbles, bytes_to_nibbles
+from repro.trie.nodes import BranchNode, ExtensionNode, LeafNode, decode_node
+from repro.trie.trie import EMPTY_ROOT, PathTrie
+from repro.workload.generator import BlockPlan, WorkloadConfig, WorkloadGenerator
+
+
+@dataclass
+class _Walk:
+    """A key-guided descent through one trie, resumable across fetches.
+
+    ``remaining`` is the unconsumed key suffix; ``expected`` the hash
+    the node at ``path`` must verify against if it has to be fetched.
+    A walk finishes with ``value`` set (key present) or None (the trie
+    structure proves the key absent).
+    """
+
+    kind: RequestKind
+    owner: bytes
+    remaining: Nibbles
+    path: Nibbles = ()
+    expected: bytes = b""
+    value: Optional[bytes] = None
+    done: bool = False
+
+
+class MissingStateCollector:
+    """Fetches and persists missing state, CollectMissing*-style.
+
+    Owns the healing walks: given a miss (an absolute trie path, or a
+    key to prefetch), walk from the root using untraced local peeks,
+    fetch each locally-absent node from the scheduler with the hash its
+    parent asserts, and persist it with a traced write into the open
+    block batch.
+    """
+
+    def __init__(
+        self,
+        db: GethDatabase,
+        scheduler: RequestScheduler,
+        anchor_root: bytes,
+        metrics: Optional[PeerNetMetrics] = None,
+    ) -> None:
+        self.db = db
+        self.scheduler = scheduler
+        #: pivot state root: the trust anchor for the account-trie root
+        self.anchor_root = anchor_root
+        self.metrics = metrics
+        #: account_hash -> storage root, recorded as accounts are read
+        self.storage_roots: dict[bytes, bytes] = {}
+        self.healed_account_nodes = 0
+        self.healed_storage_nodes = 0
+        self.healed_codes = 0
+        self.pauses = 0
+
+    # -- local access ---------------------------------------------------------
+
+    @staticmethod
+    def _node_key(kind: RequestKind, owner: bytes, path: Nibbles) -> bytes:
+        if kind is RequestKind.ACCOUNT_NODE:
+            return schema.account_trie_node_key(path)
+        return schema.storage_trie_node_key(owner, path)
+
+    def _local(self, kind: RequestKind, owner: bytes, path: Nibbles) -> Optional[bytes]:
+        return self.db.peek(self._node_key(kind, owner, path))
+
+    def _store(self, request: NodeRequest, blob: bytes) -> None:
+        if request.kind is RequestKind.BYTECODE:
+            self.db.write(schema.code_key(request.code_hash), blob)
+            self.healed_codes += 1
+            if self.metrics is not None:
+                self.metrics.count_healed("bytecode")
+            return
+        self.db.write(self._node_key(request.kind, request.owner, request.path), blob)
+        if request.kind is RequestKind.ACCOUNT_NODE:
+            self.healed_account_nodes += 1
+        else:
+            self.healed_storage_nodes += 1
+        if self.metrics is not None:
+            self.metrics.count_healed(
+                "account" if request.kind is RequestKind.ACCOUNT_NODE else "storage"
+            )
+
+    def note_pause(self, kind: str) -> None:
+        self.pauses += 1
+        if self.metrics is not None:
+            self.metrics.count_pause(kind)
+
+    # -- on-miss healing (exact path) -----------------------------------------
+
+    def heal_path(self, kind: RequestKind, owner: bytes, target: Nibbles) -> Optional[bytes]:
+        """Heal the node at absolute ``target``; return its blob.
+
+        Walks root-to-target fetching every locally absent node.  The
+        walk navigates by the target path itself: at a branch the next
+        target nibble picks the child, an extension must lie along the
+        target.  Returns None only when the trie is provably empty or
+        the structure proves no node can exist at ``target``.
+        """
+        path: Nibbles = ()
+        expected = self._anchor_for(kind, owner)
+        while True:
+            blob = self._local(kind, owner, path)
+            if blob is None:
+                if not expected or expected == EMPTY_ROOT:
+                    return None
+                request = NodeRequest(
+                    kind=kind, expected_hash=expected, path=path, owner=owner
+                )
+                blob = self.scheduler.fetch(request)
+                self._store(request, blob)
+            if path == target:
+                return blob
+            node = decode_node(blob)
+            rest = target[len(path):]
+            if isinstance(node, LeafNode):
+                return None
+            if isinstance(node, ExtensionNode):
+                n = len(node.suffix)
+                if len(rest) < n or rest[:n] != node.suffix:
+                    return None
+                path = path + node.suffix
+                expected = node.child_hash
+                continue
+            nibble = rest[0]
+            if not node.children[nibble]:
+                return None
+            if not node.child_hashes[nibble]:
+                raise BeamSyncError(
+                    f"branch at {path} asserts child {nibble:x} without a hash"
+                )
+            path = path + (nibble,)
+            expected = node.child_hashes[nibble]
+
+    def _anchor_for(self, kind: RequestKind, owner: bytes) -> bytes:
+        if kind is RequestKind.ACCOUNT_NODE:
+            return self.anchor_root
+        root = self.storage_roots.get(owner)
+        if root is None:
+            # The account record hasn't passed through get_account yet
+            # (e.g. a storage path healed before its owner): recover the
+            # storage root by key-walking the account trie.
+            blob = self.walk_key(RequestKind.ACCOUNT_NODE, b"", bytes_to_nibbles(owner))
+            if blob is None:
+                return b""
+            root = Account.decode(blob).storage_root
+            self.storage_roots[owner] = root
+        return root
+
+    def fetch_code(self, code_hash: bytes) -> bytes:
+        """Fetch and persist one bytecode blob by hash."""
+        request = NodeRequest(
+            kind=RequestKind.BYTECODE, expected_hash=code_hash, code_hash=code_hash
+        )
+        blob = self.scheduler.fetch(request)
+        self._store(request, blob)
+        return blob
+
+    # -- key walks (prefetch and anchor recovery) -----------------------------
+
+    def _step(self, walk: _Walk) -> Optional[NodeRequest]:
+        """Advance one walk as far as local state allows.
+
+        Returns the request for the first missing node, or None when
+        the walk completed (``walk.done``).
+        """
+        while not walk.done:
+            blob = self._local(walk.kind, walk.owner, walk.path)
+            if blob is None:
+                if not walk.expected or walk.expected == EMPTY_ROOT:
+                    walk.done = True
+                    return None
+                return NodeRequest(
+                    kind=walk.kind,
+                    expected_hash=walk.expected,
+                    path=walk.path,
+                    owner=walk.owner,
+                )
+            node = decode_node(blob)
+            if isinstance(node, LeafNode):
+                walk.value = node.value if node.suffix == walk.remaining else None
+                walk.done = True
+            elif isinstance(node, ExtensionNode):
+                n = len(node.suffix)
+                if walk.remaining[:n] != node.suffix:
+                    walk.done = True
+                    continue
+                walk.path = walk.path + node.suffix
+                walk.remaining = walk.remaining[n:]
+                walk.expected = node.child_hash
+            else:
+                assert isinstance(node, BranchNode)
+                if not walk.remaining:
+                    walk.value = node.value
+                    walk.done = True
+                    continue
+                nibble = walk.remaining[0]
+                if not node.children[nibble]:
+                    walk.done = True
+                    continue
+                walk.path = walk.path + (nibble,)
+                walk.remaining = walk.remaining[1:]
+                walk.expected = node.child_hashes[nibble]
+        return None
+
+    def run_walks(self, walks: list[_Walk]) -> None:
+        """Drive many walks to completion in concurrent fetch waves.
+
+        Each round advances every walk to its first missing node,
+        fetches the deduplicated wave through ``fetch_many`` (overlapped
+        across peers in virtual time), persists the blobs, and repeats
+        until no walk needs anything.
+        """
+        while True:
+            wave: dict[NodeRequest, bool] = {}
+            for walk in walks:
+                request = self._step(walk)
+                if request is not None:
+                    wave[request] = True
+            if not wave:
+                return
+            blobs = self.scheduler.fetch_many(list(wave))
+            for request, blob in blobs.items():
+                self._store(request, blob)
+
+    def walk_key(
+        self, kind: RequestKind, owner: bytes, key: Nibbles
+    ) -> Optional[bytes]:
+        """Serial key walk: heal the path to ``key``, return its value."""
+        walk = _Walk(kind=kind, owner=owner, remaining=key, expected=self._anchor_for(kind, owner))
+        self.run_walks([walk])
+        return walk.value
+
+    # -- block prefetch -------------------------------------------------------
+
+    def prefetch_block(self, plan: BlockPlan) -> None:
+        """Heal the paths a block plan will touch, in two wave groups.
+
+        Wave group 1 walks the account trie for every touched address;
+        the decoded accounts then anchor wave group 2: storage walks for
+        every touched slot plus bytecode fetches for called contracts.
+        On-miss healing during execution remains the backstop for
+        anything the plan doesn't enumerate (e.g. sibling nodes resolved
+        by branch collapses during deletes).
+        """
+        addresses: dict[bytes, bool] = {}
+        slots: dict[tuple[bytes, bytes], bool] = {}
+        called: dict[bytes, bool] = {}
+        for tx_plan in plan.tx_plans:
+            addresses[tx_plan.sender] = True
+            if tx_plan.recipient is not None:
+                addresses[tx_plan.recipient] = True
+                if tx_plan.kind == "call":
+                    called[tx_plan.recipient] = True
+            if tx_plan.destruct_target is not None:
+                addresses[tx_plan.destruct_target] = True
+            for address, slot_hash in tx_plan.slot_reads:
+                slots[(address, slot_hash)] = True
+                addresses[address] = True
+            for address, slot_hash, _ in tx_plan.slot_writes:
+                slots[(address, slot_hash)] = True
+                addresses[address] = True
+
+        account_walks = {
+            address: _Walk(
+                kind=RequestKind.ACCOUNT_NODE,
+                owner=b"",
+                remaining=bytes_to_nibbles(hash_address(address)),
+                expected=self.anchor_root,
+            )
+            for address in addresses
+        }
+        self.run_walks(list(account_walks.values()))
+
+        accounts: dict[bytes, Account] = {}
+        for address, walk in account_walks.items():
+            if walk.value is not None:
+                account = Account.decode(walk.value)
+                accounts[address] = account
+                self.storage_roots[hash_address(address)] = account.storage_root
+
+        storage_walks = []
+        for address, slot_hash in slots:
+            account = accounts.get(address)
+            if account is None or account.storage_root == EMPTY_ROOT:
+                continue
+            storage_walks.append(
+                _Walk(
+                    kind=RequestKind.STORAGE_NODE,
+                    owner=hash_address(address),
+                    remaining=bytes_to_nibbles(slot_hash),
+                    expected=account.storage_root,
+                )
+            )
+        code_requests = []
+        for address in called:
+            account = accounts.get(address)
+            if account is None or account.code_hash == EMPTY_CODE_HASH:
+                continue
+            if self.db.peek(schema.code_key(account.code_hash)) is None:
+                code_requests.append(
+                    NodeRequest(
+                        kind=RequestKind.BYTECODE,
+                        expected_hash=account.code_hash,
+                        code_hash=account.code_hash,
+                    )
+                )
+        if storage_walks:
+            self.run_walks(storage_walks)
+        if code_requests:
+            for request, blob in self.scheduler.fetch_many(code_requests).items():
+                self._store(request, blob)
+
+
+class _BeamAccountBackend(AccountTrieBackend):
+    """Account-trie backend that heals on every get miss."""
+
+    def __init__(self, nodes: TrieNodeStore, collector: MissingStateCollector) -> None:
+        super().__init__(nodes)
+        self._collector = collector
+
+    def get(self, path: Nibbles) -> Optional[bytes]:
+        blob = super().get(path)  # traced read; a miss is a trace record
+        if blob is None:
+            # A pause is an execution stall on the network: heals served
+            # entirely from locally staged (prefetched) nodes don't count.
+            before = self._collector.scheduler.fetched
+            blob = self._collector.heal_path(RequestKind.ACCOUNT_NODE, b"", path)
+            if self._collector.scheduler.fetched > before:
+                self._collector.note_pause("account")
+        return blob
+
+
+class _BeamStorageBackend(StorageTrieBackend):
+    """Storage-trie backend that heals on every get miss."""
+
+    def __init__(
+        self, nodes: TrieNodeStore, account_hash: bytes, collector: MissingStateCollector
+    ) -> None:
+        super().__init__(nodes, account_hash)
+        self._collector = collector
+
+    def get(self, path: Nibbles) -> Optional[bytes]:
+        blob = super().get(path)
+        if blob is None:
+            before = self._collector.scheduler.fetched
+            blob = self._collector.heal_path(
+                RequestKind.STORAGE_NODE, self._account_hash, path
+            )
+            if self._collector.scheduler.fetched > before:
+                self._collector.note_pause("storage")
+        return blob
+
+
+class BeamStateDB(StateDB):
+    """StateDB over sparse, self-healing tries.
+
+    Requires the bare (snapshotless, unbuffered) configuration: the
+    flat snapshot can't distinguish "absent" from "not yet downloaded",
+    and the trie dirty buffer would hide heals from the batch.
+    """
+
+    def __init__(self, db: GethDatabase, collector: MissingStateCollector) -> None:
+        super().__init__(db, None)
+        self._collector = collector
+        self._account_trie = PathTrie(
+            _BeamAccountBackend(self._node_store, collector), sparse=True
+        )
+
+    def _storage_trie(self, account_hash: bytes) -> PathTrie:
+        trie = self._storage_tries.get(account_hash)
+        if trie is None:
+            trie = PathTrie(
+                _BeamStorageBackend(self._node_store, account_hash, self._collector),
+                sparse=True,
+            )
+            self._storage_tries[account_hash] = trie
+        return trie
+
+    def get_account(self, address: bytes):
+        account = super().get_account(address)
+        if account is not None:
+            # Remember the storage root: it anchors this account's
+            # storage-trie root if that root has to be fetched later.
+            self._collector.storage_roots[hash_address(address)] = account.storage_root
+        return account
+
+    def get_code(self, code_hash: bytes) -> bytes:
+        code = super().get_code(code_hash)
+        if not code and code_hash != EMPTY_CODE_HASH:
+            # The uncached read doesn't see the open batch; a blob the
+            # prefetcher staged this block is already local.
+            staged = self._db.peek(schema.code_key(code_hash))
+            if staged is not None:
+                return staged
+            self._collector.note_pause("bytecode")
+            code = self._collector.fetch_code(code_hash)
+        return code
+
+
+@dataclass
+class BeamSyncConfig:
+    """Beam-sync tunables on top of the underlying sync config."""
+
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    #: walk the block plan's paths in concurrent waves before executing
+    prefetch: bool = True
+
+
+@dataclass
+class BeamSyncResult:
+    """Outcome of one beam sync run."""
+
+    pivot_number: int
+    blocks_processed: int
+    state_root: bytes
+    records: list
+    nodes_fetched: int
+    healed_account_nodes: int
+    healed_storage_nodes: int
+    healed_codes: int
+    pauses: int
+    retries: int
+    demotions: int
+    #: virtual seconds the peer network spent serving this run
+    simulated_seconds: float
+    total_store_pairs: int
+
+
+class BeamSyncDriver:
+    """Beam-syncs a fresh node from a pivot, fetching state on demand."""
+
+    def __init__(
+        self,
+        sync_config: Optional[SyncConfig] = None,
+        workload_config: Optional[WorkloadConfig] = None,
+        beam_config: Optional[BeamSyncConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        name: str = "BeamSync",
+    ) -> None:
+        self.workload_config = (
+            workload_config if workload_config is not None else WorkloadConfig()
+        )
+        if sync_config is None:
+            sync_config = SyncConfig(db=DBConfig.bare_trace_config())
+        if sync_config.db.caching_enabled or sync_config.db.snapshot_enabled:
+            raise BeamSyncError(
+                "beam sync requires the bare configuration "
+                "(caching_enabled=False, snapshot_enabled=False)"
+            )
+        self.beam_config = beam_config if beam_config is not None else BeamSyncConfig()
+        self.fault_plan = fault_plan
+        self.driver = FullSyncDriver(
+            sync_config, WorkloadGenerator(self.workload_config), name=name
+        )
+        self.scheduler: Optional[RequestScheduler] = None
+        self.collector: Optional[MissingStateCollector] = None
+
+    # ------------------------------------------------------------------
+
+    def sync_from(self, peers: list[SimulatedPeer], beam_blocks: int) -> BeamSyncResult:
+        """Beam-sync ``beam_blocks`` past the peers' shared pivot.
+
+        Every peer must serve the same reference node (they model one
+        network's state).  The pivot is the reference head; the local
+        node executes blocks ``pivot+1 .. pivot+beam_blocks``, healing
+        state on demand, and its final state root must equal a full
+        sync's over the same chain.
+        """
+        if not peers:
+            raise BeamSyncError("beam sync needs at least one peer")
+        if self.fault_plan is not None:
+            self.fault_plan.validate()
+        peer_node = peers[0].node
+        for peer in peers:
+            if peer.node is not peer_node:
+                raise BeamSyncError("all peers must serve the same reference node")
+        peer_node.db.set_tracing(False)
+
+        driver = self.driver
+        db = driver.db
+        pivot_number = peer_node._head_number  # noqa: SLF001 — peer introspection
+        pivot_hash = peer_node._head_hash  # noqa: SLF001
+        pivot_root = peer_node.state._account_trie.root_hash()  # noqa: SLF001
+
+        metrics = PeerNetMetrics(get_registry())
+        scheduler = RequestScheduler(
+            peers,
+            config=self.beam_config.scheduler,
+            fault_plan=self.fault_plan,
+            metrics=metrics,
+        )
+        collector = MissingStateCollector(db, scheduler, pivot_root, metrics=metrics)
+        driver.state = BeamStateDB(db, collector)
+        self.scheduler = scheduler
+        self.collector = collector
+
+        # -- pivot bookkeeping (the header/state anchors a real beam
+        # node receives before executing; same shape as snap phase 1) --
+        db.set_tracing(True)
+        db.begin_block(pivot_number)
+        db.write(schema.DATABASE_VERSION_KEY, b"\x08")
+        db.write(schema.skeleton_header_key(pivot_number), pivot_hash * 19)
+        db.write(
+            schema.SKELETON_SYNC_STATUS_KEY,
+            pivot_number.to_bytes(8, "big") + b"\x00" * 138,
+        )
+        db.write(schema.LAST_HEADER_KEY, pivot_hash)
+        db.write(schema.LAST_FAST_KEY, pivot_hash)
+        db.write(schema.LAST_BLOCK_KEY, pivot_hash)
+        db.write(schema.state_id_key(pivot_root), (1).to_bytes(8, "big"))
+        db.write(schema.LAST_STATE_ID_KEY, (1).to_bytes(8, "big"))
+        db.commit_batch()
+
+        # -- attach the driver at the pivot (state stays remote) --------
+        driver._initialized = True  # noqa: SLF001 — state is healed on demand
+        driver._head_number = pivot_number  # noqa: SLF001
+        driver._head_hash = pivot_hash  # noqa: SLF001
+        driver._recent_hashes[pivot_number] = pivot_hash  # noqa: SLF001
+        driver._recent_roots.append(pivot_root)  # noqa: SLF001
+        # Only blocks imported locally (pivot+1 onward) may ever freeze:
+        # pre-pivot history lives on the peers, not here.
+        driver.freezer.frozen_until = pivot_number
+        driver.freezer.history_tail = pivot_number
+        driver.txindexer.tail = pivot_number
+        next_number = driver.workload.skip_blocks(
+            peer_node._blocks_run, start_number=1  # noqa: SLF001
+        )
+        if next_number != pivot_number + 1:
+            raise BeamSyncError(
+                f"workload fast-forward landed at {next_number}, "
+                f"pivot is {pivot_number}"
+            )
+
+        # -- beam import loop -------------------------------------------
+        for _ in range(beam_blocks):
+            number = driver._head_number + 1  # noqa: SLF001
+            plan = driver.workload.make_block_plan(number)
+            scheduler.block = number
+            db.begin_block(number)
+            if self.beam_config.prefetch:
+                wait_start = scheduler.now
+                collector.prefetch_block(plan)
+                metrics.fetch_wait.observe(scheduler.now - wait_start)
+            driver.import_block(plan)
+            metrics.blocks.inc()
+        driver.shutdown()
+
+        state_root = driver.state._account_trie.root_hash()  # noqa: SLF001
+        return BeamSyncResult(
+            pivot_number=pivot_number,
+            blocks_processed=beam_blocks,
+            state_root=state_root,
+            records=db.collector.records,
+            nodes_fetched=scheduler.fetched,
+            healed_account_nodes=collector.healed_account_nodes,
+            healed_storage_nodes=collector.healed_storage_nodes,
+            healed_codes=collector.healed_codes,
+            pauses=collector.pauses,
+            retries=scheduler.retries,
+            demotions=scheduler.scoreboard.demotions_total,
+            simulated_seconds=scheduler.now,
+            total_store_pairs=len(db.store.inner),
+        )

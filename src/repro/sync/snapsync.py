@@ -26,7 +26,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.chain.account import Account
-from repro.errors import ChainError
+from repro.errors import ChainError, PeerNetworkError
+from repro.faults.plan import FaultKind, FaultPlan
 from repro.gethdb import schema
 from repro.sync.driver import FullSyncDriver, SyncConfig
 from repro.trie.nibbles import nibbles_to_bytes
@@ -57,9 +58,16 @@ class SnapSyncDriver:
         workload_config: Optional[WorkloadConfig] = None,
         name: str = "SnapSync",
         range_chunk: int = 256,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         """``range_chunk``: accounts per downloaded range (each range is
         applied and committed as one batch, like a snap-sync response).
+
+        ``fault_plan``: PEER_DROP rules targeting peer ``"snap-peer"``
+        sever the download mid-range (:class:`PeerNetworkError`).  The
+        download is resumable: already-committed ranges persist, and a
+        later :meth:`sync_from_peer` call re-downloads the remainder
+        (re-applied range writes converge to the same state).
         """
         self.workload_config = (
             workload_config if workload_config is not None else WorkloadConfig()
@@ -68,6 +76,7 @@ class SnapSyncDriver:
             sync_config, WorkloadGenerator(self.workload_config), name=name
         )
         self.range_chunk = range_chunk
+        self.fault_plan = fault_plan
 
     # ------------------------------------------------------------------
 
@@ -122,6 +131,7 @@ class SnapSyncDriver:
                 state.flush_trie_nodes()
                 db.commit_batch()
                 chunk_fill = 0
+                self._check_peer_faults(pivot_number)
         for code in codes:
             state.set_code_blob(code)
 
@@ -174,6 +184,22 @@ class SnapSyncDriver:
             records=db.collector.records,
             total_store_pairs=len(db.store.inner),
         )
+
+    def _check_peer_faults(self, pivot_number: int) -> None:
+        """Evaluate peer fault rules after one range-chunk download.
+
+        Each committed chunk counts as one request to ``"snap-peer"``;
+        a PEER_DROP rule firing here models the serving peer vanishing
+        mid-download, leaving the committed ranges durable.
+        """
+        if self.fault_plan is None:
+            return
+        rule = self.fault_plan.on_peer_request("snap-peer", block=pivot_number)
+        if rule is not None and rule.kind is FaultKind.PEER_DROP:
+            raise PeerNetworkError(
+                "snap-sync peer dropped the connection mid-download "
+                f"(pivot {pivot_number})"
+            )
 
     # ------------------------------------------------------------------
     # peer-side range serving (untraced reads of the peer's state)

@@ -83,8 +83,13 @@ class PathTrie:
     changes once per block.
     """
 
-    def __init__(self, backend: NodeBackend) -> None:
+    def __init__(self, backend: NodeBackend, sparse: bool = False) -> None:
         self._backend = backend
+        # A sparse trie is partially populated (beam sync): locally
+        # absent children are untouched remote subtrees, so commit-time
+        # hashing may fall back to the hash stored in the parent node
+        # instead of peeking the child blob.
+        self._sparse = sparse
         # path -> Node (dirty) or _DELETED
         self._dirty: dict[Nibbles, object] = {}
         # path -> node hash, maintained across commits (structural cache)
@@ -273,8 +278,9 @@ class PathTrie:
             branch.children[nib] = True
             if len(old_rest) == 1:
                 # The extension collapses away: its child (a branch) sits
-                # exactly at branch_path + (nib,) already.
-                pass
+                # exactly at branch_path + (nib,) already.  Keep its known
+                # hash so a sparse commit need not resolve the child.
+                branch.child_hashes[nib] = old.child_hash
             else:
                 self._stage(
                     branch_path + (nib,),
@@ -447,15 +453,15 @@ class PathTrie:
         if isinstance(node, LeafNode):
             return
         if isinstance(node, ExtensionNode):
-            node.child_hash = self._hash_of(path + node.suffix)
+            node.child_hash = self._hash_of(path + node.suffix, node.child_hash)
             return
         for i in range(16):
             if node.children[i]:
-                node.child_hashes[i] = self._hash_of(path + (i,))
+                node.child_hashes[i] = self._hash_of(path + (i,), node.child_hashes[i])
             else:
                 node.child_hashes[i] = b""
 
-    def _hash_of(self, path: Nibbles) -> bytes:
+    def _hash_of(self, path: Nibbles, stored: bytes = b"") -> bytes:
         cached = self._hash_cache.get(path)
         if cached is not None:
             return cached
@@ -466,6 +472,12 @@ class PathTrie:
             raise TrieError(f"dirty child {path} not yet hashed")
         blob = self._backend.peek(path)
         if blob is None:
+            if self._sparse and stored:
+                # Locally absent child of a sparse trie: an untouched
+                # remote subtree.  Its stored hash is still authoritative
+                # because descendant paths never change, so any local
+                # mutation below it would have made this child dirty.
+                return stored
             raise TrieError(f"missing child node at path {path}")
         digest = node_hash(blob)
         self._hash_cache[path] = digest

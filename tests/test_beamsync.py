@@ -1,0 +1,220 @@
+"""Beam-sync end-to-end tests.
+
+The load-bearing property: a beam node that starts at a pivot with an
+*empty* state store and heals missing state on demand from peers must
+finish with a state root byte-identical to a full-sync node that
+executed the same chain — across healthy, slow, and failure-injecting
+peer configurations, deterministically per seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis import TraceAnalysis
+from repro.core.compare import compare_traces
+from repro.core.trace import write_trace_v2
+from repro.errors import BeamSyncError
+from repro.faults.plan import FaultKind, FaultPlan, FaultRule
+from repro.gethdb.database import DBConfig
+from repro.peers import SchedulerConfig, build_peer_network
+from repro.sync.beamsync import BeamSyncConfig, BeamSyncDriver
+from repro.sync.driver import FullSyncDriver, SyncConfig
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+WORKLOAD = WorkloadConfig(
+    seed=55, initial_eoa_accounts=300, initial_contracts=50, txs_per_block=8
+)
+PIVOT = 12
+BEAM_BLOCKS = 8
+
+
+def _full_node(warmup: int, measured: int, name: str) -> FullSyncDriver:
+    driver = FullSyncDriver(
+        SyncConfig(db=DBConfig.bare_trace_config(), warmup_blocks=warmup),
+        WorkloadGenerator(WORKLOAD),
+        name=name,
+    )
+    driver.run(measured)
+    return driver
+
+
+@pytest.fixture(scope="module")
+def peer_node():
+    """A full node synced to the pivot, acting as the serving side."""
+    return _full_node(PIVOT, 0, "beam-peer")
+
+
+@pytest.fixture(scope="module")
+def full_reference():
+    """A full-sync node over the same chain, past the beam window."""
+    driver = FullSyncDriver(
+        SyncConfig(db=DBConfig.bare_trace_config(), warmup_blocks=PIVOT),
+        WorkloadGenerator(WORKLOAD),
+        name="full-ref",
+    )
+    result = driver.run(BEAM_BLOCKS)
+    root = driver.state._account_trie.root_hash()  # noqa: SLF001
+    return root, result
+
+
+def _beam(peer_node, profiles, *, seed=7, fault_plan=None, prefetch=True):
+    peers = build_peer_network(peer_node, profiles, seed=seed)
+    driver = BeamSyncDriver(
+        workload_config=WORKLOAD,
+        beam_config=BeamSyncConfig(
+            scheduler=SchedulerConfig(max_attempts=12), prefetch=prefetch
+        ),
+        fault_plan=fault_plan,
+    )
+    return driver.sync_from(peers, beam_blocks=BEAM_BLOCKS)
+
+
+class TestRootEquality:
+    @pytest.mark.parametrize(
+        "profiles",
+        [
+            ["healthy", "healthy", "healthy"],
+            ["healthy", "slow", "healthy"],
+            ["healthy", "healthy", "dropping"],
+        ],
+        ids=["healthy", "slow-peer", "peer-drop"],
+    )
+    def test_beam_root_matches_full_sync(self, peer_node, full_reference, profiles):
+        full_root, _ = full_reference
+        result = _beam(peer_node, profiles)
+        assert result.state_root == full_root
+        assert result.blocks_processed == BEAM_BLOCKS
+        assert result.pivot_number == PIVOT
+        assert result.nodes_fetched > 0
+
+    def test_degraded_network_retries_and_demotes(self, peer_node, full_reference):
+        full_root, _ = full_reference
+        result = _beam(peer_node, ["healthy", "slow", "dropping"])
+        assert result.state_root == full_root
+        assert result.retries > 0
+        assert result.demotions > 0
+
+    def test_fault_plan_drop_burst_converges(self, peer_node, full_reference):
+        full_root, _ = full_reference
+        plan = FaultPlan(
+            [FaultRule(FaultKind.PEER_DROP, peer="*", at_count=5, repeat=6)],
+            seed=1,
+        )
+        result = _beam(peer_node, ["healthy", "healthy"], fault_plan=plan)
+        assert result.state_root == full_root
+        assert result.retries >= 6
+        assert len(plan.events) == 6
+
+
+class TestDeterminism:
+    def test_same_seed_same_root_and_trace(self, peer_node):
+        a = _beam(peer_node, ["healthy", "slow", "dropping"])
+        b = _beam(peer_node, ["healthy", "slow", "dropping"])
+        assert a.state_root == b.state_root
+        assert a.simulated_seconds == b.simulated_seconds
+        assert [(r.op, r.key, r.value_size) for r in a.records] == [
+            (r.op, r.key, r.value_size) for r in b.records
+        ]
+
+    def test_different_peer_seed_same_root(self, peer_node, full_reference):
+        full_root, _ = full_reference
+        result = _beam(peer_node, ["healthy", "dropping"], seed=99)
+        assert result.state_root == full_root
+
+
+class TestPauseSemantics:
+    def test_prefetch_hides_most_pauses(self, peer_node):
+        with_prefetch = _beam(peer_node, ["healthy"])
+        without = _beam(peer_node, ["healthy"], prefetch=False)
+        # Same state gets healed either way; prefetch moves the fetches
+        # off the execution path so far fewer reads pause.
+        assert with_prefetch.state_root == without.state_root
+        assert without.pauses > 0
+        assert with_prefetch.pauses < without.pauses / 10
+
+    def test_healed_nodes_cover_all_tries(self, peer_node):
+        result = _beam(peer_node, ["healthy"])
+        assert result.healed_account_nodes > 0
+        assert result.healed_storage_nodes > 0
+        assert result.healed_codes > 0
+
+
+class TestTraceIntegration:
+    def test_beam_trace_flows_through_analysis(self, tmp_path, peer_node):
+        result = _beam(peer_node, ["healthy", "healthy"])
+        path = tmp_path / "beam.bin"
+        count = write_trace_v2(path, result.records)
+        assert count == len(result.records)
+        analysis = TraceAnalysis("beam", path)
+        assert analysis.opdist.total_ops == count
+
+    def test_beam_trace_replays(self, tmp_path, peer_node):
+        from repro.obs import MetricsRegistry
+        from repro.replay import ReplayConfig, replay_trace
+
+        result = _beam(peer_node, ["healthy"])
+        path = tmp_path / "beam.bin"
+        write_trace_v2(path, result.records)
+        report = replay_trace(
+            path, ReplayConfig(backend="memdb"), registry=MetricsRegistry()
+        )
+        assert report.applied == len(result.records)
+
+    def test_compare_report_renders(self, peer_node, full_reference):
+        _, full_result = full_reference
+        result = _beam(peer_node, ["healthy", "slow"])
+        report = compare_traces(
+            result.records, full_result.records, "BeamSync", "FullSync"
+        )
+        text = report.render()
+        assert "Trace comparison: BeamSync" in text
+        assert "FullSync" in text
+
+
+class TestCLI:
+    def test_beamsync_verb_with_compare_full(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "beam.bin"
+        code = main(
+            [
+                "beamsync",
+                "--blocks", "2", "--warmup", "6",
+                "--accounts", "120", "--contracts", "20",
+                "--txs", "4", "--seed", "55",
+                "--profiles", "healthy,dropping",
+                "--compare-full",
+                "--out", str(out),
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert out.exists()
+        assert "state roots MATCH" in captured
+        assert "Trace comparison: BeamSync" in captured
+        assert "read correlations" in captured
+
+    def test_beamsync_verb_rejects_unknown_profile(self, capsys):
+        from repro.cli import main
+
+        assert main(["beamsync", "--profiles", "warp"]) == 2
+        assert "unknown peer profiles" in capsys.readouterr().err
+
+
+class TestConfigGuards:
+    def test_rejects_caching_config(self):
+        with pytest.raises(BeamSyncError, match="bare"):
+            BeamSyncDriver(
+                sync_config=SyncConfig(db=DBConfig.cache_trace_config(64 * 1024)),
+                workload_config=WORKLOAD,
+            )
+
+    def test_rejects_mixed_reference_nodes(self, peer_node):
+        other = _full_node(PIVOT, 0, "other-peer")
+        peers = build_peer_network(peer_node, ["healthy"], seed=7)
+        peers += build_peer_network(other, ["healthy"], seed=8)
+        peers[1].peer_id = "peer-1-other"
+        driver = BeamSyncDriver(workload_config=WORKLOAD)
+        with pytest.raises(BeamSyncError, match="reference node"):
+            driver.sync_from(peers, beam_blocks=1)

@@ -20,6 +20,7 @@ class TestParser:
             "findings",
             "tables",
             "sync",
+            "beamsync",
             "analyze",
             "cache",
             "export",

@@ -216,3 +216,58 @@ class TestTornCommit:
         with pytest.raises(SimulatedCrash):
             db.commit_batch()
         assert db.store.inner.get(b"a") == b"1"
+
+
+class TestPeerRules:
+    """PEER_DROP / PEER_SLOW evaluation and the shared seeded streams."""
+
+    def test_repeat_fires_a_burst_then_retires(self):
+        rule = FaultRule(kind=FaultKind.PEER_DROP, peer="*", at_count=3, repeat=2)
+        plan = FaultPlan([rule])
+        fired = [plan.on_peer_request("p") is not None for _ in range(6)]
+        assert fired == [False, False, True, True, False, False]
+        assert rule.fired
+        assert len(plan.events) == 2
+
+    def test_peer_targeting(self):
+        plan = FaultPlan([FaultRule(kind=FaultKind.PEER_SLOW, peer="p1")])
+        assert plan.on_peer_request("p2") is None  # not the target
+        rule = plan.on_peer_request("p1")
+        assert rule is not None and rule.kind is FaultKind.PEER_SLOW
+        assert plan.events[-1].site == "peer.p1"
+
+    def test_disarm_suppresses_peer_rules(self):
+        plan = FaultPlan([FaultRule(kind=FaultKind.PEER_DROP, peer="*")])
+        plan.disarm()
+        assert plan.on_peer_request("p") is None
+
+    def test_min_block_gates_peer_rules(self):
+        plan = FaultPlan([FaultRule(kind=FaultKind.PEER_DROP, peer="*", min_block=5)])
+        assert plan.on_peer_request("p", block=4) is None
+        assert plan.on_peer_request("p", block=5) is not None
+
+    def test_validate_rejects_peerless_and_bad_repeat(self):
+        from repro.errors import FaultInjectionError
+
+        with pytest.raises(FaultInjectionError, match="peer target"):
+            FaultPlan([FaultRule(kind=FaultKind.PEER_DROP)]).validate()
+        with pytest.raises(FaultInjectionError, match="repeat"):
+            FaultPlan(
+                [FaultRule(kind=FaultKind.PEER_DROP, peer="*", repeat=0)]
+            ).validate()
+
+    def test_rule_streams_reproducible_and_independent(self):
+        from repro.faults.plan import seeded_stream
+
+        def draws(seed):
+            rules = [
+                FaultRule(kind=FaultKind.LATENCY, op="*"),
+                FaultRule(kind=FaultKind.LATENCY, op="*"),
+            ]
+            plan = FaultPlan(rules, seed=seed)
+            return [plan.rule_stream(rule).random() for rule in rules]
+
+        assert draws(9) == draws(9)
+        first, second = draws(9)
+        assert first != second  # per-rule streams don't collide
+        assert seeded_stream(9, "rule", 0).random() == draws(9)[0]

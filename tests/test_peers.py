@@ -1,0 +1,312 @@
+"""Peer-network unit tests.
+
+Covers the simulated peer layer in isolation — seeded behavior draws,
+the scoreboard's demotion/readmission mechanics, and the virtual-clock
+request scheduler — without spinning up a full sync driver.  The
+end-to-end beam-sync paths live in ``tests/test_beamsync.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BeamSyncError, PeerNetworkError
+from repro.faults.plan import (
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    LatencyModel,
+    seeded_stream,
+)
+from repro.gethdb import schema
+from repro.peers import (
+    PEER_PROFILES,
+    NodeRequest,
+    PeerBehavior,
+    PeerScoreboard,
+    RequestKind,
+    RequestScheduler,
+    SchedulerConfig,
+    SimulatedPeer,
+    behavior_from_profile,
+)
+from repro.trie.trie import node_hash
+
+
+class _FakeDB:
+    """Minimal stand-in for GethDatabase.peek over a dict."""
+
+    def __init__(self, mapping):
+        self.mapping = mapping
+
+    def peek(self, key):
+        return self.mapping.get(key)
+
+
+class _FakeNode:
+    def __init__(self, mapping):
+        self.db = _FakeDB(mapping)
+
+
+def _account_request(path=(1, 2), blob=b"fake-account-node"):
+    return (
+        NodeRequest(RequestKind.ACCOUNT_NODE, node_hash(blob), path=path),
+        {schema.account_trie_node_key(path): blob},
+    )
+
+
+def _peer(mapping, behavior=None, peer_id="p0", seed=0):
+    return SimulatedPeer(peer_id, _FakeNode(mapping), behavior, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# seeded streams / latency models
+# ---------------------------------------------------------------------------
+
+
+class TestSeededStream:
+    def test_same_labels_same_sequence(self):
+        a = [seeded_stream(7, "peer", "x").random() for _ in range(3)]
+        b = [seeded_stream(7, "peer", "x").random() for _ in range(3)]
+        assert a == b
+
+    def test_distinct_labels_diverge(self):
+        assert seeded_stream(7, "peer", "x").random() != seeded_stream(
+            7, "peer", "y"
+        ).random()
+        assert seeded_stream(7, "peer", "x").random() != seeded_stream(
+            8, "peer", "x"
+        ).random()
+
+    def test_latency_sample_bounds(self):
+        model = LatencyModel(base_s=0.02, jitter_s=0.01)
+        rng = seeded_stream(1, "lat")
+        for _ in range(100):
+            sample = model.sample(rng)
+            assert 0.02 <= sample < 0.03
+
+    def test_scaled_multiplies(self):
+        model = LatencyModel(base_s=0.02, jitter_s=0.0)
+        assert model.scaled(6.0).sample(seeded_stream(0)) == pytest.approx(0.12)
+
+
+# ---------------------------------------------------------------------------
+# simulated peers
+# ---------------------------------------------------------------------------
+
+
+class TestSimulatedPeer:
+    def test_healthy_reply_verifies(self):
+        request, mapping = _account_request()
+        peer = _peer(mapping)
+        reply = peer.serve(request, timeout_s=0.25)
+        assert reply.behavior == "ok"
+        assert node_hash(reply.blob) == request.expected_hash
+        assert reply.latency_s > 0
+
+    def test_drop_profile_loses_the_request(self):
+        request, mapping = _account_request()
+        peer = _peer(mapping, PeerBehavior(drop_rate=1.0))
+        reply = peer.serve(request, timeout_s=0.25)
+        assert reply.behavior == "drop"
+        assert reply.blob is None
+        assert reply.latency_s == 0.25
+
+    def test_stale_profile_fails_verification(self):
+        request, mapping = _account_request()
+        peer = _peer(mapping, PeerBehavior(stale_rate=1.0))
+        reply = peer.serve(request, timeout_s=0.25)
+        assert reply.behavior == "stale"
+        assert node_hash(reply.blob) != request.expected_hash
+
+    def test_missing_state_is_an_honest_miss(self):
+        request, _ = _account_request()
+        peer = _peer({})  # empty-state peer
+        reply = peer.serve(request, timeout_s=0.25)
+        assert reply.behavior == "missing"
+        assert reply.blob is None
+
+    def test_same_seed_same_reply_sequence(self):
+        request, mapping = _account_request()
+        behavior = PEER_PROFILES["flaky"]
+
+        def sequence():
+            peer = _peer(mapping, behavior, seed=9)
+            return [
+                (r.behavior, r.latency_s)
+                for r in (peer.serve(request, 0.25) for _ in range(20))
+            ]
+
+        replies = sequence()
+        assert replies == sequence()
+        assert {behavior for behavior, _ in replies} & {"drop", "timeout", "stale"}
+
+    def test_fault_rule_overrides_profile(self):
+        request, mapping = _account_request()
+        plan = FaultPlan(
+            [FaultRule(FaultKind.PEER_DROP, peer="p0", at_count=1)], seed=3
+        )
+        peer = _peer(mapping)  # healthy profile
+        dropped = peer.serve(request, 0.25, fault_plan=plan)
+        assert dropped.behavior == "drop"
+        # Rule is one-shot: the next request succeeds.
+        assert peer.serve(request, 0.25, fault_plan=plan).behavior == "ok"
+        assert plan.events[0].site == "peer.p0"
+
+    def test_slow_rule_scales_latency(self):
+        request, mapping = _account_request()
+        plan = FaultPlan(
+            [
+                FaultRule(
+                    FaultKind.PEER_SLOW, peer="*", at_count=1, slow_factor=100.0
+                )
+            ]
+        )
+        baseline = _peer(mapping, seed=4).serve(request, 0.25)
+        slowed = _peer(mapping, seed=4).serve(request, 0.25, fault_plan=plan)
+        assert slowed.latency_s == pytest.approx(baseline.latency_s * 100.0)
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(BeamSyncError, match="unknown peer profile"):
+            behavior_from_profile("teleporting")
+
+
+# ---------------------------------------------------------------------------
+# scoreboard
+# ---------------------------------------------------------------------------
+
+
+class TestScoreboard:
+    def _board(self, **kwargs):
+        board = PeerScoreboard(**kwargs)
+        board.register("a")
+        board.register("b")
+        return board
+
+    def test_demotes_after_consecutive_failures(self):
+        board = self._board(demote_after=3, cooldown_s=2.0)
+        assert not board.record_failure("a", now=0.0)
+        assert not board.record_failure("a", now=0.1)
+        assert board.record_failure("a", now=0.2)
+        assert board.is_demoted("a", now=1.0)
+        assert not board.is_demoted("a", now=2.3)  # readmitted after cooldown
+        assert board.next_readmission(1.0) == pytest.approx(2.2)
+        assert board.demotions_total == 1
+
+    def test_success_resets_the_streak(self):
+        board = self._board(demote_after=2)
+        board.record_failure("a", now=0.0)
+        board.record_ok("a", latency_s=0.01)
+        assert not board.record_failure("a", now=0.1)  # streak restarted
+
+    def test_selection_prefers_reliable_fast_peers(self):
+        board = self._board()
+        board.record_ok("a", latency_s=0.01)
+        board.record_failure("b", now=0.0)
+        board.record_ok("b", latency_s=0.01)
+        outstanding = {"a": 0, "b": 0}
+        assert board.select(1.0, outstanding, limit=4) == "a"
+
+    def test_selection_honors_outstanding_limit_and_demotion(self):
+        board = self._board(demote_after=1, cooldown_s=5.0)
+        board.record_failure("a", now=0.0)  # demoted instantly
+        assert board.select(1.0, {"a": 0, "b": 4}, limit=4) is None
+        assert board.select(1.0, {"a": 0, "b": 3}, limit=4) == "b"
+
+    def test_unproven_peers_score_optimistically(self):
+        board = self._board()
+        assert board.score("a") == 1.0
+
+
+# ---------------------------------------------------------------------------
+# scheduler
+# ---------------------------------------------------------------------------
+
+
+class TestScheduler:
+    def test_fetch_verifies_and_advances_virtual_time(self):
+        request, mapping = _account_request()
+        scheduler = RequestScheduler([_peer(mapping)])
+        blob = scheduler.fetch(request)
+        assert node_hash(blob) == request.expected_hash
+        assert scheduler.now > 0.0
+        assert scheduler.fetched == 1
+        assert scheduler.retries == 0
+
+    def test_fetch_many_coalesces_duplicates(self):
+        request, mapping = _account_request()
+        peer = _peer(mapping)
+        scheduler = RequestScheduler([peer])
+        results = scheduler.fetch_many([request, request, request])
+        assert len(results) == 1
+        assert peer.served == 1
+
+    def test_retries_route_around_a_stale_peer(self):
+        request, mapping = _account_request()
+        stale = _peer(mapping, PeerBehavior(stale_rate=1.0), peer_id="a-stale")
+        healthy = _peer(mapping, peer_id="b-healthy")
+        scheduler = RequestScheduler([stale, healthy])
+        blob = scheduler.fetch(request)
+        assert node_hash(blob) == request.expected_hash
+        # Stale answers are detected by hash verification and charged.
+        stats = scheduler.scoreboard.stats("a-stale")
+        assert stats.stale == stats.failures > 0
+
+    def test_dropping_peer_gets_demoted(self):
+        request, mapping = _account_request()
+        config = SchedulerConfig(demote_after=2, max_attempts=20)
+        dropper = _peer(mapping, PeerBehavior(drop_rate=1.0), peer_id="a-drop")
+        healthy = _peer(mapping, peer_id="b-ok")
+        scheduler = RequestScheduler([dropper, healthy], config)
+        paths = [(i, i % 16) for i in range(8)]
+        requests = []
+        for path in paths:
+            blob = b"node-" + bytes(path)
+            mapping[schema.account_trie_node_key(tuple(path))] = blob
+            requests.append(
+                NodeRequest(RequestKind.ACCOUNT_NODE, node_hash(blob), tuple(path))
+            )
+        results = scheduler.fetch_many(requests)
+        assert len(results) == len(requests)
+        assert scheduler.scoreboard.stats("a-drop").demotions >= 1
+        assert scheduler.retries > 0
+
+    def test_gives_up_after_max_attempts(self):
+        request, mapping = _account_request()
+        stale = _peer(mapping, PeerBehavior(stale_rate=1.0))
+        scheduler = RequestScheduler([stale], SchedulerConfig(max_attempts=3))
+        with pytest.raises(PeerNetworkError, match="after 3 attempts"):
+            scheduler.fetch(request)
+        assert scheduler.retries == 2  # attempts 2 and 3 were re-dispatches
+
+    def test_peer_drop_rule_burst_is_survivable(self):
+        request, mapping = _account_request()
+        plan = FaultPlan(
+            [FaultRule(FaultKind.PEER_DROP, peer="*", at_count=1, repeat=2)]
+        )
+        plan.validate()
+        scheduler = RequestScheduler([_peer(mapping)], fault_plan=plan)
+        blob = scheduler.fetch(request)
+        assert node_hash(blob) == request.expected_hash
+        assert scheduler.retries == 2
+        assert len(plan.events) == 2
+
+    def test_determinism_same_seed_same_schedule(self):
+        def run():
+            request, mapping = _account_request()
+            peers = [
+                _peer(mapping, PEER_PROFILES["flaky"], peer_id="a", seed=11),
+                _peer(mapping, PEER_PROFILES["healthy"], peer_id="b", seed=11),
+            ]
+            scheduler = RequestScheduler(peers)
+            scheduler.fetch(request)
+            return scheduler.now, scheduler.retries
+
+        assert run() == run()
+
+    def test_rejects_empty_or_duplicate_peer_sets(self):
+        request, mapping = _account_request()
+        with pytest.raises(PeerNetworkError, match="at least one peer"):
+            RequestScheduler([])
+        with pytest.raises(PeerNetworkError, match="duplicate peer ids"):
+            RequestScheduler([_peer(mapping), _peer(mapping)])

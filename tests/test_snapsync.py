@@ -103,3 +103,71 @@ class TestTrafficProfile:
         tail_records = [r for r in result.records if r.block > result.pivot_number]
         tail_reads = sum(1 for r in tail_records if r.op is OpType.READ)
         assert tail_reads > 50  # full-sync behaviour resumed
+
+
+class TestEdgeCases:
+    def test_empty_state_peer_syncs_to_genesis(self):
+        """A peer that never ran a block serves only its genesis state."""
+        tiny = WorkloadConfig(
+            seed=99, initial_eoa_accounts=2, initial_contracts=1, txs_per_block=1
+        )
+        empty_peer = FullSyncDriver(
+            SyncConfig(db=DBConfig.bare_trace_config(), warmup_blocks=0),
+            WorkloadGenerator(tiny),
+            name="empty-peer",
+        )
+        empty_peer.run(0)
+        snap = SnapSyncDriver(
+            SyncConfig(db=DBConfig.bare_trace_config(), warmup_blocks=0),
+            tiny,
+            range_chunk=4,
+        )
+        result = snap.sync_from_peer(empty_peer, tail_blocks=2)
+        assert result.state_root_matches
+        assert result.pivot_number == 0
+        assert result.accounts_downloaded == 3  # 2 EOAs + 1 contract
+        assert result.tail_blocks_processed == 2
+
+    def test_peer_failure_mid_download_raises(self, peer):
+        from repro.errors import PeerNetworkError
+        from repro.faults import FaultKind, FaultPlan, FaultRule
+
+        plan = FaultPlan(
+            [FaultRule(FaultKind.PEER_DROP, peer="snap-peer", at_count=2)]
+        )
+        snap = SnapSyncDriver(
+            SyncConfig(db=DBConfig.bare_trace_config(), warmup_blocks=0),
+            WORKLOAD,
+            range_chunk=64,
+            fault_plan=plan,
+        )
+        with pytest.raises(PeerNetworkError, match="dropped the connection"):
+            snap.sync_from_peer(peer, tail_blocks=0)
+        # The ranges committed before the drop are durable...
+        assert len(snap.driver.db.store.inner) > 100
+        # ...but the node never switched to full sync at the head.
+        assert not snap.driver._initialized
+
+    def test_download_resumes_after_peer_failure(self, peer):
+        from repro.errors import PeerNetworkError
+        from repro.faults import FaultKind, FaultPlan, FaultRule
+
+        plan = FaultPlan(
+            [FaultRule(FaultKind.PEER_DROP, peer="snap-peer", at_count=3)]
+        )
+        snap = SnapSyncDriver(
+            SyncConfig(db=DBConfig.bare_trace_config(), warmup_blocks=0),
+            WORKLOAD,
+            range_chunk=64,
+            fault_plan=plan,
+        )
+        with pytest.raises(PeerNetworkError):
+            snap.sync_from_peer(peer, tail_blocks=0)
+        # The fault rule is one-shot; the retry re-downloads the
+        # remainder and converges to the peer's exact state root.
+        result = snap.sync_from_peer(peer, tail_blocks=0)
+        assert result.state_root_matches
+        for address in peer.workload.eoa_addresses[:10]:
+            assert snap.driver.state.get_account(address) == peer.state.get_account(
+                address
+            )
